@@ -1,0 +1,106 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! * **Eq. (1) vs Eq. (2)** (§4.2): the naive `min_v max_w` bound costs
+//!   `O(|L|·|V_T|)` per estimate vs Eq. (2)'s `O(|L|)` — the paper's
+//!   reason for Eq. (2). Measured on raw bound evaluation throughput.
+//! * **Landmark selection** (§7 footnote 3): Farthest-point vs uniform
+//!   Random selection, measured end-to-end on `IterBoundI`.
+//! * **Landmarks on/off for the whole pipeline** (§6): `IterBoundI` vs
+//!   `IterBoundI-NL` on a KSP workload, where the bounds matter most.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kpj_bench::{run_batch, CalEnv, NestedEnv};
+use kpj_core::{Algorithm, QueryEngine};
+use kpj_landmark::{LandmarkIndex, SelectionStrategy};
+use kpj_workload::datasets;
+
+fn eq1_vs_eq2(c: &mut Criterion) {
+    let env = NestedEnv::new(datasets::SJ, 0.3);
+    let targets = env.t(3).to_vec(); // a mid-size category
+    let qb = env.landmarks.for_targets(&targets);
+    let probe: Vec<u32> = (0..env.graph.node_count() as u32).step_by(37).collect();
+    let mut group = c.benchmark_group("ablation_lb_to_targets");
+    group.bench_function("eq2_per_landmark", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &v in &probe {
+                acc = acc.wrapping_add(std::hint::black_box(qb.lb_to_targets(v)));
+            }
+            acc
+        })
+    });
+    group.bench_function("eq1_per_target_pair", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &v in &probe {
+                acc = acc.wrapping_add(std::hint::black_box(qb.lb_to_targets_eq1(v, &targets)));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn selection_strategy(c: &mut Criterion) {
+    let env = NestedEnv::new(datasets::SJ, 0.3);
+    let targets = env.t(2).to_vec();
+    let qs = env.query_sets(2, 3);
+    let mut group = c.benchmark_group("ablation_landmark_selection_iterboundi");
+    group.sample_size(10);
+    for strategy in [SelectionStrategy::Farthest, SelectionStrategy::Random] {
+        let idx = LandmarkIndex::build(&env.graph, 16, strategy, 0x5e1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &(),
+            |b, _| {
+                let mut engine = QueryEngine::new(&env.graph).with_landmarks(&idx);
+                b.iter(|| run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), &targets, 20));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn landmarks_on_off_ksp(c: &mut Criterion) {
+    let env = CalEnv::new(0.1, 16);
+    let targets = env.categories.members(env.cal.glacier).to_vec();
+    let qs = env.query_sets(env.cal.glacier, 3);
+    let mut group = c.benchmark_group("ablation_landmarks_ksp_iterboundi");
+    group.sample_size(10);
+    group.bench_function("with_landmarks", |b| {
+        let mut engine = QueryEngine::new(&env.graph).with_landmarks(&env.landmarks);
+        b.iter(|| run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), &targets, 20));
+    });
+    group.bench_function("no_landmarks", |b| {
+        let mut engine = QueryEngine::new(&env.graph);
+        b.iter(|| run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), &targets, 20));
+    });
+    group.finish();
+}
+
+fn simple_vs_general_paths(c: &mut Criterion) {
+    // The related-work contrast (§1, [12, 19]): top-k *general* paths
+    // (cycles allowed) are classically easy; the simplicity constraint is
+    // what the paper's machinery pays for.
+    let env = NestedEnv::new(datasets::SJ, 0.3);
+    let targets = env.t(2).to_vec();
+    let qs = env.query_sets(2, 3);
+    let sources = qs.group(3).to_vec();
+    let mut group = c.benchmark_group("ablation_simple_vs_general_k50");
+    group.sample_size(10);
+    group.bench_function("general_walks", |b| {
+        b.iter(|| {
+            for &s in &sources {
+                std::hint::black_box(kpj_core::general::top_k_walks(&env.graph, &[s], &targets, 50));
+            }
+        })
+    });
+    group.bench_function("simple_iterboundi", |b| {
+        let mut engine = QueryEngine::new(&env.graph).with_landmarks(&env.landmarks);
+        b.iter(|| run_batch(&mut engine, Algorithm::IterBoundI, &sources, &targets, 50));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, eq1_vs_eq2, selection_strategy, landmarks_on_off_ksp, simple_vs_general_paths);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Fig. 10 — sensitivity to the number of destination nodes `|T|`
+//! (the nested POI sets `T1 ⊂ T2 ⊂ T3 ⊂ T4`) on SJ.
+//!
+//! Paper shape: processing time *decreases* as `|T|` grows (shortest
+//! paths get shorter — Fig. 11), and `IterBoundI`'s advantage over the
+//! other approaches widens with `|T|` (it prunes destinations via `SPT_I`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kpj_bench::{run_batch, NestedEnv};
+use kpj_core::{Algorithm, QueryEngine};
+use kpj_workload::datasets;
+
+const QUERIES: usize = 3;
+
+fn vary_dest_count(c: &mut Criterion) {
+    let env = NestedEnv::new(datasets::SJ, 0.3);
+    for alg in [Algorithm::BestFirst, Algorithm::IterBound, Algorithm::IterBoundP, Algorithm::IterBoundI]
+    {
+        let mut group = c.benchmark_group(format!("fig10_sj_{}", alg.name().to_lowercase()));
+        group.sample_size(10);
+        for t in 1..=4usize {
+            let targets = env.t(t).to_vec();
+            let qs = env.query_sets(t, QUERIES);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("T{t}_{}", targets.len())),
+                &t,
+                |b, _| {
+                    let mut engine = QueryEngine::new(&env.graph).with_landmarks(&env.landmarks);
+                    b.iter(|| run_batch(&mut engine, alg, qs.group(3), &targets, 20));
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, vary_dest_count);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Fig. 12 — scalability of `IterBoundI`: (a) graph size SJ → COL at a
+//! fixed scale factor, (b) very large `k` on COL.
+//!
+//! Paper shape: runtime grows far slower than graph size (the exploration
+//! area depends on the k-shortest-path lengths, not on `n`), and grows
+//! roughly linearly in `k`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kpj_bench::{run_batch, NestedEnv};
+use kpj_core::{Algorithm, QueryEngine};
+use kpj_workload::datasets;
+
+const QUERIES: usize = 3;
+
+fn vary_graph_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12a_iterboundi_t2_q3_k20");
+    group.sample_size(10);
+    // Fixed scale across datasets preserves the paper's relative sizes
+    // (SJ : SF : COL = 1 : 9.6 : 23.9 in nodes).
+    for spec in [datasets::SJ, datasets::SF, datasets::COL] {
+        let env = NestedEnv::new(spec, 0.1);
+        let targets = env.t(2).to_vec();
+        let qs = env.query_sets(2, QUERIES);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}_{}", spec.name, env.graph.node_count())),
+            &(),
+            |b, _| {
+                let mut engine = QueryEngine::new(&env.graph).with_landmarks(&env.landmarks);
+                b.iter(|| run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), &targets, 20));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn vary_large_k(c: &mut Criterion) {
+    let env = NestedEnv::new(datasets::COL, 0.05);
+    let targets = env.t(2).to_vec();
+    let qs = env.query_sets(2, QUERIES);
+    let mut group = c.benchmark_group("fig12b_iterboundi_col_t2_q3");
+    group.sample_size(10);
+    for k in [10usize, 50, 100, 200, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut engine = QueryEngine::new(&env.graph).with_landmarks(&env.landmarks);
+            b.iter(|| run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), &targets, k));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, vary_graph_size, vary_large_k);
+criterion_main!(benches);

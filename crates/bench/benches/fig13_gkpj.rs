@@ -1,0 +1,64 @@
+//! Fig. 13 — GKPJ (category-to-category) queries on COL: `DA-SPT` vs
+//! `IterBoundI` with `|S| = 4` random source nodes.
+//!
+//! Paper shape: the gap grows to ~two orders of magnitude — with multiple
+//! sources the k shortest paths get *shorter*, which shrinks
+//! `IterBoundI`'s exploration area while `DA-SPT` still pays for its full
+//! SPT and its `O(k·n)` candidates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kpj_bench::{run_batch_multi, NestedEnv};
+use kpj_core::{Algorithm, QueryEngine};
+use kpj_graph::NodeId;
+use kpj_workload::datasets;
+
+fn source_sets(n: u32, how_many: usize) -> Vec<Vec<NodeId>> {
+    (0..how_many as u64)
+        .map(|i| {
+            (0..4u64)
+                .map(|j| ((i * 4 + j + 1).wrapping_mul(0x9E3779B97F4A7C15) % n as u64) as NodeId)
+                .collect()
+        })
+        .collect()
+}
+
+fn gkpj_vary_dest(c: &mut Criterion) {
+    let env = NestedEnv::new(datasets::COL, 0.05);
+    let sets = source_sets(env.graph.node_count() as u32, 3);
+    for alg in [Algorithm::DaSpt, Algorithm::IterBoundI] {
+        let mut group = c.benchmark_group(format!("fig13a_col_{}", alg.name().to_lowercase()));
+        group.sample_size(10);
+        for t in 1..=4usize {
+            let targets = env.t(t).to_vec();
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("T{t}_{}", targets.len())),
+                &t,
+                |b, _| {
+                    let mut engine = QueryEngine::new(&env.graph).with_landmarks(&env.landmarks);
+                    b.iter(|| run_batch_multi(&mut engine, alg, &sets, &targets, 20));
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn gkpj_vary_k(c: &mut Criterion) {
+    let env = NestedEnv::new(datasets::COL, 0.05);
+    let sets = source_sets(env.graph.node_count() as u32, 3);
+    let targets = env.t(2).to_vec();
+    let mut group = c.benchmark_group("fig13b_col_t2_vary_k");
+    group.sample_size(10);
+    for k in [10usize, 20, 30, 50] {
+        for alg in [Algorithm::DaSpt, Algorithm::IterBoundI] {
+            group.bench_with_input(BenchmarkId::new(alg.name(), k), &k, |b, &k| {
+                let mut engine = QueryEngine::new(&env.graph).with_landmarks(&env.landmarks);
+                b.iter(|| run_batch_multi(&mut engine, alg, &sets, &targets, k));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, gkpj_vary_dest, gkpj_vary_k);
+criterion_main!(benches);

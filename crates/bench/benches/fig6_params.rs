@@ -1,0 +1,49 @@
+//! Fig. 6 — parameter sensitivity of `IterBoundI` on CAL:
+//! (a) landmark count `|L|`, (b) τ growth factor `α`.
+//!
+//! Paper shape: both curves are U-shaped with minima near `|L| = 16` and
+//! `α = 1.1`. Run with `cargo bench -p kpj-bench --bench fig6_params`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kpj_bench::{run_batch, CalEnv};
+use kpj_core::{Algorithm, QueryEngine};
+use kpj_landmark::{LandmarkIndex, SelectionStrategy};
+
+const SCALE: f64 = 0.1;
+const QUERIES: usize = 3;
+
+fn fig6a_landmark_count(c: &mut Criterion) {
+    let env = CalEnv::new(SCALE, 16);
+    let targets = env.categories.members(env.cal.lake).to_vec();
+    let qs = env.query_sets(env.cal.lake, QUERIES);
+    let mut group = c.benchmark_group("fig6a_landmarks_lake_q3_k20");
+    group.sample_size(10);
+    for lm_count in [4usize, 8, 16, 32] {
+        let landmarks =
+            LandmarkIndex::build(&env.graph, lm_count, SelectionStrategy::Farthest, 0xCA11);
+        group.bench_with_input(BenchmarkId::from_parameter(lm_count), &lm_count, |b, _| {
+            let mut engine = QueryEngine::new(&env.graph).with_landmarks(&landmarks);
+            b.iter(|| run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), &targets, 20));
+        });
+    }
+    group.finish();
+}
+
+fn fig6b_alpha(c: &mut Criterion) {
+    let env = CalEnv::new(SCALE, 16);
+    let targets = env.categories.members(env.cal.lake).to_vec();
+    let qs = env.query_sets(env.cal.lake, QUERIES);
+    let mut group = c.benchmark_group("fig6b_alpha_lake_q3_k20");
+    group.sample_size(10);
+    for alpha in [1.05f64, 1.1, 1.2, 1.5, 1.8] {
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &a| {
+            let mut engine =
+                QueryEngine::new(&env.graph).with_landmarks(&env.landmarks).with_alpha(a);
+            b.iter(|| run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), &targets, 20));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6a_landmark_count, fig6b_alpha);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Fig. 7 — KPJ on CAL: all seven algorithms against the deviation
+//! baselines, across destination categories and query-k settings.
+//!
+//! Paper shape: every best-first variant beats DA/DA-SPT, `IterBoundI`
+//! wins overall, and `DA-SPT` loses exactly where the full-SPT build
+//! dominates (near queries / large categories).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kpj_bench::{run_batch, CalEnv};
+use kpj_core::{Algorithm, QueryEngine};
+
+const SCALE: f64 = 0.1;
+const QUERIES: usize = 3;
+
+fn algorithms_by_category(c: &mut Criterion) {
+    let env = CalEnv::new(SCALE, 16);
+    for (cat_name, cat) in [("lake", env.cal.lake), ("harbor", env.cal.harbor)] {
+        let targets = env.categories.members(cat).to_vec();
+        let qs = env.query_sets(cat, QUERIES);
+        let mut group = c.benchmark_group(format!("fig7_{cat_name}_q3_k20"));
+        group.sample_size(10);
+        for alg in Algorithm::ALL {
+            group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &alg, |b, &a| {
+                let mut engine = QueryEngine::new(&env.graph).with_landmarks(&env.landmarks);
+                b.iter(|| run_batch(&mut engine, a, qs.group(3), &targets, 20));
+            });
+        }
+        // The seventh line: IterBoundI without landmarks.
+        group.bench_function(BenchmarkId::from_parameter("IterBoundI-NL"), |b| {
+            let mut engine = QueryEngine::new(&env.graph);
+            b.iter(|| run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), &targets, 20));
+        });
+        group.finish();
+    }
+}
+
+fn vary_query_group(c: &mut Criterion) {
+    let env = CalEnv::new(SCALE, 16);
+    let targets = env.categories.members(env.cal.crater).to_vec();
+    let qs = env.query_sets(env.cal.crater, QUERIES);
+    let mut group = c.benchmark_group("fig7_crater_vary_q_k20_iterboundi");
+    group.sample_size(10);
+    for q in 1..=5usize {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("Q{q}")), &q, |b, &q| {
+            let mut engine = QueryEngine::new(&env.graph).with_landmarks(&env.landmarks);
+            b.iter(|| run_batch(&mut engine, Algorithm::IterBoundI, qs.group(q), &targets, 20));
+        });
+    }
+    group.finish();
+}
+
+fn vary_k(c: &mut Criterion) {
+    let env = CalEnv::new(SCALE, 16);
+    let targets = env.categories.members(env.cal.crater).to_vec();
+    let qs = env.query_sets(env.cal.crater, QUERIES);
+    let mut group = c.benchmark_group("fig7_crater_q3_vary_k_iterboundi");
+    group.sample_size(10);
+    for k in [10usize, 20, 30, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut engine = QueryEngine::new(&env.graph).with_landmarks(&env.landmarks);
+            b.iter(|| run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), &targets, k));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, algorithms_by_category, vary_query_group, vary_k);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Fig. 8 — KSP on CAL: the same seven algorithms on a singleton
+//! category ("Glacier" has one physical node), demonstrating that the KPJ
+//! machinery subsumes the classic k-shortest-simple-paths problem and
+//! still beats the state-of-the-art `DA-SPT` by orders of magnitude.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kpj_bench::{run_batch, CalEnv};
+use kpj_core::{Algorithm, QueryEngine};
+
+const SCALE: f64 = 0.1;
+const QUERIES: usize = 3;
+
+fn ksp_algorithms(c: &mut Criterion) {
+    let env = CalEnv::new(SCALE, 16);
+    let targets = env.categories.members(env.cal.glacier).to_vec();
+    assert_eq!(targets.len(), 1, "Glacier is the KSP workload");
+    let qs = env.query_sets(env.cal.glacier, QUERIES);
+    let mut group = c.benchmark_group("fig8_glacier_q3_k20");
+    group.sample_size(10);
+    for alg in Algorithm::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &alg, |b, &a| {
+            let mut engine = QueryEngine::new(&env.graph).with_landmarks(&env.landmarks);
+            b.iter(|| run_batch(&mut engine, a, qs.group(3), &targets, 20));
+        });
+    }
+    group.bench_function(BenchmarkId::from_parameter("IterBoundI-NL"), |b| {
+        let mut engine = QueryEngine::new(&env.graph);
+        b.iter(|| run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), &targets, 20));
+    });
+    group.finish();
+}
+
+fn ksp_vary_k(c: &mut Criterion) {
+    let env = CalEnv::new(SCALE, 16);
+    let targets = env.categories.members(env.cal.glacier).to_vec();
+    let qs = env.query_sets(env.cal.glacier, QUERIES);
+    let mut group = c.benchmark_group("fig8_glacier_q3_vary_k");
+    group.sample_size(10);
+    for k in [10usize, 20, 30, 50] {
+        group.bench_with_input(BenchmarkId::new("IterBoundI", k), &k, |b, &k| {
+            let mut engine = QueryEngine::new(&env.graph).with_landmarks(&env.landmarks);
+            b.iter(|| run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), &targets, k));
+        });
+        group.bench_with_input(BenchmarkId::new("DA-SPT", k), &k, |b, &k| {
+            let mut engine = QueryEngine::new(&env.graph).with_landmarks(&env.landmarks);
+            b.iter(|| run_batch(&mut engine, Algorithm::DaSpt, qs.group(3), &targets, k));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ksp_algorithms, ksp_vary_k);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Fig. 9 — our four approaches against each other on SJ and COL
+//! (`T = T2`, Q3, k = 20).
+//!
+//! Paper shape: `IterBoundI ≤ IterBoundP ≤ IterBound ≈ BestFirst`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kpj_bench::{run_batch, NestedEnv};
+use kpj_core::{Algorithm, QueryEngine};
+use kpj_workload::datasets;
+
+const QUERIES: usize = 3;
+const OURS: [Algorithm; 4] =
+    [Algorithm::BestFirst, Algorithm::IterBound, Algorithm::IterBoundP, Algorithm::IterBoundI];
+
+fn our_approaches(c: &mut Criterion) {
+    for (spec, scale) in [(datasets::SJ, 0.3), (datasets::COL, 0.05)] {
+        let env = NestedEnv::new(spec, scale);
+        let targets = env.t(2).to_vec();
+        let qs = env.query_sets(2, QUERIES);
+        let mut group = c.benchmark_group(format!("fig9_{}_t2_q3_k20", spec.name.to_lowercase()));
+        group.sample_size(10);
+        for alg in OURS {
+            group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &alg, |b, &a| {
+                let mut engine = QueryEngine::new(&env.graph).with_landmarks(&env.landmarks);
+                b.iter(|| run_batch(&mut engine, a, qs.group(3), &targets, 20));
+            });
+        }
+        group.finish();
+    }
+}
+
+fn vary_k_on_sj(c: &mut Criterion) {
+    let env = NestedEnv::new(datasets::SJ, 0.3);
+    let targets = env.t(2).to_vec();
+    let qs = env.query_sets(2, QUERIES);
+    let mut group = c.benchmark_group("fig9_sj_t2_q3_vary_k");
+    group.sample_size(10);
+    for k in [10usize, 20, 30, 50] {
+        for alg in [Algorithm::BestFirst, Algorithm::IterBoundI] {
+            group.bench_with_input(BenchmarkId::new(alg.name(), k), &k, |b, &k| {
+                let mut engine = QueryEngine::new(&env.graph).with_landmarks(&env.landmarks);
+                b.iter(|| run_batch(&mut engine, alg, qs.group(3), &targets, k));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, our_approaches, vary_k_on_sj);
+criterion_main!(benches);

@@ -1,0 +1,760 @@
+//! The public query engine: one long-lived object per graph that answers
+//! KPJ / KSP / GKPJ queries with any of the paper's seven algorithms.
+
+use kpj_graph::scratch::TimestampedSet;
+use kpj_graph::{Graph, Length, NodeId, Path, INFINITE_LENGTH};
+use kpj_landmark::LandmarkIndex;
+use kpj_sp::{DenseDijkstra, Direction, Estimate};
+
+use crate::bounds::{SourceLb, TargetsLb};
+use crate::deviation::{run_deviation, CandidateScratch, DeviationMode};
+use crate::paradigms::{run_best_first, run_iter_bound, PlainOracle, SubspaceOracle};
+use crate::pseudo_tree::{PseudoTree, VIRTUAL_NODE};
+use crate::search_core::{CollectSink, PathSink, SubspaceCtx, SubspaceScratch, VisitSink};
+use crate::sptp::SptpStore;
+use crate::spti::SptiStore;
+use crate::stats::QueryStats;
+
+/// The algorithms evaluated in the paper (§7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Deviation baseline `DA` [28, 15]: eager candidate paths via plain
+    /// constrained Dijkstra.
+    Da,
+    /// Deviation baseline `DA-SPT` [14, 15]: eager candidates guided by a
+    /// full online reverse SPT with Gao et al.'s iterative simplicity
+    /// test (the state of the art the paper compares against).
+    DaSpt,
+    /// Pascoal's precursor [24] of `DA-SPT`: one `O(1)`-ish splice test
+    /// per candidate, full constrained search on failure. Not plotted in
+    /// the paper's figures but discussed in §3; kept for completeness.
+    DaSptPascoal,
+    /// `BestFirst` (§4): lazy shortest-path computation ordered by `CompLB`
+    /// lower bounds.
+    BestFirst,
+    /// `IterBound` (§5.1): BestFirst plus iterative τ-tightening `TestLB`.
+    IterBound,
+    /// `IterBound-SPT_P` (§5.2): IterBound with the partial SPT built as a
+    /// by-product of the initial shortest-path computation.
+    IterBoundP,
+    /// `IterBound-SPT_I` (§5.3): the flagship — search on the reverse graph
+    /// pruned to an incrementally grown forward SPT.
+    IterBoundI,
+}
+
+impl Algorithm {
+    /// All algorithms, in the paper's presentation order.
+    pub const ALL: [Algorithm; 7] = [
+        Algorithm::Da,
+        Algorithm::DaSpt,
+        Algorithm::DaSptPascoal,
+        Algorithm::BestFirst,
+        Algorithm::IterBound,
+        Algorithm::IterBoundP,
+        Algorithm::IterBoundI,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Da => "DA",
+            Algorithm::DaSpt => "DA-SPT",
+            Algorithm::DaSptPascoal => "DA-Pascoal",
+            Algorithm::BestFirst => "BestFirst",
+            Algorithm::IterBound => "IterBound",
+            Algorithm::IterBoundP => "IterBoundP",
+            Algorithm::IterBoundI => "IterBoundI",
+        }
+    }
+}
+
+/// Result of one query: the paths (non-decreasing length, each simple,
+/// source-side first) and the work counters.
+#[derive(Debug, Clone)]
+pub struct KpjResult {
+    /// Up to `k` shortest simple paths; fewer when the graph does not
+    /// contain `k` simple paths between the query endpoints.
+    pub paths: Vec<Path>,
+    /// Instrumentation counters (see [`QueryStats`]).
+    pub stats: QueryStats,
+}
+
+/// Errors for malformed queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A source node id is ≥ the graph's node count.
+    SourceOutOfRange(NodeId),
+    /// A target node id is ≥ the graph's node count.
+    TargetOutOfRange(NodeId),
+    /// The query supplied no source nodes at all.
+    NoSources,
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+
+    /// Case-insensitive; accepts the paper's names with or without the
+    /// hyphen ("DA-SPT"/"daspt", "IterBoundP", …).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
+            "da" => Ok(Algorithm::Da),
+            "daspt" => Ok(Algorithm::DaSpt),
+            "dapascoal" | "dasptpascoal" | "pascoal" => Ok(Algorithm::DaSptPascoal),
+            "bestfirst" => Ok(Algorithm::BestFirst),
+            "iterbound" => Ok(Algorithm::IterBound),
+            "iterboundp" | "iterboundsptp" => Ok(Algorithm::IterBoundP),
+            "iterboundi" | "iterboundspti" => Ok(Algorithm::IterBoundI),
+            other => Err(format!("unknown algorithm `{other}`")),
+        }
+    }
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::SourceOutOfRange(v) => write!(f, "source node {v} out of range"),
+            QueryError::TargetOutOfRange(v) => write!(f, "target node {v} out of range"),
+            QueryError::NoSources => write!(f, "query has no source nodes"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A reusable query processor for one graph.
+///
+/// Holds all per-query scratch (epoch-stamped, reset in `O(1)`), the
+/// optional landmark index, and the `α` parameter of the iteratively
+/// bounding approaches. Dropping the landmark index (never calling
+/// [`with_landmarks`](QueryEngine::with_landmarks)) yields the paper's
+/// `-NL` (no-landmark) variants of every algorithm.
+///
+/// ```
+/// use kpj_graph::GraphBuilder;
+/// use kpj_core::{Algorithm, QueryEngine};
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_bidirectional(0, 1, 1).unwrap();
+/// b.add_bidirectional(1, 2, 1).unwrap();
+/// b.add_bidirectional(1, 3, 5).unwrap();
+/// let g = b.build();
+/// let mut engine = QueryEngine::new(&g);
+/// // Top-2 shortest paths from node 0 to the "category" {2, 3}.
+/// let r = engine.query(Algorithm::IterBoundI, 0, &[2, 3], 2).unwrap();
+/// assert_eq!(r.paths.len(), 2);
+/// assert_eq!(r.paths[0].nodes, vec![0, 1, 2]);
+/// assert_eq!(r.paths[1].nodes, vec![0, 1, 3]);
+/// ```
+pub struct QueryEngine<'g> {
+    g: &'g Graph,
+    landmarks: Option<&'g LandmarkIndex>,
+    alpha: f64,
+    scratch: SubspaceScratch,
+    cand: CandidateScratch,
+    target_set: TimestampedSet,
+    source_set: TimestampedSet,
+    sptp: SptpStore,
+    spti: SptiStore,
+}
+
+impl<'g> QueryEngine<'g> {
+    /// An engine without landmarks (all algorithms run in `-NL` mode).
+    pub fn new(g: &'g Graph) -> Self {
+        let n = g.node_count();
+        QueryEngine {
+            g,
+            landmarks: None,
+            alpha: 1.1,
+            scratch: SubspaceScratch::new(n),
+            cand: CandidateScratch::new(n),
+            target_set: TimestampedSet::new(n),
+            source_set: TimestampedSet::new(n),
+            sptp: SptpStore::new(n),
+            spti: SptiStore::new(n),
+        }
+    }
+
+    /// Attach an offline landmark index (must be built for this graph).
+    ///
+    /// # Panics
+    /// Panics if the index was built for a different node count.
+    pub fn with_landmarks(mut self, idx: &'g LandmarkIndex) -> Self {
+        assert_eq!(
+            idx.node_count(),
+            self.g.node_count(),
+            "landmark index does not match the graph"
+        );
+        self.landmarks = Some(idx);
+        self
+    }
+
+    /// Set the τ growth factor `α > 1` (default 1.1, the paper's choice).
+    ///
+    /// # Panics
+    /// Panics unless `α > 1`.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha > 1.0, "α must exceed 1");
+        self.alpha = alpha;
+        self
+    }
+
+    /// The graph this engine answers queries on.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// True if the engine uses landmark lower bounds.
+    pub fn has_landmarks(&self) -> bool {
+        self.landmarks.is_some()
+    }
+
+    /// A KPJ query `{s, T, k}` (§2): top-`k` shortest simple paths from
+    /// `source` to any node of `targets`.
+    pub fn query(
+        &mut self,
+        alg: Algorithm,
+        source: NodeId,
+        targets: &[NodeId],
+        k: usize,
+    ) -> Result<KpjResult, QueryError> {
+        self.query_multi(alg, &[source], targets, k)
+    }
+
+    /// A KSP query `{s, t, k}` (Def. 3.1): the KPJ special case with a
+    /// singleton category.
+    pub fn ksp(
+        &mut self,
+        alg: Algorithm,
+        source: NodeId,
+        target: NodeId,
+        k: usize,
+    ) -> Result<KpjResult, QueryError> {
+        self.query_multi(alg, &[source], &[target], k)
+    }
+
+    /// A GKPJ query `{S, T, k}` (§6): both endpoints are categories. The
+    /// virtual source/target nodes of the paper's reduction are handled
+    /// implicitly (no graph mutation).
+    pub fn query_multi(
+        &mut self,
+        alg: Algorithm,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        k: usize,
+    ) -> Result<KpjResult, QueryError> {
+        let n = self.g.node_count() as u64;
+        if sources.is_empty() {
+            return Err(QueryError::NoSources);
+        }
+        if let Some(&v) = sources.iter().find(|&&v| v as u64 >= n) {
+            return Err(QueryError::SourceOutOfRange(v));
+        }
+        if let Some(&v) = targets.iter().find(|&&v| v as u64 >= n) {
+            return Err(QueryError::TargetOutOfRange(v));
+        }
+        let mut sources = sources.to_vec();
+        sources.sort_unstable();
+        sources.dedup();
+        let mut targets = targets.to_vec();
+        targets.sort_unstable();
+        targets.dedup();
+
+        let mut stats = QueryStats::default();
+        if targets.is_empty() || k == 0 {
+            return Ok(KpjResult { paths: Vec::new(), stats });
+        }
+
+        self.target_set.clear();
+        for &t in &targets {
+            self.target_set.insert(t as usize);
+        }
+        self.source_set.clear();
+        for &s in &sources {
+            self.source_set.insert(s as usize);
+        }
+
+        let to_targets = match self.landmarks {
+            Some(idx) => TargetsLb::Alt(idx.for_targets(&targets)),
+            None => TargetsLb::Zero,
+        };
+        let from_sources = SourceLb::new(self.landmarks, &sources);
+
+        let mut sink = CollectSink::new(k);
+        self.dispatch(alg, &sources, &targets, &to_targets, &from_sources, &mut sink, &mut stats);
+        Ok(KpjResult { paths: sink.paths, stats })
+    }
+
+    /// Anytime variant of [`query_multi`](QueryEngine::query_multi):
+    /// `on_path` receives each result path as soon as it is proven to be
+    /// the next-shortest, in non-decreasing length order, and can stop the
+    /// query early by returning [`ControlFlow::Break`]. At most `k` paths
+    /// are delivered. Returns the work counters.
+    ///
+    /// ```
+    /// # use kpj_graph::GraphBuilder;
+    /// # use kpj_core::{Algorithm, QueryEngine};
+    /// # use std::ops::ControlFlow;
+    /// # let mut b = GraphBuilder::new(3);
+    /// # b.add_bidirectional(0, 1, 1).unwrap();
+    /// # b.add_bidirectional(1, 2, 1).unwrap();
+    /// # let g = b.build();
+    /// let mut engine = QueryEngine::new(&g);
+    /// let mut first = None;
+    /// engine
+    ///     .query_visit(Algorithm::IterBoundI, 0, &[2], 10, |p| {
+    ///         first = Some(p); // keep only the first, then stop
+    ///         ControlFlow::Break(())
+    ///     })
+    ///     .unwrap();
+    /// assert_eq!(first.unwrap().length, 2);
+    /// ```
+    ///
+    /// [`ControlFlow::Break`]: std::ops::ControlFlow::Break
+    pub fn query_multi_visit(
+        &mut self,
+        alg: Algorithm,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        k: usize,
+        mut on_path: impl FnMut(Path) -> std::ops::ControlFlow<()>,
+    ) -> Result<QueryStats, QueryError> {
+        let n = self.g.node_count() as u64;
+        if sources.is_empty() {
+            return Err(QueryError::NoSources);
+        }
+        if let Some(&v) = sources.iter().find(|&&v| v as u64 >= n) {
+            return Err(QueryError::SourceOutOfRange(v));
+        }
+        if let Some(&v) = targets.iter().find(|&&v| v as u64 >= n) {
+            return Err(QueryError::TargetOutOfRange(v));
+        }
+        let mut sources = sources.to_vec();
+        sources.sort_unstable();
+        sources.dedup();
+        let mut targets = targets.to_vec();
+        targets.sort_unstable();
+        targets.dedup();
+
+        let mut stats = QueryStats::default();
+        if targets.is_empty() || k == 0 {
+            return Ok(stats);
+        }
+        self.target_set.clear();
+        for &t in &targets {
+            self.target_set.insert(t as usize);
+        }
+        self.source_set.clear();
+        for &s in &sources {
+            self.source_set.insert(s as usize);
+        }
+        let to_targets = match self.landmarks {
+            Some(idx) => TargetsLb::Alt(idx.for_targets(&targets)),
+            None => TargetsLb::Zero,
+        };
+        let from_sources = SourceLb::new(self.landmarks, &sources);
+        let mut sink = VisitSink {
+            f: |p: Path| on_path(p) == std::ops::ControlFlow::Continue(()),
+            remaining: k,
+        };
+        self.dispatch(alg, &sources, &targets, &to_targets, &from_sources, &mut sink, &mut stats);
+        Ok(stats)
+    }
+
+    /// Single-source convenience for
+    /// [`query_multi_visit`](QueryEngine::query_multi_visit).
+    pub fn query_visit(
+        &mut self,
+        alg: Algorithm,
+        source: NodeId,
+        targets: &[NodeId],
+        k: usize,
+        on_path: impl FnMut(Path) -> std::ops::ControlFlow<()>,
+    ) -> Result<QueryStats, QueryError> {
+        self.query_multi_visit(alg, &[source], targets, k, on_path)
+    }
+
+    /// Route a validated, deduplicated query to its mode.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        &mut self,
+        alg: Algorithm,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        to_targets: &TargetsLb<'_>,
+        from_sources: &SourceLb<'_>,
+        sink: &mut dyn PathSink,
+        stats: &mut QueryStats,
+    ) {
+        match alg {
+            Algorithm::Da | Algorithm::DaSpt | Algorithm::DaSptPascoal | Algorithm::BestFirst
+            | Algorithm::IterBound | Algorithm::IterBoundP => {
+                self.run_forward(alg, sources, targets, to_targets, from_sources, sink, stats)
+            }
+            Algorithm::IterBoundI => {
+                self.run_reverse(sources, targets, to_targets, from_sources, sink, stats)
+            }
+        }
+    }
+
+    /// Forward-mode algorithms: the pseudo-tree is rooted at the source
+    /// side and searches expand out-edges towards `V_T`.
+    #[allow(clippy::too_many_arguments)]
+    fn run_forward(
+        &mut self,
+        alg: Algorithm,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        to_targets: &TargetsLb<'_>,
+        from_sources: &SourceLb<'_>,
+        sink: &mut dyn PathSink,
+        stats: &mut QueryStats,
+    ) {
+        let mut tree = match sources {
+            [s] => PseudoTree::new(*s),
+            _ => PseudoTree::new(VIRTUAL_NODE),
+        };
+        let ctx = SubspaceCtx {
+            g: self.g,
+            direction: Direction::Forward,
+            fanout: sources,
+            goal_set: &self.target_set,
+            goal_count: targets.len(),
+        };
+        match alg {
+            Algorithm::Da => run_deviation(
+                &ctx, &mut self.scratch, &mut self.cand, &mut tree, DeviationMode::Plain, sink,
+                stats,
+            ),
+            Algorithm::DaSpt | Algorithm::DaSptPascoal => {
+                // The full online reverse SPT (its construction cost is the
+                // baseline's Achilles heel the paper highlights).
+                let spt = DenseDijkstra::to_targets(self.g, targets);
+                stats.nodes_settled +=
+                    spt.dist_slice().iter().filter(|&&d| d != INFINITE_LENGTH).count();
+                let mode = if alg == Algorithm::DaSpt {
+                    DeviationMode::Gao(&spt)
+                } else {
+                    DeviationMode::Pascoal(&spt)
+                };
+                run_deviation(&ctx, &mut self.scratch, &mut self.cand, &mut tree, mode, sink, stats)
+            }
+            Algorithm::BestFirst => {
+                let mut oracle = PlainOracle { lb: |v| to_targets.lb(v) };
+                run_best_first(&ctx, &mut self.scratch, &mut tree, &mut oracle, sink, false, stats)
+            }
+            Algorithm::IterBound => {
+                let mut oracle = PlainOracle { lb: |v| to_targets.lb(v) };
+                run_iter_bound(
+                    &ctx, &mut self.scratch, &mut tree, &mut oracle, sink, self.alpha, None,
+                    false, stats,
+                )
+            }
+            Algorithm::IterBoundP => {
+                let init = self.sptp.build(
+                    self.g,
+                    targets,
+                    &self.source_set,
+                    from_sources,
+                    &tree,
+                    stats,
+                );
+                if init.is_none() {
+                    return;
+                }
+                let sptp = &self.sptp;
+                let mut oracle = PlainOracle {
+                    lb: |v| sptp.exact_dist(v).unwrap_or_else(|| to_targets.lb(v)),
+                };
+                run_iter_bound(
+                    &ctx, &mut self.scratch, &mut tree, &mut oracle, sink, self.alpha, init,
+                    false, stats,
+                )
+            }
+            Algorithm::IterBoundI => unreachable!("dispatched to run_reverse"),
+        }
+    }
+
+    /// `IterBound-SPT_I`: the pseudo-tree is rooted at the virtual target
+    /// and searches expand in-edges towards the source side, pruned to the
+    /// incrementally grown forward SPT (§5.3).
+    #[allow(clippy::too_many_arguments)]
+    fn run_reverse(
+        &mut self,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        to_targets: &TargetsLb<'_>,
+        from_sources: &SourceLb<'_>,
+        sink: &mut dyn PathSink,
+        stats: &mut QueryStats,
+    ) {
+        let mut tree = PseudoTree::new(VIRTUAL_NODE);
+        let ctx = SubspaceCtx {
+            g: self.g,
+            direction: Direction::Backward,
+            fanout: targets,
+            goal_set: &self.source_set,
+            goal_count: sources.len(),
+        };
+        let init = self.spti.init(self.g, sources, &self.target_set, to_targets, stats);
+        if init.is_none() {
+            return;
+        }
+        let mut oracle = SptiOracle {
+            g: self.g,
+            store: &mut self.spti,
+            target_set: &self.target_set,
+            to_targets,
+            from_sources,
+        };
+        run_iter_bound(
+            &ctx, &mut self.scratch, &mut tree, &mut oracle, sink, self.alpha, init, true, stats,
+        )
+    }
+}
+
+/// Oracle for `IterBound-SPT_I`: exact `d_s` inside `SPT_I`, landmark
+/// Eq. (2)-style source-side bounds outside (for `CompLB-SPTI` only — the
+/// searches themselves *prune* everything outside the SPT, Deferred when it
+/// may still grow, Unreachable once it is complete).
+struct SptiOracle<'a, 'q> {
+    g: &'a Graph,
+    store: &'a mut SptiStore,
+    target_set: &'a TimestampedSet,
+    to_targets: &'a TargetsLb<'q>,
+    from_sources: &'a SourceLb<'q>,
+}
+
+impl SubspaceOracle for SptiOracle<'_, '_> {
+    #[inline]
+    fn lb_num(&self, v: NodeId) -> Length {
+        // Alg. 8 line 5-6: exact distance when v ∈ SPT_I, Eq. (2) otherwise.
+        self.store.exact_dist(v).unwrap_or_else(|| self.from_sources.lb(v))
+    }
+
+    #[inline]
+    fn estimate(&self, v: NodeId) -> Estimate {
+        match self.store.exact_dist(v) {
+            Some(d) => Estimate::Bound(d),
+            None if self.store.is_complete() => Estimate::Unreachable,
+            None => Estimate::Deferred,
+        }
+    }
+
+    fn prepare_tau(&mut self, tau: Length, stats: &mut QueryStats) {
+        self.store.grow(self.g, tau, self.target_set, self.to_targets, stats);
+    }
+
+    fn spt_nodes(&self) -> usize {
+        self.store.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpj_graph::GraphBuilder;
+    use kpj_landmark::SelectionStrategy;
+
+    /// The worked example consistent with the paper's Figs. 1/2/5:
+    /// ω(v1,v8)=2, ω(v8,v7)=3, ω(v1,v3)=3, ω(v3,v6)=3, ω(v3,v7)=4,
+    /// ω(v3,v4)=5, ω(v3,v5)=2, ω(v5,v6)=2; H = {v4, v6, v7}.
+    /// Top-3: (v1,v8,v7)=5, (v1,v3,v6)=6, length-7 tie.
+    fn paper_graph() -> (Graph, Vec<NodeId>) {
+        // 0-indexed: v1=0, v3=2, v4=3, v5=4, v6=5, v7=6, v8=7.
+        let mut b = GraphBuilder::new(8);
+        b.add_bidirectional(0, 7, 2).unwrap(); // v1-v8
+        b.add_bidirectional(7, 6, 3).unwrap(); // v8-v7
+        b.add_bidirectional(0, 2, 3).unwrap(); // v1-v3
+        b.add_bidirectional(2, 5, 3).unwrap(); // v3-v6
+        b.add_bidirectional(2, 6, 4).unwrap(); // v3-v7
+        b.add_bidirectional(2, 3, 5).unwrap(); // v3-v4
+        b.add_bidirectional(2, 4, 2).unwrap(); // v3-v5
+        b.add_bidirectional(4, 5, 2).unwrap(); // v5-v6
+        (b.build(), vec![3, 5, 6]) // H = {v4, v6, v7}
+    }
+
+    fn lengths(r: &KpjResult) -> Vec<Length> {
+        r.paths.iter().map(|p| p.length).collect()
+    }
+
+    #[test]
+    fn paper_example_top3_for_every_algorithm() {
+        let (g, h) = paper_graph();
+        let idx = LandmarkIndex::build(&g, 4, SelectionStrategy::Farthest, 7);
+        for with_lm in [false, true] {
+            let mut engine = QueryEngine::new(&g);
+            if with_lm {
+                engine = engine.with_landmarks(&idx);
+            }
+            for alg in Algorithm::ALL {
+                let r = engine.query(alg, 0, &h, 3).unwrap();
+                assert_eq!(lengths(&r), vec![5, 6, 7], "{} landmarks={with_lm}", alg.name());
+                assert_eq!(r.paths[0].nodes, vec![0, 7, 6]);
+                assert_eq!(r.paths[1].nodes, vec![0, 2, 5]);
+                for p in &r.paths {
+                    p.validate(&g).unwrap();
+                    assert!(p.is_simple());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ksp_is_kpj_with_singleton_category() {
+        let (g, _) = paper_graph();
+        let mut engine = QueryEngine::new(&g);
+        for alg in Algorithm::ALL {
+            let r = engine.ksp(alg, 0, 5, 4).unwrap();
+            // Paths v1→v6: (v1,v3,v6)=6, (v1,v3,v5,v6)=7, then longer.
+            assert_eq!(r.paths[0].length, 6, "{}", alg.name());
+            assert_eq!(r.paths[1].length, 7);
+            assert!(r.paths.windows(2).all(|w| w[0].length <= w[1].length));
+            for p in &r.paths {
+                assert_eq!(p.source(), 0);
+                assert_eq!(p.destination(), 5);
+                assert!(p.is_simple());
+            }
+        }
+    }
+
+    #[test]
+    fn gkpj_multi_source_agrees_across_algorithms() {
+        let (g, h) = paper_graph();
+        let idx = LandmarkIndex::build(&g, 3, SelectionStrategy::Farthest, 1);
+        let sources = [0u32, 1]; // v1 and v2
+        let mut reference: Option<Vec<Length>> = None;
+        for alg in Algorithm::ALL {
+            let mut engine = QueryEngine::new(&g).with_landmarks(&idx);
+            let r = engine.query_multi(alg, &sources, &h, 5).unwrap();
+            for p in &r.paths {
+                assert!(sources.contains(&p.source()), "{}", alg.name());
+                assert!(h.contains(&p.destination()));
+                p.validate(&g).unwrap();
+            }
+            let lens = lengths(&r);
+            match &reference {
+                None => reference = Some(lens),
+                Some(want) => assert_eq!(&lens, want, "{}", alg.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_than_k_paths_terminates_cleanly() {
+        // 0 → 1 → 2: exactly two simple paths to {1, 2} exist… plus none
+        // others. Ask for 10.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1).unwrap();
+        b.add_edge(1, 2, 1).unwrap();
+        let g = b.build();
+        for alg in Algorithm::ALL {
+            let mut engine = QueryEngine::new(&g);
+            let r = engine.query(alg, 0, &[1, 2], 10).unwrap();
+            assert_eq!(lengths(&r), vec![1, 2], "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn unreachable_and_empty_targets() {
+        let mut b = GraphBuilder::new(4);
+        b.add_bidirectional(0, 1, 1).unwrap();
+        b.add_bidirectional(2, 3, 1).unwrap();
+        let g = b.build();
+        for alg in Algorithm::ALL {
+            let mut engine = QueryEngine::new(&g);
+            assert!(engine.query(alg, 0, &[2], 3).unwrap().paths.is_empty(), "{}", alg.name());
+            assert!(engine.query(alg, 0, &[], 3).unwrap().paths.is_empty());
+        }
+    }
+
+    #[test]
+    fn source_in_targets_yields_zero_length_path_first() {
+        let (g, _) = paper_graph();
+        for alg in Algorithm::ALL {
+            let mut engine = QueryEngine::new(&g);
+            let r = engine.query(alg, 2, &[2, 6], 3).unwrap();
+            assert_eq!(r.paths[0].nodes, vec![2], "{}", alg.name());
+            assert_eq!(r.paths[0].length, 0);
+            assert_eq!(r.paths[1].length, 4); // (v3, v7)
+        }
+    }
+
+    #[test]
+    fn algorithm_from_str_and_display() {
+        for alg in Algorithm::ALL {
+            let parsed: Algorithm = alg.name().parse().unwrap();
+            assert_eq!(parsed, alg);
+            assert_eq!(alg.to_string(), alg.name());
+        }
+        assert_eq!("da-spt".parse::<Algorithm>().unwrap(), Algorithm::DaSpt);
+        assert_eq!("ITERBOUND_I".parse::<Algorithm>().unwrap(), Algorithm::IterBoundI);
+        assert!("dijkstra".parse::<Algorithm>().is_err());
+    }
+
+    #[test]
+    fn query_errors() {
+        let (g, _) = paper_graph();
+        let mut engine = QueryEngine::new(&g);
+        assert_eq!(
+            engine.query(Algorithm::Da, 99, &[1], 1).unwrap_err(),
+            QueryError::SourceOutOfRange(99)
+        );
+        assert_eq!(
+            engine.query(Algorithm::Da, 0, &[99], 1).unwrap_err(),
+            QueryError::TargetOutOfRange(99)
+        );
+        assert_eq!(
+            engine.query_multi(Algorithm::Da, &[], &[1], 1).unwrap_err(),
+            QueryError::NoSources
+        );
+        assert!(engine.query(Algorithm::Da, 0, &[1], 0).unwrap().paths.is_empty());
+    }
+
+    #[test]
+    fn k_equals_one_matches_plain_shortest_path() {
+        let (g, h) = paper_graph();
+        let d = DenseDijkstra::to_targets(&g, &h);
+        for alg in Algorithm::ALL {
+            let mut engine = QueryEngine::new(&g);
+            let r = engine.query(alg, 0, &h, 1).unwrap();
+            assert_eq!(r.paths.len(), 1);
+            assert_eq!(r.paths[0].length, d.dist(0), "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn engine_is_reusable_across_queries() {
+        let (g, h) = paper_graph();
+        let mut engine = QueryEngine::new(&g);
+        let a = engine.query(Algorithm::IterBoundI, 0, &h, 3).unwrap();
+        let _ = engine.query(Algorithm::IterBoundI, 4, &[6], 2).unwrap();
+        let b = engine.query(Algorithm::IterBoundI, 0, &h, 3).unwrap();
+        assert_eq!(lengths(&a), lengths(&b));
+    }
+
+    #[test]
+    fn stats_expose_paradigm_differences() {
+        let (g, h) = paper_graph();
+        let idx = LandmarkIndex::build(&g, 4, SelectionStrategy::Farthest, 7);
+        let mut engine = QueryEngine::new(&g).with_landmarks(&idx);
+        let da = engine.query(Algorithm::Da, 0, &h, 3).unwrap();
+        let bf = engine.query(Algorithm::BestFirst, 0, &h, 3).unwrap();
+        // Lemma 4.1: BestFirst computes a subset of DA's shortest paths.
+        assert!(
+            bf.stats.shortest_path_computations <= da.stats.shortest_path_computations,
+            "BestFirst {} vs DA {}",
+            bf.stats.shortest_path_computations,
+            da.stats.shortest_path_computations
+        );
+        let ib = engine.query(Algorithm::IterBoundI, 0, &h, 3).unwrap();
+        assert!(ib.stats.testlb_calls > 0);
+        assert!(ib.stats.final_tau >= 7);
+        assert!(ib.stats.spt_nodes > 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! The two search paradigms on top of the subspace machinery:
+//!
+//! * [`run_best_first`] — Alg. 2: subspaces are enqueued with cheap lower
+//!   bounds (`CompLB`) and their shortest paths are computed lazily, only
+//!   when a subspace reaches the front of the queue.
+//! * [`run_iter_bound`] — Alg. 4: like BestFirst, but a popped unsolved
+//!   subspace is first probed with `TestLB` under an iteratively enlarged
+//!   threshold τ (`τ' = max(⌈α·base⌉, base+1)` with
+//!   `base = max(lb(S), Q.top().key)`), so full shortest-path searches are
+//!   replaced by cheap bounded probes wherever possible.
+//!
+//! Both are generic over a [`SubspaceOracle`], which supplies the numeric
+//! one-hop bounds for `CompLB`, the per-node [`Estimate`]s for the
+//! searches, and — for the `SPT_I` approach — the hook that grows the
+//! incremental SPT to τ before each probe. This is how `BestFirst`,
+//! `IterBound`, `IterBound-SPT_P`, `IterBound-SPT_I` and all their
+//! no-landmark variants share one implementation each.
+
+use kpj_graph::{Length, NodeId, INFINITE_LENGTH};
+use kpj_heap::MinHeap;
+use kpj_sp::Estimate;
+
+use crate::pseudo_tree::{PseudoTree, VertexId, ROOT};
+use crate::search_core::{
+    comp_lb, divide_subspace, subspace_search, FoundPath, PathSink, SubspaceCtx,
+    SubspaceScratch, SubspaceSearch,
+};
+use crate::stats::QueryStats;
+
+/// Bound provider driving the paradigm loops (see module docs).
+pub(crate) trait SubspaceOracle {
+    /// Numeric lower bound used by `CompLB` one-hop look-ahead: a lower
+    /// bound on the remaining distance from `v` to the goal side.
+    fn lb_num(&self, v: NodeId) -> Length;
+    /// Admissibility / heuristic verdict for the subspace searches.
+    fn estimate(&self, v: NodeId) -> Estimate;
+    /// Grow incremental structures so that every path of length ≤ `tau` is
+    /// covered (no-op except for `SPT_I`).
+    fn prepare_tau(&mut self, _tau: Length, _stats: &mut QueryStats) {}
+    /// Size of the oracle's SPT, for [`QueryStats::spt_nodes`].
+    fn spt_nodes(&self) -> usize {
+        0
+    }
+}
+
+/// The paper's landmark-only oracle (`BestFirst`, `IterBound`): Eq. (2)
+/// bounds (or zero without landmarks).
+pub(crate) struct PlainOracle<F: Fn(NodeId) -> Length> {
+    pub lb: F,
+}
+
+impl<F: Fn(NodeId) -> Length> SubspaceOracle for PlainOracle<F> {
+    #[inline]
+    fn lb_num(&self, v: NodeId) -> Length {
+        (self.lb)(v)
+    }
+    #[inline]
+    fn estimate(&self, v: NodeId) -> Estimate {
+        match (self.lb)(v) {
+            INFINITE_LENGTH => Estimate::Unreachable,
+            h => Estimate::Bound(h),
+        }
+    }
+}
+
+/// The queue entry: a subspace with either its known shortest path or just
+/// a lower bound (the paper's `⟨S, lb(S), P⟩` triple; the key lives in the
+/// heap).
+type Entry = (VertexId, Option<FoundPath>);
+
+/// Alg. 2. Streams paths into `sink` in non-decreasing length order.
+pub(crate) fn run_best_first<O: SubspaceOracle>(
+    ctx: &SubspaceCtx<'_>,
+    scratch: &mut SubspaceScratch,
+    tree: &mut PseudoTree,
+    oracle: &mut O,
+    sink: &mut dyn PathSink,
+    reverse_output: bool,
+    stats: &mut QueryStats,
+) {
+    let mut q: MinHeap<Length, Entry> = MinHeap::new();
+    let lb0 = comp_lb(ctx, scratch, tree, ROOT, &mut |v| oracle.lb_num(v), stats);
+    if lb0 != INFINITE_LENGTH {
+        q.push(lb0, (ROOT, None));
+    }
+    let mut more = true;
+    while more {
+        let Some((_, (vertex, payload))) = q.pop() else { break };
+        match payload {
+            Some(found) => {
+                more = emit(ctx, scratch, tree, oracle, found, &mut q, sink, reverse_output, stats);
+            }
+            None => {
+                match subspace_search(ctx, scratch, tree, vertex, &mut |v| oracle.estimate(v), None, stats) {
+                    SubspaceSearch::Found(f) => q.push(f.length, (vertex, Some(f))),
+                    SubspaceSearch::Bounded | SubspaceSearch::Empty => {}
+                }
+            }
+        }
+    }
+    stats.spt_nodes = stats.spt_nodes.max(oracle.spt_nodes());
+}
+
+/// Alg. 4. `init` is the query's first shortest path when the caller
+/// already computed it as a by-product (`SPT_P`/`SPT_I` construction);
+/// otherwise it is computed here with an unbounded subspace search.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_iter_bound<O: SubspaceOracle>(
+    ctx: &SubspaceCtx<'_>,
+    scratch: &mut SubspaceScratch,
+    tree: &mut PseudoTree,
+    oracle: &mut O,
+    sink: &mut dyn PathSink,
+    alpha: f64,
+    init: Option<FoundPath>,
+    reverse_output: bool,
+    stats: &mut QueryStats,
+) {
+    debug_assert!(alpha > 1.0, "α must exceed 1 (got {alpha})");
+    let init = init.or_else(|| {
+        match subspace_search(ctx, scratch, tree, ROOT, &mut |v| oracle.estimate(v), None, stats) {
+            SubspaceSearch::Found(f) => Some(f),
+            _ => None,
+        }
+    });
+    let Some(first) = init else {
+        stats.spt_nodes = stats.spt_nodes.max(oracle.spt_nodes());
+        return;
+    };
+    let mut q: MinHeap<Length, Entry> = MinHeap::new();
+    q.push(first.length, (ROOT, Some(first)));
+
+    let mut more = true;
+    while more {
+        let Some((key, (vertex, payload))) = q.pop() else { break };
+        match payload {
+            Some(found) => {
+                more = emit(ctx, scratch, tree, oracle, found, &mut q, sink, reverse_output, stats);
+            }
+            None => {
+                // Line 9: enlarge τ from the subspace's own bound and the
+                // best other bound in the queue.
+                let base = key.max(q.peek_key().unwrap_or(key));
+                let tau = next_tau(base, alpha);
+                stats.final_tau = stats.final_tau.max(tau);
+                oracle.prepare_tau(tau, stats);
+                match subspace_search(ctx, scratch, tree, vertex, &mut |v| oracle.estimate(v), Some(tau), stats) {
+                    SubspaceSearch::Found(f) => q.push(f.length, (vertex, Some(f))),
+                    SubspaceSearch::Bounded => q.push(tau, (vertex, None)),
+                    SubspaceSearch::Empty => {}
+                }
+            }
+        }
+    }
+    stats.spt_nodes = stats.spt_nodes.max(oracle.spt_nodes());
+}
+
+/// τ' = max(⌈α·base⌉, base+1): the paper's geometric growth, made strictly
+/// increasing under integer lengths. (`f64` rounding is harmless: any
+/// τ' > base preserves correctness, and real lengths stay far below 2^53.)
+fn next_tau(base: Length, alpha: f64) -> Length {
+    let scaled = (base as f64 * alpha).ceil() as Length;
+    scaled.max(base.saturating_add(1))
+}
+
+/// Shared emission step: divide the subspace, lower-bound and enqueue the
+/// affected subspaces (Alg. 2 lines 6–10), then deliver the path. Returns
+/// the sink's continue/stop verdict.
+#[allow(clippy::too_many_arguments)]
+fn emit<O: SubspaceOracle>(
+    ctx: &SubspaceCtx<'_>,
+    scratch: &mut SubspaceScratch,
+    tree: &mut PseudoTree,
+    oracle: &mut O,
+    found: FoundPath,
+    q: &mut MinHeap<Length, Entry>,
+    sink: &mut dyn PathSink,
+    reverse_output: bool,
+    stats: &mut QueryStats,
+) -> bool {
+    let emitted_len = found.length;
+    let affected = divide_subspace(ctx, tree, &found, stats);
+    for v in affected {
+        let lb = comp_lb(ctx, scratch, tree, v, &mut |x| oracle.lb_num(x), stats);
+        if lb != INFINITE_LENGTH {
+            // Line 9 of Alg. 2: no path in a sub-subspace can be shorter
+            // than the path just removed from it.
+            q.push(lb.max(emitted_len), (v, None));
+        }
+    }
+    sink.emit(found.into_path(reverse_output))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_tau_grows_strictly_and_geometrically() {
+        assert_eq!(next_tau(0, 1.1), 1);
+        assert_eq!(next_tau(10, 1.1), 11);
+        // f64 rounding may land on either side of the exact product; any
+        // value ≥ ⌈α·base⌉ − 1 and > base preserves correctness.
+        let t = next_tau(100, 1.1);
+        assert!((110..=111).contains(&t), "{t}");
+        let t = next_tau(100, 1.5);
+        assert!((150..=151).contains(&t), "{t}");
+        assert!(next_tau(Length::MAX - 1, 1.1) >= Length::MAX - 1);
+    }
+
+    // The paradigm loops themselves are exercised end-to-end through the
+    // `QueryEngine` tests in `engine.rs` and the workspace integration
+    // tests, which cross-check them against brute force on many graphs.
+}

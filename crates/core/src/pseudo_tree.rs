@@ -1,0 +1,272 @@
+//! The pseudo-tree (§3) — the trie of chosen paths — doubling as the
+//! subspace store of the best-first paradigm (§4.1).
+//!
+//! Each tree *vertex* `v` (the paper distinguishes tree vertices from graph
+//! nodes, since a graph node can appear many times) identifies the subspace
+//! `⟨P_{root,v}, X_v⟩` of Def. 4.1:
+//!
+//! * `P_{root,v}` — the node path from the tree root to `v` (the subspace
+//!   prefix). The root may be a *virtual* node (the virtual source of GKPJ
+//!   §6, or the virtual target `t` when the search runs on the reverse
+//!   graph in the `SPT_I` approach §5.3); virtual roots contribute no graph
+//!   node and no length.
+//! * `X_v` — the excluded continuation edges at `v`, stored as the set of
+//!   opposite endpoints (heads in forward mode, tails in reverse mode).
+//!   These are exactly the tree edges out of `v`, plus — via the
+//!   [`emitted`](PseudoTree::emitted) flag — the "edge to the virtual
+//!   terminal" that marks the prefix itself as already output.
+//!
+//! [`PseudoTree::divide`] implements the subspace division of §4.1: after
+//! the shortest path of the subspace at `u` is chosen, the subspace splits
+//! into the singleton (dropped), the regrown subspace at `u`, and one
+//! subspace per suffix node; `divide` performs the tree surgery and returns
+//! every vertex whose subspace must be (re)enqueued.
+
+use kpj_graph::{Length, NodeId};
+
+/// Sentinel graph node for virtual roots (never a valid id: the builder
+/// caps real graphs below `u32::MAX` nodes).
+pub const VIRTUAL_NODE: NodeId = NodeId::MAX;
+
+/// Identifier of a pseudo-tree vertex.
+pub type VertexId = u32;
+
+/// The root vertex id.
+pub const ROOT: VertexId = 0;
+
+/// See the module docs.
+#[derive(Debug, Clone)]
+pub struct PseudoTree {
+    node: Vec<NodeId>,
+    parent: Vec<VertexId>,
+    /// Length of the path from the root to this vertex.
+    prefix_len: Vec<Length>,
+    /// Depth in *graph nodes* (virtual root has depth 0, its children 1…).
+    depth: Vec<u32>,
+    /// `X_v`: opposite endpoints of excluded continuation edges.
+    excluded: Vec<Vec<NodeId>>,
+    /// True once the exact root→v path has been output as a result, i.e.
+    /// the "virtual terminal edge" at `v` is excluded.
+    emitted: Vec<bool>,
+}
+
+impl PseudoTree {
+    /// A tree containing only the root vertex for `root_node`
+    /// (pass [`VIRTUAL_NODE`] for a virtual root).
+    pub fn new(root_node: NodeId) -> Self {
+        let depth0 = u32::from(root_node != VIRTUAL_NODE);
+        PseudoTree {
+            node: vec![root_node],
+            parent: vec![VertexId::MAX],
+            prefix_len: vec![0],
+            depth: vec![depth0],
+            excluded: vec![Vec::new()],
+            emitted: vec![false],
+        }
+    }
+
+    /// Number of vertices (== number of subspaces ever created).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.node.len()
+    }
+
+    /// True if only the root exists.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.node.len() == 1
+    }
+
+    /// Graph node of vertex `v` ([`VIRTUAL_NODE`] for a virtual root).
+    #[inline]
+    pub fn node(&self, v: VertexId) -> NodeId {
+        self.node[v as usize]
+    }
+
+    /// Length of the root→`v` path.
+    #[inline]
+    pub fn prefix_len(&self, v: VertexId) -> Length {
+        self.prefix_len[v as usize]
+    }
+
+    /// Number of *graph* nodes on the root→`v` path.
+    #[cfg_attr(not(test), allow(dead_code))]
+    #[inline]
+    pub fn depth(&self, v: VertexId) -> u32 {
+        self.depth[v as usize]
+    }
+
+    /// The excluded continuation endpoints `X_v`.
+    #[inline]
+    pub fn excluded(&self, v: VertexId) -> &[NodeId] {
+        &self.excluded[v as usize]
+    }
+
+    /// Whether the exact root→`v` path has already been output.
+    #[inline]
+    pub fn emitted(&self, v: VertexId) -> bool {
+        self.emitted[v as usize]
+    }
+
+    /// The graph nodes of the root→`v` path, root side first, excluding a
+    /// virtual root.
+    pub fn path_nodes(&self, v: VertexId) -> Vec<NodeId> {
+        let mut nodes = Vec::with_capacity(self.depth[v as usize] as usize);
+        let mut cur = v;
+        loop {
+            let n = self.node[cur as usize];
+            if n != VIRTUAL_NODE {
+                nodes.push(n);
+            }
+            if cur == ROOT {
+                break;
+            }
+            cur = self.parent[cur as usize];
+        }
+        nodes.reverse();
+        nodes
+    }
+
+    /// Divide the subspace at `u` by its chosen shortest path (§4.1).
+    ///
+    /// `suffix` holds the path's nodes *after* `u` (empty when the chosen
+    /// path is exactly the prefix of `u`), each with the cumulative length
+    /// of the path up to and including that node. The division:
+    ///
+    /// 1. excludes the first suffix node at `u` (the subspace
+    ///    `⟨P_{s,u}, X_u ∪ {(u,w)}⟩`),
+    /// 2. grows a chain of new vertices for the suffix, each excluding its
+    ///    own continuation,
+    /// 3. marks the terminal vertex `emitted` (the singleton subspace
+    ///    `S_1 = {P}` is thereby removed from the search space).
+    ///
+    /// Returns the vertices whose subspaces must now be (re)enqueued: `u`
+    /// itself followed by every new vertex — the paper's "one subspace per
+    /// node of the subpath from `u` to the destination".
+    pub fn divide(&mut self, u: VertexId, suffix: &[(NodeId, Length)]) -> Vec<VertexId> {
+        let mut affected = Vec::with_capacity(suffix.len() + 1);
+        affected.push(u);
+        if suffix.is_empty() {
+            // The chosen path is the prefix itself: exclude only the
+            // virtual terminal edge.
+            debug_assert!(!self.emitted[u as usize], "path emitted twice from vertex {u}");
+            self.emitted[u as usize] = true;
+            return affected;
+        }
+        self.excluded[u as usize].push(suffix[0].0);
+        let mut parent = u;
+        for &(node, len) in suffix {
+            let id = self.node.len() as VertexId;
+            self.node.push(node);
+            self.parent.push(parent);
+            self.prefix_len.push(len);
+            self.depth.push(self.depth[parent as usize] + 1);
+            self.excluded.push(Vec::new());
+            self.emitted.push(false);
+            affected.push(id);
+            parent = id;
+        }
+        // Terminal vertex: its prefix is exactly the chosen path.
+        let last = *affected.last().expect("suffix non-empty");
+        self.emitted[last as usize] = true;
+        // Exclude each internal suffix vertex's continuation.
+        for w in affected[1..].windows(2) {
+            let (v, next) = (w[0], w[1]);
+            let next_node = self.node[next as usize];
+            self.excluded[v as usize].push(next_node);
+        }
+        affected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_root() {
+        let t = PseudoTree::new(5);
+        assert_eq!(t.node(ROOT), 5);
+        assert_eq!(t.prefix_len(ROOT), 0);
+        assert_eq!(t.depth(ROOT), 1);
+        assert_eq!(t.path_nodes(ROOT), vec![5]);
+        assert!(!t.emitted(ROOT));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn virtual_root_contributes_no_node() {
+        let t = PseudoTree::new(VIRTUAL_NODE);
+        assert_eq!(t.depth(ROOT), 0);
+        assert!(t.path_nodes(ROOT).is_empty());
+    }
+
+    #[test]
+    fn divide_builds_chain_and_exclusions() {
+        // Root s=0; chosen path 0 →(2) 1 →(5) 2.
+        let mut t = PseudoTree::new(0);
+        let affected = t.divide(ROOT, &[(1, 2), (2, 5)]);
+        assert_eq!(affected.len(), 3);
+        assert_eq!(affected[0], ROOT);
+        let v1 = affected[1];
+        let v2 = affected[2];
+        // Root now excludes the taken first hop.
+        assert_eq!(t.excluded(ROOT), &[1]);
+        // v1 excludes its continuation to node 2.
+        assert_eq!(t.node(v1), 1);
+        assert_eq!(t.excluded(v1), &[2]);
+        assert_eq!(t.prefix_len(v1), 2);
+        assert_eq!(t.depth(v1), 2);
+        // Terminal vertex is emitted with no exclusions.
+        assert_eq!(t.node(v2), 2);
+        assert!(t.excluded(v2).is_empty());
+        assert!(t.emitted(v2));
+        assert_eq!(t.prefix_len(v2), 5);
+        assert_eq!(t.path_nodes(v2), vec![0, 1, 2]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn divide_by_trivial_path_sets_emitted() {
+        let mut t = PseudoTree::new(3);
+        let affected = t.divide(ROOT, &[]);
+        assert_eq!(affected, vec![ROOT]);
+        assert!(t.emitted(ROOT));
+        assert!(t.excluded(ROOT).is_empty());
+    }
+
+    #[test]
+    fn second_division_at_same_vertex_grows_exclusions() {
+        let mut t = PseudoTree::new(0);
+        t.divide(ROOT, &[(1, 1)]);
+        t.divide(ROOT, &[(2, 4), (3, 6)]);
+        assert_eq!(t.excluded(ROOT), &[1, 2]);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn division_from_interior_vertex_inherits_prefix() {
+        let mut t = PseudoTree::new(0);
+        let a = t.divide(ROOT, &[(1, 1), (2, 3)]);
+        let v1 = a[1];
+        // Divide v1's subspace by path prefix(v1) + (4, len 8).
+        let b = t.divide(v1, &[(4, 8)]);
+        let v4 = b[1];
+        assert_eq!(t.path_nodes(v4), vec![0, 1, 4]);
+        assert_eq!(t.prefix_len(v4), 8);
+        assert_eq!(t.depth(v4), 3);
+        assert_eq!(t.excluded(v1), &[2, 4]);
+        assert!(t.emitted(v4));
+    }
+
+    #[test]
+    fn repeated_graph_node_in_tree_is_fine() {
+        // The same graph node may appear at several tree vertices.
+        let mut t = PseudoTree::new(0);
+        let a = t.divide(ROOT, &[(1, 1), (9, 2)]);
+        let b = t.divide(ROOT, &[(2, 1), (9, 2)]);
+        assert_eq!(t.node(a[2]), 9);
+        assert_eq!(t.node(b[2]), 9);
+        assert_ne!(a[2], b[2]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Brute-force reference implementation for testing.
+//!
+//! Enumerates *every* simple path from any source to any target by DFS and
+//! keeps the `k` shortest. Exponential — strictly for cross-checking the
+//! real algorithms on small graphs (the workspace integration tests and
+//! property tests run it on hundreds of random graphs with ≤ ~12 nodes).
+//!
+//! Conventions match the main algorithms: paths are node sequences, a
+//! parallel edge contributes its minimum weight, a source that is itself a
+//! target yields the zero-length trivial path, and paths may pass *through*
+//! targets (every prefix ending on a target is itself recorded).
+
+use kpj_graph::{Graph, Length, NodeId, Path};
+
+/// All simple source→target path lengths, sorted ascending.
+///
+/// # Panics
+/// Panics if more than `limit` paths exist (guard against accidentally
+/// running the enumerator on a non-toy graph).
+pub fn all_path_lengths(
+    g: &Graph,
+    sources: &[NodeId],
+    targets: &[NodeId],
+    limit: usize,
+) -> Vec<Length> {
+    all_paths(g, sources, targets, limit).into_iter().map(|p| p.length).collect()
+}
+
+/// All simple source→target paths, sorted by length.
+pub fn all_paths(g: &Graph, sources: &[NodeId], targets: &[NodeId], limit: usize) -> Vec<Path> {
+    let n = g.node_count();
+    let mut is_target = vec![false; n];
+    for &t in targets {
+        is_target[t as usize] = true;
+    }
+    let mut seen_source = vec![false; n];
+    let mut out = Vec::new();
+    for &s in sources {
+        if seen_source[s as usize] {
+            continue;
+        }
+        seen_source[s as usize] = true;
+        let mut visited = vec![false; n];
+        let mut stack = Vec::new();
+        dfs(g, s, 0, &is_target, &mut visited, &mut stack, &mut out, limit);
+    }
+    out.sort_by(|a, b| a.length.cmp(&b.length).then_with(|| a.nodes.cmp(&b.nodes)));
+    out
+}
+
+/// The reference answer for a (G)KPJ query: the `k` shortest lengths.
+pub fn top_k_lengths(g: &Graph, sources: &[NodeId], targets: &[NodeId], k: usize) -> Vec<Length> {
+    let mut lens = all_path_lengths(g, sources, targets, 5_000_000);
+    lens.truncate(k);
+    lens
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    g: &Graph,
+    v: NodeId,
+    len: Length,
+    is_target: &[bool],
+    visited: &mut [bool],
+    stack: &mut Vec<NodeId>,
+    out: &mut Vec<Path>,
+    limit: usize,
+) {
+    visited[v as usize] = true;
+    stack.push(v);
+    if is_target[v as usize] {
+        assert!(out.len() < limit, "path enumeration exceeded limit {limit}");
+        out.push(Path { nodes: stack.clone(), length: len });
+    }
+    // Each distinct head is expanded once, at its minimum parallel-edge
+    // weight, so each node sequence is recorded exactly once with its
+    // canonical length.
+    let edges = g.out_edges(v);
+    for (i, e) in edges.iter().enumerate() {
+        if visited[e.to as usize] || edges[..i].iter().any(|p| p.to == e.to) {
+            continue;
+        }
+        let w = edges[i..]
+            .iter()
+            .filter(|p| p.to == e.to)
+            .map(|p| p.weight)
+            .min()
+            .expect("at least e itself");
+        dfs(g, e.to, len + w as Length, is_target, visited, stack, out, limit);
+    }
+    stack.pop();
+    visited[v as usize] = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpj_graph::GraphBuilder;
+
+    #[test]
+    fn enumerates_diamond() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1).unwrap();
+        b.add_edge(1, 3, 2).unwrap();
+        b.add_edge(0, 2, 3).unwrap();
+        b.add_edge(2, 3, 4).unwrap();
+        let g = b.build();
+        assert_eq!(all_path_lengths(&g, &[0], &[3], 100), vec![3, 7]);
+        assert_eq!(top_k_lengths(&g, &[0], &[3], 1), vec![3]);
+    }
+
+    #[test]
+    fn records_paths_through_targets() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1).unwrap();
+        b.add_edge(1, 2, 1).unwrap();
+        let g = b.build();
+        assert_eq!(all_path_lengths(&g, &[0], &[1, 2], 100), vec![1, 2]);
+    }
+
+    #[test]
+    fn trivial_path_when_source_is_target() {
+        let mut b = GraphBuilder::new(2);
+        b.add_bidirectional(0, 1, 1).unwrap();
+        let g = b.build();
+        assert_eq!(all_path_lengths(&g, &[0], &[0, 1], 100), vec![0, 1]);
+    }
+
+    #[test]
+    fn duplicate_sources_counted_once_and_parallel_edges_min() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 5).unwrap();
+        b.add_edge(0, 1, 3).unwrap();
+        let g = b.build();
+        assert_eq!(all_path_lengths(&g, &[0, 0], &[1], 100), vec![3]);
+    }
+
+    #[test]
+    fn multi_source_enumerates_all() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 2, 1).unwrap();
+        b.add_edge(1, 2, 2).unwrap();
+        b.add_edge(2, 3, 1).unwrap();
+        let g = b.build();
+        assert_eq!(all_path_lengths(&g, &[0, 1], &[3], 100), vec![2, 3]);
+    }
+
+    #[test]
+    fn paths_are_simple_and_valid() {
+        let mut b = GraphBuilder::new(5);
+        for (u, v, w) in [(0, 1, 1), (1, 2, 1), (2, 0, 1), (1, 3, 1), (3, 4, 1), (2, 4, 5)] {
+            b.add_bidirectional(u, v, w).unwrap();
+        }
+        let g = b.build();
+        for p in all_paths(&g, &[0], &[4], 10_000) {
+            assert!(p.is_simple());
+            p.validate(&g).unwrap();
+        }
+    }
+}

@@ -1,0 +1,528 @@
+//! Direction-agnostic subspace machinery shared by every algorithm:
+//! subspace shortest-path search (`CompSP` / `TestLB` / candidate paths),
+//! subspace lower bounds (`CompLB` / `CompLB-SPTI`), and path assembly /
+//! division plumbing.
+//!
+//! A *mode* fixes the orientation once per query:
+//!
+//! * **forward** (`DA`, `DA-SPT`, `BestFirst`, `IterBound`, `IterBound-SPTP`):
+//!   the tree root is the source side (a real source or the GKPJ virtual
+//!   source), searches expand out-edges, and the goal set is `V_T`.
+//! * **reverse** (`IterBound-SPTI`, §5.3): the tree root is the virtual
+//!   target `t`, searches expand in-edges, and the goal set is the source
+//!   set `V_S` (usually `{s}`).
+//!
+//! Everything below is parameterized by [`Direction`], the root fan-out set
+//! (sources forward / targets reverse; virtual edges weigh 0), and the goal
+//! set, so the two orientations share one implementation.
+
+use kpj_graph::scratch::TimestampedSet;
+use kpj_graph::{Graph, Length, NodeId, Path, INFINITE_LENGTH};
+use kpj_sp::{Direction, Estimate, SearchOutcome, Searcher};
+
+use crate::pseudo_tree::{PseudoTree, VertexId, VIRTUAL_NODE};
+use crate::stats::QueryStats;
+
+/// Consumer of result paths, in non-decreasing length order.
+///
+/// [`emit`](PathSink::emit) returns `false` to stop the query early — the
+/// anytime interface behind [`QueryEngine::query_visit`]
+/// (`QueryEngine` collects into a bounded `Vec` through the same trait).
+///
+/// [`QueryEngine::query_visit`]: crate::QueryEngine::query_visit
+pub(crate) trait PathSink {
+    /// Deliver the next path; return `true` to keep the query running.
+    fn emit(&mut self, path: Path) -> bool;
+}
+
+/// The standard sink: collect up to `k` paths into a `Vec`.
+pub(crate) struct CollectSink {
+    pub paths: Vec<Path>,
+    pub k: usize,
+}
+
+impl CollectSink {
+    pub(crate) fn new(k: usize) -> Self {
+        CollectSink { paths: Vec::with_capacity(k.min(1024)), k }
+    }
+}
+
+impl PathSink for CollectSink {
+    fn emit(&mut self, path: Path) -> bool {
+        debug_assert!(self.paths.len() < self.k);
+        self.paths.push(path);
+        self.paths.len() < self.k
+    }
+}
+
+/// Adapter for user callbacks with a `k` cap.
+pub(crate) struct VisitSink<F: FnMut(Path) -> bool> {
+    pub f: F,
+    pub remaining: usize,
+}
+
+impl<F: FnMut(Path) -> bool> PathSink for VisitSink<F> {
+    fn emit(&mut self, path: Path) -> bool {
+        debug_assert!(self.remaining > 0);
+        self.remaining -= 1;
+        (self.f)(path) && self.remaining > 0
+    }
+}
+
+/// A path found in a subspace, ready for emission and division.
+#[derive(Debug, Clone)]
+pub(crate) struct FoundPath {
+    /// The complete node sequence in *tree orientation*: from the tree root
+    /// side to the goal side. (Reverse-mode callers flip it on emission.)
+    pub nodes: Vec<NodeId>,
+    /// Total length `ω(P)`.
+    pub length: Length,
+    /// The vertex whose subspace this path was found in.
+    pub vertex: VertexId,
+    /// Path nodes after the vertex, with cumulative lengths, as
+    /// [`PseudoTree::divide`] wants them.
+    pub suffix: Vec<(NodeId, Length)>,
+}
+
+impl FoundPath {
+    /// Convert to a public [`Path`], flipping reverse-mode node order.
+    pub fn into_path(self, reverse_output: bool) -> Path {
+        let mut nodes = self.nodes;
+        if reverse_output {
+            nodes.reverse();
+        }
+        Path { nodes, length: self.length }
+    }
+}
+
+/// Result of a subspace search.
+#[derive(Debug, Clone)]
+pub(crate) enum SubspaceSearch {
+    /// The subspace's shortest path (always when unbounded and non-empty;
+    /// when bounded, only if `ω(sp(S)) ≤ τ` — Lemma 5.1).
+    Found(FoundPath),
+    /// Bounded run proved `ω(sp(S)) > τ`.
+    Bounded,
+    /// The subspace contains no path at all — drop it (DESIGN.md §3).
+    Empty,
+}
+
+/// Per-query context shared by the subspace primitives.
+pub(crate) struct SubspaceCtx<'q> {
+    /// The graph.
+    pub g: &'q Graph,
+    /// Search orientation (see module docs).
+    pub direction: Direction,
+    /// Root fan-out endpoints reached by 0-weight virtual edges: the
+    /// sources (forward) or the targets (reverse). Only consulted when the
+    /// tree root is virtual.
+    pub fanout: &'q [NodeId],
+    /// Membership set of the goal side (`V_T` forward, `V_S` reverse).
+    pub goal_set: &'q TimestampedSet,
+    /// Number of goal-side nodes (`|V_T|` forward / `|V_S|` reverse);
+    /// used for the single-goal terminal-subspace optimization.
+    pub goal_count: usize,
+}
+
+/// Mutable scratch for the subspace primitives, owned by the engine.
+pub(crate) struct SubspaceScratch {
+    /// The shared constrained searcher.
+    pub searcher: Searcher,
+    /// Prefix membership marks, re-marked per primitive call.
+    pub prefix_set: TimestampedSet,
+}
+
+impl SubspaceScratch {
+    pub(crate) fn new(n: usize) -> Self {
+        SubspaceScratch { searcher: Searcher::new(n), prefix_set: TimestampedSet::new(n) }
+    }
+}
+
+/// Mark the prefix nodes of `vertex` into `prefix_set`.
+fn mark_prefix(tree: &PseudoTree, vertex: VertexId, prefix_set: &mut TimestampedSet) {
+    prefix_set.clear();
+    for n in tree.path_nodes(vertex) {
+        prefix_set.insert(n as usize);
+    }
+}
+
+/// `CompLB` (Alg. 3) / `CompLB-SPTI` (Alg. 8): a lower bound on the length
+/// of every path in the subspace at `vertex`, from one-hop look-ahead:
+/// `min over valid continuations (u,v): ω(prefix) + ω(u,v) + lb_num(v)`,
+/// additionally admitting the prefix itself when it already ends on the
+/// goal side and has not been emitted (a case Alg. 3 misses — DESIGN.md §3).
+///
+/// Returns [`INFINITE_LENGTH`] when the subspace is provably empty.
+pub(crate) fn comp_lb(
+    ctx: &SubspaceCtx<'_>,
+    scratch: &mut SubspaceScratch,
+    tree: &PseudoTree,
+    vertex: VertexId,
+    lb_num: &mut impl FnMut(NodeId) -> Length,
+    stats: &mut QueryStats,
+) -> Length {
+    stats.lower_bound_computations += 1;
+    mark_prefix(tree, vertex, &mut scratch.prefix_set);
+    let u = tree.node(vertex);
+    let plen = tree.prefix_len(vertex);
+    let excluded = tree.excluded(vertex);
+    let mut lb = INFINITE_LENGTH;
+    if u != VIRTUAL_NODE && ctx.goal_set.contains(u as usize) && !tree.emitted(vertex) {
+        lb = plen;
+    }
+    if u == VIRTUAL_NODE {
+        for &f in ctx.fanout {
+            if !excluded.contains(&f) {
+                lb = lb.min(lb_num(f));
+            }
+        }
+    } else {
+        for e in ctx.direction.edges(ctx.g, u) {
+            if scratch.prefix_set.contains(e.to as usize) || excluded.contains(&e.to) {
+                continue;
+            }
+            lb = lb.min(plen.saturating_add(e.weight as Length).saturating_add(lb_num(e.to)));
+        }
+    }
+    lb
+}
+
+/// `CompSP` (unbounded, `bound = None`) and `TestLB` (Alg. 5,
+/// `bound = Some(τ)`) in one: the constrained best-first search inside the
+/// subspace at `vertex`.
+///
+/// `estimate` supplies the heuristic / admissibility verdict per node (see
+/// [`Estimate`]); `Estimate::Deferred` implements the `SPT_I` pruning of
+/// §5.3 and keeps the outcome `Bounded` so the subspace is retried at a
+/// larger τ.
+pub(crate) fn subspace_search(
+    ctx: &SubspaceCtx<'_>,
+    scratch: &mut SubspaceScratch,
+    tree: &PseudoTree,
+    vertex: VertexId,
+    estimate: &mut impl FnMut(NodeId) -> Estimate,
+    bound: Option<Length>,
+    stats: &mut QueryStats,
+) -> SubspaceSearch {
+    if bound.is_some() {
+        stats.testlb_calls += 1;
+    } else {
+        stats.shortest_path_computations += 1;
+    }
+    mark_prefix(tree, vertex, &mut scratch.prefix_set);
+    let u = tree.node(vertex);
+    let plen = tree.prefix_len(vertex);
+    let excluded = tree.excluded(vertex);
+    let allow_trivial = !tree.emitted(vertex);
+
+    // Seeds: the vertex itself, or — for a virtual root — the non-excluded
+    // fan-out endpoints across 0-weight virtual edges.
+    let seeds: Vec<(NodeId, Length)> = if u == VIRTUAL_NODE {
+        ctx.fanout.iter().filter(|f| !excluded.contains(f)).map(|&f| (f, 0)).collect()
+    } else {
+        vec![(u, plen)]
+    };
+
+    let prefix_set = &scratch.prefix_set;
+    let goal_set = ctx.goal_set;
+    let outcome = scratch.searcher.search(
+        ctx.g,
+        ctx.direction,
+        seeds,
+        |from, e| {
+            !prefix_set.contains(e.to as usize) && (from != u || !excluded.contains(&e.to))
+        },
+        &mut *estimate,
+        |v| goal_set.contains(v as usize) && (v != u || allow_trivial),
+        bound,
+    );
+    stats.nodes_settled += scratch.searcher.settled_count();
+    stats.edges_relaxed += scratch.searcher.relaxed_edges();
+
+    match outcome {
+        SearchOutcome::Found { node, dist } => {
+            SubspaceSearch::Found(assemble(scratch, tree, vertex, node, dist))
+        }
+        SearchOutcome::ExhaustedBounded => {
+            stats.testlb_bounded += 1;
+            SubspaceSearch::Bounded
+        }
+        SearchOutcome::ExhaustedComplete => SubspaceSearch::Empty,
+    }
+}
+
+/// Build the [`FoundPath`] for goal node `goal` settled at `dist` by the
+/// searcher, relative to the subspace at `vertex`.
+fn assemble(
+    scratch: &SubspaceScratch,
+    tree: &PseudoTree,
+    vertex: VertexId,
+    goal: NodeId,
+    dist: Length,
+) -> FoundPath {
+    let u = tree.node(vertex);
+    // chain_to_root: goal, …, seed (seed == u for real vertices; a fan-out
+    // endpoint for a virtual root).
+    let mut chain = scratch.searcher.chain_to_root(goal);
+    chain.reverse(); // seed, …, goal
+
+    // Suffix after the vertex: the whole chain for a virtual root, else the
+    // chain minus the leading `u` itself.
+    let skip = usize::from(u != VIRTUAL_NODE);
+    let suffix: Vec<(NodeId, Length)> =
+        chain[skip..].iter().map(|&x| (x, scratch.searcher.dist(x))).collect();
+
+    // Full node sequence in tree orientation: tree prefix, then the chain.
+    let mut nodes = tree.path_nodes(vertex);
+    debug_assert!(u == VIRTUAL_NODE || nodes.last() == Some(&u));
+    if u != VIRTUAL_NODE {
+        nodes.pop();
+    }
+    nodes.extend_from_slice(&chain);
+
+    FoundPath { nodes, length: dist, vertex, suffix }
+}
+
+/// Divide the subspace of `found` and return the vertices to (re)enqueue,
+/// skipping provably useless emitted-terminal subspaces when the goal side
+/// is a single node — such a subspace could only extend *through* that node
+/// back to itself, which is never simple.
+pub(crate) fn divide_subspace(
+    ctx: &SubspaceCtx<'_>,
+    tree: &mut PseudoTree,
+    found: &FoundPath,
+    stats: &mut QueryStats,
+) -> Vec<VertexId> {
+    let mut affected = tree.divide(found.vertex, &found.suffix);
+    stats.subspaces_created += affected.len().saturating_sub(1);
+    if ctx.goal_count == 1 {
+        affected.retain(|&v| !tree.emitted(v));
+    }
+    affected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pseudo_tree::ROOT;
+    use kpj_graph::GraphBuilder;
+
+    /// Line 0-1-2-3 (unit weights, bidirectional) with targets {3}.
+    fn fixture() -> (Graph, TimestampedSet) {
+        let mut b = GraphBuilder::new(4);
+        for i in 0..3u32 {
+            b.add_bidirectional(i, i + 1, 1).unwrap();
+        }
+        let g = b.build();
+        let mut goal = TimestampedSet::new(4);
+        goal.insert(3);
+        (g, goal)
+    }
+
+    fn zero_est(_: NodeId) -> Estimate {
+        Estimate::Bound(0)
+    }
+
+    #[test]
+    fn comp_sp_finds_path_and_assembles_suffix() {
+        let (g, goal_set) = fixture();
+        let ctx = SubspaceCtx {
+            g: &g,
+            direction: Direction::Forward,
+            fanout: &[],
+            goal_set: &goal_set,
+            goal_count: 1,
+        };
+        let mut scratch = SubspaceScratch::new(4);
+        let tree = PseudoTree::new(0);
+        let mut stats = QueryStats::default();
+        let r = subspace_search(&ctx, &mut scratch, &tree, ROOT, &mut zero_est, None, &mut stats);
+        let SubspaceSearch::Found(f) = r else { panic!("expected Found, got {r:?}") };
+        assert_eq!(f.nodes, vec![0, 1, 2, 3]);
+        assert_eq!(f.length, 3);
+        assert_eq!(f.suffix, vec![(1, 1), (2, 2), (3, 3)]);
+        assert_eq!(stats.shortest_path_computations, 1);
+    }
+
+    #[test]
+    fn testlb_bounded_vs_found_vs_empty() {
+        let (g, goal_set) = fixture();
+        let ctx = SubspaceCtx {
+            g: &g,
+            direction: Direction::Forward,
+            fanout: &[],
+            goal_set: &goal_set,
+            goal_count: 1,
+        };
+        let mut scratch = SubspaceScratch::new(4);
+        let tree = PseudoTree::new(0);
+        let mut stats = QueryStats::default();
+        let r = subspace_search(&ctx, &mut scratch, &tree, ROOT, &mut zero_est, Some(2), &mut stats);
+        assert!(matches!(r, SubspaceSearch::Bounded), "{r:?}");
+        let r = subspace_search(&ctx, &mut scratch, &tree, ROOT, &mut zero_est, Some(3), &mut stats);
+        assert!(matches!(r, SubspaceSearch::Found(_)), "{r:?}");
+
+        // Unreachable goal set: search a tree rooted at an isolated node.
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(1, 1, 1).unwrap(); // keep node 1 non-trivial
+        let g2 = b.build();
+        let mut goal2 = TimestampedSet::new(2);
+        goal2.insert(1);
+        let ctx2 = SubspaceCtx {
+            g: &g2,
+            direction: Direction::Forward,
+            fanout: &[],
+            goal_set: &goal2,
+            goal_count: 1,
+        };
+        let tree2 = PseudoTree::new(0);
+        let r = subspace_search(&ctx2, &mut scratch, &tree2, ROOT, &mut zero_est, Some(100), &mut stats);
+        assert!(matches!(r, SubspaceSearch::Empty), "{r:?}");
+    }
+
+    #[test]
+    fn emitted_vertex_suppresses_trivial_path() {
+        let (g, mut goal_set) = fixture();
+        goal_set.insert(0); // source is also a target
+        let ctx = SubspaceCtx {
+            g: &g,
+            direction: Direction::Forward,
+            fanout: &[],
+            goal_set: &goal_set,
+            goal_count: 2,
+        };
+        let mut scratch = SubspaceScratch::new(4);
+        let mut tree = PseudoTree::new(0);
+        let mut stats = QueryStats::default();
+        // First search finds the zero-length trivial path (0).
+        let r = subspace_search(&ctx, &mut scratch, &tree, ROOT, &mut zero_est, None, &mut stats);
+        let SubspaceSearch::Found(f) = r else { panic!("{r:?}") };
+        assert_eq!(f.nodes, vec![0]);
+        assert_eq!(f.length, 0);
+        assert!(f.suffix.is_empty());
+        // Divide (marks ROOT emitted) and search again: now the next path.
+        tree.divide(ROOT, &f.suffix);
+        let r = subspace_search(&ctx, &mut scratch, &tree, ROOT, &mut zero_est, None, &mut stats);
+        let SubspaceSearch::Found(f2) = r else { panic!("{r:?}") };
+        assert_eq!(f2.nodes, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn virtual_root_fanout_seeds_and_assembly() {
+        let (g, goal_set) = fixture();
+        let fanout = [0u32, 2];
+        let ctx = SubspaceCtx {
+            g: &g,
+            direction: Direction::Forward,
+            fanout: &fanout,
+            goal_set: &goal_set,
+            goal_count: 1,
+        };
+        let mut scratch = SubspaceScratch::new(4);
+        let tree = PseudoTree::new(VIRTUAL_NODE);
+        let mut stats = QueryStats::default();
+        let r = subspace_search(&ctx, &mut scratch, &tree, ROOT, &mut zero_est, None, &mut stats);
+        let SubspaceSearch::Found(f) = r else { panic!("{r:?}") };
+        // Nearer source 2 wins: path 2 → 3.
+        assert_eq!(f.nodes, vec![2, 3]);
+        assert_eq!(f.length, 1);
+        assert_eq!(f.suffix, vec![(2, 0), (3, 1)]);
+    }
+
+    #[test]
+    fn excluded_fanout_is_not_seeded() {
+        let (g, goal_set) = fixture();
+        let fanout = [0u32, 2];
+        let ctx = SubspaceCtx {
+            g: &g,
+            direction: Direction::Forward,
+            fanout: &fanout,
+            goal_set: &goal_set,
+            goal_count: 1,
+        };
+        let mut scratch = SubspaceScratch::new(4);
+        let mut tree = PseudoTree::new(VIRTUAL_NODE);
+        // Simulate having taken first-hop 2 already.
+        tree.divide(ROOT, &[(2, 0), (3, 1)]);
+        let mut stats = QueryStats::default();
+        let r = subspace_search(&ctx, &mut scratch, &tree, ROOT, &mut zero_est, None, &mut stats);
+        let SubspaceSearch::Found(f) = r else { panic!("{r:?}") };
+        assert_eq!(f.nodes, vec![0, 1, 2, 3]);
+        assert_eq!(f.length, 3);
+    }
+
+    #[test]
+    fn comp_lb_one_hop_bound_and_trivial() {
+        let (g, goal_set) = fixture();
+        let ctx = SubspaceCtx {
+            g: &g,
+            direction: Direction::Forward,
+            fanout: &[],
+            goal_set: &goal_set,
+            goal_count: 1,
+        };
+        let mut scratch = SubspaceScratch::new(4);
+        let tree = PseudoTree::new(0);
+        let mut stats = QueryStats::default();
+        // lb_num = exact remaining distances: lb must equal true sp length.
+        let exact = [3u64, 2, 1, 0];
+        let lb = comp_lb(&ctx, &mut scratch, &tree, ROOT, &mut |v| exact[v as usize], &mut stats);
+        assert_eq!(lb, 3);
+        // With zero bounds: one-hop look-ahead gives weight of first edge.
+        let lb0 = comp_lb(&ctx, &mut scratch, &tree, ROOT, &mut |_| 0, &mut stats);
+        assert_eq!(lb0, 1);
+
+        // Trivial membership: root at a goal node, not yet emitted.
+        let tree3 = PseudoTree::new(3);
+        let lb3 = comp_lb(&ctx, &mut scratch, &tree3, ROOT, &mut |_| 0, &mut stats);
+        assert_eq!(lb3, 0);
+    }
+
+    #[test]
+    fn reverse_direction_search_reaches_sources() {
+        let (g, _) = fixture();
+        let mut goal = TimestampedSet::new(4);
+        goal.insert(0); // goal side = source {0}
+        let fanout = [3u32]; // virtual target fan-out = V_T
+        let ctx = SubspaceCtx {
+            g: &g,
+            direction: Direction::Backward,
+            fanout: &fanout,
+            goal_set: &goal,
+            goal_count: 1,
+        };
+        let mut scratch = SubspaceScratch::new(4);
+        let tree = PseudoTree::new(VIRTUAL_NODE);
+        let mut stats = QueryStats::default();
+        let r = subspace_search(&ctx, &mut scratch, &tree, ROOT, &mut zero_est, None, &mut stats);
+        let SubspaceSearch::Found(f) = r else { panic!("{r:?}") };
+        // Tree orientation: target-first; flipped on output.
+        assert_eq!(f.nodes, vec![3, 2, 1, 0]);
+        let p = f.into_path(true);
+        assert_eq!(p.nodes, vec![0, 1, 2, 3]);
+        assert_eq!(p.length, 3);
+    }
+
+    #[test]
+    fn divide_subspace_skips_single_goal_terminals() {
+        let (g, goal_set) = fixture();
+        let ctx = SubspaceCtx {
+            g: &g,
+            direction: Direction::Forward,
+            fanout: &[],
+            goal_set: &goal_set,
+            goal_count: 1,
+        };
+        let mut scratch = SubspaceScratch::new(4);
+        let mut tree = PseudoTree::new(0);
+        let mut stats = QueryStats::default();
+        let r = subspace_search(&ctx, &mut scratch, &tree, ROOT, &mut zero_est, None, &mut stats);
+        let SubspaceSearch::Found(f) = r else { panic!("{r:?}") };
+        let queued = divide_subspace(&ctx, &mut tree, &f, &mut stats);
+        // Path 0-1-2-3 creates vertices for 1,2,3 plus re-queues ROOT; the
+        // terminal (emitted, single goal) is skipped → ROOT, v1, v2.
+        assert_eq!(queued.len(), 3);
+        assert_eq!(queued[0], ROOT);
+        assert_eq!(stats.subspaces_created, 3);
+    }
+}

@@ -1,0 +1,291 @@
+//! The incremental shortest-path tree `SPT_I` (§5.3, Alg. 7).
+//!
+//! `SPT_I` is a *forward* SPT from the source side, grown lazily: the
+//! initial phase is the A\* computing the first shortest path (stopping at
+//! the first settled destination), and afterwards [`SptiStore::grow`] keeps
+//! settling nodes while the frontier key `d_s(v) + lb(v, V_T)` is at most
+//! the current threshold τ. Prop. 5.2 then guarantees `SPT_I` contains
+//! every node of every source→`V_T` path of length ≤ τ, which lets the
+//! reverse-graph subspace searches prune all nodes outside `SPT_I` and use
+//! the *exact* `d_s(v)` as the source-side bound.
+//!
+//! The queue `Q_T` persists across `grow` calls within one query; a reset
+//! is `O(touched)`.
+
+use kpj_graph::scratch::{TimestampedMap, TimestampedSet};
+use kpj_graph::{Graph, Length, NodeId, INFINITE_LENGTH};
+use kpj_heap::IndexedMinHeap;
+use kpj_sp::NO_PARENT;
+
+use crate::bounds::TargetsLb;
+use crate::pseudo_tree::ROOT;
+use crate::search_core::FoundPath;
+use crate::stats::QueryStats;
+
+/// Engine-owned `SPT_I` state (see module docs).
+#[derive(Debug)]
+pub(crate) struct SptiStore {
+    heap: IndexedMinHeap<Length>,
+    /// Exact `d_s(v) = δ(sources, v)` for settled nodes; tentative labels
+    /// for frontier nodes.
+    dist: TimestampedMap<Length>,
+    parent: TimestampedMap<NodeId>,
+    settled: TimestampedSet,
+    /// `D`: destinations currently inside `SPT_I` (Alg. 7 line 4).
+    dest_in_spt: Vec<NodeId>,
+    /// The frontier is exhausted: `SPT_I` covers everything reachable.
+    complete: bool,
+    settled_count: usize,
+}
+
+impl SptiStore {
+    pub(crate) fn new(n: usize) -> Self {
+        SptiStore {
+            heap: IndexedMinHeap::new(n),
+            dist: TimestampedMap::new(n, INFINITE_LENGTH),
+            parent: TimestampedMap::new(n, NO_PARENT),
+            settled: TimestampedSet::new(n),
+            dest_in_spt: Vec::new(),
+            complete: false,
+            settled_count: 0,
+        }
+    }
+
+    /// Phase 1 (initial `SPT_I`): A\* from the sources until the first
+    /// destination settles; that settles the query's shortest path, which
+    /// is returned as a reverse-orientation [`FoundPath`] (anchored at the
+    /// virtual-target root). `None` when `V_T` is unreachable — the store
+    /// is then `complete` and empty of destinations.
+    pub(crate) fn init(
+        &mut self,
+        g: &Graph,
+        sources: &[NodeId],
+        target_set: &TimestampedSet,
+        to_targets: &TargetsLb<'_>,
+        stats: &mut QueryStats,
+    ) -> Option<FoundPath> {
+        self.heap.clear();
+        self.dist.reset();
+        self.parent.reset();
+        self.settled.clear();
+        self.dest_in_spt.clear();
+        self.complete = false;
+        self.settled_count = 0;
+
+        for &s in sources {
+            let h = to_targets.lb(s);
+            if h == INFINITE_LENGTH {
+                continue;
+            }
+            if self.dist.get(s as usize) > 0 {
+                self.dist.set(s as usize, 0);
+                self.heap.push_or_decrease(s as usize, h);
+            }
+        }
+
+        loop {
+            match self.settle_one(g, target_set, to_targets) {
+                None => {
+                    self.complete = true;
+                    stats.nodes_settled += self.settled_count;
+                    return None;
+                }
+                Some(v) if target_set.contains(v as usize) => {
+                    stats.nodes_settled += self.settled_count;
+                    return Some(self.initial_found_path(v));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Alg. 7: settle while the frontier key is ≤ `tau`.
+    pub(crate) fn grow(
+        &mut self,
+        g: &Graph,
+        tau: Length,
+        target_set: &TimestampedSet,
+        to_targets: &TargetsLb<'_>,
+        stats: &mut QueryStats,
+    ) {
+        let before = self.settled_count;
+        while let Some((_, key)) = self.heap.peek() {
+            if key > tau {
+                break;
+            }
+            if self.settle_one(g, target_set, to_targets).is_none() {
+                break;
+            }
+        }
+        if self.heap.is_empty() {
+            self.complete = true;
+        }
+        stats.nodes_settled += self.settled_count - before;
+    }
+
+    /// Pop and settle one node, relaxing its out-edges; returns it.
+    fn settle_one(
+        &mut self,
+        g: &Graph,
+        target_set: &TimestampedSet,
+        to_targets: &TargetsLb<'_>,
+    ) -> Option<NodeId> {
+        let (u, _) = self.heap.pop()?;
+        self.settled.insert(u);
+        self.settled_count += 1;
+        if target_set.contains(u) {
+            self.dest_in_spt.push(u as NodeId);
+        }
+        let du = self.dist.get(u);
+        for e in g.out_edges(u as NodeId) {
+            let w = e.to as usize;
+            if self.settled.contains(w) {
+                continue;
+            }
+            let nd = du + e.weight as Length;
+            if nd < self.dist.get(w) {
+                let h = to_targets.lb(e.to);
+                if h == INFINITE_LENGTH {
+                    continue;
+                }
+                self.dist.set(w, nd);
+                self.parent.set(w, u as NodeId);
+                self.heap.push_or_decrease(w, nd.saturating_add(h));
+            }
+        }
+        Some(u as NodeId)
+    }
+
+    /// The reverse-orientation initial path ending at destination `d`.
+    fn initial_found_path(&self, d: NodeId) -> FoundPath {
+        let total = self.dist.get(d as usize);
+        // Walk parents back to the source: d, …, s — which *is* the tree
+        // orientation (virtual target root first).
+        let mut nodes = vec![d];
+        let mut cur = d;
+        while self.parent.get(cur as usize) != NO_PARENT {
+            cur = self.parent.get(cur as usize);
+            nodes.push(cur);
+        }
+        // Cumulative lengths from the virtual target side.
+        let suffix = nodes.iter().map(|&x| (x, total - self.dist.get(x as usize))).collect();
+        FoundPath { nodes, length: total, vertex: ROOT, suffix }
+    }
+
+    /// Exact `d_s(v)` if `v` is in `SPT_I`.
+    #[inline]
+    pub(crate) fn exact_dist(&self, v: NodeId) -> Option<Length> {
+        if self.settled.contains(v as usize) {
+            Some(self.dist.get(v as usize))
+        } else {
+            None
+        }
+    }
+
+    /// True once the frontier is exhausted (`SPT_I` is maximal).
+    #[inline]
+    pub(crate) fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// The destinations currently inside `SPT_I` (the set `D` of Alg. 7).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn destinations(&self) -> &[NodeId] {
+        &self.dest_in_spt
+    }
+
+    /// Number of nodes in `SPT_I`.
+    pub(crate) fn len(&self) -> usize {
+        self.settled_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpj_graph::GraphBuilder;
+
+    /// 0—1—2—3 line (unit weights) plus branch 1—4 (weight 5), 4—5 (5).
+    fn fixture() -> (Graph, TimestampedSet) {
+        let mut b = GraphBuilder::new(6);
+        for i in 0..3u32 {
+            b.add_bidirectional(i, i + 1, 1).unwrap();
+        }
+        b.add_bidirectional(1, 4, 5).unwrap();
+        b.add_bidirectional(4, 5, 5).unwrap();
+        let g = b.build();
+        let mut ts = TimestampedSet::new(6);
+        ts.insert(3);
+        ts.insert(5);
+        (g, ts)
+    }
+
+    #[test]
+    fn init_finds_shortest_path_in_reverse_orientation() {
+        let (g, ts) = fixture();
+        let mut store = SptiStore::new(6);
+        let mut stats = QueryStats::default();
+        let f = store.init(&g, &[0], &ts, &TargetsLb::Zero, &mut stats).expect("path");
+        assert_eq!(f.nodes, vec![3, 2, 1, 0]);
+        assert_eq!(f.length, 3);
+        assert_eq!(f.suffix, vec![(3, 0), (2, 1), (1, 2), (0, 3)]);
+        assert_eq!(store.destinations(), &[3]);
+        assert!(!store.is_complete());
+        assert_eq!(store.exact_dist(0), Some(0));
+        assert_eq!(store.exact_dist(3), Some(3));
+        assert_eq!(store.exact_dist(5), None);
+    }
+
+    #[test]
+    fn grow_extends_to_tau_and_completes() {
+        let (g, ts) = fixture();
+        let mut store = SptiStore::new(6);
+        let mut stats = QueryStats::default();
+        store.init(&g, &[0], &ts, &TargetsLb::Zero, &mut stats).unwrap();
+        // Node 4 is at d_s = 6, node 5 at 11 (keys with zero bounds).
+        store.grow(&g, 6, &ts, &TargetsLb::Zero, &mut stats);
+        assert_eq!(store.exact_dist(4), Some(6));
+        assert_eq!(store.exact_dist(5), None);
+        store.grow(&g, 100, &ts, &TargetsLb::Zero, &mut stats);
+        assert_eq!(store.exact_dist(5), Some(11));
+        assert!(store.is_complete());
+        assert_eq!(store.destinations(), &[3, 5]);
+        assert_eq!(store.len(), 6);
+    }
+
+    #[test]
+    fn unreachable_targets_complete_with_none() {
+        let mut b = GraphBuilder::new(3);
+        b.add_bidirectional(0, 1, 1).unwrap();
+        let g = b.build();
+        let mut ts = TimestampedSet::new(3);
+        ts.insert(2);
+        let mut store = SptiStore::new(3);
+        let mut stats = QueryStats::default();
+        assert!(store.init(&g, &[0], &ts, &TargetsLb::Zero, &mut stats).is_none());
+        assert!(store.is_complete());
+        assert!(store.destinations().is_empty());
+    }
+
+    #[test]
+    fn multi_source_init_uses_nearest_source() {
+        let (g, ts) = fixture();
+        let mut store = SptiStore::new(6);
+        let mut stats = QueryStats::default();
+        let f = store.init(&g, &[0, 2], &ts, &TargetsLb::Zero, &mut stats).expect("path");
+        assert_eq!(f.nodes, vec![3, 2]);
+        assert_eq!(f.length, 1);
+    }
+
+    #[test]
+    fn source_in_targets_gives_trivial_reverse_path() {
+        let (g, mut ts) = fixture();
+        ts.insert(0);
+        let mut store = SptiStore::new(6);
+        let mut stats = QueryStats::default();
+        let f = store.init(&g, &[0], &ts, &TargetsLb::Zero, &mut stats).expect("path");
+        assert_eq!(f.nodes, vec![0]);
+        assert_eq!(f.length, 0);
+        assert_eq!(f.suffix, vec![(0, 0)]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Per-query instrumentation counters.
+//!
+//! The paper's performance arguments are about *how much work* each
+//! paradigm does (number of shortest-path computations, exploration area
+//! `n'`/`m'`, SPT sizes). These counters let the benches and EXPERIMENTS.md
+//! report those quantities directly instead of inferring them from wall
+//! time.
+
+/// Counters accumulated while answering one query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Full (unbounded) shortest-path computations in subspaces
+    /// (`CompSP` calls / candidate-path computations in the deviation
+    /// baselines). The best-first paradigm's whole point is making this
+    /// smaller than the deviation paradigm's `O(k·n)`.
+    pub shortest_path_computations: usize,
+    /// Cheap lower-bound computations (`CompLB` / `CompLB-SPTI` calls).
+    pub lower_bound_computations: usize,
+    /// `TestLB` invocations (iteratively bounding approaches only).
+    pub testlb_calls: usize,
+    /// `TestLB` invocations that came back "bounded" (ω(sp) > τ).
+    pub testlb_bounded: usize,
+    /// Total nodes settled across every search run for the query (the
+    /// aggregate exploration area).
+    pub nodes_settled: usize,
+    /// Total edges relaxed across every search.
+    pub edges_relaxed: usize,
+    /// Nodes in the shortest-path tree this algorithm built, if any:
+    /// the full reverse SPT (DA-SPT), `SPT_P`, or the final `SPT_I`.
+    pub spt_nodes: usize,
+    /// Number of subspaces ever created (pseudo-tree vertices).
+    pub subspaces_created: usize,
+    /// Final value of the iterative threshold τ (0 when not applicable).
+    pub final_tau: u64,
+}
+
+impl QueryStats {
+    /// Merge counters from a sub-search (used by composite runs).
+    pub fn absorb(&mut self, other: &QueryStats) {
+        self.shortest_path_computations += other.shortest_path_computations;
+        self.lower_bound_computations += other.lower_bound_computations;
+        self.testlb_calls += other.testlb_calls;
+        self.testlb_bounded += other.testlb_bounded;
+        self.nodes_settled += other.nodes_settled;
+        self.edges_relaxed += other.edges_relaxed;
+        self.spt_nodes = self.spt_nodes.max(other.spt_nodes);
+        self.subspaces_created += other.subspaces_created;
+        self.final_tau = self.final_tau.max(other.final_tau);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_counters_and_maxes_spt() {
+        let mut a = QueryStats { shortest_path_computations: 2, spt_nodes: 10, ..Default::default() };
+        let b = QueryStats {
+            shortest_path_computations: 3,
+            testlb_calls: 1,
+            spt_nodes: 7,
+            final_tau: 99,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.shortest_path_computations, 5);
+        assert_eq!(a.testlb_calls, 1);
+        assert_eq!(a.spt_nodes, 10);
+        assert_eq!(a.final_tau, 99);
+    }
+}

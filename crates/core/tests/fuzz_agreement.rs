@@ -1,0 +1,132 @@
+//! Randomized cross-validation: every algorithm × {with, without landmarks}
+//! must return exactly the brute-force top-k length multiset on hundreds of
+//! random graphs, with simple, valid paths in non-decreasing order.
+
+use kpj_core::{reference, Algorithm, QueryEngine};
+use kpj_graph::{Graph, GraphBuilder, Length, NodeId};
+use kpj_landmark::{LandmarkIndex, SelectionStrategy};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_graph(rng: &mut SmallRng, n: u32, m: usize, max_w: u32, bidir: bool) -> Graph {
+    let mut b = GraphBuilder::new(n as usize);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let w = rng.gen_range(0..=max_w);
+        if bidir {
+            b.add_bidirectional(u, v, w).unwrap();
+        } else {
+            b.add_edge(u, v, w).unwrap();
+        }
+    }
+    b.build()
+}
+
+fn check_query(
+    g: &Graph,
+    idx: &LandmarkIndex,
+    sources: &[NodeId],
+    targets: &[NodeId],
+    k: usize,
+    seed_info: &str,
+) {
+    let expect = reference::top_k_lengths(g, sources, targets, k);
+    for with_lm in [false, true] {
+        let mut engine = QueryEngine::new(g);
+        if with_lm {
+            engine = engine.with_landmarks(idx);
+        }
+        for alg in Algorithm::ALL {
+            let r = engine.query_multi(alg, sources, targets, k).unwrap();
+            let got: Vec<Length> = r.paths.iter().map(|p| p.length).collect();
+            assert_eq!(
+                got, expect,
+                "{} landmarks={with_lm} {seed_info} sources={sources:?} targets={targets:?} k={k}",
+                alg.name()
+            );
+            // Structural invariants.
+            let mut seen = std::collections::HashSet::new();
+            for p in &r.paths {
+                p.validate(g).unwrap_or_else(|e| panic!("{} {seed_info}: {e}", alg.name()));
+                assert!(p.is_simple(), "{} {seed_info}: non-simple {:?}", alg.name(), p.nodes);
+                assert!(sources.contains(&p.source()), "{} {seed_info}", alg.name());
+                assert!(targets.contains(&p.destination()), "{} {seed_info}", alg.name());
+                assert!(seen.insert(p.nodes.clone()), "{} {seed_info}: duplicate path", alg.name());
+            }
+            assert!(r.paths.windows(2).all(|w| w[0].length <= w[1].length));
+        }
+    }
+}
+
+fn fuzz(seed_base: u64, rounds: usize, bidir: bool, max_w: u32) {
+    for round in 0..rounds {
+        let seed = seed_base + round as u64;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = rng.gen_range(2..=10u32);
+        let m = rng.gen_range(1..=(n as usize * 3));
+        let g = random_graph(&mut rng, n, m, max_w, bidir);
+        let idx = LandmarkIndex::build(&g, 3.min(n as usize), SelectionStrategy::Farthest, seed);
+
+        let n_targets = rng.gen_range(1..=3.min(n)) as usize;
+        let targets: Vec<NodeId> = (0..n_targets).map(|_| rng.gen_range(0..n)).collect();
+        let source = rng.gen_range(0..n);
+        let k = rng.gen_range(1..=8usize);
+        let info = format!("seed={seed}");
+        check_query(&g, &idx, &[source], &targets, k, &info);
+
+        // Every other round, also a GKPJ query.
+        if round % 2 == 0 {
+            let n_sources = rng.gen_range(2..=3.min(n)) as usize;
+            let sources: Vec<NodeId> = (0..n_sources).map(|_| rng.gen_range(0..n)).collect();
+            check_query(&g, &idx, &sources, &targets, k, &info);
+        }
+    }
+}
+
+#[test]
+fn agrees_with_brute_force_on_sparse_directed_graphs() {
+    fuzz(1_000, 150, false, 20);
+}
+
+#[test]
+fn agrees_with_brute_force_on_bidirectional_graphs() {
+    fuzz(2_000, 150, true, 20);
+}
+
+#[test]
+fn agrees_with_brute_force_with_zero_weights() {
+    fuzz(3_000, 100, false, 2);
+}
+
+#[test]
+fn agrees_with_brute_force_on_dense_graphs() {
+    for round in 0..60u64 {
+        let seed = 4_000 + round;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = rng.gen_range(4..=8u32);
+        let g = random_graph(&mut rng, n, n as usize * 6, 10, false);
+        let idx = LandmarkIndex::build(&g, 2, SelectionStrategy::Random, seed);
+        let targets: Vec<NodeId> = vec![rng.gen_range(0..n), rng.gen_range(0..n)];
+        let source = rng.gen_range(0..n);
+        check_query(&g, &idx, &[source], &targets, 12, &format!("seed={seed}"));
+    }
+}
+
+#[test]
+fn large_k_exhausts_all_paths() {
+    // Ask for far more paths than exist; every algorithm must terminate
+    // and return the complete enumeration.
+    for seed in 0..40u64 {
+        let mut rng = SmallRng::seed_from_u64(9_000 + seed);
+        let n = rng.gen_range(2..=7u32);
+        let g = random_graph(&mut rng, n, n as usize * 2, 9, true);
+        let idx = LandmarkIndex::build(&g, 2, SelectionStrategy::Farthest, seed);
+        let source = rng.gen_range(0..n);
+        let target = rng.gen_range(0..n);
+        check_query(&g, &idx, &[source], &[target], 10_000, &format!("seed={seed}"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Compact binary (de)serialization for [`Graph`].
+//!
+//! The repro harness regenerates multi-million-node synthetic datasets and
+//! landmark tables; caching them between runs needs a format that loads at
+//! memory speed. This is a trivial little-endian dump of the CSR arrays
+//! with a magic/version header — byte-for-byte reproducible, no external
+//! dependencies, bounds-checked on load.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic   8 bytes  "KPJGRAPH"
+//! version u32      1
+//! n       u64      node count
+//! m       u64      edge count
+//! out_offsets  (n+1) × u32
+//! out_edges    m × (u32 to, u32 weight)
+//! ```
+//!
+//! The reverse CSR is rebuilt on load (cheaper than storing it).
+
+use std::io::{BufReader, BufWriter, Read, Write};
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::error::GraphError;
+
+const MAGIC: &[u8; 8] = b"KPJGRAPH";
+const VERSION: u32 = 1;
+
+/// Serialize `g` into `w` (see the module docs for the layout).
+pub fn write_binary<W: Write>(g: &Graph, w: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(g.node_count() as u64).to_le_bytes())?;
+    w.write_all(&(g.edge_count() as u64).to_le_bytes())?;
+    let mut offset = 0u32;
+    w.write_all(&offset.to_le_bytes())?;
+    for u in g.nodes() {
+        offset += g.out_degree(u) as u32;
+        w.write_all(&offset.to_le_bytes())?;
+    }
+    for u in g.nodes() {
+        for e in g.out_edges(u) {
+            w.write_all(&e.to.to_le_bytes())?;
+            w.write_all(&e.weight.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Deserialize a graph written by [`write_binary`].
+pub fn read_binary<R: Read>(r: R) -> Result<Graph, GraphError> {
+    let mut r = BufReader::new(r);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("bad magic (not a kpj graph file)"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(bad(&format!("unsupported version {version}")));
+    }
+    let n = read_u64(&mut r)? as usize;
+    let m = read_u64(&mut r)? as usize;
+    if n >= u32::MAX as usize || m > u32::MAX as usize {
+        return Err(bad("graph too large for u32 id space"));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(read_u32(&mut r)?);
+    }
+    if offsets[0] != 0 || offsets[n] as usize != m {
+        return Err(bad("corrupt offset array"));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(bad("offsets not monotone"));
+    }
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for u in 0..n {
+        let deg = (offsets[u + 1] - offsets[u]) as usize;
+        for _ in 0..deg {
+            let to = read_u32(&mut r)?;
+            let weight = read_u32(&mut r)?;
+            b.add_edge(u as u32, to, weight)
+                .map_err(|e| bad(&format!("edge out of range: {e}")))?;
+        }
+    }
+    Ok(b.build())
+}
+
+fn bad(message: &str) -> GraphError {
+    GraphError::Parse { line: 0, message: message.to_string() }
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, GraphError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, GraphError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 10).unwrap();
+        b.add_edge(1, 2, 20).unwrap();
+        b.add_bidirectional(2, 4, 30).unwrap();
+        b.add_edge(4, 0, 40).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        for u in g.nodes() {
+            assert_eq!(g.out_edges(u), g2.out_edges(u));
+            assert_eq!(g.in_edges(u), g2.in_edges(u));
+        }
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = GraphBuilder::new(0).build();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(g2.node_count(), 0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_binary(&b"not a graph"[..]).is_err());
+        assert!(read_binary(&b"KPJGRAPH\x63\x00\x00\x00"[..]).is_err(), "bad version");
+        // Truncated file.
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupt_offsets() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Flip an offset byte to break monotonicity.
+        let off_start = 8 + 4 + 8 + 8;
+        buf[off_start + 7] = 0xFF;
+        assert!(read_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_edge_target() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Overwrite the first edge target with a huge id.
+        let edges_start = 8 + 4 + 8 + 8 + (5 + 1) * 4;
+        buf[edges_start..edges_start + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_binary(buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Mutable builder producing immutable CSR [`Graph`]s.
+
+use crate::csr::{EdgeRef, Graph};
+use crate::error::GraphError;
+use crate::types::{NodeId, Weight};
+
+/// Accumulates edges and produces a [`Graph`] with both forward and reverse
+/// CSR adjacency built by counting sort (`O(n + m)`).
+///
+/// ```
+/// use kpj_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new(3);
+/// b.add_bidirectional(0, 1, 5).unwrap();
+/// b.add_edge(1, 2, 2).unwrap();
+/// let g = b.build();
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 3); // the bidirectional edge counts twice
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    node_count: u32,
+    // Flat edge list: (tail, head, weight).
+    edges: Vec<(NodeId, NodeId, Weight)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph with exactly `node_count` nodes (ids `0..n`).
+    pub fn new(node_count: usize) -> Self {
+        assert!(node_count < u32::MAX as usize, "node count exceeds u32 id space");
+        GraphBuilder { node_count: node_count as u32, edges: Vec::new() }
+    }
+
+    /// A builder that pre-allocates space for `edge_hint` edges.
+    pub fn with_capacity(node_count: usize, edge_hint: usize) -> Self {
+        let mut b = Self::new(node_count);
+        b.edges.reserve(edge_hint);
+        b
+    }
+
+    /// Number of nodes the final graph will have.
+    pub fn node_count(&self) -> usize {
+        self.node_count as usize
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add a directed edge `u → v` with weight `w`.
+    ///
+    /// Self-loops are accepted (a simple path can never use one, so they are
+    /// harmless) and parallel edges are kept as-is.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: Weight) -> Result<(), GraphError> {
+        let n = self.node_count;
+        for &x in &[u, v] {
+            if x >= n {
+                return Err(GraphError::NodeOutOfRange { node: x as u64, node_count: n as u64 });
+            }
+        }
+        self.edges.push((u, v, w));
+        Ok(())
+    }
+
+    /// Add both `u → v` and `v → u` with the same weight, as in the paper's
+    /// road networks ("edges are bidirectional").
+    pub fn add_bidirectional(&mut self, u: NodeId, v: NodeId, w: Weight) -> Result<(), GraphError> {
+        self.add_edge(u, v, w)?;
+        self.add_edge(v, u, w)
+    }
+
+    /// Finalize into an immutable [`Graph`].
+    pub fn build(self) -> Graph {
+        let n = self.node_count as usize;
+        let m = self.edges.len();
+        assert!(m <= u32::MAX as usize, "edge count exceeds u32 offset space");
+
+        let (out_offsets, out_edges) =
+            csr_from_edges(n, self.edges.iter().map(|&(u, v, w)| (u, v, w)));
+        let (in_offsets, in_edges) =
+            csr_from_edges(n, self.edges.iter().map(|&(u, v, w)| (v, u, w)));
+        Graph::from_csr(out_offsets, out_edges, in_offsets, in_edges)
+    }
+}
+
+/// Counting-sort construction of one CSR direction.
+fn csr_from_edges(
+    n: usize,
+    edges: impl Iterator<Item = (NodeId, NodeId, Weight)> + Clone,
+) -> (Box<[u32]>, Box<[EdgeRef]>) {
+    let mut offsets = vec![0u32; n + 1];
+    for (tail, _, _) in edges.clone() {
+        offsets[tail as usize + 1] += 1;
+    }
+    for i in 1..=n {
+        offsets[i] += offsets[i - 1];
+    }
+    let m = offsets[n] as usize;
+    let mut cursor = offsets.clone();
+    let mut out = vec![EdgeRef { to: 0, weight: 0 }; m];
+    for (tail, head, w) in edges {
+        let slot = cursor[tail as usize] as usize;
+        out[slot] = EdgeRef { to: head, weight: w };
+        cursor[tail as usize] += 1;
+    }
+    (offsets.into_boxed_slice(), out.into_boxed_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range_endpoints() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(
+            b.add_edge(0, 2, 1),
+            Err(GraphError::NodeOutOfRange { node: 2, node_count: 2 })
+        ));
+        assert!(b.add_edge(2, 0, 1).is_err());
+        assert!(b.add_edge(1, 0, 1).is_ok());
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn preserves_parallel_edges_and_self_loops() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1).unwrap();
+        b.add_edge(0, 1, 2).unwrap();
+        b.add_edge(0, 0, 3).unwrap();
+        let g = b.build();
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.out_degree(0), 3);
+        assert_eq!(g.in_degree(1), 2);
+        assert_eq!(g.in_degree(0), 1);
+    }
+
+    #[test]
+    fn bidirectional_adds_two_arcs() {
+        let mut b = GraphBuilder::new(2);
+        b.add_bidirectional(0, 1, 7).unwrap();
+        let g = b.build();
+        assert_eq!(g.edge_weight(0, 1), Some(7));
+        assert_eq!(g.edge_weight(1, 0), Some(7));
+    }
+
+    #[test]
+    fn adjacency_grouped_by_tail() {
+        // Interleave tails to exercise the counting sort.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(2, 0, 1).unwrap();
+        b.add_edge(0, 1, 2).unwrap();
+        b.add_edge(2, 1, 3).unwrap();
+        b.add_edge(0, 2, 4).unwrap();
+        let g = b.build();
+        let heads0: Vec<_> = g.out_edges(0).iter().map(|e| e.to).collect();
+        let heads2: Vec<_> = g.out_edges(2).iter().map(|e| e.to).collect();
+        assert_eq!(heads0, vec![1, 2]);
+        assert_eq!(heads2, vec![0, 1]);
+        assert!(g.out_edges(1).is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Categories ("conceptual nodes") and the offline inverted index.
+//!
+//! The paper (§2) assumes "an inverted index is offline built on the
+//! categories of nodes such that `V_T` can be efficiently retrieved online".
+//! [`CategoryIndex`] is that index: a mapping from a [`CategoryId`] to the
+//! sorted set of member nodes, plus the reverse mapping from a node to its
+//! categories. A node may belong to any number of categories, and a
+//! category may be empty.
+
+use crate::types::NodeId;
+
+/// Identifier of a category, dense in `0..category_count`.
+pub type CategoryId = u32;
+
+/// Offline inverted index: category → member nodes, node → categories.
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CategoryIndex {
+    /// `members[c]` is the sorted, deduplicated list of nodes in category `c`.
+    members: Vec<Vec<NodeId>>,
+    /// Optional display names, parallel to `members` (may be empty).
+    names: Vec<String>,
+}
+
+impl CategoryIndex {
+    /// An index with no categories.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a category with the given display name and member set; returns
+    /// its id. Members are sorted and deduplicated.
+    pub fn add_category(&mut self, name: impl Into<String>, mut members: Vec<NodeId>) -> CategoryId {
+        members.sort_unstable();
+        members.dedup();
+        let id = self.members.len() as CategoryId;
+        self.members.push(members);
+        self.names.push(name.into());
+        id
+    }
+
+    /// Number of categories.
+    pub fn category_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The sorted member nodes `V_T` of category `c`.
+    ///
+    /// # Panics
+    /// Panics if `c` is not a valid category id.
+    pub fn members(&self, c: CategoryId) -> &[NodeId] {
+        &self.members[c as usize]
+    }
+
+    /// Display name of category `c`.
+    pub fn name(&self, c: CategoryId) -> &str {
+        &self.names[c as usize]
+    }
+
+    /// Look a category up by its display name (linear scan; for tooling, not
+    /// hot paths).
+    pub fn find_by_name(&self, name: &str) -> Option<CategoryId> {
+        self.names.iter().position(|n| n == name).map(|i| i as CategoryId)
+    }
+
+    /// True if node `v` belongs to category `c` (binary search).
+    pub fn contains(&self, c: CategoryId, v: NodeId) -> bool {
+        self.members[c as usize].binary_search(&v).is_ok()
+    }
+
+    /// Iterate over `(id, name, members)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (CategoryId, &str, &[NodeId])> {
+        self.members
+            .iter()
+            .zip(&self.names)
+            .enumerate()
+            .map(|(i, (m, n))| (i as CategoryId, n.as_str(), m.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sorts_and_dedups() {
+        let mut idx = CategoryIndex::new();
+        let c = idx.add_category("H", vec![7, 3, 7, 1]);
+        assert_eq!(idx.members(c), &[1, 3, 7]);
+        assert_eq!(idx.name(c), "H");
+        assert_eq!(idx.category_count(), 1);
+    }
+
+    #[test]
+    fn membership_queries() {
+        let mut idx = CategoryIndex::new();
+        let c = idx.add_category("Lake", vec![10, 20, 30]);
+        assert!(idx.contains(c, 20));
+        assert!(!idx.contains(c, 25));
+    }
+
+    #[test]
+    fn empty_category_is_allowed() {
+        let mut idx = CategoryIndex::new();
+        let c = idx.add_category("Ghost", vec![]);
+        assert!(idx.members(c).is_empty());
+        assert!(!idx.contains(c, 0));
+    }
+
+    #[test]
+    fn find_by_name_and_iter() {
+        let mut idx = CategoryIndex::new();
+        idx.add_category("Glacier", vec![1]);
+        let lake = idx.add_category("Lake", vec![2, 3]);
+        assert_eq!(idx.find_by_name("Lake"), Some(lake));
+        assert_eq!(idx.find_by_name("Volcano"), None);
+        let all: Vec<_> = idx.iter().map(|(_, n, m)| (n.to_string(), m.len())).collect();
+        assert_eq!(all, vec![("Glacier".to_string(), 1), ("Lake".to_string(), 2)]);
+    }
+
+    #[test]
+    fn node_may_belong_to_many_categories() {
+        let mut idx = CategoryIndex::new();
+        let a = idx.add_category("A", vec![5]);
+        let b = idx.add_category("B", vec![5, 6]);
+        assert!(idx.contains(a, 5));
+        assert!(idx.contains(b, 5));
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced while building or parsing graphs and category files.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge endpoint is not a valid node id for the graph being built.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u64,
+        /// Number of nodes in the graph.
+        node_count: u64,
+    },
+    /// A parse error in an input file, with 1-based line number and message.
+    Parse {
+        /// 1-based line number where the error occurred.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => write!(
+                f,
+                "node id {node} out of range for a graph with {node_count} nodes"
+            ),
+            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::NodeOutOfRange { node: 7, node_count: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+        let e = GraphError::Parse { line: 12, message: "bad arc".into() };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains("bad arc"));
+    }
+
+    #[test]
+    fn io_error_converts_and_chains() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: GraphError = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

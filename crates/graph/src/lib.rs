@@ -1,0 +1,42 @@
+//! Graph substrate for the `kpj` workspace.
+//!
+//! This crate provides the data structures every KPJ algorithm is built on:
+//!
+//! * [`Graph`] — an immutable, CSR-encoded, weighted directed graph with an
+//!   eagerly built reverse view ([`Graph::in_edges`]).
+//! * [`GraphBuilder`] — the mutable builder used to construct a [`Graph`].
+//! * [`CategoryIndex`] — the inverted index from categories (the paper's
+//!   "conceptual nodes") to the physical nodes that belong to them.
+//! * [`Path`] — a node sequence plus its length, with validation helpers.
+//! * [`scratch`] — epoch-stamped scratch arrays (`TimestampedSet`,
+//!   `TimestampedMap`) that let per-query searches run without clearing
+//!   `O(n)` state between queries.
+//! * [`io`] — readers/writers for the DIMACS `.gr` format used by the
+//!   paper's datasets, plus a small text format for category files.
+//!
+//! Design notes (see `DESIGN.md` at the workspace root):
+//!
+//! * Node identifiers are plain `u32` ([`NodeId`]); edge weights are `u32`
+//!   ([`Weight`]); path lengths are `u64` ([`Length`]) so that summing up to
+//!   `2^32` maximal weights cannot overflow.
+//! * The CSR arrays are boxed slices — after construction a graph never
+//!   reallocates and is cheap to share by reference across algorithms.
+
+#![warn(missing_docs)]
+
+mod binary;
+mod builder;
+mod categories;
+mod csr;
+mod error;
+pub mod io;
+mod path;
+pub mod scratch;
+mod types;
+
+pub use builder::GraphBuilder;
+pub use categories::{CategoryId, CategoryIndex};
+pub use csr::{EdgeRef, Graph};
+pub use error::GraphError;
+pub use path::Path;
+pub use types::{Length, NodeId, Weight, INFINITE_LENGTH};

@@ -1,0 +1,159 @@
+//! Paths: node sequences with cached lengths plus validation helpers.
+
+use crate::csr::Graph;
+use crate::types::{Length, NodeId};
+
+/// A path `(v_1, …, v_l)` in a graph together with its length `ω(P)`.
+///
+/// Invariants are *not* enforced on construction (algorithms build paths
+/// they know to be valid); use [`Path::validate`] in tests and at trust
+/// boundaries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    /// The node sequence, source first.
+    pub nodes: Vec<NodeId>,
+    /// Total weight of the constituent edges.
+    pub length: Length,
+}
+
+impl Path {
+    /// A single-node path of length zero.
+    pub fn trivial(v: NodeId) -> Self {
+        Path { nodes: vec![v], length: 0 }
+    }
+
+    /// Source node `v_1`.
+    ///
+    /// # Panics
+    /// Panics on an empty node sequence (never produced by this workspace).
+    pub fn source(&self) -> NodeId {
+        *self.nodes.first().expect("path has at least one node")
+    }
+
+    /// Destination node `v_l`.
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("path has at least one node")
+    }
+
+    /// Number of edges (`l − 1`).
+    pub fn edge_count(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+
+    /// True if all nodes are distinct (Def. in §2: a *simple* path).
+    pub fn is_simple(&self) -> bool {
+        let mut seen = self.nodes.clone();
+        seen.sort_unstable();
+        seen.windows(2).all(|w| w[0] != w[1])
+    }
+
+    /// The reversed path (same length). Used by the `SPT_I` approach, whose
+    /// search runs on the reverse graph and therefore produces reversed
+    /// node sequences.
+    pub fn reversed(&self) -> Path {
+        let mut nodes = self.nodes.clone();
+        nodes.reverse();
+        Path { nodes, length: self.length }
+    }
+
+    /// Check that every consecutive pair is an edge of `g` and that the
+    /// cached length equals the minimum-weight realization of the node
+    /// sequence. Returns a description of the first violation.
+    pub fn validate(&self, g: &Graph) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("empty path".into());
+        }
+        let mut total: Length = 0;
+        for w in self.nodes.windows(2) {
+            match g.edge_weight(w[0], w[1]) {
+                Some(wt) => total += wt as Length,
+                None => return Err(format!("missing edge {} -> {}", w[0], w[1])),
+            }
+        }
+        if total != self.length {
+            return Err(format!("cached length {} != recomputed {}", self.length, total));
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Path {
+    /// `v0 -> v1 -> … (length L)`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, v) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" -> ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, " (length {})", self.length)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn line() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1).unwrap();
+        b.add_edge(1, 2, 2).unwrap();
+        b.add_edge(2, 3, 3).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn accessors() {
+        let p = Path { nodes: vec![0, 1, 2], length: 3 };
+        assert_eq!(p.source(), 0);
+        assert_eq!(p.destination(), 2);
+        assert_eq!(p.edge_count(), 2);
+    }
+
+    #[test]
+    fn trivial_path() {
+        let p = Path::trivial(5);
+        assert_eq!(p.source(), 5);
+        assert_eq!(p.destination(), 5);
+        assert_eq!(p.edge_count(), 0);
+        assert!(p.is_simple());
+    }
+
+    #[test]
+    fn simplicity() {
+        assert!(Path { nodes: vec![0, 1, 2], length: 0 }.is_simple());
+        assert!(!Path { nodes: vec![0, 1, 0], length: 0 }.is_simple());
+    }
+
+    #[test]
+    fn validate_accepts_correct_path() {
+        let g = line();
+        let p = Path { nodes: vec![0, 1, 2, 3], length: 6 };
+        assert!(p.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_missing_edge_and_bad_length() {
+        let g = line();
+        let p = Path { nodes: vec![0, 2], length: 1 };
+        assert!(p.validate(&g).unwrap_err().contains("missing edge"));
+        let p = Path { nodes: vec![0, 1], length: 9 };
+        assert!(p.validate(&g).unwrap_err().contains("cached length"));
+    }
+
+    #[test]
+    fn display_formats_chain() {
+        let p = Path { nodes: vec![3, 1, 4], length: 9 };
+        assert_eq!(p.to_string(), "3 -> 1 -> 4 (length 9)");
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let p = Path { nodes: vec![0, 1, 2], length: 3 };
+        let r = p.reversed();
+        assert_eq!(r.source(), 2);
+        assert_eq!(r.destination(), 0);
+        assert_eq!(r.length, 3);
+    }
+}

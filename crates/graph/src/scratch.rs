@@ -1,0 +1,183 @@
+//! Epoch-stamped scratch arrays.
+//!
+//! Every KPJ query runs many constrained graph searches (candidate-path
+//! computations, `TestLB` probes, subspace A\*). Each search needs per-node
+//! state (distance, visited flag, predecessor) but touches only a tiny
+//! fraction of the nodes. Clearing an `O(n)` array per search — or hashing —
+//! would dominate the runtime, so these structures attach an *epoch* to
+//! every slot: bumping the epoch (an `O(1)` [`reset`](TimestampedMap::reset))
+//! invalidates all stale entries at once.
+//!
+//! Epochs are `u32`; after `u32::MAX` resets the backing stamps are cleared
+//! once, so correctness never depends on epochs not wrapping.
+
+/// A set of `NodeId`-like `usize` keys with `O(1)` clear.
+#[derive(Debug, Clone)]
+pub struct TimestampedSet {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl TimestampedSet {
+    /// A set over the key universe `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        TimestampedSet { stamp: vec![0; capacity], epoch: 1 }
+    }
+
+    /// Key universe size.
+    pub fn capacity(&self) -> usize {
+        self.stamp.len()
+    }
+
+    /// Empty the set in `O(1)`.
+    pub fn clear(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Insert `k`; returns true if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, k: usize) -> bool {
+        let fresh = self.stamp[k] != self.epoch;
+        self.stamp[k] = self.epoch;
+        fresh
+    }
+
+    /// Remove `k` (sets its stamp stale); returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, k: usize) -> bool {
+        let present = self.stamp[k] == self.epoch;
+        if present {
+            self.stamp[k] = self.epoch.wrapping_sub(1);
+        }
+        present
+    }
+
+    /// True if `k` is in the set.
+    #[inline]
+    pub fn contains(&self, k: usize) -> bool {
+        self.stamp[k] == self.epoch
+    }
+}
+
+/// A map from `usize` keys to values of type `T` with `O(1)` clear.
+///
+/// Reading an absent key returns the default value supplied at
+/// construction (e.g. an "infinite" distance), which is exactly the
+/// initialization Dijkstra-style algorithms need.
+#[derive(Debug, Clone)]
+pub struct TimestampedMap<T: Copy> {
+    values: Vec<T>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    default: T,
+}
+
+impl<T: Copy> TimestampedMap<T> {
+    /// A map over keys `0..capacity` where absent keys read as `default`.
+    pub fn new(capacity: usize, default: T) -> Self {
+        TimestampedMap { values: vec![default; capacity], stamp: vec![0; capacity], epoch: 1, default }
+    }
+
+    /// Key universe size.
+    pub fn capacity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Reset every key to the default in `O(1)`.
+    pub fn reset(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Current value at `k` (the default if never written this epoch).
+    #[inline]
+    pub fn get(&self, k: usize) -> T {
+        if self.stamp[k] == self.epoch {
+            self.values[k]
+        } else {
+            self.default
+        }
+    }
+
+    /// True if `k` was written this epoch.
+    #[inline]
+    pub fn is_set(&self, k: usize) -> bool {
+        self.stamp[k] == self.epoch
+    }
+
+    /// Write `v` at `k`.
+    #[inline]
+    pub fn set(&mut self, k: usize, v: T) {
+        self.values[k] = v;
+        self.stamp[k] = self.epoch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_insert_contains_clear() {
+        let mut s = TimestampedSet::new(10);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        s.clear();
+        assert!(!s.contains(3));
+        assert!(s.insert(3));
+    }
+
+    #[test]
+    fn set_remove() {
+        let mut s = TimestampedSet::new(4);
+        s.insert(1);
+        assert!(s.remove(1));
+        assert!(!s.contains(1));
+        assert!(!s.remove(1));
+        assert!(s.insert(1));
+    }
+
+    #[test]
+    fn map_defaults_and_reset() {
+        let mut m = TimestampedMap::new(5, u64::MAX);
+        assert_eq!(m.get(2), u64::MAX);
+        assert!(!m.is_set(2));
+        m.set(2, 7);
+        assert_eq!(m.get(2), 7);
+        assert!(m.is_set(2));
+        m.reset();
+        assert_eq!(m.get(2), u64::MAX);
+        assert!(!m.is_set(2));
+    }
+
+    #[test]
+    fn epoch_wraparound_is_safe() {
+        let mut s = TimestampedSet::new(2);
+        s.insert(0);
+        // Force the epoch to the brink and clear across the wrap.
+        s.epoch = u32::MAX;
+        s.insert(1);
+        s.clear();
+        assert!(!s.contains(0));
+        assert!(!s.contains(1));
+        s.insert(0);
+        assert!(s.contains(0));
+
+        let mut m = TimestampedMap::new(2, -1i64);
+        m.set(0, 5);
+        m.epoch = u32::MAX;
+        m.set(1, 6);
+        m.reset();
+        assert_eq!(m.get(0), -1);
+        assert_eq!(m.get(1), -1);
+    }
+}

@@ -1,0 +1,43 @@
+//! Fundamental scalar types shared across the workspace.
+
+/// Identifier of a node (the paper's "physical node"), dense in `0..n`.
+///
+/// `u32` keeps hot arrays (CSR targets, predecessor arrays, heap positions)
+/// half the size of `usize` on 64-bit targets, which matters for the
+/// multi-million-node road networks of the paper's evaluation.
+pub type NodeId = u32;
+
+/// Weight of a single edge, `ω(u, v)` in the paper.
+///
+/// Non-negative by construction (it is unsigned); Dijkstra-family algorithms
+/// in `kpj-sp` rely on this.
+pub type Weight = u32;
+
+/// Length of a path: the sum of its edge weights, `ω(P)` in the paper.
+///
+/// A simple path visits at most `n ≤ 2^32` nodes, each edge weighing at most
+/// `2^32 − 1`, so the sum always fits in a `u64` with room to spare.
+pub type Length = u64;
+
+/// Sentinel for "no path": larger than any real path length.
+///
+/// Real lengths are at most `(2^32 − 1) · (2^32 − 1) < 2^64 − 1`, so
+/// `u64::MAX` is unambiguous. Arithmetic on lengths should use
+/// [`saturating_add`](u64::saturating_add) when a term may be infinite.
+pub const INFINITE_LENGTH: Length = u64::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinite_length_exceeds_any_real_path() {
+        let max_real = (u32::MAX as Length) * (u32::MAX as Length);
+        assert!(INFINITE_LENGTH > max_real);
+    }
+
+    #[test]
+    fn saturating_add_keeps_infinity_infinite() {
+        assert_eq!(INFINITE_LENGTH.saturating_add(42), INFINITE_LENGTH);
+    }
+}

@@ -1,0 +1,161 @@
+//! Min-ordered wrapper around `std::collections::BinaryHeap`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A min-heap of `(key, value)` pairs ordered by `key` only.
+///
+/// Values need no ordering of their own, which keeps payload types (boxed
+/// subspaces, path handles) free of artificial `Ord` impls. Ties between
+/// equal keys pop in unspecified order.
+///
+/// ```
+/// use kpj_heap::MinHeap;
+/// let mut q = MinHeap::new();
+/// q.push(5u64, "five");
+/// q.push(1, "one");
+/// q.push(3, "three");
+/// assert_eq!(q.pop(), Some((1, "one")));
+/// assert_eq!(q.peek_key(), Some(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinHeap<K: Ord + Copy, V> {
+    inner: BinaryHeap<Entry<K, V>>,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<K: Ord + Copy, V> {
+    key: Reverse<K>,
+    value: V,
+}
+
+impl<K: Ord + Copy, V> PartialEq for Entry<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<K: Ord + Copy, V> Eq for Entry<K, V> {}
+impl<K: Ord + Copy, V> PartialOrd for Entry<K, V> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<K: Ord + Copy, V> Ord for Entry<K, V> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<K: Ord + Copy, V> MinHeap<K, V> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        MinHeap { inner: BinaryHeap::new() }
+    }
+
+    /// An empty queue with pre-allocated room for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        MinHeap { inner: BinaryHeap::with_capacity(cap) }
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True if no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Queue `value` under `key`.
+    pub fn push(&mut self, key: K, value: V) {
+        self.inner.push(Entry { key: Reverse(key), value });
+    }
+
+    /// Remove and return the entry with the smallest key.
+    pub fn pop(&mut self) -> Option<(K, V)> {
+        self.inner.pop().map(|e| (e.key.0, e.value))
+    }
+
+    /// The smallest key, if any (the paper's `Q.top().key`).
+    pub fn peek_key(&self) -> Option<K> {
+        self.inner.peek().map(|e| e.key.0)
+    }
+
+    /// Borrow the value with the smallest key.
+    pub fn peek(&self) -> Option<(K, &V)> {
+        self.inner.peek().map(|e| (e.key.0, &e.value))
+    }
+
+    /// Drop all entries.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl<K: Ord + Copy, V> Default for MinHeap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_order() {
+        let mut q = MinHeap::new();
+        for k in [9u32, 4, 7, 1, 8] {
+            q.push(k, k * 10);
+        }
+        let mut keys = Vec::new();
+        while let Some((k, v)) = q.pop() {
+            assert_eq!(v, k * 10);
+            keys.push(k);
+        }
+        assert_eq!(keys, vec![1, 4, 7, 8, 9]);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = MinHeap::with_capacity(4);
+        q.push(2u64, 'b');
+        q.push(1, 'a');
+        assert_eq!(q.peek_key(), Some(1));
+        assert_eq!(q.peek(), Some((1, &'a')));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((1, 'a')));
+    }
+
+    #[test]
+    fn values_need_no_ord() {
+        // A payload type that is neither Ord nor Eq.
+        struct Opaque(#[allow(dead_code)] f64);
+        let mut q: MinHeap<u32, Opaque> = MinHeap::new();
+        q.push(3, Opaque(0.5));
+        q.push(1, Opaque(1.5));
+        assert_eq!(q.pop().unwrap().0, 1);
+    }
+
+    #[test]
+    fn clear_and_empty() {
+        let mut q: MinHeap<u8, ()> = MinHeap::default();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        q.push(1, ());
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_keys_all_delivered() {
+        let mut q = MinHeap::new();
+        for i in 0..5 {
+            q.push(7u32, i);
+        }
+        let mut vals: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![0, 1, 2, 3, 4]);
+    }
+}

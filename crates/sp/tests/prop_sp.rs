@@ -1,0 +1,189 @@
+//! Property-based tests for the shortest-path substrate: every search
+//! implementation is checked against `DenseDijkstra` (itself unit-tested
+//! against Bellman–Ford), and the bounded-search contract (the substrate
+//! half of the paper's Lemma 5.1) is verified directly.
+
+use kpj_graph::{Graph, GraphBuilder, Length};
+use kpj_sp::{
+    BidirectionalDijkstra, DenseDijkstra, Direction, Estimate, SearchOutcome, Searcher,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Spec {
+    n: u32,
+    edges: Vec<(u32, u32, u32)>,
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (2..25u32).prop_flat_map(|n| {
+        vec((0..n, 0..n, 0..100u32), 1..90).prop_map(move |edges| Spec { n, edges })
+    })
+}
+
+fn build(s: &Spec) -> Graph {
+    let mut b = GraphBuilder::new(s.n as usize);
+    for &(u, v, w) in &s.edges {
+        if u != v {
+            b.add_edge(u, v, w).unwrap();
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    /// Unconstrained Searcher with zero heuristic = Dijkstra.
+    #[test]
+    fn searcher_matches_dense(s in spec(), src in 0..25u32, dst in 0..25u32) {
+        let g = build(&s);
+        let src = src % s.n;
+        let dst = dst % s.n;
+        let dense = DenseDijkstra::from_source(&g, src);
+        let mut searcher = Searcher::new(g.node_count());
+        let out = searcher.search(
+            &g,
+            Direction::Forward,
+            [(src, 0)],
+            |_, _| true,
+            |_| Estimate::Bound(0),
+            |v| v == dst,
+            None,
+        );
+        match out {
+            SearchOutcome::Found { node, dist } => {
+                prop_assert_eq!(node, dst);
+                prop_assert_eq!(dist, dense.dist(dst));
+                // The chain must realize the distance.
+                let chain = searcher.chain_to_root(dst);
+                let len: Length = chain
+                    .windows(2)
+                    .map(|w| g.edge_weight(w[1], w[0]).unwrap() as Length)
+                    .sum();
+                prop_assert_eq!(len, dist);
+            }
+            _ => prop_assert!(!dense.reached(dst)),
+        }
+    }
+
+    /// Bounded-search contract (substrate Lemma 5.1): with bound τ the
+    /// search finds the target iff δ ≤ τ, and never reports
+    /// `ExhaustedComplete` when it merely ran out of budget.
+    #[test]
+    fn bounded_search_contract(s in spec(), src in 0..25u32, dst in 0..25u32, tau in 0..300u64) {
+        let g = build(&s);
+        let src = src % s.n;
+        let dst = dst % s.n;
+        let dense = DenseDijkstra::from_source(&g, src);
+        let mut searcher = Searcher::new(g.node_count());
+        let out = searcher.search(
+            &g,
+            Direction::Forward,
+            [(src, 0)],
+            |_, _| true,
+            |_| Estimate::Bound(0),
+            |v| v == dst,
+            Some(tau),
+        );
+        let true_dist = dense.dist(dst);
+        match out {
+            SearchOutcome::Found { dist, .. } => {
+                prop_assert_eq!(dist, true_dist);
+                prop_assert!(dist <= tau);
+            }
+            SearchOutcome::ExhaustedBounded => {
+                // Either truly beyond τ, or unreachable but with some
+                // frontier pruned at τ (both are honest "> τ" answers).
+                prop_assert!(true_dist > tau);
+            }
+            SearchOutcome::ExhaustedComplete => {
+                prop_assert!(!dense.reached(dst));
+            }
+        }
+    }
+
+    /// Backward searches compute distances on the reverse graph.
+    #[test]
+    fn backward_matches_reversed_dense(s in spec(), src in 0..25u32) {
+        let g = build(&s);
+        let src = src % s.n;
+        // Distances *to* src along forward edges.
+        let dense = DenseDijkstra::run(&g, Direction::Backward, [(src, 0)]);
+        let mut searcher = Searcher::new(g.node_count());
+        for goal in g.nodes() {
+            let out = searcher.search(
+                &g,
+                Direction::Backward,
+                [(src, 0)],
+                |_, _| true,
+                |_| Estimate::Bound(0),
+                |v| v == goal,
+                None,
+            );
+            match out {
+                SearchOutcome::Found { dist, .. } => prop_assert_eq!(dist, dense.dist(goal)),
+                _ => prop_assert!(!dense.reached(goal)),
+            }
+        }
+    }
+
+    /// Bidirectional point-to-point equals unidirectional everywhere.
+    #[test]
+    fn bidirectional_matches_dense(s in spec(), src in 0..25u32) {
+        let g = build(&s);
+        let src = src % s.n;
+        let dense = DenseDijkstra::from_source(&g, src);
+        let mut bd = BidirectionalDijkstra::new(g.node_count());
+        for t in g.nodes() {
+            match bd.query(&g, src, t) {
+                Some(p) => {
+                    prop_assert_eq!(p.distance, dense.dist(t));
+                    let len: Length = p
+                        .nodes
+                        .windows(2)
+                        .map(|w| g.edge_weight(w[0], w[1]).unwrap() as Length)
+                        .sum();
+                    prop_assert_eq!(len, p.distance);
+                }
+                None => prop_assert!(!dense.reached(t)),
+            }
+        }
+    }
+
+    /// A consistent non-zero heuristic (exact distances) never changes the
+    /// answer, only the exploration.
+    #[test]
+    fn perfect_heuristic_preserves_answers(s in spec(), src in 0..25u32, dst in 0..25u32) {
+        let g = build(&s);
+        let src = src % s.n;
+        let dst = dst % s.n;
+        // Exact remaining distances to dst.
+        let to_dst = DenseDijkstra::run(&g, Direction::Backward, [(dst, 0)]);
+        let mut plain = Searcher::new(g.node_count());
+        let plain_out = plain.search(
+            &g, Direction::Forward, [(src, 0)], |_, _| true, |_| Estimate::Bound(0),
+            |v| v == dst, None,
+        );
+        let mut astar = Searcher::new(g.node_count());
+        let astar_out = astar.search(
+            &g, Direction::Forward, [(src, 0)], |_, _| true,
+            |v| {
+                if to_dst.reached(v) {
+                    Estimate::Bound(to_dst.dist(v))
+                } else {
+                    Estimate::Unreachable
+                }
+            },
+            |v| v == dst, None,
+        );
+        match (plain_out, astar_out) {
+            (SearchOutcome::Found { dist: a, .. }, SearchOutcome::Found { dist: b, .. }) => {
+                prop_assert_eq!(a, b);
+                prop_assert!(astar.settled_count() <= plain.settled_count());
+            }
+            (SearchOutcome::Found { .. }, other) => prop_assert!(false, "A* lost the path: {:?}", other),
+            (_, SearchOutcome::Found { .. }) => prop_assert!(false, "A* hallucinated a path"),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Helpers for the Fig. 11 analysis.
+//!
+//! Fig. 11 reports, per POI set `T_i`, "the longest length of shortest
+//! paths from nodes to `T_i`", positioned as a percentile among "all
+//! `n·n` shortest path lengths in the graph". Computing all pairs is
+//! infeasible even for SJ, so — like any practical reproduction — we
+//! estimate the percentile from the exact distance multiset of a random
+//! sample of source nodes (each contributing its full single-source
+//! distance vector). The max-distance-to-`T` side is exact.
+
+use kpj_graph::{Graph, Length, NodeId};
+use kpj_sp::DenseDijkstra;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The longest `δ(v, T)` over all nodes `v` that can reach `T` (exact).
+pub fn max_distance_to_targets(g: &Graph, targets: &[NodeId]) -> Length {
+    let d = DenseDijkstra::to_targets(g, targets);
+    g.nodes().filter(|&v| d.reached(v)).map(|v| d.dist(v)).max().unwrap_or(0)
+}
+
+/// Percentile (in `[0, 100]`) of `value` within the distribution of all
+/// finite pairwise shortest-path lengths, estimated from `sample_sources`
+/// random single-source distance vectors.
+pub fn distance_percentile(
+    g: &Graph,
+    value: Length,
+    sample_sources: usize,
+    seed: u64,
+) -> f64 {
+    let n = g.node_count();
+    if n == 0 || sample_sources == 0 {
+        return 0.0;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut below = 0u64;
+    let mut total = 0u64;
+    for _ in 0..sample_sources {
+        let s = rng.gen_range(0..n) as NodeId;
+        let d = DenseDijkstra::from_source(g, s);
+        for v in g.nodes() {
+            if d.reached(v) {
+                total += 1;
+                if d.dist(v) <= value {
+                    below += 1;
+                }
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * below as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::road::RoadConfig;
+
+    #[test]
+    fn max_distance_shrinks_with_more_targets() {
+        let g = RoadConfig::new(1_500, 3_600, 4).generate();
+        let small = [10u32];
+        let large = [10u32, 400, 800, 1200, 77, 300, 999, 1450];
+        let m_small = max_distance_to_targets(&g, &small);
+        let m_large = max_distance_to_targets(&g, &large);
+        assert!(m_large <= m_small, "{m_large} > {m_small}");
+        assert!(m_small > 0);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_value() {
+        let g = RoadConfig::new(800, 1_900, 6).generate();
+        let p_small = distance_percentile(&g, 1_000, 8, 1);
+        let p_large = distance_percentile(&g, 50_000, 8, 1);
+        assert!(p_small <= p_large);
+        assert!((0.0..=100.0).contains(&p_small));
+        // The max distance over everything has percentile 100 when the
+        // same sample is used… approximately; use a generous floor.
+        let max_all = max_distance_to_targets(&g, &[0]);
+        let p_max = distance_percentile(&g, max_all * 2, 8, 1);
+        assert!(p_max > 99.0, "{p_max}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let g = RoadConfig::new(10, 22, 1).generate();
+        assert_eq!(distance_percentile(&g, 5, 0, 1), 0.0);
+        assert!(max_distance_to_targets(&g, &[3]) > 0);
+    }
+}

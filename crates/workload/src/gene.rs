@@ -1,0 +1,123 @@
+//! Layered gene-regulatory network generator.
+//!
+//! §1 of the paper cites Shih & Parthasarathy: "the lengths of top-k
+//! shortest paths may be used to define the importance of a target gene
+//! to a source gene" in gene networks. This generator produces a layered
+//! regulatory DAG (transcription factors → intermediate regulators →
+//! target genes) with a sprinkling of within-layer edges, the substrate
+//! for the `gene_network` example.
+
+use kpj_graph::{Graph, GraphBuilder, NodeId, Weight};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a layered regulatory network.
+#[derive(Debug, Clone)]
+pub struct GeneConfig {
+    /// Number of layers (≥ 2): layer 0 holds the source regulators, the
+    /// last layer the terminal target genes.
+    pub layers: usize,
+    /// Genes per layer.
+    pub per_layer: usize,
+    /// Outgoing regulatory edges per gene towards the next layer.
+    pub fan_out: usize,
+    /// Probability of an extra within-layer edge per gene.
+    pub lateral_p: f64,
+    /// Edge weights (regulatory "cost") in `1..=max_weight`.
+    pub max_weight: Weight,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GeneConfig {
+    /// Defaults: fan-out 3, 20% lateral edges, weights 1..=100.
+    pub fn new(layers: usize, per_layer: usize, seed: u64) -> Self {
+        GeneConfig { layers, per_layer, fan_out: 3, lateral_p: 0.2, max_weight: 100, seed }
+    }
+
+    /// Total number of genes.
+    pub fn node_count(&self) -> usize {
+        self.layers * self.per_layer
+    }
+
+    /// Nodes of layer `l` (0-based).
+    pub fn layer(&self, l: usize) -> std::ops::Range<NodeId> {
+        let lo = (l * self.per_layer) as NodeId;
+        lo..lo + self.per_layer as NodeId
+    }
+
+    /// Generate the (directed) network.
+    pub fn generate(&self) -> Graph {
+        assert!(self.layers >= 2, "need at least source and target layers");
+        assert!(self.per_layer >= 1);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let n = self.node_count();
+        let mut b = GraphBuilder::with_capacity(n, n * (self.fan_out + 1));
+        for l in 0..self.layers - 1 {
+            for v in self.layer(l) {
+                for _ in 0..self.fan_out {
+                    let w = self.layer(l + 1).start + rng.gen_range(0..self.per_layer) as NodeId;
+                    let wt = rng.gen_range(1..=self.max_weight);
+                    b.add_edge(v, w, wt).expect("in range");
+                }
+                if self.per_layer > 1 && rng.gen_bool(self.lateral_p) {
+                    let mut w = v;
+                    while w == v {
+                        w = self.layer(l).start + rng.gen_range(0..self.per_layer) as NodeId;
+                    }
+                    b.add_edge(v, w, rng.gen_range(1..=self.max_weight)).expect("in range");
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpj_sp::DenseDijkstra;
+
+    #[test]
+    fn layered_structure() {
+        let cfg = GeneConfig::new(4, 25, 5);
+        let g = cfg.generate();
+        assert_eq!(g.node_count(), 100);
+        // Terminal layer has no outgoing edges.
+        for v in cfg.layer(3) {
+            assert_eq!(g.out_degree(v), 0);
+        }
+        // No backward edges: every edge goes to the same or next layer.
+        for v in g.nodes() {
+            let lv = v as usize / cfg.per_layer;
+            for e in g.out_edges(v) {
+                let lw = e.to as usize / cfg.per_layer;
+                assert!(lw == lv || lw == lv + 1, "edge {v}->{} skips layers", e.to);
+            }
+        }
+    }
+
+    #[test]
+    fn most_targets_reachable_from_layer0() {
+        let cfg = GeneConfig::new(3, 30, 1);
+        let g = cfg.generate();
+        let sources: Vec<_> = cfg.layer(0).collect();
+        let d = kpj_sp::DenseDijkstra::run(
+            &g,
+            kpj_sp::Direction::Forward,
+            sources.into_iter().map(|s| (s, 0)),
+        );
+        let targets_reached = cfg.layer(2).filter(|&t| d.reached(t)).count();
+        assert!(targets_reached * 10 >= cfg.per_layer * 9, "{targets_reached}/30 reached");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = GeneConfig::new(3, 10, 2).generate();
+        let b = GeneConfig::new(3, 10, 2).generate();
+        assert_eq!(a.edge_count(), b.edge_count());
+        let da = DenseDijkstra::from_source(&a, 0);
+        let db = DenseDijkstra::from_source(&b, 0);
+        assert_eq!(da.dist_slice(), db.dist_slice());
+    }
+}

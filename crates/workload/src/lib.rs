@@ -1,0 +1,33 @@
+//! Workload generation for the `kpj` benchmarks and examples.
+//!
+//! The paper evaluates on six real road networks with real/synthetic POIs
+//! (§7, Table 1). Those exact files are not redistributable, so this crate
+//! builds *synthetic stand-ins with the same macroscopic statistics* — see
+//! `DESIGN.md` §4 for the substitution argument:
+//!
+//! * [`road`] — near-planar road networks: a random spanning tree over a
+//!   lattice (connectivity) plus random extra lattice edges up to the
+//!   paper's exact arc/node ratio, with jittered Euclidean-style weights.
+//! * [`datasets`] — the Table 1 registry (CAL, SJ, SF, COL, FLA, USA) with
+//!   a `scale` knob.
+//! * [`poi`] — category (POI) assignment: the CAL categories used in the
+//!   paper ("Glacier"=1, "Lake"=8, "Crater"=14, "Harbor"=94 nodes) and the
+//!   nested synthetic sets `T1 ⊂ T2 ⊂ T3 ⊂ T4` of sizes
+//!   `n·10⁻⁴·{1,5,10,15}`.
+//! * [`queries`] — the query workload: nodes sorted by `δ(v, T)`, split
+//!   into five quantile groups `Q1..Q5`, 100 random sources each.
+//! * [`social`], [`gene`] — small-world and layered regulatory networks
+//!   for the paper's motivating applications (examples).
+//! * [`analysis`] — the Fig. 11 percentile analysis helpers.
+//!
+//! Everything is deterministic given a seed.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod datasets;
+pub mod gene;
+pub mod poi;
+pub mod queries;
+pub mod road;
+pub mod social;

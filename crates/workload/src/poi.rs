@@ -1,0 +1,142 @@
+//! POI / category assignment (§7 "POIs").
+
+use kpj_graph::{CategoryId, CategoryIndex, NodeId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Handles to the nested synthetic categories `T1 ⊂ T2 ⊂ T3 ⊂ T4`.
+#[derive(Debug, Clone, Copy)]
+pub struct NestedPois {
+    /// Category ids of `T1..T4`, in order.
+    pub t: [CategoryId; 4],
+}
+
+/// Generate the paper's synthetic POI sets: sizes `n·10⁻⁴·{1, 5, 10, 15}`
+/// (each at least 1), nested `T1 ⊂ T2 ⊂ T3 ⊂ T4`, placed uniformly at
+/// random. Categories are appended to `idx` and named `"T1".."T4"`.
+pub fn generate_nested_pois(idx: &mut CategoryIndex, n: usize, seed: u64) -> NestedPois {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let unit = n as f64 * 1e-4;
+    let sizes: Vec<usize> = [1.0, 5.0, 10.0, 15.0]
+        .iter()
+        .map(|m| (((unit * m) as usize).max(1)).min(n))
+        .collect();
+    // Sample T4 (largest) without replacement; prefixes give the nesting.
+    let t4: Vec<NodeId> = sample_distinct(&mut rng, n, sizes[3]);
+    let mut ids = [0; 4];
+    for (i, &sz) in sizes.iter().enumerate() {
+        ids[i] = idx.add_category(format!("T{}", i + 1), t4[..sz].to_vec());
+    }
+    NestedPois { t: ids }
+}
+
+/// Handles to the four CAL categories the paper queries.
+#[derive(Debug, Clone, Copy)]
+pub struct CalCategories {
+    /// "Glacier" — 1 physical node (the KSP workload of Fig. 8).
+    pub glacier: CategoryId,
+    /// "Lake" — 8 physical nodes.
+    pub lake: CategoryId,
+    /// "Crater" — 14 physical nodes.
+    pub crater: CategoryId,
+    /// "Harbor" — 94 physical nodes.
+    pub harbor: CategoryId,
+}
+
+/// Generate a CAL-like POI assignment: 62 categories, of which the four
+/// the paper queries have exactly its cardinalities (1, 8, 14, 94); the
+/// remaining 58 get log-uniform random sizes in `[1, n/100]` as filler.
+pub fn generate_cal_categories(idx: &mut CategoryIndex, n: usize, seed: u64) -> CalCategories {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pick = |rng: &mut SmallRng, count: usize| sample_distinct(rng, n, count.min(n));
+
+    let glacier = idx.add_category("Glacier", pick(&mut rng, 1));
+    let lake = idx.add_category("Lake", pick(&mut rng, 8));
+    let crater = idx.add_category("Crater", pick(&mut rng, 14));
+    let harbor = idx.add_category("Harbor", pick(&mut rng, 94));
+    let max_size = (n / 100).max(2) as f64;
+    for i in 0..58 {
+        let size = max_size.powf(rng.gen_range(0.0..1.0)) as usize;
+        idx.add_category(format!("Cat{i:02}"), pick(&mut rng, size.max(1)));
+    }
+    CalCategories { glacier, lake, crater, harbor }
+}
+
+/// `count` distinct node ids, uniform over `0..n`.
+fn sample_distinct(rng: &mut SmallRng, n: usize, count: usize) -> Vec<NodeId> {
+    debug_assert!(count <= n);
+    if count * 20 >= n {
+        // Dense case: shuffle a full permutation prefix.
+        let mut all: Vec<NodeId> = (0..n as NodeId).collect();
+        all.shuffle(rng);
+        all.truncate(count);
+        all
+    } else {
+        // Sparse case: rejection sampling.
+        let mut seen = std::collections::HashSet::with_capacity(count * 2);
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            let v = rng.gen_range(0..n) as NodeId;
+            if seen.insert(v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_sets_have_paper_sizes_and_nesting() {
+        let n = 435_666; // COL
+        let mut idx = CategoryIndex::new();
+        let pois = generate_nested_pois(&mut idx, n, 9);
+        let sizes: Vec<usize> = pois.t.iter().map(|&c| idx.members(c).len()).collect();
+        assert_eq!(sizes, vec![43, 217, 435, 653]);
+        for w in pois.t.windows(2) {
+            let small = idx.members(w[0]);
+            let large = idx.members(w[1]);
+            assert!(small.iter().all(|v| large.binary_search(v).is_ok()), "not nested");
+        }
+    }
+
+    #[test]
+    fn nested_sets_never_empty_on_small_graphs() {
+        let mut idx = CategoryIndex::new();
+        let pois = generate_nested_pois(&mut idx, 50, 1);
+        for &c in &pois.t {
+            assert!(!idx.members(c).is_empty());
+        }
+    }
+
+    #[test]
+    fn cal_categories_have_exact_cardinalities() {
+        let mut idx = CategoryIndex::new();
+        let cal = generate_cal_categories(&mut idx, 106_337, 3);
+        assert_eq!(idx.members(cal.glacier).len(), 1);
+        assert_eq!(idx.members(cal.lake).len(), 8);
+        assert_eq!(idx.members(cal.crater).len(), 14);
+        assert_eq!(idx.members(cal.harbor).len(), 94);
+        assert_eq!(idx.category_count(), 62);
+    }
+
+    #[test]
+    fn sampling_is_distinct_and_seeded() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let s = sample_distinct(&mut rng, 1_000, 100);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 100);
+
+        let mut idx1 = CategoryIndex::new();
+        let mut idx2 = CategoryIndex::new();
+        generate_nested_pois(&mut idx1, 10_000, 77);
+        generate_nested_pois(&mut idx2, 10_000, 77);
+        assert_eq!(idx1.members(0), idx2.members(0));
+    }
+}

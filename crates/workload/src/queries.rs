@@ -1,0 +1,142 @@
+//! Query workload generation (§7 "Queries").
+//!
+//! For a destination category `T`: sort all nodes by their shortest
+//! distance `δ(v, T)`, partition the reachable ones into `group_count`
+//! equal quantile groups, and draw `per_group` random sources from each.
+//! Nodes in `Q_i` are closer to the destinations than nodes in `Q_j` for
+//! `i < j`; the paper defaults to 5 groups × 100 sources with `Q3` as the
+//! default set, and `k ∈ {10, 20, 30, 50}` with default 20.
+
+use kpj_graph::{Graph, Length, NodeId};
+use kpj_sp::DenseDijkstra;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The paper's `k` sweep.
+pub const K_VALUES: [usize; 4] = [10, 20, 30, 50];
+
+/// The paper's default `k`.
+pub const DEFAULT_K: usize = 20;
+
+/// Distance-stratified query source groups `Q1..Q_g`.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct QuerySets {
+    /// `groups[i]` = the sources of `Q_{i+1}`.
+    pub groups: Vec<Vec<NodeId>>,
+}
+
+impl QuerySets {
+    /// Generate the workload for category `targets` on `g`.
+    ///
+    /// Only nodes that can reach `T` are eligible (the paper's real road
+    /// networks are strongly connected; synthetic ones are too, but
+    /// arbitrary graphs may not be). `per_group` is capped by group size.
+    pub fn generate(
+        g: &Graph,
+        targets: &[NodeId],
+        group_count: usize,
+        per_group: usize,
+        seed: u64,
+    ) -> QuerySets {
+        assert!(group_count > 0, "need at least one group");
+        let d = DenseDijkstra::to_targets(g, targets);
+        let mut nodes: Vec<(Length, NodeId)> =
+            g.nodes().filter(|&v| d.reached(v)).map(|v| (d.dist(v), v)).collect();
+        nodes.sort_unstable();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let total = nodes.len();
+        let mut groups = Vec::with_capacity(group_count);
+        for i in 0..group_count {
+            let lo = total * i / group_count;
+            let hi = total * (i + 1) / group_count;
+            let mut slice: Vec<NodeId> = nodes[lo..hi].iter().map(|&(_, v)| v).collect();
+            slice.shuffle(&mut rng);
+            slice.truncate(per_group);
+            groups.push(slice);
+        }
+        QuerySets { groups }
+    }
+
+    /// The default group (`Q3` for the paper's 5 groups: index `g/2`).
+    pub fn default_group(&self) -> &[NodeId] {
+        &self.groups[self.groups.len() / 2]
+    }
+
+    /// `Q_i` (1-based, as in the paper).
+    pub fn group(&self, i: usize) -> &[NodeId] {
+        &self.groups[i - 1]
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::road::RoadConfig;
+
+    #[test]
+    fn groups_are_ordered_by_distance() {
+        let g = RoadConfig::new(2_000, 4_800, 11).generate();
+        let targets = [3u32, 700, 1500];
+        let qs = QuerySets::generate(&g, &targets, 5, 50, 1);
+        assert_eq!(qs.group_count(), 5);
+        let d = DenseDijkstra::to_targets(&g, &targets);
+        // Mean distance must increase across groups.
+        let means: Vec<f64> = qs
+            .groups
+            .iter()
+            .map(|grp| grp.iter().map(|&v| d.dist(v) as f64).sum::<f64>() / grp.len() as f64)
+            .collect();
+        for w in means.windows(2) {
+            assert!(w[0] <= w[1], "group means not monotone: {means:?}");
+        }
+        // Max of Qi ≤ min of Q(i+1) — quantiles are disjoint ranges.
+        for i in 0..4 {
+            let max_i = qs.groups[i].iter().map(|&v| d.dist(v)).max().unwrap();
+            let min_j = qs.groups[i + 1].iter().map(|&v| d.dist(v)).min().unwrap();
+            assert!(max_i <= min_j);
+        }
+    }
+
+    #[test]
+    fn per_group_is_respected_and_seeded() {
+        let g = RoadConfig::new(500, 1_200, 2).generate();
+        let a = QuerySets::generate(&g, &[7], 5, 20, 9);
+        let b = QuerySets::generate(&g, &[7], 5, 20, 9);
+        for grp in &a.groups {
+            assert_eq!(grp.len(), 20);
+        }
+        assert_eq!(a.groups, b.groups);
+        assert_eq!(a.default_group(), a.group(3));
+    }
+
+    #[test]
+    fn small_graphs_cap_group_sizes() {
+        let g = RoadConfig::new(12, 26, 3).generate();
+        let qs = QuerySets::generate(&g, &[0], 5, 100, 1);
+        let total: usize = qs.groups.iter().map(Vec::len).sum();
+        assert!(total <= 12);
+        assert!(qs.groups.iter().all(|g| !g.is_empty()));
+    }
+
+    #[test]
+    fn unreachable_nodes_excluded() {
+        use kpj_graph::GraphBuilder;
+        let mut b = GraphBuilder::new(4);
+        b.add_bidirectional(0, 1, 1).unwrap();
+        b.add_bidirectional(2, 3, 1).unwrap();
+        let g = b.build();
+        let qs = QuerySets::generate(&g, &[0], 2, 10, 1);
+        for grp in &qs.groups {
+            for &v in grp {
+                assert!(v < 2, "unreachable node {v} sampled");
+            }
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Synthetic road-network generator.
+//!
+//! Real road networks are near-planar, low-degree, high-diameter graphs
+//! with edge weights proportional to physical length. This generator
+//! reproduces those properties on a `cols × rows` lattice:
+//!
+//! 1. enumerate all lattice edges (right/down neighbours, plus the two
+//!    diagonals when the target density exceeds the rectilinear lattice's
+//!    capacity — real road networks mix grid and diagonal streets),
+//! 2. shuffle them and run Kruskal with union–find — the first `n−1`
+//!    accepted edges form a *random spanning tree* (guaranteed
+//!    connectivity, meandering road-like structure),
+//! 3. add further shuffled lattice edges until the target *arc* count is
+//!    reached (each undirected edge contributes two arcs, as in the DIMACS
+//!    files of the paper),
+//! 4. weight each edge with a jittered unit length
+//!    (`base · U[0.75, 1.35]`), mimicking physical road lengths.
+
+use kpj_graph::{Graph, GraphBuilder, Weight};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic road network.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RoadConfig {
+    /// Number of nodes `n`. The lattice is `⌈√n⌉` wide; the last row may
+    /// be partial.
+    pub nodes: usize,
+    /// Target number of *arcs* `m` (two per undirected edge). Clamped to
+    /// `[2(n−1), 2·#lattice-edges]`.
+    pub arcs: usize,
+    /// Base edge length before jitter (weights are
+    /// `base · U[0.75, 1.35]`, at least 1).
+    pub base_weight: Weight,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RoadConfig {
+    /// A config with the paper's defaults for weights.
+    pub fn new(nodes: usize, arcs: usize, seed: u64) -> Self {
+        RoadConfig { nodes, arcs, base_weight: 1_000, seed }
+    }
+
+    /// Generate the network.
+    pub fn generate(&self) -> Graph {
+        generate_road_network(self)
+    }
+}
+
+/// See the module docs.
+pub fn generate_road_network(cfg: &RoadConfig) -> Graph {
+    let n = cfg.nodes;
+    if n == 0 {
+        return GraphBuilder::new(0).build();
+    }
+    if n == 1 {
+        return GraphBuilder::new(1).build();
+    }
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let cols = (n as f64).sqrt().ceil() as usize;
+
+    // Rectilinear lattice edges among the first n nodes (row-major layout),
+    // flagged false; diagonal edges (weight × √2) flagged true and only
+    // generated when the rectilinear lattice alone cannot reach the target
+    // edge count.
+    let rectilinear_capacity = {
+        let mut c = 0usize;
+        for v in 0..n {
+            let col = v % cols;
+            c += usize::from(col + 1 < cols && v + 1 < n);
+            c += usize::from(v + cols < n);
+        }
+        c
+    };
+    let need_diagonals = cfg.arcs / 2 > rectilinear_capacity;
+    let mut edges: Vec<(u32, u32, bool)> = Vec::with_capacity(4 * n);
+    for v in 0..n {
+        let col = v % cols;
+        if col + 1 < cols && v + 1 < n {
+            edges.push((v as u32, (v + 1) as u32, false));
+        }
+        if v + cols < n {
+            edges.push((v as u32, (v + cols) as u32, false));
+        }
+        if need_diagonals {
+            if col + 1 < cols && v + cols + 1 < n {
+                edges.push((v as u32, (v + cols + 1) as u32, true));
+            }
+            if col > 0 && v + cols - 1 < n {
+                edges.push((v as u32, (v + cols - 1) as u32, true));
+            }
+        }
+    }
+    edges.shuffle(&mut rng);
+
+    // Kruskal over the shuffled order: a random spanning tree.
+    let mut dsu = DisjointSets::new(n);
+    let mut in_tree = vec![false; edges.len()];
+    let mut tree_edges = 0usize;
+    for (i, &(a, b, _)) in edges.iter().enumerate() {
+        if dsu.union(a as usize, b as usize) {
+            in_tree[i] = true;
+            tree_edges += 1;
+            if tree_edges == n - 1 {
+                break;
+            }
+        }
+    }
+    debug_assert_eq!(tree_edges, n - 1, "lattice must be connected");
+
+    // How many undirected edges in total?
+    let want_undirected = (cfg.arcs / 2).clamp(n - 1, edges.len());
+    let extra_needed = want_undirected - (n - 1);
+
+    let mut b = GraphBuilder::with_capacity(n, 2 * want_undirected);
+    let weight = |rng: &mut SmallRng, diagonal: bool| -> Weight {
+        let jitter = rng.gen_range(0.75..1.35);
+        let base = cfg.base_weight as f64 * if diagonal { std::f64::consts::SQRT_2 } else { 1.0 };
+        ((base * jitter) as Weight).max(1)
+    };
+    let mut extra_left = extra_needed;
+    for (&(a, b_, diag), &tree) in edges.iter().zip(&in_tree) {
+        let take = tree || extra_left > 0 && { extra_left -= 1; true };
+        if take {
+            let w = weight(&mut rng, diag);
+            b.add_bidirectional(a, b_, w).expect("lattice nodes in range");
+        }
+    }
+    b.build()
+}
+
+/// Union–find with path halving and union by size.
+struct DisjointSets {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl DisjointSets {
+    fn new(n: usize) -> Self {
+        DisjointSets { parent: (0..n as u32).collect(), size: vec![1; n] }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            self.parent[x] = self.parent[self.parent[x] as usize];
+            x = self.parent[x] as usize;
+        }
+        x
+    }
+
+    /// Returns true if the two sets were merged (were distinct).
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpj_sp::DenseDijkstra;
+
+    #[test]
+    fn generates_requested_sizes() {
+        let g = RoadConfig::new(1_000, 2_400, 42).generate();
+        assert_eq!(g.node_count(), 1_000);
+        assert_eq!(g.edge_count(), 2_400);
+    }
+
+    #[test]
+    fn arc_count_clamped_to_spanning_tree_minimum() {
+        let g = RoadConfig::new(100, 10, 1).generate();
+        assert_eq!(g.edge_count(), 2 * 99);
+    }
+
+    #[test]
+    fn is_connected() {
+        for seed in 0..5 {
+            let g = RoadConfig::new(500, 1_100, seed).generate();
+            let d = DenseDijkstra::from_source(&g, 0);
+            assert!(g.nodes().all(|v| d.reached(v)), "seed {seed} disconnected");
+        }
+    }
+
+    #[test]
+    fn weights_are_jittered_around_base() {
+        let g = RoadConfig::new(400, 1_000, 7).generate();
+        let (mut lo, mut hi) = (u32::MAX, 0u32);
+        for u in g.nodes() {
+            for e in g.out_edges(u) {
+                lo = lo.min(e.weight);
+                hi = hi.max(e.weight);
+            }
+        }
+        assert!(lo >= 750 && hi <= 1_350, "weights {lo}..{hi} out of band");
+        assert!(hi > lo, "no jitter");
+    }
+
+    #[test]
+    fn degree_stays_road_like() {
+        let g = RoadConfig::new(2_000, 4_800, 3).generate();
+        let max_deg = g.nodes().map(|v| g.out_degree(v)).max().unwrap();
+        assert!(max_deg <= 4, "lattice degree bound violated: {max_deg}");
+        let avg = g.edge_count() as f64 / g.node_count() as f64;
+        assert!((2.3..2.5).contains(&avg), "arc ratio {avg}");
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_varies_across_seeds() {
+        let a = RoadConfig::new(300, 700, 5).generate();
+        let b = RoadConfig::new(300, 700, 5).generate();
+        let c = RoadConfig::new(300, 700, 6).generate();
+        let fingerprint = |g: &Graph| {
+            g.nodes().flat_map(|u| g.out_edges(u).iter().map(|e| (u, e.to, e.weight)).collect::<Vec<_>>()).collect::<Vec<_>>()
+        };
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn tiny_networks() {
+        assert_eq!(RoadConfig::new(0, 0, 1).generate().node_count(), 0);
+        assert_eq!(RoadConfig::new(1, 0, 1).generate().node_count(), 1);
+        let g = RoadConfig::new(2, 2, 1).generate();
+        assert_eq!(g.edge_count(), 2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the workload generators: structural invariants
+//! that must hold for *any* parameters, not just the paper's.
+
+use kpj_sp::DenseDijkstra;
+use kpj_workload::gene::GeneConfig;
+use kpj_workload::poi::{generate_cal_categories, generate_nested_pois};
+use kpj_workload::queries::QuerySets;
+use kpj_workload::road::RoadConfig;
+use kpj_workload::social::SocialConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Road networks: exact node count, clamped arc count, connectivity,
+    /// degree bound, weight band — for any size/density/seed.
+    #[test]
+    fn road_network_invariants(
+        nodes in 2usize..800,
+        arcs_factor in 0u32..70, // ×0.1 of nodes
+        seed in 0u64..1000,
+    ) {
+        let arcs = nodes * arcs_factor as usize / 10;
+        let g = RoadConfig::new(nodes, arcs, seed).generate();
+        prop_assert_eq!(g.node_count(), nodes);
+        // Arc count: between the spanning-tree floor and the requested
+        // target (subject to the lattice capacity ceiling).
+        prop_assert!(g.edge_count() >= 2 * (nodes - 1));
+        prop_assert!(g.edge_count() <= arcs.max(2 * (nodes - 1)) + 1);
+        // Connected.
+        let d = DenseDijkstra::from_source(&g, 0);
+        prop_assert!(g.nodes().all(|v| d.reached(v)), "disconnected");
+        // Lattice + diagonals bound the degree at 8.
+        prop_assert!(g.nodes().all(|v| g.out_degree(v) <= 8));
+        // Weights in the jitter band (rectilinear 750..1350, diagonal ×√2).
+        for u in g.nodes() {
+            for e in g.out_edges(u) {
+                prop_assert!((750..=1910).contains(&e.weight), "weight {}", e.weight);
+            }
+        }
+    }
+
+    /// Nested POIs: sizes, nesting, determinism.
+    #[test]
+    fn nested_pois_invariants(n in 1usize..100_000, seed in 0u64..500) {
+        let mut idx = kpj_graph::CategoryIndex::new();
+        let pois = generate_nested_pois(&mut idx, n, seed);
+        let sizes: Vec<usize> = pois.t.iter().map(|&c| idx.members(c).len()).collect();
+        prop_assert!(sizes.windows(2).all(|w| w[0] <= w[1]), "sizes not monotone: {sizes:?}");
+        prop_assert!(sizes[0] >= 1);
+        prop_assert!(sizes[3] <= n);
+        for w in pois.t.windows(2) {
+            let small = idx.members(w[0]);
+            let large = idx.members(w[1]);
+            prop_assert!(small.iter().all(|v| large.binary_search(v).is_ok()));
+        }
+        // Members are valid node ids.
+        prop_assert!(idx.members(pois.t[3]).iter().all(|&v| (v as usize) < n));
+    }
+
+    /// CAL categories always have the paper's cardinalities when n allows.
+    #[test]
+    fn cal_categories_cardinalities(n in 200usize..50_000, seed in 0u64..200) {
+        let mut idx = kpj_graph::CategoryIndex::new();
+        let cal = generate_cal_categories(&mut idx, n, seed);
+        prop_assert_eq!(idx.members(cal.glacier).len(), 1);
+        prop_assert_eq!(idx.members(cal.lake).len(), 8);
+        prop_assert_eq!(idx.members(cal.crater).len(), 14);
+        prop_assert_eq!(idx.members(cal.harbor).len(), 94);
+        prop_assert_eq!(idx.category_count(), 62);
+    }
+
+    /// Query sets: quantile groups are distance-ordered and only contain
+    /// reachable nodes, regardless of group/size parameters.
+    #[test]
+    fn query_sets_invariants(
+        nodes in 20usize..400,
+        groups in 1usize..8,
+        per_group in 1usize..30,
+        seed in 0u64..100,
+    ) {
+        let g = RoadConfig::new(nodes, nodes * 3, seed).generate();
+        let targets = [0u32, (nodes as u32) / 2];
+        let qs = QuerySets::generate(&g, &targets, groups, per_group, seed);
+        prop_assert_eq!(qs.group_count(), groups);
+        let d = DenseDijkstra::to_targets(&g, &targets);
+        // Every sampled node is reachable, every group respects its cap,
+        // and the groups' distance ranges are ordered: max(Q_i) ≤ min(Q_j)
+        // for i < j (quantile partition).
+        let mut prev_max: Option<u64> = None;
+        for grp in &qs.groups {
+            prop_assert!(grp.len() <= per_group);
+            for &v in grp {
+                prop_assert!(d.reached(v));
+            }
+            if grp.is_empty() {
+                continue;
+            }
+            let lo = grp.iter().map(|&v| d.dist(v)).min().expect("non-empty");
+            let hi = grp.iter().map(|&v| d.dist(v)).max().expect("non-empty");
+            if let Some(pm) = prev_max {
+                prop_assert!(lo >= pm, "quantile groups out of order: {lo} < {pm}");
+            }
+            prev_max = Some(hi);
+        }
+    }
+
+    /// Social networks stay connected (ring backbone) at any rewiring.
+    #[test]
+    fn social_network_connected(n in 2usize..500, p_milli in 0u64..1000, seed in 0u64..100) {
+        let cfg = SocialConfig {
+            nodes: n,
+            neighbors: 3,
+            rewire_p: p_milli as f64 / 1000.0,
+            max_weight: 10,
+            seed,
+        };
+        let g = cfg.generate();
+        prop_assert_eq!(g.node_count(), n);
+        // Rewiring can in principle disconnect; with k=3 neighbours the
+        // backbone keeps ≥ 95% of nodes reachable in practice — assert a
+        // conservative floor to catch generator regressions.
+        let d = DenseDijkstra::from_source(&g, 0);
+        let reached = g.nodes().filter(|&v| d.reached(v)).count();
+        prop_assert!(reached * 10 >= n * 9, "only {reached}/{n} reachable");
+    }
+
+    /// Gene networks are layered DAGs: no edge skips or goes backward.
+    #[test]
+    fn gene_network_layered(layers in 2usize..6, per_layer in 1usize..40, seed in 0u64..100) {
+        let cfg = GeneConfig::new(layers, per_layer, seed);
+        let g = cfg.generate();
+        prop_assert_eq!(g.node_count(), layers * per_layer);
+        for v in g.nodes() {
+            let lv = v as usize / per_layer;
+            for e in g.out_edges(v) {
+                let lw = e.to as usize / per_layer;
+                prop_assert!(lw == lv || lw == lv + 1);
+                prop_assert!(e.to != v, "self-loop");
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! The engine-room features beyond the paper: anytime (streaming) queries,
+//! automatic parameter tuning, and parallel batch execution.
+//!
+//! ```sh
+//! cargo run --release --example anytime
+//! ```
+
+use std::ops::ControlFlow;
+use std::time::Instant;
+
+use kpj::parallel::{query_batch, BatchQuery};
+use kpj::prelude::*;
+use kpj::tuning::{tune_alpha, SampleQuery, ALPHA_GRID};
+use kpj::workload::{datasets, poi, queries::QuerySets};
+
+fn main() {
+    println!("Generating an SJ-like road network…");
+    let graph = datasets::SJ.generate(0.5);
+    let mut cats = CategoryIndex::new();
+    let pois = poi::generate_nested_pois(&mut cats, graph.node_count(), 11);
+    let targets = cats.members(pois.t[1]).to_vec();
+    let landmarks = LandmarkIndex::build(&graph, 16, SelectionStrategy::Farthest, 11);
+    let qs = QuerySets::generate(&graph, &targets, 5, 20, 11);
+    println!("  n = {}, m = {}, |T2| = {}", graph.node_count(), graph.edge_count(), targets.len());
+
+    // 1. Anytime: consume paths as they are proven, stop on a condition.
+    println!("\n[1] Anytime query: stop as soon as a path is 5% longer than the best");
+    let mut engine = QueryEngine::new(&graph).with_landmarks(&landmarks);
+    let source = qs.default_group()[0];
+    let mut best: Option<Length> = None;
+    let mut taken = 0usize;
+    let stats = engine
+        .query_visit(Algorithm::IterBoundI, source, &targets, 1_000, |p| {
+            let b = *best.get_or_insert(p.length);
+            if p.length as f64 > b as f64 * 1.05 {
+                ControlFlow::Break(())
+            } else {
+                taken += 1;
+                if taken <= 3 {
+                    println!("    accepted: {p}");
+                }
+                ControlFlow::Continue(())
+            }
+        })
+        .expect("valid query");
+    println!("    kept {taken} near-optimal routes, settled {} nodes", stats.nodes_settled);
+
+    // 2. Auto-tuning α on a sample of the real workload.
+    println!("\n[2] Auto-tuning α over {ALPHA_GRID:?}");
+    let sample: Vec<SampleQuery> = qs
+        .group(3)
+        .iter()
+        .take(10)
+        .map(|&s| SampleQuery { source: s, targets: targets.clone(), k: 20 })
+        .collect();
+    let report = tune_alpha(&graph, Some(&landmarks), &sample, &ALPHA_GRID);
+    for (alpha, t) in &report.trials {
+        println!("    α = {alpha:<5} → {t:>9.2?}");
+    }
+    println!("    best α = {}", report.best);
+
+    // 3. Parallel batch: one engine per worker, same results, more cores
+    // (speedup appears on multi-core machines; results are identical
+    // regardless).
+    println!(
+        "\n[3] Parallel batch over 100 queries ({} core(s) available)",
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    );
+    let batch: Vec<BatchQuery> = (1..=5)
+        .flat_map(|grp| qs.group(grp).iter().take(20).copied().collect::<Vec<_>>())
+        .map(|s| BatchQuery { sources: vec![s], targets: targets.clone(), k: 20 })
+        .collect();
+    for threads in [1, 4] {
+        let t0 = Instant::now();
+        let results = query_batch(&graph, Some(&landmarks), Algorithm::IterBoundI, &batch, threads);
+        let total_paths: usize = results.iter().map(|r| r.as_ref().unwrap().paths.len()).sum();
+        println!("    {threads} thread(s): {:>9.2?} for {} paths", t0.elapsed(), total_paths);
+    }
+}

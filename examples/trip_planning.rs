@@ -1,0 +1,69 @@
+//! Trip planning on a road network (§1: "route planning where the
+//! destination is any one from a group of nodes (e.g. 'IKEA')").
+//!
+//! Generates a CAL-scale synthetic road network (scaled down for a quick
+//! demo), drops POI categories onto it, and compares all algorithms on a
+//! realistic KPJ query: "top-10 routes from here to any Harbor".
+//!
+//! ```sh
+//! cargo run --release --example trip_planning
+//! ```
+
+use std::time::Instant;
+
+use kpj::prelude::*;
+use kpj::workload::{datasets, poi, queries::QuerySets};
+
+fn main() {
+    let scale = 0.1;
+    println!("Generating a CAL-like road network at scale {scale}…");
+    let graph = datasets::CAL.generate(scale);
+    println!("  n = {}, m = {}", graph.node_count(), graph.edge_count());
+
+    let mut categories = CategoryIndex::new();
+    let cal = poi::generate_cal_categories(&mut categories, graph.node_count(), 7);
+    let harbors = categories.members(cal.harbor).to_vec();
+    println!("  {} categories; Harbor has {} locations", categories.category_count(), harbors.len());
+
+    let t0 = Instant::now();
+    let landmarks = LandmarkIndex::build(&graph, 16, SelectionStrategy::Farthest, 7);
+    println!("  built 16 landmarks in {:.1?} (offline, reused by every query)", t0.elapsed());
+
+    // A medium-distance source, as in the paper's default query set Q3.
+    let qs = QuerySets::generate(&graph, &harbors, 5, 10, 99);
+    let source = qs.default_group()[0];
+    let k = 10;
+    println!("\nTop-{k} routes from node {source} to the nearest Harbors:\n");
+
+    let mut engine = QueryEngine::new(&graph).with_landmarks(&landmarks);
+    for alg in Algorithm::ALL {
+        let t = Instant::now();
+        let result = engine.query(alg, source, &harbors, k).expect("valid query");
+        let elapsed = t.elapsed();
+        let first = result.paths.first().map(|p| p.length).unwrap_or(0);
+        let last = result.paths.last().map(|p| p.length).unwrap_or(0);
+        println!(
+            "{:>10}: {:>9.1?}  ({} paths, lengths {}..{}, {} settled, SPT {})",
+            alg.name(),
+            elapsed,
+            result.paths.len(),
+            first,
+            last,
+            result.stats.nodes_settled,
+            result.stats.spt_nodes,
+        );
+    }
+
+    // Show the winning itinerary.
+    let best = engine
+        .query(Algorithm::IterBoundI, source, &harbors, 1)
+        .unwrap()
+        .paths
+        .remove(0);
+    println!(
+        "\nBest route: {} road segments, total length {}, arriving at Harbor node {}",
+        best.edge_count(),
+        best.length,
+        best.destination()
+    );
+}

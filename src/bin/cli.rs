@@ -1,0 +1,286 @@
+//! `kpj-cli` — run KPJ/KSP/GKPJ queries from the command line.
+//!
+//! ```sh
+//! # Generate a synthetic road network (binary graph file) + categories:
+//! kpj-cli generate --dataset SJ --scale 0.2 --out sj.kpj
+//! kpj-cli pois --graph sj.kpj --kind nested --out sj.cats
+//!
+//! # Build and persist a landmark index:
+//! kpj-cli landmarks --graph sj.kpj --count 16 --out sj.lm
+//!
+//! # Query: top-20 shortest paths from node 17 to category T2:
+//! kpj-cli query --graph sj.kpj --landmarks sj.lm --categories sj.cats \
+//!               --source 17 --category T2 -k 20 --algorithm iterboundi
+//!
+//! # Or with explicit target nodes, any algorithm, GKPJ sources:
+//! kpj-cli query --graph sj.kpj --sources 17,99 --targets 3,5,1020 -k 10
+//!
+//! # Inspect a graph file:
+//! kpj-cli info --graph sj.kpj
+//! ```
+//!
+//! Graph files use the compact binary format of `kpj_graph::io`; category
+//! files use the text format (`<name> <node>…` per line). DIMACS `.gr`
+//! files are auto-detected by extension.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use kpj::prelude::*;
+use kpj::workload::{datasets::DatasetSpec, poi, road::RoadConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Opts::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => generate(&opts),
+        "pois" => pois(&opts),
+        "landmarks" => landmarks(&opts),
+        "query" => query(&opts),
+        "info" => info(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+kpj-cli — top-k shortest path join queries
+
+commands:
+  generate  --out FILE (--dataset NAME --scale S | --nodes N --arcs M) [--seed S]
+  pois      --graph FILE --out FILE [--kind nested|cal] [--seed S]
+  landmarks --graph FILE --out FILE [--count N] [--seed S]
+  query     --graph FILE (--targets a,b,c | --categories FILE --category NAME)
+            (--source N | --sources a,b) [-k N] [--algorithm NAME]
+            [--landmarks FILE] [--alpha F] [--stats]
+  info      --graph FILE
+
+algorithms: da, da-spt, bestfirst, iterbound, iterboundp, iterboundi (default)";
+
+/// Parsed `--key value` options (order-insensitive).
+struct Opts(Vec<(String, String)>);
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut out = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let key = a
+                .strip_prefix("--")
+                .or_else(|| a.strip_prefix('-'))
+                .ok_or_else(|| format!("expected an option, got `{a}`"))?;
+            let flag_only = key == "stats";
+            let value = if flag_only {
+                "true".to_string()
+            } else {
+                it.next().ok_or_else(|| format!("missing value for --{key}"))?.clone()
+            };
+            out.push((key.to_string(), value));
+        }
+        Ok(Opts(out))
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("--{key} is required"))
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad number `{v}`")),
+        }
+    }
+
+    fn node_list(&self, key: &str) -> Result<Option<Vec<NodeId>>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .split(',')
+                .map(|t| t.trim().parse().map_err(|_| format!("--{key}: bad node id `{t}`")))
+                .collect::<Result<Vec<_>, _>>()
+                .map(Some),
+        }
+    }
+}
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let r = BufReader::new(f);
+    if path.ends_with(".gr") {
+        kpj::graph::io::read_dimacs_gr(r).map_err(|e| format!("{path}: {e}"))
+    } else {
+        kpj::graph::io::read_binary(r).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn generate(o: &Opts) -> Result<(), String> {
+    let out = o.require("out")?;
+    let seed: u64 = o.num("seed", 42)?;
+    let g = if let Some(name) = o.get("dataset") {
+        let spec = DatasetSpec::by_name(name)
+            .ok_or_else(|| format!("unknown dataset `{name}` (CAL/SJ/SF/COL/FLA/USA)"))?;
+        let scale: f64 = o.num("scale", 0.1)?;
+        spec.generate(scale)
+    } else {
+        let nodes: usize = o.num("nodes", 0)?;
+        let arcs: usize = o.num("arcs", 0)?;
+        if nodes == 0 {
+            return Err("need --dataset or --nodes/--arcs".into());
+        }
+        RoadConfig { nodes, arcs, base_weight: 1_000, seed }.generate()
+    };
+    let f = File::create(out).map_err(|e| format!("{out}: {e}"))?;
+    kpj::graph::io::write_binary(&g, BufWriter::new(f)).map_err(|e| e.to_string())?;
+    println!("wrote {} ({} nodes, {} arcs)", out, g.node_count(), g.edge_count());
+    Ok(())
+}
+
+fn pois(o: &Opts) -> Result<(), String> {
+    let g = load_graph(o.require("graph")?)?;
+    let out = o.require("out")?;
+    let seed: u64 = o.num("seed", 42)?;
+    let mut idx = CategoryIndex::new();
+    match o.get("kind").unwrap_or("nested") {
+        "nested" => {
+            poi::generate_nested_pois(&mut idx, g.node_count(), seed);
+        }
+        "cal" => {
+            poi::generate_cal_categories(&mut idx, g.node_count(), seed);
+        }
+        other => return Err(format!("unknown --kind `{other}` (nested|cal)")),
+    }
+    let f = File::create(out).map_err(|e| format!("{out}: {e}"))?;
+    kpj::graph::io::write_categories(&idx, BufWriter::new(f)).map_err(|e| e.to_string())?;
+    println!("wrote {} ({} categories)", out, idx.category_count());
+    Ok(())
+}
+
+fn landmarks(o: &Opts) -> Result<(), String> {
+    let g = load_graph(o.require("graph")?)?;
+    let out = o.require("out")?;
+    let count: usize = o.num("count", 16)?;
+    let seed: u64 = o.num("seed", 42)?;
+    let idx = LandmarkIndex::build(&g, count, SelectionStrategy::Farthest, seed);
+    let f = File::create(out).map_err(|e| format!("{out}: {e}"))?;
+    idx.write_binary(BufWriter::new(f)).map_err(|e| e.to_string())?;
+    println!("wrote {} ({} landmarks over {} nodes)", out, idx.len(), idx.node_count());
+    Ok(())
+}
+
+fn query(o: &Opts) -> Result<(), String> {
+    let g = load_graph(o.require("graph")?)?;
+
+    // Targets: explicit list or a named category from a category file.
+    let targets: Vec<NodeId> = if let Some(t) = o.node_list("targets")? {
+        t
+    } else {
+        let cat_file = o.require("categories").map_err(|_| {
+            "need --targets a,b,c or --categories FILE --category NAME".to_string()
+        })?;
+        let name = o.require("category")?;
+        let f = File::open(cat_file).map_err(|e| format!("{cat_file}: {e}"))?;
+        let idx = kpj::graph::io::read_categories(BufReader::new(f), g.node_count())
+            .map_err(|e| e.to_string())?;
+        let cat = idx
+            .find_by_name(name)
+            .ok_or_else(|| format!("category `{name}` not in {cat_file}"))?;
+        idx.members(cat).to_vec()
+    };
+
+    let sources: Vec<NodeId> = if let Some(s) = o.node_list("sources")? {
+        s
+    } else {
+        vec![o.num::<NodeId>("source", NodeId::MAX)?]
+    };
+    if sources == [NodeId::MAX] {
+        return Err("need --source N or --sources a,b".into());
+    }
+
+    let k: usize = o.num("k", 20)?;
+    let alg: Algorithm = o.get("algorithm").unwrap_or("iterboundi").parse()?;
+
+    let lm = match o.get("landmarks") {
+        None => None,
+        Some(path) => {
+            let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(LandmarkIndex::read_binary(BufReader::new(f)).map_err(|e| e.to_string())?)
+        }
+    };
+
+    let mut engine = QueryEngine::new(&g);
+    if let Some(idx) = &lm {
+        if idx.node_count() != g.node_count() {
+            return Err("landmark index does not match the graph".into());
+        }
+        engine = engine.with_landmarks(idx);
+    }
+    if let Some(a) = o.get("alpha") {
+        let alpha: f64 = a.parse().map_err(|_| format!("--alpha: bad number `{a}`"))?;
+        if alpha <= 1.0 {
+            return Err("--alpha must exceed 1".into());
+        }
+        engine = engine.with_alpha(alpha);
+    }
+
+    let t0 = std::time::Instant::now();
+    let r = engine.query_multi(alg, &sources, &targets, k).map_err(|e| e.to_string())?;
+    let elapsed = t0.elapsed();
+
+    for (i, p) in r.paths.iter().enumerate() {
+        let nodes: Vec<String> = p.nodes.iter().map(|v| v.to_string()).collect();
+        println!("P{} len={} : {}", i + 1, p.length, nodes.join(" "));
+    }
+    eprintln!(
+        "{} paths in {:.3?} with {} ({} nodes settled)",
+        r.paths.len(),
+        elapsed,
+        alg.name(),
+        r.stats.nodes_settled
+    );
+    if o.get("stats").is_some() {
+        eprintln!("{:#?}", r.stats);
+    }
+    Ok(())
+}
+
+fn info(o: &Opts) -> Result<(), String> {
+    let g = load_graph(o.require("graph")?)?;
+    println!("nodes: {}", g.node_count());
+    println!("arcs:  {}", g.edge_count());
+    let mut max_deg = 0;
+    let mut isolated = 0usize;
+    for v in g.nodes() {
+        let d = g.out_degree(v);
+        max_deg = max_deg.max(d);
+        isolated += usize::from(d == 0 && g.in_degree(v) == 0);
+    }
+    println!("max out-degree: {max_deg}");
+    println!("isolated nodes: {isolated}");
+    println!("total weight:   {}", g.total_weight());
+    Ok(())
+}

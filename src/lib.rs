@@ -1,0 +1,74 @@
+//! `kpj` — top-k shortest path join queries on large graphs.
+//!
+//! This is the facade crate of the workspace reproducing
+//! *"Efficiently Computing Top-K Shortest Path Join"* (EDBT 2015): it
+//! re-exports the public API of every member crate and provides a
+//! [`prelude`]. See the `README.md` for a tour and `DESIGN.md` for the
+//! paper-to-code map.
+//!
+//! ```
+//! use kpj::prelude::*;
+//!
+//! // Build a graph (or generate one: see `kpj::workload`).
+//! let mut b = GraphBuilder::new(4);
+//! b.add_bidirectional(0, 1, 3).unwrap();
+//! b.add_bidirectional(1, 2, 4).unwrap();
+//! b.add_bidirectional(0, 3, 9).unwrap();
+//! b.add_bidirectional(3, 2, 1).unwrap();
+//! let g = b.build();
+//!
+//! // Answer a KPJ query with the paper's flagship algorithm.
+//! let mut engine = QueryEngine::new(&g);
+//! let top2 = engine.query(Algorithm::IterBoundI, 0, &[2, 3], 2).unwrap();
+//! assert_eq!(top2.paths[0].length, 7);  // 0-1-2
+//! assert_eq!(top2.paths[1].length, 8);  // 0-1-2-3 (beats the direct 0-3 of length 9)
+//! ```
+
+#![warn(missing_docs)]
+
+/// Graph substrate: CSR graphs, categories, paths, I/O
+/// (re-export of [`kpj_graph`]).
+pub mod graph {
+    pub use kpj_graph::*;
+}
+
+/// Priority queues (re-export of [`kpj_heap`]).
+pub mod heap {
+    pub use kpj_heap::*;
+}
+
+/// Shortest-path algorithms (re-export of [`kpj_sp`]).
+pub mod sp {
+    pub use kpj_sp::*;
+}
+
+/// Landmark (ALT) lower-bound index (re-export of [`kpj_landmark`]).
+pub mod landmark {
+    pub use kpj_landmark::*;
+}
+
+/// The KPJ algorithms and query engine (re-export of [`kpj_core`]).
+pub mod core {
+    pub use kpj_core::*;
+}
+
+/// Workload generators (re-export of [`kpj_workload`]).
+pub mod workload {
+    pub use kpj_workload::*;
+}
+
+pub mod parallel;
+pub mod tuning;
+
+/// The names almost every user needs.
+pub mod prelude {
+    pub use kpj_core::{Algorithm, KpjResult, QueryEngine, QueryError, QueryStats};
+    pub use kpj_graph::{
+        CategoryId, CategoryIndex, Graph, GraphBuilder, Length, NodeId, Path, Weight,
+    };
+    pub use kpj_landmark::{LandmarkIndex, SelectionStrategy};
+}
+
+pub use kpj_core::{Algorithm, KpjResult, QueryEngine, QueryError, QueryStats};
+pub use kpj_graph::{CategoryIndex, Graph, GraphBuilder, Length, NodeId, Path, Weight};
+pub use kpj_landmark::{LandmarkIndex, SelectionStrategy};

@@ -1,0 +1,125 @@
+//! Parallel batch query execution.
+//!
+//! The paper's engine — like this crate's [`QueryEngine`] — is
+//! single-threaded per query (all scratch is reused across queries).
+//! Throughput across *many* queries, however, parallelizes trivially: the
+//! graph and landmark index are immutable after the offline phase, so each
+//! worker thread owns its own engine and pulls queries from a shared
+//! counter. This module packages that pattern.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use kpj_core::{Algorithm, KpjResult, QueryEngine, QueryError};
+use kpj_graph::{Graph, NodeId};
+use kpj_landmark::LandmarkIndex;
+
+/// One query of a batch (GKPJ-shaped; use a single-element `sources` for
+/// plain KPJ/KSP).
+#[derive(Debug, Clone)]
+pub struct BatchQuery {
+    /// Source set `V_S` (singleton for KPJ).
+    pub sources: Vec<NodeId>,
+    /// Destination set `V_T`.
+    pub targets: Vec<NodeId>,
+    /// Number of paths.
+    pub k: usize,
+}
+
+/// Run `queries` with `alg` on `threads` worker threads, each owning a
+/// private [`QueryEngine`]. Results are returned in input order.
+///
+/// `threads = 0` is treated as 1. Worker panics propagate.
+pub fn query_batch(
+    graph: &Graph,
+    landmarks: Option<&LandmarkIndex>,
+    alg: Algorithm,
+    queries: &[BatchQuery],
+    threads: usize,
+) -> Vec<Result<KpjResult, QueryError>> {
+    let threads = threads.max(1).min(queries.len().max(1));
+    let next = AtomicUsize::new(0);
+
+    let mut tagged: Vec<(usize, Result<KpjResult, QueryError>)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut engine = QueryEngine::new(graph);
+                        if let Some(idx) = landmarks {
+                            engine = engine.with_landmarks(idx);
+                        }
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= queries.len() {
+                                break;
+                            }
+                            let q = &queries[i];
+                            out.push((i, engine.query_multi(alg, &q.sources, &q.targets, q.k)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+        });
+
+    tagged.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(tagged.len(), queries.len());
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::datasets;
+    use kpj_landmark::SelectionStrategy;
+
+    fn batch(n_queries: u32, n: u32) -> Vec<BatchQuery> {
+        (0..n_queries)
+            .map(|i| BatchQuery {
+                sources: vec![(i * 37) % n],
+                targets: vec![(i * 101 + 5) % n, (i * 13 + 9) % n],
+                k: 1 + (i as usize % 10),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = datasets::SJ.generate(0.05);
+        let idx = LandmarkIndex::build(&g, 4, SelectionStrategy::Farthest, 1);
+        let queries = batch(40, g.node_count() as u32);
+        let par = query_batch(&g, Some(&idx), Algorithm::IterBoundI, &queries, 4);
+        let mut engine = QueryEngine::new(&g).with_landmarks(&idx);
+        for (q, r) in queries.iter().zip(&par) {
+            let seq = engine.query_multi(Algorithm::IterBoundI, &q.sources, &q.targets, q.k);
+            let got: Vec<u64> = r.as_ref().unwrap().paths.iter().map(|p| p.length).collect();
+            let want: Vec<u64> = seq.unwrap().paths.iter().map(|p| p.length).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn degenerate_thread_counts_and_errors() {
+        let g = datasets::SJ.generate(0.02);
+        let n = g.node_count() as u32;
+        let mut queries = batch(5, n);
+        queries.push(BatchQuery { sources: vec![], targets: vec![1], k: 3 });
+        queries.push(BatchQuery { sources: vec![n + 5], targets: vec![1], k: 3 });
+        for threads in [0, 1, 16] {
+            let r = query_batch(&g, None, Algorithm::Da, &queries, threads);
+            assert_eq!(r.len(), queries.len());
+            assert!(r[..5].iter().all(Result::is_ok));
+            assert!(matches!(r[5], Err(QueryError::NoSources)));
+            assert!(matches!(r[6], Err(QueryError::SourceOutOfRange(_))));
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let g = datasets::SJ.generate(0.02);
+        assert!(query_batch(&g, None, Algorithm::IterBoundI, &[], 8).is_empty());
+    }
+}

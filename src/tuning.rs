@@ -1,0 +1,166 @@
+//! Automatic parameter selection for `IterBoundI`.
+//!
+//! The paper tunes `|L|` (landmark count) and `α` (τ growth factor) by
+//! hand and closes Eval-I with: *"It will be our future work to
+//! automatically find the best choice of |L| and α."* This module is that
+//! future work: measure a sample of real queries over a candidate grid and
+//! pick the fastest setting. Deterministic given the query sample; the
+//! cost is `O(|grid| · |sample|)` queries plus (for `|L|`) one index build
+//! per candidate.
+
+use std::time::{Duration, Instant};
+
+use kpj_core::{Algorithm, QueryEngine};
+use kpj_graph::{Graph, NodeId};
+use kpj_landmark::{LandmarkIndex, SelectionStrategy};
+
+/// A sample query: one source and its destination set.
+#[derive(Debug, Clone)]
+pub struct SampleQuery {
+    /// Source node.
+    pub source: NodeId,
+    /// Destination set `V_T`.
+    pub targets: Vec<NodeId>,
+    /// Number of paths to request.
+    pub k: usize,
+}
+
+/// Outcome of a grid search: every trial plus the winner.
+#[derive(Debug, Clone)]
+pub struct TuningReport<P> {
+    /// `(candidate, total wall time over the sample)`, in grid order.
+    pub trials: Vec<(P, Duration)>,
+    /// The fastest candidate.
+    pub best: P,
+}
+
+impl<P: Copy> TuningReport<P> {
+    fn from_trials(trials: Vec<(P, Duration)>) -> Self {
+        let best = trials
+            .iter()
+            .min_by_key(|(_, d)| *d)
+            .expect("at least one candidate")
+            .0;
+        TuningReport { trials, best }
+    }
+}
+
+/// The paper's α grid (Fig. 6(b)).
+pub const ALPHA_GRID: [f64; 5] = [1.05, 1.1, 1.2, 1.5, 1.8];
+
+/// The paper's `|L|` grid (Fig. 6(a)).
+pub const LANDMARK_GRID: [usize; 6] = [4, 8, 12, 16, 20, 32];
+
+/// Pick the fastest `α` for `IterBoundI` on this graph/index/workload.
+///
+/// # Panics
+/// Panics if `grid` or `sample` is empty, or any α ≤ 1.
+pub fn tune_alpha(
+    graph: &Graph,
+    landmarks: Option<&LandmarkIndex>,
+    sample: &[SampleQuery],
+    grid: &[f64],
+) -> TuningReport<f64> {
+    assert!(!grid.is_empty() && !sample.is_empty(), "empty tuning input");
+    let trials = grid
+        .iter()
+        .map(|&alpha| {
+            let mut engine = QueryEngine::new(graph).with_alpha(alpha);
+            if let Some(idx) = landmarks {
+                engine = engine.with_landmarks(idx);
+            }
+            (alpha, run_sample(&mut engine, sample))
+        })
+        .collect();
+    TuningReport::from_trials(trials)
+}
+
+/// Pick the fastest landmark count for `IterBoundI`, rebuilding the index
+/// per candidate (`Farthest` selection, as in the paper). Returns the
+/// report and the winning index so callers don't pay for a rebuild.
+///
+/// # Panics
+/// Panics if `grid` or `sample` is empty.
+pub fn tune_landmark_count(
+    graph: &Graph,
+    sample: &[SampleQuery],
+    grid: &[usize],
+    seed: u64,
+) -> (TuningReport<usize>, LandmarkIndex) {
+    assert!(!grid.is_empty() && !sample.is_empty(), "empty tuning input");
+    let mut best_index: Option<(usize, LandmarkIndex)> = None;
+    let mut trials = Vec::with_capacity(grid.len());
+    for &count in grid {
+        let idx = LandmarkIndex::build(graph, count, SelectionStrategy::Farthest, seed);
+        let mut engine = QueryEngine::new(graph).with_landmarks(&idx);
+        let elapsed = run_sample(&mut engine, sample);
+        trials.push((count, elapsed));
+        let is_best = trials.iter().all(|&(_, d)| elapsed <= d);
+        if is_best {
+            best_index = Some((count, idx));
+        }
+    }
+    let report = TuningReport::from_trials(trials);
+    let (_, idx) = best_index.expect("grid non-empty");
+    (report, idx)
+}
+
+fn run_sample(engine: &mut QueryEngine<'_>, sample: &[SampleQuery]) -> Duration {
+    let t0 = Instant::now();
+    for q in sample {
+        let _ = engine
+            .query(Algorithm::IterBoundI, q.source, &q.targets, q.k)
+            .expect("sample queries must be valid for the graph");
+    }
+    t0.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpj_workload::datasets;
+    use kpj_workload::poi::generate_nested_pois;
+    use kpj_workload::queries::QuerySets;
+
+    fn sample() -> (Graph, Vec<SampleQuery>) {
+        let g = datasets::SJ.generate(0.05);
+        let mut cats = kpj_graph::CategoryIndex::new();
+        let pois = generate_nested_pois(&mut cats, g.node_count(), 1);
+        let targets = cats.members(pois.t[1]).to_vec();
+        let qs = QuerySets::generate(&g, &targets, 5, 2, 1);
+        let sample = qs
+            .group(3)
+            .iter()
+            .map(|&s| SampleQuery { source: s, targets: targets.clone(), k: 10 })
+            .collect();
+        (g, sample)
+    }
+
+    #[test]
+    fn alpha_tuning_returns_a_grid_member() {
+        let (g, sample) = sample();
+        let report = tune_alpha(&g, None, &sample, &[1.1, 1.5]);
+        assert_eq!(report.trials.len(), 2);
+        assert!([1.1, 1.5].contains(&report.best));
+        assert!(report.trials.iter().any(|&(a, _)| a == report.best));
+    }
+
+    #[test]
+    fn landmark_tuning_returns_matching_index() {
+        let (g, sample) = sample();
+        let (report, idx) = tune_landmark_count(&g, &sample, &[2, 6], 7);
+        assert_eq!(report.trials.len(), 2);
+        assert_eq!(idx.len(), report.best);
+        // The winning index is usable directly.
+        let mut engine = QueryEngine::new(&g).with_landmarks(&idx);
+        let r = engine.query(Algorithm::IterBoundI, sample[0].source, &sample[0].targets, 5);
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty tuning input")]
+    fn empty_grid_panics() {
+        let (g, sample) = sample();
+        let _ = tune_alpha(&g, None, &sample, &[]);
+    }
+}

@@ -1,0 +1,164 @@
+//! The grand cross-product test: every algorithm × every graph family ×
+//! several query shapes must agree on the top-k length sequence and
+//! satisfy the structural invariants. Brute force pins the truth on the
+//! small instances; on the larger ones the seven independent
+//! implementations pin each other.
+
+use kpj::core::reference;
+use kpj::prelude::*;
+use kpj::workload::{datasets, gene::GeneConfig, poi, road::RoadConfig, social::SocialConfig};
+
+struct Case {
+    name: &'static str,
+    graph: Graph,
+    sources: Vec<NodeId>,
+    targets: Vec<NodeId>,
+    k: usize,
+    /// Brute-force check feasible?
+    brute: bool,
+}
+
+fn cases() -> Vec<Case> {
+    let mut out = Vec::new();
+
+    // Tiny road network: brute-forceable.
+    let g = RoadConfig::new(12, 30, 7).generate();
+    out.push(Case {
+        name: "tiny-road",
+        graph: g,
+        sources: vec![0],
+        targets: vec![7, 11],
+        k: 12,
+        brute: true,
+    });
+
+    // Small social network (cycles everywhere): brute-forceable with care.
+    let g = SocialConfig { nodes: 9, neighbors: 2, rewire_p: 0.3, max_weight: 5, seed: 3 }
+        .generate();
+    out.push(Case {
+        name: "small-social",
+        graph: g,
+        sources: vec![1, 4],
+        targets: vec![7],
+        k: 10,
+        brute: true,
+    });
+
+    // Gene DAG: directed, layered.
+    let cfg = GeneConfig::new(3, 4, 5);
+    let g = cfg.generate();
+    out.push(Case {
+        name: "gene-dag",
+        graph: g,
+        sources: vec![0, 1],
+        targets: (8..12).collect(),
+        k: 15,
+        brute: true,
+    });
+
+    // Mid-size road network: implementations check each other.
+    let g = datasets::SJ.generate(0.15);
+    let mut cats = CategoryIndex::new();
+    let pois = poi::generate_nested_pois(&mut cats, g.node_count(), 2);
+    let targets = cats.members(pois.t[2]).to_vec();
+    out.push(Case { name: "sj-road", graph: g, sources: vec![42], targets, k: 25, brute: false });
+
+    // Mid-size social network, GKPJ.
+    let g = SocialConfig::new(3_000, 8).generate();
+    out.push(Case {
+        name: "social-gkpj",
+        graph: g,
+        sources: vec![5, 700, 1500],
+        targets: vec![2_000, 2_500, 2_999],
+        k: 25,
+        brute: false,
+    });
+
+    out
+}
+
+#[test]
+fn every_algorithm_on_every_family() {
+    for case in cases() {
+        let landmarks = LandmarkIndex::build(&case.graph, 6, SelectionStrategy::Farthest, 9);
+        let brute = case.brute.then(|| {
+            reference::top_k_lengths(&case.graph, &case.sources, &case.targets, case.k)
+        });
+        let mut consensus: Option<Vec<Length>> = brute.clone();
+        for with_lm in [true, false] {
+            let mut engine = QueryEngine::new(&case.graph);
+            if with_lm {
+                engine = engine.with_landmarks(&landmarks);
+            }
+            for alg in Algorithm::ALL {
+                let r = engine
+                    .query_multi(alg, &case.sources, &case.targets, case.k)
+                    .unwrap_or_else(|e| panic!("{}: {} failed: {e}", case.name, alg.name()));
+                let lens: Vec<Length> = r.paths.iter().map(|p| p.length).collect();
+                match &consensus {
+                    None => consensus = Some(lens),
+                    Some(want) => assert_eq!(
+                        &lens, want,
+                        "{}: {} (landmarks={with_lm}) disagrees",
+                        case.name,
+                        alg.name()
+                    ),
+                }
+                let mut seen = std::collections::HashSet::new();
+                for p in &r.paths {
+                    p.validate(&case.graph)
+                        .unwrap_or_else(|e| panic!("{}: {}: {e}", case.name, alg.name()));
+                    assert!(p.is_simple(), "{}: {} non-simple", case.name, alg.name());
+                    assert!(case.sources.contains(&p.source()));
+                    assert!(case.targets.contains(&p.destination()));
+                    assert!(seen.insert(p.nodes.clone()), "{}: duplicate path", case.name);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn walks_never_exceed_simple_paths_across_families() {
+    for case in cases() {
+        let walks =
+            kpj::core::general::top_k_walks(&case.graph, &case.sources, &case.targets, case.k);
+        let mut engine = QueryEngine::new(&case.graph);
+        let simple = engine
+            .query_multi(Algorithm::IterBoundI, &case.sources, &case.targets, case.k)
+            .unwrap();
+        for (i, p) in simple.paths.iter().enumerate() {
+            assert!(
+                walks.len() > i && walks[i].length <= p.length,
+                "{}: walk[{i}] should lower-bound simple path",
+                case.name
+            );
+        }
+        if let (Some(w), Some(p)) = (walks.first(), simple.paths.first()) {
+            assert_eq!(w.length, p.length, "{}: shortest walk == shortest path", case.name);
+        }
+    }
+}
+
+#[test]
+fn stats_are_sane_across_the_matrix() {
+    for case in cases().into_iter().filter(|c| !c.brute) {
+        let mut engine = QueryEngine::new(&case.graph);
+        for alg in Algorithm::ALL {
+            let r = engine.query_multi(alg, &case.sources, &case.targets, case.k).unwrap();
+            let s = &r.stats;
+            assert!(s.nodes_settled > 0, "{}: {}", case.name, alg.name());
+            assert!(s.edges_relaxed >= s.nodes_settled / 4, "{}: {}", case.name, alg.name());
+            match alg {
+                Algorithm::Da | Algorithm::DaSpt | Algorithm::DaSptPascoal => {
+                    assert!(s.shortest_path_computations >= r.paths.len());
+                    assert_eq!(s.testlb_calls, 0);
+                }
+                Algorithm::BestFirst => assert_eq!(s.testlb_calls, 0),
+                Algorithm::IterBound | Algorithm::IterBoundP | Algorithm::IterBoundI => {
+                    assert!(s.testlb_calls > 0, "{}: {}", case.name, alg.name());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! End-to-end tests of the `kpj-cli` binary: the full offline→online
+//! pipeline through actual process invocations and files on disk.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kpj-cli"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kpj-cli-test-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_pipeline_generate_pois_landmarks_query_info() {
+    let dir = tmpdir("pipeline");
+    let graph = dir.join("g.kpj");
+    let cats = dir.join("g.cats");
+    let lm = dir.join("g.lm");
+
+    let out = cli()
+        .args(["generate", "--dataset", "SJ", "--scale", "0.05", "--out"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("913 nodes"));
+
+    let out = cli()
+        .args(["pois", "--kind", "nested", "--graph"])
+        .arg(&graph)
+        .arg("--out")
+        .arg(&cats)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let out = cli()
+        .args(["landmarks", "--count", "4", "--graph"])
+        .arg(&graph)
+        .arg("--out")
+        .arg(&lm)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Query by category, with landmarks, explicit algorithm.
+    let out = cli()
+        .args(["query", "--source", "17", "--category", "T2", "--k", "5"])
+        .args(["--algorithm", "iterboundi"])
+        .arg("--graph")
+        .arg(&graph)
+        .arg("--categories")
+        .arg(&cats)
+        .arg("--landmarks")
+        .arg(&lm)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 5, "expected 5 paths:\n{stdout}");
+    assert!(lines[0].starts_with("P1 len="));
+
+    // The same query without landmarks must print identical lengths.
+    let out2 = cli()
+        .args(["query", "--source", "17", "--category", "T2", "--k", "5"])
+        .args(["--algorithm", "da"])
+        .arg("--graph")
+        .arg(&graph)
+        .arg("--categories")
+        .arg(&cats)
+        .output()
+        .unwrap();
+    assert!(out2.status.success());
+    let lens = |s: &str| -> Vec<String> {
+        s.lines().filter_map(|l| l.split_whitespace().nth(1).map(String::from)).collect()
+    };
+    assert_eq!(lens(&stdout), lens(&String::from_utf8_lossy(&out2.stdout)));
+
+    // info
+    let out = cli().arg("info").arg("--graph").arg(&graph).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("nodes: 913"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn query_with_explicit_targets_and_gkpj_sources() {
+    let dir = tmpdir("targets");
+    let graph = dir.join("g.kpj");
+    let out = cli()
+        .args(["generate", "--nodes", "200", "--arcs", "700", "--seed", "5", "--out"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = cli()
+        .args(["query", "--sources", "0,5", "--targets", "100,150,199", "--k", "3"])
+        .arg("--graph")
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 3);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn helpful_errors() {
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = cli().args(["query", "--graph", "/nonexistent/file.kpj"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let dir = tmpdir("errors");
+    let graph = dir.join("g.kpj");
+    cli()
+        .args(["generate", "--nodes", "10", "--arcs", "30", "--out"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    // Missing source spec.
+    let out = cli()
+        .args(["query", "--targets", "3"])
+        .arg("--graph")
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--source"));
+    // Bad algorithm name.
+    let out = cli()
+        .args(["query", "--source", "0", "--targets", "3", "--algorithm", "astar"])
+        .arg("--graph")
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,167 @@
+//! Edge-case semantics and regression tests.
+//!
+//! The regression cases encode bugs found (and fixed) during development,
+//! so they stay fixed:
+//!
+//! 1. `DA-SPT`'s splice completion must respect the subspace's excluded
+//!    edge set when the SPT tail starts at the deviation vertex (otherwise
+//!    the just-removed path is "rediscovered" forever).
+//! 2. Zero-weight edges: equal-length paths, zero-length cycles, and the
+//!    emitted-flag logic must coexist.
+//! 3. Extreme α values change τ scheduling but never results.
+
+use std::collections::HashSet;
+
+use kpj::core::reference;
+use kpj::prelude::*;
+
+fn lengths(r: &KpjResult) -> Vec<Length> {
+    r.paths.iter().map(|p| p.length).collect()
+}
+
+#[test]
+fn regression_da_spt_respects_excluded_edges_in_splice() {
+    // Shortest path 0-1-3; after removing it, the subspace at 0 excludes
+    // edge (0,1) — but the SPT tail of 0 still goes 0→1→3. A buggy splice
+    // returns 0-1-3 again; the correct 2nd path is 0-2-3.
+    let mut b = GraphBuilder::new(4);
+    b.add_edge(0, 1, 1).unwrap();
+    b.add_edge(1, 3, 2).unwrap();
+    b.add_edge(0, 2, 3).unwrap();
+    b.add_edge(2, 3, 4).unwrap();
+    let g = b.build();
+    let mut engine = QueryEngine::new(&g);
+    let r = engine.query(Algorithm::DaSpt, 0, &[3], 5).unwrap();
+    assert_eq!(lengths(&r), vec![3, 7]);
+    assert_eq!(r.paths[1].nodes, vec![0, 2, 3]);
+    let r = engine.query(Algorithm::DaSptPascoal, 0, &[3], 5).unwrap();
+    assert_eq!(lengths(&r), vec![3, 7]);
+}
+
+#[test]
+fn zero_weight_cycles_and_ties() {
+    // A zero-weight 2-cycle next to the route: simple paths only, so the
+    // cycle contributes nothing, but label correction must not loop.
+    let mut b = GraphBuilder::new(5);
+    b.add_edge(0, 1, 0).unwrap();
+    b.add_edge(1, 0, 0).unwrap();
+    b.add_edge(1, 2, 0).unwrap();
+    b.add_edge(2, 3, 1).unwrap();
+    b.add_edge(0, 3, 1).unwrap();
+    b.add_edge(3, 4, 0).unwrap();
+    let g = b.build();
+    let expect = reference::top_k_lengths(&g, &[0], &[3, 4], 10);
+    for alg in Algorithm::ALL {
+        let mut engine = QueryEngine::new(&g);
+        let r = engine.query(alg, 0, &[3, 4], 10).unwrap();
+        assert_eq!(lengths(&r), expect, "{}", alg.name());
+        let unique: HashSet<_> = r.paths.iter().map(|p| p.nodes.clone()).collect();
+        assert_eq!(unique.len(), r.paths.len(), "{}: duplicates", alg.name());
+    }
+}
+
+#[test]
+fn all_nodes_are_targets() {
+    // Degenerate KPJ: V_T = V. Every prefix of every simple path counts.
+    let mut b = GraphBuilder::new(4);
+    b.add_bidirectional(0, 1, 2).unwrap();
+    b.add_bidirectional(1, 2, 3).unwrap();
+    b.add_bidirectional(2, 3, 4).unwrap();
+    let g = b.build();
+    let targets: Vec<NodeId> = (0..4).collect();
+    let expect = reference::top_k_lengths(&g, &[1], &targets, 10);
+    assert_eq!(expect, vec![0, 2, 3, 7]);
+    for alg in Algorithm::ALL {
+        let mut engine = QueryEngine::new(&g);
+        let r = engine.query(alg, 1, &targets, 10).unwrap();
+        assert_eq!(lengths(&r), expect, "{}", alg.name());
+    }
+}
+
+#[test]
+fn sources_equal_targets_gkpj() {
+    // GKPJ where V_S == V_T: k zero-length paths come first.
+    let mut b = GraphBuilder::new(3);
+    b.add_bidirectional(0, 1, 5).unwrap();
+    b.add_bidirectional(1, 2, 5).unwrap();
+    let g = b.build();
+    let set = [0u32, 1, 2];
+    let expect = reference::top_k_lengths(&g, &set, &set, 9);
+    assert_eq!(&expect[..3], &[0, 0, 0]);
+    for alg in Algorithm::ALL {
+        let mut engine = QueryEngine::new(&g);
+        let r = engine.query_multi(alg, &set, &set, 9).unwrap();
+        assert_eq!(lengths(&r), expect, "{}", alg.name());
+    }
+}
+
+#[test]
+fn extreme_alpha_values_preserve_results() {
+    let g = kpj::workload::datasets::SJ.generate(0.03);
+    let targets = [5u32, 99, 300];
+    let mut base = QueryEngine::new(&g);
+    let want = lengths(&base.query(Algorithm::IterBoundI, 7, &targets, 15).unwrap());
+    for alpha in [1.0001, 2.0, 1_000.0] {
+        let mut engine = QueryEngine::new(&g).with_alpha(alpha);
+        for alg in [Algorithm::IterBound, Algorithm::IterBoundP, Algorithm::IterBoundI] {
+            let r = engine.query(alg, 7, &targets, 15).unwrap();
+            assert_eq!(lengths(&r), want, "{} α={alpha}", alg.name());
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "α must exceed 1")]
+fn alpha_of_one_is_rejected() {
+    let mut b = GraphBuilder::new(2);
+    b.add_edge(0, 1, 1).unwrap();
+    let g = b.build();
+    let _ = QueryEngine::new(&g).with_alpha(1.0);
+}
+
+#[test]
+fn duplicate_query_inputs_are_deduplicated() {
+    let mut b = GraphBuilder::new(3);
+    b.add_edge(0, 1, 1).unwrap();
+    b.add_edge(0, 2, 2).unwrap();
+    let g = b.build();
+    let mut engine = QueryEngine::new(&g);
+    let r = engine
+        .query_multi(Algorithm::BestFirst, &[0, 0, 0], &[1, 1, 2, 2], 10)
+        .unwrap();
+    assert_eq!(lengths(&r), vec![1, 2]);
+}
+
+#[test]
+fn isolated_source_and_landmarkless_consistency() {
+    let mut b = GraphBuilder::new(4);
+    b.add_bidirectional(1, 2, 1).unwrap();
+    b.add_bidirectional(2, 3, 1).unwrap();
+    let g = b.build();
+    for alg in Algorithm::ALL {
+        let mut engine = QueryEngine::new(&g);
+        // Node 0 is isolated.
+        assert!(engine.query(alg, 0, &[3], 5).unwrap().paths.is_empty(), "{}", alg.name());
+        // Isolated node as a target among reachable ones.
+        let r = engine.query(alg, 1, &[0, 3], 5).unwrap();
+        assert_eq!(lengths(&r), vec![2], "{}", alg.name());
+    }
+}
+
+#[test]
+fn self_loops_never_appear_in_results() {
+    let mut b = GraphBuilder::new(3);
+    b.add_edge(0, 0, 1).unwrap();
+    b.add_edge(0, 1, 2).unwrap();
+    b.add_edge(1, 1, 0).unwrap();
+    b.add_edge(1, 2, 3).unwrap();
+    let g = b.build();
+    for alg in Algorithm::ALL {
+        let mut engine = QueryEngine::new(&g);
+        let r = engine.query(alg, 0, &[1, 2], 10).unwrap();
+        assert_eq!(lengths(&r), vec![2, 5], "{}", alg.name());
+        for p in &r.paths {
+            assert!(p.is_simple());
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests (proptest) over the whole public stack.
+//!
+//! Strategy-generated random graphs and queries; invariants checked:
+//!
+//! 1. every algorithm returns exactly the brute-force top-k length
+//!    multiset (with and without landmarks);
+//! 2. returned paths are simple, validate against the graph, start at a
+//!    source and end at a target, and are pairwise distinct;
+//! 3. landmark bounds never exceed true distances;
+//! 4. the subspace division invariant: path sets before/after a division
+//!    partition (checked indirectly — no duplicates + completeness vs
+//!    brute force);
+//! 5. result monotonicity in k: the top-(k) list is a prefix of the
+//!    top-(k+1) list (as length multisets).
+
+use kpj::core::reference;
+use kpj::prelude::*;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomGraphSpec {
+    n: u32,
+    edges: Vec<(u32, u32, u32)>,
+    bidir: bool,
+}
+
+fn graph_strategy(max_n: u32, max_m: usize, max_w: u32) -> impl Strategy<Value = RandomGraphSpec> {
+    (2..=max_n).prop_flat_map(move |n| {
+        (
+            vec((0..n, 0..n, 0..=max_w), 1..=max_m),
+            any::<bool>(),
+        )
+            .prop_map(move |(edges, bidir)| RandomGraphSpec { n, edges, bidir })
+    })
+}
+
+fn build(spec: &RandomGraphSpec) -> Graph {
+    let mut b = GraphBuilder::new(spec.n as usize);
+    for &(u, v, w) in &spec.edges {
+        if u == v {
+            continue;
+        }
+        if spec.bidir {
+            b.add_bidirectional(u, v, w).unwrap();
+        } else {
+            b.add_edge(u, v, w).unwrap();
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_algorithms_match_brute_force(
+        spec in graph_strategy(9, 24, 15),
+        source_raw in 0u32..9,
+        targets_raw in vec(0u32..9, 1..4),
+        k in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let g = build(&spec);
+        let source = source_raw % spec.n;
+        let targets: Vec<NodeId> = targets_raw.iter().map(|t| t % spec.n).collect();
+        let expect = reference::top_k_lengths(&g, &[source], &targets, k);
+        let landmarks = LandmarkIndex::build(&g, 3, SelectionStrategy::Farthest, seed);
+        for with_lm in [false, true] {
+            let mut engine = QueryEngine::new(&g);
+            if with_lm {
+                engine = engine.with_landmarks(&landmarks);
+            }
+            for alg in Algorithm::ALL {
+                let r = engine.query(alg, source, &targets, k).unwrap();
+                let got: Vec<Length> = r.paths.iter().map(|p| p.length).collect();
+                prop_assert_eq!(
+                    &got, &expect,
+                    "{} lm={} src={} targets={:?} k={}", alg.name(), with_lm, source, &targets, k
+                );
+                let mut seen = std::collections::HashSet::new();
+                for p in &r.paths {
+                    prop_assert!(p.validate(&g).is_ok());
+                    prop_assert!(p.is_simple());
+                    prop_assert_eq!(p.source(), source);
+                    prop_assert!(targets.contains(&p.destination()));
+                    prop_assert!(seen.insert(p.nodes.clone()), "duplicate path");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gkpj_matches_brute_force(
+        spec in graph_strategy(8, 20, 9),
+        sources_raw in vec(0u32..8, 1..4),
+        targets_raw in vec(0u32..8, 1..4),
+        k in 1usize..7,
+    ) {
+        let g = build(&spec);
+        let sources: Vec<NodeId> = sources_raw.iter().map(|s| s % spec.n).collect();
+        let targets: Vec<NodeId> = targets_raw.iter().map(|t| t % spec.n).collect();
+        let mut dedup_sources = sources.clone();
+        dedup_sources.sort_unstable();
+        dedup_sources.dedup();
+        let expect = reference::top_k_lengths(&g, &dedup_sources, &targets, k);
+        let mut engine = QueryEngine::new(&g);
+        for alg in Algorithm::ALL {
+            let r = engine.query_multi(alg, &sources, &targets, k).unwrap();
+            let got: Vec<Length> = r.paths.iter().map(|p| p.length).collect();
+            prop_assert_eq!(&got, &expect, "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn landmark_bounds_are_sound(
+        spec in graph_strategy(12, 40, 20),
+        count in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        let g = build(&spec);
+        let idx = LandmarkIndex::build(&g, count, SelectionStrategy::Farthest, seed);
+        for u in g.nodes() {
+            let d = kpj::sp::DenseDijkstra::from_source(&g, u);
+            for v in g.nodes() {
+                let lb = idx.lower_bound(u, v);
+                if d.reached(v) {
+                    prop_assert!(lb <= d.dist(v), "lb({u},{v})={lb} > {}", d.dist(v));
+                } // else any bound incl. ∞ is fine
+            }
+        }
+    }
+
+    #[test]
+    fn topk_is_prefix_monotone_in_k(
+        spec in graph_strategy(8, 18, 9),
+        source_raw in 0u32..8,
+        target_raw in 0u32..8,
+        k in 1usize..6,
+    ) {
+        let g = build(&spec);
+        let source = source_raw % spec.n;
+        let target = target_raw % spec.n;
+        let mut engine = QueryEngine::new(&g);
+        for alg in Algorithm::ALL {
+            let small = engine.ksp(alg, source, target, k).unwrap();
+            let large = engine.ksp(alg, source, target, k + 1).unwrap();
+            let s: Vec<Length> = small.paths.iter().map(|p| p.length).collect();
+            let l: Vec<Length> = large.paths.iter().map(|p| p.length).collect();
+            prop_assert_eq!(&l[..s.len().min(l.len())], &s[..], "{}", alg.name());
+            prop_assert!(l.len() >= s.len());
+        }
+    }
+
+    #[test]
+    fn alpha_never_changes_results(
+        spec in graph_strategy(8, 20, 12),
+        source_raw in 0u32..8,
+        targets_raw in vec(0u32..8, 1..3),
+        alpha_milli in 1001u64..3000,
+    ) {
+        let g = build(&spec);
+        let source = source_raw % spec.n;
+        let targets: Vec<NodeId> = targets_raw.iter().map(|t| t % spec.n).collect();
+        let alpha = alpha_milli as f64 / 1000.0;
+        let mut base = QueryEngine::new(&g);
+        let mut tuned = QueryEngine::new(&g).with_alpha(alpha);
+        for alg in [Algorithm::IterBound, Algorithm::IterBoundP, Algorithm::IterBoundI] {
+            let a = base.query(alg, source, &targets, 5).unwrap();
+            let b = tuned.query(alg, source, &targets, 5).unwrap();
+            let la: Vec<Length> = a.paths.iter().map(|p| p.length).collect();
+            let lb: Vec<Length> = b.paths.iter().map(|p| p.length).collect();
+            prop_assert_eq!(la, lb, "{} α={}", alg.name(), alpha);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! End-to-end tests on realistic (scaled) road networks: the full
+//! offline→online pipeline — generate, index, build query sets, answer —
+//! with cross-algorithm agreement on lengths (brute force is infeasible
+//! here, so the six independent implementations check each other).
+
+use kpj::prelude::*;
+use kpj::workload::{datasets, poi, queries::QuerySets};
+
+fn lengths(r: &KpjResult) -> Vec<Length> {
+    r.paths.iter().map(|p| p.length).collect()
+}
+
+#[test]
+fn sj_scaled_pipeline_all_algorithms_agree() {
+    let g = datasets::SJ.generate(0.2);
+    let mut cats = CategoryIndex::new();
+    let pois = poi::generate_nested_pois(&mut cats, g.node_count(), 5);
+    let landmarks = LandmarkIndex::build(&g, 8, SelectionStrategy::Farthest, 5);
+    let t2 = cats.members(pois.t[1]).to_vec();
+    let qs = QuerySets::generate(&g, &t2, 5, 3, 5);
+
+    let mut engine = QueryEngine::new(&g).with_landmarks(&landmarks);
+    let mut engine_nl = QueryEngine::new(&g);
+    for group in 1..=5 {
+        for &source in qs.group(group) {
+            let mut want: Option<Vec<Length>> = None;
+            for alg in Algorithm::ALL {
+                let r = engine.query(alg, source, &t2, 20).unwrap();
+                for p in &r.paths {
+                    p.validate(&g).unwrap();
+                    assert!(p.is_simple());
+                }
+                let got = lengths(&r);
+                match &want {
+                    None => want = Some(got),
+                    Some(w) => assert_eq!(&got, w, "{} Q{group} s={source}", alg.name()),
+                }
+            }
+            // The -NL variant must agree too.
+            let r = engine_nl.query(Algorithm::IterBoundI, source, &t2, 20).unwrap();
+            assert_eq!(&lengths(&r), want.as_ref().unwrap(), "IterBoundI-NL s={source}");
+        }
+    }
+}
+
+#[test]
+fn varying_k_and_poi_sets() {
+    let g = datasets::SJ.generate(0.1);
+    let mut cats = CategoryIndex::new();
+    let pois = poi::generate_nested_pois(&mut cats, g.node_count(), 9);
+    let landmarks = LandmarkIndex::build(&g, 8, SelectionStrategy::Farthest, 9);
+    let mut engine = QueryEngine::new(&g).with_landmarks(&landmarks);
+    let source = QuerySets::generate(&g, cats.members(pois.t[0]), 5, 1, 2).default_group()[0];
+
+    // More targets ⇒ k-th path no longer (first lengths no larger).
+    let mut prev_kth: Option<Length> = None;
+    for &t in &pois.t {
+        let members = cats.members(t).to_vec();
+        let r = engine.query(Algorithm::IterBoundI, source, &members, 20).unwrap();
+        assert_eq!(r.paths.len(), 20);
+        let kth = r.paths.last().unwrap().length;
+        if let Some(p) = prev_kth {
+            assert!(kth <= p, "T grew but k-th path got longer: {kth} > {p}");
+        }
+        prev_kth = Some(kth);
+
+        // Agreement vs the strongest baseline at this size.
+        let r2 = engine.query(Algorithm::DaSpt, source, &members, 20).unwrap();
+        assert_eq!(lengths(&r), lengths(&r2));
+    }
+
+    // k sweep: prefix-monotone results.
+    let t2 = cats.members(pois.t[1]).to_vec();
+    let mut last: Vec<Length> = Vec::new();
+    for k in [10, 20, 30, 50] {
+        let r = engine.query(Algorithm::IterBoundI, source, &t2, k).unwrap();
+        let l = lengths(&r);
+        assert!(l.starts_with(&last[..last.len().min(l.len())]));
+        last = l;
+    }
+}
+
+#[test]
+fn gkpj_on_road_network() {
+    let g = datasets::SJ.generate(0.1);
+    let mut cats = CategoryIndex::new();
+    let pois = poi::generate_nested_pois(&mut cats, g.node_count(), 4);
+    let landmarks = LandmarkIndex::build(&g, 8, SelectionStrategy::Farthest, 4);
+    let t2 = cats.members(pois.t[1]).to_vec();
+    // 4 random sources, as in the paper's Fig. 13 setup.
+    let sources = [17u32, 501, 999, 1402];
+    let mut engine = QueryEngine::new(&g).with_landmarks(&landmarks);
+    let mut want: Option<Vec<Length>> = None;
+    for alg in Algorithm::ALL {
+        let r = engine.query_multi(alg, &sources, &t2, 20).unwrap();
+        assert_eq!(r.paths.len(), 20, "{}", alg.name());
+        for p in &r.paths {
+            assert!(sources.contains(&p.source()));
+            assert!(t2.binary_search(&p.destination()).is_ok());
+        }
+        let got = lengths(&r);
+        match &want {
+            None => want = Some(got),
+            Some(w) => assert_eq!(&got, w, "{}", alg.name()),
+        }
+    }
+}
+
+#[test]
+fn engine_survives_many_mixed_queries() {
+    // Scratch-state reuse across hundreds of queries of varying shape.
+    let g = datasets::SJ.generate(0.05);
+    let mut cats = CategoryIndex::new();
+    let pois = poi::generate_nested_pois(&mut cats, g.node_count(), 8);
+    let landmarks = LandmarkIndex::build(&g, 6, SelectionStrategy::Farthest, 8);
+    let mut engine = QueryEngine::new(&g).with_landmarks(&landmarks);
+    let n = g.node_count() as u32;
+    for i in 0..150u32 {
+        let alg = Algorithm::ALL[(i % 6) as usize];
+        let source = (i * 37) % n;
+        let t = cats.members(pois.t[(i % 4) as usize]).to_vec();
+        let k = 1 + (i as usize % 25);
+        let r = engine.query(alg, source, &t, k).unwrap();
+        assert!(r.paths.len() <= k);
+        assert!(r.paths.windows(2).all(|w| w[0].length <= w[1].length));
+    }
+}
+
+#[test]
+fn dimacs_roundtrip_preserves_query_results() {
+    use kpj::graph::io;
+    let g = datasets::SJ.generate(0.05);
+    let mut buf = Vec::new();
+    io::write_dimacs_gr(&g, &mut buf).unwrap();
+    let g2 = io::read_dimacs_gr(buf.as_slice()).unwrap();
+    let mut e1 = QueryEngine::new(&g);
+    let mut e2 = QueryEngine::new(&g2);
+    let targets = [3u32, 99, 500];
+    for alg in [Algorithm::Da, Algorithm::IterBoundI] {
+        let a = e1.query(alg, 7, &targets, 10).unwrap();
+        let b = e2.query(alg, 7, &targets, 10).unwrap();
+        assert_eq!(lengths(&a), lengths(&b));
+    }
+}

@@ -1,0 +1,137 @@
+//! Tests for the anytime interface (`query_visit` / `query_multi_visit`):
+//! delivery order, early termination, parity with the collecting API, and
+//! the `k` cap — across every algorithm.
+
+use std::ops::ControlFlow;
+
+use kpj::prelude::*;
+use kpj::workload::datasets;
+
+fn fixture() -> (Graph, Vec<NodeId>) {
+    let g = datasets::SJ.generate(0.05);
+    (g, vec![3, 99, 500])
+}
+
+#[test]
+fn visit_matches_collecting_api() {
+    let (g, targets) = fixture();
+    let mut engine = QueryEngine::new(&g);
+    for alg in Algorithm::ALL {
+        let collected = engine.query(alg, 7, &targets, 15).unwrap();
+        let mut streamed = Vec::new();
+        let stats = engine
+            .query_visit(alg, 7, &targets, 15, |p| {
+                streamed.push(p);
+                ControlFlow::Continue(())
+            })
+            .unwrap();
+        assert_eq!(streamed.len(), collected.paths.len(), "{}", alg.name());
+        for (a, b) in streamed.iter().zip(&collected.paths) {
+            assert_eq!(a.length, b.length, "{}", alg.name());
+        }
+        assert_eq!(
+            stats.shortest_path_computations,
+            collected.stats.shortest_path_computations,
+            "{}",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+fn early_break_stops_after_first_path() {
+    let (g, targets) = fixture();
+    let mut engine = QueryEngine::new(&g);
+    for alg in Algorithm::ALL {
+        let mut seen = 0usize;
+        engine
+            .query_visit(alg, 7, &targets, 1000, |_| {
+                seen += 1;
+                ControlFlow::Break(())
+            })
+            .unwrap();
+        assert_eq!(seen, 1, "{}", alg.name());
+    }
+}
+
+#[test]
+fn early_break_saves_work_for_lazy_algorithms() {
+    let (g, targets) = fixture();
+    let mut engine = QueryEngine::new(&g);
+    // Full k=200 run vs break-after-5: the anytime run must do
+    // substantially less exploration.
+    let full = engine.query(Algorithm::IterBoundI, 7, &targets, 200).unwrap();
+    let mut n = 0;
+    let partial = engine
+        .query_visit(Algorithm::IterBoundI, 7, &targets, 200, |_| {
+            n += 1;
+            if n < 5 {
+                ControlFlow::Continue(())
+            } else {
+                ControlFlow::Break(())
+            }
+        })
+        .unwrap();
+    assert_eq!(n, 5);
+    assert!(
+        partial.nodes_settled * 2 <= full.stats.nodes_settled.max(1),
+        "partial {} vs full {}",
+        partial.nodes_settled,
+        full.stats.nodes_settled
+    );
+}
+
+#[test]
+fn k_caps_delivery_even_with_continue() {
+    let (g, targets) = fixture();
+    let mut engine = QueryEngine::new(&g);
+    let mut seen = 0usize;
+    engine
+        .query_visit(Algorithm::BestFirst, 7, &targets, 4, |_| {
+            seen += 1;
+            ControlFlow::Continue(())
+        })
+        .unwrap();
+    assert_eq!(seen, 4);
+}
+
+#[test]
+fn lengths_arrive_in_nondecreasing_order() {
+    let (g, targets) = fixture();
+    let mut engine = QueryEngine::new(&g);
+    for alg in Algorithm::ALL {
+        let mut last: Length = 0;
+        engine
+            .query_visit(alg, 42, &targets, 30, |p| {
+                assert!(p.length >= last, "{}: {} < {last}", alg.name(), p.length);
+                last = p.length;
+                ControlFlow::Continue(())
+            })
+            .unwrap();
+    }
+}
+
+#[test]
+fn visit_validates_queries_like_query_does() {
+    let (g, _) = fixture();
+    let mut engine = QueryEngine::new(&g);
+    let r = engine.query_visit(Algorithm::Da, u32::MAX - 1, &[1], 1, |_| ControlFlow::Continue(()));
+    assert!(r.is_err());
+    let r = engine.query_multi_visit(Algorithm::Da, &[], &[1], 1, |_| ControlFlow::Continue(()));
+    assert!(r.is_err());
+    // k = 0 and empty targets: Ok, zero deliveries.
+    let mut seen = 0;
+    engine
+        .query_visit(Algorithm::Da, 0, &[1], 0, |_| {
+            seen += 1;
+            ControlFlow::Continue(())
+        })
+        .unwrap();
+    engine
+        .query_visit(Algorithm::Da, 0, &[], 5, |_| {
+            seen += 1;
+            ControlFlow::Continue(())
+        })
+        .unwrap();
+    assert_eq!(seen, 0);
+}
