@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Local CI gate — the same checks .github/workflows/ci.yml runs.
+# Usage: ./ci.sh
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test (workspace)"
+cargo test --workspace -q
+
+echo "==> release build (binaries: kpj-cli, kpj-serve, kpj-loadgen)"
+cargo build --release -q
+
+echo "CI OK"

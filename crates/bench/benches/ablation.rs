@@ -54,7 +54,15 @@ fn selection_strategy(c: &mut Criterion) {
             &(),
             |b, _| {
                 let mut engine = QueryEngine::new(&env.graph).with_landmarks(&idx);
-                b.iter(|| run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), &targets, 20));
+                b.iter(|| {
+                    run_batch(
+                        &mut engine,
+                        Algorithm::IterBoundI,
+                        qs.group(3),
+                        &targets,
+                        20,
+                    )
+                });
             },
         );
     }
@@ -69,11 +77,27 @@ fn landmarks_on_off_ksp(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("with_landmarks", |b| {
         let mut engine = QueryEngine::new(&env.graph).with_landmarks(&env.landmarks);
-        b.iter(|| run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), &targets, 20));
+        b.iter(|| {
+            run_batch(
+                &mut engine,
+                Algorithm::IterBoundI,
+                qs.group(3),
+                &targets,
+                20,
+            )
+        });
     });
     group.bench_function("no_landmarks", |b| {
         let mut engine = QueryEngine::new(&env.graph);
-        b.iter(|| run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), &targets, 20));
+        b.iter(|| {
+            run_batch(
+                &mut engine,
+                Algorithm::IterBoundI,
+                qs.group(3),
+                &targets,
+                20,
+            )
+        });
     });
     group.finish();
 }
@@ -91,7 +115,12 @@ fn simple_vs_general_paths(c: &mut Criterion) {
     group.bench_function("general_walks", |b| {
         b.iter(|| {
             for &s in &sources {
-                std::hint::black_box(kpj_core::general::top_k_walks(&env.graph, &[s], &targets, 50));
+                std::hint::black_box(kpj_core::general::top_k_walks(
+                    &env.graph,
+                    &[s],
+                    &targets,
+                    50,
+                ));
             }
         })
     });
@@ -102,5 +131,11 @@ fn simple_vs_general_paths(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, eq1_vs_eq2, selection_strategy, landmarks_on_off_ksp, simple_vs_general_paths);
+criterion_group!(
+    benches,
+    eq1_vs_eq2,
+    selection_strategy,
+    landmarks_on_off_ksp,
+    simple_vs_general_paths
+);
 criterion_main!(benches);

@@ -14,8 +14,12 @@ const QUERIES: usize = 3;
 
 fn vary_dest_count(c: &mut Criterion) {
     let env = NestedEnv::new(datasets::SJ, 0.3);
-    for alg in [Algorithm::BestFirst, Algorithm::IterBound, Algorithm::IterBoundP, Algorithm::IterBoundI]
-    {
+    for alg in [
+        Algorithm::BestFirst,
+        Algorithm::IterBound,
+        Algorithm::IterBoundP,
+        Algorithm::IterBoundI,
+    ] {
         let mut group = c.benchmark_group(format!("fig10_sj_{}", alg.name().to_lowercase()));
         group.sample_size(10);
         for t in 1..=4usize {

@@ -26,7 +26,15 @@ fn vary_graph_size(c: &mut Criterion) {
             &(),
             |b, _| {
                 let mut engine = QueryEngine::new(&env.graph).with_landmarks(&env.landmarks);
-                b.iter(|| run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), &targets, 20));
+                b.iter(|| {
+                    run_batch(
+                        &mut engine,
+                        Algorithm::IterBoundI,
+                        qs.group(3),
+                        &targets,
+                        20,
+                    )
+                });
             },
         );
     }

@@ -23,7 +23,15 @@ fn fig6a_landmark_count(c: &mut Criterion) {
             LandmarkIndex::build(&env.graph, lm_count, SelectionStrategy::Farthest, 0xCA11);
         group.bench_with_input(BenchmarkId::from_parameter(lm_count), &lm_count, |b, _| {
             let mut engine = QueryEngine::new(&env.graph).with_landmarks(&landmarks);
-            b.iter(|| run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), &targets, 20));
+            b.iter(|| {
+                run_batch(
+                    &mut engine,
+                    Algorithm::IterBoundI,
+                    qs.group(3),
+                    &targets,
+                    20,
+                )
+            });
         });
     }
     group.finish();
@@ -37,9 +45,18 @@ fn fig6b_alpha(c: &mut Criterion) {
     group.sample_size(10);
     for alpha in [1.05f64, 1.1, 1.2, 1.5, 1.8] {
         group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &a| {
-            let mut engine =
-                QueryEngine::new(&env.graph).with_landmarks(&env.landmarks).with_alpha(a);
-            b.iter(|| run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), &targets, 20));
+            let mut engine = QueryEngine::new(&env.graph)
+                .with_landmarks(&env.landmarks)
+                .with_alpha(a);
+            b.iter(|| {
+                run_batch(
+                    &mut engine,
+                    Algorithm::IterBoundI,
+                    qs.group(3),
+                    &targets,
+                    20,
+                )
+            });
         });
     }
     group.finish();

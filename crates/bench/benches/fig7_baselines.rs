@@ -28,7 +28,15 @@ fn algorithms_by_category(c: &mut Criterion) {
         // The seventh line: IterBoundI without landmarks.
         group.bench_function(BenchmarkId::from_parameter("IterBoundI-NL"), |b| {
             let mut engine = QueryEngine::new(&env.graph);
-            b.iter(|| run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), &targets, 20));
+            b.iter(|| {
+                run_batch(
+                    &mut engine,
+                    Algorithm::IterBoundI,
+                    qs.group(3),
+                    &targets,
+                    20,
+                )
+            });
         });
         group.finish();
     }
@@ -43,7 +51,15 @@ fn vary_query_group(c: &mut Criterion) {
     for q in 1..=5usize {
         group.bench_with_input(BenchmarkId::from_parameter(format!("Q{q}")), &q, |b, &q| {
             let mut engine = QueryEngine::new(&env.graph).with_landmarks(&env.landmarks);
-            b.iter(|| run_batch(&mut engine, Algorithm::IterBoundI, qs.group(q), &targets, 20));
+            b.iter(|| {
+                run_batch(
+                    &mut engine,
+                    Algorithm::IterBoundI,
+                    qs.group(q),
+                    &targets,
+                    20,
+                )
+            });
         });
     }
     group.finish();

@@ -25,7 +25,15 @@ fn ksp_algorithms(c: &mut Criterion) {
     }
     group.bench_function(BenchmarkId::from_parameter("IterBoundI-NL"), |b| {
         let mut engine = QueryEngine::new(&env.graph);
-        b.iter(|| run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), &targets, 20));
+        b.iter(|| {
+            run_batch(
+                &mut engine,
+                Algorithm::IterBoundI,
+                qs.group(3),
+                &targets,
+                20,
+            )
+        });
     });
     group.finish();
 }

@@ -9,8 +9,12 @@ use kpj_core::{Algorithm, QueryEngine};
 use kpj_workload::datasets;
 
 const QUERIES: usize = 3;
-const OURS: [Algorithm; 4] =
-    [Algorithm::BestFirst, Algorithm::IterBound, Algorithm::IterBoundP, Algorithm::IterBoundI];
+const OURS: [Algorithm; 4] = [
+    Algorithm::BestFirst,
+    Algorithm::IterBound,
+    Algorithm::IterBoundP,
+    Algorithm::IterBoundI,
+];
 
 fn our_approaches(c: &mut Criterion) {
     for (spec, scale) in [(datasets::SJ, 0.3), (datasets::COL, 0.05)] {

@@ -43,10 +43,18 @@ impl Opts {
             match a.as_str() {
                 "--scale" => scale = args.next().expect("--scale value").parse().expect("number"),
                 "--sweep-scale" => {
-                    sweep_scale = args.next().expect("--sweep-scale value").parse().expect("number")
+                    sweep_scale = args
+                        .next()
+                        .expect("--sweep-scale value")
+                        .parse()
+                        .expect("number")
                 }
                 "--per-group" => {
-                    per_group = args.next().expect("--per-group value").parse().expect("number")
+                    per_group = args
+                        .next()
+                        .expect("--per-group value")
+                        .parse()
+                        .expect("number")
                 }
                 "--full" => {
                     scale = 1.0;
@@ -64,12 +72,20 @@ impl Opts {
             }
         }
         if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
-            experiments = ["table1", "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+            experiments = [
+                "table1", "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+                "fig13",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         }
-        Opts { experiments, scale, sweep_scale, per_group }
+        Opts {
+            experiments,
+            scale,
+            sweep_scale,
+            per_group,
+        }
     }
 }
 
@@ -111,12 +127,27 @@ const SEVEN: [(&str, Option<Algorithm>); 7] = [
 ];
 
 fn table1(opts: &Opts) {
-    println!("== Table 1: dataset summary (scale {} in parentheses) ==", opts.sweep_scale);
-    print_header("dataset", &["#nodes".into(), "#edges".into(), "n@scale".into(), "m@scale".into()]);
+    println!(
+        "== Table 1: dataset summary (scale {} in parentheses) ==",
+        opts.sweep_scale
+    );
+    print_header(
+        "dataset",
+        &[
+            "#nodes".into(),
+            "#edges".into(),
+            "n@scale".into(),
+            "m@scale".into(),
+        ],
+    );
     for d in datasets::ALL {
         print!("{:>14}", d.name);
         print!(" {:>10} {:>10}", d.nodes, d.arcs);
-        println!(" {:>10} {:>10}", d.nodes_at(opts.sweep_scale), d.arcs_at(opts.sweep_scale));
+        println!(
+            " {:>10} {:>10}",
+            d.nodes_at(opts.sweep_scale),
+            d.arcs_at(opts.sweep_scale)
+        );
     }
 }
 
@@ -128,10 +159,18 @@ fn fig6a(opts: &Opts) {
     let lvals = [4usize, 8, 12, 16, 20, 32];
     let graph = datasets::CAL.generate(opts.scale);
     let mut categories = kpj_graph::CategoryIndex::new();
-    let cal = kpj_workload::poi::generate_cal_categories(&mut categories, graph.node_count(), 0xCA11);
-    let cats =
-        [("Crater", cal.crater), ("Glacier", cal.glacier), ("Harbor", cal.harbor), ("Lake", cal.lake)];
-    print_header("category", &lvals.iter().map(|l| format!("|L|={l}")).collect::<Vec<_>>());
+    let cal =
+        kpj_workload::poi::generate_cal_categories(&mut categories, graph.node_count(), 0xCA11);
+    let cats = [
+        ("Crater", cal.crater),
+        ("Glacier", cal.glacier),
+        ("Harbor", cal.harbor),
+        ("Lake", cal.lake),
+    ];
+    print_header(
+        "category",
+        &lvals.iter().map(|l| format!("|L|={l}")).collect::<Vec<_>>(),
+    );
     for (name, cat) in cats {
         let targets = categories.members(cat).to_vec();
         let qs = QuerySets::generate(&graph, &targets, 5, opts.per_group, 0xCA11);
@@ -139,7 +178,13 @@ fn fig6a(opts: &Opts) {
         for &l in &lvals {
             let lm = LandmarkIndex::build(&graph, l, SelectionStrategy::Farthest, 0xCA11);
             let mut engine = QueryEngine::new(&graph).with_landmarks(&lm);
-            let r = run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), &targets, 20);
+            let r = run_batch(
+                &mut engine,
+                Algorithm::IterBoundI,
+                qs.group(3),
+                &targets,
+                20,
+            );
             cells.push(r.ms_per_query());
         }
         print_row(name, &cells);
@@ -159,15 +204,25 @@ fn fig6b(opts: &Opts) {
         ("Harbor", env.cal.harbor),
         ("Lake", env.cal.lake),
     ];
-    print_header("category", &alphas.iter().map(|a| format!("α={a}")).collect::<Vec<_>>());
+    print_header(
+        "category",
+        &alphas.iter().map(|a| format!("α={a}")).collect::<Vec<_>>(),
+    );
     for (name, cat) in cats {
         let targets = env.categories.members(cat).to_vec();
         let qs = env.query_sets(cat, opts.per_group);
         let mut cells = Vec::new();
         for &a in &alphas {
-            let mut engine =
-                QueryEngine::new(&env.graph).with_landmarks(&env.landmarks).with_alpha(a);
-            let r = run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), &targets, 20);
+            let mut engine = QueryEngine::new(&env.graph)
+                .with_landmarks(&env.landmarks)
+                .with_alpha(a);
+            let r = run_batch(
+                &mut engine,
+                Algorithm::IterBoundI,
+                qs.group(3),
+                &targets,
+                20,
+            );
             cells.push(r.ms_per_query());
         }
         print_row(name, &cells);
@@ -181,7 +236,10 @@ fn seven_panel(
     qs: &QuerySets,
     columns: &[(String, &[NodeId], usize)], // (label, sources, k)
 ) {
-    print_header("algorithm", &columns.iter().map(|c| c.0.clone()).collect::<Vec<_>>());
+    print_header(
+        "algorithm",
+        &columns.iter().map(|c| c.0.clone()).collect::<Vec<_>>(),
+    );
     let mut engine_lm = QueryEngine::new(&env.graph).with_landmarks(&env.landmarks);
     let mut engine_nl = QueryEngine::new(&env.graph);
     let _ = qs;
@@ -205,20 +263,25 @@ fn fig7(opts: &Opts) {
           DA-SPT flat in Q; times grow with Q and k)"
     );
     let env = CalEnv::new(opts.scale, kpj_bench::DEFAULT_LANDMARKS);
-    for (name, cat) in
-        [("Lake", env.cal.lake), ("Crater", env.cal.crater), ("Harbor", env.cal.harbor)]
-    {
+    for (name, cat) in [
+        ("Lake", env.cal.lake),
+        ("Crater", env.cal.crater),
+        ("Harbor", env.cal.harbor),
+    ] {
         let targets = env.categories.members(cat).to_vec();
         let qs = env.query_sets(cat, opts.per_group);
 
         println!("-- Fig 7 ({name}): vary query group, k = 20 --");
-        let cols: Vec<(String, &[NodeId], usize)> =
-            (1..=5).map(|i| (format!("Q{i}"), qs.group(i), 20)).collect();
+        let cols: Vec<(String, &[NodeId], usize)> = (1..=5)
+            .map(|i| (format!("Q{i}"), qs.group(i), 20))
+            .collect();
         seven_panel(&env, &targets, &qs, &cols);
 
         println!("-- Fig 7 ({name}): vary k, Q = Q3 --");
-        let cols: Vec<(String, &[NodeId], usize)> =
-            [10, 20, 30, 50].iter().map(|&k| (format!("k={k}"), qs.group(3), k)).collect();
+        let cols: Vec<(String, &[NodeId], usize)> = [10, 20, 30, 50]
+            .iter()
+            .map(|&k| (format!("k={k}"), qs.group(3), k))
+            .collect();
         seven_panel(&env, &targets, &qs, &cols);
     }
 }
@@ -233,19 +296,26 @@ fn fig8(opts: &Opts) {
     let qs = env.query_sets(env.cal.glacier, opts.per_group);
 
     println!("-- Fig 8(a): vary query group, k = 20 --");
-    let cols: Vec<(String, &[NodeId], usize)> =
-        (1..=5).map(|i| (format!("Q{i}"), qs.group(i), 20)).collect();
+    let cols: Vec<(String, &[NodeId], usize)> = (1..=5)
+        .map(|i| (format!("Q{i}"), qs.group(i), 20))
+        .collect();
     seven_panel(&env, &targets, &qs, &cols);
 
     println!("-- Fig 8(b): vary k, Q = Q3 --");
-    let cols: Vec<(String, &[NodeId], usize)> =
-        [10, 20, 30, 50].iter().map(|&k| (format!("k={k}"), qs.group(3), k)).collect();
+    let cols: Vec<(String, &[NodeId], usize)> = [10, 20, 30, 50]
+        .iter()
+        .map(|&k| (format!("k={k}"), qs.group(3), k))
+        .collect();
     seven_panel(&env, &targets, &qs, &cols);
 }
 
 /// The four "our approaches" of Fig. 9/10.
-const OURS: [Algorithm; 4] =
-    [Algorithm::BestFirst, Algorithm::IterBound, Algorithm::IterBoundP, Algorithm::IterBoundI];
+const OURS: [Algorithm; 4] = [
+    Algorithm::BestFirst,
+    Algorithm::IterBound,
+    Algorithm::IterBoundP,
+    Algorithm::IterBoundI,
+];
 
 fn fig9(opts: &Opts) {
     println!(
@@ -259,7 +329,10 @@ fn fig9(opts: &Opts) {
         let mut engine = QueryEngine::new(&env.graph).with_landmarks(&env.landmarks);
 
         println!("-- Fig 9 ({}): vary query group, k = 20 --", spec.name);
-        print_header("algorithm", &(1..=5).map(|i| format!("Q{i}")).collect::<Vec<_>>());
+        print_header(
+            "algorithm",
+            &(1..=5).map(|i| format!("Q{i}")).collect::<Vec<_>>(),
+        );
         for alg in OURS {
             let cells: Vec<f64> = (1..=5)
                 .map(|i| run_batch(&mut engine, alg, qs.group(i), &targets, 20).ms_per_query())
@@ -290,7 +363,9 @@ fn fig10(opts: &Opts) {
         println!("-- Fig 10 ({}) --", spec.name);
         print_header(
             "algorithm",
-            &(1..=4).map(|i| format!("T{i}({})", env.t(i).len())).collect::<Vec<_>>(),
+            &(1..=4)
+                .map(|i| format!("T{i}({})", env.t(i).len()))
+                .collect::<Vec<_>>(),
         );
         for alg in OURS {
             let mut cells = Vec::new();
@@ -310,7 +385,10 @@ fn fig11(opts: &Opts) {
          (expect the percentile to fall as |T| grows, for every dataset;\n\
           percentile estimated from sampled single-source distance vectors)"
     );
-    print_header("dataset", &(1..=4).map(|i| format!("T{i}")).collect::<Vec<_>>());
+    print_header(
+        "dataset",
+        &(1..=4).map(|i| format!("T{i}")).collect::<Vec<_>>(),
+    );
     for spec in datasets::SIZE_SWEEP {
         let env = NestedEnv::new(spec, opts.sweep_scale);
         let mut cells = Vec::new();
@@ -332,14 +410,25 @@ fn fig12(opts: &Opts) {
     println!("-- Fig 12(a): vary dataset (T = T2, Q3, k = 20), ms/query --");
     print_header(
         "dataset",
-        &["n".into(), "ms/query".into(), "settled".into(), "spt".into()],
+        &[
+            "n".into(),
+            "ms/query".into(),
+            "settled".into(),
+            "spt".into(),
+        ],
     );
     for spec in datasets::SIZE_SWEEP {
         let env = NestedEnv::new(spec, opts.sweep_scale);
         let targets = env.t(2).to_vec();
         let qs = env.query_sets(2, opts.per_group);
         let mut engine = QueryEngine::new(&env.graph).with_landmarks(&env.landmarks);
-        let r = run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), &targets, 20);
+        let r = run_batch(
+            &mut engine,
+            Algorithm::IterBoundI,
+            qs.group(3),
+            &targets,
+            20,
+        );
         print!("{:>14}", spec.name);
         print!(" {:>10}", env.graph.node_count());
         print!(" {:>10.3}", r.ms_per_query());
@@ -354,8 +443,12 @@ fn fig12(opts: &Opts) {
     let mut engine = QueryEngine::new(&env.graph).with_landmarks(&env.landmarks);
     let ks = [10usize, 50, 100, 200, 500];
     print_header("", &ks.map(|k| format!("k={k}")));
-    let cells: Vec<f64> =
-        ks.iter().map(|&k| run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), &targets, k).ms_per_query()).collect();
+    let cells: Vec<f64> = ks
+        .iter()
+        .map(|&k| {
+            run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), &targets, k).ms_per_query()
+        })
+        .collect();
     print_row("IterBoundI", &cells);
 }
 
@@ -382,13 +475,13 @@ fn fig13(opts: &Opts) {
     println!("-- Fig 13(a): vary |T| (T1..T4), k = 20, ms/query --");
     print_header(
         "algorithm",
-        &(1..=4).map(|i| format!("T{i}({})", env.t(i).len())).collect::<Vec<_>>(),
+        &(1..=4)
+            .map(|i| format!("T{i}({})", env.t(i).len()))
+            .collect::<Vec<_>>(),
     );
     for alg in [Algorithm::DaSpt, Algorithm::IterBoundI] {
         let cells: Vec<f64> = (1..=4)
-            .map(|i| {
-                run_batch_multi(&mut engine, alg, &source_sets, env.t(i), 20).ms_per_query()
-            })
+            .map(|i| run_batch_multi(&mut engine, alg, &source_sets, env.t(i), 20).ms_per_query())
             .collect();
         print_row(alg.name(), &cells);
     }
@@ -417,7 +510,14 @@ fn stats_table(opts: &Opts) {
     let qs = env.query_sets(env.cal.lake, opts.per_group);
     print_header(
         "algorithm",
-        &["sp-comps".into(), "testlb".into(), "settled".into(), "spt".into(), "subspaces".into(), "ms".into()],
+        &[
+            "sp-comps".into(),
+            "testlb".into(),
+            "settled".into(),
+            "spt".into(),
+            "subspaces".into(),
+            "ms".into(),
+        ],
     );
     let mut engine = QueryEngine::new(&env.graph).with_landmarks(&env.landmarks);
     for alg in Algorithm::ALL {
@@ -448,14 +548,21 @@ fn ablation(opts: &Opts) {
     let sum2: u64 = probe.iter().map(|&v| qb.lb_to_targets(v)).sum();
     let t_eq2 = t0.elapsed();
     let t0 = Instant::now();
-    let sum1: u64 = probe.iter().map(|&v| qb.lb_to_targets_eq1(v, &targets)).sum();
+    let sum1: u64 = probe
+        .iter()
+        .map(|&v| qb.lb_to_targets_eq1(v, &targets))
+        .sum();
     let t_eq1 = t0.elapsed();
     let sum_true: u64 = probe.iter().map(|&v| truth.dist(v)).sum();
     println!(
         "  tightness (sum of bounds / sum of true distances over {} nodes):",
         probe.len()
     );
-    println!("    Eq.(2): {:.4}   Eq.(1): {:.4}", sum2 as f64 / sum_true as f64, sum1 as f64 / sum_true as f64);
+    println!(
+        "    Eq.(2): {:.4}   Eq.(1): {:.4}",
+        sum2 as f64 / sum_true as f64,
+        sum1 as f64 / sum_true as f64
+    );
     println!(
         "  evaluation cost: Eq.(2) {:.2?} vs Eq.(1) {:.2?}  ({}x, |T| = {})",
         t_eq2,
@@ -470,8 +577,19 @@ fn ablation(opts: &Opts) {
     for strategy in [SelectionStrategy::Farthest, SelectionStrategy::Random] {
         let idx = LandmarkIndex::build(&env.graph, kpj_bench::DEFAULT_LANDMARKS, strategy, 0x5e1);
         let mut engine = QueryEngine::new(&env.graph).with_landmarks(&idx);
-        let r = run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), &targets2, 20);
-        println!("  {:>9?}: {:>8.3} ms/query ({} settled/query)", strategy, r.ms_per_query(), r.stats.nodes_settled / r.queries.max(1));
+        let r = run_batch(
+            &mut engine,
+            Algorithm::IterBoundI,
+            qs.group(3),
+            &targets2,
+            20,
+        );
+        println!(
+            "  {:>9?}: {:>8.3} ms/query ({} settled/query)",
+            strategy,
+            r.ms_per_query(),
+            r.stats.nodes_settled / r.queries.max(1)
+        );
     }
 
     println!("\n== Ablation: Pascoal [24] vs Gao [14] candidate tests (COL, T=T2, Q3, k=20) ==");

@@ -43,12 +43,23 @@ impl CalEnv {
         let mut categories = CategoryIndex::new();
         let cal = poi::generate_cal_categories(&mut categories, graph.node_count(), 0xCA11);
         let landmarks = LandmarkIndex::build(&graph, lm, SelectionStrategy::Farthest, 0xCA11);
-        CalEnv { graph, categories, cal, landmarks }
+        CalEnv {
+            graph,
+            categories,
+            cal,
+            landmarks,
+        }
     }
 
     /// Query sets for one of the CAL categories.
     pub fn query_sets(&self, cat: kpj_graph::CategoryId, per_group: usize) -> QuerySets {
-        QuerySets::generate(&self.graph, self.categories.members(cat), 5, per_group, 0xCA11)
+        QuerySets::generate(
+            &self.graph,
+            self.categories.members(cat),
+            5,
+            per_group,
+            0xCA11,
+        )
     }
 }
 
@@ -72,9 +83,19 @@ impl NestedEnv {
         let graph = spec.generate(scale);
         let mut categories = CategoryIndex::new();
         let pois = poi::generate_nested_pois(&mut categories, graph.node_count(), 0x901);
-        let landmarks =
-            LandmarkIndex::build(&graph, DEFAULT_LANDMARKS, SelectionStrategy::Farthest, 0x901);
-        NestedEnv { spec, graph, categories, pois, landmarks }
+        let landmarks = LandmarkIndex::build(
+            &graph,
+            DEFAULT_LANDMARKS,
+            SelectionStrategy::Farthest,
+            0x901,
+        );
+        NestedEnv {
+            spec,
+            graph,
+            categories,
+            pois,
+            landmarks,
+        }
     }
 
     /// Member nodes of `T_i` (1-based, as in the paper).
@@ -141,7 +162,9 @@ pub fn run_batch_multi(
     let mut out = BatchResult::default();
     for set in source_sets {
         let t0 = Instant::now();
-        let r = engine.query_multi(alg, set, targets, k).expect("valid query");
+        let r = engine
+            .query_multi(alg, set, targets, k)
+            .expect("valid query");
         out.total += t0.elapsed();
         out.queries += 1;
         out.stats.absorb(&r.stats);
@@ -178,7 +201,13 @@ mod tests {
         assert!(!env.t(1).is_empty());
         let qs = env.query_sets(2, 2);
         let mut engine = QueryEngine::new(&env.graph).with_landmarks(&env.landmarks);
-        let r = run_batch(&mut engine, Algorithm::IterBoundI, qs.group(3), env.t(2), 10);
+        let r = run_batch(
+            &mut engine,
+            Algorithm::IterBoundI,
+            qs.group(3),
+            env.t(2),
+            10,
+        );
         assert_eq!(r.queries, 2);
         assert!(r.ms_per_query() >= 0.0);
     }

@@ -72,7 +72,10 @@ impl<'q> SourceLb<'q> {
                             .unwrap_or(INFINITE_LENGTH)
                     })
                     .collect();
-                SourceLb::Multi { index: idx, max_dist }
+                SourceLb::Multi {
+                    index: idx,
+                    max_dist,
+                }
             }
         }
     }
@@ -153,10 +156,17 @@ mod tests {
         let mut any_positive = false;
         for v in g.nodes() {
             let lb = oracle.lb(v);
-            assert!(lb <= best[v as usize], "lb(VS,{v}) = {lb} exceeds true {}", best[v as usize]);
+            assert!(
+                lb <= best[v as usize],
+                "lb(VS,{v}) = {lb} exceeds true {}",
+                best[v as usize]
+            );
             any_positive |= lb > 0;
         }
-        assert!(any_positive, "bound should not be trivially zero everywhere");
+        assert!(
+            any_positive,
+            "bound should not be trivially zero everywhere"
+        );
     }
 
     #[test]

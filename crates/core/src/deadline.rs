@@ -1,0 +1,103 @@
+//! Per-query deadlines: cooperative cancellation for the serving layer.
+//!
+//! A [`Deadline`] is a cheap, copyable wall-clock budget checked at the
+//! coarse-grained decision points of a query — the paradigm loop heads —
+//! and, via the searcher's cancel hook, every
+//! [`CANCEL_POLL_STRIDE`](kpj_sp::CANCEL_POLL_STRIDE) settled nodes inside
+//! each subspace search. One-shot index constructions (the full reverse
+//! SPT of `DA-SPT`, `SPT_P`/`SPT_I` growth steps) run to completion before
+//! the next check, so expiry can overshoot by at most one such step.
+//!
+//! Expiry is detected *inside* the engine only to stop wasting work; the
+//! authoritative check happens once at the end of the query, so a query
+//! that finishes just under its budget is never spuriously failed by a
+//! mid-run poll.
+
+use std::time::{Duration, Instant};
+
+/// A wall-clock deadline for one query. `Copy`, so it threads through the
+/// per-query context by value; [`Deadline::none`] disables all checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// No deadline: [`expired`](Deadline::expired) is always `false`.
+    pub const fn none() -> Self {
+        Deadline { at: None }
+    }
+
+    /// Expire at the given instant.
+    pub const fn at(instant: Instant) -> Self {
+        Deadline { at: Some(instant) }
+    }
+
+    /// Expire `timeout` from now.
+    pub fn after(timeout: Duration) -> Self {
+        Deadline {
+            at: Some(Instant::now() + timeout),
+        }
+    }
+
+    /// True if a deadline is set (expired or not).
+    pub const fn is_set(&self) -> bool {
+        self.at.is_some()
+    }
+
+    /// The raw expiry instant, if set.
+    pub const fn instant(&self) -> Option<Instant> {
+        self.at
+    }
+
+    /// True once the deadline has passed. Reads the clock on every call;
+    /// callers are expected to throttle (the searcher polls once per
+    /// [`CANCEL_POLL_STRIDE`](kpj_sp::CANCEL_POLL_STRIDE) settles).
+    #[inline]
+    pub fn expired(&self) -> bool {
+        match self.at {
+            Some(t) => Instant::now() >= t,
+            None => false,
+        }
+    }
+
+    /// Time left, if a deadline is set (`None` = unbounded). Saturates at
+    /// zero once expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at.map(|t| t.saturating_duration_since(Instant::now()))
+    }
+}
+
+impl Default for Deadline {
+    fn default() -> Self {
+        Deadline::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.is_set());
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+    }
+
+    #[test]
+    fn past_instant_is_expired() {
+        let d = Deadline::at(Instant::now() - Duration::from_millis(1));
+        assert!(d.is_set());
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_timeout_is_not_expired() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(d.remaining().unwrap() > Duration::from_secs(3000));
+    }
+}

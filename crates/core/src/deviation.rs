@@ -90,6 +90,9 @@ pub(crate) fn run_deviation(
     }
     let mut more = true;
     while more {
+        if ctx.deadline.expired() {
+            break;
+        }
         let Some((_, found)) = c.pop() else { break };
         let affected = divide_subspace(ctx, tree, &found, stats);
         more = sink.emit(found.into_path(false));
@@ -107,7 +110,11 @@ pub(crate) fn run_deviation(
         }
     }
     if let Some(spt) = mode.spt() {
-        let reached = spt.dist_slice().iter().filter(|&&d| d != INFINITE_LENGTH).count();
+        let reached = spt
+            .dist_slice()
+            .iter()
+            .filter(|&&d| d != INFINITE_LENGTH)
+            .count();
         stats.spt_nodes = stats.spt_nodes.max(reached);
     }
 }
@@ -126,16 +133,28 @@ fn candidate(
         DeviationMode::Plain => {
             // Plain constrained Dijkstra (DA computes candidates "by
             // traversing the graph exhaustively").
-            match subspace_search(ctx, scratch, tree, vertex, &mut |_| Estimate::Bound(0), None, stats) {
+            match subspace_search(
+                ctx,
+                scratch,
+                tree,
+                vertex,
+                &mut |_| Estimate::Bound(0),
+                None,
+                stats,
+            ) {
                 SubspaceSearch::Found(f) => Some(f),
                 _ => None,
             }
         }
         DeviationMode::Pascoal(spt) => {
-            candidate_with_spt(ctx, scratch, cand, tree, spt, vertex, /*lazy=*/ false, stats)
+            candidate_with_spt(
+                ctx, scratch, cand, tree, spt, vertex, /*lazy=*/ false, stats,
+            )
         }
         DeviationMode::Gao(spt) => {
-            candidate_with_spt(ctx, scratch, cand, tree, spt, vertex, /*lazy=*/ true, stats)
+            candidate_with_spt(
+                ctx, scratch, cand, tree, spt, vertex, /*lazy=*/ true, stats,
+            )
         }
     }
 }
@@ -185,17 +204,23 @@ fn candidate_with_spt(
         }
     } else if spt.reached(u) {
         cand.dist.set(u as usize, plen);
-        cand.heap.push_or_decrease(u as usize, plen.saturating_add(spt.dist(u)));
+        cand.heap
+            .push_or_decrease(u as usize, plen.saturating_add(spt.dist(u)));
     }
 
     let mut settled_count = 0usize;
     let mut relaxed = 0usize;
     let mut first_pop = true;
     let result = loop {
-        let Some((vu, _)) = cand.heap.pop() else { break None };
+        let Some((vu, _)) = cand.heap.pop() else {
+            break None;
+        };
         let v = vu as NodeId;
         cand.settled.insert(vu);
         settled_count += 1;
+        if settled_count.is_multiple_of(kpj_sp::CANCEL_POLL_STRIDE) && ctx.deadline.expired() {
+            break None;
+        }
         let dv = cand.dist.get(vu);
 
         // Splice test: Gao tests every settled node; Pascoal only the
@@ -234,7 +259,8 @@ fn candidate_with_spt(
             if nd < cand.dist.get(w) {
                 cand.dist.set(w, nd);
                 cand.parent.set(w, v);
-                cand.heap.push_or_decrease(w, nd.saturating_add(spt.dist(e.to)));
+                cand.heap
+                    .push_or_decrease(w, nd.saturating_add(spt.dist(e.to)));
             }
         }
     };
@@ -303,8 +329,10 @@ fn assemble_with_tail(
     chain.reverse();
 
     let skip = usize::from(u != VIRTUAL_NODE);
-    let mut suffix: Vec<(NodeId, Length)> =
-        chain[skip..].iter().map(|&x| (x, cand.dist.get(x as usize))).collect();
+    let mut suffix: Vec<(NodeId, Length)> = chain[skip..]
+        .iter()
+        .map(|&x| (x, cand.dist.get(x as usize)))
+        .collect();
     suffix.extend(tail[1..].iter().map(|&x| (x, total - spt.dist(x))));
 
     let mut nodes = tree.path_nodes(vertex);
@@ -314,7 +342,12 @@ fn assemble_with_tail(
     nodes.extend_from_slice(&chain);
     nodes.extend_from_slice(&tail[1..]);
 
-    FoundPath { nodes, length: total, vertex, suffix }
+    FoundPath {
+        nodes,
+        length: total,
+        vertex,
+        suffix,
+    }
 }
 
 #[cfg(test)]
@@ -344,6 +377,8 @@ mod tests {
             fanout: &[],
             goal_set: &ts,
             goal_count: 1,
+            order: kpj_sp::SearchOrder::Astar,
+            deadline: crate::deadline::Deadline::none(),
         };
         let mut scratch = SubspaceScratch::new(4);
         let mut cand = CandidateScratch::new(4);
@@ -355,7 +390,15 @@ mod tests {
             Some(s) => DeviationMode::Gao(s),
         };
         let mut sink = crate::search_core::CollectSink::new(k);
-        run_deviation(&ctx, &mut scratch, &mut cand, &mut tree, mode, &mut sink, &mut stats);
+        run_deviation(
+            &ctx,
+            &mut scratch,
+            &mut cand,
+            &mut tree,
+            mode,
+            &mut sink,
+            &mut stats,
+        );
         sink.paths
     }
 
@@ -406,6 +449,8 @@ mod tests {
             fanout: &[],
             goal_set: &ts,
             goal_count: 1,
+            order: kpj_sp::SearchOrder::Astar,
+            deadline: crate::deadline::Deadline::none(),
         };
         let mut scratch = SubspaceScratch::new(5);
         let mut cand = CandidateScratch::new(5);
@@ -413,7 +458,15 @@ mod tests {
         let mut stats = QueryStats::default();
         let spt = DenseDijkstra::to_targets(&g, &[3]);
         let mut sink = crate::search_core::CollectSink::new(3);
-        run_deviation(&ctx, &mut scratch, &mut cand, &mut tree, DeviationMode::Gao(&spt), &mut sink, &mut stats);
+        run_deviation(
+            &ctx,
+            &mut scratch,
+            &mut cand,
+            &mut tree,
+            DeviationMode::Gao(&spt),
+            &mut sink,
+            &mut stats,
+        );
         let paths = sink.paths;
         assert_eq!(paths.len(), 2);
         assert_eq!(paths[0].nodes, vec![0, 1, 2, 3]);
@@ -430,6 +483,8 @@ mod tests {
             fanout: &[],
             goal_set: &ts,
             goal_count: 1,
+            order: kpj_sp::SearchOrder::Astar,
+            deadline: crate::deadline::Deadline::none(),
         };
         let spt = DenseDijkstra::to_targets(&g, &[3]);
         let mut lens = Vec::new();
@@ -439,7 +494,15 @@ mod tests {
             let mut tree = PseudoTree::new(0);
             let mut stats = QueryStats::default();
             let mut sink = crate::search_core::CollectSink::new(5);
-            run_deviation(&ctx, &mut scratch, &mut cand, &mut tree, mode, &mut sink, &mut stats);
+            run_deviation(
+                &ctx,
+                &mut scratch,
+                &mut cand,
+                &mut tree,
+                mode,
+                &mut sink,
+                &mut stats,
+            );
             lens.push(sink.paths.iter().map(|p| p.length).collect::<Vec<_>>());
         }
         assert_eq!(lens[0], lens[1]);
@@ -455,13 +518,23 @@ mod tests {
             fanout: &[],
             goal_set: &ts,
             goal_count: 1,
+            order: kpj_sp::SearchOrder::Astar,
+            deadline: crate::deadline::Deadline::none(),
         };
         let mut scratch = SubspaceScratch::new(4);
         let mut cand = CandidateScratch::new(4);
         let mut tree = PseudoTree::new(0);
         let mut stats = QueryStats::default();
         let mut sink = crate::search_core::CollectSink::new(2);
-        run_deviation(&ctx, &mut scratch, &mut cand, &mut tree, DeviationMode::Plain, &mut sink, &mut stats);
+        run_deviation(
+            &ctx,
+            &mut scratch,
+            &mut cand,
+            &mut tree,
+            DeviationMode::Plain,
+            &mut sink,
+            &mut stats,
+        );
         // DA computes a candidate for every subspace it creates.
         assert!(stats.shortest_path_computations >= 3);
     }

@@ -4,15 +4,16 @@
 use kpj_graph::scratch::TimestampedSet;
 use kpj_graph::{Graph, Length, NodeId, Path, INFINITE_LENGTH};
 use kpj_landmark::LandmarkIndex;
-use kpj_sp::{DenseDijkstra, Direction, Estimate};
+use kpj_sp::{DenseDijkstra, Direction, Estimate, SearchOrder};
 
 use crate::bounds::{SourceLb, TargetsLb};
+use crate::deadline::Deadline;
 use crate::deviation::{run_deviation, CandidateScratch, DeviationMode};
 use crate::paradigms::{run_best_first, run_iter_bound, PlainOracle, SubspaceOracle};
 use crate::pseudo_tree::{PseudoTree, VIRTUAL_NODE};
 use crate::search_core::{CollectSink, PathSink, SubspaceCtx, SubspaceScratch, VisitSink};
-use crate::sptp::SptpStore;
 use crate::spti::SptiStore;
+use crate::sptp::SptpStore;
 use crate::stats::QueryStats;
 
 /// The algorithms evaluated in the paper (§7).
@@ -88,6 +89,9 @@ pub enum QueryError {
     TargetOutOfRange(NodeId),
     /// The query supplied no source nodes at all.
     NoSources,
+    /// The query's [`Deadline`] passed before it completed; partial
+    /// results are discarded (the engine's scratch stays reusable).
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for Algorithm {
@@ -121,6 +125,7 @@ impl std::fmt::Display for QueryError {
             QueryError::SourceOutOfRange(v) => write!(f, "source node {v} out of range"),
             QueryError::TargetOutOfRange(v) => write!(f, "target node {v} out of range"),
             QueryError::NoSources => write!(f, "query has no source nodes"),
+            QueryError::DeadlineExceeded => write!(f, "query deadline exceeded"),
         }
     }
 }
@@ -248,6 +253,24 @@ impl<'g> QueryEngine<'g> {
         targets: &[NodeId],
         k: usize,
     ) -> Result<KpjResult, QueryError> {
+        self.query_multi_deadline(alg, sources, targets, k, Deadline::none())
+    }
+
+    /// [`query_multi`](QueryEngine::query_multi) with a wall-clock budget.
+    ///
+    /// The deadline is polled cooperatively (inside every subspace search
+    /// and at the paradigm loop heads); once it passes, the query stops
+    /// and returns [`QueryError::DeadlineExceeded`]. The engine's scratch
+    /// state is *not* poisoned — the next query on this engine runs
+    /// normally. With [`Deadline::none()`] this is exactly `query_multi`.
+    pub fn query_multi_deadline(
+        &mut self,
+        alg: Algorithm,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        k: usize,
+        deadline: Deadline,
+    ) -> Result<KpjResult, QueryError> {
         let n = self.g.node_count() as u64;
         if sources.is_empty() {
             return Err(QueryError::NoSources);
@@ -267,7 +290,10 @@ impl<'g> QueryEngine<'g> {
 
         let mut stats = QueryStats::default();
         if targets.is_empty() || k == 0 {
-            return Ok(KpjResult { paths: Vec::new(), stats });
+            return Ok(KpjResult {
+                paths: Vec::new(),
+                stats,
+            });
         }
 
         self.target_set.clear();
@@ -286,8 +312,27 @@ impl<'g> QueryEngine<'g> {
         let from_sources = SourceLb::new(self.landmarks, &sources);
 
         let mut sink = CollectSink::new(k);
-        self.dispatch(alg, &sources, &targets, &to_targets, &from_sources, &mut sink, &mut stats);
-        Ok(KpjResult { paths: sink.paths, stats })
+        self.dispatch(
+            alg,
+            &sources,
+            &targets,
+            &to_targets,
+            &from_sources,
+            &mut sink,
+            deadline,
+            &mut stats,
+        );
+        // A query that produced its full answer (k paths, or exhausted the
+        // graph before the clock ran out — the loops stop *at* expiry) is
+        // only failed if the deadline actually cut it short: the loops
+        // break on expiry, so an expired clock here means truncation.
+        if deadline.expired() && sink.paths.len() < k {
+            return Err(QueryError::DeadlineExceeded);
+        }
+        Ok(KpjResult {
+            paths: sink.paths,
+            stats,
+        })
     }
 
     /// Anytime variant of [`query_multi`](QueryEngine::query_multi):
@@ -362,7 +407,16 @@ impl<'g> QueryEngine<'g> {
             f: |p: Path| on_path(p) == std::ops::ControlFlow::Continue(()),
             remaining: k,
         };
-        self.dispatch(alg, &sources, &targets, &to_targets, &from_sources, &mut sink, &mut stats);
+        self.dispatch(
+            alg,
+            &sources,
+            &targets,
+            &to_targets,
+            &from_sources,
+            &mut sink,
+            Deadline::none(),
+            &mut stats,
+        );
         Ok(stats)
     }
 
@@ -389,16 +443,34 @@ impl<'g> QueryEngine<'g> {
         to_targets: &TargetsLb<'_>,
         from_sources: &SourceLb<'_>,
         sink: &mut dyn PathSink,
+        deadline: Deadline,
         stats: &mut QueryStats,
     ) {
         match alg {
-            Algorithm::Da | Algorithm::DaSpt | Algorithm::DaSptPascoal | Algorithm::BestFirst
-            | Algorithm::IterBound | Algorithm::IterBoundP => {
-                self.run_forward(alg, sources, targets, to_targets, from_sources, sink, stats)
-            }
-            Algorithm::IterBoundI => {
-                self.run_reverse(sources, targets, to_targets, from_sources, sink, stats)
-            }
+            Algorithm::Da
+            | Algorithm::DaSpt
+            | Algorithm::DaSptPascoal
+            | Algorithm::BestFirst
+            | Algorithm::IterBound
+            | Algorithm::IterBoundP => self.run_forward(
+                alg,
+                sources,
+                targets,
+                to_targets,
+                from_sources,
+                sink,
+                deadline,
+                stats,
+            ),
+            Algorithm::IterBoundI => self.run_reverse(
+                sources,
+                targets,
+                to_targets,
+                from_sources,
+                sink,
+                deadline,
+                stats,
+            ),
         }
     }
 
@@ -413,6 +485,7 @@ impl<'g> QueryEngine<'g> {
         to_targets: &TargetsLb<'_>,
         from_sources: &SourceLb<'_>,
         sink: &mut dyn PathSink,
+        deadline: Deadline,
         stats: &mut QueryStats,
     ) {
         let mut tree = match sources {
@@ -425,34 +498,79 @@ impl<'g> QueryEngine<'g> {
             fanout: sources,
             goal_set: &self.target_set,
             goal_count: targets.len(),
+            // SPT_P's estimate mixes exact partial-SPT distances with
+            // Eq. (2) fallbacks — admissible but not consistent, so its
+            // searches must settle in Dijkstra order (h prunes only).
+            // Every other forward heuristic (ALT bounds, zero) is
+            // consistent and keeps the stronger A* order.
+            order: match alg {
+                Algorithm::IterBoundP => SearchOrder::Dijkstra,
+                _ => SearchOrder::Astar,
+            },
+            deadline,
         };
         match alg {
             Algorithm::Da => run_deviation(
-                &ctx, &mut self.scratch, &mut self.cand, &mut tree, DeviationMode::Plain, sink,
+                &ctx,
+                &mut self.scratch,
+                &mut self.cand,
+                &mut tree,
+                DeviationMode::Plain,
+                sink,
                 stats,
             ),
             Algorithm::DaSpt | Algorithm::DaSptPascoal => {
                 // The full online reverse SPT (its construction cost is the
                 // baseline's Achilles heel the paper highlights).
                 let spt = DenseDijkstra::to_targets(self.g, targets);
-                stats.nodes_settled +=
-                    spt.dist_slice().iter().filter(|&&d| d != INFINITE_LENGTH).count();
+                stats.nodes_settled += spt
+                    .dist_slice()
+                    .iter()
+                    .filter(|&&d| d != INFINITE_LENGTH)
+                    .count();
                 let mode = if alg == Algorithm::DaSpt {
                     DeviationMode::Gao(&spt)
                 } else {
                     DeviationMode::Pascoal(&spt)
                 };
-                run_deviation(&ctx, &mut self.scratch, &mut self.cand, &mut tree, mode, sink, stats)
+                run_deviation(
+                    &ctx,
+                    &mut self.scratch,
+                    &mut self.cand,
+                    &mut tree,
+                    mode,
+                    sink,
+                    stats,
+                )
             }
             Algorithm::BestFirst => {
-                let mut oracle = PlainOracle { lb: |v| to_targets.lb(v) };
-                run_best_first(&ctx, &mut self.scratch, &mut tree, &mut oracle, sink, false, stats)
+                let mut oracle = PlainOracle {
+                    lb: |v| to_targets.lb(v),
+                };
+                run_best_first(
+                    &ctx,
+                    &mut self.scratch,
+                    &mut tree,
+                    &mut oracle,
+                    sink,
+                    false,
+                    stats,
+                )
             }
             Algorithm::IterBound => {
-                let mut oracle = PlainOracle { lb: |v| to_targets.lb(v) };
+                let mut oracle = PlainOracle {
+                    lb: |v| to_targets.lb(v),
+                };
                 run_iter_bound(
-                    &ctx, &mut self.scratch, &mut tree, &mut oracle, sink, self.alpha, None,
-                    false, stats,
+                    &ctx,
+                    &mut self.scratch,
+                    &mut tree,
+                    &mut oracle,
+                    sink,
+                    self.alpha,
+                    None,
+                    false,
+                    stats,
                 )
             }
             Algorithm::IterBoundP => {
@@ -472,8 +590,15 @@ impl<'g> QueryEngine<'g> {
                     lb: |v| sptp.exact_dist(v).unwrap_or_else(|| to_targets.lb(v)),
                 };
                 run_iter_bound(
-                    &ctx, &mut self.scratch, &mut tree, &mut oracle, sink, self.alpha, init,
-                    false, stats,
+                    &ctx,
+                    &mut self.scratch,
+                    &mut tree,
+                    &mut oracle,
+                    sink,
+                    self.alpha,
+                    init,
+                    false,
+                    stats,
                 )
             }
             Algorithm::IterBoundI => unreachable!("dispatched to run_reverse"),
@@ -491,6 +616,7 @@ impl<'g> QueryEngine<'g> {
         to_targets: &TargetsLb<'_>,
         from_sources: &SourceLb<'_>,
         sink: &mut dyn PathSink,
+        deadline: Deadline,
         stats: &mut QueryStats,
     ) {
         let mut tree = PseudoTree::new(VIRTUAL_NODE);
@@ -500,8 +626,14 @@ impl<'g> QueryEngine<'g> {
             fanout: targets,
             goal_set: &self.source_set,
             goal_count: sources.len(),
+            // SPT_I estimates are exact inside the SPT and pruned outside
+            // (Deferred/Unreachable) — consistent, so A* order is safe.
+            order: SearchOrder::Astar,
+            deadline,
         };
-        let init = self.spti.init(self.g, sources, &self.target_set, to_targets, stats);
+        let init = self
+            .spti
+            .init(self.g, sources, &self.target_set, to_targets, stats);
         if init.is_none() {
             return;
         }
@@ -513,7 +645,15 @@ impl<'g> QueryEngine<'g> {
             from_sources,
         };
         run_iter_bound(
-            &ctx, &mut self.scratch, &mut tree, &mut oracle, sink, self.alpha, init, true, stats,
+            &ctx,
+            &mut self.scratch,
+            &mut tree,
+            &mut oracle,
+            sink,
+            self.alpha,
+            init,
+            true,
+            stats,
         )
     }
 }
@@ -534,7 +674,9 @@ impl SubspaceOracle for SptiOracle<'_, '_> {
     #[inline]
     fn lb_num(&self, v: NodeId) -> Length {
         // Alg. 8 line 5-6: exact distance when v ∈ SPT_I, Eq. (2) otherwise.
-        self.store.exact_dist(v).unwrap_or_else(|| self.from_sources.lb(v))
+        self.store
+            .exact_dist(v)
+            .unwrap_or_else(|| self.from_sources.lb(v))
     }
 
     #[inline]
@@ -547,7 +689,8 @@ impl SubspaceOracle for SptiOracle<'_, '_> {
     }
 
     fn prepare_tau(&mut self, tau: Length, stats: &mut QueryStats) {
-        self.store.grow(self.g, tau, self.target_set, self.to_targets, stats);
+        self.store
+            .grow(self.g, tau, self.target_set, self.to_targets, stats);
     }
 
     fn spt_nodes(&self) -> usize {
@@ -594,7 +737,12 @@ mod tests {
             }
             for alg in Algorithm::ALL {
                 let r = engine.query(alg, 0, &h, 3).unwrap();
-                assert_eq!(lengths(&r), vec![5, 6, 7], "{} landmarks={with_lm}", alg.name());
+                assert_eq!(
+                    lengths(&r),
+                    vec![5, 6, 7],
+                    "{} landmarks={with_lm}",
+                    alg.name()
+                );
                 assert_eq!(r.paths[0].nodes, vec![0, 7, 6]);
                 assert_eq!(r.paths[1].nodes, vec![0, 2, 5]);
                 for p in &r.paths {
@@ -668,7 +816,11 @@ mod tests {
         let g = b.build();
         for alg in Algorithm::ALL {
             let mut engine = QueryEngine::new(&g);
-            assert!(engine.query(alg, 0, &[2], 3).unwrap().paths.is_empty(), "{}", alg.name());
+            assert!(
+                engine.query(alg, 0, &[2], 3).unwrap().paths.is_empty(),
+                "{}",
+                alg.name()
+            );
             assert!(engine.query(alg, 0, &[], 3).unwrap().paths.is_empty());
         }
     }
@@ -693,7 +845,10 @@ mod tests {
             assert_eq!(alg.to_string(), alg.name());
         }
         assert_eq!("da-spt".parse::<Algorithm>().unwrap(), Algorithm::DaSpt);
-        assert_eq!("ITERBOUND_I".parse::<Algorithm>().unwrap(), Algorithm::IterBoundI);
+        assert_eq!(
+            "ITERBOUND_I".parse::<Algorithm>().unwrap(),
+            Algorithm::IterBoundI
+        );
         assert!("dijkstra".parse::<Algorithm>().is_err());
     }
 
@@ -713,7 +868,11 @@ mod tests {
             engine.query_multi(Algorithm::Da, &[], &[1], 1).unwrap_err(),
             QueryError::NoSources
         );
-        assert!(engine.query(Algorithm::Da, 0, &[1], 0).unwrap().paths.is_empty());
+        assert!(engine
+            .query(Algorithm::Da, 0, &[1], 0)
+            .unwrap()
+            .paths
+            .is_empty());
     }
 
     #[test]
@@ -736,6 +895,33 @@ mod tests {
         let _ = engine.query(Algorithm::IterBoundI, 4, &[6], 2).unwrap();
         let b = engine.query(Algorithm::IterBoundI, 0, &h, 3).unwrap();
         assert_eq!(lengths(&a), lengths(&b));
+    }
+
+    #[test]
+    fn expired_deadline_fails_without_poisoning_engine() {
+        let (g, h) = paper_graph();
+        let mut engine = QueryEngine::new(&g);
+        let past = Deadline::at(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        for alg in Algorithm::ALL {
+            let err = engine
+                .query_multi_deadline(alg, &[0], &h, 3, past)
+                .unwrap_err();
+            assert_eq!(err, QueryError::DeadlineExceeded, "{}", alg.name());
+            // The same engine must answer the next query correctly.
+            let r = engine.query(alg, 0, &h, 3).unwrap();
+            assert_eq!(lengths(&r), vec![5, 6, 7], "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn generous_deadline_matches_unbounded_query() {
+        let (g, h) = paper_graph();
+        let mut engine = QueryEngine::new(&g);
+        let soon = Deadline::after(std::time::Duration::from_secs(60));
+        for alg in Algorithm::ALL {
+            let r = engine.query_multi_deadline(alg, &[0], &h, 3, soon).unwrap();
+            assert_eq!(lengths(&r), vec![5, 6, 7], "{}", alg.name());
+        }
     }
 
     #[test]

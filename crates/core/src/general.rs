@@ -35,12 +35,7 @@ use kpj_heap::MinHeap;
 /// k-shortest answer that the lighter twin doesn't dominate); fewer than
 /// `k` walks are returned only if the whole walk space is smaller
 /// (possible only in cycle-free reachable subgraphs).
-pub fn top_k_walks(
-    g: &Graph,
-    sources: &[NodeId],
-    targets: &[NodeId],
-    k: usize,
-) -> Vec<Path> {
+pub fn top_k_walks(g: &Graph, sources: &[NodeId], targets: &[NodeId], k: usize) -> Vec<Path> {
     let n = g.node_count();
     let mut results = Vec::with_capacity(k.min(1024));
     if k == 0 || n == 0 {
@@ -257,10 +252,17 @@ mod tests {
             all.sort_unstable();
 
             let walks = top_k_walks(&g, &[s], &[t], 12);
-            let got: Vec<Length> =
-                walks.iter().map(|p| p.length).filter(|&l| l <= H as Length).collect();
-            let want: Vec<Length> =
-                all.iter().copied().filter(|&l| l <= H as Length).take(got.len().max(12)).collect();
+            let got: Vec<Length> = walks
+                .iter()
+                .map(|p| p.length)
+                .filter(|&l| l <= H as Length)
+                .collect();
+            let want: Vec<Length> = all
+                .iter()
+                .copied()
+                .filter(|&l| l <= H as Length)
+                .take(got.len().max(12))
+                .collect();
             assert_eq!(got, want[..got.len().min(want.len())], "seed {seed}");
         }
     }

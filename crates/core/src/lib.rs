@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod bounds;
+mod deadline;
 mod deviation;
 mod engine;
 pub mod general;
@@ -53,10 +54,11 @@ mod paradigms;
 mod pseudo_tree;
 pub mod reference;
 mod search_core;
-mod sptp;
 mod spti;
+mod sptp;
 mod stats;
 
 pub use bounds::{SourceLb, TargetsLb};
+pub use deadline::Deadline;
 pub use engine::{Algorithm, KpjResult, QueryEngine, QueryError};
 pub use stats::QueryStats;

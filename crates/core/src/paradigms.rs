@@ -22,8 +22,8 @@ use kpj_sp::Estimate;
 
 use crate::pseudo_tree::{PseudoTree, VertexId, ROOT};
 use crate::search_core::{
-    comp_lb, divide_subspace, subspace_search, FoundPath, PathSink, SubspaceCtx,
-    SubspaceScratch, SubspaceSearch,
+    comp_lb, divide_subspace, subspace_search, FoundPath, PathSink, SubspaceCtx, SubspaceScratch,
+    SubspaceSearch,
 };
 use crate::stats::QueryStats;
 
@@ -85,15 +85,39 @@ pub(crate) fn run_best_first<O: SubspaceOracle>(
     }
     let mut more = true;
     while more {
-        let Some((_, (vertex, payload))) = q.pop() else { break };
+        if ctx.deadline.expired() {
+            break;
+        }
+        let Some((_, (vertex, payload))) = q.pop() else {
+            break;
+        };
         match payload {
             Some(found) => {
-                more = emit(ctx, scratch, tree, oracle, found, &mut q, sink, reverse_output, stats);
+                more = emit(
+                    ctx,
+                    scratch,
+                    tree,
+                    oracle,
+                    found,
+                    &mut q,
+                    sink,
+                    reverse_output,
+                    stats,
+                );
             }
             None => {
-                match subspace_search(ctx, scratch, tree, vertex, &mut |v| oracle.estimate(v), None, stats) {
+                match subspace_search(
+                    ctx,
+                    scratch,
+                    tree,
+                    vertex,
+                    &mut |v| oracle.estimate(v),
+                    None,
+                    stats,
+                ) {
                     SubspaceSearch::Found(f) => q.push(f.length, (vertex, Some(f))),
                     SubspaceSearch::Bounded | SubspaceSearch::Empty => {}
+                    SubspaceSearch::Aborted => break,
                 }
             }
         }
@@ -118,7 +142,15 @@ pub(crate) fn run_iter_bound<O: SubspaceOracle>(
 ) {
     debug_assert!(alpha > 1.0, "α must exceed 1 (got {alpha})");
     let init = init.or_else(|| {
-        match subspace_search(ctx, scratch, tree, ROOT, &mut |v| oracle.estimate(v), None, stats) {
+        match subspace_search(
+            ctx,
+            scratch,
+            tree,
+            ROOT,
+            &mut |v| oracle.estimate(v),
+            None,
+            stats,
+        ) {
             SubspaceSearch::Found(f) => Some(f),
             _ => None,
         }
@@ -132,10 +164,25 @@ pub(crate) fn run_iter_bound<O: SubspaceOracle>(
 
     let mut more = true;
     while more {
-        let Some((key, (vertex, payload))) = q.pop() else { break };
+        if ctx.deadline.expired() {
+            break;
+        }
+        let Some((key, (vertex, payload))) = q.pop() else {
+            break;
+        };
         match payload {
             Some(found) => {
-                more = emit(ctx, scratch, tree, oracle, found, &mut q, sink, reverse_output, stats);
+                more = emit(
+                    ctx,
+                    scratch,
+                    tree,
+                    oracle,
+                    found,
+                    &mut q,
+                    sink,
+                    reverse_output,
+                    stats,
+                );
             }
             None => {
                 // Line 9: enlarge τ from the subspace's own bound and the
@@ -144,10 +191,19 @@ pub(crate) fn run_iter_bound<O: SubspaceOracle>(
                 let tau = next_tau(base, alpha);
                 stats.final_tau = stats.final_tau.max(tau);
                 oracle.prepare_tau(tau, stats);
-                match subspace_search(ctx, scratch, tree, vertex, &mut |v| oracle.estimate(v), Some(tau), stats) {
+                match subspace_search(
+                    ctx,
+                    scratch,
+                    tree,
+                    vertex,
+                    &mut |v| oracle.estimate(v),
+                    Some(tau),
+                    stats,
+                ) {
                     SubspaceSearch::Found(f) => q.push(f.length, (vertex, Some(f))),
                     SubspaceSearch::Bounded => q.push(tau, (vertex, None)),
                     SubspaceSearch::Empty => {}
+                    SubspaceSearch::Aborted => break,
                 }
             }
         }

@@ -149,7 +149,10 @@ impl PseudoTree {
         if suffix.is_empty() {
             // The chosen path is the prefix itself: exclude only the
             // virtual terminal edge.
-            debug_assert!(!self.emitted[u as usize], "path emitted twice from vertex {u}");
+            debug_assert!(
+                !self.emitted[u as usize],
+                "path emitted twice from vertex {u}"
+            );
             self.emitted[u as usize] = true;
             return affected;
         }

@@ -23,7 +23,10 @@ pub fn all_path_lengths(
     targets: &[NodeId],
     limit: usize,
 ) -> Vec<Length> {
-    all_paths(g, sources, targets, limit).into_iter().map(|p| p.length).collect()
+    all_paths(g, sources, targets, limit)
+        .into_iter()
+        .map(|p| p.length)
+        .collect()
 }
 
 /// All simple source→target paths, sorted by length.
@@ -42,7 +45,16 @@ pub fn all_paths(g: &Graph, sources: &[NodeId], targets: &[NodeId], limit: usize
         seen_source[s as usize] = true;
         let mut visited = vec![false; n];
         let mut stack = Vec::new();
-        dfs(g, s, 0, &is_target, &mut visited, &mut stack, &mut out, limit);
+        dfs(
+            g,
+            s,
+            0,
+            &is_target,
+            &mut visited,
+            &mut stack,
+            &mut out,
+            limit,
+        );
     }
     out.sort_by(|a, b| a.length.cmp(&b.length).then_with(|| a.nodes.cmp(&b.nodes)));
     out
@@ -70,7 +82,10 @@ fn dfs(
     stack.push(v);
     if is_target[v as usize] {
         assert!(out.len() < limit, "path enumeration exceeded limit {limit}");
-        out.push(Path { nodes: stack.clone(), length: len });
+        out.push(Path {
+            nodes: stack.clone(),
+            length: len,
+        });
     }
     // Each distinct head is expanded once, at its minimum parallel-edge
     // weight, so each node sequence is recorded exactly once with its
@@ -86,7 +101,16 @@ fn dfs(
             .map(|p| p.weight)
             .min()
             .expect("at least e itself");
-        dfs(g, e.to, len + w as Length, is_target, visited, stack, out, limit);
+        dfs(
+            g,
+            e.to,
+            len + w as Length,
+            is_target,
+            visited,
+            stack,
+            out,
+            limit,
+        );
     }
     stack.pop();
     visited[v as usize] = false;
@@ -148,7 +172,14 @@ mod tests {
     #[test]
     fn paths_are_simple_and_valid() {
         let mut b = GraphBuilder::new(5);
-        for (u, v, w) in [(0, 1, 1), (1, 2, 1), (2, 0, 1), (1, 3, 1), (3, 4, 1), (2, 4, 5)] {
+        for (u, v, w) in [
+            (0, 1, 1),
+            (1, 2, 1),
+            (2, 0, 1),
+            (1, 3, 1),
+            (3, 4, 1),
+            (2, 4, 5),
+        ] {
             b.add_bidirectional(u, v, w).unwrap();
         }
         let g = b.build();

@@ -18,8 +18,9 @@
 
 use kpj_graph::scratch::TimestampedSet;
 use kpj_graph::{Graph, Length, NodeId, Path, INFINITE_LENGTH};
-use kpj_sp::{Direction, Estimate, SearchOutcome, Searcher};
+use kpj_sp::{Direction, Estimate, SearchOrder, SearchOutcome, Searcher};
 
+use crate::deadline::Deadline;
 use crate::pseudo_tree::{PseudoTree, VertexId, VIRTUAL_NODE};
 use crate::stats::QueryStats;
 
@@ -43,7 +44,10 @@ pub(crate) struct CollectSink {
 
 impl CollectSink {
     pub(crate) fn new(k: usize) -> Self {
-        CollectSink { paths: Vec::with_capacity(k.min(1024)), k }
+        CollectSink {
+            paths: Vec::with_capacity(k.min(1024)),
+            k,
+        }
     }
 }
 
@@ -91,7 +95,10 @@ impl FoundPath {
         if reverse_output {
             nodes.reverse();
         }
-        Path { nodes, length: self.length }
+        Path {
+            nodes,
+            length: self.length,
+        }
     }
 }
 
@@ -105,6 +112,9 @@ pub(crate) enum SubspaceSearch {
     Bounded,
     /// The subspace contains no path at all — drop it (DESIGN.md §3).
     Empty,
+    /// The query deadline fired mid-search; the caller must stop the query
+    /// and discard its results.
+    Aborted,
 }
 
 /// Per-query context shared by the subspace primitives.
@@ -122,6 +132,14 @@ pub(crate) struct SubspaceCtx<'q> {
     /// Number of goal-side nodes (`|V_T|` forward / `|V_S|` reverse);
     /// used for the single-goal terminal-subspace optimization.
     pub goal_count: usize,
+    /// Heap discipline of the subspace searches. Must be
+    /// [`SearchOrder::Dijkstra`] whenever the query's estimate is
+    /// admissible but not consistent (`IterBound-SPT_P`'s mix of exact
+    /// partial-SPT distances and Eq. (2) fallbacks).
+    pub order: SearchOrder,
+    /// The query's deadline, polled inside every subspace search and at
+    /// the paradigm loop heads. [`Deadline::none()`] disables it.
+    pub deadline: Deadline,
 }
 
 /// Mutable scratch for the subspace primitives, owned by the engine.
@@ -134,7 +152,10 @@ pub(crate) struct SubspaceScratch {
 
 impl SubspaceScratch {
     pub(crate) fn new(n: usize) -> Self {
-        SubspaceScratch { searcher: Searcher::new(n), prefix_set: TimestampedSet::new(n) }
+        SubspaceScratch {
+            searcher: Searcher::new(n),
+            prefix_set: TimestampedSet::new(n),
+        }
     }
 }
 
@@ -181,7 +202,10 @@ pub(crate) fn comp_lb(
             if scratch.prefix_set.contains(e.to as usize) || excluded.contains(&e.to) {
                 continue;
             }
-            lb = lb.min(plen.saturating_add(e.weight as Length).saturating_add(lb_num(e.to)));
+            lb = lb.min(
+                plen.saturating_add(e.weight as Length)
+                    .saturating_add(lb_num(e.to)),
+            );
         }
     }
     lb
@@ -218,23 +242,28 @@ pub(crate) fn subspace_search(
     // Seeds: the vertex itself, or — for a virtual root — the non-excluded
     // fan-out endpoints across 0-weight virtual edges.
     let seeds: Vec<(NodeId, Length)> = if u == VIRTUAL_NODE {
-        ctx.fanout.iter().filter(|f| !excluded.contains(f)).map(|&f| (f, 0)).collect()
+        ctx.fanout
+            .iter()
+            .filter(|f| !excluded.contains(f))
+            .map(|&f| (f, 0))
+            .collect()
     } else {
         vec![(u, plen)]
     };
 
     let prefix_set = &scratch.prefix_set;
     let goal_set = ctx.goal_set;
-    let outcome = scratch.searcher.search(
+    let deadline = ctx.deadline;
+    let outcome = scratch.searcher.search_ctl(
         ctx.g,
         ctx.direction,
         seeds,
-        |from, e| {
-            !prefix_set.contains(e.to as usize) && (from != u || !excluded.contains(&e.to))
-        },
+        |from, e| !prefix_set.contains(e.to as usize) && (from != u || !excluded.contains(&e.to)),
         &mut *estimate,
         |v| goal_set.contains(v as usize) && (v != u || allow_trivial),
         bound,
+        ctx.order,
+        || deadline.expired(),
     );
     stats.nodes_settled += scratch.searcher.settled_count();
     stats.edges_relaxed += scratch.searcher.relaxed_edges();
@@ -248,6 +277,7 @@ pub(crate) fn subspace_search(
             SubspaceSearch::Bounded
         }
         SearchOutcome::ExhaustedComplete => SubspaceSearch::Empty,
+        SearchOutcome::Aborted => SubspaceSearch::Aborted,
     }
 }
 
@@ -269,8 +299,10 @@ fn assemble(
     // Suffix after the vertex: the whole chain for a virtual root, else the
     // chain minus the leading `u` itself.
     let skip = usize::from(u != VIRTUAL_NODE);
-    let suffix: Vec<(NodeId, Length)> =
-        chain[skip..].iter().map(|&x| (x, scratch.searcher.dist(x))).collect();
+    let suffix: Vec<(NodeId, Length)> = chain[skip..]
+        .iter()
+        .map(|&x| (x, scratch.searcher.dist(x)))
+        .collect();
 
     // Full node sequence in tree orientation: tree prefix, then the chain.
     let mut nodes = tree.path_nodes(vertex);
@@ -280,7 +312,12 @@ fn assemble(
     }
     nodes.extend_from_slice(&chain);
 
-    FoundPath { nodes, length: dist, vertex, suffix }
+    FoundPath {
+        nodes,
+        length: dist,
+        vertex,
+        suffix,
+    }
 }
 
 /// Divide the subspace of `found` and return the vertices to (re)enqueue,
@@ -332,12 +369,24 @@ mod tests {
             fanout: &[],
             goal_set: &goal_set,
             goal_count: 1,
+            order: SearchOrder::Astar,
+            deadline: Deadline::none(),
         };
         let mut scratch = SubspaceScratch::new(4);
         let tree = PseudoTree::new(0);
         let mut stats = QueryStats::default();
-        let r = subspace_search(&ctx, &mut scratch, &tree, ROOT, &mut zero_est, None, &mut stats);
-        let SubspaceSearch::Found(f) = r else { panic!("expected Found, got {r:?}") };
+        let r = subspace_search(
+            &ctx,
+            &mut scratch,
+            &tree,
+            ROOT,
+            &mut zero_est,
+            None,
+            &mut stats,
+        );
+        let SubspaceSearch::Found(f) = r else {
+            panic!("expected Found, got {r:?}")
+        };
         assert_eq!(f.nodes, vec![0, 1, 2, 3]);
         assert_eq!(f.length, 3);
         assert_eq!(f.suffix, vec![(1, 1), (2, 2), (3, 3)]);
@@ -353,13 +402,31 @@ mod tests {
             fanout: &[],
             goal_set: &goal_set,
             goal_count: 1,
+            order: SearchOrder::Astar,
+            deadline: Deadline::none(),
         };
         let mut scratch = SubspaceScratch::new(4);
         let tree = PseudoTree::new(0);
         let mut stats = QueryStats::default();
-        let r = subspace_search(&ctx, &mut scratch, &tree, ROOT, &mut zero_est, Some(2), &mut stats);
+        let r = subspace_search(
+            &ctx,
+            &mut scratch,
+            &tree,
+            ROOT,
+            &mut zero_est,
+            Some(2),
+            &mut stats,
+        );
         assert!(matches!(r, SubspaceSearch::Bounded), "{r:?}");
-        let r = subspace_search(&ctx, &mut scratch, &tree, ROOT, &mut zero_est, Some(3), &mut stats);
+        let r = subspace_search(
+            &ctx,
+            &mut scratch,
+            &tree,
+            ROOT,
+            &mut zero_est,
+            Some(3),
+            &mut stats,
+        );
         assert!(matches!(r, SubspaceSearch::Found(_)), "{r:?}");
 
         // Unreachable goal set: search a tree rooted at an isolated node.
@@ -374,9 +441,19 @@ mod tests {
             fanout: &[],
             goal_set: &goal2,
             goal_count: 1,
+            order: SearchOrder::Astar,
+            deadline: Deadline::none(),
         };
         let tree2 = PseudoTree::new(0);
-        let r = subspace_search(&ctx2, &mut scratch, &tree2, ROOT, &mut zero_est, Some(100), &mut stats);
+        let r = subspace_search(
+            &ctx2,
+            &mut scratch,
+            &tree2,
+            ROOT,
+            &mut zero_est,
+            Some(100),
+            &mut stats,
+        );
         assert!(matches!(r, SubspaceSearch::Empty), "{r:?}");
     }
 
@@ -390,20 +467,42 @@ mod tests {
             fanout: &[],
             goal_set: &goal_set,
             goal_count: 2,
+            order: SearchOrder::Astar,
+            deadline: Deadline::none(),
         };
         let mut scratch = SubspaceScratch::new(4);
         let mut tree = PseudoTree::new(0);
         let mut stats = QueryStats::default();
         // First search finds the zero-length trivial path (0).
-        let r = subspace_search(&ctx, &mut scratch, &tree, ROOT, &mut zero_est, None, &mut stats);
-        let SubspaceSearch::Found(f) = r else { panic!("{r:?}") };
+        let r = subspace_search(
+            &ctx,
+            &mut scratch,
+            &tree,
+            ROOT,
+            &mut zero_est,
+            None,
+            &mut stats,
+        );
+        let SubspaceSearch::Found(f) = r else {
+            panic!("{r:?}")
+        };
         assert_eq!(f.nodes, vec![0]);
         assert_eq!(f.length, 0);
         assert!(f.suffix.is_empty());
         // Divide (marks ROOT emitted) and search again: now the next path.
         tree.divide(ROOT, &f.suffix);
-        let r = subspace_search(&ctx, &mut scratch, &tree, ROOT, &mut zero_est, None, &mut stats);
-        let SubspaceSearch::Found(f2) = r else { panic!("{r:?}") };
+        let r = subspace_search(
+            &ctx,
+            &mut scratch,
+            &tree,
+            ROOT,
+            &mut zero_est,
+            None,
+            &mut stats,
+        );
+        let SubspaceSearch::Found(f2) = r else {
+            panic!("{r:?}")
+        };
         assert_eq!(f2.nodes, vec![0, 1, 2, 3]);
     }
 
@@ -417,12 +516,24 @@ mod tests {
             fanout: &fanout,
             goal_set: &goal_set,
             goal_count: 1,
+            order: SearchOrder::Astar,
+            deadline: Deadline::none(),
         };
         let mut scratch = SubspaceScratch::new(4);
         let tree = PseudoTree::new(VIRTUAL_NODE);
         let mut stats = QueryStats::default();
-        let r = subspace_search(&ctx, &mut scratch, &tree, ROOT, &mut zero_est, None, &mut stats);
-        let SubspaceSearch::Found(f) = r else { panic!("{r:?}") };
+        let r = subspace_search(
+            &ctx,
+            &mut scratch,
+            &tree,
+            ROOT,
+            &mut zero_est,
+            None,
+            &mut stats,
+        );
+        let SubspaceSearch::Found(f) = r else {
+            panic!("{r:?}")
+        };
         // Nearer source 2 wins: path 2 → 3.
         assert_eq!(f.nodes, vec![2, 3]);
         assert_eq!(f.length, 1);
@@ -439,14 +550,26 @@ mod tests {
             fanout: &fanout,
             goal_set: &goal_set,
             goal_count: 1,
+            order: SearchOrder::Astar,
+            deadline: Deadline::none(),
         };
         let mut scratch = SubspaceScratch::new(4);
         let mut tree = PseudoTree::new(VIRTUAL_NODE);
         // Simulate having taken first-hop 2 already.
         tree.divide(ROOT, &[(2, 0), (3, 1)]);
         let mut stats = QueryStats::default();
-        let r = subspace_search(&ctx, &mut scratch, &tree, ROOT, &mut zero_est, None, &mut stats);
-        let SubspaceSearch::Found(f) = r else { panic!("{r:?}") };
+        let r = subspace_search(
+            &ctx,
+            &mut scratch,
+            &tree,
+            ROOT,
+            &mut zero_est,
+            None,
+            &mut stats,
+        );
+        let SubspaceSearch::Found(f) = r else {
+            panic!("{r:?}")
+        };
         assert_eq!(f.nodes, vec![0, 1, 2, 3]);
         assert_eq!(f.length, 3);
     }
@@ -460,13 +583,22 @@ mod tests {
             fanout: &[],
             goal_set: &goal_set,
             goal_count: 1,
+            order: SearchOrder::Astar,
+            deadline: Deadline::none(),
         };
         let mut scratch = SubspaceScratch::new(4);
         let tree = PseudoTree::new(0);
         let mut stats = QueryStats::default();
         // lb_num = exact remaining distances: lb must equal true sp length.
         let exact = [3u64, 2, 1, 0];
-        let lb = comp_lb(&ctx, &mut scratch, &tree, ROOT, &mut |v| exact[v as usize], &mut stats);
+        let lb = comp_lb(
+            &ctx,
+            &mut scratch,
+            &tree,
+            ROOT,
+            &mut |v| exact[v as usize],
+            &mut stats,
+        );
         assert_eq!(lb, 3);
         // With zero bounds: one-hop look-ahead gives weight of first edge.
         let lb0 = comp_lb(&ctx, &mut scratch, &tree, ROOT, &mut |_| 0, &mut stats);
@@ -490,12 +622,24 @@ mod tests {
             fanout: &fanout,
             goal_set: &goal,
             goal_count: 1,
+            order: SearchOrder::Astar,
+            deadline: Deadline::none(),
         };
         let mut scratch = SubspaceScratch::new(4);
         let tree = PseudoTree::new(VIRTUAL_NODE);
         let mut stats = QueryStats::default();
-        let r = subspace_search(&ctx, &mut scratch, &tree, ROOT, &mut zero_est, None, &mut stats);
-        let SubspaceSearch::Found(f) = r else { panic!("{r:?}") };
+        let r = subspace_search(
+            &ctx,
+            &mut scratch,
+            &tree,
+            ROOT,
+            &mut zero_est,
+            None,
+            &mut stats,
+        );
+        let SubspaceSearch::Found(f) = r else {
+            panic!("{r:?}")
+        };
         // Tree orientation: target-first; flipped on output.
         assert_eq!(f.nodes, vec![3, 2, 1, 0]);
         let p = f.into_path(true);
@@ -512,12 +656,24 @@ mod tests {
             fanout: &[],
             goal_set: &goal_set,
             goal_count: 1,
+            order: SearchOrder::Astar,
+            deadline: Deadline::none(),
         };
         let mut scratch = SubspaceScratch::new(4);
         let mut tree = PseudoTree::new(0);
         let mut stats = QueryStats::default();
-        let r = subspace_search(&ctx, &mut scratch, &tree, ROOT, &mut zero_est, None, &mut stats);
-        let SubspaceSearch::Found(f) = r else { panic!("{r:?}") };
+        let r = subspace_search(
+            &ctx,
+            &mut scratch,
+            &tree,
+            ROOT,
+            &mut zero_est,
+            None,
+            &mut stats,
+        );
+        let SubspaceSearch::Found(f) = r else {
+            panic!("{r:?}")
+        };
         let queued = divide_subspace(&ctx, &mut tree, &f, &mut stats);
         // Path 0-1-2-3 creates vertices for 1,2,3 plus re-queues ROOT; the
         // terminal (emitted, single goal) is skipped → ROOT, v1, v2.

@@ -168,8 +168,16 @@ impl SptiStore {
             nodes.push(cur);
         }
         // Cumulative lengths from the virtual target side.
-        let suffix = nodes.iter().map(|&x| (x, total - self.dist.get(x as usize))).collect();
-        FoundPath { nodes, length: total, vertex: ROOT, suffix }
+        let suffix = nodes
+            .iter()
+            .map(|&x| (x, total - self.dist.get(x as usize)))
+            .collect();
+        FoundPath {
+            nodes,
+            length: total,
+            vertex: ROOT,
+            suffix,
+        }
     }
 
     /// Exact `d_s(v)` if `v` is in `SPT_I`.
@@ -225,7 +233,9 @@ mod tests {
         let (g, ts) = fixture();
         let mut store = SptiStore::new(6);
         let mut stats = QueryStats::default();
-        let f = store.init(&g, &[0], &ts, &TargetsLb::Zero, &mut stats).expect("path");
+        let f = store
+            .init(&g, &[0], &ts, &TargetsLb::Zero, &mut stats)
+            .expect("path");
         assert_eq!(f.nodes, vec![3, 2, 1, 0]);
         assert_eq!(f.length, 3);
         assert_eq!(f.suffix, vec![(3, 0), (2, 1), (1, 2), (0, 3)]);
@@ -241,7 +251,9 @@ mod tests {
         let (g, ts) = fixture();
         let mut store = SptiStore::new(6);
         let mut stats = QueryStats::default();
-        store.init(&g, &[0], &ts, &TargetsLb::Zero, &mut stats).unwrap();
+        store
+            .init(&g, &[0], &ts, &TargetsLb::Zero, &mut stats)
+            .unwrap();
         // Node 4 is at d_s = 6, node 5 at 11 (keys with zero bounds).
         store.grow(&g, 6, &ts, &TargetsLb::Zero, &mut stats);
         assert_eq!(store.exact_dist(4), Some(6));
@@ -262,7 +274,9 @@ mod tests {
         ts.insert(2);
         let mut store = SptiStore::new(3);
         let mut stats = QueryStats::default();
-        assert!(store.init(&g, &[0], &ts, &TargetsLb::Zero, &mut stats).is_none());
+        assert!(store
+            .init(&g, &[0], &ts, &TargetsLb::Zero, &mut stats)
+            .is_none());
         assert!(store.is_complete());
         assert!(store.destinations().is_empty());
     }
@@ -272,7 +286,9 @@ mod tests {
         let (g, ts) = fixture();
         let mut store = SptiStore::new(6);
         let mut stats = QueryStats::default();
-        let f = store.init(&g, &[0, 2], &ts, &TargetsLb::Zero, &mut stats).expect("path");
+        let f = store
+            .init(&g, &[0, 2], &ts, &TargetsLb::Zero, &mut stats)
+            .expect("path");
         assert_eq!(f.nodes, vec![3, 2]);
         assert_eq!(f.length, 1);
     }
@@ -283,7 +299,9 @@ mod tests {
         ts.insert(0);
         let mut store = SptiStore::new(6);
         let mut stats = QueryStats::default();
-        let f = store.init(&g, &[0], &ts, &TargetsLb::Zero, &mut stats).expect("path");
+        let f = store
+            .init(&g, &[0], &ts, &TargetsLb::Zero, &mut stats)
+            .expect("path");
         assert_eq!(f.nodes, vec![0]);
         assert_eq!(f.length, 0);
         assert_eq!(f.suffix, vec![(0, 0)]);

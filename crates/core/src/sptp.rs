@@ -122,7 +122,12 @@ impl SptpStore {
             .iter()
             .map(|&x| (x, total - self.dist.get(x as usize)))
             .collect();
-        Some(FoundPath { nodes, length: total, vertex: ROOT, suffix })
+        Some(FoundPath {
+            nodes,
+            length: total,
+            vertex: ROOT,
+            suffix,
+        })
     }
 
     /// Exact `δ(v, V_T)` if `v` is in the partial SPT.
@@ -196,7 +201,9 @@ mod tests {
         let tree = PseudoTree::new(0);
         let ss = source_set(3, 0);
         let mut stats = QueryStats::default();
-        assert!(store.build(&g, &[2], &ss, &SourceLb::Zero, &tree, &mut stats).is_none());
+        assert!(store
+            .build(&g, &[2], &ss, &SourceLb::Zero, &tree, &mut stats)
+            .is_none());
     }
 
     #[test]

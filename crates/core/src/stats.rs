@@ -55,7 +55,11 @@ mod tests {
 
     #[test]
     fn absorb_sums_counters_and_maxes_spt() {
-        let mut a = QueryStats { shortest_path_computations: 2, spt_nodes: 10, ..Default::default() };
+        let mut a = QueryStats {
+            shortest_path_computations: 2,
+            spt_nodes: 10,
+            ..Default::default()
+        };
         let b = QueryStats {
             shortest_path_computations: 3,
             testlb_calls: 1,

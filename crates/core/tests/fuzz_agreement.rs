@@ -44,18 +44,33 @@ fn check_query(
             let r = engine.query_multi(alg, sources, targets, k).unwrap();
             let got: Vec<Length> = r.paths.iter().map(|p| p.length).collect();
             assert_eq!(
-                got, expect,
+                got,
+                expect,
                 "{} landmarks={with_lm} {seed_info} sources={sources:?} targets={targets:?} k={k}",
                 alg.name()
             );
             // Structural invariants.
             let mut seen = std::collections::HashSet::new();
             for p in &r.paths {
-                p.validate(g).unwrap_or_else(|e| panic!("{} {seed_info}: {e}", alg.name()));
-                assert!(p.is_simple(), "{} {seed_info}: non-simple {:?}", alg.name(), p.nodes);
+                p.validate(g)
+                    .unwrap_or_else(|e| panic!("{} {seed_info}: {e}", alg.name()));
+                assert!(
+                    p.is_simple(),
+                    "{} {seed_info}: non-simple {:?}",
+                    alg.name(),
+                    p.nodes
+                );
                 assert!(sources.contains(&p.source()), "{} {seed_info}", alg.name());
-                assert!(targets.contains(&p.destination()), "{} {seed_info}", alg.name());
-                assert!(seen.insert(p.nodes.clone()), "{} {seed_info}: duplicate path", alg.name());
+                assert!(
+                    targets.contains(&p.destination()),
+                    "{} {seed_info}",
+                    alg.name()
+                );
+                assert!(
+                    seen.insert(p.nodes.clone()),
+                    "{} {seed_info}: duplicate path",
+                    alg.name()
+                );
             }
             assert!(r.paths.windows(2).all(|w| w[0].length <= w[1].length));
         }
@@ -127,6 +142,13 @@ fn large_k_exhausts_all_paths() {
         let idx = LandmarkIndex::build(&g, 2, SelectionStrategy::Farthest, seed);
         let source = rng.gen_range(0..n);
         let target = rng.gen_range(0..n);
-        check_query(&g, &idx, &[source], &[target], 10_000, &format!("seed={seed}"));
+        check_query(
+            &g,
+            &idx,
+            &[source],
+            &[target],
+            10_000,
+            &format!("seed={seed}"),
+        );
     }
 }

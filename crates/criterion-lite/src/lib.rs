@@ -1,0 +1,180 @@
+//! A minimal benchmarking harness, API-compatible with the subset of
+//! `criterion` 0.5 this workspace's benches use.
+//!
+//! The build environment is fully offline, so `kpj-bench` consumes this
+//! crate under the dependency name `criterion`
+//! (`criterion = { package = "kpj-criterion", path = … }`). Supported
+//! surface: [`Criterion::benchmark_group`], group
+//! [`sample_size`](BenchmarkGroup::sample_size) /
+//! [`bench_function`](BenchmarkGroup::bench_function) /
+//! [`bench_with_input`](BenchmarkGroup::bench_with_input) /
+//! [`finish`](BenchmarkGroup::finish), [`Bencher::iter`],
+//! [`BenchmarkId`], [`black_box`], [`criterion_group!`],
+//! [`criterion_main!`].
+//!
+//! Instead of criterion's full statistical machinery it times
+//! `sample_size` executions of the closure and prints mean / min /
+//! total. That is enough to read the paper's *shape* claims (who wins,
+//! by how much) off the output; it does not do outlier analysis or
+//! HTML reports.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// The harness entry point; collects benchmark groups.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks. Accepts `&str` or
+    /// `String` like criterion's `S: Into<String>` bound.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        println!("\ngroup {}", name.into());
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed executions per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.into(), |b| f(b));
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id, |b| f(b, input));
+        self
+    }
+
+    /// End the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            min: Duration::MAX,
+            iters: 0,
+        };
+        // One untimed warm-up, then the timed samples.
+        f(&mut b);
+        b.total = Duration::ZERO;
+        b.min = Duration::MAX;
+        b.iters = 0;
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        if b.iters == 0 {
+            println!("  {:40} (no iterations)", id.0);
+            return;
+        }
+        let mean = b.total / b.iters as u32;
+        println!(
+            "  {:40} mean {:>12.3?}  min {:>12.3?}  ({} iters, total {:.3?})",
+            id.0, mean, b.min, b.iters, b.total
+        );
+    }
+}
+
+/// Passed to the benchmark closure; times the hot loop.
+pub struct Bencher {
+    total: Duration,
+    min: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time one execution of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        let dt = start.elapsed();
+        self.total += dt;
+        self.min = self.min.min(dt);
+        self.iters += 1;
+    }
+}
+
+/// A benchmark's display label.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Just the parameter as the label.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -91,7 +91,10 @@ pub fn read_binary<R: Read>(r: R) -> Result<Graph, GraphError> {
 }
 
 fn bad(message: &str) -> GraphError {
-    GraphError::Parse { line: 0, message: message.to_string() }
+    GraphError::Parse {
+        line: 0,
+        message: message.to_string(),
+    }
 }
 
 fn read_u32<R: Read>(r: &mut R) -> Result<u32, GraphError> {
@@ -145,7 +148,10 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         assert!(read_binary(&b"not a graph"[..]).is_err());
-        assert!(read_binary(&b"KPJGRAPH\x63\x00\x00\x00"[..]).is_err(), "bad version");
+        assert!(
+            read_binary(&b"KPJGRAPH\x63\x00\x00\x00"[..]).is_err(),
+            "bad version"
+        );
         // Truncated file.
         let g = sample();
         let mut buf = Vec::new();

@@ -26,8 +26,14 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// A builder for a graph with exactly `node_count` nodes (ids `0..n`).
     pub fn new(node_count: usize) -> Self {
-        assert!(node_count < u32::MAX as usize, "node count exceeds u32 id space");
-        GraphBuilder { node_count: node_count as u32, edges: Vec::new() }
+        assert!(
+            node_count < u32::MAX as usize,
+            "node count exceeds u32 id space"
+        );
+        GraphBuilder {
+            node_count: node_count as u32,
+            edges: Vec::new(),
+        }
     }
 
     /// A builder that pre-allocates space for `edge_hint` edges.
@@ -55,7 +61,10 @@ impl GraphBuilder {
         let n = self.node_count;
         for &x in &[u, v] {
             if x >= n {
-                return Err(GraphError::NodeOutOfRange { node: x as u64, node_count: n as u64 });
+                return Err(GraphError::NodeOutOfRange {
+                    node: x as u64,
+                    node_count: n as u64,
+                });
             }
         }
         self.edges.push((u, v, w));
@@ -73,7 +82,10 @@ impl GraphBuilder {
     pub fn build(self) -> Graph {
         let n = self.node_count as usize;
         let m = self.edges.len();
-        assert!(m <= u32::MAX as usize, "edge count exceeds u32 offset space");
+        assert!(
+            m <= u32::MAX as usize,
+            "edge count exceeds u32 offset space"
+        );
 
         let (out_offsets, out_edges) =
             csr_from_edges(n, self.edges.iter().map(|&(u, v, w)| (u, v, w)));
@@ -100,7 +112,10 @@ fn csr_from_edges(
     let mut out = vec![EdgeRef { to: 0, weight: 0 }; m];
     for (tail, head, w) in edges {
         let slot = cursor[tail as usize] as usize;
-        out[slot] = EdgeRef { to: head, weight: w };
+        out[slot] = EdgeRef {
+            to: head,
+            weight: w,
+        };
         cursor[tail as usize] += 1;
     }
     (offsets.into_boxed_slice(), out.into_boxed_slice())
@@ -115,7 +130,10 @@ mod tests {
         let mut b = GraphBuilder::new(2);
         assert!(matches!(
             b.add_edge(0, 2, 1),
-            Err(GraphError::NodeOutOfRange { node: 2, node_count: 2 })
+            Err(GraphError::NodeOutOfRange {
+                node: 2,
+                node_count: 2
+            })
         ));
         assert!(b.add_edge(2, 0, 1).is_err());
         assert!(b.add_edge(1, 0, 1).is_ok());

@@ -14,7 +14,6 @@ pub type CategoryId = u32;
 
 /// Offline inverted index: category → member nodes, node → categories.
 #[derive(Debug, Clone, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CategoryIndex {
     /// `members[c]` is the sorted, deduplicated list of nodes in category `c`.
     members: Vec<Vec<NodeId>>,
@@ -30,7 +29,11 @@ impl CategoryIndex {
 
     /// Add a category with the given display name and member set; returns
     /// its id. Members are sorted and deduplicated.
-    pub fn add_category(&mut self, name: impl Into<String>, mut members: Vec<NodeId>) -> CategoryId {
+    pub fn add_category(
+        &mut self,
+        name: impl Into<String>,
+        mut members: Vec<NodeId>,
+    ) -> CategoryId {
         members.sort_unstable();
         members.dedup();
         let id = self.members.len() as CategoryId;
@@ -60,7 +63,10 @@ impl CategoryIndex {
     /// Look a category up by its display name (linear scan; for tooling, not
     /// hot paths).
     pub fn find_by_name(&self, name: &str) -> Option<CategoryId> {
-        self.names.iter().position(|n| n == name).map(|i| i as CategoryId)
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| i as CategoryId)
     }
 
     /// True if node `v` belongs to category `c` (binary search).
@@ -114,8 +120,14 @@ mod tests {
         let lake = idx.add_category("Lake", vec![2, 3]);
         assert_eq!(idx.find_by_name("Lake"), Some(lake));
         assert_eq!(idx.find_by_name("Volcano"), None);
-        let all: Vec<_> = idx.iter().map(|(_, n, m)| (n.to_string(), m.len())).collect();
-        assert_eq!(all, vec![("Glacier".to_string(), 1), ("Lake".to_string(), 2)]);
+        let all: Vec<_> = idx
+            .iter()
+            .map(|(_, n, m)| (n.to_string(), m.len()))
+            .collect();
+        assert_eq!(
+            all,
+            vec![("Glacier".to_string(), 1), ("Lake".to_string(), 2)]
+        );
     }
 
     #[test]

@@ -40,7 +40,12 @@ impl Graph {
     ) -> Self {
         debug_assert_eq!(out_offsets.len(), in_offsets.len());
         debug_assert_eq!(out_edges.len(), in_edges.len());
-        Graph { out_offsets, out_edges, in_offsets, in_edges }
+        Graph {
+            out_offsets,
+            out_edges,
+            in_offsets,
+            in_edges,
+        }
     }
 
     /// Number of nodes `n = |V|`.
@@ -153,7 +158,9 @@ mod tests {
         for u in g.nodes() {
             for e in g.out_edges(u) {
                 assert!(
-                    g.in_edges(e.to).iter().any(|r| r.to == u && r.weight == e.weight),
+                    g.in_edges(e.to)
+                        .iter()
+                        .any(|r| r.to == u && r.weight == e.weight),
                     "missing reverse edge for {u} -> {}",
                     e.to
                 );

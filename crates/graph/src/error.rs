@@ -30,7 +30,9 @@ impl fmt::Display for GraphError {
                 f,
                 "node id {node} out of range for a graph with {node_count} nodes"
             ),
-            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -57,10 +59,16 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = GraphError::NodeOutOfRange { node: 7, node_count: 3 };
+        let e = GraphError::NodeOutOfRange {
+            node: 7,
+            node_count: 3,
+        };
         assert!(e.to_string().contains('7'));
         assert!(e.to_string().contains('3'));
-        let e = GraphError::Parse { line: 12, message: "bad arc".into() };
+        let e = GraphError::Parse {
+            line: 12,
+            message: "bad arc".into(),
+        };
         assert!(e.to_string().contains("12"));
         assert!(e.to_string().contains("bad arc"));
     }

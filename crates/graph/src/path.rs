@@ -19,7 +19,10 @@ pub struct Path {
 impl Path {
     /// A single-node path of length zero.
     pub fn trivial(v: NodeId) -> Self {
-        Path { nodes: vec![v], length: 0 }
+        Path {
+            nodes: vec![v],
+            length: 0,
+        }
     }
 
     /// Source node `v_1`.
@@ -53,7 +56,10 @@ impl Path {
     pub fn reversed(&self) -> Path {
         let mut nodes = self.nodes.clone();
         nodes.reverse();
-        Path { nodes, length: self.length }
+        Path {
+            nodes,
+            length: self.length,
+        }
     }
 
     /// Check that every consecutive pair is an edge of `g` and that the
@@ -71,7 +77,10 @@ impl Path {
             }
         }
         if total != self.length {
-            return Err(format!("cached length {} != recomputed {}", self.length, total));
+            return Err(format!(
+                "cached length {} != recomputed {}",
+                self.length, total
+            ));
         }
         Ok(())
     }
@@ -105,7 +114,10 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let p = Path { nodes: vec![0, 1, 2], length: 3 };
+        let p = Path {
+            nodes: vec![0, 1, 2],
+            length: 3,
+        };
         assert_eq!(p.source(), 0);
         assert_eq!(p.destination(), 2);
         assert_eq!(p.edge_count(), 2);
@@ -122,35 +134,58 @@ mod tests {
 
     #[test]
     fn simplicity() {
-        assert!(Path { nodes: vec![0, 1, 2], length: 0 }.is_simple());
-        assert!(!Path { nodes: vec![0, 1, 0], length: 0 }.is_simple());
+        assert!(Path {
+            nodes: vec![0, 1, 2],
+            length: 0
+        }
+        .is_simple());
+        assert!(!Path {
+            nodes: vec![0, 1, 0],
+            length: 0
+        }
+        .is_simple());
     }
 
     #[test]
     fn validate_accepts_correct_path() {
         let g = line();
-        let p = Path { nodes: vec![0, 1, 2, 3], length: 6 };
+        let p = Path {
+            nodes: vec![0, 1, 2, 3],
+            length: 6,
+        };
         assert!(p.validate(&g).is_ok());
     }
 
     #[test]
     fn validate_rejects_missing_edge_and_bad_length() {
         let g = line();
-        let p = Path { nodes: vec![0, 2], length: 1 };
+        let p = Path {
+            nodes: vec![0, 2],
+            length: 1,
+        };
         assert!(p.validate(&g).unwrap_err().contains("missing edge"));
-        let p = Path { nodes: vec![0, 1], length: 9 };
+        let p = Path {
+            nodes: vec![0, 1],
+            length: 9,
+        };
         assert!(p.validate(&g).unwrap_err().contains("cached length"));
     }
 
     #[test]
     fn display_formats_chain() {
-        let p = Path { nodes: vec![3, 1, 4], length: 9 };
+        let p = Path {
+            nodes: vec![3, 1, 4],
+            length: 9,
+        };
         assert_eq!(p.to_string(), "3 -> 1 -> 4 (length 9)");
     }
 
     #[test]
     fn reversed_swaps_endpoints() {
-        let p = Path { nodes: vec![0, 1, 2], length: 3 };
+        let p = Path {
+            nodes: vec![0, 1, 2],
+            length: 3,
+        };
         let r = p.reversed();
         assert_eq!(r.source(), 2);
         assert_eq!(r.destination(), 0);

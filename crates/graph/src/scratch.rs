@@ -21,7 +21,10 @@ pub struct TimestampedSet {
 impl TimestampedSet {
     /// A set over the key universe `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        TimestampedSet { stamp: vec![0; capacity], epoch: 1 }
+        TimestampedSet {
+            stamp: vec![0; capacity],
+            epoch: 1,
+        }
     }
 
     /// Key universe size.
@@ -79,7 +82,12 @@ pub struct TimestampedMap<T: Copy> {
 impl<T: Copy> TimestampedMap<T> {
     /// A map over keys `0..capacity` where absent keys read as `default`.
     pub fn new(capacity: usize, default: T) -> Self {
-        TimestampedMap { values: vec![default; capacity], stamp: vec![0; capacity], epoch: 1, default }
+        TimestampedMap {
+            values: vec![default; capacity],
+            stamp: vec![0; capacity],
+            epoch: 1,
+            default,
+        }
     }
 
     /// Key universe size.

@@ -40,7 +40,10 @@ pub struct IndexedMinHeap<K: Ord + Copy> {
 impl<K: Ord + Copy + Default> IndexedMinHeap<K> {
     /// An empty heap over items `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity < ABSENT as usize, "capacity exceeds u32 position space");
+        assert!(
+            capacity < ABSENT as usize,
+            "capacity exceeds u32 position space"
+        );
         IndexedMinHeap {
             heap: Vec::new(),
             pos: vec![ABSENT; capacity],
@@ -83,7 +86,9 @@ impl<K: Ord + Copy + Default> IndexedMinHeap<K> {
     /// The minimum entry without removing it.
     #[inline]
     pub fn peek(&self) -> Option<(usize, K)> {
-        self.heap.first().map(|&i| (i as usize, self.keys[i as usize]))
+        self.heap
+            .first()
+            .map(|&i| (i as usize, self.keys[i as usize]))
     }
 
     /// Insert `item` with `key`, or decrease its key if already queued with

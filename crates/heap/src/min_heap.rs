@@ -49,12 +49,16 @@ impl<K: Ord + Copy, V> Ord for Entry<K, V> {
 impl<K: Ord + Copy, V> MinHeap<K, V> {
     /// An empty queue.
     pub fn new() -> Self {
-        MinHeap { inner: BinaryHeap::new() }
+        MinHeap {
+            inner: BinaryHeap::new(),
+        }
     }
 
     /// An empty queue with pre-allocated room for `cap` entries.
     pub fn with_capacity(cap: usize) -> Self {
-        MinHeap { inner: BinaryHeap::with_capacity(cap) }
+        MinHeap {
+            inner: BinaryHeap::with_capacity(cap),
+        }
     }
 
     /// Number of queued entries.
@@ -69,7 +73,10 @@ impl<K: Ord + Copy, V> MinHeap<K, V> {
 
     /// Queue `value` under `key`.
     pub fn push(&mut self, key: K, value: V) {
-        self.inner.push(Entry { key: Reverse(key), value });
+        self.inner.push(Entry {
+            key: Reverse(key),
+            value,
+        });
     }
 
     /// Remove and return the entry with the smallest key.

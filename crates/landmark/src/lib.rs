@@ -44,7 +44,6 @@ pub enum SelectionStrategy {
 
 /// The offline landmark index: `|L|` forward distance tables.
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LandmarkIndex {
     landmarks: Vec<NodeId>,
     /// Row-major `|L| × n`: `tables[l * n + v] = δ(landmarks[l], v)`.
@@ -64,7 +63,11 @@ impl LandmarkIndex {
         let mut tables: Vec<Length> = Vec::with_capacity(count * n);
 
         if n == 0 || count == 0 {
-            return LandmarkIndex { landmarks, tables, node_count: n };
+            return LandmarkIndex {
+                landmarks,
+                tables,
+                node_count: n,
+            };
         }
 
         match strategy {
@@ -107,7 +110,11 @@ impl LandmarkIndex {
                 }
             }
         }
-        LandmarkIndex { landmarks, tables, node_count: n }
+        LandmarkIndex {
+            landmarks,
+            tables,
+            node_count: n,
+        }
     }
 
     /// The chosen landmark nodes.
@@ -168,9 +175,17 @@ impl LandmarkIndex {
     }
 
     /// Reassemble an index from raw parts (used by deserialization).
-    pub(crate) fn from_parts(landmarks: Vec<NodeId>, tables: Vec<Length>, node_count: usize) -> Self {
+    pub(crate) fn from_parts(
+        landmarks: Vec<NodeId>,
+        tables: Vec<Length>,
+        node_count: usize,
+    ) -> Self {
         debug_assert_eq!(tables.len(), landmarks.len() * node_count);
-        LandmarkIndex { landmarks, tables, node_count }
+        LandmarkIndex {
+            landmarks,
+            tables,
+            node_count,
+        }
     }
 
     /// Per-query preprocessing for a destination set: computes
@@ -180,10 +195,17 @@ impl LandmarkIndex {
         let dist_to_t = (0..self.landmarks.len())
             .map(|l| {
                 let row = self.row(l);
-                targets.iter().map(|&v| row[v as usize]).min().unwrap_or(INFINITE_LENGTH)
+                targets
+                    .iter()
+                    .map(|&v| row[v as usize])
+                    .min()
+                    .unwrap_or(INFINITE_LENGTH)
             })
             .collect();
-        QueryBounds { index: self, dist_to_t }
+        QueryBounds {
+            index: self,
+            dist_to_t,
+        }
     }
 }
 

@@ -70,12 +70,16 @@ impl LandmarkIndex {
         }
         let version = read_u32(&mut r)?;
         if version != VERSION {
-            return Err(PersistError::Format(format!("unsupported version {version}")));
+            return Err(PersistError::Format(format!(
+                "unsupported version {version}"
+            )));
         }
         let count = read_u64(&mut r)? as usize;
         let n = read_u64(&mut r)? as usize;
         if n >= u32::MAX as usize || count > n.max(1) {
-            return Err(PersistError::Format(format!("implausible header: |L|={count}, n={n}")));
+            return Err(PersistError::Format(format!(
+                "implausible header: |L|={count}, n={n}"
+            )));
         }
         let mut landmarks = Vec::with_capacity(count);
         for _ in 0..count {

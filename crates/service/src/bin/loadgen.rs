@@ -1,0 +1,310 @@
+//! `kpj-loadgen` — replay a deterministic KPJ query workload against a
+//! running `kpj-serve` and report throughput and latency.
+//!
+//! The client regenerates the server's road network from the same
+//! `(nodes, arcs, seed)` triple, derives the paper's distance-stratified
+//! query sets (`kpj-workload`), and fires them over `--connections`
+//! parallel TCP connections. By default sources are drawn round-robin
+//! from a small pool (cache-friendly); `--unique` widens the pool to the
+//! whole query group (cache-hostile).
+//!
+//! ```text
+//! kpj-loadgen --addr 127.0.0.1:7878 --nodes 5000 --arcs 12000 --seed 7 \
+//!             --connections 8 --requests 2000 --k 20
+//! ```
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use kpj_graph::NodeId;
+use kpj_service::json::Json;
+use kpj_workload::queries::QuerySets;
+use kpj_workload::road::RoadConfig;
+
+const USAGE: &str = "kpj-loadgen: drive a kpj-serve instance and measure it
+
+USAGE:
+    kpj-loadgen [OPTIONS]
+
+OPTIONS:
+    --addr <ADDR>        server address             [default: 127.0.0.1:7878]
+    --nodes <N>          road-network nodes (must match the server)  [default: 5000]
+    --arcs <M>           road-network arcs  (must match the server)  [default: 12000]
+    --seed <S>           road-network seed  (must match the server)  [default: 7]
+    --connections <C>    parallel TCP connections   [default: 8]
+    --requests <R>       total requests             [default: 2000]
+    --k <K>              paths per query            [default: 20]
+    --algorithm <ALG>    da|daspt|bestfirst|iterbound|iterboundp|iterboundi
+                                                    [default: iterboundi]
+    --targets <T>        target-category size       [default: 3]
+    --timeout-ms <MS>    per-query deadline         [default: none]
+    --unique             draw sources from the whole query group
+                         (defeats the result cache)
+";
+
+struct Opts {
+    addr: String,
+    nodes: usize,
+    arcs: usize,
+    seed: u64,
+    connections: usize,
+    requests: usize,
+    k: usize,
+    algorithm: String,
+    targets: usize,
+    timeout_ms: Option<u64>,
+    unique: bool,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts {
+        addr: "127.0.0.1:7878".to_string(),
+        nodes: 5_000,
+        arcs: 12_000,
+        seed: 7,
+        connections: 8,
+        requests: 2_000,
+        k: 20,
+        algorithm: "iterboundi".to_string(),
+        targets: 3,
+        timeout_ms: None,
+        unique: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {what}"))
+        };
+        match flag.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--nodes" => opts.nodes = num(&value("--nodes")?, "--nodes")?,
+            "--arcs" => opts.arcs = num(&value("--arcs")?, "--arcs")?,
+            "--seed" => opts.seed = num(&value("--seed")?, "--seed")? as u64,
+            "--connections" => {
+                opts.connections = num(&value("--connections")?, "--connections")?.max(1)
+            }
+            "--requests" => opts.requests = num(&value("--requests")?, "--requests")?,
+            "--k" => opts.k = num(&value("--k")?, "--k")?,
+            "--algorithm" => opts.algorithm = value("--algorithm")?,
+            "--targets" => opts.targets = num(&value("--targets")?, "--targets")?.max(1),
+            "--timeout-ms" => {
+                opts.timeout_ms = Some(num(&value("--timeout-ms")?, "--timeout-ms")? as u64)
+            }
+            "--unique" => opts.unique = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn num(s: &str, what: &str) -> Result<usize, String> {
+    s.parse()
+        .map_err(|_| format!("{what}: `{s}` is not a number"))
+}
+
+/// One request's outcome as seen by the client.
+struct Sample {
+    latency_us: u64,
+    /// `"ok"` or the server's error code.
+    status: String,
+}
+
+fn run_connection(addr: &str, requests: &[String]) -> Result<Vec<Sample>, std::io::Error> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut samples = Vec::with_capacity(requests.len());
+    let mut line = String::new();
+    for request in requests {
+        let started = Instant::now();
+        writer.write_all(request.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let latency_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let status = match Json::parse(line.trim()) {
+            Ok(v) if v.get("ok").and_then(Json::as_bool) == Some(true) => "ok".to_string(),
+            Ok(v) => v
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unparseable_error")
+                .to_string(),
+            Err(_) => "unparseable_response".to_string(),
+        };
+        samples.push(Sample { latency_us, status });
+    }
+    Ok(samples)
+}
+
+fn quantile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+fn fetch_server_metrics(addr: &str) -> Option<String> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut writer = BufWriter::new(stream);
+    writer.write_all(b"{\"id\":0,\"op\":\"metrics\"}\n").ok()?;
+    writer.flush().ok()?;
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    Some(line.trim().to_string())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Recreate the server's world and the paper's workload on it.
+    eprintln!(
+        "regenerating workload: nodes={} arcs={} seed={}",
+        opts.nodes, opts.arcs, opts.seed
+    );
+    let graph = RoadConfig::new(opts.nodes, opts.arcs, opts.seed).generate();
+    let targets: Vec<NodeId> = (1..=opts.targets)
+        .map(|i| (i * opts.nodes / (opts.targets + 1)) as NodeId)
+        .collect();
+    let sets = QuerySets::generate(&graph, &targets, 5, 100, opts.seed);
+    let group = sets.default_group();
+    if group.is_empty() {
+        eprintln!("error: empty query group (graph too small?)");
+        return ExitCode::FAILURE;
+    }
+    // Source pool size controls the cache hit rate of the run.
+    let pool_size = if opts.unique {
+        group.len()
+    } else {
+        group.len().min(16)
+    };
+    let sources: Vec<NodeId> = group[..pool_size].to_vec();
+    let target_list = targets
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+
+    // Pre-render every request line, round-robin over the source pool.
+    let requests: Vec<String> = (0..opts.requests)
+        .map(|i| {
+            let timeout = match opts.timeout_ms {
+                Some(ms) => format!(",\"timeout_ms\":{ms}"),
+                None => String::new(),
+            };
+            format!(
+                "{{\"id\":{i},\"op\":\"query\",\"algorithm\":\"{}\",\"sources\":[{}],\"targets\":[{}],\"k\":{}{timeout}}}",
+                opts.algorithm,
+                sources[i % sources.len()],
+                target_list,
+                opts.k,
+            )
+        })
+        .collect();
+
+    // Shard the requests over the connections and fire.
+    let requests = Arc::new(requests);
+    let started = Instant::now();
+    let handles: Vec<_> = (0..opts.connections)
+        .map(|c| {
+            let requests = Arc::clone(&requests);
+            let addr = opts.addr.clone();
+            let connections = opts.connections;
+            std::thread::spawn(move || {
+                let mine: Vec<String> = requests
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % connections == c)
+                    .map(|(_, r)| r.clone())
+                    .collect();
+                run_connection(&addr, &mine)
+            })
+        })
+        .collect();
+
+    let mut samples = Vec::with_capacity(opts.requests);
+    let mut io_errors = 0usize;
+    for handle in handles {
+        match handle.join().expect("connection thread panicked") {
+            Ok(mut s) => samples.append(&mut s),
+            Err(e) => {
+                eprintln!("connection failed: {e}");
+                io_errors += 1;
+            }
+        }
+    }
+    let wall = started.elapsed();
+
+    // Aggregate.
+    let mut by_status: BTreeMap<String, usize> = BTreeMap::new();
+    for s in &samples {
+        *by_status.entry(s.status.clone()).or_insert(0) += 1;
+    }
+    let ok = by_status.get("ok").copied().unwrap_or(0);
+    let mut latencies: Vec<u64> = samples.iter().map(|s| s.latency_us).collect();
+    latencies.sort_unstable();
+
+    println!(
+        "sent={} completed={} ok={} failed_connections={}",
+        opts.requests,
+        samples.len(),
+        ok,
+        io_errors
+    );
+    let statuses = by_status
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!("status: {statuses}");
+    let secs = wall.as_secs_f64();
+    println!(
+        "wall={:.3}s throughput={:.0} req/s ({} connections)",
+        secs,
+        if secs > 0.0 {
+            samples.len() as f64 / secs
+        } else {
+            0.0
+        },
+        opts.connections
+    );
+    println!(
+        "latency_us: p50={} p90={} p99={} max={}",
+        quantile(&latencies, 0.50),
+        quantile(&latencies, 0.90),
+        quantile(&latencies, 0.99),
+        latencies.last().copied().unwrap_or(0)
+    );
+    if let Some(metrics) = fetch_server_metrics(&opts.addr) {
+        println!("server: {metrics}");
+    }
+
+    if samples.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

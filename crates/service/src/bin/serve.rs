@@ -1,0 +1,148 @@
+//! `kpj-serve` — serve KPJ queries over newline-delimited JSON on TCP.
+//!
+//! The graph is a deterministic synthetic road network (`kpj-workload`),
+//! so a client that knows `(nodes, arcs, seed)` can regenerate it and
+//! pick meaningful endpoints — `kpj-loadgen` does exactly that.
+//!
+//! ```text
+//! kpj-serve --nodes 5000 --arcs 12000 --seed 7 --addr 127.0.0.1:7878 \
+//!           --workers 4 --queue-cap 256 --cache-cap 4096 --landmarks 8
+//! ```
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use kpj_landmark::{LandmarkIndex, SelectionStrategy};
+use kpj_service::{serve, KpjService, PoolConfig, ServiceConfig};
+use kpj_workload::road::RoadConfig;
+
+const USAGE: &str = "kpj-serve: serve top-k shortest path join queries over TCP (NDJSON)
+
+USAGE:
+    kpj-serve [OPTIONS]
+
+OPTIONS:
+    --addr <ADDR>        listen address          [default: 127.0.0.1:7878]
+    --nodes <N>          road-network nodes      [default: 5000]
+    --arcs <M>           road-network arcs       [default: 12000]
+    --seed <S>           road-network seed       [default: 7]
+    --workers <W>        engine workers, 0=auto  [default: 0]
+    --queue-cap <Q>      admission queue bound   [default: 256]
+    --cache-cap <C>      result-cache entries    [default: 4096]
+    --no-cache           disable the result cache
+    --landmarks <L>      landmark count, 0=none  [default: 8]
+
+PROTOCOL (one JSON object per line, `id` echoed back):
+    {\"id\":1,\"op\":\"ping\"}
+    {\"id\":2,\"op\":\"query\",\"algorithm\":\"iterboundi\",\"sources\":[17],
+     \"targets\":[100,2500],\"k\":20,\"timeout_ms\":250,\"paths\":false}
+    {\"id\":3,\"op\":\"metrics\"}
+";
+
+struct Opts {
+    addr: String,
+    nodes: usize,
+    arcs: usize,
+    seed: u64,
+    workers: usize,
+    queue_cap: usize,
+    cache_cap: usize,
+    landmarks: usize,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts {
+        addr: "127.0.0.1:7878".to_string(),
+        nodes: 5_000,
+        arcs: 12_000,
+        seed: 7,
+        workers: 0,
+        queue_cap: 256,
+        cache_cap: 4_096,
+        landmarks: 8,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {what}"))
+        };
+        match flag.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--nodes" => opts.nodes = num(&value("--nodes")?, "--nodes")?,
+            "--arcs" => opts.arcs = num(&value("--arcs")?, "--arcs")?,
+            "--seed" => opts.seed = num(&value("--seed")?, "--seed")? as u64,
+            "--workers" => opts.workers = num(&value("--workers")?, "--workers")?,
+            "--queue-cap" => opts.queue_cap = num(&value("--queue-cap")?, "--queue-cap")?,
+            "--cache-cap" => opts.cache_cap = num(&value("--cache-cap")?, "--cache-cap")?,
+            "--no-cache" => opts.cache_cap = 0,
+            "--landmarks" => opts.landmarks = num(&value("--landmarks")?, "--landmarks")?,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn num(s: &str, what: &str) -> Result<usize, String> {
+    s.parse()
+        .map_err(|_| format!("{what}: `{s}` is not a number"))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "generating road network: nodes={} arcs={} seed={}",
+        opts.nodes, opts.arcs, opts.seed
+    );
+    let graph = Arc::new(RoadConfig::new(opts.nodes, opts.arcs, opts.seed).generate());
+    let landmarks = (opts.landmarks > 0).then(|| {
+        eprintln!("building {} landmarks (farthest selection)", opts.landmarks);
+        Arc::new(LandmarkIndex::build(
+            &graph,
+            opts.landmarks,
+            SelectionStrategy::Farthest,
+            opts.seed,
+        ))
+    });
+
+    let config = ServiceConfig {
+        pool: PoolConfig {
+            workers: opts.workers,
+            queue_capacity: opts.queue_cap,
+        },
+        cache_capacity: opts.cache_cap,
+    };
+    let service = Arc::new(KpjService::new(graph, landmarks, config));
+
+    let listener = match TcpListener::bind(&opts.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "kpj-serve listening on {} ({} workers, queue {}, cache {})",
+        opts.addr,
+        service.pool().worker_count(),
+        opts.queue_cap,
+        opts.cache_cap,
+    );
+    if let Err(e) = serve(listener, service) {
+        eprintln!("error: accept loop failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,429 @@
+//! Sharded LRU result cache with single-flight deduplication.
+//!
+//! Keyed by the *normalized* query `(algorithm, sources, targets, k)` —
+//! timeouts are intentionally not part of the key: a cached answer is the
+//! full answer, valid whatever deadline the asker had in mind.
+//!
+//! Single-flight: the first miss for a key installs a [`Flight`] slot and
+//! gets back an [`InFlight`] token obligating it to compute and publish.
+//! Concurrent requests for the same key block on the flight instead of
+//! duplicating the (potentially expensive) k-shortest-path computation.
+//! If the owner fails — deadline, overload, panic — the error is
+//! broadcast to the waiters and the slot is removed, so the *next*
+//! request retries fresh rather than caching a failure.
+//!
+//! Eviction is approximate LRU per shard: each shard keeps a monotonically
+//! increasing tick, stamps entries on touch, and when over budget evicts
+//! the lowest-stamped *ready* entries (in-flight slots are never evicted;
+//! they are bounded by pool admission control).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use kpj_core::{Algorithm, KpjResult};
+use kpj_graph::NodeId;
+
+use crate::ServiceError;
+
+/// Number of independently locked shards (power of two).
+const SHARDS: usize = 16;
+
+/// Normalized cache key. Construct via [`CacheKey::new`] so that the
+/// source/target sets are deduplicated and order-insensitive.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    algorithm: Algorithm,
+    sources: Vec<NodeId>,
+    targets: Vec<NodeId>,
+    k: usize,
+}
+
+impl CacheKey {
+    /// Build a key; sorts and dedups the node sets so `{1,2}` and
+    /// `{2,1,2}` address the same entry.
+    pub fn new(algorithm: Algorithm, sources: &[NodeId], targets: &[NodeId], k: usize) -> CacheKey {
+        let mut sources = sources.to_vec();
+        sources.sort_unstable();
+        sources.dedup();
+        let mut targets = targets.to_vec();
+        targets.sort_unstable();
+        targets.dedup();
+        CacheKey {
+            algorithm,
+            sources,
+            targets,
+            k,
+        }
+    }
+
+    /// The normalized source set.
+    pub fn sources(&self) -> &[NodeId] {
+        &self.sources
+    }
+
+    /// The normalized target set.
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+}
+
+/// A computation other requests can wait on.
+struct Flight {
+    outcome: Mutex<Option<Result<Arc<KpjResult>, ServiceError>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn wait(&self) -> Result<Arc<KpjResult>, ServiceError> {
+        let mut guard = self.outcome.lock().unwrap();
+        loop {
+            if let Some(outcome) = guard.as_ref() {
+                return outcome.clone();
+            }
+            guard = self.done.wait(guard).unwrap();
+        }
+    }
+
+    fn publish(&self, outcome: Result<Arc<KpjResult>, ServiceError>) {
+        let mut guard = self.outcome.lock().unwrap();
+        if guard.is_none() {
+            *guard = Some(outcome);
+            self.done.notify_all();
+        }
+    }
+}
+
+enum Slot {
+    Ready { value: Arc<KpjResult>, stamp: u64 },
+    Pending(Arc<Flight>),
+}
+
+struct Shard {
+    map: HashMap<CacheKey, Slot>,
+    tick: u64,
+}
+
+/// Outcome of a cache lookup.
+pub enum Lookup {
+    /// Completed entry — serve immediately.
+    Hit(Arc<KpjResult>),
+    /// Nobody is computing this key; the caller now owns the flight and
+    /// MUST resolve the returned [`InFlight`] token.
+    Miss(InFlight),
+    /// Someone else is computing; block on [`SharedFlight::wait`].
+    Shared(SharedFlight),
+}
+
+/// A flight owned by another request.
+pub struct SharedFlight {
+    flight: Arc<Flight>,
+}
+
+impl SharedFlight {
+    /// Block until the owning request publishes its outcome.
+    pub fn wait(self) -> Result<Arc<KpjResult>, ServiceError> {
+        self.flight.wait()
+    }
+}
+
+/// Obligation token for the single request that must compute a key.
+///
+/// Resolve with [`complete`](InFlight::complete) or
+/// [`fail`](InFlight::fail); dropping it unresolved (e.g. on panic in the
+/// caller) broadcasts an internal error so waiters never hang.
+pub struct InFlight {
+    cache: Arc<CacheInner>,
+    key: CacheKey,
+    flight: Arc<Flight>,
+    resolved: bool,
+}
+
+impl InFlight {
+    /// Publish a successful result: waiters are woken and the entry
+    /// becomes a [`Lookup::Hit`] for future requests.
+    pub fn complete(mut self, value: Arc<KpjResult>) {
+        self.resolved = true;
+        self.cache
+            .finish(&self.key, Ok(Arc::clone(&value)), &self.flight);
+    }
+
+    /// Broadcast a failure and drop the slot; the next request for this
+    /// key will recompute.
+    pub fn fail(mut self, error: ServiceError) {
+        self.resolved = true;
+        self.cache.finish(&self.key, Err(error), &self.flight);
+    }
+}
+
+impl Drop for InFlight {
+    fn drop(&mut self) {
+        if !self.resolved {
+            self.cache.finish(
+                &self.key,
+                Err(ServiceError::Internal(
+                    "in-flight query abandoned".to_string(),
+                )),
+                &self.flight,
+            );
+        }
+    }
+}
+
+struct CacheInner {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+}
+
+impl CacheInner {
+    fn shard_of(&self, key: &CacheKey) -> &Mutex<Shard> {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARDS]
+    }
+
+    fn finish(
+        &self,
+        key: &CacheKey,
+        outcome: Result<Arc<KpjResult>, ServiceError>,
+        flight: &Arc<Flight>,
+    ) {
+        {
+            let mut shard = self.shard_of(key).lock().unwrap();
+            // Replace our Pending slot; leave foreign slots alone (a
+            // failed flight's key may have been re-claimed already).
+            let ours = matches!(
+                shard.map.get(key),
+                Some(Slot::Pending(f)) if Arc::ptr_eq(f, flight)
+            );
+            if ours {
+                match &outcome {
+                    Ok(value) => {
+                        shard.tick += 1;
+                        let stamp = shard.tick;
+                        shard.map.insert(
+                            key.clone(),
+                            Slot::Ready {
+                                value: Arc::clone(value),
+                                stamp,
+                            },
+                        );
+                        self.evict_locked(&mut shard);
+                    }
+                    Err(_) => {
+                        shard.map.remove(key);
+                    }
+                }
+            }
+        }
+        flight.publish(outcome);
+    }
+
+    /// Evict lowest-stamped ready entries until within budget. Holding
+    /// the shard lock; O(n) scans are fine at cache scale.
+    fn evict_locked(&self, shard: &mut Shard) {
+        let ready = |s: &Slot| matches!(s, Slot::Ready { .. });
+        while shard.map.values().filter(|s| ready(s)).count() > self.capacity_per_shard {
+            let victim = shard
+                .map
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Ready { stamp, .. } => Some((*stamp, k.clone())),
+                    Slot::Pending(_) => None,
+                })
+                .min_by_key(|(stamp, _)| *stamp)
+                .map(|(_, k)| k);
+            match victim {
+                Some(k) => shard.map.remove(&k),
+                None => break,
+            };
+        }
+    }
+}
+
+/// The sharded result cache.
+pub struct ResultCache {
+    inner: Arc<CacheInner>,
+}
+
+impl ResultCache {
+    /// A cache holding up to ~`capacity` completed results (rounded up
+    /// to a multiple of the shard count).
+    pub fn new(capacity: usize) -> ResultCache {
+        let capacity_per_shard = capacity.div_ceil(SHARDS).max(1);
+        ResultCache {
+            inner: Arc::new(CacheInner {
+                shards: (0..SHARDS)
+                    .map(|_| {
+                        Mutex::new(Shard {
+                            map: HashMap::new(),
+                            tick: 0,
+                        })
+                    })
+                    .collect(),
+                capacity_per_shard,
+            }),
+        }
+    }
+
+    /// Look up `key`, claiming the flight on a miss.
+    pub fn lookup(&self, key: &CacheKey) -> Lookup {
+        let mut shard = self.inner.shard_of(key).lock().unwrap();
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(key) {
+            Some(Slot::Ready { value, stamp }) => {
+                *stamp = tick;
+                Lookup::Hit(Arc::clone(value))
+            }
+            Some(Slot::Pending(flight)) => Lookup::Shared(SharedFlight {
+                flight: Arc::clone(flight),
+            }),
+            None => {
+                let flight = Arc::new(Flight {
+                    outcome: Mutex::new(None),
+                    done: Condvar::new(),
+                });
+                shard
+                    .map
+                    .insert(key.clone(), Slot::Pending(Arc::clone(&flight)));
+                drop(shard);
+                Lookup::Miss(InFlight {
+                    cache: Arc::clone(&self.inner),
+                    key: key.clone(),
+                    flight,
+                    resolved: false,
+                })
+            }
+        }
+    }
+
+    /// Number of completed (ready) entries across all shards.
+    pub fn len(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap()
+                    .map
+                    .values()
+                    .filter(|slot| matches!(slot, Slot::Ready { .. }))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// True when no completed entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpj_core::QueryStats;
+
+    fn result_with_tau(tau: u64) -> Arc<KpjResult> {
+        Arc::new(KpjResult {
+            paths: Vec::new(),
+            stats: QueryStats {
+                final_tau: tau,
+                ..Default::default()
+            },
+        })
+    }
+
+    fn key(k: usize) -> CacheKey {
+        CacheKey::new(Algorithm::Da, &[0], &[1], k)
+    }
+
+    #[test]
+    fn key_normalizes_node_sets() {
+        let a = CacheKey::new(Algorithm::Da, &[2, 1, 2], &[5, 4], 3);
+        let b = CacheKey::new(Algorithm::Da, &[1, 2], &[4, 5, 5], 3);
+        assert_eq!(a, b);
+        assert_eq!(a.sources(), &[1, 2]);
+        assert_ne!(a, CacheKey::new(Algorithm::Da, &[1, 2], &[4, 5], 4));
+        assert_ne!(a, CacheKey::new(Algorithm::BestFirst, &[1, 2], &[4, 5], 3));
+    }
+
+    #[test]
+    fn miss_then_complete_then_hit() {
+        let cache = ResultCache::new(8);
+        let token = match cache.lookup(&key(1)) {
+            Lookup::Miss(t) => t,
+            _ => panic!("expected miss"),
+        };
+        token.complete(result_with_tau(7));
+        match cache.lookup(&key(1)) {
+            Lookup::Hit(v) => assert_eq!(v.stats.final_tau, 7),
+            _ => panic!("expected hit"),
+        }
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_lookup_shares_the_flight() {
+        let cache = ResultCache::new(8);
+        let Lookup::Miss(token) = cache.lookup(&key(1)) else {
+            panic!("expected miss")
+        };
+        let Lookup::Shared(shared) = cache.lookup(&key(1)) else {
+            panic!("expected shared")
+        };
+        let waiter = std::thread::spawn(move || shared.wait());
+        token.complete(result_with_tau(9));
+        assert_eq!(waiter.join().unwrap().unwrap().stats.final_tau, 9);
+    }
+
+    #[test]
+    fn failure_is_broadcast_and_not_cached() {
+        let cache = ResultCache::new(8);
+        let Lookup::Miss(token) = cache.lookup(&key(1)) else {
+            panic!("expected miss")
+        };
+        let Lookup::Shared(shared) = cache.lookup(&key(1)) else {
+            panic!("expected shared")
+        };
+        token.fail(ServiceError::Overloaded);
+        assert!(matches!(shared.wait(), Err(ServiceError::Overloaded)));
+        // The slot is gone: the next lookup re-claims the flight.
+        assert!(matches!(cache.lookup(&key(1)), Lookup::Miss(_)));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn dropped_token_unblocks_waiters() {
+        let cache = ResultCache::new(8);
+        let Lookup::Miss(token) = cache.lookup(&key(1)) else {
+            panic!("expected miss")
+        };
+        let Lookup::Shared(shared) = cache.lookup(&key(1)) else {
+            panic!("expected shared")
+        };
+        drop(token);
+        assert!(matches!(shared.wait(), Err(ServiceError::Internal(_))));
+        assert!(matches!(cache.lookup(&key(1)), Lookup::Miss(_)));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_ready_entries() {
+        // Single-shard pressure: use identical sources/targets, varying k,
+        // and a capacity small enough to force eviction in any shard.
+        let cache = ResultCache::new(1); // 1 per shard
+        let mut keys = Vec::new();
+        for k in 1..=64usize {
+            let key = key(k);
+            if let Lookup::Miss(t) = cache.lookup(&key) {
+                t.complete(result_with_tau(k as u64));
+            }
+            keys.push(key);
+        }
+        // Each shard holds at most 1 ready entry.
+        assert!(cache.len() <= SHARDS);
+        // The freshest key must still be present.
+        assert!(matches!(cache.lookup(keys.last().unwrap()), Lookup::Hit(_)));
+    }
+}

@@ -1,0 +1,100 @@
+//! kpj-service — a concurrent query-serving layer over the KPJ engines.
+//!
+//! The algorithm crates answer one query at a time on one thread; this
+//! crate turns them into a *service*:
+//!
+//! | Module | Provides |
+//! |---|---|
+//! | [`pool`] | [`EnginePool`]: N worker threads, each owning a private [`kpj_core::QueryEngine`], fed from a bounded queue with reject-on-full admission control |
+//! | [`cache`] | [`ResultCache`]: sharded LRU over completed results with single-flight deduplication of concurrent identical queries |
+//! | [`service`] | [`KpjService`]: cache → pool → deadline → metrics composition, the one call-site the front-ends share |
+//! | [`metrics`] | [`Metrics`]: atomic counters + latency histogram with p50/p99, summed engine [`kpj_core::QueryStats`] |
+//! | [`wire`] | the newline-delimited JSON protocol (pure string → string) |
+//! | [`server`] | the blocking TCP front-end (`kpj-serve` binary) |
+//! | [`json`] | minimal JSON parser/writer (the build is offline; no serde) |
+//!
+//! Deadlines ride on [`kpj_core::Deadline`]: the engine polls
+//! cooperatively and returns [`kpj_core::QueryError::DeadlineExceeded`]
+//! without poisoning its reusable scratch.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use kpj_core::Algorithm;
+//! use kpj_graph::GraphBuilder;
+//! use kpj_service::{KpjService, QueryRequest, ServiceConfig};
+//!
+//! let mut b = GraphBuilder::new(3);
+//! b.add_bidirectional(0, 1, 2).unwrap();
+//! b.add_bidirectional(1, 2, 2).unwrap();
+//! let service = KpjService::new(Arc::new(b.build()), None, ServiceConfig::default());
+//!
+//! let request = QueryRequest {
+//!     algorithm: Algorithm::IterBoundI,
+//!     sources: vec![0],
+//!     targets: vec![2],
+//!     k: 1,
+//!     timeout_ms: Some(1_000),
+//! };
+//! let result = service.execute(&request).unwrap();
+//! assert_eq!(result.paths[0].length, 4);
+//! let again = service.execute(&request).unwrap();   // served from cache
+//! assert_eq!(service.snapshot().cache_hits, 1);
+//! assert_eq!(again.paths[0].length, 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod json;
+pub mod metrics;
+pub mod pool;
+pub mod server;
+pub mod service;
+pub mod wire;
+
+pub use cache::{CacheKey, InFlight, Lookup, ResultCache, SharedFlight};
+pub use metrics::{Histogram, Metrics, MetricsSnapshot};
+pub use pool::{resolve_workers, EnginePool, JobHandle, PoolConfig, QueryRequest};
+pub use server::serve;
+pub use service::{KpjService, ServiceConfig};
+
+/// Errors surfaced by the serving layer. `Clone` so single-flight can
+/// broadcast one failure to every waiter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Admission control rejected the request: the queue is full.
+    Overloaded,
+    /// The pool is tearing down; no new work is accepted.
+    ShuttingDown,
+    /// The engine rejected or failed the query (including
+    /// [`kpj_core::QueryError::DeadlineExceeded`]).
+    Query(kpj_core::QueryError),
+    /// A worker panicked or an in-flight computation was abandoned.
+    Internal(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Overloaded => write!(f, "service overloaded: queue is full"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Query(e) => write!(f, "{e}"),
+            ServiceError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<kpj_core::QueryError> for ServiceError {
+    fn from(e: kpj_core::QueryError) -> Self {
+        ServiceError::Query(e)
+    }
+}

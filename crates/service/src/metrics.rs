@@ -1,0 +1,389 @@
+//! Aggregated serving metrics: lock-free counters, a latency histogram
+//! with approximate quantiles, and summed [`QueryStats`] from the engine
+//! pool. One [`Metrics`] instance is shared (via `Arc`) by the pool
+//! workers, the cache, and the wire layer; reads take a consistent-enough
+//! [`MetricsSnapshot`] without stopping the world.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use kpj_core::QueryStats;
+
+/// Number of fine linear buckets covering 0..LINEAR_LIMIT_US µs.
+const LINEAR_BUCKETS: usize = 16;
+/// Upper edge of the linear region, microseconds.
+const LINEAR_LIMIT_US: u64 = 16;
+/// Log2 major buckets above the linear region; each is split into
+/// [`MINOR_BUCKETS`] equal minors, giving ~6% worst-case relative error.
+const MAJOR_BUCKETS: usize = 32;
+/// Minors per major bucket.
+const MINOR_BUCKETS: usize = 16;
+/// Total bucket count.
+const BUCKETS: usize = LINEAR_BUCKETS + MAJOR_BUCKETS * MINOR_BUCKETS;
+
+/// A fixed-bucket latency histogram over microseconds.
+///
+/// Layout: 16 one-µs linear buckets for the sub-16µs range (cache hits),
+/// then log2-major × 16-minor buckets up to `2^(4+32)` µs — far beyond any
+/// plausible query latency. Recording is a single relaxed atomic add.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    fn index_of(us: u64) -> usize {
+        if us < LINEAR_LIMIT_US {
+            return us as usize;
+        }
+        // us >= 16, so ilog2 >= 4.
+        let major = (us.ilog2() as u64 - 4).min(MAJOR_BUCKETS as u64 - 1);
+        let low = 16u64 << major; // lower edge of the major bucket
+        let width = low / MINOR_BUCKETS as u64; // ≥ 1 since low ≥ 16
+        let minor = ((us - low) / width).min(MINOR_BUCKETS as u64 - 1);
+        LINEAR_BUCKETS + (major as usize) * MINOR_BUCKETS + minor as usize
+    }
+
+    /// Representative (upper-edge) value of a bucket, µs.
+    fn upper_edge(idx: usize) -> u64 {
+        if idx < LINEAR_BUCKETS {
+            return idx as u64 + 1;
+        }
+        let rel = idx - LINEAR_BUCKETS;
+        let major = (rel / MINOR_BUCKETS) as u64;
+        let minor = (rel % MINOR_BUCKETS) as u64;
+        let low = 16u64 << major;
+        low + (minor + 1) * (low / MINOR_BUCKETS as u64)
+    }
+
+    /// Record one observation.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.buckets[Self::index_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) in microseconds, or `None`
+    /// when empty. Reported as the upper edge of the containing bucket.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(Self::upper_edge(i));
+            }
+        }
+        Some(self.max_us.load(Ordering::Relaxed))
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        let n = self.count.load(Ordering::Relaxed);
+        self.sum_us
+            .load(Ordering::Relaxed)
+            .checked_div(n)
+            .unwrap_or(0)
+    }
+
+    /// Largest recorded value, µs.
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+}
+
+/// Summed engine-side work counters (a concurrent mirror of
+/// [`QueryStats`], aggregated across all workers).
+#[derive(Default)]
+struct WorkTotals {
+    shortest_path_computations: AtomicU64,
+    lower_bound_computations: AtomicU64,
+    testlb_calls: AtomicU64,
+    nodes_settled: AtomicU64,
+    edges_relaxed: AtomicU64,
+    subspaces_created: AtomicU64,
+}
+
+/// Shared serving-layer metrics registry.
+#[derive(Default)]
+pub struct Metrics {
+    queries: AtomicU64,
+    failures: AtomicU64,
+    rejected: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_shared: AtomicU64,
+    cache_misses: AtomicU64,
+    paths_returned: AtomicU64,
+    latency: Histogram,
+    work: WorkTotals,
+}
+
+impl Metrics {
+    /// Fresh, all-zero registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Record a completed query (success or engine failure) and its
+    /// end-to-end latency as observed by the service.
+    pub fn record_query(&self, latency: Duration, ok: bool, paths: u64) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+        }
+        self.paths_returned.fetch_add(paths, Ordering::Relaxed);
+        self.latency.record(latency);
+    }
+
+    /// Record an admission-control rejection (queue full).
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a query that failed its deadline.
+    pub fn record_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a cache hit served from a completed entry.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a request that piggybacked on an in-flight computation.
+    pub fn record_cache_shared(&self) {
+        self.cache_shared.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a cache miss (the request will compute).
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold one query's engine-side stats into the totals.
+    pub fn absorb_stats(&self, s: &QueryStats) {
+        let w = &self.work;
+        w.shortest_path_computations
+            .fetch_add(s.shortest_path_computations as u64, Ordering::Relaxed);
+        w.lower_bound_computations
+            .fetch_add(s.lower_bound_computations as u64, Ordering::Relaxed);
+        w.testlb_calls
+            .fetch_add(s.testlb_calls as u64, Ordering::Relaxed);
+        w.nodes_settled
+            .fetch_add(s.nodes_settled as u64, Ordering::Relaxed);
+        w.edges_relaxed
+            .fetch_add(s.edges_relaxed as u64, Ordering::Relaxed);
+        w.subspaces_created
+            .fetch_add(s.subspaces_created as u64, Ordering::Relaxed);
+    }
+
+    /// The latency histogram (e.g. for extra quantiles).
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// Take a point-in-time snapshot. Counters are read individually with
+    /// relaxed ordering; totals may be off by in-flight updates, which is
+    /// fine for monitoring.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_shared: self.cache_shared.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            paths_returned: self.paths_returned.load(Ordering::Relaxed),
+            latency_count: self.latency.count(),
+            latency_mean_us: self.latency.mean_us(),
+            latency_p50_us: self.latency.quantile_us(0.50).unwrap_or(0),
+            latency_p99_us: self.latency.quantile_us(0.99).unwrap_or(0),
+            latency_max_us: self.latency.max_us(),
+            shortest_path_computations: self
+                .work
+                .shortest_path_computations
+                .load(Ordering::Relaxed),
+            lower_bound_computations: self.work.lower_bound_computations.load(Ordering::Relaxed),
+            testlb_calls: self.work.testlb_calls.load(Ordering::Relaxed),
+            nodes_settled: self.work.nodes_settled.load(Ordering::Relaxed),
+            edges_relaxed: self.work.edges_relaxed.load(Ordering::Relaxed),
+            subspaces_created: self.work.subspaces_created.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of every served metric.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Queries that ran to completion (including engine failures).
+    pub queries: u64,
+    /// Completed queries that returned an error.
+    pub failures: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Queries that exceeded their deadline.
+    pub deadline_exceeded: u64,
+    /// Cache hits on completed entries.
+    pub cache_hits: u64,
+    /// Requests that joined an in-flight identical query.
+    pub cache_shared: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Total paths returned to clients.
+    pub paths_returned: u64,
+    /// Latency observations recorded.
+    pub latency_count: u64,
+    /// Mean end-to-end latency, µs.
+    pub latency_mean_us: u64,
+    /// Approximate median latency, µs.
+    pub latency_p50_us: u64,
+    /// Approximate 99th-percentile latency, µs.
+    pub latency_p99_us: u64,
+    /// Worst observed latency, µs.
+    pub latency_max_us: u64,
+    /// Summed engine stat: shortest-path computations.
+    pub shortest_path_computations: u64,
+    /// Summed engine stat: lower-bound computations.
+    pub lower_bound_computations: u64,
+    /// Summed engine stat: `TestLB` invocations.
+    pub testlb_calls: u64,
+    /// Summed engine stat: nodes settled.
+    pub nodes_settled: u64,
+    /// Summed engine stat: edges relaxed.
+    pub edges_relaxed: u64,
+    /// Summed engine stat: subspaces created.
+    pub subspaces_created: u64,
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "queries={} failures={} rejected={} deadline_exceeded={}",
+            self.queries, self.failures, self.rejected, self.deadline_exceeded
+        )?;
+        writeln!(
+            f,
+            "cache: hits={} shared={} misses={}",
+            self.cache_hits, self.cache_shared, self.cache_misses
+        )?;
+        writeln!(
+            f,
+            "latency_us: mean={} p50={} p99={} max={} (n={})",
+            self.latency_mean_us,
+            self.latency_p50_us,
+            self.latency_p99_us,
+            self.latency_max_us,
+            self.latency_count
+        )?;
+        write!(
+            f,
+            "engine: sp={} lb={} testlb={} settled={} relaxed={} subspaces={}",
+            self.shortest_path_computations,
+            self.lower_bound_computations,
+            self.testlb_calls,
+            self.nodes_settled,
+            self.edges_relaxed,
+            self.subspaces_created
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        let mut last = 0usize;
+        for us in 0..100_000u64 {
+            let idx = Histogram::index_of(us);
+            assert!(idx < BUCKETS);
+            assert!(idx >= last, "index went backwards at {us}");
+            last = idx;
+            assert!(
+                Histogram::upper_edge(idx) >= us.max(1),
+                "upper edge below sample at {us}"
+            );
+        }
+        // Astronomically large values stay in range.
+        assert!(Histogram::index_of(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn quantiles_are_close() {
+        let h = Histogram::default();
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        let p50 = h.quantile_us(0.50).unwrap();
+        let p99 = h.quantile_us(0.99).unwrap();
+        // ~6% worst-case relative error from the minor-bucket width.
+        assert!((468..=532).contains(&p50), "p50 = {p50}");
+        assert!((930..=1058).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max_us(), 1000);
+        assert!(h.mean_us() >= 495 && h.mean_us() <= 505);
+    }
+
+    #[test]
+    fn snapshot_reflects_recorded_events() {
+        let m = Metrics::new();
+        m.record_query(Duration::from_micros(10), true, 20);
+        m.record_query(Duration::from_millis(2), false, 0);
+        m.record_rejected();
+        m.record_deadline_exceeded();
+        m.record_cache_hit();
+        m.record_cache_shared();
+        m.record_cache_miss();
+        let stats = QueryStats {
+            nodes_settled: 7,
+            shortest_path_computations: 3,
+            ..Default::default()
+        };
+        m.absorb_stats(&stats);
+        m.absorb_stats(&stats);
+        let s = m.snapshot();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.failures, 1);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.deadline_exceeded, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_shared, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.paths_returned, 20);
+        assert_eq!(s.latency_count, 2);
+        assert_eq!(s.nodes_settled, 14);
+        assert_eq!(s.shortest_path_computations, 6);
+        assert!(s.latency_p99_us >= 2000);
+        let text = s.to_string();
+        assert!(text.contains("queries=2"));
+        assert!(text.contains("p99="));
+    }
+}

@@ -1,0 +1,373 @@
+//! A fixed-size pool of worker threads, each owning one [`QueryEngine`],
+//! fed from a bounded queue with reject-on-full admission control.
+//!
+//! The engine is deliberately single-threaded (all scratch is
+//! epoch-stamped and reused across queries), so concurrency comes from
+//! *replication*: `N` workers each build a private engine against the
+//! shared graph and drain a common queue. Submitting to a full queue
+//! fails immediately with [`ServiceError::Overloaded`] rather than
+//! building an unbounded backlog — the caller (or its client) decides
+//! whether to retry.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use kpj_core::{Algorithm, Deadline, KpjResult, QueryEngine};
+use kpj_graph::{Graph, NodeId};
+use kpj_landmark::LandmarkIndex;
+
+use crate::ServiceError;
+
+/// One KPJ query as submitted to the pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryRequest {
+    /// Which of the paper's algorithms to run.
+    pub algorithm: Algorithm,
+    /// Source nodes (GKPJ when more than one).
+    pub sources: Vec<NodeId>,
+    /// Target category.
+    pub targets: Vec<NodeId>,
+    /// Number of paths requested.
+    pub k: usize,
+    /// Optional per-query budget; `Some(0)` expires immediately.
+    pub timeout_ms: Option<u64>,
+}
+
+impl QueryRequest {
+    /// The deadline implied by `timeout_ms`, anchored at "now".
+    pub fn deadline(&self) -> Deadline {
+        match self.timeout_ms {
+            Some(ms) => Deadline::after(Duration::from_millis(ms)),
+            None => Deadline::none(),
+        }
+    }
+}
+
+/// Pool sizing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Worker-thread count; `0` means one per available CPU.
+    pub workers: usize,
+    /// Maximum queued (not yet running) requests before admission
+    /// control rejects with [`ServiceError::Overloaded`].
+    pub queue_capacity: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 0,
+            queue_capacity: 128,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// `workers` with the `0 = auto` rule applied.
+    pub fn effective_workers(&self) -> usize {
+        resolve_workers(self.workers)
+    }
+}
+
+/// Resolve a `0 = one per available CPU` worker count.
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Write-once reply slot shared between a worker and the submitter.
+struct ReplySlot {
+    result: Mutex<Option<Result<KpjResult, ServiceError>>>,
+    done: Condvar,
+}
+
+impl ReplySlot {
+    fn new() -> Arc<ReplySlot> {
+        Arc::new(ReplySlot {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, value: Result<KpjResult, ServiceError>) {
+        let mut slot = self.result.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(value);
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Handle to a submitted query; [`wait`](JobHandle::wait) blocks until
+/// the worker publishes the result.
+pub struct JobHandle {
+    slot: Arc<ReplySlot>,
+}
+
+impl JobHandle {
+    /// Block until the query completes and take its result.
+    pub fn wait(self) -> Result<KpjResult, ServiceError> {
+        let mut guard = self.slot.result.lock().unwrap();
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            guard = self.slot.done.wait(guard).unwrap();
+        }
+    }
+}
+
+struct Job {
+    request: QueryRequest,
+    slot: Arc<ReplySlot>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    capacity: usize,
+    executed: AtomicU64,
+}
+
+/// The worker pool. Dropping it drains the queue (already-admitted
+/// queries still run), then joins every worker.
+pub struct EnginePool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    worker_count: usize,
+}
+
+impl EnginePool {
+    /// Spawn `config` workers over a shared graph and optional landmark
+    /// index. Each worker constructs its own [`QueryEngine`] (with its
+    /// own scratch) inside its thread.
+    pub fn new(
+        graph: Arc<Graph>,
+        landmarks: Option<Arc<LandmarkIndex>>,
+        config: PoolConfig,
+    ) -> EnginePool {
+        let worker_count = config.effective_workers();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: config.queue_capacity.max(1),
+            executed: AtomicU64::new(0),
+        });
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let graph = Arc::clone(&graph);
+                let landmarks = landmarks.clone();
+                std::thread::Builder::new()
+                    .name(format!("kpj-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &graph, landmarks.as_deref()))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        EnginePool {
+            shared,
+            workers,
+            worker_count,
+        }
+    }
+
+    /// Number of worker threads actually running.
+    pub fn worker_count(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Queries executed (not rejected) so far — used by tests to prove
+    /// single-flight deduplication reached the pool exactly once.
+    pub fn executed(&self) -> u64 {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Submit a query. Returns [`ServiceError::Overloaded`] when the
+    /// queue is at capacity and [`ServiceError::ShuttingDown`] after the
+    /// pool starts tearing down.
+    pub fn submit(&self, request: QueryRequest) -> Result<JobHandle, ServiceError> {
+        let slot = ReplySlot::new();
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            if state.closed {
+                return Err(ServiceError::ShuttingDown);
+            }
+            if state.jobs.len() >= self.shared.capacity {
+                return Err(ServiceError::Overloaded);
+            }
+            state.jobs.push_back(Job {
+                request,
+                slot: Arc::clone(&slot),
+            });
+        }
+        self.shared.not_empty.notify_one();
+        Ok(JobHandle { slot })
+    }
+
+    /// Convenience: submit and block for the result.
+    pub fn run(&self, request: QueryRequest) -> Result<KpjResult, ServiceError> {
+        self.submit(request)?.wait()
+    }
+}
+
+impl Drop for EnginePool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.closed = true;
+        }
+        self.shared.not_empty.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn build_engine<'g>(graph: &'g Graph, landmarks: Option<&'g LandmarkIndex>) -> QueryEngine<'g> {
+    let engine = QueryEngine::new(graph);
+    match landmarks {
+        Some(idx) => engine.with_landmarks(idx),
+        None => engine,
+    }
+}
+
+fn worker_loop(shared: &Shared, graph: &Graph, landmarks: Option<&LandmarkIndex>) {
+    let mut engine = build_engine(graph, landmarks);
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.closed {
+                    return;
+                }
+                state = shared.not_empty.wait(state).unwrap();
+            }
+        };
+        shared.executed.fetch_add(1, Ordering::Relaxed);
+        let r = &job.request;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.query_multi_deadline(r.algorithm, &r.sources, &r.targets, r.k, r.deadline())
+        }));
+        match outcome {
+            Ok(result) => job.slot.fill(result.map_err(ServiceError::Query)),
+            Err(_) => {
+                // The engine's epoch-stamped scratch may be mid-update;
+                // rebuild it rather than trust a half-written state.
+                job.slot
+                    .fill(Err(ServiceError::Internal("query panicked".to_string())));
+                engine = build_engine(graph, landmarks);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpj_graph::GraphBuilder;
+
+    fn diamond() -> Arc<Graph> {
+        let mut b = GraphBuilder::new(4);
+        b.add_bidirectional(0, 1, 1).unwrap();
+        b.add_bidirectional(1, 2, 1).unwrap();
+        b.add_bidirectional(0, 3, 2).unwrap();
+        b.add_bidirectional(3, 2, 2).unwrap();
+        Arc::new(b.build())
+    }
+
+    fn request(k: usize) -> QueryRequest {
+        QueryRequest {
+            algorithm: Algorithm::IterBoundI,
+            sources: vec![0],
+            targets: vec![2],
+            k,
+            timeout_ms: None,
+        }
+    }
+
+    #[test]
+    fn pool_answers_queries() {
+        let pool = EnginePool::new(
+            diamond(),
+            None,
+            PoolConfig {
+                workers: 2,
+                queue_capacity: 8,
+            },
+        );
+        assert_eq!(pool.worker_count(), 2);
+        let result = pool.run(request(2)).unwrap();
+        let lengths: Vec<u64> = result.paths.iter().map(|p| p.length).collect();
+        assert_eq!(lengths, vec![2, 4]);
+        assert_eq!(pool.executed(), 1);
+    }
+
+    #[test]
+    fn zero_workers_means_available_parallelism() {
+        assert!(resolve_workers(0) >= 1);
+        assert_eq!(resolve_workers(3), 3);
+        let pool = EnginePool::new(
+            diamond(),
+            None,
+            PoolConfig {
+                workers: 0,
+                queue_capacity: 8,
+            },
+        );
+        assert!(pool.worker_count() >= 1);
+        assert!(pool.run(request(1)).is_ok());
+    }
+
+    #[test]
+    fn bad_query_surfaces_engine_error() {
+        let pool = EnginePool::new(
+            diamond(),
+            None,
+            PoolConfig {
+                workers: 1,
+                queue_capacity: 8,
+            },
+        );
+        let mut bad = request(1);
+        bad.sources = vec![99];
+        match pool.run(bad) {
+            Err(ServiceError::Query(kpj_core::QueryError::SourceOutOfRange(99))) => {}
+            other => panic!("expected SourceOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queued_work_completes_on_drop() {
+        let pool = EnginePool::new(
+            diamond(),
+            None,
+            PoolConfig {
+                workers: 1,
+                queue_capacity: 64,
+            },
+        );
+        // The diamond holds exactly two simple 0→2 paths.
+        let handles: Vec<JobHandle> = (0..16).map(|_| pool.submit(request(3)).unwrap()).collect();
+        drop(pool);
+        for h in handles {
+            assert_eq!(h.wait().unwrap().paths.len(), 2);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! [`KpjService`]: the query-serving facade combining the engine pool,
+//! the single-flight result cache, per-query deadlines and the metrics
+//! registry. The TCP server and the in-process batch API are both thin
+//! wrappers over [`KpjService::execute`].
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use kpj_core::{KpjResult, QueryError};
+use kpj_graph::Graph;
+use kpj_landmark::LandmarkIndex;
+
+use crate::cache::{CacheKey, Lookup, ResultCache};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::pool::{EnginePool, PoolConfig, QueryRequest};
+use crate::ServiceError;
+
+/// Service-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Engine-pool sizing.
+    pub pool: PoolConfig,
+    /// Result-cache capacity in completed entries; `0` disables caching
+    /// (every request goes to the pool).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            pool: PoolConfig::default(),
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// How many times `execute` re-tries after a *shared* flight it was
+/// waiting on fails. The owner's failure (deadline, overload) is not
+/// necessarily ours — we get a fresh attempt, but a bounded one.
+const SHARED_RETRIES: usize = 2;
+
+/// A thread-safe KPJ query service over one graph.
+pub struct KpjService {
+    pool: EnginePool,
+    cache: Option<ResultCache>,
+    metrics: Arc<Metrics>,
+}
+
+impl KpjService {
+    /// Build a service over `graph` (and an optional landmark index —
+    /// without one every algorithm runs in its `-NL` variant).
+    pub fn new(
+        graph: Arc<Graph>,
+        landmarks: Option<Arc<LandmarkIndex>>,
+        config: ServiceConfig,
+    ) -> KpjService {
+        KpjService {
+            pool: EnginePool::new(graph, landmarks, config.pool),
+            cache: (config.cache_capacity > 0).then(|| ResultCache::new(config.cache_capacity)),
+            metrics: Arc::new(Metrics::new()),
+        }
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Convenience snapshot of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The engine pool (exposed for tests and capacity introspection).
+    pub fn pool(&self) -> &EnginePool {
+        &self.pool
+    }
+
+    /// Execute one query end-to-end: cache lookup (with single-flight
+    /// dedup), pool admission, deadline enforcement, metrics.
+    pub fn execute(&self, request: &QueryRequest) -> Result<Arc<KpjResult>, ServiceError> {
+        let started = Instant::now();
+        let Some(cache) = &self.cache else {
+            return self.compute_recorded(request, started);
+        };
+        let key = CacheKey::new(
+            request.algorithm,
+            &request.sources,
+            &request.targets,
+            request.k,
+        );
+        for _ in 0..=SHARED_RETRIES {
+            match cache.lookup(&key) {
+                Lookup::Hit(value) => {
+                    self.metrics.record_cache_hit();
+                    self.metrics
+                        .record_query(started.elapsed(), true, value.paths.len() as u64);
+                    return Ok(value);
+                }
+                Lookup::Shared(flight) => {
+                    self.metrics.record_cache_shared();
+                    match flight.wait() {
+                        Ok(value) => {
+                            self.metrics.record_query(
+                                started.elapsed(),
+                                true,
+                                value.paths.len() as u64,
+                            );
+                            return Ok(value);
+                        }
+                        // The owner failed; loop for a fresh attempt.
+                        Err(_) => continue,
+                    }
+                }
+                Lookup::Miss(token) => {
+                    self.metrics.record_cache_miss();
+                    return match self.compute_recorded(request, started) {
+                        Ok(value) => {
+                            token.complete(Arc::clone(&value));
+                            Ok(value)
+                        }
+                        Err(e) => {
+                            token.fail(e.clone());
+                            Err(e)
+                        }
+                    };
+                }
+            }
+        }
+        // Every attempt rode a flight whose owner failed.
+        Err(ServiceError::Internal(
+            "shared flight kept failing".to_string(),
+        ))
+    }
+
+    /// Run on the pool and fold the outcome into the metrics.
+    fn compute_recorded(
+        &self,
+        request: &QueryRequest,
+        started: Instant,
+    ) -> Result<Arc<KpjResult>, ServiceError> {
+        let handle = match self.pool.submit(request.clone()) {
+            Ok(handle) => handle,
+            Err(e) => {
+                if matches!(e, ServiceError::Overloaded) {
+                    self.metrics.record_rejected();
+                }
+                return Err(e);
+            }
+        };
+        match handle.wait() {
+            Ok(result) => {
+                self.metrics.absorb_stats(&result.stats);
+                self.metrics
+                    .record_query(started.elapsed(), true, result.paths.len() as u64);
+                Ok(Arc::new(result))
+            }
+            Err(e) => {
+                if matches!(e, ServiceError::Query(QueryError::DeadlineExceeded)) {
+                    self.metrics.record_deadline_exceeded();
+                }
+                self.metrics.record_query(started.elapsed(), false, 0);
+                Err(e)
+            }
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response line per request, `id` echoed
+//! verbatim so clients may pipeline. Three operations:
+//!
+//! ```text
+//! {"id":1,"op":"ping"}
+//! {"id":2,"op":"query","algorithm":"iterboundi","sources":[0],
+//!  "targets":[5,9],"k":20,"timeout_ms":250,"paths":true}
+//! {"id":3,"op":"metrics"}
+//! ```
+//!
+//! Responses carry `"ok":true` plus the payload, or `"ok":false` with a
+//! machine-readable `error` code (`bad_request`, `overloaded`,
+//! `deadline_exceeded`, `shutting_down`, `internal`) and a human
+//! `message`. This module is pure string→string so the protocol is
+//! testable without sockets; [`server`](crate::server) adds the TCP.
+
+use kpj_core::{Algorithm, QueryError};
+use kpj_graph::NodeId;
+
+use crate::json::Json;
+use crate::pool::QueryRequest;
+use crate::service::KpjService;
+use crate::ServiceError;
+
+/// Largest accepted `k` — a backstop against `{"k":1e15}` requests
+/// pinning a worker forever.
+pub const MAX_K: usize = 10_000;
+
+/// Largest accepted source/target set size.
+pub const MAX_NODE_SET: usize = 100_000;
+
+/// Handle one request line, producing one response line (no trailing
+/// newline).
+pub fn handle_line(service: &KpjService, line: &str) -> String {
+    let parsed = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return error_response(Json::Null, "bad_request", &format!("bad json: {e}")),
+    };
+    let id = parsed.get("id").cloned().unwrap_or(Json::Null);
+    match parsed.get("op").and_then(Json::as_str) {
+        Some("ping") => Json::Obj(vec![
+            ("id".to_string(), id),
+            ("ok".to_string(), Json::Bool(true)),
+            ("pong".to_string(), Json::Bool(true)),
+        ])
+        .to_string(),
+        Some("metrics") => metrics_response(service, id),
+        Some("query") => match parse_query(&parsed) {
+            Ok((request, want_paths)) => run_query(service, id, &request, want_paths),
+            Err(message) => error_response(id, "bad_request", &message),
+        },
+        Some(other) => error_response(id, "bad_request", &format!("unknown op `{other}`")),
+        None => error_response(id, "bad_request", "missing `op`"),
+    }
+}
+
+fn node_list(value: &Json, what: &str) -> Result<Vec<NodeId>, String> {
+    let arr = value
+        .as_arr()
+        .ok_or_else(|| format!("`{what}` must be an array"))?;
+    if arr.len() > MAX_NODE_SET {
+        return Err(format!("`{what}` has more than {MAX_NODE_SET} nodes"));
+    }
+    arr.iter()
+        .map(|v| {
+            v.as_u64()
+                .and_then(|n| NodeId::try_from(n).ok())
+                .ok_or_else(|| format!("`{what}` must contain node ids"))
+        })
+        .collect()
+}
+
+fn parse_query(req: &Json) -> Result<(QueryRequest, bool), String> {
+    let algorithm = match req.get("algorithm").and_then(Json::as_str) {
+        Some(name) => name.parse::<Algorithm>().map_err(|e| e.to_string())?,
+        None => Algorithm::IterBoundI,
+    };
+    let sources = node_list(req.get("sources").ok_or("missing `sources`")?, "sources")?;
+    let targets = node_list(req.get("targets").ok_or("missing `targets`")?, "targets")?;
+    let k = req
+        .get("k")
+        .ok_or("missing `k`")?
+        .as_usize()
+        .ok_or("`k` must be a non-negative integer")?;
+    if k == 0 || k > MAX_K {
+        return Err(format!("`k` must be in 1..={MAX_K}"));
+    }
+    let timeout_ms = match req.get("timeout_ms") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or("`timeout_ms` must be a non-negative integer")?,
+        ),
+    };
+    let want_paths = req.get("paths").and_then(Json::as_bool).unwrap_or(false);
+    Ok((
+        QueryRequest {
+            algorithm,
+            sources,
+            targets,
+            k,
+            timeout_ms,
+        },
+        want_paths,
+    ))
+}
+
+fn run_query(service: &KpjService, id: Json, request: &QueryRequest, want_paths: bool) -> String {
+    match service.execute(request) {
+        Ok(result) => {
+            let lengths: Vec<Json> = result.paths.iter().map(|p| Json::from(p.length)).collect();
+            let mut fields = vec![
+                ("id".to_string(), id),
+                ("ok".to_string(), Json::Bool(true)),
+                ("count".to_string(), Json::from(result.paths.len())),
+                ("lengths".to_string(), Json::Arr(lengths)),
+            ];
+            if want_paths {
+                let paths: Vec<Json> = result
+                    .paths
+                    .iter()
+                    .map(|p| Json::Arr(p.nodes.iter().map(|&n| Json::from(n as u64)).collect()))
+                    .collect();
+                fields.push(("paths".to_string(), Json::Arr(paths)));
+            }
+            let s = &result.stats;
+            fields.push((
+                "stats".to_string(),
+                Json::Obj(vec![
+                    ("sp".to_string(), Json::from(s.shortest_path_computations)),
+                    ("lb".to_string(), Json::from(s.lower_bound_computations)),
+                    ("settled".to_string(), Json::from(s.nodes_settled)),
+                    ("relaxed".to_string(), Json::from(s.edges_relaxed)),
+                    ("subspaces".to_string(), Json::from(s.subspaces_created)),
+                    ("tau".to_string(), Json::from(s.final_tau)),
+                ]),
+            ));
+            Json::Obj(fields).to_string()
+        }
+        Err(e) => error_response(id, error_code(&e), &e.to_string()),
+    }
+}
+
+fn metrics_response(service: &KpjService, id: Json) -> String {
+    let s = service.snapshot();
+    Json::Obj(vec![
+        ("id".to_string(), id),
+        ("ok".to_string(), Json::Bool(true)),
+        (
+            "metrics".to_string(),
+            Json::Obj(vec![
+                ("queries".to_string(), Json::from(s.queries)),
+                ("failures".to_string(), Json::from(s.failures)),
+                ("rejected".to_string(), Json::from(s.rejected)),
+                (
+                    "deadline_exceeded".to_string(),
+                    Json::from(s.deadline_exceeded),
+                ),
+                ("cache_hits".to_string(), Json::from(s.cache_hits)),
+                ("cache_shared".to_string(), Json::from(s.cache_shared)),
+                ("cache_misses".to_string(), Json::from(s.cache_misses)),
+                ("paths_returned".to_string(), Json::from(s.paths_returned)),
+                ("latency_mean_us".to_string(), Json::from(s.latency_mean_us)),
+                ("latency_p50_us".to_string(), Json::from(s.latency_p50_us)),
+                ("latency_p99_us".to_string(), Json::from(s.latency_p99_us)),
+                ("latency_max_us".to_string(), Json::from(s.latency_max_us)),
+                ("nodes_settled".to_string(), Json::from(s.nodes_settled)),
+                ("edges_relaxed".to_string(), Json::from(s.edges_relaxed)),
+                (
+                    "sp_computations".to_string(),
+                    Json::from(s.shortest_path_computations),
+                ),
+                ("testlb_calls".to_string(), Json::from(s.testlb_calls)),
+            ]),
+        ),
+    ])
+    .to_string()
+}
+
+/// Machine-readable error code for a [`ServiceError`].
+pub fn error_code(e: &ServiceError) -> &'static str {
+    match e {
+        ServiceError::Overloaded => "overloaded",
+        ServiceError::ShuttingDown => "shutting_down",
+        ServiceError::Query(QueryError::DeadlineExceeded) => "deadline_exceeded",
+        ServiceError::Query(_) => "bad_request",
+        ServiceError::Internal(_) => "internal",
+    }
+}
+
+fn error_response(id: Json, code: &str, message: &str) -> String {
+    Json::Obj(vec![
+        ("id".to_string(), id),
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::from(code)),
+        ("message".to_string(), Json::from(message)),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolConfig;
+    use crate::service::ServiceConfig;
+    use kpj_graph::GraphBuilder;
+    use std::sync::Arc;
+
+    fn service() -> KpjService {
+        let mut b = GraphBuilder::new(4);
+        b.add_bidirectional(0, 1, 1).unwrap();
+        b.add_bidirectional(1, 2, 1).unwrap();
+        b.add_bidirectional(0, 3, 2).unwrap();
+        b.add_bidirectional(3, 2, 2).unwrap();
+        let config = ServiceConfig {
+            pool: PoolConfig {
+                workers: 1,
+                queue_capacity: 8,
+            },
+            cache_capacity: 16,
+        };
+        KpjService::new(Arc::new(b.build()), None, config)
+    }
+
+    #[test]
+    fn ping_echoes_id() {
+        let svc = service();
+        let resp = handle_line(&svc, r#"{"id":7,"op":"ping"}"#);
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("id").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("pong").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn query_returns_ordered_lengths_and_paths() {
+        let svc = service();
+        let resp = handle_line(
+            &svc,
+            r#"{"id":1,"op":"query","algorithm":"da","sources":[0],"targets":[2],"k":2,"paths":true}"#,
+        );
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{resp}");
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(2));
+        let lengths: Vec<u64> = v
+            .get("lengths")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_u64)
+            .collect();
+        assert_eq!(lengths, vec![2, 4]);
+        let first = v.get("paths").unwrap().as_arr().unwrap()[0]
+            .as_arr()
+            .unwrap();
+        let nodes: Vec<u64> = first.iter().filter_map(Json::as_u64).collect();
+        assert_eq!(nodes, vec![0, 1, 2]);
+        assert!(
+            v.get("stats")
+                .unwrap()
+                .get("settled")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                > 0
+        );
+    }
+
+    #[test]
+    fn malformed_requests_get_bad_request() {
+        let svc = service();
+        for (line, why) in [
+            ("this is not json", "parse failure"),
+            (r#"{"id":1}"#, "missing op"),
+            (r#"{"id":1,"op":"nope"}"#, "unknown op"),
+            (
+                r#"{"id":1,"op":"query","targets":[2],"k":1}"#,
+                "missing sources",
+            ),
+            (
+                r#"{"id":1,"op":"query","sources":[0],"targets":[2],"k":0}"#,
+                "k = 0",
+            ),
+            (
+                r#"{"id":1,"op":"query","sources":[0],"targets":[2],"k":99999999}"#,
+                "k too big",
+            ),
+            (
+                r#"{"id":1,"op":"query","algorithm":"quantum","sources":[0],"targets":[2],"k":1}"#,
+                "bad algorithm",
+            ),
+            (
+                r#"{"id":1,"op":"query","sources":[0.5],"targets":[2],"k":1}"#,
+                "fractional node id",
+            ),
+        ] {
+            let v = Json::parse(&handle_line(&svc, line)).unwrap();
+            assert_eq!(v.get("ok").unwrap().as_bool(), Some(false), "{why}");
+            assert_eq!(
+                v.get("error").unwrap().as_str(),
+                Some("bad_request"),
+                "{why}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_node_is_bad_request() {
+        let svc = service();
+        let resp = handle_line(
+            &svc,
+            r#"{"id":1,"op":"query","sources":[99],"targets":[2],"k":1}"#,
+        );
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("error").unwrap().as_str(), Some("bad_request"));
+    }
+
+    #[test]
+    fn zero_timeout_reports_deadline_exceeded() {
+        let svc = service();
+        let resp = handle_line(
+            &svc,
+            r#"{"id":4,"op":"query","sources":[0],"targets":[2],"k":2,"timeout_ms":0}"#,
+        );
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("error").unwrap().as_str(), Some("deadline_exceeded"));
+        // The worker scratch survives: the same query without a timeout
+        // succeeds afterwards.
+        let ok = handle_line(
+            &svc,
+            r#"{"id":5,"op":"query","sources":[0],"targets":[2],"k":2}"#,
+        );
+        let v = Json::parse(&ok).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{ok}");
+    }
+
+    #[test]
+    fn metrics_roundtrip() {
+        let svc = service();
+        handle_line(
+            &svc,
+            r#"{"id":1,"op":"query","sources":[0],"targets":[2],"k":1}"#,
+        );
+        handle_line(
+            &svc,
+            r#"{"id":2,"op":"query","sources":[0],"targets":[2],"k":1}"#,
+        );
+        let v = Json::parse(&handle_line(&svc, r#"{"id":9,"op":"metrics"}"#)).unwrap();
+        let m = v.get("metrics").unwrap();
+        assert_eq!(m.get("queries").unwrap().as_u64(), Some(2));
+        assert_eq!(m.get("cache_hits").unwrap().as_u64(), Some(1));
+        assert_eq!(m.get("cache_misses").unwrap().as_u64(), Some(1));
+    }
+}

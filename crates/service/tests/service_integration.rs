@@ -1,0 +1,222 @@
+//! Integration tests for the serving subsystem: single-flight dedup,
+//! pool-vs-sequential equivalence on a seeded road network, admission
+//! control under a full queue, and deadline expiry hygiene.
+
+use std::sync::{Arc, Barrier};
+
+use kpj_core::{Algorithm, QueryEngine, QueryError};
+use kpj_graph::{Graph, NodeId};
+use kpj_landmark::{LandmarkIndex, SelectionStrategy};
+use kpj_service::{EnginePool, KpjService, PoolConfig, QueryRequest, ServiceConfig, ServiceError};
+use kpj_workload::queries::QuerySets;
+use kpj_workload::road::RoadConfig;
+
+fn road(nodes: usize, arcs: usize, seed: u64) -> Arc<Graph> {
+    Arc::new(RoadConfig::new(nodes, arcs, seed).generate())
+}
+
+fn request(sources: Vec<NodeId>, targets: Vec<NodeId>, k: usize) -> QueryRequest {
+    QueryRequest {
+        algorithm: Algorithm::IterBoundI,
+        sources,
+        targets,
+        k,
+        timeout_ms: None,
+    }
+}
+
+/// Concurrent identical queries must reach the pool exactly once: one
+/// cache miss claims the flight, everyone else either shares it or hits
+/// the completed entry.
+#[test]
+fn single_flight_computes_identical_queries_once() {
+    let graph = road(1_000, 2_400, 5);
+    let service = Arc::new(KpjService::new(
+        Arc::clone(&graph),
+        None,
+        ServiceConfig {
+            pool: PoolConfig {
+                workers: 2,
+                queue_capacity: 64,
+            },
+            cache_capacity: 64,
+        },
+    ));
+
+    const CALLERS: usize = 8;
+    let barrier = Arc::new(Barrier::new(CALLERS));
+    let handles: Vec<_> = (0..CALLERS)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                service.execute(&request(vec![3], vec![700, 900], 10))
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let lengths: Vec<Vec<u64>> = results
+        .iter()
+        .map(|r| r.as_ref().unwrap().paths.iter().map(|p| p.length).collect())
+        .collect();
+    assert!(
+        lengths.windows(2).all(|w| w[0] == w[1]),
+        "answers diverged: {lengths:?}"
+    );
+
+    // The load-bearing claim: however the threads interleaved, the
+    // engine pool ran the query exactly once.
+    assert_eq!(
+        service.pool().executed(),
+        1,
+        "single-flight failed to dedup"
+    );
+    let snap = service.snapshot();
+    assert_eq!(snap.cache_misses, 1);
+    assert_eq!(
+        snap.cache_hits + snap.cache_shared,
+        (CALLERS - 1) as u64,
+        "every other caller must ride the first computation: {snap:?}"
+    );
+}
+
+/// The pool (any worker count) must return exactly what a single
+/// sequential engine returns, over a paper-style stratified workload on
+/// a seeded road network, with landmarks on both sides.
+#[test]
+fn pool_matches_single_threaded_engine_on_road_network() {
+    let graph = road(2_000, 4_800, 11);
+    let landmarks = Arc::new(LandmarkIndex::build(
+        &graph,
+        4,
+        SelectionStrategy::Farthest,
+        11,
+    ));
+    let targets: Vec<NodeId> = vec![3, 700, 1_500];
+    let sets = QuerySets::generate(&graph, &targets, 5, 8, 11);
+
+    let pool = EnginePool::new(
+        Arc::clone(&graph),
+        Some(Arc::clone(&landmarks)),
+        PoolConfig {
+            workers: 4,
+            queue_capacity: 256,
+        },
+    );
+    // Submit the whole workload before collecting so the workers truly
+    // run concurrently.
+    let mut jobs = Vec::new();
+    for group in 1..=sets.group_count() {
+        for &source in sets.group(group) {
+            for alg in [Algorithm::Da, Algorithm::IterBoundP, Algorithm::IterBoundI] {
+                let mut req = request(vec![source], targets.clone(), 10);
+                req.algorithm = alg;
+                jobs.push((req.clone(), pool.submit(req).unwrap()));
+            }
+        }
+    }
+
+    let mut engine = QueryEngine::new(&graph).with_landmarks(&landmarks);
+    for (req, job) in jobs {
+        let got = job.wait().unwrap();
+        let want = engine
+            .query_multi(req.algorithm, &req.sources, &req.targets, req.k)
+            .unwrap();
+        let got: Vec<u64> = got.paths.iter().map(|p| p.length).collect();
+        let want: Vec<u64> = want.paths.iter().map(|p| p.length).collect();
+        assert_eq!(got, want, "divergence for {req:?}");
+    }
+}
+
+/// With the single worker pinned on a slow query and the depth-1 queue
+/// already holding a request, the next submission must be rejected.
+#[test]
+fn full_queue_rejects_with_overloaded() {
+    let graph = road(1_500, 3_600, 7);
+    let pool = EnginePool::new(
+        Arc::clone(&graph),
+        None,
+        PoolConfig {
+            workers: 1,
+            queue_capacity: 1,
+        },
+    );
+
+    // A deviation-paradigm query with a large k: hundreds of full
+    // shortest-path computations, far slower than the submissions below.
+    let mut slow = request(vec![0], vec![1_400], 200);
+    slow.algorithm = Algorithm::Da;
+    let slow_job = pool.submit(slow).unwrap();
+    // Wait until the worker has *popped* the slow query (the queue is
+    // empty again), so the next submit deterministically occupies the
+    // only queue slot.
+    while pool.executed() < 1 {
+        std::thread::yield_now();
+    }
+
+    let queued_job = pool.submit(request(vec![1], vec![1_400], 5)).unwrap();
+    match pool.submit(request(vec![2], vec![1_400], 5)) {
+        Err(ServiceError::Overloaded) => {}
+        Err(other) => panic!("expected Overloaded, got {other:?}"),
+        Ok(_) => panic!("expected Overloaded, got an admitted job"),
+    }
+
+    // Both admitted queries still complete correctly.
+    assert!(!slow_job.wait().unwrap().paths.is_empty());
+    assert!(!queued_job.wait().unwrap().paths.is_empty());
+}
+
+/// An already-expired deadline fails with `DeadlineExceeded` and must
+/// not poison the worker's scratch: the very same worker (workers = 1)
+/// then answers the identical query correctly.
+#[test]
+fn deadline_expiry_does_not_poison_worker_scratch() {
+    let graph = road(1_000, 2_400, 3);
+    let service = KpjService::new(
+        Arc::clone(&graph),
+        None,
+        ServiceConfig {
+            pool: PoolConfig {
+                workers: 1,
+                queue_capacity: 16,
+            },
+            cache_capacity: 16,
+        },
+    );
+
+    for alg in [
+        Algorithm::Da,
+        Algorithm::DaSpt,
+        Algorithm::BestFirst,
+        Algorithm::IterBound,
+        Algorithm::IterBoundP,
+        Algorithm::IterBoundI,
+    ] {
+        let mut doomed = request(vec![5], vec![800, 950], 8);
+        doomed.algorithm = alg;
+        doomed.timeout_ms = Some(0);
+        match service.execute(&doomed) {
+            Err(ServiceError::Query(QueryError::DeadlineExceeded)) => {}
+            other => panic!("{alg:?}: expected DeadlineExceeded, got {other:?}"),
+        }
+
+        let mut retry = doomed.clone();
+        retry.timeout_ms = None;
+        let result = service
+            .execute(&retry)
+            .unwrap_or_else(|e| panic!("{alg:?}: scratch poisoned? retry failed with {e:?}"));
+        assert!(!result.paths.is_empty(), "{alg:?}: retry found no paths");
+        let lengths: Vec<u64> = result.paths.iter().map(|p| p.length).collect();
+        let mut sorted = lengths.clone();
+        sorted.sort_unstable();
+        assert_eq!(lengths, sorted, "{alg:?}: retry emitted unordered paths");
+    }
+
+    let snap = service.snapshot();
+    assert_eq!(snap.deadline_exceeded, 6);
+    assert_eq!(snap.failures, 6);
+    // Failed flights are not cached: each retry was a fresh miss.
+    assert_eq!(snap.cache_misses, 12);
+}

@@ -78,7 +78,10 @@ pub struct PointToPoint {
 impl BidirectionalDijkstra {
     /// Scratch for graphs with `n` nodes.
     pub fn new(n: usize) -> Self {
-        BidirectionalDijkstra { fwd: Side::new(n), bwd: Side::new(n) }
+        BidirectionalDijkstra {
+            fwd: Side::new(n),
+            bwd: Side::new(n),
+        }
     }
 
     /// Compute one shortest `s → t` path, or `None` if unreachable.
@@ -88,7 +91,10 @@ impl BidirectionalDijkstra {
     /// the best meeting-point distance seen so far.
     pub fn query(&mut self, g: &Graph, s: NodeId, t: NodeId) -> Option<PointToPoint> {
         if s == t {
-            return Some(PointToPoint { distance: 0, nodes: vec![s] });
+            return Some(PointToPoint {
+                distance: 0,
+                nodes: vec![s],
+            });
         }
         self.fwd.reset(s);
         self.bwd.reset(t);
@@ -147,7 +153,10 @@ impl BidirectionalDijkstra {
         }
         debug_assert_eq!(nodes.first(), Some(&s));
         debug_assert_eq!(nodes.last(), Some(&t));
-        Some(PointToPoint { distance: best, nodes })
+        Some(PointToPoint {
+            distance: best,
+            nodes,
+        })
     }
 }
 

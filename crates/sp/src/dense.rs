@@ -29,7 +29,11 @@ impl DenseDijkstra {
     /// Runs until the queue is exhausted: `O(m + n log n)`-ish with a binary
     /// heap, `O(n)` memory. For bounded / early-terminating searches use
     /// [`Searcher`](crate::Searcher) instead.
-    pub fn run(g: &Graph, direction: Direction, sources: impl IntoIterator<Item = (NodeId, Length)>) -> Self {
+    pub fn run(
+        g: &Graph,
+        direction: Direction,
+        sources: impl IntoIterator<Item = (NodeId, Length)>,
+    ) -> Self {
         let n = g.node_count();
         let mut dist = vec![INFINITE_LENGTH; n];
         let mut parent = vec![NO_PARENT; n];
@@ -53,7 +57,11 @@ impl DenseDijkstra {
                 }
             }
         }
-        DenseDijkstra { direction, dist, parent }
+        DenseDijkstra {
+            direction,
+            dist,
+            parent,
+        }
     }
 
     /// Convenience: single forward source at distance 0.

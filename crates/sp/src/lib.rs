@@ -28,7 +28,7 @@ mod searcher;
 
 pub use bidirectional::{BidirectionalDijkstra, PointToPoint};
 pub use dense::{DenseDijkstra, NO_PARENT};
-pub use searcher::{Estimate, SearchOutcome, Searcher};
+pub use searcher::{Estimate, SearchOrder, SearchOutcome, Searcher, CANCEL_POLL_STRIDE};
 
 use kpj_graph::{EdgeRef, Graph, NodeId};
 

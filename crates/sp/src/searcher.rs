@@ -6,6 +6,12 @@ use kpj_heap::IndexedMinHeap;
 
 use crate::{Direction, NO_PARENT};
 
+/// How many settles elapse between polls of the `cancel` hook of
+/// [`Searcher::search_ctl`]. A power of two so the check compiles to a
+/// mask; small enough that deadline overshoot stays in the microsecond
+/// range even on dense graphs.
+pub const CANCEL_POLL_STRIDE: usize = 64;
+
 /// Per-node admissibility/heuristic verdict, produced by the `estimate`
 /// callback of [`Searcher::search`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +48,35 @@ pub enum SearchOutcome {
     /// constrained space simply contains no path to the goal. Callers drop
     /// the subspace instead of retrying forever (see DESIGN.md §3).
     ExhaustedComplete,
+    /// The cancel hook fired mid-search (deadline / cooperative
+    /// cancellation). Distance labels are partial; the caller must
+    /// discard the query's results.
+    Aborted,
+}
+
+/// Heap discipline of a [`Searcher::search`] run.
+///
+/// The settle-once search is only allowed to trust a settled node's label
+/// when its expansion order is compatible with the heuristic:
+///
+/// * [`Astar`](SearchOrder::Astar) orders the heap by `g + h` — maximal
+///   pruning, but **requires a consistent heuristic** (`h(u) ≤ ω(u,v) +
+///   h(v)`; landmark/ALT bounds and exact-distance oracles qualify).
+///   With a merely admissible `h` it can settle the goal at a
+///   suboptimal distance.
+/// * [`Dijkstra`](SearchOrder::Dijkstra) orders the heap by `g` alone and
+///   uses `h` only to prune `g + h > τ` frontier entries. Correct for
+///   **any admissible** `h`, at the cost of a larger exploration area.
+///   This is what the mixed exact/fallback bounds of `SPT_P` (§5.2)
+///   need: exact partial-SPT distances next to Eq. (2) fallbacks are
+///   admissible but not consistent across the SPT boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchOrder {
+    /// Order by `g + h` (requires consistent heuristic).
+    #[default]
+    Astar,
+    /// Order by `g`; heuristic prunes only. Safe for inconsistent `h`.
+    Dijkstra,
 }
 
 /// A reusable constrained best-first search.
@@ -89,8 +124,40 @@ impl Searcher {
     /// `sources` seed the queue with initial distances (normally one node at
     /// the subspace prefix length, or a whole target set at 0). Sources are
     /// themselves subject to `estimate` and `bound`.
+    ///
+    /// Equivalent to [`search_ctl`](Searcher::search_ctl) with
+    /// [`SearchOrder::Astar`] and no cancel hook.
     #[allow(clippy::too_many_arguments)]
     pub fn search(
+        &mut self,
+        g: &Graph,
+        direction: Direction,
+        sources: impl IntoIterator<Item = (NodeId, Length)>,
+        edge_filter: impl FnMut(NodeId, EdgeRef) -> bool,
+        estimate: impl FnMut(NodeId) -> Estimate,
+        is_goal: impl FnMut(NodeId) -> bool,
+        bound: Option<Length>,
+    ) -> SearchOutcome {
+        self.search_ctl(
+            g,
+            direction,
+            sources,
+            edge_filter,
+            estimate,
+            is_goal,
+            bound,
+            SearchOrder::Astar,
+            || false,
+        )
+    }
+
+    /// [`search`](Searcher::search) with full control: an explicit heap
+    /// [`SearchOrder`] and a cooperative `cancel` hook, polled every
+    /// [`CANCEL_POLL_STRIDE`] settled nodes. When `cancel` returns `true`
+    /// the run stops with [`SearchOutcome::Aborted`] and all labels of the
+    /// run must be treated as garbage.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_ctl(
         &mut self,
         g: &Graph,
         direction: Direction,
@@ -99,6 +166,8 @@ impl Searcher {
         mut estimate: impl FnMut(NodeId) -> Estimate,
         mut is_goal: impl FnMut(NodeId) -> bool,
         bound: Option<Length>,
+        order: SearchOrder,
+        mut cancel: impl FnMut() -> bool,
     ) -> SearchOutcome {
         self.heap.clear();
         self.dist.reset();
@@ -108,6 +177,8 @@ impl Searcher {
         self.relaxed_edges = 0;
         let mut pruned = false;
 
+        // Returns the heap key for an admissible node: f = g + h under
+        // Astar order, plain g under Dijkstra order (h still prunes).
         let mut admit = |v: NodeId, d: Length, pruned: &mut bool| -> Option<Length> {
             match estimate(v) {
                 Estimate::Bound(h) => {
@@ -117,7 +188,10 @@ impl Searcher {
                             *pruned = true;
                             None
                         }
-                        _ => Some(f),
+                        _ => Some(match order {
+                            SearchOrder::Astar => f,
+                            SearchOrder::Dijkstra => d,
+                        }),
                     }
                 }
                 Estimate::Unreachable => None,
@@ -141,9 +215,15 @@ impl Searcher {
             let u_node = u as NodeId;
             self.settled.insert(u);
             self.settled_count += 1;
+            if self.settled_count.is_multiple_of(CANCEL_POLL_STRIDE) && cancel() {
+                return SearchOutcome::Aborted;
+            }
             let du = self.dist.get(u);
             if is_goal(u_node) {
-                return SearchOutcome::Found { node: u_node, dist: du };
+                return SearchOutcome::Found {
+                    node: u_node,
+                    dist: du,
+                };
             }
             for &e in direction.edges(g, u_node) {
                 self.relaxed_edges += 1;
@@ -198,7 +278,10 @@ impl Searcher {
     /// # Panics
     /// Panics if `v` carries no label from the last search.
     pub fn chain_to_root(&self, v: NodeId) -> Vec<NodeId> {
-        assert!(self.dist.is_set(v as usize), "node {v} was not labeled in the last search");
+        assert!(
+            self.dist.is_set(v as usize),
+            "node {v} was not labeled in the last search"
+        );
         let mut chain = vec![v];
         let mut cur = v;
         while self.parent.get(cur as usize) != NO_PARENT {
@@ -337,7 +420,13 @@ mod tests {
             Direction::Forward,
             [(0, 0)],
             |_, _| true,
-            |v| if v == 1 { Estimate::Deferred } else { Estimate::Bound(0) },
+            |v| {
+                if v == 1 {
+                    Estimate::Deferred
+                } else {
+                    Estimate::Bound(0)
+                }
+            },
             |v| v == 3,
             Some(7),
         );
@@ -355,7 +444,13 @@ mod tests {
             Direction::Forward,
             [(0, 0)],
             |_, _| true,
-            |v| if v == 3 { Estimate::Unreachable } else { Estimate::Bound(0) },
+            |v| {
+                if v == 3 {
+                    Estimate::Unreachable
+                } else {
+                    Estimate::Bound(0)
+                }
+            },
             |v| v == 3,
             None,
         );
@@ -394,6 +489,104 @@ mod tests {
             None,
         );
         assert_eq!(out, SearchOutcome::Found { node: 3, dist: 3 });
+    }
+
+    #[test]
+    fn dijkstra_order_survives_inconsistent_heuristic() {
+        // 0→2 (10), 2→3 (100), 0→1 (1), 1→2 (1): true 0–3 distance is
+        // 102 via 0→1→2→3. h(1)=101 is exact, h(2)=0 a weak fallback —
+        // admissible but inconsistent across 1→2 (101 > 1 + 0). Under
+        // Astar order node 2 is settled at f=10 with suboptimal g=10
+        // before node 1 (f=102) can relax it to g=2, so the settle-once
+        // search returns 110. Dijkstra order must return the true 102.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 2, 10).unwrap();
+        b.add_edge(2, 3, 100).unwrap();
+        b.add_edge(0, 1, 1).unwrap();
+        b.add_edge(1, 2, 1).unwrap();
+        let graph = b.build();
+        let h = [0u64, 101, 0, 0];
+        let mut s = Searcher::new(graph.node_count());
+        let run = |s: &mut Searcher, order| {
+            s.search_ctl(
+                &graph,
+                Direction::Forward,
+                [(0, 0)],
+                |_, _| true,
+                |v| Estimate::Bound(h[v as usize]),
+                |v| v == 3,
+                Some(200),
+                order,
+                || false,
+            )
+        };
+        assert_eq!(
+            run(&mut s, SearchOrder::Astar),
+            SearchOutcome::Found { node: 3, dist: 110 }
+        );
+        assert_eq!(
+            run(&mut s, SearchOrder::Dijkstra),
+            SearchOutcome::Found { node: 3, dist: 102 }
+        );
+    }
+
+    #[test]
+    fn dijkstra_order_still_prunes_by_bound() {
+        let graph = g();
+        let mut s = Searcher::new(graph.node_count());
+        let out = s.search_ctl(
+            &graph,
+            Direction::Forward,
+            [(0, 0)],
+            |_, _| true,
+            |_| Estimate::Bound(0),
+            |v| v == 3,
+            Some(4),
+            SearchOrder::Dijkstra,
+            || false,
+        );
+        assert_eq!(out, SearchOutcome::ExhaustedBounded);
+    }
+
+    #[test]
+    fn cancel_hook_aborts_search() {
+        // A long chain so the poll stride is crossed.
+        let n = CANCEL_POLL_STRIDE * 4;
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i as NodeId, (i + 1) as NodeId, 1).unwrap();
+        }
+        let graph = b.build();
+        let mut s = Searcher::new(graph.node_count());
+        let out = s.search_ctl(
+            &graph,
+            Direction::Forward,
+            [(0, 0)],
+            |_, _| true,
+            |_| Estimate::Bound(0),
+            |v| v as usize == n - 1,
+            None,
+            SearchOrder::Astar,
+            || true,
+        );
+        assert_eq!(out, SearchOutcome::Aborted);
+        // The scratch is reset by the next search: results stay correct.
+        let out = s.search(
+            &graph,
+            Direction::Forward,
+            [(0, 0)],
+            |_, _| true,
+            |_| Estimate::Bound(0),
+            |v| v as usize == n - 1,
+            None,
+        );
+        assert_eq!(
+            out,
+            SearchOutcome::Found {
+                node: (n - 1) as NodeId,
+                dist: (n - 1) as Length
+            }
+        );
     }
 
     #[test]

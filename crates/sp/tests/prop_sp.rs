@@ -4,9 +4,7 @@
 //! half of the paper's Lemma 5.1) is verified directly.
 
 use kpj_graph::{Graph, GraphBuilder, Length};
-use kpj_sp::{
-    BidirectionalDijkstra, DenseDijkstra, Direction, Estimate, SearchOutcome, Searcher,
-};
+use kpj_sp::{BidirectionalDijkstra, DenseDijkstra, Direction, Estimate, SearchOutcome, Searcher};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -98,6 +96,9 @@ proptest! {
             }
             SearchOutcome::ExhaustedComplete => {
                 prop_assert!(!dense.reached(dst));
+            }
+            SearchOutcome::Aborted => {
+                prop_assert!(false, "no cancel hook was installed");
             }
         }
     }

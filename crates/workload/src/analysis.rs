@@ -16,18 +16,17 @@ use rand::{Rng, SeedableRng};
 /// The longest `δ(v, T)` over all nodes `v` that can reach `T` (exact).
 pub fn max_distance_to_targets(g: &Graph, targets: &[NodeId]) -> Length {
     let d = DenseDijkstra::to_targets(g, targets);
-    g.nodes().filter(|&v| d.reached(v)).map(|v| d.dist(v)).max().unwrap_or(0)
+    g.nodes()
+        .filter(|&v| d.reached(v))
+        .map(|v| d.dist(v))
+        .max()
+        .unwrap_or(0)
 }
 
 /// Percentile (in `[0, 100]`) of `value` within the distribution of all
 /// finite pairwise shortest-path lengths, estimated from `sample_sources`
 /// random single-source distance vectors.
-pub fn distance_percentile(
-    g: &Graph,
-    value: Length,
-    sample_sources: usize,
-    seed: u64,
-) -> f64 {
+pub fn distance_percentile(g: &Graph, value: Length, sample_sources: usize, seed: u64) -> f64 {
     let n = g.node_count();
     if n == 0 || sample_sources == 0 {
         return 0.0;

@@ -36,17 +36,47 @@ pub struct DatasetSpec {
 }
 
 /// California road network (with real POIs in the paper).
-pub const CAL: DatasetSpec = DatasetSpec { name: "CAL", nodes: 106_337, arcs: 213_964, counts_are_arcs: false };
+pub const CAL: DatasetSpec = DatasetSpec {
+    name: "CAL",
+    nodes: 106_337,
+    arcs: 213_964,
+    counts_are_arcs: false,
+};
 /// San Joaquin road network.
-pub const SJ: DatasetSpec = DatasetSpec { name: "SJ", nodes: 18_263, arcs: 47_594, counts_are_arcs: false };
+pub const SJ: DatasetSpec = DatasetSpec {
+    name: "SJ",
+    nodes: 18_263,
+    arcs: 47_594,
+    counts_are_arcs: false,
+};
 /// San Francisco road network.
-pub const SF: DatasetSpec = DatasetSpec { name: "SF", nodes: 174_956, arcs: 443_604, counts_are_arcs: false };
+pub const SF: DatasetSpec = DatasetSpec {
+    name: "SF",
+    nodes: 174_956,
+    arcs: 443_604,
+    counts_are_arcs: false,
+};
 /// Colorado road network (DIMACS).
-pub const COL: DatasetSpec = DatasetSpec { name: "COL", nodes: 435_666, arcs: 1_042_400, counts_are_arcs: true };
+pub const COL: DatasetSpec = DatasetSpec {
+    name: "COL",
+    nodes: 435_666,
+    arcs: 1_042_400,
+    counts_are_arcs: true,
+};
 /// Florida road network (DIMACS).
-pub const FLA: DatasetSpec = DatasetSpec { name: "FLA", nodes: 1_070_376, arcs: 2_687_902, counts_are_arcs: true };
+pub const FLA: DatasetSpec = DatasetSpec {
+    name: "FLA",
+    nodes: 1_070_376,
+    arcs: 2_687_902,
+    counts_are_arcs: true,
+};
 /// Western USA road network (DIMACS).
-pub const USA: DatasetSpec = DatasetSpec { name: "USA", nodes: 6_262_104, arcs: 15_119_284, counts_are_arcs: true };
+pub const USA: DatasetSpec = DatasetSpec {
+    name: "USA",
+    nodes: 6_262_104,
+    arcs: 15_119_284,
+    counts_are_arcs: true,
+};
 
 /// All Table 1 datasets in the paper's order.
 pub const ALL: [DatasetSpec; 6] = [CAL, SJ, SF, COL, FLA, USA];
@@ -57,7 +87,9 @@ pub const SIZE_SWEEP: [DatasetSpec; 5] = [SJ, SF, COL, FLA, USA];
 impl DatasetSpec {
     /// Look a dataset up by (case-insensitive) name.
     pub fn by_name(name: &str) -> Option<DatasetSpec> {
-        ALL.iter().copied().find(|d| d.name.eq_ignore_ascii_case(name))
+        ALL.iter()
+            .copied()
+            .find(|d| d.name.eq_ignore_ascii_case(name))
     }
 
     /// Node count at `scale`.

@@ -32,7 +32,14 @@ pub struct GeneConfig {
 impl GeneConfig {
     /// Defaults: fan-out 3, 20% lateral edges, weights 1..=100.
     pub fn new(layers: usize, per_layer: usize, seed: u64) -> Self {
-        GeneConfig { layers, per_layer, fan_out: 3, lateral_p: 0.2, max_weight: 100, seed }
+        GeneConfig {
+            layers,
+            per_layer,
+            fan_out: 3,
+            lateral_p: 0.2,
+            max_weight: 100,
+            seed,
+        }
     }
 
     /// Total number of genes.
@@ -65,7 +72,8 @@ impl GeneConfig {
                     while w == v {
                         w = self.layer(l).start + rng.gen_range(0..self.per_layer) as NodeId;
                     }
-                    b.add_edge(v, w, rng.gen_range(1..=self.max_weight)).expect("in range");
+                    b.add_edge(v, w, rng.gen_range(1..=self.max_weight))
+                        .expect("in range");
                 }
             }
         }
@@ -108,7 +116,10 @@ mod tests {
             sources.into_iter().map(|s| (s, 0)),
         );
         let targets_reached = cfg.layer(2).filter(|&t| d.reached(t)).count();
-        assert!(targets_reached * 10 >= cfg.per_layer * 9, "{targets_reached}/30 reached");
+        assert!(
+            targets_reached * 10 >= cfg.per_layer * 9,
+            "{targets_reached}/30 reached"
+        );
     }
 
     #[test]

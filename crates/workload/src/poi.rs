@@ -60,7 +60,12 @@ pub fn generate_cal_categories(idx: &mut CategoryIndex, n: usize, seed: u64) -> 
         let size = max_size.powf(rng.gen_range(0.0..1.0)) as usize;
         idx.add_category(format!("Cat{i:02}"), pick(&mut rng, size.max(1)));
     }
-    CalCategories { glacier, lake, crater, harbor }
+    CalCategories {
+        glacier,
+        lake,
+        crater,
+        harbor,
+    }
 }
 
 /// `count` distinct node ids, uniform over `0..n`.
@@ -100,7 +105,10 @@ mod tests {
         for w in pois.t.windows(2) {
             let small = idx.members(w[0]);
             let large = idx.members(w[1]);
-            assert!(small.iter().all(|v| large.binary_search(v).is_ok()), "not nested");
+            assert!(
+                small.iter().all(|v| large.binary_search(v).is_ok()),
+                "not nested"
+            );
         }
     }
 

@@ -21,7 +21,6 @@ pub const DEFAULT_K: usize = 20;
 
 /// Distance-stratified query source groups `Q1..Q_g`.
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct QuerySets {
     /// `groups[i]` = the sources of `Q_{i+1}`.
     pub groups: Vec<Vec<NodeId>>,
@@ -42,8 +41,11 @@ impl QuerySets {
     ) -> QuerySets {
         assert!(group_count > 0, "need at least one group");
         let d = DenseDijkstra::to_targets(g, targets);
-        let mut nodes: Vec<(Length, NodeId)> =
-            g.nodes().filter(|&v| d.reached(v)).map(|v| (d.dist(v), v)).collect();
+        let mut nodes: Vec<(Length, NodeId)> = g
+            .nodes()
+            .filter(|&v| d.reached(v))
+            .map(|v| (d.dist(v), v))
+            .collect();
         nodes.sort_unstable();
         let mut rng = SmallRng::seed_from_u64(seed);
         let total = nodes.len();

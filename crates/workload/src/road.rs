@@ -23,7 +23,6 @@ use rand::{Rng, SeedableRng};
 
 /// Parameters of a synthetic road network.
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RoadConfig {
     /// Number of nodes `n`. The lattice is `⌈√n⌉` wide; the last row may
     /// be partial.
@@ -41,7 +40,12 @@ pub struct RoadConfig {
 impl RoadConfig {
     /// A config with the paper's defaults for weights.
     pub fn new(nodes: usize, arcs: usize, seed: u64) -> Self {
-        RoadConfig { nodes, arcs, base_weight: 1_000, seed }
+        RoadConfig {
+            nodes,
+            arcs,
+            base_weight: 1_000,
+            seed,
+        }
     }
 
     /// Generate the network.
@@ -118,15 +122,25 @@ pub fn generate_road_network(cfg: &RoadConfig) -> Graph {
     let mut b = GraphBuilder::with_capacity(n, 2 * want_undirected);
     let weight = |rng: &mut SmallRng, diagonal: bool| -> Weight {
         let jitter = rng.gen_range(0.75..1.35);
-        let base = cfg.base_weight as f64 * if diagonal { std::f64::consts::SQRT_2 } else { 1.0 };
+        let base = cfg.base_weight as f64
+            * if diagonal {
+                std::f64::consts::SQRT_2
+            } else {
+                1.0
+            };
         ((base * jitter) as Weight).max(1)
     };
     let mut extra_left = extra_needed;
     for (&(a, b_, diag), &tree) in edges.iter().zip(&in_tree) {
-        let take = tree || extra_left > 0 && { extra_left -= 1; true };
+        let take = tree
+            || extra_left > 0 && {
+                extra_left -= 1;
+                true
+            };
         if take {
             let w = weight(&mut rng, diag);
-            b.add_bidirectional(a, b_, w).expect("lattice nodes in range");
+            b.add_bidirectional(a, b_, w)
+                .expect("lattice nodes in range");
         }
     }
     b.build()
@@ -140,7 +154,10 @@ struct DisjointSets {
 
 impl DisjointSets {
     fn new(n: usize) -> Self {
-        DisjointSets { parent: (0..n as u32).collect(), size: vec![1; n] }
+        DisjointSets {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
     }
 
     fn find(&mut self, mut x: usize) -> usize {
@@ -222,7 +239,14 @@ mod tests {
         let b = RoadConfig::new(300, 700, 5).generate();
         let c = RoadConfig::new(300, 700, 6).generate();
         let fingerprint = |g: &Graph| {
-            g.nodes().flat_map(|u| g.out_edges(u).iter().map(|e| (u, e.to, e.weight)).collect::<Vec<_>>()).collect::<Vec<_>>()
+            g.nodes()
+                .flat_map(|u| {
+                    g.out_edges(u)
+                        .iter()
+                        .map(|e| (u, e.to, e.weight))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
         };
         assert_eq!(fingerprint(&a), fingerprint(&b));
         assert_ne!(fingerprint(&a), fingerprint(&c));

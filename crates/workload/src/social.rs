@@ -31,7 +31,13 @@ pub struct SocialConfig {
 impl SocialConfig {
     /// Sensible defaults: 4 neighbours, 10% rewiring, weights 1..=10.
     pub fn new(nodes: usize, seed: u64) -> Self {
-        SocialConfig { nodes, neighbors: 4, rewire_p: 0.1, max_weight: 10, seed }
+        SocialConfig {
+            nodes,
+            neighbors: 4,
+            rewire_p: 0.1,
+            max_weight: 10,
+            seed,
+        }
     }
 
     /// Generate the network (bidirectional edges).
@@ -55,7 +61,8 @@ impl SocialConfig {
                     }
                 }
                 let weight = rng.gen_range(1..=self.max_weight);
-                b.add_bidirectional(v as NodeId, w as NodeId, weight).expect("in range");
+                b.add_bidirectional(v as NodeId, w as NodeId, weight)
+                    .expect("in range");
             }
         }
         b.build()
@@ -88,7 +95,10 @@ mod tests {
             .unwrap();
         // Without rewiring the ring needs ~125 hops; the small world
         // collapses that by an order of magnitude.
-        assert!(max_hops < 60, "diameter-ish {max_hops} too large for a small world");
+        assert!(
+            max_hops < 60,
+            "diameter-ish {max_hops} too large for a small world"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! ```
 
 use std::ops::ControlFlow;
+use std::sync::Arc;
 use std::time::Instant;
 
 use kpj::parallel::{query_batch, BatchQuery};
@@ -15,13 +16,23 @@ use kpj::workload::{datasets, poi, queries::QuerySets};
 
 fn main() {
     println!("Generating an SJ-like road network…");
-    let graph = datasets::SJ.generate(0.5);
+    let graph = Arc::new(datasets::SJ.generate(0.5));
     let mut cats = CategoryIndex::new();
     let pois = poi::generate_nested_pois(&mut cats, graph.node_count(), 11);
     let targets = cats.members(pois.t[1]).to_vec();
-    let landmarks = LandmarkIndex::build(&graph, 16, SelectionStrategy::Farthest, 11);
+    let landmarks = Arc::new(LandmarkIndex::build(
+        &graph,
+        16,
+        SelectionStrategy::Farthest,
+        11,
+    ));
     let qs = QuerySets::generate(&graph, &targets, 5, 20, 11);
-    println!("  n = {}, m = {}, |T2| = {}", graph.node_count(), graph.edge_count(), targets.len());
+    println!(
+        "  n = {}, m = {}, |T2| = {}",
+        graph.node_count(),
+        graph.edge_count(),
+        targets.len()
+    );
 
     // 1. Anytime: consume paths as they are proven, stop on a condition.
     println!("\n[1] Anytime query: stop as soon as a path is 5% longer than the best");
@@ -43,7 +54,10 @@ fn main() {
             }
         })
         .expect("valid query");
-    println!("    kept {taken} near-optimal routes, settled {} nodes", stats.nodes_settled);
+    println!(
+        "    kept {taken} near-optimal routes, settled {} nodes",
+        stats.nodes_settled
+    );
 
     // 2. Auto-tuning α on a sample of the real workload.
     println!("\n[2] Auto-tuning α over {ALPHA_GRID:?}");
@@ -51,9 +65,13 @@ fn main() {
         .group(3)
         .iter()
         .take(10)
-        .map(|&s| SampleQuery { source: s, targets: targets.clone(), k: 20 })
+        .map(|&s| SampleQuery {
+            source: s,
+            targets: targets.clone(),
+            k: 20,
+        })
         .collect();
-    let report = tune_alpha(&graph, Some(&landmarks), &sample, &ALPHA_GRID);
+    let report = tune_alpha(&graph, Some(&*landmarks), &sample, &ALPHA_GRID);
     for (alpha, t) in &report.trials {
         println!("    α = {alpha:<5} → {t:>9.2?}");
     }
@@ -64,16 +82,35 @@ fn main() {
     // regardless).
     println!(
         "\n[3] Parallel batch over 100 queries ({} core(s) available)",
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     );
     let batch: Vec<BatchQuery> = (1..=5)
         .flat_map(|grp| qs.group(grp).iter().take(20).copied().collect::<Vec<_>>())
-        .map(|s| BatchQuery { sources: vec![s], targets: targets.clone(), k: 20 })
+        .map(|s| BatchQuery {
+            sources: vec![s],
+            targets: targets.clone(),
+            k: 20,
+        })
         .collect();
     for threads in [1, 4] {
         let t0 = Instant::now();
-        let results = query_batch(&graph, Some(&landmarks), Algorithm::IterBoundI, &batch, threads);
-        let total_paths: usize = results.iter().map(|r| r.as_ref().unwrap().paths.len()).sum();
-        println!("    {threads} thread(s): {:>9.2?} for {} paths", t0.elapsed(), total_paths);
+        let results = query_batch(
+            &graph,
+            Some(&landmarks),
+            Algorithm::IterBoundI,
+            &batch,
+            threads,
+        );
+        let total_paths: usize = results
+            .iter()
+            .map(|r| r.as_ref().unwrap().paths.len())
+            .sum();
+        println!(
+            "    {threads} thread(s): {:>9.2?} for {} paths",
+            t0.elapsed(),
+            total_paths
+        );
     }
 }

@@ -33,12 +33,13 @@ fn main() {
     // the source TF (∞-free: genes with no regulatory path are skipped).
     let mut scores: Vec<(NodeId, f64, usize)> = Vec::new();
     for &gene in &targets {
-        let r = engine.ksp(Algorithm::IterBoundI, source_tf, gene, k).expect("valid");
+        let r = engine
+            .ksp(Algorithm::IterBoundI, source_tf, gene, k)
+            .expect("valid");
         if r.paths.is_empty() {
             continue;
         }
-        let mean =
-            r.paths.iter().map(|p| p.length as f64).sum::<f64>() / r.paths.len() as f64;
+        let mean = r.paths.iter().map(|p| p.length as f64).sum::<f64>() / r.paths.len() as f64;
         scores.push((gene, mean, r.paths.len()));
     }
     scores.sort_by(|a, b| a.1.total_cmp(&b.1));

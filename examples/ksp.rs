@@ -17,7 +17,10 @@ use kpj::prelude::*;
 use kpj::workload::{datasets, queries::QuerySets};
 
 fn main() {
-    let k: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20);
+    let k: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20);
 
     println!("Generating an SJ-like road network (full scale)…");
     let graph = datasets::SJ.generate(1.0);
@@ -39,7 +42,9 @@ fn main() {
     let mut reference: Option<Vec<Length>> = None;
     for alg in Algorithm::ALL {
         let t = Instant::now();
-        let r = engine.ksp(alg, source, destination, k).expect("valid query");
+        let r = engine
+            .ksp(alg, source, destination, k)
+            .expect("valid query");
         let dt = t.elapsed();
         println!(
             "{:>11} {:>12.1?} {:>10} {:>10} {:>12} {:>10}",

@@ -50,7 +50,12 @@ fn main() {
         println!("{:>10}:", alg.name());
         for (i, p) in result.paths.iter().enumerate() {
             let names: Vec<String> = p.nodes.iter().map(|&v| format!("v{}", v + 1)).collect();
-            println!("    P{} (len {:>2}): {}", i + 1, p.length, names.join(" -> "));
+            println!(
+                "    P{} (len {:>2}): {}",
+                i + 1,
+                p.length,
+                names.join(" -> ")
+            );
         }
         println!(
             "    stats: {} full shortest-path searches, {} TestLB probes, {} nodes settled",

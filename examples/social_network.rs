@@ -38,12 +38,20 @@ fn main() {
         categories.name(b)
     );
     let result = engine
-        .query_multi(Algorithm::IterBoundI, categories.members(a), categories.members(b), k)
+        .query_multi(
+            Algorithm::IterBoundI,
+            categories.members(a),
+            categories.members(b),
+            k,
+        )
         .expect("valid query");
 
-    println!("  found {} paths, lengths {}..{}", result.paths.len(),
+    println!(
+        "  found {} paths, lengths {}..{}",
+        result.paths.len(),
         result.paths.first().map(|p| p.length).unwrap_or(0),
-        result.paths.last().map(|p| p.length).unwrap_or(0));
+        result.paths.last().map(|p| p.length).unwrap_or(0)
+    );
 
     // Rank intermediaries: accounts on many short gang-to-gang paths.
     let mut involvement: HashMap<NodeId, usize> = HashMap::new();
@@ -65,6 +73,10 @@ fn main() {
     // Show one concrete path.
     if let Some(p) = result.paths.first() {
         let chain: Vec<String> = p.nodes.iter().map(|v| v.to_string()).collect();
-        println!("\nShortest connection ({} hops): {}", p.edge_count(), chain.join(" -> "));
+        println!(
+            "\nShortest connection ({} hops): {}",
+            p.edge_count(),
+            chain.join(" -> ")
+        );
     }
 }

@@ -23,11 +23,18 @@ fn main() {
     let mut categories = CategoryIndex::new();
     let cal = poi::generate_cal_categories(&mut categories, graph.node_count(), 7);
     let harbors = categories.members(cal.harbor).to_vec();
-    println!("  {} categories; Harbor has {} locations", categories.category_count(), harbors.len());
+    println!(
+        "  {} categories; Harbor has {} locations",
+        categories.category_count(),
+        harbors.len()
+    );
 
     let t0 = Instant::now();
     let landmarks = LandmarkIndex::build(&graph, 16, SelectionStrategy::Farthest, 7);
-    println!("  built 16 landmarks in {:.1?} (offline, reused by every query)", t0.elapsed());
+    println!(
+        "  built 16 landmarks in {:.1?} (offline, reused by every query)",
+        t0.elapsed()
+    );
 
     // A medium-distance source, as in the paper's default query set Q3.
     let qs = QuerySets::generate(&graph, &harbors, 5, 10, 99);

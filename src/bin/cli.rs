@@ -73,7 +73,7 @@ commands:
   landmarks --graph FILE --out FILE [--count N] [--seed S]
   query     --graph FILE (--targets a,b,c | --categories FILE --category NAME)
             (--source N | --sources a,b) [-k N] [--algorithm NAME]
-            [--landmarks FILE] [--alpha F] [--stats]
+            [--landmarks FILE] [--alpha F] [--timeout-ms MS] [--stats]
   info      --graph FILE
 
 algorithms: da, da-spt, bestfirst, iterbound, iterboundp, iterboundi (default)";
@@ -94,7 +94,9 @@ impl Opts {
             let value = if flag_only {
                 "true".to_string()
             } else {
-                it.next().ok_or_else(|| format!("missing value for --{key}"))?.clone()
+                it.next()
+                    .ok_or_else(|| format!("missing value for --{key}"))?
+                    .clone()
             };
             out.push((key.to_string(), value));
         }
@@ -102,7 +104,10 @@ impl Opts {
     }
 
     fn get(&self, key: &str) -> Option<&str> {
-        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     fn require(&self, key: &str) -> Result<&str, String> {
@@ -121,7 +126,11 @@ impl Opts {
             None => Ok(None),
             Some(v) => v
                 .split(',')
-                .map(|t| t.trim().parse().map_err(|_| format!("--{key}: bad node id `{t}`")))
+                .map(|t| {
+                    t.trim()
+                        .parse()
+                        .map_err(|_| format!("--{key}: bad node id `{t}`"))
+                })
                 .collect::<Result<Vec<_>, _>>()
                 .map(Some),
         }
@@ -152,11 +161,22 @@ fn generate(o: &Opts) -> Result<(), String> {
         if nodes == 0 {
             return Err("need --dataset or --nodes/--arcs".into());
         }
-        RoadConfig { nodes, arcs, base_weight: 1_000, seed }.generate()
+        RoadConfig {
+            nodes,
+            arcs,
+            base_weight: 1_000,
+            seed,
+        }
+        .generate()
     };
     let f = File::create(out).map_err(|e| format!("{out}: {e}"))?;
     kpj::graph::io::write_binary(&g, BufWriter::new(f)).map_err(|e| e.to_string())?;
-    println!("wrote {} ({} nodes, {} arcs)", out, g.node_count(), g.edge_count());
+    println!(
+        "wrote {} ({} nodes, {} arcs)",
+        out,
+        g.node_count(),
+        g.edge_count()
+    );
     Ok(())
 }
 
@@ -187,8 +207,14 @@ fn landmarks(o: &Opts) -> Result<(), String> {
     let seed: u64 = o.num("seed", 42)?;
     let idx = LandmarkIndex::build(&g, count, SelectionStrategy::Farthest, seed);
     let f = File::create(out).map_err(|e| format!("{out}: {e}"))?;
-    idx.write_binary(BufWriter::new(f)).map_err(|e| e.to_string())?;
-    println!("wrote {} ({} landmarks over {} nodes)", out, idx.len(), idx.node_count());
+    idx.write_binary(BufWriter::new(f))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} landmarks over {} nodes)",
+        out,
+        idx.len(),
+        idx.node_count()
+    );
     Ok(())
 }
 
@@ -199,9 +225,9 @@ fn query(o: &Opts) -> Result<(), String> {
     let targets: Vec<NodeId> = if let Some(t) = o.node_list("targets")? {
         t
     } else {
-        let cat_file = o.require("categories").map_err(|_| {
-            "need --targets a,b,c or --categories FILE --category NAME".to_string()
-        })?;
+        let cat_file = o
+            .require("categories")
+            .map_err(|_| "need --targets a,b,c or --categories FILE --category NAME".to_string())?;
         let name = o.require("category")?;
         let f = File::open(cat_file).map_err(|e| format!("{cat_file}: {e}"))?;
         let idx = kpj::graph::io::read_categories(BufReader::new(f), g.node_count())
@@ -240,15 +266,31 @@ fn query(o: &Opts) -> Result<(), String> {
         engine = engine.with_landmarks(idx);
     }
     if let Some(a) = o.get("alpha") {
-        let alpha: f64 = a.parse().map_err(|_| format!("--alpha: bad number `{a}`"))?;
+        let alpha: f64 = a
+            .parse()
+            .map_err(|_| format!("--alpha: bad number `{a}`"))?;
         if alpha <= 1.0 {
             return Err("--alpha must exceed 1".into());
         }
         engine = engine.with_alpha(alpha);
     }
 
+    // Per-query budget: expired deadlines abort cleanly with an error
+    // instead of running arbitrarily long on hard instances.
+    let deadline = match o.get("timeout-ms") {
+        None => kpj::core::Deadline::none(),
+        Some(ms) => {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| format!("--timeout-ms: bad number `{ms}`"))?;
+            kpj::core::Deadline::after(std::time::Duration::from_millis(ms))
+        }
+    };
+
     let t0 = std::time::Instant::now();
-    let r = engine.query_multi(alg, &sources, &targets, k).map_err(|e| e.to_string())?;
+    let r = engine
+        .query_multi_deadline(alg, &sources, &targets, k, deadline)
+        .map_err(|e| e.to_string())?;
     let elapsed = t0.elapsed();
 
     for (i, p) in r.paths.iter().enumerate() {

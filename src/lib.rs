@@ -57,6 +57,13 @@ pub mod workload {
     pub use kpj_workload::*;
 }
 
+/// Concurrent query serving: engine pool, result cache, deadlines,
+/// metrics, and the `kpj-serve`/`kpj-loadgen` wire protocol
+/// (re-export of [`kpj_service`]).
+pub mod service {
+    pub use kpj_service::*;
+}
+
 pub mod parallel;
 pub mod tuning;
 

@@ -1,17 +1,21 @@
 //! Parallel batch query execution.
 //!
-//! The paper's engine — like this crate's [`QueryEngine`] — is
+//! The paper's engine — like this crate's
+//! [`QueryEngine`](kpj_core::QueryEngine) — is
 //! single-threaded per query (all scratch is reused across queries).
 //! Throughput across *many* queries, however, parallelizes trivially: the
 //! graph and landmark index are immutable after the offline phase, so each
 //! worker thread owns its own engine and pulls queries from a shared
-//! counter. This module packages that pattern.
+//! queue. This module packages that pattern as a thin veneer over the
+//! serving layer's [`EnginePool`](kpj_service::EnginePool) — the same
+//! machinery that backs `kpj-serve`, minus the cache and the wire.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
-use kpj_core::{Algorithm, KpjResult, QueryEngine, QueryError};
+use kpj_core::{Algorithm, KpjResult, QueryError};
 use kpj_graph::{Graph, NodeId};
 use kpj_landmark::LandmarkIndex;
+use kpj_service::{EnginePool, PoolConfig, QueryRequest, ServiceError};
 
 /// One query of a batch (GKPJ-shaped; use a single-element `sources` for
 /// plain KPJ/KSP).
@@ -26,54 +30,61 @@ pub struct BatchQuery {
 }
 
 /// Run `queries` with `alg` on `threads` worker threads, each owning a
-/// private [`QueryEngine`]. Results are returned in input order.
+/// private engine. Results are returned in input order.
 ///
-/// `threads = 0` is treated as 1. Worker panics propagate.
+/// `threads = 0` means one worker per available CPU
+/// (`std::thread::available_parallelism`). The pool's queue is sized to
+/// the batch, so admission control never rejects here. Worker panics
+/// propagate.
 pub fn query_batch(
-    graph: &Graph,
-    landmarks: Option<&LandmarkIndex>,
+    graph: &Arc<Graph>,
+    landmarks: Option<&Arc<LandmarkIndex>>,
     alg: Algorithm,
     queries: &[BatchQuery],
     threads: usize,
 ) -> Vec<Result<KpjResult, QueryError>> {
-    let threads = threads.max(1).min(queries.len().max(1));
-    let next = AtomicUsize::new(0);
-
-    let mut tagged: Vec<(usize, Result<KpjResult, QueryError>)> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    let next = &next;
-                    scope.spawn(move || {
-                        let mut engine = QueryEngine::new(graph);
-                        if let Some(idx) = landmarks {
-                            engine = engine.with_landmarks(idx);
-                        }
-                        let mut out = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= queries.len() {
-                                break;
-                            }
-                            let q = &queries[i];
-                            out.push((i, engine.query_multi(alg, &q.sources, &q.targets, q.k)));
-                        }
-                        out
-                    })
-                })
-                .collect();
-            handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
-        });
-
-    tagged.sort_by_key(|(i, _)| *i);
-    debug_assert_eq!(tagged.len(), queries.len());
-    tagged.into_iter().map(|(_, r)| r).collect()
+    if queries.is_empty() {
+        return Vec::new();
+    }
+    let workers = kpj_service::resolve_workers(threads).min(queries.len());
+    let pool = EnginePool::new(
+        Arc::clone(graph),
+        landmarks.map(Arc::clone),
+        PoolConfig {
+            workers,
+            queue_capacity: queries.len(),
+        },
+    );
+    // Submit everything up front (the queue holds the whole batch), then
+    // collect in input order.
+    let handles: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            pool.submit(QueryRequest {
+                algorithm: alg,
+                sources: q.sources.clone(),
+                targets: q.targets.clone(),
+                k: q.k,
+                timeout_ms: None,
+            })
+            .expect("queue is sized to the batch")
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| match h.wait() {
+            Ok(result) => Ok(result),
+            Err(ServiceError::Query(e)) => Err(e),
+            Err(other) => panic!("batch worker failed: {other}"),
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::workload::datasets;
+    use kpj_core::QueryEngine;
     use kpj_landmark::SelectionStrategy;
 
     fn batch(n_queries: u32, n: u32) -> Vec<BatchQuery> {
@@ -88,8 +99,8 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        let g = datasets::SJ.generate(0.05);
-        let idx = LandmarkIndex::build(&g, 4, SelectionStrategy::Farthest, 1);
+        let g = Arc::new(datasets::SJ.generate(0.05));
+        let idx = Arc::new(LandmarkIndex::build(&g, 4, SelectionStrategy::Farthest, 1));
         let queries = batch(40, g.node_count() as u32);
         let par = query_batch(&g, Some(&idx), Algorithm::IterBoundI, &queries, 4);
         let mut engine = QueryEngine::new(&g).with_landmarks(&idx);
@@ -103,11 +114,19 @@ mod tests {
 
     #[test]
     fn degenerate_thread_counts_and_errors() {
-        let g = datasets::SJ.generate(0.02);
+        let g = Arc::new(datasets::SJ.generate(0.02));
         let n = g.node_count() as u32;
         let mut queries = batch(5, n);
-        queries.push(BatchQuery { sources: vec![], targets: vec![1], k: 3 });
-        queries.push(BatchQuery { sources: vec![n + 5], targets: vec![1], k: 3 });
+        queries.push(BatchQuery {
+            sources: vec![],
+            targets: vec![1],
+            k: 3,
+        });
+        queries.push(BatchQuery {
+            sources: vec![n + 5],
+            targets: vec![1],
+            k: 3,
+        });
         for threads in [0, 1, 16] {
             let r = query_batch(&g, None, Algorithm::Da, &queries, threads);
             assert_eq!(r.len(), queries.len());
@@ -119,7 +138,7 @@ mod tests {
 
     #[test]
     fn empty_batch() {
-        let g = datasets::SJ.generate(0.02);
+        let g = Arc::new(datasets::SJ.generate(0.02));
         assert!(query_batch(&g, None, Algorithm::IterBoundI, &[], 8).is_empty());
     }
 }

@@ -131,7 +131,11 @@ mod tests {
         let sample = qs
             .group(3)
             .iter()
-            .map(|&s| SampleQuery { source: s, targets: targets.clone(), k: 10 })
+            .map(|&s| SampleQuery {
+                source: s,
+                targets: targets.clone(),
+                k: 10,
+            })
             .collect();
         (g, sample)
     }
@@ -153,7 +157,12 @@ mod tests {
         assert_eq!(idx.len(), report.best);
         // The winning index is usable directly.
         let mut engine = QueryEngine::new(&g).with_landmarks(&idx);
-        let r = engine.query(Algorithm::IterBoundI, sample[0].source, &sample[0].targets, 5);
+        let r = engine.query(
+            Algorithm::IterBoundI,
+            sample[0].source,
+            &sample[0].targets,
+            5,
+        );
         assert!(r.is_ok());
     }
 

@@ -33,8 +33,14 @@ fn cases() -> Vec<Case> {
     });
 
     // Small social network (cycles everywhere): brute-forceable with care.
-    let g = SocialConfig { nodes: 9, neighbors: 2, rewire_p: 0.3, max_weight: 5, seed: 3 }
-        .generate();
+    let g = SocialConfig {
+        nodes: 9,
+        neighbors: 2,
+        rewire_p: 0.3,
+        max_weight: 5,
+        seed: 3,
+    }
+    .generate();
     out.push(Case {
         name: "small-social",
         graph: g,
@@ -61,7 +67,14 @@ fn cases() -> Vec<Case> {
     let mut cats = CategoryIndex::new();
     let pois = poi::generate_nested_pois(&mut cats, g.node_count(), 2);
     let targets = cats.members(pois.t[2]).to_vec();
-    out.push(Case { name: "sj-road", graph: g, sources: vec![42], targets, k: 25, brute: false });
+    out.push(Case {
+        name: "sj-road",
+        graph: g,
+        sources: vec![42],
+        targets,
+        k: 25,
+        brute: false,
+    });
 
     // Mid-size social network, GKPJ.
     let g = SocialConfig::new(3_000, 8).generate();
@@ -81,9 +94,9 @@ fn cases() -> Vec<Case> {
 fn every_algorithm_on_every_family() {
     for case in cases() {
         let landmarks = LandmarkIndex::build(&case.graph, 6, SelectionStrategy::Farthest, 9);
-        let brute = case.brute.then(|| {
-            reference::top_k_lengths(&case.graph, &case.sources, &case.targets, case.k)
-        });
+        let brute = case
+            .brute
+            .then(|| reference::top_k_lengths(&case.graph, &case.sources, &case.targets, case.k));
         let mut consensus: Option<Vec<Length>> = brute.clone();
         for with_lm in [true, false] {
             let mut engine = QueryEngine::new(&case.graph);
@@ -98,7 +111,8 @@ fn every_algorithm_on_every_family() {
                 match &consensus {
                     None => consensus = Some(lens),
                     Some(want) => assert_eq!(
-                        &lens, want,
+                        &lens,
+                        want,
                         "{}: {} (landmarks={with_lm}) disagrees",
                         case.name,
                         alg.name()
@@ -111,7 +125,11 @@ fn every_algorithm_on_every_family() {
                     assert!(p.is_simple(), "{}: {} non-simple", case.name, alg.name());
                     assert!(case.sources.contains(&p.source()));
                     assert!(case.targets.contains(&p.destination()));
-                    assert!(seen.insert(p.nodes.clone()), "{}: duplicate path", case.name);
+                    assert!(
+                        seen.insert(p.nodes.clone()),
+                        "{}: duplicate path",
+                        case.name
+                    );
                 }
             }
         }
@@ -135,7 +153,11 @@ fn walks_never_exceed_simple_paths_across_families() {
             );
         }
         if let (Some(w), Some(p)) = (walks.first(), simple.paths.first()) {
-            assert_eq!(w.length, p.length, "{}: shortest walk == shortest path", case.name);
+            assert_eq!(
+                w.length, p.length,
+                "{}: shortest walk == shortest path",
+                case.name
+            );
         }
     }
 }
@@ -145,10 +167,17 @@ fn stats_are_sane_across_the_matrix() {
     for case in cases().into_iter().filter(|c| !c.brute) {
         let mut engine = QueryEngine::new(&case.graph);
         for alg in Algorithm::ALL {
-            let r = engine.query_multi(alg, &case.sources, &case.targets, case.k).unwrap();
+            let r = engine
+                .query_multi(alg, &case.sources, &case.targets, case.k)
+                .unwrap();
             let s = &r.stats;
             assert!(s.nodes_settled > 0, "{}: {}", case.name, alg.name());
-            assert!(s.edges_relaxed >= s.nodes_settled / 4, "{}: {}", case.name, alg.name());
+            assert!(
+                s.edges_relaxed >= s.nodes_settled / 4,
+                "{}: {}",
+                case.name,
+                alg.name()
+            );
             match alg {
                 Algorithm::Da | Algorithm::DaSpt | Algorithm::DaSptPascoal => {
                     assert!(s.shortest_path_computations >= r.paths.len());

@@ -26,7 +26,11 @@ fn full_pipeline_generate_pois_landmarks_query_info() {
         .arg(&graph)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("913 nodes"));
 
     let out = cli()
@@ -45,7 +49,11 @@ fn full_pipeline_generate_pois_landmarks_query_info() {
         .arg(&lm)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // Query by category, with landmarks, explicit algorithm.
     let out = cli()
@@ -59,7 +67,11 @@ fn full_pipeline_generate_pois_landmarks_query_info() {
         .arg(&lm)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     let lines: Vec<&str> = stdout.lines().collect();
     assert_eq!(lines.len(), 5, "expected 5 paths:\n{stdout}");
@@ -77,12 +89,19 @@ fn full_pipeline_generate_pois_landmarks_query_info() {
         .unwrap();
     assert!(out2.status.success());
     let lens = |s: &str| -> Vec<String> {
-        s.lines().filter_map(|l| l.split_whitespace().nth(1).map(String::from)).collect()
+        s.lines()
+            .filter_map(|l| l.split_whitespace().nth(1).map(String::from))
+            .collect()
     };
     assert_eq!(lens(&stdout), lens(&String::from_utf8_lossy(&out2.stdout)));
 
     // info
-    let out = cli().arg("info").arg("--graph").arg(&graph).output().unwrap();
+    let out = cli()
+        .arg("info")
+        .arg("--graph")
+        .arg(&graph)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("nodes: 913"));
 
@@ -94,19 +113,37 @@ fn query_with_explicit_targets_and_gkpj_sources() {
     let dir = tmpdir("targets");
     let graph = dir.join("g.kpj");
     let out = cli()
-        .args(["generate", "--nodes", "200", "--arcs", "700", "--seed", "5", "--out"])
+        .args([
+            "generate", "--nodes", "200", "--arcs", "700", "--seed", "5", "--out",
+        ])
         .arg(&graph)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = cli()
-        .args(["query", "--sources", "0,5", "--targets", "100,150,199", "--k", "3"])
+        .args([
+            "query",
+            "--sources",
+            "0,5",
+            "--targets",
+            "100,150,199",
+            "--k",
+            "3",
+        ])
         .arg("--graph")
         .arg(&graph)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 3);
 
     std::fs::remove_dir_all(&dir).ok();
@@ -118,7 +155,10 @@ fn helpful_errors() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 
-    let out = cli().args(["query", "--graph", "/nonexistent/file.kpj"]).output().unwrap();
+    let out = cli()
+        .args(["query", "--graph", "/nonexistent/file.kpj"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 
     let dir = tmpdir("errors");
@@ -139,7 +179,15 @@ fn helpful_errors() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("--source"));
     // Bad algorithm name.
     let out = cli()
-        .args(["query", "--source", "0", "--targets", "3", "--algorithm", "astar"])
+        .args([
+            "query",
+            "--source",
+            "0",
+            "--targets",
+            "3",
+            "--algorithm",
+            "astar",
+        ])
         .arg("--graph")
         .arg(&graph)
         .output()

@@ -103,7 +103,11 @@ fn extreme_alpha_values_preserve_results() {
     let want = lengths(&base.query(Algorithm::IterBoundI, 7, &targets, 15).unwrap());
     for alpha in [1.0001, 2.0, 1_000.0] {
         let mut engine = QueryEngine::new(&g).with_alpha(alpha);
-        for alg in [Algorithm::IterBound, Algorithm::IterBoundP, Algorithm::IterBoundI] {
+        for alg in [
+            Algorithm::IterBound,
+            Algorithm::IterBoundP,
+            Algorithm::IterBoundI,
+        ] {
             let r = engine.query(alg, 7, &targets, 15).unwrap();
             assert_eq!(lengths(&r), want, "{} α={alpha}", alg.name());
         }
@@ -141,7 +145,11 @@ fn isolated_source_and_landmarkless_consistency() {
     for alg in Algorithm::ALL {
         let mut engine = QueryEngine::new(&g);
         // Node 0 is isolated.
-        assert!(engine.query(alg, 0, &[3], 5).unwrap().paths.is_empty(), "{}", alg.name());
+        assert!(
+            engine.query(alg, 0, &[3], 5).unwrap().paths.is_empty(),
+            "{}",
+            alg.name()
+        );
         // Isolated node as a target among reachable ones.
         let r = engine.query(alg, 1, &[0, 3], 5).unwrap();
         assert_eq!(lengths(&r), vec![2], "{}", alg.name());

@@ -27,10 +27,7 @@ struct RandomGraphSpec {
 
 fn graph_strategy(max_n: u32, max_m: usize, max_w: u32) -> impl Strategy<Value = RandomGraphSpec> {
     (2..=max_n).prop_flat_map(move |n| {
-        (
-            vec((0..n, 0..n, 0..=max_w), 1..=max_m),
-            any::<bool>(),
-        )
+        (vec((0..n, 0..n, 0..=max_w), 1..=max_m), any::<bool>())
             .prop_map(move |(edges, bidir)| RandomGraphSpec { n, edges, bidir })
     })
 }

@@ -37,8 +37,14 @@ fn sj_scaled_pipeline_all_algorithms_agree() {
                 }
             }
             // The -NL variant must agree too.
-            let r = engine_nl.query(Algorithm::IterBoundI, source, &t2, 20).unwrap();
-            assert_eq!(&lengths(&r), want.as_ref().unwrap(), "IterBoundI-NL s={source}");
+            let r = engine_nl
+                .query(Algorithm::IterBoundI, source, &t2, 20)
+                .unwrap();
+            assert_eq!(
+                &lengths(&r),
+                want.as_ref().unwrap(),
+                "IterBoundI-NL s={source}"
+            );
         }
     }
 }
@@ -56,7 +62,9 @@ fn varying_k_and_poi_sets() {
     let mut prev_kth: Option<Length> = None;
     for &t in &pois.t {
         let members = cats.members(t).to_vec();
-        let r = engine.query(Algorithm::IterBoundI, source, &members, 20).unwrap();
+        let r = engine
+            .query(Algorithm::IterBoundI, source, &members, 20)
+            .unwrap();
         assert_eq!(r.paths.len(), 20);
         let kth = r.paths.last().unwrap().length;
         if let Some(p) = prev_kth {
@@ -65,7 +73,9 @@ fn varying_k_and_poi_sets() {
         prev_kth = Some(kth);
 
         // Agreement vs the strongest baseline at this size.
-        let r2 = engine.query(Algorithm::DaSpt, source, &members, 20).unwrap();
+        let r2 = engine
+            .query(Algorithm::DaSpt, source, &members, 20)
+            .unwrap();
         assert_eq!(lengths(&r), lengths(&r2));
     }
 

@@ -60,7 +60,9 @@ fn early_break_saves_work_for_lazy_algorithms() {
     let mut engine = QueryEngine::new(&g);
     // Full k=200 run vs break-after-5: the anytime run must do
     // substantially less exploration.
-    let full = engine.query(Algorithm::IterBoundI, 7, &targets, 200).unwrap();
+    let full = engine
+        .query(Algorithm::IterBoundI, 7, &targets, 200)
+        .unwrap();
     let mut n = 0;
     let partial = engine
         .query_visit(Algorithm::IterBoundI, 7, &targets, 200, |_| {
@@ -115,7 +117,9 @@ fn lengths_arrive_in_nondecreasing_order() {
 fn visit_validates_queries_like_query_does() {
     let (g, _) = fixture();
     let mut engine = QueryEngine::new(&g);
-    let r = engine.query_visit(Algorithm::Da, u32::MAX - 1, &[1], 1, |_| ControlFlow::Continue(()));
+    let r = engine.query_visit(Algorithm::Da, u32::MAX - 1, &[1], 1, |_| {
+        ControlFlow::Continue(())
+    });
     assert!(r.is_err());
     let r = engine.query_multi_visit(Algorithm::Da, &[], &[1], 1, |_| ControlFlow::Continue(()));
     assert!(r.is_err());
