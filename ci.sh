@@ -12,7 +12,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
-echo "==> release build (binaries: kpj-cli, kpj-serve, kpj-loadgen)"
+echo "==> release build (binaries: kpj-cli, kpj-serve, kpj-loadgen, kpj-fuzz)"
 cargo build --release -q
+
+# Bounded oracle sweep: fixed seed so the gate is deterministic; set
+# FUZZ_SECONDS to lengthen the box (e.g. FUZZ_SECONDS=300 for a soak).
+echo "==> oracle sweep (seed 0xC0FFEE, <= ${FUZZ_SECONDS:-45}s)"
+cargo run --release -q -p kpj-oracle --bin kpj-fuzz -- \
+  --seed 12648430 --max-seconds "${FUZZ_SECONDS:-45}"
 
 echo "CI OK"

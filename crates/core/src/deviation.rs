@@ -255,7 +255,7 @@ fn candidate_with_spt(
             {
                 continue;
             }
-            let nd = dv + e.weight as Length;
+            let nd = dv.saturating_add(e.weight as Length);
             if nd < cand.dist.get(w) {
                 cand.dist.set(w, nd);
                 cand.parent.set(w, v);
@@ -317,7 +317,7 @@ fn assemble_with_tail(
     tail: Vec<NodeId>,
 ) -> FoundPath {
     let u = tree.node(vertex);
-    let total = dv + spt.dist(v);
+    let total = dv.saturating_add(spt.dist(v));
 
     // chain: seed → … → v.
     let mut chain = vec![v];

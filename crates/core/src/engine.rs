@@ -367,6 +367,25 @@ impl<'g> QueryEngine<'g> {
         sources: &[NodeId],
         targets: &[NodeId],
         k: usize,
+        on_path: impl FnMut(Path) -> std::ops::ControlFlow<()>,
+    ) -> Result<QueryStats, QueryError> {
+        self.query_multi_visit_deadline(alg, sources, targets, k, Deadline::none(), on_path)
+    }
+
+    /// [`query_multi_visit`](QueryEngine::query_multi_visit) with a
+    /// wall-clock budget and *anytime* semantics: deadline expiry is not
+    /// an error — delivery simply stops, and the returned [`QueryStats`]
+    /// describe the work done up to the cut (callers count the paths they
+    /// received). This is the observability hook for expiry landing
+    /// mid-deviation: `stats.subspaces_created` shows how far the
+    /// deviation loop got before the clock ran out.
+    pub fn query_multi_visit_deadline(
+        &mut self,
+        alg: Algorithm,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        k: usize,
+        deadline: Deadline,
         mut on_path: impl FnMut(Path) -> std::ops::ControlFlow<()>,
     ) -> Result<QueryStats, QueryError> {
         let n = self.g.node_count() as u64;
@@ -414,7 +433,7 @@ impl<'g> QueryEngine<'g> {
             &to_targets,
             &from_sources,
             &mut sink,
-            Deadline::none(),
+            deadline,
             &mut stats,
         );
         Ok(stats)

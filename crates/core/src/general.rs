@@ -94,7 +94,7 @@ pub fn top_k_walks(g: &Graph, sources: &[NodeId], targets: &[NodeId], k: usize) 
                 .min()
                 .expect("e itself");
             tree.push((e.to, id));
-            heap.push(len + w as Length, (tree.len() - 1) as u32);
+            heap.push(len.saturating_add(w as Length), (tree.len() - 1) as u32);
         }
     }
     results

@@ -104,7 +104,7 @@ fn dfs(
         dfs(
             g,
             e.to,
-            len + w as Length,
+            len.saturating_add(w as Length),
             is_target,
             visited,
             stack,

@@ -142,7 +142,7 @@ impl SptiStore {
             if self.settled.contains(w) {
                 continue;
             }
-            let nd = du + e.weight as Length;
+            let nd = du.saturating_add(e.weight as Length);
             if nd < self.dist.get(w) {
                 let h = to_targets.lb(e.to);
                 if h == INFINITE_LENGTH {

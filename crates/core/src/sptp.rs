@@ -92,7 +92,7 @@ impl SptpStore {
                 if self.settled.contains(w) {
                     continue;
                 }
-                let nd = du + e.weight as Length;
+                let nd = du.saturating_add(e.weight as Length);
                 if nd < self.dist.get(w) {
                     let h = source_lb.lb(e.to);
                     if h == INFINITE_LENGTH {

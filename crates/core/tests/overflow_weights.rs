@@ -1,0 +1,119 @@
+//! Adversarial edge weights near `u32::MAX`: long paths must accumulate
+//! exactly in `Length` (u64) and never wrap past `INFINITE_LENGTH`, and
+//! every algorithm must still agree with the brute-force reference.
+
+use kpj_core::{reference, Algorithm, QueryEngine};
+use kpj_graph::{Graph, GraphBuilder, Length, NodeId, Weight, INFINITE_LENGTH};
+use kpj_landmark::{LandmarkIndex, SelectionStrategy};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const W: Weight = u32::MAX;
+
+fn check_against_reference(g: &Graph, sources: &[NodeId], targets: &[NodeId], k: usize) {
+    let expect = reference::top_k_lengths(g, sources, targets, k);
+    let idx = LandmarkIndex::build(g, 2.min(g.node_count()), SelectionStrategy::Farthest, 7);
+    for with_lm in [false, true] {
+        let mut engine = QueryEngine::new(g);
+        if with_lm {
+            engine = engine.with_landmarks(&idx);
+        }
+        for alg in Algorithm::ALL {
+            let r = engine.query_multi(alg, sources, targets, k).unwrap();
+            let got: Vec<Length> = r.paths.iter().map(|p| p.length).collect();
+            assert_eq!(
+                got,
+                expect,
+                "{} landmarks={with_lm} sources={sources:?} targets={targets:?} k={k}",
+                alg.name()
+            );
+            for p in &r.paths {
+                p.validate(g).unwrap();
+                assert!(p.length < INFINITE_LENGTH, "sentinel leaked: {p}");
+            }
+            assert!(r.paths.windows(2).all(|w| w[0].length <= w[1].length));
+        }
+    }
+}
+
+#[test]
+fn chain_of_max_weight_edges_accumulates_exactly() {
+    // 0 → 1 → … → 6, every edge u32::MAX, plus an express arc 0 → 6.
+    // The chain's length 6·(2^32−1) overflows any u32 accumulator and
+    // must come out exact in u64.
+    let n = 7u32;
+    let mut b = GraphBuilder::new(n as usize);
+    for v in 0..n - 1 {
+        b.add_edge(v, v + 1, W).unwrap();
+    }
+    b.add_edge(0, n - 1, W).unwrap();
+    let g = b.build();
+
+    let expect = vec![W as Length, (n as Length - 1) * W as Length];
+    assert_eq!(reference::top_k_lengths(&g, &[0], &[n - 1], 5), expect);
+    check_against_reference(&g, &[0], &[n - 1], 5);
+}
+
+#[test]
+fn ladder_with_max_weights_agrees_with_reference() {
+    // A 2×6 bidirectional ladder: exponentially many simple paths, all
+    // with lengths that are multiples of u32::MAX.
+    let rungs = 6u32;
+    let mut b = GraphBuilder::new(2 * rungs as usize);
+    for i in 0..rungs {
+        b.add_bidirectional(2 * i, 2 * i + 1, W).unwrap();
+        if i + 1 < rungs {
+            b.add_bidirectional(2 * i, 2 * (i + 1), W).unwrap();
+            b.add_bidirectional(2 * i + 1, 2 * (i + 1) + 1, W).unwrap();
+        }
+    }
+    let g = b.build();
+    check_against_reference(&g, &[0], &[2 * rungs - 1], 12);
+    check_against_reference(&g, &[0, 1], &[2 * rungs - 2, 2 * rungs - 1], 8);
+}
+
+#[test]
+fn random_graphs_with_adversarial_weights_agree() {
+    // Weights drawn from the top of the u32 range on random topologies:
+    // any relaxation site still doing unchecked `+ e.weight as Length`
+    // on a sentinel-valued distance wraps and shows up as disagreement.
+    for seed in 0..60u64 {
+        let mut rng = SmallRng::seed_from_u64(41_000 + seed);
+        let n = rng.gen_range(2..=8u32);
+        let m = rng.gen_range(1..=(n as usize * 3));
+        let mut b = GraphBuilder::new(n as usize);
+        for _ in 0..m {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            let w = rng.gen_range(W - 10..=W);
+            if rng.gen_bool(0.5) {
+                b.add_bidirectional(u, v, w).unwrap();
+            } else {
+                b.add_edge(u, v, w).unwrap();
+            }
+        }
+        let g = b.build();
+        let source = rng.gen_range(0..n);
+        let target = rng.gen_range(0..n);
+        let k = rng.gen_range(1..=8usize);
+        check_against_reference(&g, &[source], &[target], k);
+    }
+}
+
+#[test]
+fn unreachable_targets_yield_no_phantom_paths() {
+    // Two components joined by nothing: saturated arithmetic must not
+    // turn INFINITE_LENGTH into a finite (wrapped) distance.
+    let mut b = GraphBuilder::new(4);
+    b.add_edge(0, 1, W).unwrap();
+    b.add_edge(2, 3, W).unwrap();
+    let g = b.build();
+    let mut engine = QueryEngine::new(&g);
+    for alg in Algorithm::ALL {
+        let r = engine.query_multi(alg, &[0], &[3], 4).unwrap();
+        assert!(r.paths.is_empty(), "{}: phantom path to 3", alg.name());
+    }
+}

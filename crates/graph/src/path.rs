@@ -72,7 +72,11 @@ impl Path {
         let mut total: Length = 0;
         for w in self.nodes.windows(2) {
             match g.edge_weight(w[0], w[1]) {
-                Some(wt) => total += wt as Length,
+                Some(wt) => {
+                    total = total
+                        .checked_add(wt as Length)
+                        .ok_or_else(|| format!("length overflow at edge {} -> {}", w[0], w[1]))?
+                }
                 None => return Err(format!("missing edge {} -> {}", w[0], w[1])),
             }
         }

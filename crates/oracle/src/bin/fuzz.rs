@@ -1,0 +1,174 @@
+//! kpj-fuzz — seeded oracle sweeps with shrinking and replay.
+//!
+//! ```text
+//! kpj-fuzz [--seed N] [--rounds N] [--max-seconds S] [--out FILE]
+//! kpj-fuzz --replay FILE
+//! ```
+//!
+//! Sweep mode generates case `seed`, `seed+1`, … and runs each through the
+//! full oracle (all algorithms, reference on small instances, the service
+//! wire path). On the first violation the case is shrunk to a minimal
+//! reproducer, written as a `.kpjcase` replay file, and the process exits
+//! non-zero. `FUZZ_SECONDS` overrides the default time box (30 s) for
+//! longer local runs. Replay mode re-runs one `.kpjcase` file and reports.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use kpj_oracle::{check_case, format_case, parse_case, shrink_case, OracleCase};
+
+struct Args {
+    seed: u64,
+    rounds: Option<u64>,
+    max_seconds: u64,
+    out: Option<String>,
+    replay: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: kpj-fuzz [--seed N] [--rounds N] [--max-seconds S] [--out FILE]\n       kpj-fuzz --replay FILE\n\nFUZZ_SECONDS overrides --max-seconds (default 30)."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let default_seconds = std::env::var("FUZZ_SECONDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let mut args = Args {
+        seed: 0xC0FFEE,
+        rounds: None,
+        max_seconds: default_seconds,
+        out: None,
+        replay: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--seed" => match value("--seed").parse() {
+                Ok(v) => args.seed = v,
+                Err(_) => usage(),
+            },
+            "--rounds" => match value("--rounds").parse() {
+                Ok(v) => args.rounds = Some(v),
+                Err(_) => usage(),
+            },
+            "--max-seconds" => match value("--max-seconds").parse() {
+                Ok(v) => args.max_seconds = v,
+                Err(_) => usage(),
+            },
+            "--out" => args.out = Some(value("--out")),
+            "--replay" => args.replay = Some(value("--replay")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn run_replay(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("kpj-fuzz: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let case = match parse_case(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("kpj-fuzz: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match check_case(&case) {
+        Ok(()) => {
+            println!(
+                "{path}: ok ({} nodes, {} edges, k={})",
+                case.nodes,
+                case.edges.len(),
+                case.k
+            );
+            ExitCode::SUCCESS
+        }
+        Err(v) => {
+            eprintln!("{path}: VIOLATION {v}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if let Some(path) = &args.replay {
+        return run_replay(path);
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(args.max_seconds);
+    let mut round = 0u64;
+    loop {
+        if let Some(rounds) = args.rounds {
+            if round >= rounds {
+                break;
+            }
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+        let seed = args.seed.wrapping_add(round);
+        let case = OracleCase::generate(seed);
+        if let Err(v) = check_case(&case) {
+            eprintln!("seed {seed}: VIOLATION {v}");
+            eprintln!(
+                "original: {} nodes, {} edges, k={} — shrinking…",
+                case.nodes,
+                case.edges.len(),
+                case.k
+            );
+            let shrunk = shrink_case(&case);
+            let (min, still) = match check_case(&shrunk) {
+                Err(v2) => (shrunk, v2),
+                Ok(()) => {
+                    eprintln!("shrink lost the failure; emitting the original case");
+                    (case, v)
+                }
+            };
+            let out = args
+                .out
+                .clone()
+                .unwrap_or_else(|| format!("kpj-fuzz-failure-{seed}.kpjcase"));
+            let mut text = format!("# {still}\n");
+            text.push_str(&format_case(&min));
+            if let Err(e) = std::fs::write(&out, &text) {
+                eprintln!("cannot write {out}: {e}");
+                eprintln!("--- replay file ---\n{text}");
+            } else {
+                eprintln!(
+                    "minimal reproducer ({} nodes, {} edges, k={}) written to {out}",
+                    min.nodes,
+                    min.edges.len(),
+                    min.k
+                );
+                eprintln!("re-run with: kpj-fuzz --replay {out}");
+            }
+            return ExitCode::FAILURE;
+        }
+        round += 1;
+    }
+    println!(
+        "kpj-fuzz: {round} cases from seed {:#x}, 0 violations",
+        args.seed
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,251 @@
+//! Seeded random case generation across three graph categories.
+
+use kpj_graph::{Graph, GraphBuilder, NodeId, Weight};
+use kpj_workload::road::RoadConfig;
+use kpj_workload::social::SocialConfig;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The topology family a case was drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphCategory {
+    /// Near-planar lattice with spanning-tree backbone (kpj-workload).
+    RoadLike,
+    /// Watts–Strogatz small world (kpj-workload).
+    SocialLike,
+    /// Adversarial soup: self-loops, parallel edges, disconnected
+    /// components, zero and near-`u32::MAX` weights.
+    Degenerate,
+}
+
+impl GraphCategory {
+    /// Stable lower-case token used in replay files.
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphCategory::RoadLike => "road",
+            GraphCategory::SocialLike => "social",
+            GraphCategory::Degenerate => "degenerate",
+        }
+    }
+
+    /// Inverse of [`name`](GraphCategory::name).
+    pub fn parse(s: &str) -> Option<GraphCategory> {
+        match s {
+            "road" => Some(GraphCategory::RoadLike),
+            "social" => Some(GraphCategory::SocialLike),
+            "degenerate" => Some(GraphCategory::Degenerate),
+            _ => None,
+        }
+    }
+}
+
+/// One self-contained oracle input: a graph (as an explicit arc list, so
+/// shrinking and replay never depend on generator internals) plus a KPJ
+/// query. Node ids are always `< nodes`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleCase {
+    /// The seed this case was generated from (0 for handcrafted cases).
+    pub seed: u64,
+    /// Topology family (informational; the edge list is authoritative).
+    pub category: GraphCategory,
+    /// Number of nodes.
+    pub nodes: u32,
+    /// Directed arcs `(from, to, weight)`; duplicates and self-loops are
+    /// legal.
+    pub edges: Vec<(NodeId, NodeId, Weight)>,
+    /// Source category `V_S` (non-empty).
+    pub sources: Vec<NodeId>,
+    /// Target category `V_T` (non-empty).
+    pub targets: Vec<NodeId>,
+    /// Number of paths requested.
+    pub k: usize,
+    /// Optional wire-level timeout; `Some(0)` exercises deadline expiry.
+    pub timeout_ms: Option<u64>,
+}
+
+impl OracleCase {
+    /// Deterministically generate the case for `seed`.
+    pub fn generate(seed: u64) -> OracleCase {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let category = match rng.gen_range(0..4u32) {
+            0 => GraphCategory::RoadLike,
+            1 => GraphCategory::SocialLike,
+            // Double weight on the adversarial family: it is where the
+            // bugs live.
+            _ => GraphCategory::Degenerate,
+        };
+        let (nodes, edges) = match category {
+            GraphCategory::RoadLike => {
+                let n = rng.gen_range(9..=36usize);
+                let arcs = rng.gen_range(2 * (n - 1)..=3 * n);
+                arcs_of(&RoadConfig::new(n, arcs, seed).generate())
+            }
+            GraphCategory::SocialLike => {
+                let n = rng.gen_range(8..=30usize);
+                let mut cfg = SocialConfig::new(n, seed);
+                cfg.neighbors = rng.gen_range(1..=3);
+                arcs_of(&cfg.generate())
+            }
+            GraphCategory::Degenerate => degenerate_graph(&mut rng),
+        };
+
+        let pick = |rng: &mut SmallRng, count: usize| -> Vec<NodeId> {
+            (0..count).map(|_| rng.gen_range(0..nodes)).collect()
+        };
+        let n_sources = rng.gen_range(1..=3usize);
+        let sources = pick(&mut rng, n_sources);
+        let n_targets = rng.gen_range(1..=3usize);
+        let targets = pick(&mut rng, n_targets);
+        let k = rng.gen_range(1..=10usize);
+        let timeout_ms = if rng.gen_range(0..8u32) == 0 {
+            Some(0)
+        } else {
+            None
+        };
+        OracleCase {
+            seed,
+            category,
+            nodes,
+            edges,
+            sources,
+            targets,
+            k,
+            timeout_ms,
+        }
+    }
+
+    /// Materialize the arc list as a CSR graph.
+    pub fn graph(&self) -> Graph {
+        let mut b = GraphBuilder::with_capacity(self.nodes as usize, self.edges.len());
+        for &(u, v, w) in &self.edges {
+            b.add_edge(u, v, w).expect("case ids are in range");
+        }
+        b.build()
+    }
+
+    /// Whether the exponential reference enumerator is affordable.
+    pub fn small_enough_for_reference(&self) -> bool {
+        self.nodes <= 10
+    }
+}
+
+fn arcs_of(g: &Graph) -> (u32, Vec<(NodeId, NodeId, Weight)>) {
+    let mut edges = Vec::with_capacity(g.edge_count());
+    for u in g.nodes() {
+        for e in g.out_edges(u) {
+            edges.push((u, e.to, e.weight));
+        }
+    }
+    (g.node_count() as u32, edges)
+}
+
+/// The adversarial family: every structural edge case the clean
+/// generators avoid, on instances small enough for the reference.
+fn degenerate_graph(rng: &mut SmallRng) -> (u32, Vec<(NodeId, NodeId, Weight)>) {
+    let n = rng.gen_range(2..=10u32);
+    let m = rng.gen_range(1..=3 * n as usize);
+    // Optionally wall the node set into two components.
+    let boundary = if n >= 4 && rng.gen_bool(0.3) {
+        Some(n / 2)
+    } else {
+        None
+    };
+    let endpoint_pair = |rng: &mut SmallRng| -> (u32, u32) {
+        match boundary {
+            Some(b) if rng.gen_bool(0.5) => (rng.gen_range(0..b), rng.gen_range(0..b)),
+            Some(b) => (rng.gen_range(b..n), rng.gen_range(b..n)),
+            None => (rng.gen_range(0..n), rng.gen_range(0..n)),
+        }
+    };
+    let weight = |rng: &mut SmallRng| -> Weight {
+        match rng.gen_range(0..4u32) {
+            0 => rng.gen_range(0..=5),
+            1 => rng.gen_range(Weight::MAX - 5..=Weight::MAX),
+            _ => rng.gen_range(1..=1_000),
+        }
+    };
+    let mut edges = Vec::new();
+    for _ in 0..m {
+        let (u, v) = endpoint_pair(rng);
+        let w = weight(rng);
+        edges.push((u, v, w));
+        if rng.gen_bool(0.2) {
+            // Parallel edge with a (possibly) different weight.
+            edges.push((u, v, weight(rng)));
+        }
+        if rng.gen_bool(0.15) {
+            edges.push((v, u, w));
+        }
+    }
+    if rng.gen_bool(0.5) {
+        let u = rng.gen_range(0..n);
+        edges.push((u, u, rng.gen_range(0..=10)));
+    }
+    (n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for seed in 0..40u64 {
+            assert_eq!(OracleCase::generate(seed), OracleCase::generate(seed));
+        }
+        assert_ne!(OracleCase::generate(1), OracleCase::generate(2));
+    }
+
+    #[test]
+    fn cases_are_well_formed() {
+        for seed in 0..200u64 {
+            let c = OracleCase::generate(seed);
+            assert!(c.nodes >= 2, "seed {seed}");
+            assert!(!c.sources.is_empty() && !c.targets.is_empty());
+            assert!(c.sources.iter().chain(&c.targets).all(|&v| v < c.nodes));
+            assert!(c.edges.iter().all(|&(u, v, _)| u < c.nodes && v < c.nodes));
+            assert!((1..=10).contains(&c.k));
+            let g = c.graph();
+            assert_eq!(g.node_count() as u32, c.nodes);
+            assert_eq!(g.edge_count(), c.edges.len());
+        }
+    }
+
+    #[test]
+    fn all_categories_appear() {
+        let mut seen = [false; 3];
+        for seed in 0..60u64 {
+            match OracleCase::generate(seed).category {
+                GraphCategory::RoadLike => seen[0] = true,
+                GraphCategory::SocialLike => seen[1] = true,
+                GraphCategory::Degenerate => seen[2] = true,
+            }
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn degenerate_family_actually_degenerates() {
+        let (mut self_loops, mut parallels, mut near_max) = (0u32, 0u32, 0u32);
+        for seed in 0..300u64 {
+            let c = OracleCase::generate(seed);
+            if c.category != GraphCategory::Degenerate {
+                continue;
+            }
+            if c.edges.iter().any(|&(u, v, _)| u == v) {
+                self_loops += 1;
+            }
+            let mut sorted: Vec<_> = c.edges.iter().map(|&(u, v, _)| (u, v)).collect();
+            sorted.sort_unstable();
+            if sorted.windows(2).any(|w| w[0] == w[1]) {
+                parallels += 1;
+            }
+            if c.edges.iter().any(|&(_, _, w)| w > Weight::MAX - 10) {
+                near_max += 1;
+            }
+        }
+        assert!(self_loops > 0, "no self-loops generated");
+        assert!(parallels > 0, "no parallel edges generated");
+        assert!(near_max > 0, "no near-MAX weights generated");
+    }
+}

@@ -1,0 +1,308 @@
+//! The oracle checker: differential agreement + structural and wire
+//! invariants for one [`OracleCase`].
+
+use std::sync::Arc;
+
+use kpj_core::{reference, Algorithm, QueryEngine};
+use kpj_graph::{Graph, Length};
+use kpj_landmark::{LandmarkIndex, SelectionStrategy};
+use kpj_service::json::Json;
+use kpj_service::wire::handle_line;
+use kpj_service::{KpjService, PoolConfig, ServiceConfig};
+
+use crate::generate::OracleCase;
+
+/// An id above 2^53: any `f64` detour in the wire stack rounds it, so
+/// every checked case doubles as a JSON integer-precision probe.
+const PROBE_ID: u64 = 9_007_199_254_740_993;
+
+/// One invariant violation: which invariant, and enough detail to debug.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Stable invariant tag (e.g. `algorithm-agreement`, `wire-cache`).
+    pub invariant: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.detail)
+    }
+}
+
+fn violation(invariant: &'static str, detail: String) -> Violation {
+    Violation { invariant, detail }
+}
+
+/// Check every oracle invariant for `case`. `Ok(())` means the case found
+/// nothing; the first violation is returned otherwise.
+pub fn check_case(case: &OracleCase) -> Result<(), Violation> {
+    let g = case.graph();
+    let baseline = check_engines(case, &g)?;
+    check_reference(case, &g, &baseline)?;
+    check_wire(case, &baseline)?;
+    Ok(())
+}
+
+/// Differential stage: every algorithm × {landmarks, none} must return
+/// the same length vector with structurally sound paths. Returns the
+/// agreed lengths.
+fn check_engines(case: &OracleCase, g: &Graph) -> Result<Vec<Length>, Violation> {
+    let idx = LandmarkIndex::build(
+        g,
+        3.min(g.node_count()),
+        SelectionStrategy::Farthest,
+        case.seed,
+    );
+    let mut baseline: Option<Vec<Length>> = None;
+    for with_lm in [false, true] {
+        let mut engine = QueryEngine::new(g);
+        if with_lm {
+            engine = engine.with_landmarks(&idx);
+        }
+        for alg in Algorithm::ALL {
+            let tag = format!("{} landmarks={with_lm}", alg.name());
+            let r = engine
+                .query_multi(alg, &case.sources, &case.targets, case.k)
+                .map_err(|e| violation("engine-error", format!("{tag}: {e:?}")))?;
+            if r.paths.len() > case.k {
+                return Err(violation(
+                    "path-count",
+                    format!("{tag}: {} paths for k={}", r.paths.len(), case.k),
+                ));
+            }
+            let mut seen = std::collections::HashSet::new();
+            for p in &r.paths {
+                p.validate(g)
+                    .map_err(|e| violation("path-valid", format!("{tag}: {e}")))?;
+                if !p.is_simple() {
+                    return Err(violation(
+                        "path-simple",
+                        format!("{tag}: loop in {:?}", p.nodes),
+                    ));
+                }
+                if !case.sources.contains(&p.source()) {
+                    return Err(violation(
+                        "path-endpoints",
+                        format!("{tag}: source {} not in V_S", p.source()),
+                    ));
+                }
+                if !case.targets.contains(&p.destination()) {
+                    return Err(violation(
+                        "path-endpoints",
+                        format!("{tag}: destination {} not in V_T", p.destination()),
+                    ));
+                }
+                if !seen.insert(p.nodes.clone()) {
+                    return Err(violation(
+                        "path-dedup",
+                        format!("{tag}: duplicate {:?}", p.nodes),
+                    ));
+                }
+            }
+            if !r.paths.windows(2).all(|w| w[0].length <= w[1].length) {
+                return Err(violation("monotone-lengths", tag));
+            }
+            let got: Vec<Length> = r.paths.iter().map(|p| p.length).collect();
+            match &baseline {
+                None => baseline = Some(got),
+                Some(want) if *want != got => {
+                    return Err(violation(
+                        "algorithm-agreement",
+                        format!("{tag}: {got:?} != agreed {want:?}"),
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    Ok(baseline.expect("at least one algorithm ran"))
+}
+
+/// On small instances, the agreed answer must equal the brute-force
+/// enumeration.
+fn check_reference(case: &OracleCase, g: &Graph, baseline: &[Length]) -> Result<(), Violation> {
+    if !case.small_enough_for_reference() {
+        return Ok(());
+    }
+    let want = reference::top_k_lengths(g, &case.sources, &case.targets, case.k);
+    if want != baseline {
+        return Err(violation(
+            "reference-agreement",
+            format!("engines {baseline:?} != brute force {want:?}"),
+        ));
+    }
+    Ok(())
+}
+
+fn query_line(case: &OracleCase, alg: Algorithm, sources: &[u32], targets: &[u32]) -> String {
+    let list = |ids: &[u32]| {
+        let items: Vec<String> = ids.iter().map(|v| v.to_string()).collect();
+        format!("[{}]", items.join(","))
+    };
+    let timeout = match case.timeout_ms {
+        Some(ms) => format!(",\"timeout_ms\":{ms}"),
+        None => String::new(),
+    };
+    format!(
+        "{{\"id\":{PROBE_ID},\"op\":\"query\",\"algorithm\":\"{}\",\"sources\":{},\"targets\":{},\"k\":{}{timeout}}}",
+        alg.name(),
+        list(sources),
+        list(targets),
+        case.k,
+    )
+}
+
+fn parse_response(resp: &str) -> Result<Json, Violation> {
+    let v = Json::parse(resp)
+        .map_err(|e| violation("wire-json", format!("unparseable response {resp:?}: {e}")))?;
+    // Round-trip fidelity: display ∘ parse must be the identity.
+    let rt = Json::parse(&v.to_string())
+        .map_err(|e| violation("wire-roundtrip", format!("re-parse failed: {e}")))?;
+    if rt != v {
+        return Err(violation(
+            "wire-roundtrip",
+            format!("{v} re-parsed as {rt}"),
+        ));
+    }
+    if v.get("id").and_then(Json::as_u64) != Some(PROBE_ID) {
+        return Err(violation(
+            "wire-id-precision",
+            format!("id {:?} is not the probe id {PROBE_ID}", v.get("id")),
+        ));
+    }
+    Ok(v)
+}
+
+fn response_lengths(v: &Json) -> Result<Vec<Length>, Violation> {
+    v.get("lengths")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| violation("wire-shape", format!("missing lengths in {v}")))?
+        .iter()
+        .map(|l| {
+            l.as_u64()
+                .ok_or_else(|| violation("wire-shape", format!("non-integer length in {v}")))
+        })
+        .collect()
+}
+
+/// Wire stage: run the query through JSON → pool → cache → JSON and hold
+/// the response to the engine-agreed answer; then repeat with permuted,
+/// duplicated node sets and demand a cache hit with the identical answer.
+fn check_wire(case: &OracleCase, baseline: &[Length]) -> Result<(), Violation> {
+    let service = KpjService::new(
+        Arc::new(case.graph()),
+        None,
+        ServiceConfig {
+            pool: PoolConfig {
+                workers: 1,
+                queue_capacity: 8,
+            },
+            cache_capacity: 16,
+        },
+    );
+    let alg = Algorithm::ALL[(case.seed % Algorithm::ALL.len() as u64) as usize];
+
+    if case.timeout_ms == Some(0) {
+        // Deadline hygiene: a zero budget either dies with
+        // `deadline_exceeded` or (for trivially fast answers) completes
+        // exactly; either way the unbounded retry must be exact.
+        let resp = handle_line(
+            &service,
+            &query_line(case, alg, &case.sources, &case.targets),
+        );
+        let v = parse_response(&resp)?;
+        match v.get("ok").and_then(Json::as_bool) {
+            Some(true) => {
+                let got = response_lengths(&v)?;
+                if got != baseline {
+                    return Err(violation(
+                        "wire-agreement",
+                        format!("zero-timeout success {got:?} != engine {baseline:?}"),
+                    ));
+                }
+            }
+            Some(false) => {
+                let code = v.get("error").and_then(Json::as_str).unwrap_or("");
+                if code != "deadline_exceeded" {
+                    return Err(violation(
+                        "wire-deadline",
+                        format!("zero timeout failed with `{code}`: {resp}"),
+                    ));
+                }
+            }
+            None => return Err(violation("wire-shape", format!("no ok field: {resp}"))),
+        }
+        let retry = OracleCase {
+            timeout_ms: None,
+            ..case.clone()
+        };
+        let resp = handle_line(
+            &service,
+            &query_line(&retry, alg, &retry.sources, &retry.targets),
+        );
+        let v = parse_response(&resp)?;
+        if v.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(violation(
+                "wire-deadline",
+                format!("retry after expiry failed: {resp}"),
+            ));
+        }
+        let got = response_lengths(&v)?;
+        if got != baseline {
+            return Err(violation(
+                "wire-deadline",
+                format!("retry after expiry {got:?} != engine {baseline:?}"),
+            ));
+        }
+        return Ok(());
+    }
+
+    let resp = handle_line(
+        &service,
+        &query_line(case, alg, &case.sources, &case.targets),
+    );
+    let v = parse_response(&resp)?;
+    if v.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(violation("wire-error", format!("query failed: {resp}")));
+    }
+    let got = response_lengths(&v)?;
+    if got != baseline {
+        return Err(violation(
+            "wire-agreement",
+            format!("wire {got:?} != engine {baseline:?}"),
+        ));
+    }
+
+    // Metamorphic repeat: reversed order plus a duplicated element is the
+    // same query and must be a cache hit with the identical answer.
+    let permute = |ids: &[u32]| -> Vec<u32> {
+        let mut p: Vec<u32> = ids.iter().rev().copied().collect();
+        p.push(ids[0]);
+        p
+    };
+    let resp2 = handle_line(
+        &service,
+        &query_line(case, alg, &permute(&case.sources), &permute(&case.targets)),
+    );
+    let v2 = parse_response(&resp2)?;
+    let got2 = response_lengths(&v2)?;
+    if got2 != got {
+        return Err(violation(
+            "wire-cache",
+            format!("cache-hit answer {got2:?} != cache-miss answer {got:?}"),
+        ));
+    }
+    let snap = service.snapshot();
+    if snap.cache_hits != 1 || snap.cache_misses != 1 {
+        return Err(violation(
+            "wire-cache",
+            format!(
+                "permuted repeat missed the cache: hits={} misses={}",
+                snap.cache_hits, snap.cache_misses
+            ),
+        ));
+    }
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! kpj-oracle — a differential + metamorphic testing subsystem.
+//!
+//! The paper's central claim (§5–§6) is that every KPJ algorithm computes
+//! the *same* top-k answer set, differing only in cost. That makes
+//! cross-algorithm disagreement a free, high-signal bug oracle. This crate
+//! industrializes it:
+//!
+//! | Module | Provides |
+//! |---|---|
+//! | [`generate`] | seeded random cases: road-like, social-like, and degenerate graphs (self-loops, parallel edges, disconnected components, near-`u32::MAX` weights) plus a query |
+//! | [`invariants`] | the checker: all engine algorithms × {landmarks, none} must agree, small instances must match the brute-force reference, and the full `kpj-service` wire path (JSON → pool → cache → JSON) must agree with the engine |
+//! | [`shrink`] | greedy domain-specific minimization of a failing case (driven by `proptest::shrink::minimize`) |
+//! | [`replay`] | the deterministic `.kpjcase` text format the `kpj-fuzz` binary writes on failure and re-runs via `--replay` |
+//!
+//! Invariants checked per case:
+//!
+//! 1. identical sorted length multisets across all algorithms, with and
+//!    without landmarks;
+//! 2. every returned path validates against the graph, is simple, starts
+//!    in the source set and ends in the target set (`V_T`), no duplicates,
+//!    lengths non-decreasing, at most `k` paths;
+//! 3. on small instances (≤ 10 nodes), exact agreement with the
+//!    exponential reference enumerator;
+//! 4. through the wire: JSON round-trip fidelity, exact echo of an id
+//!    above 2^53, response lengths identical to the engine's, and a
+//!    permuted-node-set repeat must be served from the cache with the
+//!    identical answer (cache-hit ≡ cache-miss);
+//! 5. a zero timeout either fails with `deadline_exceeded` or returns the
+//!    full answer — and the service must serve the unbounded retry
+//!    correctly afterwards (no scratch poisoning).
+//!
+//! The `kpj-fuzz` binary drives seeded sweeps, shrinks any violation to a
+//! minimal case, and emits a replay file; see the README quickstart.
+
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod invariants;
+pub mod replay;
+pub mod shrink;
+
+pub use generate::{GraphCategory, OracleCase};
+pub use invariants::{check_case, Violation};
+pub use replay::{format_case, parse_case};
+pub use shrink::shrink_case;

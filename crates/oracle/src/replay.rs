@@ -1,0 +1,190 @@
+//! The `.kpjcase` deterministic replay format.
+//!
+//! Line-oriented plain text, in the spirit of the DIMACS `.gr` files the
+//! paper's experiments use:
+//!
+//! ```text
+//! kpjcase v1
+//! # free-form comment lines are ignored
+//! seed 42
+//! category degenerate
+//! nodes 5
+//! edge 0 1 4294967295
+//! edge 1 2 7
+//! sources 0
+//! targets 2 4
+//! k 3
+//! timeout_ms 0
+//! ```
+//!
+//! `timeout_ms` is optional; everything else is required. `kpj-fuzz
+//! --replay FILE` re-runs a file through the full checker.
+
+use crate::generate::{GraphCategory, OracleCase};
+
+/// Serialize a case to the text format.
+pub fn format_case(case: &OracleCase) -> String {
+    let mut out = String::from("kpjcase v1\n");
+    out.push_str(&format!("seed {}\n", case.seed));
+    out.push_str(&format!("category {}\n", case.category.name()));
+    out.push_str(&format!("nodes {}\n", case.nodes));
+    for &(u, v, w) in &case.edges {
+        out.push_str(&format!("edge {u} {v} {w}\n"));
+    }
+    let ids = |ids: &[u32]| {
+        ids.iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    out.push_str(&format!("sources {}\n", ids(&case.sources)));
+    out.push_str(&format!("targets {}\n", ids(&case.targets)));
+    out.push_str(&format!("k {}\n", case.k));
+    if let Some(ms) = case.timeout_ms {
+        out.push_str(&format!("timeout_ms {ms}\n"));
+    }
+    out
+}
+
+/// Parse the text format back into a case, validating id ranges.
+pub fn parse_case(text: &str) -> Result<OracleCase, String> {
+    // Comment/blank lines may precede the header (kpj-fuzz records the
+    // violation there).
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty() && !l.trim_start().starts_with('#'));
+    let header = lines
+        .next()
+        .ok_or_else(|| "empty file".to_string())?
+        .1
+        .trim();
+    if header != "kpjcase v1" {
+        return Err(format!("bad header `{header}` (want `kpjcase v1`)"));
+    }
+
+    let mut seed: Option<u64> = None;
+    let mut category: Option<GraphCategory> = None;
+    let mut nodes: Option<u32> = None;
+    let mut edges = Vec::new();
+    let mut sources: Option<Vec<u32>> = None;
+    let mut targets: Option<Vec<u32>> = None;
+    let mut k: Option<usize> = None;
+    let mut timeout_ms: Option<u64> = None;
+
+    for (i, raw) in lines {
+        let line = raw.trim();
+        let at = |msg: &str| format!("line {}: {msg}", i + 1);
+        let mut it = line.split_ascii_whitespace();
+        let key = it.next().expect("non-empty line");
+        let rest: Vec<&str> = it.collect();
+        let one = |rest: &[&str]| -> Result<String, String> {
+            match rest {
+                [v] => Ok(v.to_string()),
+                _ => Err(at("expected exactly one value")),
+            }
+        };
+        let id_list = |rest: &[&str]| -> Result<Vec<u32>, String> {
+            if rest.is_empty() {
+                return Err(at("expected at least one id"));
+            }
+            rest.iter()
+                .map(|v| v.parse::<u32>().map_err(|_| at("bad id")))
+                .collect()
+        };
+        match key {
+            "seed" => seed = Some(one(&rest)?.parse().map_err(|_| at("bad seed"))?),
+            "category" => {
+                category =
+                    Some(GraphCategory::parse(&one(&rest)?).ok_or_else(|| at("unknown category"))?)
+            }
+            "nodes" => nodes = Some(one(&rest)?.parse().map_err(|_| at("bad node count"))?),
+            "edge" => match rest.as_slice() {
+                [u, v, w] => edges.push((
+                    u.parse().map_err(|_| at("bad edge endpoint"))?,
+                    v.parse().map_err(|_| at("bad edge endpoint"))?,
+                    w.parse().map_err(|_| at("bad edge weight"))?,
+                )),
+                _ => return Err(at("edge wants `edge U V W`")),
+            },
+            "sources" => sources = Some(id_list(&rest)?),
+            "targets" => targets = Some(id_list(&rest)?),
+            "k" => k = Some(one(&rest)?.parse().map_err(|_| at("bad k"))?),
+            "timeout_ms" => timeout_ms = Some(one(&rest)?.parse().map_err(|_| at("bad timeout"))?),
+            other => return Err(at(&format!("unknown directive `{other}`"))),
+        }
+    }
+
+    let nodes = nodes.ok_or("missing `nodes`")?;
+    let case = OracleCase {
+        seed: seed.ok_or("missing `seed`")?,
+        category: category.ok_or("missing `category`")?,
+        nodes,
+        edges,
+        sources: sources.ok_or("missing `sources`")?,
+        targets: targets.ok_or("missing `targets`")?,
+        k: k.ok_or("missing `k`")?,
+        timeout_ms,
+    };
+    if case.k == 0 {
+        return Err("k must be positive".into());
+    }
+    let in_range = |ids: &[u32]| ids.iter().all(|&v| v < nodes);
+    if !in_range(&case.sources) || !in_range(&case.targets) {
+        return Err("source/target id out of range".into());
+    }
+    if !case.edges.iter().all(|&(u, v, _)| u < nodes && v < nodes) {
+        return Err("edge endpoint out of range".into());
+    }
+    Ok(case)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_generated_cases() {
+        for seed in 0..60u64 {
+            let case = OracleCase::generate(seed);
+            let parsed = parse_case(&format_case(&case)).unwrap();
+            assert_eq!(parsed, case, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn accepts_comments_and_blank_lines() {
+        let text = "kpjcase v1\n# a comment\n\nseed 1\ncategory degenerate\nnodes 3\nedge 0 1 5\nedge 1 2 5\nsources 0\ntargets 2\nk 2\n";
+        let case = parse_case(text).unwrap();
+        assert_eq!(case.nodes, 3);
+        assert_eq!(case.edges.len(), 2);
+        assert_eq!(case.timeout_ms, None);
+    }
+
+    #[test]
+    fn rejects_malformed_files() {
+        for (text, why) in [
+            ("", "empty"),
+            ("kpjcase v2\n", "bad version"),
+            ("kpjcase v1\nseed 1\n", "missing fields"),
+            (
+                "kpjcase v1\nseed 1\ncategory degenerate\nnodes 2\nsources 0\ntargets 5\nk 1\n",
+                "target out of range",
+            ),
+            (
+                "kpjcase v1\nseed 1\ncategory degenerate\nnodes 2\nedge 0 9 1\nsources 0\ntargets 1\nk 1\n",
+                "edge out of range",
+            ),
+            (
+                "kpjcase v1\nseed 1\ncategory degenerate\nnodes 2\nsources 0\ntargets 1\nk 0\n",
+                "k = 0",
+            ),
+            (
+                "kpjcase v1\nwibble 3\n",
+                "unknown directive",
+            ),
+        ] {
+            assert!(parse_case(text).is_err(), "{why} accepted");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! The oracle's own CI gate: a seeded sweep must be violation-free, and
+//! every checked-in regression case must stay green.
+
+use kpj_oracle::{check_case, parse_case, OracleCase};
+
+/// Fixed-seed sweep across all three graph categories. Small by design —
+/// the long arm is the time-boxed `kpj-fuzz` stage in ci.sh.
+#[test]
+fn seeded_sweep_is_violation_free() {
+    for round in 0..60u64 {
+        let seed = 0xC0FFEE + round;
+        let case = OracleCase::generate(seed);
+        if let Err(v) = check_case(&case) {
+            panic!(
+                "seed {seed} ({} nodes, {} edges, k={}): {v}",
+                case.nodes,
+                case.edges.len(),
+                case.k
+            );
+        }
+    }
+}
+
+/// Every `.kpjcase` in `regressions/` is a shrunk reproducer of a fixed
+/// bug; the oracle must find nothing in any of them.
+#[test]
+fn regression_corpus_stays_green() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/regressions");
+    let mut checked = 0usize;
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("regressions/ directory exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.extension().and_then(|e| e.to_str()) != Some("kpjcase") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let case = parse_case(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        if let Err(v) = check_case(&case) {
+            panic!("{}: regressed: {v}", path.display());
+        }
+        checked += 1;
+    }
+    assert!(checked >= 5, "regression corpus went missing ({checked})");
+}

@@ -223,6 +223,108 @@ impl From<usize> for SizeRange {
     }
 }
 
+/// Greedy test-case minimization.
+///
+/// Real proptest shrinks through the strategy tree; this harness keeps
+/// generation and shrinking separate so domain crates can shrink rich
+/// structures (graphs, queries) with domain-specific candidate moves. The
+/// driver is a greedy fixed point: propose candidates, accept the first
+/// one that still fails, repeat until no candidate fails or the step
+/// budget runs out. With deterministic `candidates` and `fails` the
+/// result is deterministic.
+pub mod shrink {
+    /// Minimize `start` while `fails` keeps returning `true`.
+    ///
+    /// * `candidates` proposes strictly-smaller variants of the current
+    ///   value, most aggressive first (e.g. "drop half the edges" before
+    ///   "drop one edge") — returning an empty list ends the search;
+    /// * `fails` re-runs the failing property: `true` means the candidate
+    ///   still exhibits the bug and becomes the new current value;
+    /// * `max_steps` bounds the total number of `fails` evaluations (the
+    ///   property may be expensive).
+    ///
+    /// Returns the smallest failing value reached and the number of
+    /// `fails` evaluations spent.
+    pub fn minimize<T>(
+        start: T,
+        candidates: impl Fn(&T) -> Vec<T>,
+        mut fails: impl FnMut(&T) -> bool,
+        max_steps: usize,
+    ) -> (T, usize) {
+        let mut current = start;
+        let mut steps = 0usize;
+        'outer: loop {
+            for cand in candidates(&current) {
+                if steps >= max_steps {
+                    return (current, steps);
+                }
+                steps += 1;
+                if fails(&cand) {
+                    current = cand;
+                    continue 'outer;
+                }
+            }
+            return (current, steps);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::minimize;
+
+        /// Candidate moves for a Vec: drop one element at each position.
+        fn drop_one(v: &[u32]) -> Vec<Vec<u32>> {
+            (0..v.len())
+                .map(|i| {
+                    let mut c = v.to_vec();
+                    c.remove(i);
+                    c
+                })
+                .collect()
+        }
+
+        #[test]
+        fn shrinks_to_a_minimal_failing_vector() {
+            let start = vec![3, 200, 7, 150, 9];
+            let (min, _steps) = minimize(
+                start,
+                |v: &Vec<u32>| drop_one(v),
+                |v: &Vec<u32>| v.iter().any(|&x| x > 100),
+                10_000,
+            );
+            // One offending element survives; everything irrelevant is gone.
+            assert_eq!(min.len(), 1);
+            assert!(min[0] > 100);
+        }
+
+        #[test]
+        fn respects_the_step_budget() {
+            let start: Vec<u32> = (0..100).map(|i| i + 200).collect();
+            let (min, steps) = minimize(
+                start,
+                |v: &Vec<u32>| drop_one(v),
+                |v: &Vec<u32>| !v.is_empty(),
+                5,
+            );
+            assert_eq!(steps, 5);
+            assert!(!min.is_empty(), "budget exhausted before empty");
+        }
+
+        #[test]
+        fn fixed_point_when_nothing_shrinks() {
+            let (min, steps) = minimize(
+                vec![42u32],
+                |v: &Vec<u32>| drop_one(v),
+                |v: &Vec<u32>| v.contains(&42),
+                100,
+            );
+            assert_eq!(min, vec![42]);
+            // The single candidate (empty vec) was tried once and rejected.
+            assert_eq!(steps, 1);
+        }
+    }
+}
+
 /// Everything a property test needs in scope.
 pub mod prelude {
     pub use crate::{

@@ -3,10 +3,12 @@
 //! The serving layer speaks newline-delimited JSON; the build environment
 //! is offline, so instead of `serde_json` this module implements the small
 //! subset the wire protocol needs: objects, arrays, strings (with escape
-//! sequences), numbers (as `f64` — every wire quantity fits in the 2^53
-//! exact-integer range), booleans and null. Inputs are server-facing, so
-//! parsing is depth-limited and never recurses on attacker-chosen depth
-//! beyond [`MAX_DEPTH`].
+//! sequences), numbers, booleans and null. Integer-syntax tokens are kept
+//! exact in an `i128` ([`Json::Int`]) — node ids, `k`, and path lengths
+//! are 64-bit quantities that would be corrupted above 2^53 by an `f64`
+//! detour — while float-syntax tokens (`.`/`e`/`E`) stay `f64`
+//! ([`Json::Num`]). Inputs are server-facing, so parsing is depth-limited
+//! and never recurses on attacker-chosen depth beyond [`MAX_DEPTH`].
 
 use std::fmt;
 
@@ -20,7 +22,10 @@ pub enum Json {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any number. Integers are exact up to 2^53.
+    /// A number written in integer syntax (no `.`, `e` or `E`), exact.
+    /// `i128` covers the full `u64` range (path lengths) with sign.
+    Int(i128),
+    /// A number written in float syntax. Exactness is not guaranteed.
     Num(f64),
     /// A string.
     Str(String),
@@ -57,23 +62,29 @@ impl Json {
         }
     }
 
-    /// The value as a non-negative integer, if it is one.
+    /// The value as a non-negative integer, if it was *written* as one.
+    ///
+    /// Only [`Json::Int`] qualifies: `1e3` or `7.0` are float syntax and
+    /// must be rejected where an id or count is expected, because the
+    /// `f64` path silently corrupts values above 2^53.
     pub fn as_u64(&self) -> Option<u64> {
         match *self {
-            Json::Num(n) if (0.0..=9e15).contains(&n) && n.fract() == 0.0 => Some(n as u64),
+            Json::Int(n) => u64::try_from(n).ok(),
             _ => None,
         }
     }
 
     /// The value as a `usize`, if it is a non-negative integer.
     pub fn as_usize(&self) -> Option<usize> {
-        self.as_u64().map(|v| v as usize)
+        self.as_u64().and_then(|v| usize::try_from(v).ok())
     }
 
-    /// The value as a float, if numeric.
+    /// The value as a float, if numeric (integers convert, possibly
+    /// losing precision above 2^53 — fine for float consumers).
     pub fn as_f64(&self) -> Option<f64> {
         match *self {
             Json::Num(n) => Some(n),
+            Json::Int(n) => Some(n as f64),
             _ => None,
         }
     }
@@ -105,13 +116,13 @@ impl Json {
 
 impl From<u64> for Json {
     fn from(v: u64) -> Json {
-        Json::Num(v as f64)
+        Json::Int(v as i128)
     }
 }
 
 impl From<usize> for Json {
     fn from(v: usize) -> Json {
-        Json::Num(v as f64)
+        Json::Int(v as i128)
     }
 }
 
@@ -225,14 +236,27 @@ impl Parser<'_> {
 
     fn number(&mut self) -> Result<Json, JsonError> {
         let start = self.pos;
+        let mut integer_syntax = true;
         while let Some(b) = self.peek() {
             if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                if !(b.is_ascii_digit() || b == b'-' && self.pos == start) {
+                    integer_syntax = false;
+                }
                 self.pos += 1;
             } else {
                 break;
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        if integer_syntax {
+            // Parse from the raw token: an f64 detour would round ids and
+            // lengths above 2^53. Tokens beyond i128 (±1.7e38) are far
+            // outside any wire quantity and are rejected outright.
+            return match text.parse::<i128>() {
+                Ok(n) => Ok(Json::Int(n)),
+                Err(_) => Err(self.err("integer out of range")),
+            };
+        }
         match text.parse::<f64>() {
             Ok(n) if n.is_finite() => Ok(Json::Num(n)),
             _ => Err(self.err("bad number")),
@@ -376,9 +400,12 @@ impl fmt::Display for Json {
         match self {
             Json::Null => f.write_str("null"),
             Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(n) => write!(f, "{n}"),
             Json::Num(n) => {
-                if n.fract() == 0.0 && n.abs() <= 9e15 {
-                    write!(f, "{}", *n as i64)
+                // Keep float syntax on the wire so parse ∘ display is the
+                // identity: a bare "42" would re-parse as Int(42).
+                if n.fract() == 0.0 {
+                    write!(f, "{n:.1}")
                 } else {
                     write!(f, "{n}")
                 }
@@ -446,8 +473,50 @@ mod tests {
     fn numbers_and_unicode() {
         assert_eq!(Json::parse("-2.5e1").unwrap().as_f64(), Some(-25.0));
         assert_eq!(Json::parse("\"\\u0041é\"").unwrap().as_str(), Some("Aé"));
-        assert_eq!(Json::Num(42.0).to_string(), "42");
+        assert_eq!(Json::Int(42).to_string(), "42");
+        assert_eq!(Json::Num(42.0).to_string(), "42.0");
         assert_eq!(Json::Num(0.5).to_string(), "0.5");
         assert!(Json::parse("1e999").is_err(), "infinite number accepted");
+    }
+
+    #[test]
+    fn integers_parse_exactly_beyond_2_pow_53() {
+        // 2^53 + 1 is the first u64 an f64 cannot represent; u64::MAX is
+        // the largest wire quantity (a path length).
+        for v in [9_007_199_254_740_993_u64, u64::MAX, 0, 1] {
+            let parsed = Json::parse(&v.to_string()).unwrap();
+            assert_eq!(parsed, Json::Int(v as i128));
+            assert_eq!(parsed.as_u64(), Some(v), "corrupted {v}");
+            assert_eq!(parsed.to_string(), v.to_string());
+        }
+        assert_eq!(Json::parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(Json::parse("-7").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn float_syntax_is_not_an_integer() {
+        // `1e3` and `7.0` are numerically integral but must not pass for
+        // ids or counts: the f64 detour is lossy above 2^53.
+        for float_ish in ["1e3", "7.0", "7.5", "0.5e1"] {
+            let parsed = Json::parse(float_ish).unwrap();
+            assert_eq!(parsed.as_u64(), None, "{float_ish} accepted as integer");
+            assert!(parsed.as_f64().is_some());
+        }
+        assert_eq!(Json::parse("10").unwrap().as_f64(), Some(10.0));
+    }
+
+    #[test]
+    fn oversized_integer_tokens_are_rejected() {
+        let too_big = "1".repeat(60); // > i128::MAX
+        assert!(Json::parse(&too_big).is_err());
+        assert!(Json::parse(&format!("-{too_big}")).is_err());
+    }
+
+    #[test]
+    fn display_roundtrips_numbers() {
+        for src in ["42", "-42", "42.0", "0.5", "18446744073709551615"] {
+            let v = Json::parse(src).unwrap();
+            assert_eq!(Json::parse(&v.to_string()).unwrap(), v, "{src}");
+        }
     }
 }

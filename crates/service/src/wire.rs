@@ -308,6 +308,51 @@ mod tests {
     }
 
     #[test]
+    fn large_ids_echo_exactly() {
+        // 2^53 + 1 is silently rounded by any f64 detour; the id must
+        // come back bit-exact so pipelining clients can match responses.
+        let svc = service();
+        let resp = handle_line(&svc, r#"{"id":9007199254740993,"op":"ping"}"#);
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("id").unwrap().as_u64(), Some(9_007_199_254_740_993));
+        assert!(resp.contains("9007199254740993"), "{resp}");
+        assert!(!resp.contains("9007199254740992"), "rounded id: {resp}");
+    }
+
+    #[test]
+    fn float_syntax_integers_are_rejected() {
+        // `1e3` etc. used to sneak through the f64 number path for ids,
+        // `k`, and timeouts. Integer fields want integer syntax.
+        let svc = service();
+        for (line, why) in [
+            (
+                r#"{"id":1,"op":"query","sources":[0],"targets":[2],"k":1e3}"#,
+                "k in exponent notation",
+            ),
+            (
+                r#"{"id":1,"op":"query","sources":[1e1],"targets":[2],"k":1}"#,
+                "source id in exponent notation",
+            ),
+            (
+                r#"{"id":1,"op":"query","sources":[2.0],"targets":[2],"k":1}"#,
+                "float-syntax source id",
+            ),
+            (
+                r#"{"id":1,"op":"query","sources":[0],"targets":[2],"k":1,"timeout_ms":1.5}"#,
+                "fractional timeout",
+            ),
+        ] {
+            let v = Json::parse(&handle_line(&svc, line)).unwrap();
+            assert_eq!(v.get("ok").unwrap().as_bool(), Some(false), "{why}");
+            assert_eq!(
+                v.get("error").unwrap().as_str(),
+                Some("bad_request"),
+                "{why}"
+            );
+        }
+    }
+
+    #[test]
     fn out_of_range_node_is_bad_request() {
         let svc = service();
         let resp = handle_line(

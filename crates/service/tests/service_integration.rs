@@ -82,6 +82,48 @@ fn single_flight_computes_identical_queries_once() {
     );
 }
 
+/// Permuted and duplicated source/target sets are the same query: the
+/// cache key normalizes them, so every variant after the first is a hit
+/// with the identical answer and the pool runs the computation once.
+#[test]
+fn permuted_node_sets_hit_the_cache() {
+    let graph = road(1_000, 2_400, 9);
+    let service = KpjService::new(
+        Arc::clone(&graph),
+        None,
+        ServiceConfig {
+            pool: PoolConfig {
+                workers: 1,
+                queue_capacity: 16,
+            },
+            cache_capacity: 16,
+        },
+    );
+
+    let variants: [(Vec<NodeId>, Vec<NodeId>); 4] = [
+        (vec![3, 40], vec![700, 900]),
+        (vec![40, 3], vec![900, 700]),
+        (vec![40, 3, 40], vec![700, 900, 700]),
+        (vec![3, 3, 40], vec![900, 700, 900, 700]),
+    ];
+    let baseline = service
+        .execute(&request(variants[0].0.clone(), variants[0].1.clone(), 8))
+        .unwrap();
+    for (sources, targets) in &variants[1..] {
+        let got = service
+            .execute(&request(sources.clone(), targets.clone(), 8))
+            .unwrap();
+        let got: Vec<u64> = got.paths.iter().map(|p| p.length).collect();
+        let want: Vec<u64> = baseline.paths.iter().map(|p| p.length).collect();
+        assert_eq!(got, want, "permuted sets diverged: {sources:?}/{targets:?}");
+    }
+
+    assert_eq!(service.pool().executed(), 1, "permutation missed the cache");
+    let snap = service.snapshot();
+    assert_eq!(snap.cache_misses, 1);
+    assert_eq!(snap.cache_hits, (variants.len() - 1) as u64);
+}
+
 /// The pool (any worker count) must return exactly what a single
 /// sequential engine returns, over a paper-style stratified workload on
 /// a seeded road network, with landmarks on both sides.

@@ -55,7 +55,7 @@ impl Side {
             if self.settled.contains(v) {
                 continue;
             }
-            let nd = du + e.weight as Length;
+            let nd = du.saturating_add(e.weight as Length);
             if nd < self.dist.get(v) {
                 self.dist.set(v, nd);
                 self.parent.set(v, u as NodeId);

@@ -48,7 +48,7 @@ impl DenseDijkstra {
             // `IndexedMinHeap` never yields stale entries, so `du` is final.
             debug_assert_eq!(du, dist[u]);
             for e in direction.edges(g, u as NodeId) {
-                let nd = du + e.weight as Length;
+                let nd = du.saturating_add(e.weight as Length);
                 let v = e.to as usize;
                 if nd < dist[v] {
                     dist[v] = nd;

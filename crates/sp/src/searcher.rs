@@ -231,7 +231,7 @@ impl Searcher {
                 if self.settled.contains(v) || !edge_filter(u_node, e) {
                     continue;
                 }
-                let nd = du + e.weight as Length;
+                let nd = du.saturating_add(e.weight as Length);
                 if nd < self.dist.get(v) {
                     if let Some(f) = admit(e.to, nd, &mut pruned) {
                         self.dist.set(v, nd);
