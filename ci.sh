@@ -7,12 +7,15 @@ echo "==> cargo fmt --check"
 cargo fmt --all --check
 
 echo "==> cargo clippy (all targets, warnings are errors)"
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings -W clippy::redundant_clone
 
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
-echo "==> release build (binaries: kpj-cli, kpj-serve, kpj-loadgen, kpj-fuzz)"
+echo "==> zero-allocation steady state (count-alloc feature)"
+cargo test -q -p kpj-core --features count-alloc --test alloc_count
+
+echo "==> release build (binaries: kpj-cli, kpj-serve, kpj-loadgen, kpj-fuzz, bench-kpj)"
 cargo build --release -q
 
 # Bounded oracle sweep: fixed seed so the gate is deterministic; set
@@ -20,5 +23,11 @@ cargo build --release -q
 echo "==> oracle sweep (seed 0xC0FFEE, <= ${FUZZ_SECONDS:-45}s)"
 cargo run --release -q -p kpj-oracle --bin kpj-fuzz -- \
   --seed 12648430 --max-seconds "${FUZZ_SECONDS:-45}"
+
+# Per-algorithm latency + allocation profile (fixed seeds, small query
+# count so the gate stays quick). BENCH_QUERIES=24 for a fuller run.
+echo "==> bench-kpj (writes BENCH_kpj.json)"
+cargo run --release -q -p kpj-bench --bin bench-kpj -- \
+  --queries "${BENCH_QUERIES:-6}" --out BENCH_kpj.json
 
 echo "CI OK"

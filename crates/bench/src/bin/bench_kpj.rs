@@ -1,0 +1,217 @@
+//! `bench-kpj` — the fixed-seed perf baseline runner.
+//!
+//! Unlike the Criterion benches (statistical, minutes), this binary does a
+//! short deterministic sweep over two workloads — a road network (CAL with
+//! the Crater category) and a small-world social network — timing every
+//! algorithm and counting heap allocations per query through a counting
+//! global allocator. Results are written to `BENCH_kpj.json` so CI leaves
+//! a machine-readable perf trail for future PRs to diff against.
+//!
+//! Usage: `bench-kpj [--out PATH] [--queries N]`
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use kpj_bench::{run_batch, BatchResult, CalEnv};
+use kpj_core::{Algorithm, QueryEngine};
+use kpj_graph::{Graph, NodeId};
+use kpj_landmark::{LandmarkIndex, SelectionStrategy};
+use kpj_workload::social::SocialConfig;
+
+/// Counts every allocation (and allocated byte) that reaches the system
+/// allocator. Frees are deliberately not counted: the interesting number
+/// is how often the hot path *asks* for memory.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const K: usize = 20;
+
+struct AlgoMeasurement {
+    name: &'static str,
+    batch: BatchResult,
+    allocs_per_query: f64,
+    alloc_bytes_per_query: f64,
+}
+
+/// Warm the engine on the full query set once, then measure a second pass
+/// with allocation counting — steady-state numbers, not cold-start.
+fn measure(
+    engine: &mut QueryEngine<'_>,
+    alg: Algorithm,
+    sources: &[NodeId],
+    targets: &[NodeId],
+) -> AlgoMeasurement {
+    run_batch(engine, alg, sources, targets, K);
+    let calls0 = ALLOC_CALLS.load(Ordering::Relaxed);
+    let bytes0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    let batch = run_batch(engine, alg, sources, targets, K);
+    let calls = ALLOC_CALLS.load(Ordering::Relaxed) - calls0;
+    let bytes = ALLOC_BYTES.load(Ordering::Relaxed) - bytes0;
+    let n = batch.queries.max(1) as f64;
+    AlgoMeasurement {
+        name: alg.name(),
+        batch,
+        allocs_per_query: calls as f64 / n,
+        alloc_bytes_per_query: bytes as f64 / n,
+    }
+}
+
+struct Workload {
+    name: &'static str,
+    dataset: String,
+    sources: Vec<NodeId>,
+    targets: Vec<NodeId>,
+}
+
+fn run_workload(g: &Graph, lm: &LandmarkIndex, w: &Workload) -> Vec<AlgoMeasurement> {
+    let mut engine = QueryEngine::new(g).with_landmarks(lm);
+    Algorithm::ALL
+        .iter()
+        .map(|&alg| {
+            let m = measure(&mut engine, alg, &w.sources, &w.targets);
+            eprintln!(
+                "  {:>12}: {:>9.3} ms/query  {:>8.1} allocs/query  {:>10.0} B/query",
+                m.name,
+                m.batch.ms_per_query(),
+                m.allocs_per_query,
+                m.alloc_bytes_per_query,
+            );
+            m
+        })
+        .collect()
+}
+
+/// Deterministic node sample: `count` nodes spread evenly over `0..n`,
+/// offset so sources and targets don't collide.
+fn stride_sample(n: usize, count: usize, offset: usize) -> Vec<NodeId> {
+    let count = count.min(n);
+    let stride = (n / count.max(1)).max(1);
+    (0..count)
+        .map(|i| ((offset + i * stride) % n) as NodeId)
+        .collect()
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(s
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || "@._-".contains(c)));
+    s
+}
+
+fn main() {
+    let mut out_path = "BENCH_kpj.json".to_string();
+    let mut queries = 6usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--queries" => {
+                queries = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--queries needs a number")
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (expected --out / --queries)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let started = Instant::now();
+
+    // Road workload: CAL at 5% scale, Crater category, the middle distance
+    // quantile (Q3) — the paper's default shape.
+    eprintln!("==> road workload (CAL@0.05, crater, Q3, k={K})");
+    let cal = CalEnv::new(0.05, 16);
+    let road = Workload {
+        name: "road",
+        dataset: format!("CAL@0.05 n={}", cal.graph.node_count()),
+        sources: cal.query_sets(cal.cal.crater, queries).group(3).to_vec(),
+        targets: cal.categories.members(cal.cal.crater).to_vec(),
+    };
+    let road_rows = run_workload(&cal.graph, &cal.landmarks, &road);
+
+    // Social workload: Watts–Strogatz small world (the paper's §1
+    // motivating application), stride-sampled sources and targets.
+    eprintln!("==> social workload (WS n=4000, k={K})");
+    let social_graph = SocialConfig::new(4_000, 0x50C1A1).generate();
+    let social_lm = LandmarkIndex::build(&social_graph, 16, SelectionStrategy::Farthest, 0x50C1A1);
+    let n = social_graph.node_count();
+    let social = Workload {
+        name: "social",
+        dataset: format!("WS@4000 n={n}"),
+        sources: stride_sample(n, queries, 17),
+        targets: stride_sample(n, 40, 3),
+    };
+    let social_rows = run_workload(&social_graph, &social_lm, &social);
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": 1,\n  \"k\": ");
+    let _ = write!(json, "{K}");
+    json.push_str(",\n  \"workloads\": {\n");
+    for (wi, (w, rows)) in [(&road, &road_rows), (&social, &social_rows)]
+        .into_iter()
+        .enumerate()
+    {
+        if wi > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(
+            json,
+            "    \"{}\": {{\n      \"dataset\": \"{}\",\n      \"queries\": {},\n      \"algorithms\": {{\n",
+            w.name,
+            json_escape_free(&w.dataset.replace(' ', "_")),
+            rows.first().map_or(0, |m| m.batch.queries),
+        );
+        for (i, m) in rows.iter().enumerate() {
+            if i > 0 {
+                json.push_str(",\n");
+            }
+            let ms = m.batch.ms_per_query();
+            let qps = if ms > 0.0 { 1e3 / ms } else { 0.0 };
+            let _ = write!(
+                json,
+                "        \"{}\": {{\"ms_per_query\": {:.4}, \"queries_per_sec\": {:.2}, \"allocs_per_query\": {:.1}, \"alloc_bytes_per_query\": {:.0}}}",
+                m.name, ms, qps, m.allocs_per_query, m.alloc_bytes_per_query,
+            );
+        }
+        json.push_str("\n      }\n    }");
+    }
+    let _ = write!(
+        json,
+        "\n  }},\n  \"wall_seconds\": {:.1}\n}}\n",
+        started.elapsed().as_secs_f64()
+    );
+
+    std::fs::write(&out_path, &json).expect("write BENCH_kpj.json");
+    eprintln!(
+        "wrote {out_path} in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+}

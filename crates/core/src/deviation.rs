@@ -8,16 +8,20 @@
 //! shortest path in the vertex's subspace — eagerly (Lemma 3.1). That is
 //! exactly the `O(k·n)` shortest-path computations the best-first paradigm
 //! avoids, and the reason these serve as the paper's baselines.
+//!
+//! Candidates are Copy [`FoundPath`] arena handles; the candidate heap
+//! holds handles, not node vectors, so maintaining `O(k·n)` eager
+//! candidates costs no per-candidate allocation.
 
 use kpj_graph::scratch::{TimestampedMap, TimestampedSet};
-use kpj_graph::{Length, NodeId, INFINITE_LENGTH};
-use kpj_heap::{IndexedMinHeap, MinHeap};
+use kpj_graph::{Length, NodeId, PathId, PathStore, INFINITE_LENGTH};
+use kpj_heap::IndexedMinHeap;
 use kpj_sp::{DenseDijkstra, Estimate, NO_PARENT};
 
 use crate::pseudo_tree::{PseudoTree, VertexId, ROOT, VIRTUAL_NODE};
 use crate::search_core::{
-    divide_subspace, subspace_search, FoundPath, PathSink, SubspaceCtx, SubspaceScratch,
-    SubspaceSearch,
+    divide_subspace, emit_found, subspace_search, FoundPath, PathSink, SubspaceCtx,
+    SubspaceScratch, SubspaceSearch,
 };
 use crate::stats::QueryStats;
 
@@ -39,7 +43,7 @@ pub(crate) enum DeviationMode<'a> {
 
 impl<'a> DeviationMode<'a> {
     fn spt(&self) -> Option<&'a DenseDijkstra> {
-        match self {
+        match *self {
             DeviationMode::Plain => None,
             DeviationMode::Pascoal(s) | DeviationMode::Gao(s) => Some(s),
         }
@@ -71,21 +75,23 @@ impl CandidateScratch {
 
 /// Run `DA` (`spt = None`) or `DA-SPT` (`spt = Some(full reverse SPT)`).
 ///
-/// The full reverse SPT for `DA-SPT` is built by the engine via
-/// [`DenseDijkstra::to_targets`] — the paper's "full SPT built online",
-/// whose construction cost dominates exactly when the k paths are short.
+/// The full reverse SPT for `DA-SPT` is built by the engine (reusing its
+/// pooled [`DenseDijkstra`]) — the paper's "full SPT built online", whose
+/// construction cost dominates exactly when the k paths are short.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_deviation(
     ctx: &SubspaceCtx<'_>,
     scratch: &mut SubspaceScratch,
     cand: &mut CandidateScratch,
+    store: &mut PathStore,
     tree: &mut PseudoTree,
     mode: DeviationMode<'_>,
     sink: &mut dyn PathSink,
     stats: &mut QueryStats,
 ) {
-    let mut c: MinHeap<Length, FoundPath> = MinHeap::new();
-    if let Some(f) = candidate(ctx, scratch, cand, tree, mode, ROOT, stats) {
+    let mut c = std::mem::take(&mut scratch.dev_heap);
+    c.clear();
+    if let Some(f) = candidate(ctx, scratch, cand, store, tree, mode, ROOT, stats) {
         c.push(f.length, f);
     }
     let mut more = true;
@@ -94,21 +100,24 @@ pub(crate) fn run_deviation(
             break;
         }
         let Some((_, found)) = c.pop() else { break };
-        let affected = divide_subspace(ctx, tree, &found, stats);
-        more = sink.emit(found.into_path(false));
+        divide_subspace(ctx, scratch, store, tree, found, stats);
+        more = emit_found(scratch, store, tree, found, false, sink);
         // Alg. 1 line 6: recompute/compute candidates for every vertex of
         // the chosen path from the deviation vertex to the destination.
         // (Even when the sink stops us, the divide above has already
         // happened; skipping the candidate recomputation is safe because
         // the loop exits.)
         if more {
-            for v in affected {
-                if let Some(f) = candidate(ctx, scratch, cand, tree, mode, v, stats) {
+            let affected = std::mem::take(&mut scratch.affected);
+            for &v in &affected {
+                if let Some(f) = candidate(ctx, scratch, cand, store, tree, mode, v, stats) {
                     c.push(f.length, f);
                 }
             }
+            scratch.affected = affected;
         }
     }
+    scratch.dev_heap = c;
     if let Some(spt) = mode.spt() {
         let reached = spt
             .dist_slice()
@@ -120,10 +129,12 @@ pub(crate) fn run_deviation(
 }
 
 /// Compute `c(u)`: the shortest path in the subspace at `vertex`.
+#[allow(clippy::too_many_arguments)]
 fn candidate(
     ctx: &SubspaceCtx<'_>,
     scratch: &mut SubspaceScratch,
     cand: &mut CandidateScratch,
+    store: &mut PathStore,
     tree: &PseudoTree,
     mode: DeviationMode<'_>,
     vertex: VertexId,
@@ -136,6 +147,7 @@ fn candidate(
             match subspace_search(
                 ctx,
                 scratch,
+                store,
                 tree,
                 vertex,
                 &mut |_| Estimate::Bound(0),
@@ -146,16 +158,12 @@ fn candidate(
                 _ => None,
             }
         }
-        DeviationMode::Pascoal(spt) => {
-            candidate_with_spt(
-                ctx, scratch, cand, tree, spt, vertex, /*lazy=*/ false, stats,
-            )
-        }
-        DeviationMode::Gao(spt) => {
-            candidate_with_spt(
-                ctx, scratch, cand, tree, spt, vertex, /*lazy=*/ true, stats,
-            )
-        }
+        DeviationMode::Pascoal(spt) => candidate_with_spt(
+            ctx, scratch, cand, store, tree, spt, vertex, /*lazy=*/ false, stats,
+        ),
+        DeviationMode::Gao(spt) => candidate_with_spt(
+            ctx, scratch, cand, store, tree, spt, vertex, /*lazy=*/ true, stats,
+        ),
     }
 }
 
@@ -173,6 +181,7 @@ fn candidate_with_spt(
     ctx: &SubspaceCtx<'_>,
     scratch: &mut SubspaceScratch,
     cand: &mut CandidateScratch,
+    store: &mut PathStore,
     tree: &PseudoTree,
     spt: &DenseDijkstra,
     vertex: VertexId,
@@ -181,12 +190,11 @@ fn candidate_with_spt(
 ) -> Option<FoundPath> {
     stats.shortest_path_computations += 1;
     scratch.prefix_set.clear();
-    for n in tree.path_nodes(vertex) {
+    for n in tree.prefix_nodes(vertex) {
         scratch.prefix_set.insert(n as usize);
     }
     let u = tree.node(vertex);
     let plen = tree.prefix_len(vertex);
-    let excluded = tree.excluded(vertex);
     let allow_trivial = !tree.emitted(vertex);
 
     cand.heap.clear();
@@ -197,7 +205,7 @@ fn candidate_with_spt(
     // Seed exactly like `subspace_search`.
     if u == VIRTUAL_NODE {
         for &f in ctx.fanout {
-            if !excluded.contains(&f) && spt.reached(f) {
+            if !tree.is_excluded(vertex, f) && spt.reached(f) {
                 cand.dist.set(f as usize, 0);
                 cand.heap.push_or_decrease(f as usize, spt.dist(f));
             }
@@ -230,17 +238,21 @@ fn candidate_with_spt(
         let test_splice = lazy_test || first_pop;
         first_pop = false;
         if test_splice {
-            if let Some(tail) = tail_if_simple(scratch, cand, spt, v) {
-                let uses_excluded = v == u && tail.len() >= 2 && excluded.contains(&tail[1]);
-                let trivial = v == u && tail.len() == 1 && dv == plen;
+            if let Some(tail_len) = tail_len_if_simple(scratch, cand, spt, v) {
+                let uses_excluded =
+                    v == u && tail_len >= 2 && tree.is_excluded(vertex, spt.parent(v));
+                let trivial = v == u && tail_len == 1 && dv == plen;
                 if !uses_excluded && (!trivial || allow_trivial) {
-                    break Some(assemble_with_tail(cand, tree, spt, vertex, v, dv, tail));
+                    break Some(assemble_with_tail(
+                        scratch, cand, store, tree, spt, vertex, v, dv, tail_len,
+                    ));
                 }
             }
         } else if ctx.goal_set.contains(vu) && (v != u || allow_trivial) {
             // Pascoal fallback: plain goal test at settled destinations.
-            let tail = vec![v];
-            break Some(assemble_with_tail(cand, tree, spt, vertex, v, dv, tail));
+            break Some(assemble_with_tail(
+                scratch, cand, store, tree, spt, vertex, v, dv, 1,
+            ));
         }
 
         // Relax constrained out-edges (forward mode only — the deviation
@@ -250,7 +262,7 @@ fn candidate_with_spt(
             let w = e.to as usize;
             if cand.settled.contains(w)
                 || scratch.prefix_set.contains(w)
-                || (v == u && excluded.contains(&e.to))
+                || (v == u && tree.is_excluded(vertex, e.to))
                 || !spt.reached(e.to)
             {
                 continue;
@@ -270,13 +282,14 @@ fn candidate_with_spt(
 }
 
 /// If the SPT tail of `v` (its shortest path to `V_T`) is node-disjoint
-/// from the current search chain and subspace prefix, return it.
-fn tail_if_simple(
+/// from the current search chain and subspace prefix, return its node
+/// count (including `v` itself).
+fn tail_len_if_simple(
     scratch: &SubspaceScratch,
     cand: &mut CandidateScratch,
     spt: &DenseDijkstra,
     v: NodeId,
-) -> Option<Vec<NodeId>> {
+) -> Option<usize> {
     debug_assert!(spt.reached(v));
     // Mark the chain v → … → seed.
     cand.chain_mark.clear();
@@ -290,7 +303,7 @@ fn tail_if_simple(
         cur = p;
     }
     // Walk the SPT tail, rejecting any overlap beyond v itself.
-    let mut tail = vec![v];
+    let mut len = 1;
     let mut cur = v;
     loop {
         let p = spt.parent(cur);
@@ -300,60 +313,62 @@ fn tail_if_simple(
         if cand.chain_mark.contains(p as usize) || scratch.prefix_set.contains(p as usize) {
             return None;
         }
-        tail.push(p);
+        len += 1;
         cur = p;
     }
-    Some(tail)
+    Some(len)
 }
 
-/// Build the [`FoundPath`] for chain(seed → v) + SPT tail(v → V_T).
+/// Push chain(seed → v) + SPT tail(v → V_T) into the arena and return the
+/// [`FoundPath`] handle. `tail_len` counts the tail nodes including `v`.
+#[allow(clippy::too_many_arguments)]
 fn assemble_with_tail(
+    scratch: &mut SubspaceScratch,
     cand: &CandidateScratch,
+    store: &mut PathStore,
     tree: &PseudoTree,
     spt: &DenseDijkstra,
     vertex: VertexId,
     v: NodeId,
     dv: Length,
-    tail: Vec<NodeId>,
+    tail_len: usize,
 ) -> FoundPath {
     let u = tree.node(vertex);
     let total = dv.saturating_add(spt.dist(v));
 
-    // chain: seed → … → v.
-    let mut chain = vec![v];
+    // chain_buf: v → … → seed; pushed into the arena seed-first.
+    scratch.chain_buf.clear();
+    scratch.chain_buf.push(v);
     let mut cur = v;
     while cand.parent.get(cur as usize) != NO_PARENT {
         cur = cand.parent.get(cur as usize);
-        chain.push(cur);
+        scratch.chain_buf.push(cur);
     }
-    chain.reverse();
+    let chain_len = scratch.chain_buf.len();
+    let mut id: Option<PathId> = None;
+    for &x in scratch.chain_buf.iter().rev() {
+        id = Some(store.push(id, x, cand.dist.get(x as usize)));
+    }
+    // SPT tail after v, cumulative lengths measured from the path start.
+    let mut cur = v;
+    for _ in 1..tail_len {
+        cur = spt.parent(cur);
+        id = Some(store.push(id, cur, total - spt.dist(cur)));
+    }
 
     let skip = usize::from(u != VIRTUAL_NODE);
-    let mut suffix: Vec<(NodeId, Length)> = chain[skip..]
-        .iter()
-        .map(|&x| (x, cand.dist.get(x as usize)))
-        .collect();
-    suffix.extend(tail[1..].iter().map(|&x| (x, total - spt.dist(x))));
-
-    let mut nodes = tree.path_nodes(vertex);
-    if u != VIRTUAL_NODE {
-        nodes.pop();
-    }
-    nodes.extend_from_slice(&chain);
-    nodes.extend_from_slice(&tail[1..]);
-
     FoundPath {
-        nodes,
+        tail: id.expect("chain has at least one node"),
         length: total,
         vertex,
-        suffix,
+        suffix_len: (chain_len - skip + tail_len - 1) as u32,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kpj_graph::{Graph, GraphBuilder};
+    use kpj_graph::{Graph, GraphBuilder, PathSet};
 
     /// Diamond with a detour: paths 0→1→3 (3), 0→2→3 (7), 0→1→2→3 (8).
     fn fixture() -> (Graph, TimestampedSet) {
@@ -369,7 +384,7 @@ mod tests {
         (g, ts)
     }
 
-    fn run(spt_mode: bool, k: usize) -> Vec<kpj_graph::Path> {
+    fn run(spt_mode: bool, k: usize) -> PathSet {
         let (g, ts) = fixture();
         let ctx = SubspaceCtx {
             g: &g,
@@ -382,6 +397,7 @@ mod tests {
         };
         let mut scratch = SubspaceScratch::new(4);
         let mut cand = CandidateScratch::new(4);
+        let mut store = PathStore::new();
         let mut tree = PseudoTree::new(0);
         let mut stats = QueryStats::default();
         let spt = spt_mode.then(|| DenseDijkstra::to_targets(&g, &[3]));
@@ -389,36 +405,34 @@ mod tests {
             None => DeviationMode::Plain,
             Some(s) => DeviationMode::Gao(s),
         };
-        let mut sink = crate::search_core::CollectSink::new(k);
+        let mut out = PathSet::new();
+        let mut sink = crate::search_core::CollectSink { out: &mut out, k };
         run_deviation(
             &ctx,
             &mut scratch,
             &mut cand,
+            &mut store,
             &mut tree,
             mode,
             &mut sink,
             &mut stats,
         );
-        sink.paths
+        out
     }
 
     #[test]
     fn da_enumerates_in_order() {
         let paths = run(false, 5);
-        let lens: Vec<Length> = paths.iter().map(|p| p.length).collect();
-        assert_eq!(lens, vec![3, 7, 8]);
-        assert_eq!(paths[0].nodes, vec![0, 1, 3]);
-        assert_eq!(paths[2].nodes, vec![0, 1, 2, 3]);
+        assert_eq!(paths.lengths(), vec![3, 7, 8]);
+        assert_eq!(paths.path(0).nodes, [0, 1, 3]);
+        assert_eq!(paths.path(2).nodes, [0, 1, 2, 3]);
     }
 
     #[test]
     fn da_spt_matches_da() {
         let a = run(false, 5);
         let b = run(true, 5);
-        assert_eq!(
-            a.iter().map(|p| p.length).collect::<Vec<_>>(),
-            b.iter().map(|p| p.length).collect::<Vec<_>>()
-        );
+        assert_eq!(a.lengths(), b.lengths());
         assert_eq!(a.len(), b.len());
         for p in &b {
             assert!(p.is_simple());
@@ -454,24 +468,29 @@ mod tests {
         };
         let mut scratch = SubspaceScratch::new(5);
         let mut cand = CandidateScratch::new(5);
+        let mut store = PathStore::new();
         let mut tree = PseudoTree::new(0);
         let mut stats = QueryStats::default();
         let spt = DenseDijkstra::to_targets(&g, &[3]);
-        let mut sink = crate::search_core::CollectSink::new(3);
+        let mut out = PathSet::new();
+        let mut sink = crate::search_core::CollectSink {
+            out: &mut out,
+            k: 3,
+        };
         run_deviation(
             &ctx,
             &mut scratch,
             &mut cand,
+            &mut store,
             &mut tree,
             DeviationMode::Gao(&spt),
             &mut sink,
             &mut stats,
         );
-        let paths = sink.paths;
-        assert_eq!(paths.len(), 2);
-        assert_eq!(paths[0].nodes, vec![0, 1, 2, 3]);
-        assert_eq!(paths[1].nodes, vec![0, 1, 4, 2, 3]);
-        assert_eq!(paths[1].length, 12);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.path(0).nodes, [0, 1, 2, 3]);
+        assert_eq!(out.path(1).nodes, [0, 1, 4, 2, 3]);
+        assert_eq!(out.path(1).length, 12);
     }
 
     #[test]
@@ -491,19 +510,25 @@ mod tests {
         for mode in [DeviationMode::Pascoal(&spt), DeviationMode::Gao(&spt)] {
             let mut scratch = SubspaceScratch::new(4);
             let mut cand = CandidateScratch::new(4);
+            let mut store = PathStore::new();
             let mut tree = PseudoTree::new(0);
             let mut stats = QueryStats::default();
-            let mut sink = crate::search_core::CollectSink::new(5);
+            let mut out = PathSet::new();
+            let mut sink = crate::search_core::CollectSink {
+                out: &mut out,
+                k: 5,
+            };
             run_deviation(
                 &ctx,
                 &mut scratch,
                 &mut cand,
+                &mut store,
                 &mut tree,
                 mode,
                 &mut sink,
                 &mut stats,
             );
-            lens.push(sink.paths.iter().map(|p| p.length).collect::<Vec<_>>());
+            lens.push(out.lengths());
         }
         assert_eq!(lens[0], lens[1]);
         assert_eq!(lens[0], vec![3, 7, 8]);
@@ -523,13 +548,19 @@ mod tests {
         };
         let mut scratch = SubspaceScratch::new(4);
         let mut cand = CandidateScratch::new(4);
+        let mut store = PathStore::new();
         let mut tree = PseudoTree::new(0);
         let mut stats = QueryStats::default();
-        let mut sink = crate::search_core::CollectSink::new(2);
+        let mut out = PathSet::new();
+        let mut sink = crate::search_core::CollectSink {
+            out: &mut out,
+            k: 2,
+        };
         run_deviation(
             &ctx,
             &mut scratch,
             &mut cand,
+            &mut store,
             &mut tree,
             DeviationMode::Plain,
             &mut sink,

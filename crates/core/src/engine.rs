@@ -2,7 +2,7 @@
 //! KPJ / KSP / GKPJ queries with any of the paper's seven algorithms.
 
 use kpj_graph::scratch::TimestampedSet;
-use kpj_graph::{Graph, Length, NodeId, Path, INFINITE_LENGTH};
+use kpj_graph::{Graph, Length, NodeId, PathRef, PathSet, PathStore, INFINITE_LENGTH};
 use kpj_landmark::LandmarkIndex;
 use kpj_sp::{DenseDijkstra, Direction, Estimate, SearchOrder};
 
@@ -71,11 +71,15 @@ impl Algorithm {
 
 /// Result of one query: the paths (non-decreasing length, each simple,
 /// source-side first) and the work counters.
+///
+/// Paths live in a flat [`PathSet`] — iterate [`PathRef`]s borrowed from
+/// it, or bridge to owned [`Path`](kpj_graph::Path)s with
+/// [`PathSet::to_paths`] where a self-contained value is needed.
 #[derive(Debug, Clone)]
 pub struct KpjResult {
     /// Up to `k` shortest simple paths; fewer when the graph does not
     /// contain `k` simple paths between the query endpoints.
-    pub paths: Vec<Path>,
+    pub paths: PathSet,
     /// Instrumentation counters (see [`QueryStats`]).
     pub stats: QueryStats,
 }
@@ -135,8 +139,12 @@ impl std::error::Error for QueryError {}
 /// A reusable query processor for one graph.
 ///
 /// Holds all per-query scratch (epoch-stamped, reset in `O(1)`), the
-/// optional landmark index, and the `α` parameter of the iteratively
-/// bounding approaches. Dropping the landmark index (never calling
+/// per-query path arena, the optional landmark index, and the `α`
+/// parameter of the iteratively bounding approaches. A warmed-up engine
+/// answers queries without heap allocation when driven through
+/// [`query_multi_into`](QueryEngine::query_multi_into) (landmark-less
+/// engines; landmark bound tables still allocate per query). Dropping the
+/// landmark index (never calling
 /// [`with_landmarks`](QueryEngine::with_landmarks)) yields the paper's
 /// `-NL` (no-landmark) variants of every algorithm.
 ///
@@ -153,8 +161,8 @@ impl std::error::Error for QueryError {}
 /// // Top-2 shortest paths from node 0 to the "category" {2, 3}.
 /// let r = engine.query(Algorithm::IterBoundI, 0, &[2, 3], 2).unwrap();
 /// assert_eq!(r.paths.len(), 2);
-/// assert_eq!(r.paths[0].nodes, vec![0, 1, 2]);
-/// assert_eq!(r.paths[1].nodes, vec![0, 1, 3]);
+/// assert_eq!(r.paths.path(0).nodes, [0, 1, 2]);
+/// assert_eq!(r.paths.path(1).nodes, [0, 1, 3]);
 /// ```
 pub struct QueryEngine<'g> {
     g: &'g Graph,
@@ -166,6 +174,15 @@ pub struct QueryEngine<'g> {
     source_set: TimestampedSet,
     sptp: SptpStore,
     spti: SptiStore,
+    /// The per-query path arena (reset per query, capacity kept).
+    store: PathStore,
+    /// The per-query pseudo-tree (reset per query, capacity kept).
+    tree: PseudoTree,
+    /// Pooled sorted/deduped endpoint buffers.
+    src_buf: Vec<NodeId>,
+    tgt_buf: Vec<NodeId>,
+    /// Pooled full-SPT scratch for the `DA-SPT` baselines.
+    spt_scratch: Option<DenseDijkstra>,
 }
 
 impl<'g> QueryEngine<'g> {
@@ -182,6 +199,11 @@ impl<'g> QueryEngine<'g> {
             source_set: TimestampedSet::new(n),
             sptp: SptpStore::new(n),
             spti: SptiStore::new(n),
+            store: PathStore::new(),
+            tree: PseudoTree::new(VIRTUAL_NODE),
+            src_buf: Vec::new(),
+            tgt_buf: Vec::new(),
+            spt_scratch: None,
         }
     }
 
@@ -271,75 +293,51 @@ impl<'g> QueryEngine<'g> {
         k: usize,
         deadline: Deadline,
     ) -> Result<KpjResult, QueryError> {
-        let n = self.g.node_count() as u64;
-        if sources.is_empty() {
-            return Err(QueryError::NoSources);
-        }
-        if let Some(&v) = sources.iter().find(|&&v| v as u64 >= n) {
-            return Err(QueryError::SourceOutOfRange(v));
-        }
-        if let Some(&v) = targets.iter().find(|&&v| v as u64 >= n) {
-            return Err(QueryError::TargetOutOfRange(v));
-        }
-        let mut sources = sources.to_vec();
-        sources.sort_unstable();
-        sources.dedup();
-        let mut targets = targets.to_vec();
-        targets.sort_unstable();
-        targets.dedup();
+        let mut paths = PathSet::new();
+        let stats = self.query_multi_into(alg, sources, targets, k, deadline, &mut paths)?;
+        Ok(KpjResult { paths, stats })
+    }
 
+    /// The allocation-free core of
+    /// [`query_multi_deadline`](QueryEngine::query_multi_deadline):
+    /// collect the answer into a caller-owned [`PathSet`] (cleared first).
+    ///
+    /// A warmed-up landmark-less engine answering a repeat-shaped query
+    /// through this entry point performs zero heap allocations — all
+    /// per-query state (path arena, pseudo-tree, heaps, endpoint buffers)
+    /// is pooled on the engine, and `out` reuses its flat buffers.
+    pub fn query_multi_into(
+        &mut self,
+        alg: Algorithm,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        k: usize,
+        deadline: Deadline,
+        out: &mut PathSet,
+    ) -> Result<QueryStats, QueryError> {
+        out.clear();
         let mut stats = QueryStats::default();
-        if targets.is_empty() || k == 0 {
-            return Ok(KpjResult {
-                paths: Vec::new(),
-                stats,
-            });
+        {
+            let mut sink = CollectSink { out, k };
+            self.query_core(alg, sources, targets, k, deadline, &mut sink, &mut stats)?;
         }
-
-        self.target_set.clear();
-        for &t in &targets {
-            self.target_set.insert(t as usize);
-        }
-        self.source_set.clear();
-        for &s in &sources {
-            self.source_set.insert(s as usize);
-        }
-
-        let to_targets = match self.landmarks {
-            Some(idx) => TargetsLb::Alt(idx.for_targets(&targets)),
-            None => TargetsLb::Zero,
-        };
-        let from_sources = SourceLb::new(self.landmarks, &sources);
-
-        let mut sink = CollectSink::new(k);
-        self.dispatch(
-            alg,
-            &sources,
-            &targets,
-            &to_targets,
-            &from_sources,
-            &mut sink,
-            deadline,
-            &mut stats,
-        );
         // A query that produced its full answer (k paths, or exhausted the
         // graph before the clock ran out — the loops stop *at* expiry) is
         // only failed if the deadline actually cut it short: the loops
         // break on expiry, so an expired clock here means truncation.
-        if deadline.expired() && sink.paths.len() < k {
+        if deadline.expired() && out.len() < k {
             return Err(QueryError::DeadlineExceeded);
         }
-        Ok(KpjResult {
-            paths: sink.paths,
-            stats,
-        })
+        Ok(stats)
     }
 
     /// Anytime variant of [`query_multi`](QueryEngine::query_multi):
     /// `on_path` receives each result path as soon as it is proven to be
     /// the next-shortest, in non-decreasing length order, and can stop the
     /// query early by returning [`ControlFlow::Break`]. At most `k` paths
-    /// are delivered. Returns the work counters.
+    /// are delivered. The [`PathRef`] borrows the engine's emission buffer
+    /// — copy ([`PathRef::to_path`]) what outlives the callback. Returns
+    /// the work counters.
     ///
     /// ```
     /// # use kpj_graph::GraphBuilder;
@@ -353,7 +351,7 @@ impl<'g> QueryEngine<'g> {
     /// let mut first = None;
     /// engine
     ///     .query_visit(Algorithm::IterBoundI, 0, &[2], 10, |p| {
-    ///         first = Some(p); // keep only the first, then stop
+    ///         first = Some(p.to_path()); // keep only the first, then stop
     ///         ControlFlow::Break(())
     ///     })
     ///     .unwrap();
@@ -367,7 +365,7 @@ impl<'g> QueryEngine<'g> {
         sources: &[NodeId],
         targets: &[NodeId],
         k: usize,
-        on_path: impl FnMut(Path) -> std::ops::ControlFlow<()>,
+        on_path: impl FnMut(PathRef<'_>) -> std::ops::ControlFlow<()>,
     ) -> Result<QueryStats, QueryError> {
         self.query_multi_visit_deadline(alg, sources, targets, k, Deadline::none(), on_path)
     }
@@ -386,56 +384,14 @@ impl<'g> QueryEngine<'g> {
         targets: &[NodeId],
         k: usize,
         deadline: Deadline,
-        mut on_path: impl FnMut(Path) -> std::ops::ControlFlow<()>,
+        mut on_path: impl FnMut(PathRef<'_>) -> std::ops::ControlFlow<()>,
     ) -> Result<QueryStats, QueryError> {
-        let n = self.g.node_count() as u64;
-        if sources.is_empty() {
-            return Err(QueryError::NoSources);
-        }
-        if let Some(&v) = sources.iter().find(|&&v| v as u64 >= n) {
-            return Err(QueryError::SourceOutOfRange(v));
-        }
-        if let Some(&v) = targets.iter().find(|&&v| v as u64 >= n) {
-            return Err(QueryError::TargetOutOfRange(v));
-        }
-        let mut sources = sources.to_vec();
-        sources.sort_unstable();
-        sources.dedup();
-        let mut targets = targets.to_vec();
-        targets.sort_unstable();
-        targets.dedup();
-
         let mut stats = QueryStats::default();
-        if targets.is_empty() || k == 0 {
-            return Ok(stats);
-        }
-        self.target_set.clear();
-        for &t in &targets {
-            self.target_set.insert(t as usize);
-        }
-        self.source_set.clear();
-        for &s in &sources {
-            self.source_set.insert(s as usize);
-        }
-        let to_targets = match self.landmarks {
-            Some(idx) => TargetsLb::Alt(idx.for_targets(&targets)),
-            None => TargetsLb::Zero,
-        };
-        let from_sources = SourceLb::new(self.landmarks, &sources);
         let mut sink = VisitSink {
-            f: |p: Path| on_path(p) == std::ops::ControlFlow::Continue(()),
+            f: |p: PathRef<'_>| on_path(p) == std::ops::ControlFlow::Continue(()),
             remaining: k,
         };
-        self.dispatch(
-            alg,
-            &sources,
-            &targets,
-            &to_targets,
-            &from_sources,
-            &mut sink,
-            deadline,
-            &mut stats,
-        );
+        self.query_core(alg, sources, targets, k, deadline, &mut sink, &mut stats)?;
         Ok(stats)
     }
 
@@ -447,9 +403,84 @@ impl<'g> QueryEngine<'g> {
         source: NodeId,
         targets: &[NodeId],
         k: usize,
-        on_path: impl FnMut(Path) -> std::ops::ControlFlow<()>,
+        on_path: impl FnMut(PathRef<'_>) -> std::ops::ControlFlow<()>,
     ) -> Result<QueryStats, QueryError> {
         self.query_multi_visit(alg, &[source], targets, k, on_path)
+    }
+
+    /// Validation, endpoint dedup into pooled buffers, bound setup and
+    /// dispatch — shared by the collecting and visiting entry points.
+    #[allow(clippy::too_many_arguments)]
+    fn query_core(
+        &mut self,
+        alg: Algorithm,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        k: usize,
+        deadline: Deadline,
+        sink: &mut dyn PathSink,
+        stats: &mut QueryStats,
+    ) -> Result<(), QueryError> {
+        let n = self.g.node_count() as u64;
+        if sources.is_empty() {
+            return Err(QueryError::NoSources);
+        }
+        if let Some(&v) = sources.iter().find(|&&v| v as u64 >= n) {
+            return Err(QueryError::SourceOutOfRange(v));
+        }
+        if let Some(&v) = targets.iter().find(|&&v| v as u64 >= n) {
+            return Err(QueryError::TargetOutOfRange(v));
+        }
+        if targets.is_empty() || k == 0 {
+            return Ok(());
+        }
+
+        let mut src = std::mem::take(&mut self.src_buf);
+        src.clear();
+        src.extend_from_slice(sources);
+        src.sort_unstable();
+        src.dedup();
+        let mut tgt = std::mem::take(&mut self.tgt_buf);
+        tgt.clear();
+        tgt.extend_from_slice(targets);
+        tgt.sort_unstable();
+        tgt.dedup();
+
+        self.target_set.clear();
+        for &t in &tgt {
+            self.target_set.insert(t as usize);
+        }
+        self.source_set.clear();
+        for &s in &src {
+            self.source_set.insert(s as usize);
+        }
+
+        let to_targets = match self.landmarks {
+            Some(idx) => TargetsLb::Alt(idx.for_targets(&tgt)),
+            None => TargetsLb::Zero,
+        };
+        let from_sources = SourceLb::new(self.landmarks, &src);
+
+        let mut store = std::mem::take(&mut self.store);
+        store.reset();
+        let mut tree = std::mem::take(&mut self.tree);
+        self.dispatch(
+            alg,
+            &src,
+            &tgt,
+            &to_targets,
+            &from_sources,
+            &mut store,
+            &mut tree,
+            sink,
+            deadline,
+            stats,
+        );
+        self.store = store;
+        self.tree = tree;
+        self.src_buf = src;
+        self.tgt_buf = tgt;
+        Ok(())
     }
 
     /// Route a validated, deduplicated query to its mode.
@@ -461,6 +492,8 @@ impl<'g> QueryEngine<'g> {
         targets: &[NodeId],
         to_targets: &TargetsLb<'_>,
         from_sources: &SourceLb<'_>,
+        store: &mut PathStore,
+        tree: &mut PseudoTree,
         sink: &mut dyn PathSink,
         deadline: Deadline,
         stats: &mut QueryStats,
@@ -477,6 +510,8 @@ impl<'g> QueryEngine<'g> {
                 targets,
                 to_targets,
                 from_sources,
+                store,
+                tree,
                 sink,
                 deadline,
                 stats,
@@ -486,6 +521,8 @@ impl<'g> QueryEngine<'g> {
                 targets,
                 to_targets,
                 from_sources,
+                store,
+                tree,
                 sink,
                 deadline,
                 stats,
@@ -503,14 +540,16 @@ impl<'g> QueryEngine<'g> {
         targets: &[NodeId],
         to_targets: &TargetsLb<'_>,
         from_sources: &SourceLb<'_>,
+        store: &mut PathStore,
+        tree: &mut PseudoTree,
         sink: &mut dyn PathSink,
         deadline: Deadline,
         stats: &mut QueryStats,
     ) {
-        let mut tree = match sources {
-            [s] => PseudoTree::new(*s),
-            _ => PseudoTree::new(VIRTUAL_NODE),
-        };
+        match sources {
+            [s] => tree.reset(*s),
+            _ => tree.reset(VIRTUAL_NODE),
+        }
         let ctx = SubspaceCtx {
             g: self.g,
             direction: Direction::Forward,
@@ -533,15 +572,23 @@ impl<'g> QueryEngine<'g> {
                 &ctx,
                 &mut self.scratch,
                 &mut self.cand,
-                &mut tree,
+                store,
+                tree,
                 DeviationMode::Plain,
                 sink,
                 stats,
             ),
             Algorithm::DaSpt | Algorithm::DaSptPascoal => {
                 // The full online reverse SPT (its construction cost is the
-                // baseline's Achilles heel the paper highlights).
-                let spt = DenseDijkstra::to_targets(self.g, targets);
+                // baseline's Achilles heel the paper highlights). Pooled on
+                // the engine so repeat queries reuse its arrays.
+                let spt = match self.spt_scratch.take() {
+                    Some(mut d) => {
+                        d.rerun(self.g, Direction::Backward, targets.iter().map(|&t| (t, 0)));
+                        d
+                    }
+                    None => DenseDijkstra::to_targets(self.g, targets),
+                };
                 stats.nodes_settled += spt
                     .dist_slice()
                     .iter()
@@ -556,11 +603,13 @@ impl<'g> QueryEngine<'g> {
                     &ctx,
                     &mut self.scratch,
                     &mut self.cand,
-                    &mut tree,
+                    store,
+                    tree,
                     mode,
                     sink,
                     stats,
-                )
+                );
+                self.spt_scratch = Some(spt);
             }
             Algorithm::BestFirst => {
                 let mut oracle = PlainOracle {
@@ -569,7 +618,8 @@ impl<'g> QueryEngine<'g> {
                 run_best_first(
                     &ctx,
                     &mut self.scratch,
-                    &mut tree,
+                    store,
+                    tree,
                     &mut oracle,
                     sink,
                     false,
@@ -583,7 +633,8 @@ impl<'g> QueryEngine<'g> {
                 run_iter_bound(
                     &ctx,
                     &mut self.scratch,
-                    &mut tree,
+                    store,
+                    tree,
                     &mut oracle,
                     sink,
                     self.alpha,
@@ -598,7 +649,8 @@ impl<'g> QueryEngine<'g> {
                     targets,
                     &self.source_set,
                     from_sources,
-                    &tree,
+                    store,
+                    tree,
                     stats,
                 );
                 if init.is_none() {
@@ -611,7 +663,8 @@ impl<'g> QueryEngine<'g> {
                 run_iter_bound(
                     &ctx,
                     &mut self.scratch,
-                    &mut tree,
+                    store,
+                    tree,
                     &mut oracle,
                     sink,
                     self.alpha,
@@ -634,11 +687,13 @@ impl<'g> QueryEngine<'g> {
         targets: &[NodeId],
         to_targets: &TargetsLb<'_>,
         from_sources: &SourceLb<'_>,
+        store: &mut PathStore,
+        tree: &mut PseudoTree,
         sink: &mut dyn PathSink,
         deadline: Deadline,
         stats: &mut QueryStats,
     ) {
-        let mut tree = PseudoTree::new(VIRTUAL_NODE);
+        tree.reset(VIRTUAL_NODE);
         let ctx = SubspaceCtx {
             g: self.g,
             direction: Direction::Backward,
@@ -652,7 +707,7 @@ impl<'g> QueryEngine<'g> {
         };
         let init = self
             .spti
-            .init(self.g, sources, &self.target_set, to_targets, stats);
+            .init(self.g, sources, &self.target_set, to_targets, store, stats);
         if init.is_none() {
             return;
         }
@@ -666,7 +721,8 @@ impl<'g> QueryEngine<'g> {
         run_iter_bound(
             &ctx,
             &mut self.scratch,
-            &mut tree,
+            store,
+            tree,
             &mut oracle,
             sink,
             self.alpha,
@@ -742,7 +798,7 @@ mod tests {
     }
 
     fn lengths(r: &KpjResult) -> Vec<Length> {
-        r.paths.iter().map(|p| p.length).collect()
+        r.paths.lengths()
     }
 
     #[test]
@@ -762,8 +818,8 @@ mod tests {
                     "{} landmarks={with_lm}",
                     alg.name()
                 );
-                assert_eq!(r.paths[0].nodes, vec![0, 7, 6]);
-                assert_eq!(r.paths[1].nodes, vec![0, 2, 5]);
+                assert_eq!(r.paths.path(0).nodes, [0, 7, 6]);
+                assert_eq!(r.paths.path(1).nodes, [0, 2, 5]);
                 for p in &r.paths {
                     p.validate(&g).unwrap();
                     assert!(p.is_simple());
@@ -779,9 +835,10 @@ mod tests {
         for alg in Algorithm::ALL {
             let r = engine.ksp(alg, 0, 5, 4).unwrap();
             // Paths v1→v6: (v1,v3,v6)=6, (v1,v3,v5,v6)=7, then longer.
-            assert_eq!(r.paths[0].length, 6, "{}", alg.name());
-            assert_eq!(r.paths[1].length, 7);
-            assert!(r.paths.windows(2).all(|w| w[0].length <= w[1].length));
+            assert_eq!(r.paths.path(0).length, 6, "{}", alg.name());
+            assert_eq!(r.paths.path(1).length, 7);
+            let lens = lengths(&r);
+            assert!(lens.windows(2).all(|w| w[0] <= w[1]));
             for p in &r.paths {
                 assert_eq!(p.source(), 0);
                 assert_eq!(p.destination(), 5);
@@ -850,9 +907,9 @@ mod tests {
         for alg in Algorithm::ALL {
             let mut engine = QueryEngine::new(&g);
             let r = engine.query(alg, 2, &[2, 6], 3).unwrap();
-            assert_eq!(r.paths[0].nodes, vec![2], "{}", alg.name());
-            assert_eq!(r.paths[0].length, 0);
-            assert_eq!(r.paths[1].length, 4); // (v3, v7)
+            assert_eq!(r.paths.path(0).nodes, [2], "{}", alg.name());
+            assert_eq!(r.paths.path(0).length, 0);
+            assert_eq!(r.paths.path(1).length, 4); // (v3, v7)
         }
     }
 
@@ -902,7 +959,7 @@ mod tests {
             let mut engine = QueryEngine::new(&g);
             let r = engine.query(alg, 0, &h, 1).unwrap();
             assert_eq!(r.paths.len(), 1);
-            assert_eq!(r.paths[0].length, d.dist(0), "{}", alg.name());
+            assert_eq!(r.paths.path(0).length, d.dist(0), "{}", alg.name());
         }
     }
 
@@ -914,6 +971,26 @@ mod tests {
         let _ = engine.query(Algorithm::IterBoundI, 4, &[6], 2).unwrap();
         let b = engine.query(Algorithm::IterBoundI, 0, &h, 3).unwrap();
         assert_eq!(lengths(&a), lengths(&b));
+    }
+
+    #[test]
+    fn query_multi_into_reuses_output_and_matches_query() {
+        let (g, h) = paper_graph();
+        let mut engine = QueryEngine::new(&g);
+        let mut out = PathSet::new();
+        for alg in Algorithm::ALL {
+            let want = engine.query(alg, 0, &h, 3).unwrap();
+            // Same answer through the pooled entry point, twice, into the
+            // same PathSet (which must be cleared each time).
+            for _ in 0..2 {
+                let stats = engine
+                    .query_multi_into(alg, &[0], &h, 3, Deadline::none(), &mut out)
+                    .unwrap();
+                assert_eq!(out.lengths(), want.paths.lengths(), "{}", alg.name());
+                assert_eq!(out.path(0).nodes, want.paths.path(0).nodes);
+                assert!(stats.nodes_settled > 0);
+            }
+        }
     }
 
     #[test]

@@ -15,15 +15,19 @@
 //! incremental SPT to τ before each probe. This is how `BestFirst`,
 //! `IterBound`, `IterBound-SPT_P`, `IterBound-SPT_I` and all their
 //! no-landmark variants share one implementation each.
+//!
+//! The subspace queue holds `(vertex, Option<FoundPath>)` entries —
+//! Copy arena handles, not node vectors — and is pooled on the engine
+//! scratch, so the paradigm loops allocate nothing at steady state.
 
-use kpj_graph::{Length, NodeId, INFINITE_LENGTH};
+use kpj_graph::{Length, NodeId, PathStore, INFINITE_LENGTH};
 use kpj_heap::MinHeap;
 use kpj_sp::Estimate;
 
 use crate::pseudo_tree::{PseudoTree, VertexId, ROOT};
 use crate::search_core::{
-    comp_lb, divide_subspace, subspace_search, FoundPath, PathSink, SubspaceCtx, SubspaceScratch,
-    SubspaceSearch,
+    comp_lb, divide_subspace, emit_found, subspace_search, FoundPath, PathSink, SubspaceCtx,
+    SubspaceScratch, SubspaceSearch,
 };
 use crate::stats::QueryStats;
 
@@ -69,16 +73,19 @@ impl<F: Fn(NodeId) -> Length> SubspaceOracle for PlainOracle<F> {
 type Entry = (VertexId, Option<FoundPath>);
 
 /// Alg. 2. Streams paths into `sink` in non-decreasing length order.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_best_first<O: SubspaceOracle>(
     ctx: &SubspaceCtx<'_>,
     scratch: &mut SubspaceScratch,
+    store: &mut PathStore,
     tree: &mut PseudoTree,
     oracle: &mut O,
     sink: &mut dyn PathSink,
     reverse_output: bool,
     stats: &mut QueryStats,
 ) {
-    let mut q: MinHeap<Length, Entry> = MinHeap::new();
+    let mut q = std::mem::take(&mut scratch.para_heap);
+    q.clear();
     let lb0 = comp_lb(ctx, scratch, tree, ROOT, &mut |v| oracle.lb_num(v), stats);
     if lb0 != INFINITE_LENGTH {
         q.push(lb0, (ROOT, None));
@@ -96,6 +103,7 @@ pub(crate) fn run_best_first<O: SubspaceOracle>(
                 more = emit(
                     ctx,
                     scratch,
+                    store,
                     tree,
                     oracle,
                     found,
@@ -109,6 +117,7 @@ pub(crate) fn run_best_first<O: SubspaceOracle>(
                 match subspace_search(
                     ctx,
                     scratch,
+                    store,
                     tree,
                     vertex,
                     &mut |v| oracle.estimate(v),
@@ -122,6 +131,7 @@ pub(crate) fn run_best_first<O: SubspaceOracle>(
             }
         }
     }
+    scratch.para_heap = q;
     stats.spt_nodes = stats.spt_nodes.max(oracle.spt_nodes());
 }
 
@@ -132,6 +142,7 @@ pub(crate) fn run_best_first<O: SubspaceOracle>(
 pub(crate) fn run_iter_bound<O: SubspaceOracle>(
     ctx: &SubspaceCtx<'_>,
     scratch: &mut SubspaceScratch,
+    store: &mut PathStore,
     tree: &mut PseudoTree,
     oracle: &mut O,
     sink: &mut dyn PathSink,
@@ -145,6 +156,7 @@ pub(crate) fn run_iter_bound<O: SubspaceOracle>(
         match subspace_search(
             ctx,
             scratch,
+            store,
             tree,
             ROOT,
             &mut |v| oracle.estimate(v),
@@ -159,7 +171,8 @@ pub(crate) fn run_iter_bound<O: SubspaceOracle>(
         stats.spt_nodes = stats.spt_nodes.max(oracle.spt_nodes());
         return;
     };
-    let mut q: MinHeap<Length, Entry> = MinHeap::new();
+    let mut q = std::mem::take(&mut scratch.para_heap);
+    q.clear();
     q.push(first.length, (ROOT, Some(first)));
 
     let mut more = true;
@@ -175,6 +188,7 @@ pub(crate) fn run_iter_bound<O: SubspaceOracle>(
                 more = emit(
                     ctx,
                     scratch,
+                    store,
                     tree,
                     oracle,
                     found,
@@ -194,6 +208,7 @@ pub(crate) fn run_iter_bound<O: SubspaceOracle>(
                 match subspace_search(
                     ctx,
                     scratch,
+                    store,
                     tree,
                     vertex,
                     &mut |v| oracle.estimate(v),
@@ -208,6 +223,7 @@ pub(crate) fn run_iter_bound<O: SubspaceOracle>(
             }
         }
     }
+    scratch.para_heap = q;
     stats.spt_nodes = stats.spt_nodes.max(oracle.spt_nodes());
 }
 
@@ -226,6 +242,7 @@ fn next_tau(base: Length, alpha: f64) -> Length {
 fn emit<O: SubspaceOracle>(
     ctx: &SubspaceCtx<'_>,
     scratch: &mut SubspaceScratch,
+    store: &mut PathStore,
     tree: &mut PseudoTree,
     oracle: &mut O,
     found: FoundPath,
@@ -235,8 +252,9 @@ fn emit<O: SubspaceOracle>(
     stats: &mut QueryStats,
 ) -> bool {
     let emitted_len = found.length;
-    let affected = divide_subspace(ctx, tree, &found, stats);
-    for v in affected {
+    divide_subspace(ctx, scratch, store, tree, found, stats);
+    let affected = std::mem::take(&mut scratch.affected);
+    for &v in &affected {
         let lb = comp_lb(ctx, scratch, tree, v, &mut |x| oracle.lb_num(x), stats);
         if lb != INFINITE_LENGTH {
             // Line 9 of Alg. 2: no path in a sub-subspace can be shorter
@@ -244,7 +262,8 @@ fn emit<O: SubspaceOracle>(
             q.push(lb.max(emitted_len), (v, None));
         }
     }
-    sink.emit(found.into_path(reverse_output))
+    scratch.affected = affected;
+    emit_found(scratch, store, tree, found, reverse_output, sink)
 }
 
 #[cfg(test)]

@@ -16,13 +16,22 @@
 //!   [`emitted`](PseudoTree::emitted) flag — the "edge to the virtual
 //!   terminal" that marks the prefix itself as already output.
 //!
+//! Storage: every per-vertex collection lives in a flat column; the
+//! exclusion sets share one pooled buffer threaded as intrusive singly
+//! linked lists (`excl_head[v]` → pool chain). Inserts deduplicate, so a
+//! high-degree deviation node divided many times keeps `|X_v|` equal to
+//! the number of *distinct* endpoints instead of growing per division.
+//! [`PseudoTree::reset`] truncates everything while keeping capacity, so
+//! an engine-owned tree performs no allocations at steady state.
+//!
 //! [`PseudoTree::divide`] implements the subspace division of §4.1: after
 //! the shortest path of the subspace at `u` is chosen, the subspace splits
 //! into the singleton (dropped), the regrown subspace at `u`, and one
-//! subspace per suffix node; `divide` performs the tree surgery and returns
-//! every vertex whose subspace must be (re)enqueued.
+//! subspace per suffix node; `divide` performs the tree surgery and pushes
+//! every vertex whose subspace must be (re)enqueued into the caller's
+//! buffer.
 
-use kpj_graph::{Length, NodeId};
+use kpj_graph::{Length, NodeId, PathId, PathStore};
 
 /// Sentinel graph node for virtual roots (never a valid id: the builder
 /// caps real graphs below `u32::MAX` nodes).
@@ -34,6 +43,9 @@ pub type VertexId = u32;
 /// The root vertex id.
 pub const ROOT: VertexId = 0;
 
+/// Pool-chain terminator.
+const NO_ENTRY: u32 = u32::MAX;
+
 /// See the module docs.
 #[derive(Debug, Clone)]
 pub struct PseudoTree {
@@ -43,26 +55,59 @@ pub struct PseudoTree {
     prefix_len: Vec<Length>,
     /// Depth in *graph nodes* (virtual root has depth 0, its children 1…).
     depth: Vec<u32>,
-    /// `X_v`: opposite endpoints of excluded continuation edges.
-    excluded: Vec<Vec<NodeId>>,
+    /// Head of `X_v`'s chain in `excl_pool` (`NO_ENTRY` when empty).
+    excl_head: Vec<u32>,
+    /// Pooled exclusion entries: `(endpoint, next index in chain)`.
+    excl_pool: Vec<(NodeId, u32)>,
     /// True once the exact root→v path has been output as a result, i.e.
     /// the "virtual terminal edge" at `v` is excluded.
     emitted: Vec<bool>,
+    /// Reversal scratch for [`divide_from_store`](PseudoTree::divide_from_store).
+    suffix_scratch: Vec<(NodeId, Length)>,
+}
+
+impl Default for PseudoTree {
+    /// A rootless shell — only useful as a `mem::take` placeholder; call
+    /// [`reset`](PseudoTree::reset) before any other method.
+    fn default() -> Self {
+        PseudoTree {
+            node: Vec::new(),
+            parent: Vec::new(),
+            prefix_len: Vec::new(),
+            depth: Vec::new(),
+            excl_head: Vec::new(),
+            excl_pool: Vec::new(),
+            emitted: Vec::new(),
+            suffix_scratch: Vec::new(),
+        }
+    }
 }
 
 impl PseudoTree {
     /// A tree containing only the root vertex for `root_node`
     /// (pass [`VIRTUAL_NODE`] for a virtual root).
     pub fn new(root_node: NodeId) -> Self {
-        let depth0 = u32::from(root_node != VIRTUAL_NODE);
-        PseudoTree {
-            node: vec![root_node],
-            parent: vec![VertexId::MAX],
-            prefix_len: vec![0],
-            depth: vec![depth0],
-            excluded: vec![Vec::new()],
-            emitted: vec![false],
-        }
+        let mut t = PseudoTree::default();
+        t.reset(root_node);
+        t
+    }
+
+    /// Shrink back to a single root vertex for `root_node`, keeping every
+    /// allocation — the per-query reset of an engine-owned tree.
+    pub fn reset(&mut self, root_node: NodeId) {
+        self.node.clear();
+        self.parent.clear();
+        self.prefix_len.clear();
+        self.depth.clear();
+        self.excl_head.clear();
+        self.excl_pool.clear();
+        self.emitted.clear();
+        self.node.push(root_node);
+        self.parent.push(VertexId::MAX);
+        self.prefix_len.push(0);
+        self.depth.push(u32::from(root_node != VIRTUAL_NODE));
+        self.excl_head.push(NO_ENTRY);
+        self.emitted.push(false);
     }
 
     /// Number of vertices (== number of subspaces ever created).
@@ -83,6 +128,12 @@ impl PseudoTree {
         self.node[v as usize]
     }
 
+    /// Parent vertex of `v` (`VertexId::MAX` for the root).
+    #[inline]
+    pub fn parent(&self, v: VertexId) -> VertexId {
+        self.parent[v as usize]
+    }
+
     /// Length of the root→`v` path.
     #[inline]
     pub fn prefix_len(&self, v: VertexId) -> Length {
@@ -96,10 +147,37 @@ impl PseudoTree {
         self.depth[v as usize]
     }
 
-    /// The excluded continuation endpoints `X_v`.
+    /// True when `node` is an excluded continuation endpoint in `X_v`.
     #[inline]
-    pub fn excluded(&self, v: VertexId) -> &[NodeId] {
-        &self.excluded[v as usize]
+    pub fn is_excluded(&self, v: VertexId, node: NodeId) -> bool {
+        let mut cur = self.excl_head[v as usize];
+        while cur != NO_ENTRY {
+            let (n, next) = self.excl_pool[cur as usize];
+            if n == node {
+                return true;
+            }
+            cur = next;
+        }
+        false
+    }
+
+    /// Iterate the excluded continuation endpoints `X_v` (arbitrary order).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn excluded_iter(&self, v: VertexId) -> ExcludedIter<'_> {
+        ExcludedIter {
+            tree: self,
+            cur: self.excl_head[v as usize],
+        }
+    }
+
+    /// Insert `node` into `X_v` unless already present.
+    fn exclude(&mut self, v: VertexId, node: NodeId) {
+        if self.is_excluded(v, node) {
+            return;
+        }
+        let head = self.excl_head[v as usize];
+        self.excl_pool.push((node, head));
+        self.excl_head[v as usize] = (self.excl_pool.len() - 1) as u32;
     }
 
     /// Whether the exact root→`v` path has already been output.
@@ -109,22 +187,39 @@ impl PseudoTree {
     }
 
     /// The graph nodes of the root→`v` path, root side first, excluding a
-    /// virtual root.
+    /// virtual root. Allocating — tests and cold paths only; hot paths
+    /// walk [`parent`](PseudoTree::parent) / [`prefix_nodes`] instead.
+    ///
+    /// [`prefix_nodes`]: PseudoTree::prefix_nodes
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn path_nodes(&self, v: VertexId) -> Vec<NodeId> {
-        let mut nodes = Vec::with_capacity(self.depth[v as usize] as usize);
-        let mut cur = v;
-        loop {
-            let n = self.node[cur as usize];
-            if n != VIRTUAL_NODE {
-                nodes.push(n);
-            }
-            if cur == ROOT {
-                break;
-            }
-            cur = self.parent[cur as usize];
-        }
+        let mut nodes: Vec<NodeId> = self.prefix_nodes(v).collect();
         nodes.reverse();
         nodes
+    }
+
+    /// The graph nodes of the root→`v` path in *v-side-first* order,
+    /// excluding a virtual root. Allocation-free.
+    pub fn prefix_nodes(&self, v: VertexId) -> impl Iterator<Item = NodeId> + '_ {
+        let mut cur = v;
+        let mut done = false;
+        std::iter::from_fn(move || loop {
+            if done {
+                return None;
+            }
+            let n = self.node[cur as usize];
+            if cur == ROOT {
+                done = true;
+            } else {
+                cur = self.parent[cur as usize];
+            }
+            if n != VIRTUAL_NODE {
+                return Some(n);
+            }
+            if done {
+                return None;
+            }
+        })
     }
 
     /// Divide the subspace at `u` by its chosen shortest path (§4.1).
@@ -140,11 +235,16 @@ impl PseudoTree {
     /// 3. marks the terminal vertex `emitted` (the singleton subspace
     ///    `S_1 = {P}` is thereby removed from the search space).
     ///
-    /// Returns the vertices whose subspaces must now be (re)enqueued: `u`
-    /// itself followed by every new vertex — the paper's "one subspace per
-    /// node of the subpath from `u` to the destination".
-    pub fn divide(&mut self, u: VertexId, suffix: &[(NodeId, Length)]) -> Vec<VertexId> {
-        let mut affected = Vec::with_capacity(suffix.len() + 1);
+    /// Pushes the vertices whose subspaces must now be (re)enqueued into
+    /// `affected`: `u` itself followed by every new vertex — the paper's
+    /// "one subspace per node of the subpath from `u` to the destination".
+    pub fn divide(
+        &mut self,
+        u: VertexId,
+        suffix: &[(NodeId, Length)],
+        affected: &mut Vec<VertexId>,
+    ) {
+        let base = affected.len();
         affected.push(u);
         if suffix.is_empty() {
             // The chosen path is the prefix itself: exclude only the
@@ -154,9 +254,9 @@ impl PseudoTree {
                 "path emitted twice from vertex {u}"
             );
             self.emitted[u as usize] = true;
-            return affected;
+            return;
         }
-        self.excluded[u as usize].push(suffix[0].0);
+        self.exclude(u, suffix[0].0);
         let mut parent = u;
         for &(node, len) in suffix {
             let id = self.node.len() as VertexId;
@@ -164,7 +264,7 @@ impl PseudoTree {
             self.parent.push(parent);
             self.prefix_len.push(len);
             self.depth.push(self.depth[parent as usize] + 1);
-            self.excluded.push(Vec::new());
+            self.excl_head.push(NO_ENTRY);
             self.emitted.push(false);
             affected.push(id);
             parent = id;
@@ -173,18 +273,75 @@ impl PseudoTree {
         let last = *affected.last().expect("suffix non-empty");
         self.emitted[last as usize] = true;
         // Exclude each internal suffix vertex's continuation.
-        for w in affected[1..].windows(2) {
-            let (v, next) = (w[0], w[1]);
+        for i in base + 1..affected.len() - 1 {
+            let (v, next) = (affected[i], affected[i + 1]);
             let next_node = self.node[next as usize];
-            self.excluded[v as usize].push(next_node);
+            self.exclude(v, next_node);
         }
-        affected
+    }
+
+    /// [`divide`](PseudoTree::divide) with the suffix read from a
+    /// [`PathStore`] chain: the last `suffix_len` entries walking back
+    /// from `tail` are the suffix in reverse order.
+    pub fn divide_from_store(
+        &mut self,
+        u: VertexId,
+        store: &PathStore,
+        tail: PathId,
+        suffix_len: u32,
+        affected: &mut Vec<VertexId>,
+    ) {
+        let mut scratch = std::mem::take(&mut self.suffix_scratch);
+        scratch.clear();
+        let mut cur = Some(tail);
+        for _ in 0..suffix_len {
+            let id = cur.expect("suffix_len exceeds chain length");
+            scratch.push((store.node(id), store.length(id)));
+            cur = store.parent(id);
+        }
+        scratch.reverse();
+        self.divide(u, &scratch, affected);
+        self.suffix_scratch = scratch;
+    }
+}
+
+/// Iterator over one vertex's exclusion set.
+#[cfg_attr(not(test), allow(dead_code))]
+#[derive(Debug, Clone)]
+pub struct ExcludedIter<'a> {
+    tree: &'a PseudoTree,
+    cur: u32,
+}
+
+impl Iterator for ExcludedIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.cur == NO_ENTRY {
+            return None;
+        }
+        let (n, next) = self.tree.excl_pool[self.cur as usize];
+        self.cur = next;
+        Some(n)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Collected, sorted `X_v` (pool order is reverse insertion).
+    fn excl(t: &PseudoTree, v: VertexId) -> Vec<NodeId> {
+        let mut x: Vec<NodeId> = t.excluded_iter(v).collect();
+        x.sort_unstable();
+        x
+    }
+
+    fn divide(t: &mut PseudoTree, u: VertexId, suffix: &[(NodeId, Length)]) -> Vec<VertexId> {
+        let mut affected = Vec::new();
+        t.divide(u, suffix, &mut affected);
+        affected
+    }
 
     #[test]
     fn real_root() {
@@ -202,27 +359,30 @@ mod tests {
         let t = PseudoTree::new(VIRTUAL_NODE);
         assert_eq!(t.depth(ROOT), 0);
         assert!(t.path_nodes(ROOT).is_empty());
+        assert_eq!(t.prefix_nodes(ROOT).count(), 0);
     }
 
     #[test]
     fn divide_builds_chain_and_exclusions() {
         // Root s=0; chosen path 0 →(2) 1 →(5) 2.
         let mut t = PseudoTree::new(0);
-        let affected = t.divide(ROOT, &[(1, 2), (2, 5)]);
+        let affected = divide(&mut t, ROOT, &[(1, 2), (2, 5)]);
         assert_eq!(affected.len(), 3);
         assert_eq!(affected[0], ROOT);
         let v1 = affected[1];
         let v2 = affected[2];
         // Root now excludes the taken first hop.
-        assert_eq!(t.excluded(ROOT), &[1]);
+        assert_eq!(excl(&t, ROOT), vec![1]);
+        assert!(t.is_excluded(ROOT, 1));
+        assert!(!t.is_excluded(ROOT, 2));
         // v1 excludes its continuation to node 2.
         assert_eq!(t.node(v1), 1);
-        assert_eq!(t.excluded(v1), &[2]);
+        assert_eq!(excl(&t, v1), vec![2]);
         assert_eq!(t.prefix_len(v1), 2);
         assert_eq!(t.depth(v1), 2);
         // Terminal vertex is emitted with no exclusions.
         assert_eq!(t.node(v2), 2);
-        assert!(t.excluded(v2).is_empty());
+        assert_eq!(excl(&t, v2), Vec::<NodeId>::new());
         assert!(t.emitted(v2));
         assert_eq!(t.prefix_len(v2), 5);
         assert_eq!(t.path_nodes(v2), vec![0, 1, 2]);
@@ -232,33 +392,33 @@ mod tests {
     #[test]
     fn divide_by_trivial_path_sets_emitted() {
         let mut t = PseudoTree::new(3);
-        let affected = t.divide(ROOT, &[]);
+        let affected = divide(&mut t, ROOT, &[]);
         assert_eq!(affected, vec![ROOT]);
         assert!(t.emitted(ROOT));
-        assert!(t.excluded(ROOT).is_empty());
+        assert_eq!(excl(&t, ROOT), Vec::<NodeId>::new());
     }
 
     #[test]
     fn second_division_at_same_vertex_grows_exclusions() {
         let mut t = PseudoTree::new(0);
-        t.divide(ROOT, &[(1, 1)]);
-        t.divide(ROOT, &[(2, 4), (3, 6)]);
-        assert_eq!(t.excluded(ROOT), &[1, 2]);
+        divide(&mut t, ROOT, &[(1, 1)]);
+        divide(&mut t, ROOT, &[(2, 4), (3, 6)]);
+        assert_eq!(excl(&t, ROOT), vec![1, 2]);
         assert_eq!(t.len(), 4);
     }
 
     #[test]
     fn division_from_interior_vertex_inherits_prefix() {
         let mut t = PseudoTree::new(0);
-        let a = t.divide(ROOT, &[(1, 1), (2, 3)]);
+        let a = divide(&mut t, ROOT, &[(1, 1), (2, 3)]);
         let v1 = a[1];
         // Divide v1's subspace by path prefix(v1) + (4, len 8).
-        let b = t.divide(v1, &[(4, 8)]);
+        let b = divide(&mut t, v1, &[(4, 8)]);
         let v4 = b[1];
         assert_eq!(t.path_nodes(v4), vec![0, 1, 4]);
         assert_eq!(t.prefix_len(v4), 8);
         assert_eq!(t.depth(v4), 3);
-        assert_eq!(t.excluded(v1), &[2, 4]);
+        assert_eq!(excl(&t, v1), vec![2, 4]);
         assert!(t.emitted(v4));
     }
 
@@ -266,10 +426,64 @@ mod tests {
     fn repeated_graph_node_in_tree_is_fine() {
         // The same graph node may appear at several tree vertices.
         let mut t = PseudoTree::new(0);
-        let a = t.divide(ROOT, &[(1, 1), (9, 2)]);
-        let b = t.divide(ROOT, &[(2, 1), (9, 2)]);
+        let a = divide(&mut t, ROOT, &[(1, 1), (9, 2)]);
+        let b = divide(&mut t, ROOT, &[(2, 1), (9, 2)]);
         assert_eq!(t.node(a[2]), 9);
         assert_eq!(t.node(b[2]), 9);
         assert_ne!(a[2], b[2]);
+    }
+
+    #[test]
+    fn exclusions_dedup_on_insert_at_high_degree_vertex() {
+        // A deviation node divided once per incident edge: re-excluding an
+        // endpoint that is already in X_u (as happens when a later
+        // division chooses a path through a previously excluded-then-
+        // regrown continuation) must not grow the pool. |X_u| stays the
+        // number of distinct endpoints — the fix for the latent quadratic.
+        let mut t = PseudoTree::new(0);
+        for round in 0..50 {
+            for hub_exit in 1..=20 {
+                divide(&mut t, ROOT, &[(hub_exit, round * 20 + hub_exit as u64)]);
+            }
+        }
+        assert_eq!(t.excluded_iter(ROOT).count(), 20, "dedup on insert");
+        assert_eq!(
+            excl(&t, ROOT),
+            (1..=20).collect::<Vec<NodeId>>(),
+            "all distinct endpoints present"
+        );
+    }
+
+    #[test]
+    fn reset_restores_fresh_root_keeping_capacity() {
+        let mut t = PseudoTree::new(0);
+        divide(&mut t, ROOT, &[(1, 1), (2, 3)]);
+        divide(&mut t, ROOT, &[(3, 2)]);
+        let node_cap = t.node.capacity();
+        let pool_cap = t.excl_pool.capacity();
+        t.reset(VIRTUAL_NODE);
+        assert!(t.is_empty());
+        assert_eq!(t.node(ROOT), VIRTUAL_NODE);
+        assert_eq!(t.depth(ROOT), 0);
+        assert!(!t.emitted(ROOT));
+        assert_eq!(t.excluded_iter(ROOT).count(), 0);
+        assert_eq!(t.node.capacity(), node_cap);
+        assert_eq!(t.excl_pool.capacity(), pool_cap);
+    }
+
+    #[test]
+    fn divide_from_store_matches_slice_divide() {
+        let mut store = PathStore::new();
+        let a = store.push(None, 1, 2);
+        let b = store.push(Some(a), 2, 5);
+        let mut via_store = PseudoTree::new(0);
+        let mut affected = Vec::new();
+        via_store.divide_from_store(ROOT, &store, b, 2, &mut affected);
+        let mut via_slice = PseudoTree::new(0);
+        let expect = divide(&mut via_slice, ROOT, &[(1, 2), (2, 5)]);
+        assert_eq!(affected, expect);
+        assert_eq!(excl(&via_store, ROOT), excl(&via_slice, ROOT));
+        assert_eq!(via_store.path_nodes(affected[2]), vec![0, 1, 2]);
+        assert_eq!(via_store.prefix_len(affected[2]), 5);
     }
 }

@@ -15,95 +15,93 @@
 //! Everything below is parameterized by [`Direction`], the root fan-out set
 //! (sources forward / targets reverse; virtual edges weigh 0), and the goal
 //! set, so the two orientations share one implementation.
+//!
+//! Path data model: a found path is never materialized into an owned
+//! `Vec<NodeId>` on the hot path. Producers push the search chain into the
+//! query's [`PathStore`] arena and hand around a Copy [`FoundPath`] handle;
+//! division reads the suffix straight out of the arena
+//! ([`PseudoTree::divide_from_store`]) and emission rebuilds the node
+//! sequence into a pooled buffer ([`emit_found`]).
 
 use kpj_graph::scratch::TimestampedSet;
-use kpj_graph::{Graph, Length, NodeId, Path, INFINITE_LENGTH};
+use kpj_graph::{Graph, Length, NodeId, PathId, PathRef, PathSet, PathStore, INFINITE_LENGTH};
+use kpj_heap::MinHeap;
 use kpj_sp::{Direction, Estimate, SearchOrder, SearchOutcome, Searcher};
 
 use crate::deadline::Deadline;
-use crate::pseudo_tree::{PseudoTree, VertexId, VIRTUAL_NODE};
+use crate::pseudo_tree::{PseudoTree, VertexId, ROOT, VIRTUAL_NODE};
 use crate::stats::QueryStats;
 
 /// Consumer of result paths, in non-decreasing length order.
 ///
-/// [`emit`](PathSink::emit) returns `false` to stop the query early — the
-/// anytime interface behind [`QueryEngine::query_visit`]
-/// (`QueryEngine` collects into a bounded `Vec` through the same trait).
+/// `nodes` is borrowed from the caller's emission buffer — sinks copy what
+/// they keep. [`emit`](PathSink::emit) returns `false` to stop the query
+/// early — the anytime interface behind [`QueryEngine::query_visit`]
+/// (`QueryEngine` collects into a bounded [`PathSet`] through the same
+/// trait).
 ///
 /// [`QueryEngine::query_visit`]: crate::QueryEngine::query_visit
 pub(crate) trait PathSink {
     /// Deliver the next path; return `true` to keep the query running.
-    fn emit(&mut self, path: Path) -> bool;
+    fn emit(&mut self, nodes: &[NodeId], length: Length) -> bool;
 }
 
-/// The standard sink: collect up to `k` paths into a `Vec`.
-pub(crate) struct CollectSink {
-    pub paths: Vec<Path>,
+/// The standard sink: collect up to `k` paths into a caller-owned
+/// [`PathSet`] (flat storage — one copy into pooled buffers, no per-path
+/// allocation at steady state).
+pub(crate) struct CollectSink<'a> {
+    pub out: &'a mut PathSet,
     pub k: usize,
 }
 
-impl CollectSink {
-    pub(crate) fn new(k: usize) -> Self {
-        CollectSink {
-            paths: Vec::with_capacity(k.min(1024)),
-            k,
-        }
-    }
-}
-
-impl PathSink for CollectSink {
-    fn emit(&mut self, path: Path) -> bool {
-        debug_assert!(self.paths.len() < self.k);
-        self.paths.push(path);
-        self.paths.len() < self.k
+impl PathSink for CollectSink<'_> {
+    fn emit(&mut self, nodes: &[NodeId], length: Length) -> bool {
+        debug_assert!(self.out.len() < self.k);
+        self.out.push(nodes, length);
+        self.out.len() < self.k
     }
 }
 
 /// Adapter for user callbacks with a `k` cap.
-pub(crate) struct VisitSink<F: FnMut(Path) -> bool> {
+pub(crate) struct VisitSink<F: for<'a> FnMut(PathRef<'a>) -> bool> {
     pub f: F,
     pub remaining: usize,
 }
 
-impl<F: FnMut(Path) -> bool> PathSink for VisitSink<F> {
-    fn emit(&mut self, path: Path) -> bool {
+impl<F: for<'a> FnMut(PathRef<'a>) -> bool> PathSink for VisitSink<F> {
+    fn emit(&mut self, nodes: &[NodeId], length: Length) -> bool {
         debug_assert!(self.remaining > 0);
         self.remaining -= 1;
-        (self.f)(path) && self.remaining > 0
+        (self.f)(PathRef { nodes, length }) && self.remaining > 0
     }
 }
 
-/// A path found in a subspace, ready for emission and division.
-#[derive(Debug, Clone)]
+/// A path found in a subspace, ready for emission and division: a Copy
+/// handle into the query's [`PathStore`].
+///
+/// The arena chain ending at [`tail`](FoundPath::tail) holds the *search
+/// chain* in tree orientation — from the subspace seed (the subspace
+/// vertex's node, or a fan-out endpoint under a virtual root) to the goal
+/// node — with each entry's `length` the cumulative path length up to and
+/// including that node. The tree prefix above the vertex is not duplicated
+/// here; emission walks it out of the [`PseudoTree`].
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct FoundPath {
-    /// The complete node sequence in *tree orientation*: from the tree root
-    /// side to the goal side. (Reverse-mode callers flip it on emission.)
-    pub nodes: Vec<NodeId>,
+    /// Arena entry of the goal-side end of the search chain.
+    pub tail: PathId,
     /// Total length `ω(P)`.
     pub length: Length,
     /// The vertex whose subspace this path was found in.
     pub vertex: VertexId,
-    /// Path nodes after the vertex, with cumulative lengths, as
-    /// [`PseudoTree::divide`] wants them.
-    pub suffix: Vec<(NodeId, Length)>,
-}
-
-impl FoundPath {
-    /// Convert to a public [`Path`], flipping reverse-mode node order.
-    pub fn into_path(self, reverse_output: bool) -> Path {
-        let mut nodes = self.nodes;
-        if reverse_output {
-            nodes.reverse();
-        }
-        Path {
-            nodes,
-            length: self.length,
-        }
-    }
+    /// How many entries, walking back from `tail`, form the suffix *after*
+    /// the vertex — what [`PseudoTree::divide_from_store`] consumes. Equals
+    /// the chain node count minus one for a real-rooted chain (the seed is
+    /// the vertex's own node), or the full count under a virtual root.
+    pub suffix_len: u32,
 }
 
 /// Result of a subspace search.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub(crate) enum SubspaceSearch {
     /// The subspace's shortest path (always when unbounded and non-empty;
     /// when bounded, only if `ω(sp(S)) ≤ τ` — Lemma 5.1).
@@ -142,12 +140,27 @@ pub(crate) struct SubspaceCtx<'q> {
     pub deadline: Deadline,
 }
 
-/// Mutable scratch for the subspace primitives, owned by the engine.
+/// Mutable scratch for the subspace primitives, owned by the engine. All
+/// buffers keep their capacity across queries, so a warmed engine runs the
+/// subspace machinery without heap allocation.
 pub(crate) struct SubspaceScratch {
     /// The shared constrained searcher.
     pub searcher: Searcher,
     /// Prefix membership marks, re-marked per primitive call.
     pub prefix_set: TimestampedSet,
+    /// Seed list of the current subspace search.
+    pub seed_buf: Vec<(NodeId, Length)>,
+    /// Parent-chain staging (goal → seed) during assembly.
+    pub chain_buf: Vec<NodeId>,
+    /// Node buffer the emitted path is rebuilt into.
+    pub emit_buf: Vec<NodeId>,
+    /// Vertices affected by the last division.
+    pub affected: Vec<VertexId>,
+    /// Pooled candidate heap of the deviation baselines (taken with
+    /// `mem::take` for the duration of a run, then put back).
+    pub dev_heap: MinHeap<Length, FoundPath>,
+    /// Pooled subspace queue of the best-first / iter-bound paradigms.
+    pub para_heap: MinHeap<Length, (VertexId, Option<FoundPath>)>,
 }
 
 impl SubspaceScratch {
@@ -155,6 +168,12 @@ impl SubspaceScratch {
         SubspaceScratch {
             searcher: Searcher::new(n),
             prefix_set: TimestampedSet::new(n),
+            seed_buf: Vec::new(),
+            chain_buf: Vec::new(),
+            emit_buf: Vec::new(),
+            affected: Vec::new(),
+            dev_heap: MinHeap::new(),
+            para_heap: MinHeap::new(),
         }
     }
 }
@@ -162,7 +181,7 @@ impl SubspaceScratch {
 /// Mark the prefix nodes of `vertex` into `prefix_set`.
 fn mark_prefix(tree: &PseudoTree, vertex: VertexId, prefix_set: &mut TimestampedSet) {
     prefix_set.clear();
-    for n in tree.path_nodes(vertex) {
+    for n in tree.prefix_nodes(vertex) {
         prefix_set.insert(n as usize);
     }
 }
@@ -186,20 +205,19 @@ pub(crate) fn comp_lb(
     mark_prefix(tree, vertex, &mut scratch.prefix_set);
     let u = tree.node(vertex);
     let plen = tree.prefix_len(vertex);
-    let excluded = tree.excluded(vertex);
     let mut lb = INFINITE_LENGTH;
     if u != VIRTUAL_NODE && ctx.goal_set.contains(u as usize) && !tree.emitted(vertex) {
         lb = plen;
     }
     if u == VIRTUAL_NODE {
         for &f in ctx.fanout {
-            if !excluded.contains(&f) {
+            if !tree.is_excluded(vertex, f) {
                 lb = lb.min(lb_num(f));
             }
         }
     } else {
         for e in ctx.direction.edges(ctx.g, u) {
-            if scratch.prefix_set.contains(e.to as usize) || excluded.contains(&e.to) {
+            if scratch.prefix_set.contains(e.to as usize) || tree.is_excluded(vertex, e.to) {
                 continue;
             }
             lb = lb.min(
@@ -213,15 +231,17 @@ pub(crate) fn comp_lb(
 
 /// `CompSP` (unbounded, `bound = None`) and `TestLB` (Alg. 5,
 /// `bound = Some(τ)`) in one: the constrained best-first search inside the
-/// subspace at `vertex`.
+/// subspace at `vertex`. On success the found chain is pushed into `store`.
 ///
 /// `estimate` supplies the heuristic / admissibility verdict per node (see
 /// [`Estimate`]); `Estimate::Deferred` implements the `SPT_I` pruning of
 /// §5.3 and keeps the outcome `Bounded` so the subspace is retried at a
 /// larger τ.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn subspace_search(
     ctx: &SubspaceCtx<'_>,
     scratch: &mut SubspaceScratch,
+    store: &mut PathStore,
     tree: &PseudoTree,
     vertex: VertexId,
     estimate: &mut impl FnMut(NodeId) -> Estimate,
@@ -236,20 +256,21 @@ pub(crate) fn subspace_search(
     mark_prefix(tree, vertex, &mut scratch.prefix_set);
     let u = tree.node(vertex);
     let plen = tree.prefix_len(vertex);
-    let excluded = tree.excluded(vertex);
     let allow_trivial = !tree.emitted(vertex);
 
     // Seeds: the vertex itself, or — for a virtual root — the non-excluded
     // fan-out endpoints across 0-weight virtual edges.
-    let seeds: Vec<(NodeId, Length)> = if u == VIRTUAL_NODE {
-        ctx.fanout
-            .iter()
-            .filter(|f| !excluded.contains(f))
-            .map(|&f| (f, 0))
-            .collect()
+    scratch.seed_buf.clear();
+    if u == VIRTUAL_NODE {
+        scratch.seed_buf.extend(
+            ctx.fanout
+                .iter()
+                .filter(|&&f| !tree.is_excluded(vertex, f))
+                .map(|&f| (f, 0)),
+        );
     } else {
-        vec![(u, plen)]
-    };
+        scratch.seed_buf.push((u, plen));
+    }
 
     let prefix_set = &scratch.prefix_set;
     let goal_set = ctx.goal_set;
@@ -257,8 +278,10 @@ pub(crate) fn subspace_search(
     let outcome = scratch.searcher.search_ctl(
         ctx.g,
         ctx.direction,
-        seeds,
-        |from, e| !prefix_set.contains(e.to as usize) && (from != u || !excluded.contains(&e.to)),
+        scratch.seed_buf.iter().copied(),
+        |from, e| {
+            !prefix_set.contains(e.to as usize) && (from != u || !tree.is_excluded(vertex, e.to))
+        },
         &mut *estimate,
         |v| goal_set.contains(v as usize) && (v != u || allow_trivial),
         bound,
@@ -270,7 +293,7 @@ pub(crate) fn subspace_search(
 
     match outcome {
         SearchOutcome::Found { node, dist } => {
-            SubspaceSearch::Found(assemble(scratch, tree, vertex, node, dist))
+            SubspaceSearch::Found(assemble(scratch, store, tree, vertex, node, dist))
         }
         SearchOutcome::ExhaustedBounded => {
             stats.testlb_bounded += 1;
@@ -281,61 +304,97 @@ pub(crate) fn subspace_search(
     }
 }
 
-/// Build the [`FoundPath`] for goal node `goal` settled at `dist` by the
-/// searcher, relative to the subspace at `vertex`.
+/// Push the searcher's chain for goal node `goal` (settled at `dist`) into
+/// the arena and return the [`FoundPath`] handle, relative to the subspace
+/// at `vertex`.
 fn assemble(
-    scratch: &SubspaceScratch,
+    scratch: &mut SubspaceScratch,
+    store: &mut PathStore,
     tree: &PseudoTree,
     vertex: VertexId,
     goal: NodeId,
     dist: Length,
 ) -> FoundPath {
     let u = tree.node(vertex);
-    // chain_to_root: goal, …, seed (seed == u for real vertices; a fan-out
+    scratch.chain_buf.clear();
+    // chain_buf: goal, …, seed (seed == u for real vertices; a fan-out
     // endpoint for a virtual root).
-    let mut chain = scratch.searcher.chain_to_root(goal);
-    chain.reverse(); // seed, …, goal
-
-    // Suffix after the vertex: the whole chain for a virtual root, else the
-    // chain minus the leading `u` itself.
-    let skip = usize::from(u != VIRTUAL_NODE);
-    let suffix: Vec<(NodeId, Length)> = chain[skip..]
-        .iter()
-        .map(|&x| (x, scratch.searcher.dist(x)))
-        .collect();
-
-    // Full node sequence in tree orientation: tree prefix, then the chain.
-    let mut nodes = tree.path_nodes(vertex);
-    debug_assert!(u == VIRTUAL_NODE || nodes.last() == Some(&u));
-    if u != VIRTUAL_NODE {
-        nodes.pop();
+    let count = scratch
+        .searcher
+        .extend_chain_to_root(goal, &mut scratch.chain_buf);
+    // Arena chains are parent-linked towards the seed, so push seed-first.
+    let mut id: Option<PathId> = None;
+    for &x in scratch.chain_buf.iter().rev() {
+        id = Some(store.push(id, x, scratch.searcher.dist(x)));
     }
-    nodes.extend_from_slice(&chain);
-
+    let skip = u32::from(u != VIRTUAL_NODE);
     FoundPath {
-        nodes,
+        tail: id.expect("chain has at least one node"),
         length: dist,
         vertex,
-        suffix,
+        suffix_len: count as u32 - skip,
     }
 }
 
-/// Divide the subspace of `found` and return the vertices to (re)enqueue,
-/// skipping provably useless emitted-terminal subspaces when the goal side
-/// is a single node — such a subspace could only extend *through* that node
-/// back to itself, which is never simple.
+/// Divide the subspace of `found` into `scratch.affected` (the vertices to
+/// (re)enqueue), skipping provably useless emitted-terminal subspaces when
+/// the goal side is a single node — such a subspace could only extend
+/// *through* that node back to itself, which is never simple.
 pub(crate) fn divide_subspace(
     ctx: &SubspaceCtx<'_>,
+    scratch: &mut SubspaceScratch,
+    store: &PathStore,
     tree: &mut PseudoTree,
-    found: &FoundPath,
+    found: FoundPath,
     stats: &mut QueryStats,
-) -> Vec<VertexId> {
-    let mut affected = tree.divide(found.vertex, &found.suffix);
-    stats.subspaces_created += affected.len().saturating_sub(1);
+) {
+    scratch.affected.clear();
+    tree.divide_from_store(
+        found.vertex,
+        store,
+        found.tail,
+        found.suffix_len,
+        &mut scratch.affected,
+    );
+    stats.subspaces_created += scratch.affected.len().saturating_sub(1);
     if ctx.goal_count == 1 {
+        let affected = &mut scratch.affected;
         affected.retain(|&v| !tree.emitted(v));
     }
-    affected
+}
+
+/// Rebuild `found`'s full node sequence (tree prefix + arena chain) into
+/// `scratch.emit_buf` and deliver it to `sink`. Safe to call after
+/// [`divide_subspace`] — division only appends tree vertices, never
+/// rewrites the prefix chain. Returns the sink's continue/stop verdict.
+pub(crate) fn emit_found(
+    scratch: &mut SubspaceScratch,
+    store: &PathStore,
+    tree: &PseudoTree,
+    found: FoundPath,
+    reverse_output: bool,
+    sink: &mut dyn PathSink,
+) -> bool {
+    let buf = &mut scratch.emit_buf;
+    buf.clear();
+    // Chain, goal side first.
+    let mut cur = Some(found.tail);
+    while let Some(id) = cur {
+        buf.push(store.node(id));
+        cur = store.parent(id);
+    }
+    // Tree prefix strictly above the vertex (the chain already holds the
+    // vertex's own node for real-rooted subspaces; a virtual-rooted
+    // subspace is the root and has no prefix).
+    if found.vertex != ROOT {
+        buf.extend(tree.prefix_nodes(tree.parent(found.vertex)));
+    }
+    // buf is now the full path in *reversed* tree orientation — which is
+    // exactly source-first for reverse mode (SPT_I); forward mode flips.
+    if !reverse_output {
+        buf.reverse();
+    }
+    sink.emit(buf, found.length)
 }
 
 #[cfg(test)]
@@ -360,6 +419,40 @@ mod tests {
         Estimate::Bound(0)
     }
 
+    /// Materialize a [`FoundPath`]'s full node sequence for assertions.
+    fn found_nodes(
+        scratch: &mut SubspaceScratch,
+        store: &PathStore,
+        tree: &PseudoTree,
+        found: FoundPath,
+        reverse_output: bool,
+    ) -> (Vec<NodeId>, Length) {
+        struct Grab(Vec<NodeId>, Length);
+        impl PathSink for Grab {
+            fn emit(&mut self, nodes: &[NodeId], length: Length) -> bool {
+                self.0 = nodes.to_vec();
+                self.1 = length;
+                false
+            }
+        }
+        let mut grab = Grab(Vec::new(), 0);
+        emit_found(scratch, store, tree, found, reverse_output, &mut grab);
+        (grab.0, grab.1)
+    }
+
+    /// The suffix pairs `(node, cumulative length)` read from the arena.
+    fn found_suffix(store: &PathStore, found: FoundPath) -> Vec<(NodeId, Length)> {
+        let mut out = Vec::new();
+        let mut cur = Some(found.tail);
+        for _ in 0..found.suffix_len {
+            let id = cur.unwrap();
+            out.push((store.node(id), store.length(id)));
+            cur = store.parent(id);
+        }
+        out.reverse();
+        out
+    }
+
     #[test]
     fn comp_sp_finds_path_and_assembles_suffix() {
         let (g, goal_set) = fixture();
@@ -373,11 +466,13 @@ mod tests {
             deadline: Deadline::none(),
         };
         let mut scratch = SubspaceScratch::new(4);
+        let mut store = PathStore::new();
         let tree = PseudoTree::new(0);
         let mut stats = QueryStats::default();
         let r = subspace_search(
             &ctx,
             &mut scratch,
+            &mut store,
             &tree,
             ROOT,
             &mut zero_est,
@@ -387,9 +482,11 @@ mod tests {
         let SubspaceSearch::Found(f) = r else {
             panic!("expected Found, got {r:?}")
         };
-        assert_eq!(f.nodes, vec![0, 1, 2, 3]);
+        let (nodes, length) = found_nodes(&mut scratch, &store, &tree, f, false);
+        assert_eq!(nodes, vec![0, 1, 2, 3]);
+        assert_eq!(length, 3);
         assert_eq!(f.length, 3);
-        assert_eq!(f.suffix, vec![(1, 1), (2, 2), (3, 3)]);
+        assert_eq!(found_suffix(&store, f), vec![(1, 1), (2, 2), (3, 3)]);
         assert_eq!(stats.shortest_path_computations, 1);
     }
 
@@ -406,11 +503,13 @@ mod tests {
             deadline: Deadline::none(),
         };
         let mut scratch = SubspaceScratch::new(4);
+        let mut store = PathStore::new();
         let tree = PseudoTree::new(0);
         let mut stats = QueryStats::default();
         let r = subspace_search(
             &ctx,
             &mut scratch,
+            &mut store,
             &tree,
             ROOT,
             &mut zero_est,
@@ -421,6 +520,7 @@ mod tests {
         let r = subspace_search(
             &ctx,
             &mut scratch,
+            &mut store,
             &tree,
             ROOT,
             &mut zero_est,
@@ -448,6 +548,7 @@ mod tests {
         let r = subspace_search(
             &ctx2,
             &mut scratch,
+            &mut store,
             &tree2,
             ROOT,
             &mut zero_est,
@@ -471,12 +572,14 @@ mod tests {
             deadline: Deadline::none(),
         };
         let mut scratch = SubspaceScratch::new(4);
+        let mut store = PathStore::new();
         let mut tree = PseudoTree::new(0);
         let mut stats = QueryStats::default();
         // First search finds the zero-length trivial path (0).
         let r = subspace_search(
             &ctx,
             &mut scratch,
+            &mut store,
             &tree,
             ROOT,
             &mut zero_est,
@@ -486,14 +589,16 @@ mod tests {
         let SubspaceSearch::Found(f) = r else {
             panic!("{r:?}")
         };
-        assert_eq!(f.nodes, vec![0]);
-        assert_eq!(f.length, 0);
-        assert!(f.suffix.is_empty());
+        let (nodes, length) = found_nodes(&mut scratch, &store, &tree, f, false);
+        assert_eq!(nodes, vec![0]);
+        assert_eq!(length, 0);
+        assert_eq!(f.suffix_len, 0);
         // Divide (marks ROOT emitted) and search again: now the next path.
-        tree.divide(ROOT, &f.suffix);
+        divide_subspace(&ctx, &mut scratch, &store, &mut tree, f, &mut stats);
         let r = subspace_search(
             &ctx,
             &mut scratch,
+            &mut store,
             &tree,
             ROOT,
             &mut zero_est,
@@ -503,7 +608,8 @@ mod tests {
         let SubspaceSearch::Found(f2) = r else {
             panic!("{r:?}")
         };
-        assert_eq!(f2.nodes, vec![0, 1, 2, 3]);
+        let (nodes, _) = found_nodes(&mut scratch, &store, &tree, f2, false);
+        assert_eq!(nodes, vec![0, 1, 2, 3]);
     }
 
     #[test]
@@ -520,11 +626,13 @@ mod tests {
             deadline: Deadline::none(),
         };
         let mut scratch = SubspaceScratch::new(4);
+        let mut store = PathStore::new();
         let tree = PseudoTree::new(VIRTUAL_NODE);
         let mut stats = QueryStats::default();
         let r = subspace_search(
             &ctx,
             &mut scratch,
+            &mut store,
             &tree,
             ROOT,
             &mut zero_est,
@@ -535,9 +643,10 @@ mod tests {
             panic!("{r:?}")
         };
         // Nearer source 2 wins: path 2 → 3.
-        assert_eq!(f.nodes, vec![2, 3]);
-        assert_eq!(f.length, 1);
-        assert_eq!(f.suffix, vec![(2, 0), (3, 1)]);
+        let (nodes, length) = found_nodes(&mut scratch, &store, &tree, f, false);
+        assert_eq!(nodes, vec![2, 3]);
+        assert_eq!(length, 1);
+        assert_eq!(found_suffix(&store, f), vec![(2, 0), (3, 1)]);
     }
 
     #[test]
@@ -554,13 +663,16 @@ mod tests {
             deadline: Deadline::none(),
         };
         let mut scratch = SubspaceScratch::new(4);
+        let mut store = PathStore::new();
         let mut tree = PseudoTree::new(VIRTUAL_NODE);
         // Simulate having taken first-hop 2 already.
-        tree.divide(ROOT, &[(2, 0), (3, 1)]);
+        let mut affected = Vec::new();
+        tree.divide(ROOT, &[(2, 0), (3, 1)], &mut affected);
         let mut stats = QueryStats::default();
         let r = subspace_search(
             &ctx,
             &mut scratch,
+            &mut store,
             &tree,
             ROOT,
             &mut zero_est,
@@ -570,8 +682,9 @@ mod tests {
         let SubspaceSearch::Found(f) = r else {
             panic!("{r:?}")
         };
-        assert_eq!(f.nodes, vec![0, 1, 2, 3]);
-        assert_eq!(f.length, 3);
+        let (nodes, length) = found_nodes(&mut scratch, &store, &tree, f, false);
+        assert_eq!(nodes, vec![0, 1, 2, 3]);
+        assert_eq!(length, 3);
     }
 
     #[test]
@@ -626,11 +739,13 @@ mod tests {
             deadline: Deadline::none(),
         };
         let mut scratch = SubspaceScratch::new(4);
+        let mut store = PathStore::new();
         let tree = PseudoTree::new(VIRTUAL_NODE);
         let mut stats = QueryStats::default();
         let r = subspace_search(
             &ctx,
             &mut scratch,
+            &mut store,
             &tree,
             ROOT,
             &mut zero_est,
@@ -641,10 +756,11 @@ mod tests {
             panic!("{r:?}")
         };
         // Tree orientation: target-first; flipped on output.
-        assert_eq!(f.nodes, vec![3, 2, 1, 0]);
-        let p = f.into_path(true);
-        assert_eq!(p.nodes, vec![0, 1, 2, 3]);
-        assert_eq!(p.length, 3);
+        let (nodes, _) = found_nodes(&mut scratch, &store, &tree, f, false);
+        assert_eq!(nodes, vec![3, 2, 1, 0]);
+        let (nodes, length) = found_nodes(&mut scratch, &store, &tree, f, true);
+        assert_eq!(nodes, vec![0, 1, 2, 3]);
+        assert_eq!(length, 3);
     }
 
     #[test]
@@ -660,11 +776,13 @@ mod tests {
             deadline: Deadline::none(),
         };
         let mut scratch = SubspaceScratch::new(4);
+        let mut store = PathStore::new();
         let mut tree = PseudoTree::new(0);
         let mut stats = QueryStats::default();
         let r = subspace_search(
             &ctx,
             &mut scratch,
+            &mut store,
             &tree,
             ROOT,
             &mut zero_est,
@@ -674,11 +792,48 @@ mod tests {
         let SubspaceSearch::Found(f) = r else {
             panic!("{r:?}")
         };
-        let queued = divide_subspace(&ctx, &mut tree, &f, &mut stats);
+        divide_subspace(&ctx, &mut scratch, &store, &mut tree, f, &mut stats);
         // Path 0-1-2-3 creates vertices for 1,2,3 plus re-queues ROOT; the
         // terminal (emitted, single goal) is skipped → ROOT, v1, v2.
-        assert_eq!(queued.len(), 3);
-        assert_eq!(queued[0], ROOT);
+        assert_eq!(scratch.affected.len(), 3);
+        assert_eq!(scratch.affected[0], ROOT);
         assert_eq!(stats.subspaces_created, 3);
+    }
+
+    #[test]
+    fn emission_after_division_from_interior_vertex() {
+        // Regression for the divide-before-emit ordering: emission reads
+        // the tree prefix after divide has appended new vertices.
+        let (g, goal_set) = fixture();
+        let ctx = SubspaceCtx {
+            g: &g,
+            direction: Direction::Forward,
+            fanout: &[],
+            goal_set: &goal_set,
+            goal_count: 1,
+            order: SearchOrder::Astar,
+            deadline: Deadline::none(),
+        };
+        let mut scratch = SubspaceScratch::new(4);
+        let mut store = PathStore::new();
+        let mut tree = PseudoTree::new(0);
+        let mut stats = QueryStats::default();
+        let r = subspace_search(
+            &ctx,
+            &mut scratch,
+            &mut store,
+            &tree,
+            ROOT,
+            &mut zero_est,
+            None,
+            &mut stats,
+        );
+        let SubspaceSearch::Found(f) = r else {
+            panic!("{r:?}")
+        };
+        divide_subspace(&ctx, &mut scratch, &store, &mut tree, f, &mut stats);
+        let (nodes, length) = found_nodes(&mut scratch, &store, &tree, f, false);
+        assert_eq!(nodes, vec![0, 1, 2, 3]);
+        assert_eq!(length, 3);
     }
 }

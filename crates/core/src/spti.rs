@@ -13,7 +13,7 @@
 //! is `O(touched)`.
 
 use kpj_graph::scratch::{TimestampedMap, TimestampedSet};
-use kpj_graph::{Graph, Length, NodeId, INFINITE_LENGTH};
+use kpj_graph::{Graph, Length, NodeId, PathId, PathStore, INFINITE_LENGTH};
 use kpj_heap::IndexedMinHeap;
 use kpj_sp::NO_PARENT;
 
@@ -62,6 +62,7 @@ impl SptiStore {
         sources: &[NodeId],
         target_set: &TimestampedSet,
         to_targets: &TargetsLb<'_>,
+        path_store: &mut PathStore,
         stats: &mut QueryStats,
     ) -> Option<FoundPath> {
         self.heap.clear();
@@ -92,7 +93,7 @@ impl SptiStore {
                 }
                 Some(v) if target_set.contains(v as usize) => {
                     stats.nodes_settled += self.settled_count;
-                    return Some(self.initial_found_path(v));
+                    return Some(self.initial_found_path(path_store, v));
                 }
                 Some(_) => {}
             }
@@ -157,26 +158,29 @@ impl SptiStore {
     }
 
     /// The reverse-orientation initial path ending at destination `d`.
-    fn initial_found_path(&self, d: NodeId) -> FoundPath {
+    fn initial_found_path(&self, path_store: &mut PathStore, d: NodeId) -> FoundPath {
         let total = self.dist.get(d as usize);
         // Walk parents back to the source: d, …, s — which *is* the tree
-        // orientation (virtual target root first).
-        let mut nodes = vec![d];
+        // orientation (virtual target root first), so the chain goes into
+        // the arena in walk order with cumulative lengths from the virtual
+        // target side. Under the virtual root the whole chain is suffix.
+        let mut id: Option<PathId> = None;
+        let mut count = 0u32;
         let mut cur = d;
-        while self.parent.get(cur as usize) != NO_PARENT {
-            cur = self.parent.get(cur as usize);
-            nodes.push(cur);
+        loop {
+            id = Some(path_store.push(id, cur, total - self.dist.get(cur as usize)));
+            count += 1;
+            let p = self.parent.get(cur as usize);
+            if p == NO_PARENT {
+                break;
+            }
+            cur = p;
         }
-        // Cumulative lengths from the virtual target side.
-        let suffix = nodes
-            .iter()
-            .map(|&x| (x, total - self.dist.get(x as usize)))
-            .collect();
         FoundPath {
-            nodes,
+            tail: id.expect("chain has at least one node"),
             length: total,
             vertex: ROOT,
-            suffix,
+            suffix_len: count,
         }
     }
 
@@ -228,17 +232,36 @@ mod tests {
         (g, ts)
     }
 
+    /// Full chain nodes (tree orientation: destination-first).
+    fn chain_nodes(ps: &PathStore, f: &FoundPath) -> Vec<NodeId> {
+        ps.materialize(f.tail).nodes
+    }
+
+    /// The suffix pairs `(node, cumulative length)` read from the arena.
+    fn suffix(ps: &PathStore, f: &FoundPath) -> Vec<(NodeId, Length)> {
+        let mut out = Vec::new();
+        let mut cur = Some(f.tail);
+        for _ in 0..f.suffix_len {
+            let id = cur.unwrap();
+            out.push((ps.node(id), ps.length(id)));
+            cur = ps.parent(id);
+        }
+        out.reverse();
+        out
+    }
+
     #[test]
     fn init_finds_shortest_path_in_reverse_orientation() {
         let (g, ts) = fixture();
         let mut store = SptiStore::new(6);
+        let mut ps = PathStore::new();
         let mut stats = QueryStats::default();
         let f = store
-            .init(&g, &[0], &ts, &TargetsLb::Zero, &mut stats)
+            .init(&g, &[0], &ts, &TargetsLb::Zero, &mut ps, &mut stats)
             .expect("path");
-        assert_eq!(f.nodes, vec![3, 2, 1, 0]);
+        assert_eq!(chain_nodes(&ps, &f), vec![3, 2, 1, 0]);
         assert_eq!(f.length, 3);
-        assert_eq!(f.suffix, vec![(3, 0), (2, 1), (1, 2), (0, 3)]);
+        assert_eq!(suffix(&ps, &f), vec![(3, 0), (2, 1), (1, 2), (0, 3)]);
         assert_eq!(store.destinations(), &[3]);
         assert!(!store.is_complete());
         assert_eq!(store.exact_dist(0), Some(0));
@@ -250,9 +273,10 @@ mod tests {
     fn grow_extends_to_tau_and_completes() {
         let (g, ts) = fixture();
         let mut store = SptiStore::new(6);
+        let mut ps = PathStore::new();
         let mut stats = QueryStats::default();
         store
-            .init(&g, &[0], &ts, &TargetsLb::Zero, &mut stats)
+            .init(&g, &[0], &ts, &TargetsLb::Zero, &mut ps, &mut stats)
             .unwrap();
         // Node 4 is at d_s = 6, node 5 at 11 (keys with zero bounds).
         store.grow(&g, 6, &ts, &TargetsLb::Zero, &mut stats);
@@ -273,9 +297,10 @@ mod tests {
         let mut ts = TimestampedSet::new(3);
         ts.insert(2);
         let mut store = SptiStore::new(3);
+        let mut ps = PathStore::new();
         let mut stats = QueryStats::default();
         assert!(store
-            .init(&g, &[0], &ts, &TargetsLb::Zero, &mut stats)
+            .init(&g, &[0], &ts, &TargetsLb::Zero, &mut ps, &mut stats)
             .is_none());
         assert!(store.is_complete());
         assert!(store.destinations().is_empty());
@@ -285,11 +310,12 @@ mod tests {
     fn multi_source_init_uses_nearest_source() {
         let (g, ts) = fixture();
         let mut store = SptiStore::new(6);
+        let mut ps = PathStore::new();
         let mut stats = QueryStats::default();
         let f = store
-            .init(&g, &[0, 2], &ts, &TargetsLb::Zero, &mut stats)
+            .init(&g, &[0, 2], &ts, &TargetsLb::Zero, &mut ps, &mut stats)
             .expect("path");
-        assert_eq!(f.nodes, vec![3, 2]);
+        assert_eq!(chain_nodes(&ps, &f), vec![3, 2]);
         assert_eq!(f.length, 1);
     }
 
@@ -298,12 +324,13 @@ mod tests {
         let (g, mut ts) = fixture();
         ts.insert(0);
         let mut store = SptiStore::new(6);
+        let mut ps = PathStore::new();
         let mut stats = QueryStats::default();
         let f = store
-            .init(&g, &[0], &ts, &TargetsLb::Zero, &mut stats)
+            .init(&g, &[0], &ts, &TargetsLb::Zero, &mut ps, &mut stats)
             .expect("path");
-        assert_eq!(f.nodes, vec![0]);
+        assert_eq!(chain_nodes(&ps, &f), vec![0]);
         assert_eq!(f.length, 0);
-        assert_eq!(f.suffix, vec![(0, 0)]);
+        assert_eq!(suffix(&ps, &f), vec![(0, 0)]);
     }
 }

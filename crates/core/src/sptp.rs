@@ -13,7 +13,7 @@
 //! by-product of work the query does anyway.
 
 use kpj_graph::scratch::{TimestampedMap, TimestampedSet};
-use kpj_graph::{Graph, Length, NodeId, INFINITE_LENGTH};
+use kpj_graph::{Graph, Length, NodeId, PathId, PathStore, INFINITE_LENGTH};
 use kpj_heap::IndexedMinHeap;
 use kpj_sp::NO_PARENT;
 
@@ -52,12 +52,14 @@ impl SptpStore {
     /// the source is real or a GKPJ virtual node). Returns the initial
     /// shortest path as a [`FoundPath`] anchored at the tree root, or
     /// `None` when `V_T` is unreachable.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn build(
         &mut self,
         g: &Graph,
         targets: &[NodeId],
         source_set: &TimestampedSet,
         source_lb: &SourceLb<'_>,
+        path_store: &mut PathStore,
         tree: &PseudoTree,
         stats: &mut QueryStats,
     ) -> Option<FoundPath> {
@@ -108,25 +110,29 @@ impl SptpStore {
         stats.spt_nodes = stats.spt_nodes.max(self.settled_count);
 
         let s = goal?;
-        // Forward path s → … → d along SPT parents, with cumulative
-        // lengths measured from the source side.
+        // Forward path s → … → d along SPT parents, pushed into the arena
+        // with cumulative lengths measured from the source side. The walk
+        // order (s first, then its SPT parents towards `V_T`) is already
+        // the tree orientation, so no staging buffer is needed.
         let total = self.dist.get(s as usize);
-        let mut nodes = vec![s];
+        let mut id: Option<PathId> = None;
+        let mut count = 0u32;
         let mut cur = s;
-        while self.parent.get(cur as usize) != NO_PARENT {
-            cur = self.parent.get(cur as usize);
-            nodes.push(cur);
+        loop {
+            id = Some(path_store.push(id, cur, total - self.dist.get(cur as usize)));
+            count += 1;
+            let p = self.parent.get(cur as usize);
+            if p == NO_PARENT {
+                break;
+            }
+            cur = p;
         }
-        let skip = usize::from(tree.node(ROOT) != VIRTUAL_NODE);
-        let suffix = nodes[skip..]
-            .iter()
-            .map(|&x| (x, total - self.dist.get(x as usize)))
-            .collect();
+        let skip = u32::from(tree.node(ROOT) != VIRTUAL_NODE);
         Some(FoundPath {
-            nodes,
+            tail: id.expect("chain has at least one node"),
             length: total,
             vertex: ROOT,
-            suffix,
+            suffix_len: count - skip,
         })
     }
 
@@ -169,19 +175,38 @@ mod tests {
         set
     }
 
+    /// Full chain nodes (source-first) of a build() result.
+    fn chain_nodes(ps: &PathStore, f: &FoundPath) -> Vec<NodeId> {
+        ps.materialize(f.tail).nodes
+    }
+
+    /// The suffix pairs `(node, cumulative length)` read from the arena.
+    fn suffix(ps: &PathStore, f: &FoundPath) -> Vec<(NodeId, Length)> {
+        let mut out = Vec::new();
+        let mut cur = Some(f.tail);
+        for _ in 0..f.suffix_len {
+            let id = cur.unwrap();
+            out.push((ps.node(id), ps.length(id)));
+            cur = ps.parent(id);
+        }
+        out.reverse();
+        out
+    }
+
     #[test]
     fn builds_initial_path_and_exact_distances() {
         let g = fixture();
         let mut store = SptpStore::new(6);
+        let mut ps = PathStore::new();
         let tree = PseudoTree::new(0);
         let ss = source_set(6, 0);
         let mut stats = QueryStats::default();
         let f = store
-            .build(&g, &[3], &ss, &SourceLb::Zero, &tree, &mut stats)
+            .build(&g, &[3], &ss, &SourceLb::Zero, &mut ps, &tree, &mut stats)
             .expect("path exists");
-        assert_eq!(f.nodes, vec![0, 1, 2, 3]);
+        assert_eq!(chain_nodes(&ps, &f), vec![0, 1, 2, 3]);
         assert_eq!(f.length, 3);
-        assert_eq!(f.suffix, vec![(1, 1), (2, 2), (3, 3)]);
+        assert_eq!(suffix(&ps, &f), vec![(1, 1), (2, 2), (3, 3)]);
         // Settled nodes carry exact δ(v, {3}).
         assert_eq!(store.exact_dist(3), Some(0));
         assert_eq!(store.exact_dist(2), Some(1));
@@ -198,11 +223,12 @@ mod tests {
         b.add_bidirectional(0, 1, 1).unwrap();
         let g = b.build();
         let mut store = SptpStore::new(3);
+        let mut ps = PathStore::new();
         let tree = PseudoTree::new(0);
         let ss = source_set(3, 0);
         let mut stats = QueryStats::default();
         assert!(store
-            .build(&g, &[2], &ss, &SourceLb::Zero, &tree, &mut stats)
+            .build(&g, &[2], &ss, &SourceLb::Zero, &mut ps, &tree, &mut stats)
             .is_none());
     }
 
@@ -210,13 +236,22 @@ mod tests {
     fn multi_target_picks_nearest() {
         let g = fixture();
         let mut store = SptpStore::new(6);
+        let mut ps = PathStore::new();
         let tree = PseudoTree::new(0);
         let ss = source_set(6, 0);
         let mut stats = QueryStats::default();
         let f = store
-            .build(&g, &[3, 1], &ss, &SourceLb::Zero, &tree, &mut stats)
+            .build(
+                &g,
+                &[3, 1],
+                &ss,
+                &SourceLb::Zero,
+                &mut ps,
+                &tree,
+                &mut stats,
+            )
             .expect("path exists");
-        assert_eq!(f.nodes, vec![0, 1]);
+        assert_eq!(chain_nodes(&ps, &f), vec![0, 1]);
         assert_eq!(f.length, 1);
     }
 
@@ -224,30 +259,32 @@ mod tests {
     fn virtual_root_includes_seed_in_suffix() {
         let g = fixture();
         let mut store = SptpStore::new(6);
+        let mut ps = PathStore::new();
         let tree = PseudoTree::new(VIRTUAL_NODE);
         let mut ss = TimestampedSet::new(6);
         ss.insert(2);
         ss.insert(5);
         let mut stats = QueryStats::default();
         let f = store
-            .build(&g, &[3], &ss, &SourceLb::Zero, &tree, &mut stats)
+            .build(&g, &[3], &ss, &SourceLb::Zero, &mut ps, &tree, &mut stats)
             .expect("path exists");
-        assert_eq!(f.nodes, vec![2, 3]);
-        assert_eq!(f.suffix, vec![(2, 0), (3, 1)]);
+        assert_eq!(chain_nodes(&ps, &f), vec![2, 3]);
+        assert_eq!(suffix(&ps, &f), vec![(2, 0), (3, 1)]);
     }
 
     #[test]
     fn source_equal_to_target_gives_trivial_path() {
         let g = fixture();
         let mut store = SptpStore::new(6);
+        let mut ps = PathStore::new();
         let tree = PseudoTree::new(2);
         let ss = source_set(6, 2);
         let mut stats = QueryStats::default();
         let f = store
-            .build(&g, &[2], &ss, &SourceLb::Zero, &tree, &mut stats)
+            .build(&g, &[2], &ss, &SourceLb::Zero, &mut ps, &tree, &mut stats)
             .expect("trivial path");
-        assert_eq!(f.nodes, vec![2]);
+        assert_eq!(chain_nodes(&ps, &f), vec![2]);
         assert_eq!(f.length, 0);
-        assert!(f.suffix.is_empty());
+        assert_eq!(f.suffix_len, 0);
     }
 }

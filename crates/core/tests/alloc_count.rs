@@ -1,0 +1,126 @@
+//! Zero-allocation steady state: after one warm-up pass, a landmark-less
+//! [`QueryEngine`] answers repeat KPJ queries through `query_multi_into`
+//! without a single heap allocation, for every algorithm.
+//!
+//! Gated behind the `count-alloc` feature because it installs a counting
+//! global allocator for the whole test process:
+//!
+//! ```text
+//! cargo test -p kpj-core --features count-alloc --test alloc_count
+//! ```
+//!
+//! Landmark-backed engines are excluded by design: the per-query landmark
+//! bound tables (`LandmarkIndex::for_targets`, multi-source `SourceLb`)
+//! still allocate — documented in DESIGN.md §9.
+#![cfg(feature = "count-alloc")]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use kpj_core::{Algorithm, Deadline, QueryEngine};
+use kpj_graph::{GraphBuilder, NodeId, PathSet};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc may move and copy — it counts as an allocation.
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_calls() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// A deterministic lattice-with-chords graph: dense enough that every
+/// algorithm exercises deviations, exclusion lists, bounded probes and
+/// SPT growth for k = 12.
+fn lattice(n: u32, cols: u32) -> kpj_graph::Graph {
+    let mut b = GraphBuilder::new(n as usize);
+    let mut w = 1u32;
+    for v in 0..n {
+        w = w.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+        if v % cols + 1 < cols && v + 1 < n {
+            b.add_bidirectional(v, v + 1, 1 + w % 97).unwrap();
+        }
+        if v + cols < n {
+            b.add_bidirectional(v, v + cols, 1 + (w >> 8) % 97).unwrap();
+        }
+        // A chord every few nodes for path diversity.
+        if v % 7 == 0 && v + 2 * cols + 1 < n {
+            b.add_bidirectional(v, v + 2 * cols + 1, 40 + (w >> 16) % 211)
+                .unwrap();
+        }
+    }
+    b.build()
+}
+
+#[test]
+fn warmed_engine_answers_queries_without_allocating() {
+    let g = lattice(400, 20);
+    let sources: Vec<NodeId> = vec![0, 1];
+    let targets: Vec<NodeId> = vec![395, 397, 399];
+    let k = 12;
+
+    let mut engine = QueryEngine::new(&g);
+    let mut out = PathSet::new();
+
+    for alg in Algorithm::ALL {
+        // Warm-up: grows every pooled buffer (arena, pseudo-tree pools,
+        // heaps, timestamp maps, PathSet flat buffers) to steady state.
+        engine
+            .query_multi_into(alg, &sources, &targets, k, Deadline::none(), &mut out)
+            .unwrap();
+        assert_eq!(out.len(), k, "{}: warm-up under-filled", alg.name());
+        let warm = out.lengths();
+
+        // Steady state: three repeats, zero allocations each.
+        for round in 0..3 {
+            let before = alloc_calls();
+            engine
+                .query_multi_into(alg, &sources, &targets, k, Deadline::none(), &mut out)
+                .unwrap();
+            let delta = alloc_calls() - before;
+            assert_eq!(
+                delta,
+                0,
+                "{} round {round}: {delta} heap allocations in a warmed-up query",
+                alg.name()
+            );
+            assert_eq!(out.lengths(), warm, "{}: answer drifted", alg.name());
+        }
+    }
+}
+
+#[test]
+fn warmed_engine_single_source_ksp_is_allocation_free() {
+    let g = lattice(300, 15);
+    let mut engine = QueryEngine::new(&g);
+    let mut out = PathSet::new();
+    for alg in Algorithm::ALL {
+        engine
+            .query_multi_into(alg, &[3], &[296], 8, Deadline::none(), &mut out)
+            .unwrap();
+        let before = alloc_calls();
+        engine
+            .query_multi_into(alg, &[3], &[296], 8, Deadline::none(), &mut out)
+            .unwrap();
+        assert_eq!(alloc_calls() - before, 0, "{}", alg.name());
+    }
+}

@@ -67,12 +67,13 @@ fn check_query(
                     alg.name()
                 );
                 assert!(
-                    seen.insert(p.nodes.clone()),
+                    seen.insert(p.nodes.to_vec()),
                     "{} {seed_info}: duplicate path",
                     alg.name()
                 );
             }
-            assert!(r.paths.windows(2).all(|w| w[0].length <= w[1].length));
+            let lens = r.paths.lengths();
+            assert!(lens.windows(2).all(|w| w[0] <= w[1]));
         }
     }
 }

@@ -31,7 +31,9 @@ mod csr;
 mod error;
 pub mod io;
 mod path;
+mod pathset;
 pub mod scratch;
+mod store;
 mod types;
 
 pub use builder::GraphBuilder;
@@ -39,4 +41,6 @@ pub use categories::{CategoryId, CategoryIndex};
 pub use csr::{EdgeRef, Graph};
 pub use error::GraphError;
 pub use path::Path;
+pub use pathset::{PathRef, PathSet, PathSetIter};
+pub use store::{PathId, PathStore};
 pub use types::{Length, NodeId, Weight, INFINITE_LENGTH};

@@ -66,28 +66,37 @@ impl Path {
     /// cached length equals the minimum-weight realization of the node
     /// sequence. Returns a description of the first violation.
     pub fn validate(&self, g: &Graph) -> Result<(), String> {
-        if self.nodes.is_empty() {
-            return Err("empty path".into());
-        }
-        let mut total: Length = 0;
-        for w in self.nodes.windows(2) {
-            match g.edge_weight(w[0], w[1]) {
-                Some(wt) => {
-                    total = total
-                        .checked_add(wt as Length)
-                        .ok_or_else(|| format!("length overflow at edge {} -> {}", w[0], w[1]))?
-                }
-                None => return Err(format!("missing edge {} -> {}", w[0], w[1])),
-            }
-        }
-        if total != self.length {
-            return Err(format!(
-                "cached length {} != recomputed {}",
-                self.length, total
-            ));
-        }
-        Ok(())
+        validate_nodes(g, &self.nodes, self.length)
     }
+
+    /// Materialize the arena chain ending at `id` — the bridge that keeps
+    /// `.kpjcase` replay files and the JSON wire format on owned paths
+    /// while the hot layers traffic in [`PathId`](crate::PathId)s.
+    pub fn materialize(store: &crate::PathStore, id: crate::PathId) -> Path {
+        store.materialize(id)
+    }
+}
+
+/// Shared validation core for [`Path`] and [`PathRef`](crate::PathRef).
+pub(crate) fn validate_nodes(g: &Graph, nodes: &[NodeId], length: Length) -> Result<(), String> {
+    if nodes.is_empty() {
+        return Err("empty path".into());
+    }
+    let mut total: Length = 0;
+    for w in nodes.windows(2) {
+        match g.edge_weight(w[0], w[1]) {
+            Some(wt) => {
+                total = total
+                    .checked_add(wt as Length)
+                    .ok_or_else(|| format!("length overflow at edge {} -> {}", w[0], w[1]))?
+            }
+            None => return Err(format!("missing edge {} -> {}", w[0], w[1])),
+        }
+    }
+    if total != length {
+        return Err(format!("cached length {length} != recomputed {total}"));
+    }
+    Ok(())
 }
 
 impl std::fmt::Display for Path {

@@ -1,0 +1,189 @@
+//! [`PathStore`]: a prefix-interned path arena.
+//!
+//! All deviation-paradigm algorithms (§3–§5 of the paper) build paths
+//! incrementally: every candidate extends an already-known prefix by a
+//! handful of nodes. Materializing each candidate as an owned
+//! `Vec<NodeId>` therefore copies the shared prefix over and over — the
+//! dominant constant factor of the hot path. The arena stores each path
+//! as a *parent pointer* instead: a [`PathId`] names a slot holding
+//! `(parent, node, length)`, so extending a path is one `push` and
+//! sharing a prefix is free. Full node sequences are only produced at the
+//! trust boundary via [`PathStore::materialize`] (or by walking
+//! [`PathStore::parent`] chains directly).
+//!
+//! Lifecycle mirrors the epoch-stamped scratch in [`crate::scratch`]: the
+//! engine owns one store, calls [`PathStore::reset`] at the start of every
+//! query (truncate, keep capacity), and after warmup steady-state queries
+//! push into already-allocated slots — zero heap allocations.
+
+use crate::types::{Length, NodeId};
+
+/// Handle to one interned path (an index into the owning [`PathStore`]).
+///
+/// Only meaningful together with the store that produced it, and only
+/// until that store's next [`reset`](PathStore::reset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PathId(u32);
+
+/// Sentinel parent index for chain heads.
+const NO_PARENT: u32 = u32::MAX;
+
+/// Arena of parent-pointer path entries (struct-of-arrays).
+///
+/// ```
+/// use kpj_graph::PathStore;
+/// let mut store = PathStore::new();
+/// let a = store.push(None, 3, 0); // chain head: path (3), length 0
+/// let b = store.push(Some(a), 7, 4); // path (3, 7), length 4
+/// assert_eq!(store.node(b), 7);
+/// assert_eq!(store.length(b), 4);
+/// assert_eq!(store.parent(b), Some(a));
+/// assert_eq!(store.parent(a), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PathStore {
+    parent: Vec<u32>,
+    node: Vec<NodeId>,
+    length: Vec<Length>,
+}
+
+impl PathStore {
+    /// An empty store.
+    pub fn new() -> PathStore {
+        PathStore::default()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.node.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.node.is_empty()
+    }
+
+    /// Drop every entry, keeping the allocations. Invalidates all
+    /// previously issued [`PathId`]s — call once per query, like
+    /// [`TimestampedSet::clear`](crate::scratch::TimestampedSet::clear).
+    pub fn reset(&mut self) {
+        self.parent.clear();
+        self.node.clear();
+        self.length.clear();
+    }
+
+    /// Intern one entry: the path reaching `node` by extending `parent`
+    /// (or starting fresh when `None`), with cumulative length `length`.
+    ///
+    /// # Panics
+    /// Panics if the store grows past `u32::MAX` entries.
+    pub fn push(&mut self, parent: Option<PathId>, node: NodeId, length: Length) -> PathId {
+        let id = u32::try_from(self.node.len()).expect("PathStore overflow");
+        self.parent.push(parent.map_or(NO_PARENT, |p| p.0));
+        self.node.push(node);
+        self.length.push(length);
+        PathId(id)
+    }
+
+    /// The node this entry appends.
+    pub fn node(&self, id: PathId) -> NodeId {
+        self.node[id.0 as usize]
+    }
+
+    /// Cumulative length of the path ending at this entry.
+    pub fn length(&self, id: PathId) -> Length {
+        self.length[id.0 as usize]
+    }
+
+    /// The entry this one extends (`None` for chain heads).
+    pub fn parent(&self, id: PathId) -> Option<PathId> {
+        match self.parent[id.0 as usize] {
+            NO_PARENT => None,
+            p => Some(PathId(p)),
+        }
+    }
+
+    /// Walk the chain tail → head, pushing each entry's node into `buf`
+    /// (so `buf` receives the node sequence *reversed*). Returns the
+    /// number of nodes pushed.
+    pub fn extend_rev(&self, id: PathId, buf: &mut Vec<NodeId>) -> usize {
+        let before = buf.len();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            buf.push(self.node(c));
+            cur = self.parent(c);
+        }
+        buf.len() - before
+    }
+
+    /// Materialize the full chain ending at `id` as an owned
+    /// [`Path`](crate::Path), head first. The bridge for replay files,
+    /// the JSON wire format and everything else that wants a
+    /// self-contained value.
+    pub fn materialize(&self, id: PathId) -> crate::Path {
+        let mut nodes = Vec::new();
+        self.extend_rev(id, &mut nodes);
+        nodes.reverse();
+        crate::Path {
+            nodes,
+            length: self.length(id),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_walk() {
+        let mut s = PathStore::new();
+        let a = s.push(None, 0, 0);
+        let b = s.push(Some(a), 1, 2);
+        let c = s.push(Some(b), 2, 5);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.node(c), 2);
+        assert_eq!(s.length(c), 5);
+        assert_eq!(s.parent(c), Some(b));
+        assert_eq!(s.parent(a), None);
+        let mut buf = vec![9];
+        assert_eq!(s.extend_rev(c, &mut buf), 3);
+        assert_eq!(buf, vec![9, 2, 1, 0]);
+    }
+
+    #[test]
+    fn materialize_produces_head_first_path() {
+        let mut s = PathStore::new();
+        let a = s.push(None, 4, 0);
+        let b = s.push(Some(a), 2, 3);
+        let p = s.materialize(b);
+        assert_eq!(p.nodes, vec![4, 2]);
+        assert_eq!(p.length, 3);
+        let q = s.materialize(a);
+        assert_eq!(q.nodes, vec![4]);
+        assert_eq!(q.length, 0);
+    }
+
+    #[test]
+    fn shared_prefixes_are_free() {
+        let mut s = PathStore::new();
+        let root = s.push(None, 0, 0);
+        let left = s.push(Some(root), 1, 1);
+        let right = s.push(Some(root), 2, 2);
+        assert_eq!(s.materialize(left).nodes, vec![0, 1]);
+        assert_eq!(s.materialize(right).nodes, vec![0, 2]);
+        assert_eq!(s.len(), 3, "prefix stored once");
+    }
+
+    #[test]
+    fn reset_keeps_capacity() {
+        let mut s = PathStore::new();
+        for i in 0..100 {
+            s.push(None, i, 0);
+        }
+        let cap = s.node.capacity();
+        s.reset();
+        assert!(s.is_empty());
+        assert_eq!(s.node.capacity(), cap);
+    }
+}

@@ -71,9 +71,9 @@ proptest! {
         // Keys non-decreasing.
         prop_assert!(drained.windows(2).all(|w| w[0].0 <= w[1].0));
         // Same multiset of entries.
-        let mut want = entries.clone();
+        let mut want = entries;
         want.sort_unstable();
-        let mut got = drained.clone();
+        let mut got = drained;
         got.sort_unstable();
         prop_assert_eq!(got, want);
     }

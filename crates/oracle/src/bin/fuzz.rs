@@ -146,7 +146,6 @@ fn main() -> ExitCode {
             };
             let out = args
                 .out
-                .clone()
                 .unwrap_or_else(|| format!("kpj-fuzz-failure-{seed}.kpjcase"));
             let mut text = format!("# {still}\n");
             text.push_str(&format_case(&min));

@@ -94,17 +94,17 @@ fn check_engines(case: &OracleCase, g: &Graph) -> Result<Vec<Length>, Violation>
                         format!("{tag}: destination {} not in V_T", p.destination()),
                     ));
                 }
-                if !seen.insert(p.nodes.clone()) {
+                if !seen.insert(p.nodes.to_vec()) {
                     return Err(violation(
                         "path-dedup",
                         format!("{tag}: duplicate {:?}", p.nodes),
                     ));
                 }
             }
-            if !r.paths.windows(2).all(|w| w[0].length <= w[1].length) {
+            let got: Vec<Length> = r.paths.lengths();
+            if !got.windows(2).all(|w| w[0] <= w[1]) {
                 return Err(violation("monotone-lengths", tag));
             }
-            let got: Vec<Length> = r.paths.iter().map(|p| p.length).collect();
             match &baseline {
                 None => baseline = Some(got),
                 Some(want) if *want != got => {

@@ -20,9 +20,10 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 
-use kpj_core::{Algorithm, KpjResult};
+use kpj_core::Algorithm;
 use kpj_graph::NodeId;
 
+use crate::service::Answer;
 use crate::ServiceError;
 
 /// Number of independently locked shards (power of two).
@@ -69,12 +70,12 @@ impl CacheKey {
 
 /// A computation other requests can wait on.
 struct Flight {
-    outcome: Mutex<Option<Result<Arc<KpjResult>, ServiceError>>>,
+    outcome: Mutex<Option<Result<Arc<Answer>, ServiceError>>>,
     done: Condvar,
 }
 
 impl Flight {
-    fn wait(&self) -> Result<Arc<KpjResult>, ServiceError> {
+    fn wait(&self) -> Result<Arc<Answer>, ServiceError> {
         let mut guard = self.outcome.lock().unwrap();
         loop {
             if let Some(outcome) = guard.as_ref() {
@@ -84,7 +85,7 @@ impl Flight {
         }
     }
 
-    fn publish(&self, outcome: Result<Arc<KpjResult>, ServiceError>) {
+    fn publish(&self, outcome: Result<Arc<Answer>, ServiceError>) {
         let mut guard = self.outcome.lock().unwrap();
         if guard.is_none() {
             *guard = Some(outcome);
@@ -94,7 +95,7 @@ impl Flight {
 }
 
 enum Slot {
-    Ready { value: Arc<KpjResult>, stamp: u64 },
+    Ready { value: Arc<Answer>, stamp: u64 },
     Pending(Arc<Flight>),
 }
 
@@ -106,7 +107,7 @@ struct Shard {
 /// Outcome of a cache lookup.
 pub enum Lookup {
     /// Completed entry — serve immediately.
-    Hit(Arc<KpjResult>),
+    Hit(Arc<Answer>),
     /// Nobody is computing this key; the caller now owns the flight and
     /// MUST resolve the returned [`InFlight`] token.
     Miss(InFlight),
@@ -121,7 +122,7 @@ pub struct SharedFlight {
 
 impl SharedFlight {
     /// Block until the owning request publishes its outcome.
-    pub fn wait(self) -> Result<Arc<KpjResult>, ServiceError> {
+    pub fn wait(self) -> Result<Arc<Answer>, ServiceError> {
         self.flight.wait()
     }
 }
@@ -141,7 +142,7 @@ pub struct InFlight {
 impl InFlight {
     /// Publish a successful result: waiters are woken and the entry
     /// becomes a [`Lookup::Hit`] for future requests.
-    pub fn complete(mut self, value: Arc<KpjResult>) {
+    pub fn complete(mut self, value: Arc<Answer>) {
         self.resolved = true;
         self.cache
             .finish(&self.key, Ok(Arc::clone(&value)), &self.flight);
@@ -185,7 +186,7 @@ impl CacheInner {
     fn finish(
         &self,
         key: &CacheKey,
-        outcome: Result<Arc<KpjResult>, ServiceError>,
+        outcome: Result<Arc<Answer>, ServiceError>,
         flight: &Arc<Flight>,
     ) {
         {
@@ -323,16 +324,16 @@ impl ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kpj_core::QueryStats;
+    use kpj_core::{KpjResult, QueryStats};
 
-    fn result_with_tau(tau: u64) -> Arc<KpjResult> {
-        Arc::new(KpjResult {
-            paths: Vec::new(),
+    fn result_with_tau(tau: u64) -> Arc<Answer> {
+        Arc::new(Answer::new(KpjResult {
+            paths: kpj_graph::PathSet::new(),
             stats: QueryStats {
                 final_tau: tau,
                 ..Default::default()
             },
-        })
+        }))
     }
 
     fn key(k: usize) -> CacheKey {

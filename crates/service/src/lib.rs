@@ -36,10 +36,11 @@
 //!     timeout_ms: Some(1_000),
 //! };
 //! let result = service.execute(&request).unwrap();
-//! assert_eq!(result.paths[0].length, 4);
+//! assert_eq!(result.paths.path(0).length, 4);
 //! let again = service.execute(&request).unwrap();   // served from cache
 //! assert_eq!(service.snapshot().cache_hits, 1);
-//! assert_eq!(again.paths[0].length, 4);
+//! assert_eq!(again.paths.path(0).length, 4);
+//! assert!(Arc::ptr_eq(&result, &again));          // no result copy on a hit
 //! ```
 
 #![warn(missing_docs)]
@@ -56,7 +57,7 @@ pub use cache::{CacheKey, InFlight, Lookup, ResultCache, SharedFlight};
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};
 pub use pool::{resolve_workers, EnginePool, JobHandle, PoolConfig, QueryRequest};
 pub use server::serve;
-pub use service::{KpjService, ServiceConfig};
+pub use service::{Answer, KpjService, ServiceConfig};
 
 /// Errors surfaced by the serving layer. `Clone` so single-flight can
 /// broadcast one failure to every waiter.

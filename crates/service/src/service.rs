@@ -3,7 +3,8 @@
 //! registry. The TCP server and the in-process batch API are both thin
 //! wrappers over [`KpjService::execute`].
 
-use std::sync::Arc;
+use std::fmt::Write as _;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use kpj_core::{KpjResult, QueryError};
@@ -14,6 +15,107 @@ use crate::cache::{CacheKey, Lookup, ResultCache};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::pool::{EnginePool, PoolConfig, QueryRequest};
 use crate::ServiceError;
+
+/// A completed query answer, shared (via `Arc`) between the result cache
+/// and every caller that hit it.
+///
+/// Besides the [`KpjResult`] itself (reachable through `Deref`), the
+/// answer memoizes its JSON wire encoding: the first front-end that needs
+/// the response body renders it once, straight off the flat
+/// [`PathSet`](kpj_graph::PathSet) — and every later cache hit serves the
+/// very same bytes. A cache hit therefore copies no paths at all: not into
+/// a result clone (the `Arc` is shared) and not into an encoder (the body
+/// string is shared too).
+pub struct Answer {
+    result: KpjResult,
+    /// Lazily rendered body fields, `[without paths, with paths]`.
+    body: [OnceLock<String>; 2],
+}
+
+impl Answer {
+    /// Wrap a freshly computed result.
+    pub fn new(result: KpjResult) -> Answer {
+        Answer {
+            result,
+            body: [OnceLock::new(), OnceLock::new()],
+        }
+    }
+
+    /// The underlying result (also available through `Deref`).
+    pub fn result(&self) -> &KpjResult {
+        &self.result
+    }
+
+    /// The JSON response fields that follow `"ok":true` — everything but
+    /// the per-request `id` envelope: `count`, `lengths`, optionally
+    /// `paths`, and `stats`. Rendered at most once per variant; repeat
+    /// calls (cache hits) return the same interned string.
+    pub fn wire_body(&self, want_paths: bool) -> &str {
+        self.body[usize::from(want_paths)].get_or_init(|| self.render_body(want_paths))
+    }
+
+    /// Serialize by walking the flat path storage directly — no
+    /// intermediate owned paths, no JSON value tree.
+    fn render_body(&self, want_paths: bool) -> String {
+        let paths = &self.result.paths;
+        let mut out = String::with_capacity(64 + paths.total_nodes() * 4);
+        write!(out, "\"count\":{}", paths.len()).unwrap();
+        out.push_str(",\"lengths\":[");
+        for (i, p) in paths.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(out, "{}", p.length).unwrap();
+        }
+        out.push(']');
+        if want_paths {
+            out.push_str(",\"paths\":[");
+            for (i, p) in paths.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                for (j, &n) in p.nodes.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    write!(out, "{n}").unwrap();
+                }
+                out.push(']');
+            }
+            out.push(']');
+        }
+        let s = &self.result.stats;
+        write!(
+            out,
+            ",\"stats\":{{\"sp\":{},\"lb\":{},\"settled\":{},\"relaxed\":{},\"subspaces\":{},\"tau\":{}}}",
+            s.shortest_path_computations,
+            s.lower_bound_computations,
+            s.nodes_settled,
+            s.edges_relaxed,
+            s.subspaces_created,
+            s.final_tau,
+        )
+        .unwrap();
+        out
+    }
+}
+
+impl std::ops::Deref for Answer {
+    type Target = KpjResult;
+
+    fn deref(&self) -> &KpjResult {
+        &self.result
+    }
+}
+
+impl std::fmt::Debug for Answer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Answer")
+            .field("result", &self.result)
+            .finish_non_exhaustive()
+    }
+}
 
 /// Service-level configuration.
 #[derive(Debug, Clone, Copy)]
@@ -78,7 +180,7 @@ impl KpjService {
 
     /// Execute one query end-to-end: cache lookup (with single-flight
     /// dedup), pool admission, deadline enforcement, metrics.
-    pub fn execute(&self, request: &QueryRequest) -> Result<Arc<KpjResult>, ServiceError> {
+    pub fn execute(&self, request: &QueryRequest) -> Result<Arc<Answer>, ServiceError> {
         let started = Instant::now();
         let Some(cache) = &self.cache else {
             return self.compute_recorded(request, started);
@@ -138,7 +240,7 @@ impl KpjService {
         &self,
         request: &QueryRequest,
         started: Instant,
-    ) -> Result<Arc<KpjResult>, ServiceError> {
+    ) -> Result<Arc<Answer>, ServiceError> {
         let handle = match self.pool.submit(request.clone()) {
             Ok(handle) => handle,
             Err(e) => {
@@ -153,7 +255,7 @@ impl KpjService {
                 self.metrics.absorb_stats(&result.stats);
                 self.metrics
                     .record_query(started.elapsed(), true, result.paths.len() as u64);
-                Ok(Arc::new(result))
+                Ok(Arc::new(Answer::new(result)))
             }
             Err(e) => {
                 if matches!(e, ServiceError::Query(QueryError::DeadlineExceeded)) {

@@ -16,6 +16,8 @@
 //! `message`. This module is pure string→string so the protocol is
 //! testable without sockets; [`server`](crate::server) adds the TCP.
 
+use std::fmt::Write as _;
+
 use kpj_core::{Algorithm, QueryError};
 use kpj_graph::NodeId;
 
@@ -74,7 +76,7 @@ fn node_list(value: &Json, what: &str) -> Result<Vec<NodeId>, String> {
 
 fn parse_query(req: &Json) -> Result<(QueryRequest, bool), String> {
     let algorithm = match req.get("algorithm").and_then(Json::as_str) {
-        Some(name) => name.parse::<Algorithm>().map_err(|e| e.to_string())?,
+        Some(name) => name.parse::<Algorithm>()?,
         None => Algorithm::IterBoundI,
     };
     let sources = node_list(req.get("sources").ok_or("missing `sources`")?, "sources")?;
@@ -109,35 +111,18 @@ fn parse_query(req: &Json) -> Result<(QueryRequest, bool), String> {
 
 fn run_query(service: &KpjService, id: Json, request: &QueryRequest, want_paths: bool) -> String {
     match service.execute(request) {
-        Ok(result) => {
-            let lengths: Vec<Json> = result.paths.iter().map(|p| Json::from(p.length)).collect();
-            let mut fields = vec![
-                ("id".to_string(), id),
-                ("ok".to_string(), Json::Bool(true)),
-                ("count".to_string(), Json::from(result.paths.len())),
-                ("lengths".to_string(), Json::Arr(lengths)),
-            ];
-            if want_paths {
-                let paths: Vec<Json> = result
-                    .paths
-                    .iter()
-                    .map(|p| Json::Arr(p.nodes.iter().map(|&n| Json::from(n as u64)).collect()))
-                    .collect();
-                fields.push(("paths".to_string(), Json::Arr(paths)));
-            }
-            let s = &result.stats;
-            fields.push((
-                "stats".to_string(),
-                Json::Obj(vec![
-                    ("sp".to_string(), Json::from(s.shortest_path_computations)),
-                    ("lb".to_string(), Json::from(s.lower_bound_computations)),
-                    ("settled".to_string(), Json::from(s.nodes_settled)),
-                    ("relaxed".to_string(), Json::from(s.edges_relaxed)),
-                    ("subspaces".to_string(), Json::from(s.subspaces_created)),
-                    ("tau".to_string(), Json::from(s.final_tau)),
-                ]),
-            ));
-            Json::Obj(fields).to_string()
+        Ok(answer) => {
+            // Splice the per-request envelope around the answer's memoized
+            // body: a cache hit reuses the exact bytes rendered on the
+            // miss, so no path data is re-encoded (or copied) per request.
+            let body = answer.wire_body(want_paths);
+            let mut out = String::with_capacity(body.len() + 32);
+            out.push_str("{\"id\":");
+            write!(out, "{id}").expect("writing to a String cannot fail");
+            out.push_str(",\"ok\":true,");
+            out.push_str(body);
+            out.push('}');
+            out
         }
         Err(e) => error_response(id, error_code(&e), &e.to_string()),
     }
@@ -267,6 +252,40 @@ mod tests {
                 .unwrap()
                 > 0
         );
+    }
+
+    #[test]
+    fn cache_hit_reuses_result_and_encoded_body() {
+        let svc = service();
+        let req = QueryRequest {
+            algorithm: Algorithm::Da,
+            sources: vec![0],
+            targets: vec![2],
+            k: 2,
+            timeout_ms: None,
+        };
+        let first = svc.execute(&req).unwrap();
+        let second = svc.execute(&req).unwrap();
+        // The hit shares the computed result — no KpjResult clone…
+        assert!(Arc::ptr_eq(&first, &second), "cache hit cloned the result");
+        // …and the JSON body is rendered once and interned: both calls
+        // return the very same string (pointer equality), so serving a hit
+        // copies no path data into an encoder either.
+        assert!(
+            std::ptr::eq(first.wire_body(true), second.wire_body(true)),
+            "cache hit re-encoded the body"
+        );
+        assert_eq!(svc.snapshot().cache_hits, 1);
+
+        // The spliced responses differ only in the id envelope.
+        let line = |id: u32| {
+            format!(
+                "{{\"id\":{id},\"op\":\"query\",\"algorithm\":\"da\",\"sources\":[0],\"targets\":[2],\"k\":2,\"paths\":true}}"
+            )
+        };
+        let a = handle_line(&svc, &line(41));
+        let b = handle_line(&svc, &line(42));
+        assert_eq!(a.replacen("\"id\":41", "\"id\":42", 1), b);
     }
 
     #[test]

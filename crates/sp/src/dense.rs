@@ -20,6 +20,7 @@ pub struct DenseDijkstra {
     direction: Direction,
     dist: Vec<Length>,
     parent: Vec<NodeId>,
+    heap: IndexedMinHeap<Length>,
 }
 
 impl DenseDijkstra {
@@ -35,32 +36,59 @@ impl DenseDijkstra {
         sources: impl IntoIterator<Item = (NodeId, Length)>,
     ) -> Self {
         let n = g.node_count();
-        let mut dist = vec![INFINITE_LENGTH; n];
-        let mut parent = vec![NO_PARENT; n];
-        let mut heap: IndexedMinHeap<Length> = IndexedMinHeap::new(n);
+        let mut this = DenseDijkstra {
+            direction,
+            dist: vec![INFINITE_LENGTH; n],
+            parent: vec![NO_PARENT; n],
+            heap: IndexedMinHeap::new(n),
+        };
+        this.search(g, sources);
+        this
+    }
+
+    /// Re-run the search in place, reusing the distance/parent arrays and
+    /// the heap — no allocations when the graph size is unchanged. This is
+    /// what lets a pooled engine rebuild its per-query SPT without paying
+    /// three `O(n)` allocations per query.
+    pub fn rerun(
+        &mut self,
+        g: &Graph,
+        direction: Direction,
+        sources: impl IntoIterator<Item = (NodeId, Length)>,
+    ) {
+        let n = g.node_count();
+        if self.dist.len() != n {
+            self.dist = vec![INFINITE_LENGTH; n];
+            self.parent = vec![NO_PARENT; n];
+            self.heap = IndexedMinHeap::new(n);
+        } else {
+            self.dist.fill(INFINITE_LENGTH);
+            self.parent.fill(NO_PARENT);
+            self.heap.clear();
+        }
+        self.direction = direction;
+        self.search(g, sources);
+    }
+
+    fn search(&mut self, g: &Graph, sources: impl IntoIterator<Item = (NodeId, Length)>) {
         for (s, d0) in sources {
-            if d0 < dist[s as usize] {
-                dist[s as usize] = d0;
-                heap.push_or_decrease(s as usize, d0);
+            if d0 < self.dist[s as usize] {
+                self.dist[s as usize] = d0;
+                self.heap.push_or_decrease(s as usize, d0);
             }
         }
-        while let Some((u, du)) = heap.pop() {
+        while let Some((u, du)) = self.heap.pop() {
             // `IndexedMinHeap` never yields stale entries, so `du` is final.
-            debug_assert_eq!(du, dist[u]);
-            for e in direction.edges(g, u as NodeId) {
+            debug_assert_eq!(du, self.dist[u]);
+            for e in self.direction.edges(g, u as NodeId) {
                 let nd = du.saturating_add(e.weight as Length);
                 let v = e.to as usize;
-                if nd < dist[v] {
-                    dist[v] = nd;
-                    parent[v] = u as NodeId;
-                    heap.push_or_decrease(v, nd);
+                if nd < self.dist[v] {
+                    self.dist[v] = nd;
+                    self.parent[v] = u as NodeId;
+                    self.heap.push_or_decrease(v, nd);
                 }
             }
-        }
-        DenseDijkstra {
-            direction,
-            dist,
-            parent,
         }
     }
 
@@ -240,6 +268,21 @@ mod tests {
             .map(|w| g.edge_weight(w[0], w[1]).unwrap() as Length)
             .sum();
         assert_eq!(len, d.dist(3));
+    }
+
+    #[test]
+    fn rerun_reuses_arrays_and_matches_fresh_run() {
+        let g = chain_graph();
+        let mut d = DenseDijkstra::from_source(&g, 0);
+        d.rerun(&g, Direction::Backward, [(3, 0), (1, 0)]);
+        let fresh = DenseDijkstra::to_targets(&g, &[3, 1]);
+        assert_eq!(d.dist_slice(), fresh.dist_slice());
+        assert_eq!(d.direction(), Direction::Backward);
+        assert_eq!(d.parent(2), 3);
+        // And back again: stale backward state must not leak through.
+        d.rerun(&g, Direction::Forward, [(0, 0)]);
+        assert_eq!(d.dist(3), 3);
+        assert_eq!(d.path_chain(3), Some(vec![0, 1, 2, 3]));
     }
 
     #[test]

@@ -272,6 +272,35 @@ impl Searcher {
         self.relaxed_edges
     }
 
+    /// The parent pointer of `v` from the last search ([`NO_PARENT`] for
+    /// seeds and unlabeled nodes). The allocation-free primitive behind
+    /// [`chain_to_root`](Searcher::chain_to_root).
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> NodeId {
+        self.parent.get(v as usize)
+    }
+
+    /// The parent-pointer chain `v, parent(v), …, root` from the last
+    /// search, pushed into `buf` (`v` first). Returns the number of nodes
+    /// pushed. Allocation-free when `buf` has capacity.
+    ///
+    /// # Panics
+    /// Panics if `v` carries no label from the last search.
+    pub fn extend_chain_to_root(&self, v: NodeId, buf: &mut Vec<NodeId>) -> usize {
+        assert!(
+            self.dist.is_set(v as usize),
+            "node {v} was not labeled in the last search"
+        );
+        let before = buf.len();
+        buf.push(v);
+        let mut cur = v;
+        while self.parent.get(cur as usize) != NO_PARENT {
+            cur = self.parent.get(cur as usize);
+            buf.push(cur);
+        }
+        buf.len() - before
+    }
+
     /// The parent-pointer chain `v, parent(v), …, root` from the last
     /// search (so: reversed path for `Direction::Forward` searches).
     ///

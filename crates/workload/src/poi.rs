@@ -136,7 +136,7 @@ mod tests {
     fn sampling_is_distinct_and_seeded() {
         let mut rng = SmallRng::seed_from_u64(5);
         let s = sample_distinct(&mut rng, 1_000, 100);
-        let mut d = s.clone();
+        let mut d = s;
         d.sort_unstable();
         d.dedup();
         assert_eq!(d.len(), 100);

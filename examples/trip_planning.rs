@@ -66,7 +66,8 @@ fn main() {
         .query(Algorithm::IterBoundI, source, &harbors, 1)
         .unwrap()
         .paths
-        .remove(0);
+        .path(0)
+        .to_path();
     println!(
         "\nBest route: {} road segments, total length {}, arriving at Harbor node {}",
         best.edge_count(),

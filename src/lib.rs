@@ -20,8 +20,8 @@
 //! // Answer a KPJ query with the paper's flagship algorithm.
 //! let mut engine = QueryEngine::new(&g);
 //! let top2 = engine.query(Algorithm::IterBoundI, 0, &[2, 3], 2).unwrap();
-//! assert_eq!(top2.paths[0].length, 7);  // 0-1-2
-//! assert_eq!(top2.paths[1].length, 8);  // 0-1-2-3 (beats the direct 0-3 of length 9)
+//! assert_eq!(top2.paths.path(0).length, 7);  // 0-1-2
+//! assert_eq!(top2.paths.path(1).length, 8);  // 0-1-2-3 (beats the direct 0-3 of length 9)
 //! ```
 
 #![warn(missing_docs)]

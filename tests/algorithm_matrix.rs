@@ -126,7 +126,7 @@ fn every_algorithm_on_every_family() {
                     assert!(case.sources.contains(&p.source()));
                     assert!(case.targets.contains(&p.destination()));
                     assert!(
-                        seen.insert(p.nodes.clone()),
+                        seen.insert(p.nodes.to_vec()),
                         "{}: duplicate path",
                         case.name
                     );

@@ -33,7 +33,7 @@ fn regression_da_spt_respects_excluded_edges_in_splice() {
     let mut engine = QueryEngine::new(&g);
     let r = engine.query(Algorithm::DaSpt, 0, &[3], 5).unwrap();
     assert_eq!(lengths(&r), vec![3, 7]);
-    assert_eq!(r.paths[1].nodes, vec![0, 2, 3]);
+    assert_eq!(r.paths.path(1).nodes, [0, 2, 3]);
     let r = engine.query(Algorithm::DaSptPascoal, 0, &[3], 5).unwrap();
     assert_eq!(lengths(&r), vec![3, 7]);
 }
@@ -55,7 +55,7 @@ fn zero_weight_cycles_and_ties() {
         let mut engine = QueryEngine::new(&g);
         let r = engine.query(alg, 0, &[3, 4], 10).unwrap();
         assert_eq!(lengths(&r), expect, "{}", alg.name());
-        let unique: HashSet<_> = r.paths.iter().map(|p| p.nodes.clone()).collect();
+        let unique: HashSet<_> = r.paths.iter().map(|p| p.nodes.to_vec()).collect();
         assert_eq!(unique.len(), r.paths.len(), "{}: duplicates", alg.name());
     }
 }

@@ -81,7 +81,7 @@ proptest! {
                     prop_assert!(p.is_simple());
                     prop_assert_eq!(p.source(), source);
                     prop_assert!(targets.contains(&p.destination()));
-                    prop_assert!(seen.insert(p.nodes.clone()), "duplicate path");
+                    prop_assert!(seen.insert(p.nodes.to_vec()), "duplicate path");
                 }
             }
         }

@@ -21,7 +21,7 @@ fn visit_matches_collecting_api() {
         let mut streamed = Vec::new();
         let stats = engine
             .query_visit(alg, 7, &targets, 15, |p| {
-                streamed.push(p);
+                streamed.push(p.to_path());
                 ControlFlow::Continue(())
             })
             .unwrap();
