@@ -12,8 +12,18 @@ cargo clippy --workspace --all-targets -- -D warnings -W clippy::redundant_clone
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
-echo "==> zero-allocation steady state (count-alloc feature)"
+echo "==> zero-allocation steady state, tracing enabled (count-alloc feature)"
 cargo test -q -p kpj-core --features count-alloc --test alloc_count
+
+echo "==> trace feature compiles out cleanly (no-default-features)"
+cargo check -q -p kpj-core --no-default-features
+cargo check -q -p kpj-service --no-default-features
+
+echo "==> metrics exposition smoke (serve -> {\"cmd\":\"metrics\"} -> Prometheus lines)"
+cargo test -q -p kpj-service --test metrics_smoke
+
+echo "==> slow-query flight recorder round trip (record -> kpj-fuzz replay)"
+cargo test -q -p kpj-oracle --test flight_recorder
 
 echo "==> release build (binaries: kpj-cli, kpj-serve, kpj-loadgen, kpj-fuzz, bench-kpj)"
 cargo build --release -q

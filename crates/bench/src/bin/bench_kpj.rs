@@ -54,12 +54,18 @@ const K: usize = 20;
 struct AlgoMeasurement {
     name: &'static str,
     batch: BatchResult,
+    /// ms/query with span tracing sampling every query (the serving
+    /// default) — `batch` itself is measured with tracing off, so the
+    /// difference is the tracer's overhead.
+    ms_per_query_trace: f64,
     allocs_per_query: f64,
     alloc_bytes_per_query: f64,
 }
 
 /// Warm the engine on the full query set once, then measure a second pass
-/// with allocation counting — steady-state numbers, not cold-start.
+/// with allocation counting — steady-state numbers, not cold-start. A
+/// third pass with the span tracer sampling every query measures the
+/// tracing overhead.
 fn measure(
     engine: &mut QueryEngine<'_>,
     alg: Algorithm,
@@ -67,15 +73,19 @@ fn measure(
     targets: &[NodeId],
 ) -> AlgoMeasurement {
     run_batch(engine, alg, sources, targets, K);
+    engine.set_trace_sampling(0);
     let calls0 = ALLOC_CALLS.load(Ordering::Relaxed);
     let bytes0 = ALLOC_BYTES.load(Ordering::Relaxed);
     let batch = run_batch(engine, alg, sources, targets, K);
     let calls = ALLOC_CALLS.load(Ordering::Relaxed) - calls0;
     let bytes = ALLOC_BYTES.load(Ordering::Relaxed) - bytes0;
+    engine.set_trace_sampling(1);
+    let traced = run_batch(engine, alg, sources, targets, K);
     let n = batch.queries.max(1) as f64;
     AlgoMeasurement {
         name: alg.name(),
         batch,
+        ms_per_query_trace: traced.ms_per_query(),
         allocs_per_query: calls as f64 / n,
         alloc_bytes_per_query: bytes as f64 / n,
     }
@@ -95,9 +105,10 @@ fn run_workload(g: &Graph, lm: &LandmarkIndex, w: &Workload) -> Vec<AlgoMeasurem
         .map(|&alg| {
             let m = measure(&mut engine, alg, &w.sources, &w.targets);
             eprintln!(
-                "  {:>12}: {:>9.3} ms/query  {:>8.1} allocs/query  {:>10.0} B/query",
+                "  {:>12}: {:>9.3} ms/query  {:>9.3} ms/query(trace)  {:>8.1} allocs/query  {:>10.0} B/query",
                 m.name,
                 m.batch.ms_per_query(),
+                m.ms_per_query_trace,
                 m.allocs_per_query,
                 m.alloc_bytes_per_query,
             );
@@ -197,8 +208,8 @@ fn main() {
             let qps = if ms > 0.0 { 1e3 / ms } else { 0.0 };
             let _ = write!(
                 json,
-                "        \"{}\": {{\"ms_per_query\": {:.4}, \"queries_per_sec\": {:.2}, \"allocs_per_query\": {:.1}, \"alloc_bytes_per_query\": {:.0}}}",
-                m.name, ms, qps, m.allocs_per_query, m.alloc_bytes_per_query,
+                "        \"{}\": {{\"ms_per_query\": {:.4}, \"ms_per_query_trace\": {:.4}, \"queries_per_sec\": {:.2}, \"allocs_per_query\": {:.1}, \"alloc_bytes_per_query\": {:.0}}}",
+                m.name, ms, m.ms_per_query_trace, qps, m.allocs_per_query, m.alloc_bytes_per_query,
             );
         }
         json.push_str("\n      }\n    }");

@@ -16,6 +16,7 @@
 use kpj_graph::scratch::{TimestampedMap, TimestampedSet};
 use kpj_graph::{Length, NodeId, PathId, PathStore, INFINITE_LENGTH};
 use kpj_heap::IndexedMinHeap;
+use kpj_obs::Stage;
 use kpj_sp::{DenseDijkstra, Estimate, NO_PARENT};
 
 use crate::pseudo_tree::{PseudoTree, VertexId, ROOT, VIRTUAL_NODE};
@@ -100,6 +101,8 @@ pub(crate) fn run_deviation(
             break;
         }
         let Some((_, found)) = c.pop() else { break };
+        stats.heap_pops += 1;
+        let tick = scratch.trace.start();
         divide_subspace(ctx, scratch, store, tree, found, stats);
         more = emit_found(scratch, store, tree, found, false, sink);
         // Alg. 1 line 6: recompute/compute candidates for every vertex of
@@ -116,6 +119,7 @@ pub(crate) fn run_deviation(
             }
             scratch.affected = affected;
         }
+        scratch.trace.record(Stage::DeviationRound, tick);
     }
     scratch.dev_heap = c;
     if let Some(spt) = mode.spt() {
@@ -278,6 +282,12 @@ fn candidate_with_spt(
     };
     stats.nodes_settled += settled_count;
     stats.edges_relaxed += relaxed;
+    stats.heap_pops += settled_count;
+    if result.is_none() {
+        // Heap exhausted (or deadline): the subspace holds no simple path,
+        // so it is dropped without ever entering the candidate queue.
+        stats.subspaces_skipped += 1;
+    }
     result
 }
 

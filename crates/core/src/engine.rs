@@ -4,6 +4,7 @@
 use kpj_graph::scratch::TimestampedSet;
 use kpj_graph::{Graph, Length, NodeId, PathRef, PathSet, PathStore, INFINITE_LENGTH};
 use kpj_landmark::LandmarkIndex;
+use kpj_obs::{SpanRecord, Stage};
 use kpj_sp::{DenseDijkstra, Direction, Estimate, SearchOrder};
 
 use crate::bounds::{SourceLb, TargetsLb};
@@ -241,6 +242,27 @@ impl<'g> QueryEngine<'g> {
         self.landmarks.is_some()
     }
 
+    /// Trace one query in every `every` (0 disables tracing, 1 — the
+    /// default — traces every query). Span recording is pre-allocated and
+    /// allocation-free either way; without the `trace` cargo feature this
+    /// is a no-op.
+    pub fn set_trace_sampling(&mut self, every: u32) {
+        self.scratch.trace.set_sampling(every);
+    }
+
+    /// The span trace of the most recent (sampled) query, oldest first,
+    /// as two contiguous halves of the span ring. Empty when the query
+    /// was not sampled or tracing is compiled out.
+    pub fn trace_spans(&self) -> (&[SpanRecord], &[SpanRecord]) {
+        self.scratch.trace.spans()
+    }
+
+    /// Spans evicted from the trace ring by the most recent query (0
+    /// unless the query recorded more than the ring capacity).
+    pub fn trace_dropped(&self) -> u64 {
+        self.scratch.trace.dropped()
+    }
+
     /// A KPJ query `{s, T, k}` (§2): top-`k` shortest simple paths from
     /// `source` to any node of `targets`.
     pub fn query(
@@ -434,6 +456,7 @@ impl<'g> QueryEngine<'g> {
         if targets.is_empty() || k == 0 {
             return Ok(());
         }
+        self.scratch.trace.begin();
 
         let mut src = std::mem::take(&mut self.src_buf);
         src.clear();
@@ -455,11 +478,13 @@ impl<'g> QueryEngine<'g> {
             self.source_set.insert(s as usize);
         }
 
+        let tick = self.scratch.trace.start();
         let to_targets = match self.landmarks {
             Some(idx) => TargetsLb::Alt(idx.for_targets(&tgt)),
             None => TargetsLb::Zero,
         };
         let from_sources = SourceLb::new(self.landmarks, &src);
+        self.scratch.trace.record(Stage::LandmarkBounds, tick);
 
         let mut store = std::mem::take(&mut self.store);
         store.reset();
@@ -582,6 +607,7 @@ impl<'g> QueryEngine<'g> {
                 // The full online reverse SPT (its construction cost is the
                 // baseline's Achilles heel the paper highlights). Pooled on
                 // the engine so repeat queries reuse its arrays.
+                let tick = self.scratch.trace.start();
                 let spt = match self.spt_scratch.take() {
                     Some(mut d) => {
                         d.rerun(self.g, Direction::Backward, targets.iter().map(|&t| (t, 0)));
@@ -589,6 +615,7 @@ impl<'g> QueryEngine<'g> {
                     }
                     None => DenseDijkstra::to_targets(self.g, targets),
                 };
+                self.scratch.trace.record(Stage::SptBuild, tick);
                 stats.nodes_settled += spt
                     .dist_slice()
                     .iter()
@@ -644,6 +671,7 @@ impl<'g> QueryEngine<'g> {
                 )
             }
             Algorithm::IterBoundP => {
+                let tick = self.scratch.trace.start();
                 let init = self.sptp.build(
                     self.g,
                     targets,
@@ -653,6 +681,7 @@ impl<'g> QueryEngine<'g> {
                     tree,
                     stats,
                 );
+                self.scratch.trace.record(Stage::SptBuild, tick);
                 if init.is_none() {
                     return;
                 }
@@ -705,9 +734,11 @@ impl<'g> QueryEngine<'g> {
             order: SearchOrder::Astar,
             deadline,
         };
+        let tick = self.scratch.trace.start();
         let init = self
             .spti
             .init(self.g, sources, &self.target_set, to_targets, store, stats);
+        self.scratch.trace.record(Stage::SptBuild, tick);
         if init.is_none() {
             return;
         }

@@ -22,6 +22,7 @@
 
 use kpj_graph::{Length, NodeId, PathStore, INFINITE_LENGTH};
 use kpj_heap::MinHeap;
+use kpj_obs::Stage;
 use kpj_sp::Estimate;
 
 use crate::pseudo_tree::{PseudoTree, VertexId, ROOT};
@@ -98,6 +99,7 @@ pub(crate) fn run_best_first<O: SubspaceOracle>(
         let Some((_, (vertex, payload))) = q.pop() else {
             break;
         };
+        stats.heap_pops += 1;
         match payload {
             Some(found) => {
                 more = emit(
@@ -183,6 +185,7 @@ pub(crate) fn run_iter_bound<O: SubspaceOracle>(
         let Some((key, (vertex, payload))) = q.pop() else {
             break;
         };
+        stats.heap_pops += 1;
         match payload {
             Some(found) => {
                 more = emit(
@@ -203,8 +206,13 @@ pub(crate) fn run_iter_bound<O: SubspaceOracle>(
                 // best other bound in the queue.
                 let base = key.max(q.peek_key().unwrap_or(key));
                 let tau = next_tau(base, alpha);
+                stats.tau_updates += 1;
                 stats.final_tau = stats.final_tau.max(tau);
+                // `prepare_tau` is where SPT_I regrows its tree — SPT
+                // build time, not search time.
+                let tick = scratch.trace.start();
                 oracle.prepare_tau(tau, stats);
+                scratch.trace.record(Stage::SptBuild, tick);
                 match subspace_search(
                     ctx,
                     scratch,
@@ -251,6 +259,7 @@ fn emit<O: SubspaceOracle>(
     reverse_output: bool,
     stats: &mut QueryStats,
 ) -> bool {
+    let tick = scratch.trace.start();
     let emitted_len = found.length;
     divide_subspace(ctx, scratch, store, tree, found, stats);
     let affected = std::mem::take(&mut scratch.affected);
@@ -260,10 +269,15 @@ fn emit<O: SubspaceOracle>(
             // Line 9 of Alg. 2: no path in a sub-subspace can be shorter
             // than the path just removed from it.
             q.push(lb.max(emitted_len), (v, None));
+        } else {
+            // A provably empty sub-subspace never enters the queue.
+            stats.subspaces_skipped += 1;
         }
     }
     scratch.affected = affected;
-    emit_found(scratch, store, tree, found, reverse_output, sink)
+    let more = emit_found(scratch, store, tree, found, reverse_output, sink);
+    scratch.trace.record(Stage::DeviationRound, tick);
+    more
 }
 
 #[cfg(test)]

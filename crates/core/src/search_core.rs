@@ -26,6 +26,7 @@
 use kpj_graph::scratch::TimestampedSet;
 use kpj_graph::{Graph, Length, NodeId, PathId, PathRef, PathSet, PathStore, INFINITE_LENGTH};
 use kpj_heap::MinHeap;
+use kpj_obs::{QueryTrace, Stage};
 use kpj_sp::{Direction, Estimate, SearchOrder, SearchOutcome, Searcher};
 
 use crate::deadline::Deadline;
@@ -161,6 +162,10 @@ pub(crate) struct SubspaceScratch {
     pub dev_heap: MinHeap<Length, FoundPath>,
     /// Pooled subspace queue of the best-first / iter-bound paradigms.
     pub para_heap: MinHeap<Length, (VertexId, Option<FoundPath>)>,
+    /// The query tracer: a pre-allocated span ring, threaded here so every
+    /// primitive and paradigm can record stage spans without new
+    /// parameters. A no-op ZST when the `trace` feature is off.
+    pub trace: QueryTrace,
 }
 
 impl SubspaceScratch {
@@ -174,6 +179,7 @@ impl SubspaceScratch {
             affected: Vec::new(),
             dev_heap: MinHeap::new(),
             para_heap: MinHeap::new(),
+            trace: QueryTrace::new(kpj_obs::trace::DEFAULT_SPAN_CAPACITY),
         }
     }
 }
@@ -272,6 +278,13 @@ pub(crate) fn subspace_search(
         scratch.seed_buf.push((u, plen));
     }
 
+    // Span only the full CompSP runs: bounded TestLB probes are numerous
+    // and cheap, and timing each would eat the <2% tracing budget.
+    let tick = if bound.is_none() {
+        Some(scratch.trace.start())
+    } else {
+        None
+    };
     let prefix_set = &scratch.prefix_set;
     let goal_set = ctx.goal_set;
     let deadline = ctx.deadline;
@@ -290,6 +303,12 @@ pub(crate) fn subspace_search(
     );
     stats.nodes_settled += scratch.searcher.settled_count();
     stats.edges_relaxed += scratch.searcher.relaxed_edges();
+    // Every settle popped the search heap once.
+    stats.heap_pops += scratch.searcher.settled_count();
+    stats.lb_prunes += scratch.searcher.pruned_count();
+    if let Some(tick) = tick {
+        scratch.trace.record(Stage::SpSearch, tick);
+    }
 
     match outcome {
         SearchOutcome::Found { node, dist } => {
@@ -299,7 +318,11 @@ pub(crate) fn subspace_search(
             stats.testlb_bounded += 1;
             SubspaceSearch::Bounded
         }
-        SearchOutcome::ExhaustedComplete => SubspaceSearch::Empty,
+        SearchOutcome::ExhaustedComplete => {
+            // The subspace is provably pathless: callers drop it.
+            stats.subspaces_skipped += 1;
+            SubspaceSearch::Empty
+        }
         SearchOutcome::Aborted => SubspaceSearch::Aborted,
     }
 }
@@ -359,7 +382,9 @@ pub(crate) fn divide_subspace(
     stats.subspaces_created += scratch.affected.len().saturating_sub(1);
     if ctx.goal_count == 1 {
         let affected = &mut scratch.affected;
+        let before = affected.len();
         affected.retain(|&v| !tree.emitted(v));
+        stats.subspaces_skipped += before - affected.len();
     }
 }
 

@@ -1,6 +1,10 @@
 //! Zero-allocation steady state: after one warm-up pass, a landmark-less
 //! [`QueryEngine`] answers repeat KPJ queries through `query_multi_into`
-//! without a single heap allocation, for every algorithm.
+//! without a single heap allocation, for every algorithm — *with the
+//! structured tracer recording spans*. The `trace` feature is on by
+//! default, so this test doubles as proof that span recording stays off
+//! the heap; the trace-gated assertions below verify spans were actually
+//! produced (the guarantee is not vacuous).
 //!
 //! Gated behind the `count-alloc` feature because it installs a counting
 //! global allocator for the whole test process:
@@ -104,8 +108,77 @@ fn warmed_engine_answers_queries_without_allocating() {
                 alg.name()
             );
             assert_eq!(out.lengths(), warm, "{}: answer drifted", alg.name());
+            // The zero-allocation claim must hold *while tracing*: every
+            // sampled query leaves a non-empty span trace behind.
+            #[cfg(feature = "trace")]
+            {
+                let (older, newer) = engine.trace_spans();
+                assert!(
+                    older.len() + newer.len() > 0,
+                    "{}: tracing was enabled but recorded no spans",
+                    alg.name()
+                );
+            }
         }
     }
+}
+
+/// Draining the span ring between queries (what the service pool worker
+/// does) is also allocation-free, and sampling can be retuned live
+/// without touching the heap.
+#[cfg(feature = "trace")]
+#[test]
+fn span_drain_and_sampling_are_allocation_free() {
+    use kpj_obs::Stage;
+
+    let g = lattice(300, 15);
+    let mut engine = QueryEngine::new(&g);
+    let mut out = PathSet::new();
+    let mut histogram = [0u64; Stage::COUNT];
+    engine
+        .query_multi_into(
+            Algorithm::IterBoundI,
+            &[3],
+            &[296],
+            8,
+            Deadline::none(),
+            &mut out,
+        )
+        .unwrap();
+
+    let before = alloc_calls();
+    engine.set_trace_sampling(1);
+    engine
+        .query_multi_into(
+            Algorithm::IterBoundI,
+            &[3],
+            &[296],
+            8,
+            Deadline::none(),
+            &mut out,
+        )
+        .unwrap();
+    let (older, newer) = engine.trace_spans();
+    let mut seen = 0usize;
+    for s in older.iter().chain(newer) {
+        histogram[s.stage.index()] += s.dur_ns;
+        seen += 1;
+    }
+    // Retune to "trace every third query" and run one untraced query.
+    engine.set_trace_sampling(3);
+    engine
+        .query_multi_into(
+            Algorithm::IterBoundI,
+            &[3],
+            &[296],
+            8,
+            Deadline::none(),
+            &mut out,
+        )
+        .unwrap();
+    assert_eq!(alloc_calls() - before, 0, "span drain allocated");
+    assert!(seen > 0, "sampled query recorded no spans");
+    assert!(histogram[Stage::SptBuild.index()] > 0 || histogram[Stage::SpSearch.index()] > 0);
 }
 
 #[test]

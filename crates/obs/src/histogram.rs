@@ -1,0 +1,190 @@
+//! A fixed-bucket log-linear latency histogram over microseconds.
+//!
+//! Layout: 16 one-µs linear buckets for the sub-16µs range (cache hits),
+//! then log2-major × 16-minor buckets up to `2^(4+32)` µs — far beyond any
+//! plausible query latency. Recording is a single relaxed atomic add, so
+//! one histogram can be shared by every worker without locks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of fine linear buckets covering 0..LINEAR_LIMIT_US µs.
+const LINEAR_BUCKETS: usize = 16;
+/// Upper edge of the linear region, microseconds.
+const LINEAR_LIMIT_US: u64 = 16;
+/// Log2 major buckets above the linear region; each is split into
+/// [`MINOR_BUCKETS`] equal minors, giving ~6% worst-case relative error.
+const MAJOR_BUCKETS: usize = 32;
+/// Minors per major bucket.
+const MINOR_BUCKETS: usize = 16;
+/// Total bucket count.
+pub(crate) const BUCKETS: usize = LINEAR_BUCKETS + MAJOR_BUCKETS * MINOR_BUCKETS;
+
+/// A fixed-bucket latency histogram over microseconds. See the module
+/// docs for the bucket layout.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub(crate) fn index_of(us: u64) -> usize {
+        if us < LINEAR_LIMIT_US {
+            return us as usize;
+        }
+        // us >= 16, so ilog2 >= 4.
+        let major = (us.ilog2() as u64 - 4).min(MAJOR_BUCKETS as u64 - 1);
+        let low = 16u64 << major; // lower edge of the major bucket
+        let width = low / MINOR_BUCKETS as u64; // ≥ 1 since low ≥ 16
+        let minor = ((us - low) / width).min(MINOR_BUCKETS as u64 - 1);
+        LINEAR_BUCKETS + (major as usize) * MINOR_BUCKETS + minor as usize
+    }
+
+    /// Representative (exclusive upper-edge) value of a bucket, µs.
+    pub(crate) fn upper_edge(idx: usize) -> u64 {
+        if idx < LINEAR_BUCKETS {
+            return idx as u64 + 1;
+        }
+        let rel = idx - LINEAR_BUCKETS;
+        let major = (rel / MINOR_BUCKETS) as u64;
+        let minor = (rel % MINOR_BUCKETS) as u64;
+        let low = 16u64 << major;
+        low + (minor + 1) * (low / MINOR_BUCKETS as u64)
+    }
+
+    /// Record one observation.
+    pub fn record(&self, latency: Duration) {
+        self.record_us(latency.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record one observation given directly in microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[Self::index_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) in microseconds, or `None`
+    /// when empty. Reported as the upper edge of the containing bucket.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(Self::upper_edge(i));
+            }
+        }
+        Some(self.max_us.load(Ordering::Relaxed))
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values, µs.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        let n = self.count.load(Ordering::Relaxed);
+        self.sum_us
+            .load(Ordering::Relaxed)
+            .checked_div(n)
+            .unwrap_or(0)
+    }
+
+    /// Largest recorded value, µs.
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Number of observations ≤ `us` (observations are integral µs, so
+    /// this counts every bucket whose exclusive upper edge is ≤ `us + 1`).
+    /// Exact at bucket boundaries; used for Prometheus `le` buckets.
+    pub fn count_le_us(&self, us: u64) -> u64 {
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            if Self::upper_edge(i) > us.saturating_add(1) {
+                break;
+            }
+            seen += b.load(Ordering::Relaxed);
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        let mut last = 0usize;
+        for us in 0..100_000u64 {
+            let idx = Histogram::index_of(us);
+            assert!(idx < BUCKETS);
+            assert!(idx >= last, "index went backwards at {us}");
+            last = idx;
+            assert!(
+                Histogram::upper_edge(idx) >= us.max(1),
+                "upper edge below sample at {us}"
+            );
+        }
+        // Astronomically large values stay in range.
+        assert!(Histogram::index_of(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn quantiles_are_close() {
+        let h = Histogram::default();
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        let p50 = h.quantile_us(0.50).unwrap();
+        let p99 = h.quantile_us(0.99).unwrap();
+        // ~6% worst-case relative error from the minor-bucket width.
+        assert!((468..=532).contains(&p50), "p50 = {p50}");
+        assert!((930..=1058).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max_us(), 1000);
+        assert!(h.mean_us() >= 495 && h.mean_us() <= 505);
+    }
+
+    #[test]
+    fn cumulative_counts_are_monotone_and_complete() {
+        let h = Histogram::default();
+        for us in [0u64, 1, 15, 16, 17, 1000, 50_000] {
+            h.record_us(us);
+        }
+        let mut last = 0;
+        for le in [0u64, 1, 15, 16, 100, 1_000, 100_000, u64::MAX / 2] {
+            let c = h.count_le_us(le);
+            assert!(c >= last, "count_le went backwards at {le}");
+            last = c;
+        }
+        assert_eq!(h.count_le_us(u64::MAX / 2), h.count());
+        assert_eq!(h.count_le_us(15), 3, "0, 1 and 15 are <= 15");
+    }
+}

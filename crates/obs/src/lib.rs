@@ -1,0 +1,36 @@
+//! kpj-obs — the observability substrate shared by every kpj layer.
+//!
+//! The paper's evaluation (§7) explains KPJ performance through *internal*
+//! quantities — shortest-path computations, lower-bound prunes, τ
+//! tightenings — not wall time alone. This crate provides the plumbing to
+//! surface those quantities from a serving stack without taxing the hot
+//! path:
+//!
+//! | Module | Provides |
+//! |---|---|
+//! | [`trace`] | [`QueryTrace`]: a pre-allocated per-worker span ring buffer recording stage-scoped timings, compiled out entirely without the `trace` feature |
+//! | [`histogram`] | [`Histogram`]: fixed-bucket log-linear latency histogram with approximate quantiles (moved here from `kpj-service`) |
+//! | [`registry`] | [`StageRegistry`]: histograms keyed by (algorithm, stage) plus per-algorithm work counters, rendered as Prometheus text |
+//!
+//! The crate deliberately depends on nothing: `kpj-graph`, `kpj-sp`,
+//! `kpj-core` and `kpj-service` can all use it. Algorithm names and
+//! counter names are caller-supplied `&'static str`s, so the registry
+//! never needs to know what an `Algorithm` is.
+//!
+//! # Zero-allocation contract
+//!
+//! [`QueryTrace`] allocates its ring buffer once at construction;
+//! [`QueryTrace::begin`], [`QueryTrace::start`] and [`QueryTrace::record`]
+//! never allocate, so a warmed engine traced at sampling rate 1 still
+//! answers queries with zero heap allocations (enforced by
+//! `kpj-core/tests/alloc_count.rs`).
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod registry;
+pub mod trace;
+
+pub use histogram::Histogram;
+pub use registry::StageRegistry;
+pub use trace::{QueryTrace, SpanRecord, Stage, Tick};

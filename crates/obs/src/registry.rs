@@ -1,0 +1,221 @@
+//! The per-(algorithm, stage) metrics registry and its Prometheus text
+//! exposition.
+//!
+//! A [`StageRegistry`] holds one [`Histogram`] per (algorithm, stage) cell
+//! plus one atomic counter per (algorithm, work counter) cell. Algorithm
+//! and counter names are supplied by the caller at construction, so this
+//! crate stays dependency-free: `kpj-service` builds the registry from
+//! `Algorithm::ALL` and `QueryStats::FIELD_NAMES`.
+//!
+//! All writes are relaxed atomics — workers share the registry through an
+//! `Arc` with no locks on the hot path.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::histogram::Histogram;
+use crate::trace::Stage;
+
+/// Fixed Prometheus `le` edges, microseconds (then `+Inf`). Spans three
+/// orders of magnitude around typical query latencies; the fine-grained
+/// quantiles stay available through [`Histogram::quantile_us`].
+const PROM_LE_US: [u64; 10] = [
+    16, 64, 256, 1_000, 4_000, 16_000, 64_000, 256_000, 1_024_000, 4_096_000,
+];
+
+/// Histograms keyed by (algorithm, stage) + per-algorithm work counters.
+pub struct StageRegistry {
+    algorithms: Vec<&'static str>,
+    counter_names: Vec<&'static str>,
+    /// `algorithms.len() × Stage::COUNT`, row-major by algorithm.
+    hists: Vec<Histogram>,
+    /// `algorithms.len() × counter_names.len()`, row-major by algorithm.
+    counters: Vec<AtomicU64>,
+}
+
+impl StageRegistry {
+    /// Build an all-zero registry for the given algorithm labels and work
+    /// counter names.
+    pub fn new(algorithms: Vec<&'static str>, counter_names: Vec<&'static str>) -> StageRegistry {
+        let hists = (0..algorithms.len() * Stage::COUNT)
+            .map(|_| Histogram::default())
+            .collect();
+        let counters = (0..algorithms.len() * counter_names.len())
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        StageRegistry {
+            algorithms,
+            counter_names,
+            hists,
+            counters,
+        }
+    }
+
+    /// The algorithm labels, in cell order.
+    pub fn algorithms(&self) -> &[&'static str] {
+        &self.algorithms
+    }
+
+    /// The work counter names, in cell order.
+    pub fn counter_names(&self) -> &[&'static str] {
+        &self.counter_names
+    }
+
+    /// The histogram of one (algorithm, stage) cell.
+    pub fn histogram(&self, algorithm: usize, stage: Stage) -> &Histogram {
+        &self.hists[algorithm * Stage::COUNT + stage.index()]
+    }
+
+    /// Record one stage duration for an algorithm.
+    pub fn record(&self, algorithm: usize, stage: Stage, latency: Duration) {
+        self.histogram(algorithm, stage).record(latency);
+    }
+
+    /// Record one stage duration given in nanoseconds.
+    pub fn record_ns(&self, algorithm: usize, stage: Stage, ns: u64) {
+        self.histogram(algorithm, stage).record_us(ns / 1_000);
+    }
+
+    /// Add `values[i]` to counter `i` of `algorithm`. `values` must be
+    /// parallel to [`counter_names`](Self::counter_names) (it may be
+    /// shorter; extra names keep their totals).
+    pub fn add_counters(&self, algorithm: usize, values: &[u64]) {
+        debug_assert!(values.len() <= self.counter_names.len());
+        let base = algorithm * self.counter_names.len();
+        for (i, &v) in values.iter().enumerate().take(self.counter_names.len()) {
+            if v != 0 {
+                self.counters[base + i].fetch_add(v, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Current value of counter `counter` for `algorithm`.
+    pub fn counter(&self, algorithm: usize, counter: usize) -> u64 {
+        self.counters[algorithm * self.counter_names.len() + counter].load(Ordering::Relaxed)
+    }
+
+    /// Sum of counter `counter` across every algorithm.
+    pub fn counter_total(&self, counter: usize) -> u64 {
+        (0..self.algorithms.len())
+            .map(|a| self.counter(a, counter))
+            .sum()
+    }
+
+    /// Render the whole registry in the Prometheus text exposition
+    /// format. Every (algorithm, stage) cell is emitted even at count 0,
+    /// so dashboards and the CI smoke check see the full matrix.
+    pub fn render_prometheus(&self, out: &mut String) {
+        out.push_str(
+            "# HELP kpj_stage_duration_seconds Per-stage query latency by algorithm.\n\
+             # TYPE kpj_stage_duration_seconds histogram\n",
+        );
+        for (a, alg) in self.algorithms.iter().enumerate() {
+            for stage in Stage::ALL {
+                let h = self.histogram(a, stage);
+                let labels = format!("algorithm=\"{alg}\",stage=\"{}\"", stage.name());
+                for le_us in PROM_LE_US {
+                    let _ = writeln!(
+                        out,
+                        "kpj_stage_duration_seconds_bucket{{{labels},le=\"{}\"}} {}",
+                        le_us as f64 / 1e6,
+                        h.count_le_us(le_us),
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "kpj_stage_duration_seconds_bucket{{{labels},le=\"+Inf\"}} {}",
+                    h.count(),
+                );
+                let _ = writeln!(
+                    out,
+                    "kpj_stage_duration_seconds_sum{{{labels}}} {}",
+                    h.sum_us() as f64 / 1e6,
+                );
+                let _ = writeln!(
+                    out,
+                    "kpj_stage_duration_seconds_count{{{labels}}} {}",
+                    h.count(),
+                );
+            }
+        }
+        out.push_str(
+            "# HELP kpj_engine_work_total Engine work counters (paper §7) by algorithm.\n\
+             # TYPE kpj_engine_work_total counter\n",
+        );
+        for (a, alg) in self.algorithms.iter().enumerate() {
+            for (c, name) in self.counter_names.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "kpj_engine_work_total{{algorithm=\"{alg}\",counter=\"{name}\"}} {}",
+                    self.counter(a, c),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> StageRegistry {
+        StageRegistry::new(vec!["DA", "IterBoundI"], vec!["heap_pops", "tau_updates"])
+    }
+
+    #[test]
+    fn cells_are_independent() {
+        let r = registry();
+        r.record(0, Stage::SpSearch, Duration::from_micros(100));
+        r.record(1, Stage::SpSearch, Duration::from_micros(5));
+        r.record(1, Stage::Total, Duration::from_micros(7));
+        assert_eq!(r.histogram(0, Stage::SpSearch).count(), 1);
+        assert_eq!(r.histogram(1, Stage::SpSearch).count(), 1);
+        assert_eq!(r.histogram(0, Stage::Total).count(), 0);
+        assert_eq!(r.histogram(1, Stage::Total).max_us(), 7);
+    }
+
+    #[test]
+    fn counters_accumulate_per_algorithm() {
+        let r = registry();
+        r.add_counters(0, &[3, 1]);
+        r.add_counters(0, &[2, 0]);
+        r.add_counters(1, &[10, 10]);
+        assert_eq!(r.counter(0, 0), 5);
+        assert_eq!(r.counter(0, 1), 1);
+        assert_eq!(r.counter(1, 0), 10);
+        assert_eq!(r.counter_total(0), 15);
+    }
+
+    #[test]
+    fn prometheus_render_has_every_cell_and_parses_shape() {
+        let r = registry();
+        r.record(0, Stage::DeviationRound, Duration::from_micros(42));
+        r.add_counters(1, &[9, 2]);
+        let mut text = String::new();
+        r.render_prometheus(&mut text);
+        for alg in ["DA", "IterBoundI"] {
+            for stage in Stage::ALL {
+                let series = format!(
+                    "kpj_stage_duration_seconds_count{{algorithm=\"{alg}\",stage=\"{}\"}}",
+                    stage.name()
+                );
+                assert!(text.contains(&series), "missing series {series}");
+            }
+        }
+        assert!(text
+            .contains("kpj_engine_work_total{algorithm=\"IterBoundI\",counter=\"heap_pops\"} 9"));
+        // Bucket counts are cumulative in `le`.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| {
+            l.starts_with(
+                "kpj_stage_duration_seconds_bucket{algorithm=\"DA\",stage=\"deviation_round\"",
+            )
+        }) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "bucket counts not cumulative: {line}");
+            last = v;
+        }
+        assert_eq!(last, 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the histogram registry: quantiles are monotone in
+//! `q` and bracket the data, empty histograms answer p50/p99 gracefully,
+//! and Prometheus bucket counts are cumulative.
+
+use std::time::Duration;
+
+use kpj_obs::{Histogram, Stage, StageRegistry};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    /// For any sample set, quantile_us is monotone non-decreasing in q,
+    /// and every quantile lies within [min_sample, upper_edge(max)].
+    #[test]
+    fn quantiles_are_monotone_and_bracket_the_data(
+        samples in vec(0..5_000_000u64, 1..200),
+    ) {
+        let h = Histogram::default();
+        for &us in &samples {
+            h.record(Duration::from_micros(us));
+        }
+        let qs = [0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let mut last = 0u64;
+        for q in qs {
+            let v = h.quantile_us(q).expect("non-empty histogram");
+            prop_assert!(v >= last, "quantile went backwards at q={}", q);
+            last = v;
+        }
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        prop_assert!(h.quantile_us(0.0).unwrap() >= min.min(1));
+        // Upper-edge reporting: at most ~6.25% above the true max.
+        let p100 = h.quantile_us(1.0).unwrap();
+        prop_assert!(p100 >= max);
+        prop_assert!(p100 <= max.max(16) + max / 8 + 1, "p100={} max={}", p100, max);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.max_us(), max);
+    }
+
+    /// count_le_us is monotone in the threshold and reaches count().
+    #[test]
+    fn cumulative_counts_are_monotone(
+        samples in vec(0..1_000_000u64, 0..100),
+        thresholds in vec(0..2_000_000u64, 1..20),
+    ) {
+        let h = Histogram::default();
+        for &us in &samples {
+            h.record_us(us);
+        }
+        let mut sorted = thresholds;
+        sorted.sort_unstable();
+        let mut last = 0u64;
+        for &t in &sorted {
+            let c = h.count_le_us(t);
+            prop_assert!(c >= last);
+            prop_assert!(c <= h.count());
+            last = c;
+        }
+        prop_assert_eq!(h.count_le_us(u64::MAX / 2), h.count());
+    }
+
+    /// Registry counters: adds from arbitrary interleavings sum exactly.
+    #[test]
+    fn registry_counter_adds_sum_exactly(
+        adds in vec((0..3usize, vec(0..1_000u64, 2)), 0..40),
+    ) {
+        let r = StageRegistry::new(
+            vec!["A", "B", "C"],
+            vec!["heap_pops", "lb_prunes"],
+        );
+        let mut expect = [[0u64; 2]; 3];
+        for (alg, vals) in &adds {
+            r.add_counters(*alg, vals);
+            expect[*alg][0] += vals[0];
+            expect[*alg][1] += vals[1];
+        }
+        for (a, row) in expect.iter().enumerate() {
+            for (c, &want) in row.iter().enumerate() {
+                prop_assert_eq!(r.counter(a, c), want);
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_histogram_quantiles_are_well_defined() {
+    let h = Histogram::default();
+    assert_eq!(h.quantile_us(0.5), None);
+    assert_eq!(h.quantile_us(0.99), None);
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.mean_us(), 0);
+    assert_eq!(h.max_us(), 0);
+    assert_eq!(h.count_le_us(1_000_000), 0);
+
+    // An empty registry still renders the complete series matrix, with
+    // every quantile-bearing field at a defined zero.
+    let r = StageRegistry::new(vec!["DA"], vec!["heap_pops"]);
+    let empty = r.histogram(0, Stage::SpSearch);
+    assert_eq!(empty.quantile_us(0.5), None);
+    let mut text = String::new();
+    r.render_prometheus(&mut text);
+    assert!(
+        text.contains("kpj_stage_duration_seconds_count{algorithm=\"DA\",stage=\"sp_search\"} 0")
+    );
+    assert!(text.contains("kpj_engine_work_total{algorithm=\"DA\",counter=\"heap_pops\"} 0"));
+}

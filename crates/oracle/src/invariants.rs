@@ -200,6 +200,7 @@ fn check_wire(case: &OracleCase, baseline: &[Length]) -> Result<(), Violation> {
                 queue_capacity: 8,
             },
             cache_capacity: 16,
+            ..ServiceConfig::default()
         },
     );
     let alg = Algorithm::ALL[(case.seed % Algorithm::ALL.len() as u64) as usize];

@@ -44,6 +44,9 @@ OPTIONS:
     --timeout-ms <MS>    per-query deadline         [default: none]
     --unique             draw sources from the whole query group
                          (defeats the result cache)
+
+Reports client-side (round-trip) and server-side (`server_us`) latency
+side by side. Exits non-zero if any response line is malformed.
 ";
 
 struct Opts {
@@ -113,9 +116,24 @@ fn num(s: &str, what: &str) -> Result<usize, String> {
 
 /// One request's outcome as seen by the client.
 struct Sample {
+    /// Round-trip latency measured by this client (includes the socket).
     latency_us: u64,
-    /// `"ok"` or the server's error code.
+    /// The server's own `server_us` measurement (queue + engine + encode,
+    /// no network); `None` on errors or protocol violations.
+    server_us: Option<u64>,
+    /// `"ok"`, the server's error code, or a protocol-violation marker.
     status: String,
+}
+
+impl Sample {
+    /// A response line that violates the wire protocol (as opposed to a
+    /// well-formed error) — any of these fails the whole run.
+    fn is_malformed(&self) -> bool {
+        matches!(
+            self.status.as_str(),
+            "unparseable_response" | "unparseable_error" | "missing_server_us"
+        )
+    }
 }
 
 fn run_connection(addr: &str, requests: &[String]) -> Result<Vec<Sample>, std::io::Error> {
@@ -138,16 +156,29 @@ fn run_connection(addr: &str, requests: &[String]) -> Result<Vec<Sample>, std::i
             ));
         }
         let latency_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
-        let status = match Json::parse(line.trim()) {
-            Ok(v) if v.get("ok").and_then(Json::as_bool) == Some(true) => "ok".to_string(),
-            Ok(v) => v
-                .get("error")
-                .and_then(Json::as_str)
-                .unwrap_or("unparseable_error")
-                .to_string(),
-            Err(_) => "unparseable_response".to_string(),
+        let (status, server_us) = match Json::parse(line.trim()) {
+            Ok(v) if v.get("ok").and_then(Json::as_bool) == Some(true) => {
+                // Every successful query response must carry the server's
+                // own latency; its absence is a protocol violation.
+                match v.get("server_us").and_then(Json::as_u64) {
+                    Some(us) => ("ok".to_string(), Some(us)),
+                    None => ("missing_server_us".to_string(), None),
+                }
+            }
+            Ok(v) => (
+                v.get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unparseable_error")
+                    .to_string(),
+                None,
+            ),
+            Err(_) => ("unparseable_response".to_string(), None),
         };
-        samples.push(Sample { latency_us, status });
+        samples.push(Sample {
+            latency_us,
+            server_us,
+            status,
+        });
     }
     Ok(samples)
 }
@@ -264,8 +295,11 @@ fn main() -> ExitCode {
         *by_status.entry(s.status.clone()).or_insert(0) += 1;
     }
     let ok = by_status.get("ok").copied().unwrap_or(0);
+    let malformed = samples.iter().filter(|s| s.is_malformed()).count();
     let mut latencies: Vec<u64> = samples.iter().map(|s| s.latency_us).collect();
     latencies.sort_unstable();
+    let mut server_latencies: Vec<u64> = samples.iter().filter_map(|s| s.server_us).collect();
+    server_latencies.sort_unstable();
 
     println!(
         "sent={} completed={} ok={} failed_connections={}",
@@ -291,17 +325,27 @@ fn main() -> ExitCode {
         },
         opts.connections
     );
-    println!(
-        "latency_us: p50={} p90={} p99={} max={}",
-        quantile(&latencies, 0.50),
-        quantile(&latencies, 0.90),
-        quantile(&latencies, 0.99),
-        latencies.last().copied().unwrap_or(0)
-    );
+    // Client (round-trip, includes network) and server (`server_us` from
+    // each response: queue + engine + encode) latency, side by side — the
+    // gap between the two rows is the socket + loadgen overhead.
+    println!("latency_us        p50        p90        p99        max");
+    for (label, l) in [("client", &latencies), ("server", &server_latencies)] {
+        println!(
+            "  {label:<8} {:>10} {:>10} {:>10} {:>10}",
+            quantile(l, 0.50),
+            quantile(l, 0.90),
+            quantile(l, 0.99),
+            l.last().copied().unwrap_or(0)
+        );
+    }
     if let Some(metrics) = fetch_server_metrics(&opts.addr) {
         println!("server: {metrics}");
     }
 
+    if malformed > 0 {
+        eprintln!("error: {malformed} malformed response line(s)");
+        return ExitCode::FAILURE;
+    }
     if samples.is_empty() {
         ExitCode::FAILURE
     } else {

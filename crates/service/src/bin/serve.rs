@@ -32,12 +32,16 @@ OPTIONS:
     --cache-cap <C>      result-cache entries    [default: 4096]
     --no-cache           disable the result cache
     --landmarks <L>      landmark count, 0=none  [default: 8]
+    --trace-sample <N>   trace 1-in-N queries, 0=off [default: 1]
+    --slow-ms <MS>       flight-record queries slower than MS (off by default)
+    --flight-dir <DIR>   where slow-query .kpjcase files go
+                         [default: kpj-flight-records]
 
-PROTOCOL (one JSON object per line, `id` echoed back):
+PROTOCOL (one JSON object per line, `id` echoed back, `cmd` = `op`):
     {\"id\":1,\"op\":\"ping\"}
     {\"id\":2,\"op\":\"query\",\"algorithm\":\"iterboundi\",\"sources\":[17],
      \"targets\":[100,2500],\"k\":20,\"timeout_ms\":250,\"paths\":false}
-    {\"id\":3,\"op\":\"metrics\"}
+    {\"cmd\":\"metrics\"}    (JSON counters + a `prometheus` text block)
 ";
 
 struct Opts {
@@ -49,6 +53,9 @@ struct Opts {
     queue_cap: usize,
     cache_cap: usize,
     landmarks: usize,
+    trace_sample: u32,
+    slow_ms: Option<u64>,
+    flight_dir: Option<String>,
 }
 
 fn parse_opts() -> Result<Opts, String> {
@@ -61,6 +68,9 @@ fn parse_opts() -> Result<Opts, String> {
         queue_cap: 256,
         cache_cap: 4_096,
         landmarks: 8,
+        trace_sample: 1,
+        slow_ms: None,
+        flight_dir: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -78,6 +88,11 @@ fn parse_opts() -> Result<Opts, String> {
             "--cache-cap" => opts.cache_cap = num(&value("--cache-cap")?, "--cache-cap")?,
             "--no-cache" => opts.cache_cap = 0,
             "--landmarks" => opts.landmarks = num(&value("--landmarks")?, "--landmarks")?,
+            "--trace-sample" => {
+                opts.trace_sample = num(&value("--trace-sample")?, "--trace-sample")? as u32
+            }
+            "--slow-ms" => opts.slow_ms = Some(num(&value("--slow-ms")?, "--slow-ms")? as u64),
+            "--flight-dir" => opts.flight_dir = Some(value("--flight-dir")?),
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -123,8 +138,17 @@ fn main() -> ExitCode {
             queue_capacity: opts.queue_cap,
         },
         cache_capacity: opts.cache_cap,
+        trace_sample: opts.trace_sample,
+        slow_query_ms: opts.slow_ms,
+        flight_dir: opts.flight_dir.clone(),
     };
     let service = Arc::new(KpjService::new(graph, landmarks, config));
+    if let Some(ms) = opts.slow_ms {
+        eprintln!(
+            "flight recorder: queries over {ms} ms dump to {}",
+            opts.flight_dir.as_deref().unwrap_or("kpj-flight-records")
+        );
+    }
 
     let listener = match TcpListener::bind(&opts.addr) {
         Ok(l) => l,

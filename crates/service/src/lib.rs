@@ -8,7 +8,8 @@
 //! | [`pool`] | [`EnginePool`]: N worker threads, each owning a private [`kpj_core::QueryEngine`], fed from a bounded queue with reject-on-full admission control |
 //! | [`cache`] | [`ResultCache`]: sharded LRU over completed results with single-flight deduplication of concurrent identical queries |
 //! | [`service`] | [`KpjService`]: cache → pool → deadline → metrics composition, the one call-site the front-ends share |
-//! | [`metrics`] | [`Metrics`]: atomic counters + latency histogram with p50/p99, summed engine [`kpj_core::QueryStats`] |
+//! | [`metrics`] | [`Metrics`]: atomic counters, per-(algorithm, stage) latency histograms in a [`kpj_obs::StageRegistry`], per-algorithm engine [`kpj_core::QueryStats`] counters, Prometheus text exposition |
+//! | [`flight`] | [`FlightRecorder`]: dumps queries slower than a threshold as replayable `.kpjcase` files with their span traces |
 //! | [`wire`] | the newline-delimited JSON protocol (pure string → string) |
 //! | [`server`] | the blocking TCP front-end (`kpj-serve` binary) |
 //! | [`json`] | minimal JSON parser/writer (the build is offline; no serde) |
@@ -46,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod pool;
@@ -54,8 +56,9 @@ pub mod service;
 pub mod wire;
 
 pub use cache::{CacheKey, InFlight, Lookup, ResultCache, SharedFlight};
-pub use metrics::{Histogram, Metrics, MetricsSnapshot};
-pub use pool::{resolve_workers, EnginePool, JobHandle, PoolConfig, QueryRequest};
+pub use flight::FlightRecorder;
+pub use metrics::{algorithm_index, Histogram, Metrics, MetricsSnapshot};
+pub use pool::{resolve_workers, EnginePool, JobHandle, PoolConfig, PoolHooks, QueryRequest};
 pub use server::serve;
 pub use service::{Answer, KpjService, ServiceConfig};
 

@@ -1,135 +1,49 @@
-//! Aggregated serving metrics: lock-free counters, a latency histogram
-//! with approximate quantiles, and summed [`QueryStats`] from the engine
-//! pool. One [`Metrics`] instance is shared (via `Arc`) by the pool
-//! workers, the cache, and the wire layer; reads take a consistent-enough
-//! [`MetricsSnapshot`] without stopping the world.
+//! Aggregated serving metrics: lock-free counters, per-(algorithm, stage)
+//! latency histograms in a [`StageRegistry`], and per-algorithm engine
+//! work counters mirroring [`QueryStats`]. One [`Metrics`] instance is
+//! shared (via `Arc`) by the pool workers, the cache, and the wire layer;
+//! reads take a consistent-enough [`MetricsSnapshot`] without stopping the
+//! world, and [`Metrics::render_prometheus`] exposes the full matrix in
+//! the Prometheus text format.
 
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use kpj_core::QueryStats;
+use kpj_core::{Algorithm, QueryStats};
+pub use kpj_obs::Histogram;
+use kpj_obs::{Stage, StageRegistry};
 
-/// Number of fine linear buckets covering 0..LINEAR_LIMIT_US µs.
-const LINEAR_BUCKETS: usize = 16;
-/// Upper edge of the linear region, microseconds.
-const LINEAR_LIMIT_US: u64 = 16;
-/// Log2 major buckets above the linear region; each is split into
-/// [`MINOR_BUCKETS`] equal minors, giving ~6% worst-case relative error.
-const MAJOR_BUCKETS: usize = 32;
-/// Minors per major bucket.
-const MINOR_BUCKETS: usize = 16;
-/// Total bucket count.
-const BUCKETS: usize = LINEAR_BUCKETS + MAJOR_BUCKETS * MINOR_BUCKETS;
-
-/// A fixed-bucket latency histogram over microseconds.
-///
-/// Layout: 16 one-µs linear buckets for the sub-16µs range (cache hits),
-/// then log2-major × 16-minor buckets up to `2^(4+32)` µs — far beyond any
-/// plausible query latency. Recording is a single relaxed atomic add.
-pub struct Histogram {
-    buckets: Vec<AtomicU64>,
-    count: AtomicU64,
-    sum_us: AtomicU64,
-    max_us: AtomicU64,
+/// Indices into [`QueryStats::FIELD_NAMES`] for the counters surfaced in
+/// [`MetricsSnapshot`]. Kept next to a compile-time length check so a
+/// reordering of the field table cannot silently skew the snapshot.
+mod field {
+    pub const SP: usize = 0;
+    pub const LB: usize = 1;
+    pub const TESTLB: usize = 2;
+    pub const SETTLED: usize = 4;
+    pub const RELAXED: usize = 5;
+    pub const SUBSPACES: usize = 7;
+    pub const HEAP_POPS: usize = 8;
+    pub const LB_PRUNES: usize = 9;
+    pub const SUBSPACES_SKIPPED: usize = 10;
+    pub const TAU_UPDATES: usize = 11;
 }
 
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram {
-            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
-            count: AtomicU64::new(0),
-            sum_us: AtomicU64::new(0),
-            max_us: AtomicU64::new(0),
-        }
-    }
-}
+const _: () = {
+    assert!(QueryStats::FIELD_NAMES.len() == 13);
+};
 
-impl Histogram {
-    fn index_of(us: u64) -> usize {
-        if us < LINEAR_LIMIT_US {
-            return us as usize;
-        }
-        // us >= 16, so ilog2 >= 4.
-        let major = (us.ilog2() as u64 - 4).min(MAJOR_BUCKETS as u64 - 1);
-        let low = 16u64 << major; // lower edge of the major bucket
-        let width = low / MINOR_BUCKETS as u64; // ≥ 1 since low ≥ 16
-        let minor = ((us - low) / width).min(MINOR_BUCKETS as u64 - 1);
-        LINEAR_BUCKETS + (major as usize) * MINOR_BUCKETS + minor as usize
-    }
-
-    /// Representative (upper-edge) value of a bucket, µs.
-    fn upper_edge(idx: usize) -> u64 {
-        if idx < LINEAR_BUCKETS {
-            return idx as u64 + 1;
-        }
-        let rel = idx - LINEAR_BUCKETS;
-        let major = (rel / MINOR_BUCKETS) as u64;
-        let minor = (rel % MINOR_BUCKETS) as u64;
-        let low = 16u64 << major;
-        low + (minor + 1) * (low / MINOR_BUCKETS as u64)
-    }
-
-    /// Record one observation.
-    pub fn record(&self, latency: Duration) {
-        let us = latency.as_micros().min(u64::MAX as u128) as u64;
-        self.buckets[Self::index_of(us)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-        self.max_us.fetch_max(us, Ordering::Relaxed);
-    }
-
-    /// Approximate quantile (`q` in `[0, 1]`) in microseconds, or `None`
-    /// when empty. Reported as the upper edge of the containing bucket.
-    pub fn quantile_us(&self, q: f64) -> Option<u64> {
-        let total = self.count.load(Ordering::Relaxed);
-        if total == 0 {
-            return None;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                return Some(Self::upper_edge(i));
-            }
-        }
-        Some(self.max_us.load(Ordering::Relaxed))
-    }
-
-    /// Number of recorded observations.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean latency in microseconds (0 when empty).
-    pub fn mean_us(&self) -> u64 {
-        let n = self.count.load(Ordering::Relaxed);
-        self.sum_us
-            .load(Ordering::Relaxed)
-            .checked_div(n)
-            .unwrap_or(0)
-    }
-
-    /// Largest recorded value, µs.
-    pub fn max_us(&self) -> u64 {
-        self.max_us.load(Ordering::Relaxed)
-    }
-}
-
-/// Summed engine-side work counters (a concurrent mirror of
-/// [`QueryStats`], aggregated across all workers).
-#[derive(Default)]
-struct WorkTotals {
-    shortest_path_computations: AtomicU64,
-    lower_bound_computations: AtomicU64,
-    testlb_calls: AtomicU64,
-    nodes_settled: AtomicU64,
-    edges_relaxed: AtomicU64,
-    subspaces_created: AtomicU64,
+/// Dense index of an algorithm in [`Algorithm::ALL`] — the row index of
+/// its registry cells.
+pub fn algorithm_index(alg: Algorithm) -> usize {
+    Algorithm::ALL
+        .iter()
+        .position(|&a| a == alg)
+        .expect("Algorithm::ALL is exhaustive")
 }
 
 /// Shared serving-layer metrics registry.
-#[derive(Default)]
 pub struct Metrics {
     queries: AtomicU64,
     failures: AtomicU64,
@@ -139,14 +53,43 @@ pub struct Metrics {
     cache_shared: AtomicU64,
     cache_misses: AtomicU64,
     paths_returned: AtomicU64,
+    /// End-to-end latency over every query regardless of algorithm (the
+    /// per-algorithm split lives in `registry` under [`Stage::Total`]).
     latency: Histogram,
-    work: WorkTotals,
+    /// Per-(algorithm, stage) histograms + per-algorithm work counters.
+    registry: StageRegistry,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
 }
 
 impl Metrics {
-    /// Fresh, all-zero registry.
+    /// Fresh, all-zero registry with one row per [`Algorithm::ALL`] entry
+    /// and one work counter per [`QueryStats::FIELD_NAMES`] entry.
     pub fn new() -> Metrics {
-        Metrics::default()
+        Metrics {
+            queries: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_shared: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            paths_returned: AtomicU64::new(0),
+            latency: Histogram::default(),
+            registry: StageRegistry::new(
+                Algorithm::ALL.iter().map(|a| a.name()).collect(),
+                QueryStats::FIELD_NAMES.to_vec(),
+            ),
+        }
+    }
+
+    /// The per-(algorithm, stage) registry.
+    pub fn registry(&self) -> &StageRegistry {
+        &self.registry
     }
 
     /// Record a completed query (success or engine failure) and its
@@ -158,6 +101,11 @@ impl Metrics {
         }
         self.paths_returned.fetch_add(paths, Ordering::Relaxed);
         self.latency.record(latency);
+    }
+
+    /// Record one stage duration for an algorithm.
+    pub fn record_stage(&self, alg: Algorithm, stage: Stage, latency: Duration) {
+        self.registry.record(algorithm_index(alg), stage, latency);
     }
 
     /// Record an admission-control rejection (queue full).
@@ -185,31 +133,50 @@ impl Metrics {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Fold one query's engine-side stats into the totals.
-    pub fn absorb_stats(&self, s: &QueryStats) {
-        let w = &self.work;
-        w.shortest_path_computations
-            .fetch_add(s.shortest_path_computations as u64, Ordering::Relaxed);
-        w.lower_bound_computations
-            .fetch_add(s.lower_bound_computations as u64, Ordering::Relaxed);
-        w.testlb_calls
-            .fetch_add(s.testlb_calls as u64, Ordering::Relaxed);
-        w.nodes_settled
-            .fetch_add(s.nodes_settled as u64, Ordering::Relaxed);
-        w.edges_relaxed
-            .fetch_add(s.edges_relaxed as u64, Ordering::Relaxed);
-        w.subspaces_created
-            .fetch_add(s.subspaces_created as u64, Ordering::Relaxed);
+    /// Fold one query's engine-side stats into that algorithm's work
+    /// counters.
+    pub fn absorb_stats(&self, alg: Algorithm, s: &QueryStats) {
+        self.registry
+            .add_counters(algorithm_index(alg), &s.field_values());
     }
 
-    /// The latency histogram (e.g. for extra quantiles).
+    /// The end-to-end latency histogram (e.g. for extra quantiles).
     pub fn latency(&self) -> &Histogram {
         &self.latency
     }
 
+    /// Render every metric in the Prometheus text exposition format: the
+    /// full (algorithm, stage) histogram matrix, the per-algorithm work
+    /// counters, and the service-level event counters.
+    pub fn render_prometheus(&self, out: &mut String) {
+        self.registry.render_prometheus(out);
+        out.push_str(
+            "# HELP kpj_service_events_total Service-level request outcomes.\n\
+             # TYPE kpj_service_events_total counter\n",
+        );
+        for (event, value) in [
+            ("queries", self.queries.load(Ordering::Relaxed)),
+            ("failures", self.failures.load(Ordering::Relaxed)),
+            ("rejected", self.rejected.load(Ordering::Relaxed)),
+            (
+                "deadline_exceeded",
+                self.deadline_exceeded.load(Ordering::Relaxed),
+            ),
+            ("cache_hits", self.cache_hits.load(Ordering::Relaxed)),
+            ("cache_shared", self.cache_shared.load(Ordering::Relaxed)),
+            ("cache_misses", self.cache_misses.load(Ordering::Relaxed)),
+            (
+                "paths_returned",
+                self.paths_returned.load(Ordering::Relaxed),
+            ),
+        ] {
+            let _ = writeln!(out, "kpj_service_events_total{{event=\"{event}\"}} {value}");
+        }
+    }
+
     /// Take a point-in-time snapshot. Counters are read individually with
     /// relaxed ordering; totals may be off by in-flight updates, which is
-    /// fine for monitoring.
+    /// fine for monitoring. Work counters are summed across algorithms.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             queries: self.queries.load(Ordering::Relaxed),
@@ -225,15 +192,16 @@ impl Metrics {
             latency_p50_us: self.latency.quantile_us(0.50).unwrap_or(0),
             latency_p99_us: self.latency.quantile_us(0.99).unwrap_or(0),
             latency_max_us: self.latency.max_us(),
-            shortest_path_computations: self
-                .work
-                .shortest_path_computations
-                .load(Ordering::Relaxed),
-            lower_bound_computations: self.work.lower_bound_computations.load(Ordering::Relaxed),
-            testlb_calls: self.work.testlb_calls.load(Ordering::Relaxed),
-            nodes_settled: self.work.nodes_settled.load(Ordering::Relaxed),
-            edges_relaxed: self.work.edges_relaxed.load(Ordering::Relaxed),
-            subspaces_created: self.work.subspaces_created.load(Ordering::Relaxed),
+            shortest_path_computations: self.registry.counter_total(field::SP),
+            lower_bound_computations: self.registry.counter_total(field::LB),
+            testlb_calls: self.registry.counter_total(field::TESTLB),
+            nodes_settled: self.registry.counter_total(field::SETTLED),
+            edges_relaxed: self.registry.counter_total(field::RELAXED),
+            subspaces_created: self.registry.counter_total(field::SUBSPACES),
+            heap_pops: self.registry.counter_total(field::HEAP_POPS),
+            lb_prunes: self.registry.counter_total(field::LB_PRUNES),
+            subspaces_skipped: self.registry.counter_total(field::SUBSPACES_SKIPPED),
+            tau_updates: self.registry.counter_total(field::TAU_UPDATES),
         }
     }
 }
@@ -279,6 +247,14 @@ pub struct MetricsSnapshot {
     pub edges_relaxed: u64,
     /// Summed engine stat: subspaces created.
     pub subspaces_created: u64,
+    /// Summed engine stat: heap pops across every priority queue.
+    pub heap_pops: u64,
+    /// Summed engine stat: frontier entries discarded by a lower bound.
+    pub lb_prunes: u64,
+    /// Summed engine stat: subspaces dropped without a search.
+    pub subspaces_skipped: u64,
+    /// Summed engine stat: τ-tightening rounds.
+    pub tau_updates: u64,
 }
 
 impl std::fmt::Display for MetricsSnapshot {
@@ -304,13 +280,18 @@ impl std::fmt::Display for MetricsSnapshot {
         )?;
         write!(
             f,
-            "engine: sp={} lb={} testlb={} settled={} relaxed={} subspaces={}",
+            "engine: sp={} lb={} testlb={} settled={} relaxed={} subspaces={} \
+             heap_pops={} lb_prunes={} subspaces_skipped={} tau_updates={}",
             self.shortest_path_computations,
             self.lower_bound_computations,
             self.testlb_calls,
             self.nodes_settled,
             self.edges_relaxed,
-            self.subspaces_created
+            self.subspaces_created,
+            self.heap_pops,
+            self.lb_prunes,
+            self.subspaces_skipped,
+            self.tau_updates
         )
     }
 }
@@ -320,36 +301,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bucket_index_is_monotone_and_bounded() {
-        let mut last = 0usize;
-        for us in 0..100_000u64 {
-            let idx = Histogram::index_of(us);
-            assert!(idx < BUCKETS);
-            assert!(idx >= last, "index went backwards at {us}");
-            last = idx;
-            assert!(
-                Histogram::upper_edge(idx) >= us.max(1),
-                "upper edge below sample at {us}"
-            );
+    fn algorithm_index_matches_registry_rows() {
+        let m = Metrics::new();
+        for (i, alg) in Algorithm::ALL.into_iter().enumerate() {
+            assert_eq!(algorithm_index(alg), i);
+            assert_eq!(m.registry().algorithms()[i], alg.name());
         }
-        // Astronomically large values stay in range.
-        assert!(Histogram::index_of(u64::MAX) < BUCKETS);
-    }
-
-    #[test]
-    fn quantiles_are_close() {
-        let h = Histogram::default();
-        for us in 1..=1000u64 {
-            h.record(Duration::from_micros(us));
-        }
-        let p50 = h.quantile_us(0.50).unwrap();
-        let p99 = h.quantile_us(0.99).unwrap();
-        // ~6% worst-case relative error from the minor-bucket width.
-        assert!((468..=532).contains(&p50), "p50 = {p50}");
-        assert!((930..=1058).contains(&p99), "p99 = {p99}");
-        assert_eq!(h.count(), 1000);
-        assert_eq!(h.max_us(), 1000);
-        assert!(h.mean_us() >= 495 && h.mean_us() <= 505);
+        assert_eq!(m.registry().counter_names(), QueryStats::FIELD_NAMES);
     }
 
     #[test]
@@ -365,10 +323,12 @@ mod tests {
         let stats = QueryStats {
             nodes_settled: 7,
             shortest_path_computations: 3,
+            heap_pops: 11,
+            subspaces_skipped: 2,
             ..Default::default()
         };
-        m.absorb_stats(&stats);
-        m.absorb_stats(&stats);
+        m.absorb_stats(Algorithm::Da, &stats);
+        m.absorb_stats(Algorithm::IterBoundI, &stats);
         let s = m.snapshot();
         assert_eq!(s.queries, 2);
         assert_eq!(s.failures, 1);
@@ -381,9 +341,39 @@ mod tests {
         assert_eq!(s.latency_count, 2);
         assert_eq!(s.nodes_settled, 14);
         assert_eq!(s.shortest_path_computations, 6);
+        assert_eq!(s.heap_pops, 22);
+        assert_eq!(s.subspaces_skipped, 4);
         assert!(s.latency_p99_us >= 2000);
+        // The per-algorithm split is preserved underneath the totals.
+        let da = algorithm_index(Algorithm::Da);
+        assert_eq!(m.registry().counter(da, field::HEAP_POPS), 11);
         let text = s.to_string();
         assert!(text.contains("queries=2"));
-        assert!(text.contains("p99="));
+        assert!(text.contains("heap_pops=22"));
+    }
+
+    #[test]
+    fn stage_recording_lands_in_the_right_cell() {
+        let m = Metrics::new();
+        m.record_stage(
+            Algorithm::BestFirst,
+            Stage::QueueWait,
+            Duration::from_micros(30),
+        );
+        let idx = algorithm_index(Algorithm::BestFirst);
+        assert_eq!(m.registry().histogram(idx, Stage::QueueWait).count(), 1);
+        assert_eq!(m.registry().histogram(idx, Stage::Total).count(), 0);
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_service_events() {
+        let m = Metrics::new();
+        m.record_query(Duration::from_micros(5), true, 1);
+        m.record_cache_miss();
+        let mut text = String::new();
+        m.render_prometheus(&mut text);
+        assert!(text.contains("kpj_service_events_total{event=\"queries\"} 1"));
+        assert!(text.contains("kpj_service_events_total{event=\"cache_misses\"} 1"));
+        assert!(text.contains("kpj_stage_duration_seconds_bucket{algorithm=\"DA\""));
     }
 }

@@ -13,12 +13,15 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use kpj_core::{Algorithm, Deadline, KpjResult, QueryEngine};
 use kpj_graph::{Graph, NodeId};
 use kpj_landmark::LandmarkIndex;
+use kpj_obs::Stage;
 
+use crate::flight::FlightRecorder;
+use crate::metrics::{algorithm_index, Metrics};
 use crate::ServiceError;
 
 /// One KPJ query as submitted to the pool.
@@ -81,6 +84,33 @@ pub fn resolve_workers(requested: usize) -> usize {
     }
 }
 
+/// Observability attachments for the pool. Workers own the engines, so
+/// everything that reads engine-side state (span traces, per-query work
+/// counters) has to happen on the worker thread — these hooks are how
+/// the service hands that work down.
+#[derive(Clone)]
+pub struct PoolHooks {
+    /// Per-(algorithm, stage) histogram + work-counter registry. Workers
+    /// drain each query's span trace into it and absorb [`kpj_core`]
+    /// `QueryStats` counters.
+    pub metrics: Option<Arc<Metrics>>,
+    /// Slow-query flight recorder; consulted after every successful
+    /// query with the engine-side latency.
+    pub flight: Option<Arc<FlightRecorder>>,
+    /// Trace 1-in-N queries (`0` disables tracing entirely).
+    pub trace_sample: u32,
+}
+
+impl Default for PoolHooks {
+    fn default() -> Self {
+        PoolHooks {
+            metrics: None,
+            flight: None,
+            trace_sample: 1,
+        }
+    }
+}
+
 /// Write-once reply slot shared between a worker and the submitter.
 struct ReplySlot {
     result: Mutex<Option<Result<KpjResult, ServiceError>>>,
@@ -126,6 +156,7 @@ impl JobHandle {
 struct Job {
     request: QueryRequest,
     slot: Arc<ReplySlot>,
+    submitted: Instant,
 }
 
 struct QueueState {
@@ -157,6 +188,16 @@ impl EnginePool {
         landmarks: Option<Arc<LandmarkIndex>>,
         config: PoolConfig,
     ) -> EnginePool {
+        EnginePool::with_hooks(graph, landmarks, config, PoolHooks::default())
+    }
+
+    /// [`new`](EnginePool::new) with observability hooks attached.
+    pub fn with_hooks(
+        graph: Arc<Graph>,
+        landmarks: Option<Arc<LandmarkIndex>>,
+        config: PoolConfig,
+        hooks: PoolHooks,
+    ) -> EnginePool {
         let worker_count = config.effective_workers();
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
@@ -172,9 +213,10 @@ impl EnginePool {
                 let shared = Arc::clone(&shared);
                 let graph = Arc::clone(&graph);
                 let landmarks = landmarks.clone();
+                let hooks = hooks.clone();
                 std::thread::Builder::new()
                     .name(format!("kpj-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &graph, landmarks.as_deref()))
+                    .spawn(move || worker_loop(&shared, &graph, landmarks.as_deref(), &hooks))
                     .expect("spawn pool worker")
             })
             .collect();
@@ -212,6 +254,7 @@ impl EnginePool {
             state.jobs.push_back(Job {
                 request,
                 slot: Arc::clone(&slot),
+                submitted: Instant::now(),
             });
         }
         self.shared.not_empty.notify_one();
@@ -237,16 +280,56 @@ impl Drop for EnginePool {
     }
 }
 
-fn build_engine<'g>(graph: &'g Graph, landmarks: Option<&'g LandmarkIndex>) -> QueryEngine<'g> {
-    let engine = QueryEngine::new(graph);
-    match landmarks {
-        Some(idx) => engine.with_landmarks(idx),
-        None => engine,
+fn build_engine<'g>(
+    graph: &'g Graph,
+    landmarks: Option<&'g LandmarkIndex>,
+    hooks: &PoolHooks,
+) -> QueryEngine<'g> {
+    let mut engine = QueryEngine::new(graph);
+    if let Some(idx) = landmarks {
+        engine = engine.with_landmarks(idx);
+    }
+    engine.set_trace_sampling(hooks.trace_sample);
+    engine
+}
+
+/// Drain the engine's span ring and the query's work counters into the
+/// registry, then hand a genuinely slow query to the flight recorder.
+/// Runs *before* the reply slot fills so that by the time a caller
+/// observes the answer, its metrics and any flight record exist.
+fn observe_query(
+    engine: &QueryEngine<'_>,
+    graph: &Graph,
+    hooks: &PoolHooks,
+    request: &QueryRequest,
+    queue_wait: Duration,
+    exec: Duration,
+    result: &KpjResult,
+) {
+    if let Some(metrics) = &hooks.metrics {
+        let registry = metrics.registry();
+        let alg = algorithm_index(request.algorithm);
+        registry.record(alg, Stage::QueueWait, queue_wait);
+        let (older, newer) = engine.trace_spans();
+        for span in older.iter().chain(newer) {
+            registry.record_ns(alg, span.stage, span.dur_ns);
+        }
+        metrics.absorb_stats(request.algorithm, &result.stats);
+    }
+    if let Some(flight) = &hooks.flight {
+        if exec >= flight.threshold() {
+            flight.maybe_record(graph, request, exec, engine.trace_spans(), result);
+        }
     }
 }
 
-fn worker_loop(shared: &Shared, graph: &Graph, landmarks: Option<&LandmarkIndex>) {
-    let mut engine = build_engine(graph, landmarks);
+fn worker_loop(
+    shared: &Shared,
+    graph: &Graph,
+    landmarks: Option<&LandmarkIndex>,
+    hooks: &PoolHooks,
+) {
+    let mut engine = build_engine(graph, landmarks, hooks);
     loop {
         let job = {
             let mut state = shared.state.lock().unwrap();
@@ -261,18 +344,26 @@ fn worker_loop(shared: &Shared, graph: &Graph, landmarks: Option<&LandmarkIndex>
             }
         };
         shared.executed.fetch_add(1, Ordering::Relaxed);
+        let queue_wait = job.submitted.elapsed();
         let r = &job.request;
+        let started = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             engine.query_multi_deadline(r.algorithm, &r.sources, &r.targets, r.k, r.deadline())
         }));
+        let exec = started.elapsed();
         match outcome {
-            Ok(result) => job.slot.fill(result.map_err(ServiceError::Query)),
+            Ok(result) => {
+                if let Ok(result) = &result {
+                    observe_query(&engine, graph, hooks, r, queue_wait, exec, result);
+                }
+                job.slot.fill(result.map_err(ServiceError::Query));
+            }
             Err(_) => {
                 // The engine's epoch-stamped scratch may be mid-update;
                 // rebuild it rather than trust a half-written state.
                 job.slot
                     .fill(Err(ServiceError::Internal("query panicked".to_string())));
-                engine = build_engine(graph, landmarks);
+                engine = build_engine(graph, landmarks, hooks);
             }
         }
     }
@@ -351,6 +442,47 @@ mod tests {
             Err(ServiceError::Query(kpj_core::QueryError::SourceOutOfRange(99))) => {}
             other => panic!("expected SourceOutOfRange, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn worker_hooks_populate_the_stage_registry() {
+        let metrics = Arc::new(Metrics::new());
+        let pool = EnginePool::with_hooks(
+            diamond(),
+            None,
+            PoolConfig {
+                workers: 1,
+                queue_capacity: 8,
+            },
+            PoolHooks {
+                metrics: Some(Arc::clone(&metrics)),
+                flight: None,
+                trace_sample: 1,
+            },
+        );
+        pool.run(request(2)).unwrap();
+        let idx = algorithm_index(Algorithm::IterBoundI);
+        // Queue wait is measured by the worker itself, trace or not.
+        assert_eq!(
+            metrics.registry().histogram(idx, Stage::QueueWait).count(),
+            1
+        );
+        // Work counters travel from the engine's QueryStats into the
+        // registry on the worker thread.
+        let snap = metrics.snapshot();
+        assert!(snap.heap_pops > 0, "heap pops not absorbed: {snap}");
+        // With tracing compiled in, engine-side spans land in their
+        // per-stage histograms too.
+        #[cfg(feature = "trace")]
+        assert!(
+            metrics.registry().histogram(idx, Stage::SptBuild).count() > 0
+                || metrics
+                    .registry()
+                    .histogram(idx, Stage::DeviationRound)
+                    .count()
+                    > 0,
+            "no engine spans reached the registry"
+        );
     }
 
     #[test]

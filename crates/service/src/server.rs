@@ -71,6 +71,7 @@ mod tests {
                     queue_capacity: 4,
                 },
                 cache_capacity: 4,
+                ..ServiceConfig::default()
             },
         ));
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();

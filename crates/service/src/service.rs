@@ -5,15 +5,17 @@
 
 use std::fmt::Write as _;
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use kpj_core::{KpjResult, QueryError};
 use kpj_graph::Graph;
 use kpj_landmark::LandmarkIndex;
+use kpj_obs::Stage;
 
 use crate::cache::{CacheKey, Lookup, ResultCache};
+use crate::flight::FlightRecorder;
 use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::pool::{EnginePool, PoolConfig, QueryRequest};
+use crate::pool::{EnginePool, PoolConfig, PoolHooks, QueryRequest};
 use crate::ServiceError;
 
 /// A completed query answer, shared (via `Arc`) between the result cache
@@ -85,18 +87,10 @@ impl Answer {
             }
             out.push(']');
         }
-        let s = &self.result.stats;
-        write!(
-            out,
-            ",\"stats\":{{\"sp\":{},\"lb\":{},\"settled\":{},\"relaxed\":{},\"subspaces\":{},\"tau\":{}}}",
-            s.shortest_path_computations,
-            s.lower_bound_computations,
-            s.nodes_settled,
-            s.edges_relaxed,
-            s.subspaces_created,
-            s.final_tau,
-        )
-        .unwrap();
+        // One serializer for every QueryStats field — the wire `stats`
+        // block and the metrics registry can never drift apart again.
+        out.push_str(",\"stats\":");
+        self.result.stats.write_json(&mut out);
         out
     }
 }
@@ -118,13 +112,22 @@ impl std::fmt::Debug for Answer {
 }
 
 /// Service-level configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Engine-pool sizing.
     pub pool: PoolConfig,
     /// Result-cache capacity in completed entries; `0` disables caching
     /// (every request goes to the pool).
     pub cache_capacity: usize,
+    /// Trace 1-in-N queries through the engine span tracer (`0` turns
+    /// span recording off; work counters and queue-wait are always on).
+    pub trace_sample: u32,
+    /// Latency threshold for the slow-query flight recorder; `None`
+    /// disables recording.
+    pub slow_query_ms: Option<u64>,
+    /// Directory the flight recorder writes `.kpjcase` files into.
+    /// `None` means `kpj-flight-records` under the working directory.
+    pub flight_dir: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -132,6 +135,9 @@ impl Default for ServiceConfig {
         ServiceConfig {
             pool: PoolConfig::default(),
             cache_capacity: 1024,
+            trace_sample: 1,
+            slow_query_ms: None,
+            flight_dir: None,
         }
     }
 }
@@ -146,6 +152,7 @@ pub struct KpjService {
     pool: EnginePool,
     cache: Option<ResultCache>,
     metrics: Arc<Metrics>,
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl KpjService {
@@ -156,16 +163,39 @@ impl KpjService {
         landmarks: Option<Arc<LandmarkIndex>>,
         config: ServiceConfig,
     ) -> KpjService {
+        let metrics = Arc::new(Metrics::new());
+        let flight = config.slow_query_ms.and_then(|ms| {
+            let dir = config.flight_dir.as_deref().unwrap_or("kpj-flight-records");
+            match FlightRecorder::new(dir, Duration::from_millis(ms)) {
+                Ok(rec) => Some(Arc::new(rec)),
+                Err(e) => {
+                    // A broken record directory must not stop serving.
+                    eprintln!("flight recorder disabled: cannot create {dir}: {e}");
+                    None
+                }
+            }
+        });
+        let hooks = PoolHooks {
+            metrics: Some(Arc::clone(&metrics)),
+            flight: flight.clone(),
+            trace_sample: config.trace_sample,
+        };
         KpjService {
-            pool: EnginePool::new(graph, landmarks, config.pool),
+            pool: EnginePool::with_hooks(graph, landmarks, config.pool, hooks),
             cache: (config.cache_capacity > 0).then(|| ResultCache::new(config.cache_capacity)),
-            metrics: Arc::new(Metrics::new()),
+            metrics,
+            flight,
         }
     }
 
     /// The shared metrics registry.
     pub fn metrics(&self) -> &Arc<Metrics> {
         &self.metrics
+    }
+
+    /// The flight recorder, when slow-query recording is enabled.
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight.as_ref()
     }
 
     /// Convenience snapshot of all counters.
@@ -182,6 +212,18 @@ impl KpjService {
     /// dedup), pool admission, deadline enforcement, metrics.
     pub fn execute(&self, request: &QueryRequest) -> Result<Arc<Answer>, ServiceError> {
         let started = Instant::now();
+        let out = self.execute_inner(request, started);
+        // End-to-end service latency, successful or not, per algorithm.
+        self.metrics
+            .record_stage(request.algorithm, Stage::Total, started.elapsed());
+        out
+    }
+
+    fn execute_inner(
+        &self,
+        request: &QueryRequest,
+        started: Instant,
+    ) -> Result<Arc<Answer>, ServiceError> {
         let Some(cache) = &self.cache else {
             return self.compute_recorded(request, started);
         };
@@ -192,7 +234,11 @@ impl KpjService {
             request.k,
         );
         for _ in 0..=SHARED_RETRIES {
-            match cache.lookup(&key) {
+            let probe = Instant::now();
+            let looked = cache.lookup(&key);
+            self.metrics
+                .record_stage(request.algorithm, Stage::CacheLookup, probe.elapsed());
+            match looked {
                 Lookup::Hit(value) => {
                     self.metrics.record_cache_hit();
                     self.metrics
@@ -252,7 +298,8 @@ impl KpjService {
         };
         match handle.wait() {
             Ok(result) => {
-                self.metrics.absorb_stats(&result.stats);
+                // Work counters were already absorbed by the worker that
+                // ran the query (it knows the span trace too).
                 self.metrics
                     .record_query(started.elapsed(), true, result.paths.len() as u64);
                 Ok(Arc::new(Answer::new(result)))

@@ -17,9 +17,11 @@
 //! testable without sockets; [`server`](crate::server) adds the TCP.
 
 use std::fmt::Write as _;
+use std::time::Instant;
 
 use kpj_core::{Algorithm, QueryError};
 use kpj_graph::NodeId;
+use kpj_obs::Stage;
 
 use crate::json::Json;
 use crate::pool::QueryRequest;
@@ -41,7 +43,13 @@ pub fn handle_line(service: &KpjService, line: &str) -> String {
         Err(e) => return error_response(Json::Null, "bad_request", &format!("bad json: {e}")),
     };
     let id = parsed.get("id").cloned().unwrap_or(Json::Null);
-    match parsed.get("op").and_then(Json::as_str) {
+    // `cmd` is accepted as an alias of `op` (curl-friendly shorthand used
+    // throughout the docs: `{"cmd":"metrics"}`).
+    let op = parsed
+        .get("op")
+        .or_else(|| parsed.get("cmd"))
+        .and_then(Json::as_str);
+    match op {
         Some("ping") => Json::Obj(vec![
             ("id".to_string(), id),
             ("ok".to_string(), Json::Bool(true)),
@@ -54,7 +62,7 @@ pub fn handle_line(service: &KpjService, line: &str) -> String {
             Err(message) => error_response(id, "bad_request", &message),
         },
         Some(other) => error_response(id, "bad_request", &format!("unknown op `{other}`")),
-        None => error_response(id, "bad_request", "missing `op`"),
+        None => error_response(id, "bad_request", "missing `op` (or `cmd`)"),
     }
 }
 
@@ -110,18 +118,27 @@ fn parse_query(req: &Json) -> Result<(QueryRequest, bool), String> {
 }
 
 fn run_query(service: &KpjService, id: Json, request: &QueryRequest, want_paths: bool) -> String {
+    let started = Instant::now();
     match service.execute(request) {
         Ok(answer) => {
+            // Server-side latency (execute only, no socket time) rides in
+            // the envelope so clients can split network from compute.
+            let server_us = started.elapsed().as_micros() as u64;
+            let encode = Instant::now();
             // Splice the per-request envelope around the answer's memoized
             // body: a cache hit reuses the exact bytes rendered on the
             // miss, so no path data is re-encoded (or copied) per request.
             let body = answer.wire_body(want_paths);
-            let mut out = String::with_capacity(body.len() + 32);
+            let mut out = String::with_capacity(body.len() + 48);
             out.push_str("{\"id\":");
             write!(out, "{id}").expect("writing to a String cannot fail");
-            out.push_str(",\"ok\":true,");
+            write!(out, ",\"ok\":true,\"server_us\":{server_us},")
+                .expect("writing to a String cannot fail");
             out.push_str(body);
             out.push('}');
+            service
+                .metrics()
+                .record_stage(request.algorithm, Stage::Encode, encode.elapsed());
             out
         }
         Err(e) => error_response(id, error_code(&e), &e.to_string()),
@@ -130,6 +147,8 @@ fn run_query(service: &KpjService, id: Json, request: &QueryRequest, want_paths:
 
 fn metrics_response(service: &KpjService, id: Json) -> String {
     let s = service.snapshot();
+    let mut prometheus = String::new();
+    service.metrics().render_prometheus(&mut prometheus);
     Json::Obj(vec![
         ("id".to_string(), id),
         ("ok".to_string(), Json::Bool(true)),
@@ -158,8 +177,18 @@ fn metrics_response(service: &KpjService, id: Json) -> String {
                     Json::from(s.shortest_path_computations),
                 ),
                 ("testlb_calls".to_string(), Json::from(s.testlb_calls)),
+                ("heap_pops".to_string(), Json::from(s.heap_pops)),
+                ("lb_prunes".to_string(), Json::from(s.lb_prunes)),
+                (
+                    "subspaces_skipped".to_string(),
+                    Json::from(s.subspaces_skipped),
+                ),
+                ("tau_updates".to_string(), Json::from(s.tau_updates)),
             ]),
         ),
+        // The full (algorithm, stage) histogram matrix, ready to be
+        // dropped into a Prometheus scrape or `kpj-cli --metrics`.
+        ("prometheus".to_string(), Json::from(prometheus.as_str())),
     ])
     .to_string()
 }
@@ -205,6 +234,7 @@ mod tests {
                 queue_capacity: 8,
             },
             cache_capacity: 16,
+            ..ServiceConfig::default()
         };
         KpjService::new(Arc::new(b.build()), None, config)
     }
@@ -277,15 +307,24 @@ mod tests {
         );
         assert_eq!(svc.snapshot().cache_hits, 1);
 
-        // The spliced responses differ only in the id envelope.
+        // The spliced responses differ only in the per-request envelope
+        // (id + measured server_us); the shared body bytes are identical.
         let line = |id: u32| {
             format!(
                 "{{\"id\":{id},\"op\":\"query\",\"algorithm\":\"da\",\"sources\":[0],\"targets\":[2],\"k\":2,\"paths\":true}}"
             )
         };
+        let scrub = |resp: &str| {
+            let start =
+                resp.find("\"server_us\":").expect("server_us present") + "\"server_us\":".len();
+            let digits = resp[start..]
+                .find(|c: char| !c.is_ascii_digit())
+                .expect("terminated number");
+            format!("{}0{}", &resp[..start], &resp[start + digits..])
+        };
         let a = handle_line(&svc, &line(41));
         let b = handle_line(&svc, &line(42));
-        assert_eq!(a.replacen("\"id\":41", "\"id\":42", 1), b);
+        assert_eq!(scrub(&a).replacen("\"id\":41", "\"id\":42", 1), scrub(&b));
     }
 
     #[test]
@@ -414,10 +453,21 @@ mod tests {
             &svc,
             r#"{"id":2,"op":"query","sources":[0],"targets":[2],"k":1}"#,
         );
-        let v = Json::parse(&handle_line(&svc, r#"{"id":9,"op":"metrics"}"#)).unwrap();
+        // `cmd` is an accepted alias of `op`.
+        let v = Json::parse(&handle_line(&svc, r#"{"id":9,"cmd":"metrics"}"#)).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
         let m = v.get("metrics").unwrap();
         assert_eq!(m.get("queries").unwrap().as_u64(), Some(2));
         assert_eq!(m.get("cache_hits").unwrap().as_u64(), Some(1));
         assert_eq!(m.get("cache_misses").unwrap().as_u64(), Some(1));
+        assert!(m.get("heap_pops").unwrap().as_u64().unwrap() > 0);
+        // The exposition block is a valid-looking Prometheus text dump
+        // covering the default algorithm's stage histograms.
+        let prom = v.get("prometheus").unwrap().as_str().unwrap();
+        assert!(prom.contains("kpj_stage_duration_seconds_bucket{algorithm=\"IterBoundI\""));
+        assert!(
+            prom.contains("kpj_engine_work_total{algorithm=\"IterBoundI\",counter=\"heap_pops\"}")
+        );
+        assert!(prom.contains("kpj_service_events_total{event=\"queries\"} 2"));
     }
 }

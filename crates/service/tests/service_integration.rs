@@ -40,6 +40,7 @@ fn single_flight_computes_identical_queries_once() {
                 queue_capacity: 64,
             },
             cache_capacity: 64,
+            ..ServiceConfig::default()
         },
     ));
 
@@ -97,6 +98,7 @@ fn permuted_node_sets_hit_the_cache() {
                 queue_capacity: 16,
             },
             cache_capacity: 16,
+            ..ServiceConfig::default()
         },
     );
 
@@ -225,6 +227,7 @@ fn deadline_expiry_does_not_poison_worker_scratch() {
                 queue_capacity: 16,
             },
             cache_capacity: 16,
+            ..ServiceConfig::default()
         },
     );
 

@@ -99,6 +99,7 @@ pub struct Searcher {
     settled: TimestampedSet,
     settled_count: usize,
     relaxed_edges: usize,
+    pruned_count: usize,
 }
 
 impl Searcher {
@@ -111,6 +112,7 @@ impl Searcher {
             settled: TimestampedSet::new(n),
             settled_count: 0,
             relaxed_edges: 0,
+            pruned_count: 0,
         }
     }
 
@@ -175,17 +177,17 @@ impl Searcher {
         self.settled.clear();
         self.settled_count = 0;
         self.relaxed_edges = 0;
-        let mut pruned = false;
+        let mut prunes = 0usize;
 
         // Returns the heap key for an admissible node: f = g + h under
         // Astar order, plain g under Dijkstra order (h still prunes).
-        let mut admit = |v: NodeId, d: Length, pruned: &mut bool| -> Option<Length> {
+        let mut admit = |v: NodeId, d: Length, prunes: &mut usize| -> Option<Length> {
             match estimate(v) {
                 Estimate::Bound(h) => {
                     let f = d.saturating_add(h);
                     match bound {
                         Some(tau) if f > tau => {
-                            *pruned = true;
+                            *prunes += 1;
                             None
                         }
                         _ => Some(match order {
@@ -196,57 +198,61 @@ impl Searcher {
                 }
                 Estimate::Unreachable => None,
                 Estimate::Deferred => {
-                    *pruned = true;
+                    *prunes += 1;
                     None
                 }
             }
         };
 
-        for (s, d0) in sources {
-            if d0 < self.dist.get(s as usize) {
-                if let Some(f) = admit(s, d0, &mut pruned) {
-                    self.dist.set(s as usize, d0);
-                    self.heap.push_or_decrease(s as usize, f);
-                }
-            }
-        }
-
-        while let Some((u, _f)) = self.heap.pop() {
-            let u_node = u as NodeId;
-            self.settled.insert(u);
-            self.settled_count += 1;
-            if self.settled_count.is_multiple_of(CANCEL_POLL_STRIDE) && cancel() {
-                return SearchOutcome::Aborted;
-            }
-            let du = self.dist.get(u);
-            if is_goal(u_node) {
-                return SearchOutcome::Found {
-                    node: u_node,
-                    dist: du,
-                };
-            }
-            for &e in direction.edges(g, u_node) {
-                self.relaxed_edges += 1;
-                let v = e.to as usize;
-                if self.settled.contains(v) || !edge_filter(u_node, e) {
-                    continue;
-                }
-                let nd = du.saturating_add(e.weight as Length);
-                if nd < self.dist.get(v) {
-                    if let Some(f) = admit(e.to, nd, &mut pruned) {
-                        self.dist.set(v, nd);
-                        self.parent.set(v, u_node);
-                        self.heap.push_or_decrease(v, f);
+        let outcome = 'run: {
+            for (s, d0) in sources {
+                if d0 < self.dist.get(s as usize) {
+                    if let Some(f) = admit(s, d0, &mut prunes) {
+                        self.dist.set(s as usize, d0);
+                        self.heap.push_or_decrease(s as usize, f);
                     }
                 }
             }
-        }
 
-        if pruned {
-            SearchOutcome::ExhaustedBounded
-        } else {
-            SearchOutcome::ExhaustedComplete
-        }
+            while let Some((u, _f)) = self.heap.pop() {
+                let u_node = u as NodeId;
+                self.settled.insert(u);
+                self.settled_count += 1;
+                if self.settled_count.is_multiple_of(CANCEL_POLL_STRIDE) && cancel() {
+                    break 'run SearchOutcome::Aborted;
+                }
+                let du = self.dist.get(u);
+                if is_goal(u_node) {
+                    break 'run SearchOutcome::Found {
+                        node: u_node,
+                        dist: du,
+                    };
+                }
+                for &e in direction.edges(g, u_node) {
+                    self.relaxed_edges += 1;
+                    let v = e.to as usize;
+                    if self.settled.contains(v) || !edge_filter(u_node, e) {
+                        continue;
+                    }
+                    let nd = du.saturating_add(e.weight as Length);
+                    if nd < self.dist.get(v) {
+                        if let Some(f) = admit(e.to, nd, &mut prunes) {
+                            self.dist.set(v, nd);
+                            self.parent.set(v, u_node);
+                            self.heap.push_or_decrease(v, f);
+                        }
+                    }
+                }
+            }
+
+            if prunes > 0 {
+                SearchOutcome::ExhaustedBounded
+            } else {
+                SearchOutcome::ExhaustedComplete
+            }
+        };
+        self.pruned_count = prunes;
+        outcome
     }
 
     /// The (final, if settled) distance label of `v` from the last search.
@@ -270,6 +276,13 @@ impl Searcher {
     /// Number of edges relaxed in the last search (`m'`).
     pub fn relaxed_edges(&self) -> usize {
         self.relaxed_edges
+    }
+
+    /// Number of frontier entries the last search discarded because of
+    /// the threshold τ or a [`Estimate::Deferred`] verdict — the paper's
+    /// lower-bound prunes. 0 after [`SearchOutcome::ExhaustedComplete`].
+    pub fn pruned_count(&self) -> usize {
+        self.pruned_count
     }
 
     /// The parent pointer of `v` from the last search ([`NO_PARENT`] for

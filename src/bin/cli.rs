@@ -74,6 +74,7 @@ commands:
   query     --graph FILE (--targets a,b,c | --categories FILE --category NAME)
             (--source N | --sources a,b) [-k N] [--algorithm NAME]
             [--landmarks FILE] [--alpha F] [--timeout-ms MS] [--stats]
+            [--metrics]   (print the per-stage registry, Prometheus text)
   info      --graph FILE
 
 algorithms: da, da-spt, bestfirst, iterbound, iterboundp, iterboundi (default)";
@@ -90,7 +91,7 @@ impl Opts {
                 .strip_prefix("--")
                 .or_else(|| a.strip_prefix('-'))
                 .ok_or_else(|| format!("expected an option, got `{a}`"))?;
-            let flag_only = key == "stats";
+            let flag_only = key == "stats" || key == "metrics";
             let value = if flag_only {
                 "true".to_string()
             } else {
@@ -306,6 +307,21 @@ fn query(o: &Opts) -> Result<(), String> {
     );
     if o.get("stats").is_some() {
         eprintln!("{:#?}", r.stats);
+    }
+    if o.get("metrics").is_some() {
+        // Fold this query's span trace and work counters into a fresh
+        // registry and print the same Prometheus text `kpj-serve` exposes.
+        let metrics = kpj::service::Metrics::new();
+        metrics.absorb_stats(alg, &r.stats);
+        metrics.record_stage(alg, kpj::obs::Stage::Total, elapsed);
+        let row = kpj::service::algorithm_index(alg);
+        let (older, newer) = engine.trace_spans();
+        for span in older.iter().chain(newer) {
+            metrics.registry().record_ns(row, span.stage, span.dur_ns);
+        }
+        let mut text = String::new();
+        metrics.render_prometheus(&mut text);
+        print!("{text}");
     }
     Ok(())
 }

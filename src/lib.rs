@@ -64,6 +64,13 @@ pub mod service {
     pub use kpj_service::*;
 }
 
+/// Observability primitives: the zero-allocation span tracer, per-stage
+/// latency histograms, and the `(algorithm, stage)` registry behind the
+/// Prometheus exposition (re-export of [`kpj_obs`]).
+pub mod obs {
+    pub use kpj_obs::*;
+}
+
 pub mod parallel;
 pub mod tuning;
 
