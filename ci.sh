@@ -12,6 +12,11 @@ cargo clippy --workspace --all-targets -- -D warnings -W clippy::redundant_clone
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+# Same tier-1 suite with every engine forced onto the intra-query
+# worker pool: parallel rounds must be answer- and test-invisible.
+echo "==> cargo test (workspace, KPJ_PAR_THREADS=4)"
+KPJ_PAR_THREADS=4 cargo test --workspace -q
+
 echo "==> zero-allocation steady state, tracing enabled (count-alloc feature)"
 cargo test -q -p kpj-core --features count-alloc --test alloc_count
 
@@ -33,6 +38,15 @@ cargo build --release -q
 echo "==> oracle sweep (seed 0xC0FFEE, <= ${FUZZ_SECONDS:-45}s)"
 cargo run --release -q -p kpj-oracle --bin kpj-fuzz -- \
   --seed 12648430 --max-seconds "${FUZZ_SECONDS:-45}"
+
+# Parallel-vs-sequential differential: a second bounded sweep on its own
+# fixed seed. Every case runs the full checker, whose check_parallel
+# stage demands bit-identical PathSets and stats for par_threads 2 and 4
+# — so this box is pure par-vs-seq differential coverage on top of the
+# sweep above. PAR_DIFF_SECONDS lengthens it independently.
+echo "==> parallel-vs-sequential differential (seed 0xDECAF, <= ${PAR_DIFF_SECONDS:-${FUZZ_SECONDS:-45}}s)"
+cargo run --release -q -p kpj-oracle --bin kpj-fuzz -- \
+  --seed 912559 --max-seconds "${PAR_DIFF_SECONDS:-${FUZZ_SECONDS:-45}}"
 
 # Per-algorithm latency + allocation profile (fixed seeds, small query
 # count so the gate stays quick). BENCH_QUERIES=24 for a fuller run.

@@ -51,21 +51,52 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 const K: usize = 20;
 
+/// Timed passes per cell; the reported time is the median, which shrugs
+/// off one-off scheduler hiccups that a single pass (or a mean) would
+/// fold into the perf trail.
+const RUNS: usize = 5;
+
 struct AlgoMeasurement {
     name: &'static str,
     batch: BatchResult,
-    /// ms/query with span tracing sampling every query (the serving
-    /// default) — `batch` itself is measured with tracing off, so the
-    /// difference is the tracer's overhead.
+    /// Median ms/query over [`RUNS`] warmed passes with tracing off.
+    ms_per_query: f64,
+    /// ms/query (same median) with span tracing sampling every query
+    /// (the serving default) — the difference is the tracer's overhead.
     ms_per_query_trace: f64,
     allocs_per_query: f64,
     alloc_bytes_per_query: f64,
 }
 
-/// Warm the engine on the full query set once, then measure a second pass
-/// with allocation counting — steady-state numbers, not cold-start. A
-/// third pass with the span tracer sampling every query measures the
-/// tracing overhead.
+fn median(times: &mut [f64]) -> f64 {
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+/// Median ms/query of [`RUNS`] passes over the batch (engine must
+/// already be warm). Returns the last pass's `BatchResult` too, for the
+/// query count and work counters (deterministic across passes).
+fn median_ms(
+    engine: &mut QueryEngine<'_>,
+    alg: Algorithm,
+    sources: &[NodeId],
+    targets: &[NodeId],
+    k: usize,
+) -> (f64, BatchResult) {
+    let mut times = [0.0; RUNS];
+    let mut last = BatchResult::default();
+    for t in &mut times {
+        last = run_batch(engine, alg, sources, targets, k);
+        *t = last.ms_per_query();
+    }
+    (median(&mut times), last)
+}
+
+/// Warm the engine on the full query set once, then take the median of
+/// [`RUNS`] timed passes — steady-state numbers, not cold-start.
+/// Allocation counting covers the first timed pass (the counts are
+/// deterministic, so one pass is exact). A final median with the span
+/// tracer sampling every query measures the tracing overhead.
 fn measure(
     engine: &mut QueryEngine<'_>,
     alg: Algorithm,
@@ -79,16 +110,66 @@ fn measure(
     let batch = run_batch(engine, alg, sources, targets, K);
     let calls = ALLOC_CALLS.load(Ordering::Relaxed) - calls0;
     let bytes = ALLOC_BYTES.load(Ordering::Relaxed) - bytes0;
+    let mut times = [0.0; RUNS];
+    times[0] = batch.ms_per_query();
+    for t in &mut times[1..] {
+        *t = run_batch(engine, alg, sources, targets, K).ms_per_query();
+    }
     engine.set_trace_sampling(1);
-    let traced = run_batch(engine, alg, sources, targets, K);
+    let (ms_trace, _) = median_ms(engine, alg, sources, targets, K);
     let n = batch.queries.max(1) as f64;
     AlgoMeasurement {
         name: alg.name(),
         batch,
-        ms_per_query_trace: traced.ms_per_query(),
+        ms_per_query: median(&mut times),
+        ms_per_query_trace: ms_trace,
         allocs_per_query: calls as f64 / n,
         alloc_bytes_per_query: bytes as f64 / n,
     }
+}
+
+/// One cell of the intra-query scaling axis.
+struct ParCell {
+    k: usize,
+    threads: usize,
+    ms_per_query: f64,
+    /// Sequential median / this cell's median (>1 = parallel wins).
+    speedup: f64,
+}
+
+/// The algorithm the threads axis sweeps: the deviation paradigm is
+/// where round batches get widest, so it bounds what intra-query
+/// parallelism can buy.
+const PAR_ALG: Algorithm = Algorithm::DaSptPascoal;
+
+/// Sweep threads × k for one workload. `threads = 1` runs the engine
+/// fully sequential (`par_threads = 0`) and anchors the speedup column.
+/// Answers are bit-identical across the axis (the engine's deterministic
+/// merge), so every cell does the same algorithmic work.
+fn par_axis(g: &Graph, lm: &LandmarkIndex, w: &Workload) -> Vec<ParCell> {
+    let mut cells = Vec::new();
+    for k in [20usize, 100] {
+        let mut base = 0.0;
+        for threads in [1usize, 2, 4, 8] {
+            let mut engine = QueryEngine::new(g).with_landmarks(lm);
+            engine.set_trace_sampling(0);
+            engine.set_par_threads(if threads >= 2 { threads } else { 0 });
+            run_batch(&mut engine, PAR_ALG, &w.sources, &w.targets, k);
+            let (ms, _) = median_ms(&mut engine, PAR_ALG, &w.sources, &w.targets, k);
+            if threads == 1 {
+                base = ms;
+            }
+            let speedup = if ms > 0.0 { base / ms } else { 0.0 };
+            eprintln!("  k={k:>3} threads={threads}: {ms:>9.3} ms/query  speedup {speedup:>5.2}x");
+            cells.push(ParCell {
+                k,
+                threads,
+                ms_per_query: ms,
+                speedup,
+            });
+        }
+    }
+    cells
 }
 
 struct Workload {
@@ -107,7 +188,7 @@ fn run_workload(g: &Graph, lm: &LandmarkIndex, w: &Workload) -> Vec<AlgoMeasurem
             eprintln!(
                 "  {:>12}: {:>9.3} ms/query  {:>9.3} ms/query(trace)  {:>8.1} allocs/query  {:>10.0} B/query",
                 m.name,
-                m.batch.ms_per_query(),
+                m.ms_per_query,
                 m.ms_per_query_trace,
                 m.allocs_per_query,
                 m.alloc_bytes_per_query,
@@ -182,6 +263,14 @@ fn main() {
     };
     let social_rows = run_workload(&social_graph, &social_lm, &social);
 
+    // Intra-query scaling axis: threads × k on the deviation paradigm.
+    // On a single-core host this reads ~1.0x across the board (the
+    // fan-out still runs, serialized) — scaling shows up on multi-core.
+    eprintln!("==> par scaling, road ({})", PAR_ALG.name());
+    let road_par = par_axis(&cal.graph, &cal.landmarks, &road);
+    eprintln!("==> par scaling, social ({})", PAR_ALG.name());
+    let social_par = par_axis(&social_graph, &social_lm, &social);
+
     let mut json = String::new();
     json.push_str("{\n  \"schema\": 1,\n  \"k\": ");
     let _ = write!(json, "{K}");
@@ -204,7 +293,7 @@ fn main() {
             if i > 0 {
                 json.push_str(",\n");
             }
-            let ms = m.batch.ms_per_query();
+            let ms = m.ms_per_query;
             let qps = if ms > 0.0 { 1e3 / ms } else { 0.0 };
             let _ = write!(
                 json,
@@ -213,6 +302,32 @@ fn main() {
             );
         }
         json.push_str("\n      }\n    }");
+    }
+    json.push_str("\n  },\n");
+    let _ = write!(
+        json,
+        "  \"par_scaling\": {{\n    \"algorithm\": \"{}\",\n    \"runs\": {RUNS},\n",
+        PAR_ALG.name()
+    );
+    for (wi, (name, cells)) in [("road", &road_par), ("social", &social_par)]
+        .into_iter()
+        .enumerate()
+    {
+        if wi > 0 {
+            json.push_str(",\n");
+        }
+        let _ = writeln!(json, "    \"{name}\": [");
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                json.push_str(",\n");
+            }
+            let _ = write!(
+                json,
+                "      {{\"k\": {}, \"threads\": {}, \"ms_per_query\": {:.4}, \"speedup\": {:.2}}}",
+                c.k, c.threads, c.ms_per_query, c.speedup,
+            );
+        }
+        json.push_str("\n    ]");
     }
     let _ = write!(
         json,

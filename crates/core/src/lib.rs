@@ -50,6 +50,7 @@ mod deadline;
 mod deviation;
 mod engine;
 pub mod general;
+mod par;
 mod paradigms;
 mod pseudo_tree;
 pub mod reference;

@@ -1,0 +1,441 @@
+//! Intra-query parallelism: a persistent worker pool that fans one *round
+//! batch* of independent subspace searches across threads and merges the
+//! results deterministically.
+//!
+//! # The round-batch model
+//!
+//! Both query paradigms naturally produce batches of independent work:
+//!
+//! * the deviation baselines recompute a candidate path for every vertex
+//!   of `scratch.affected` after each emission (Alg. 1 line 6), and
+//! * the best-first / iter-bound loops, when the queue head is an
+//!   *unsolved* subspace, can drain every consecutive unsolved entry
+//!   (all of whose keys are ≤ every remaining key) and search them as one
+//!   round (capped at [`PAR_BATCH_MAX`]).
+//!
+//! Each task in a round is a pure function of the query context, the
+//! pseudo-tree (fully divided *before* the round), and private scratch —
+//! searches push chains into a path arena but never read one. So a round
+//! can run tasks in any order on any thread, as long as the *merge* is
+//! performed in batch order: chains are re-pushed into the main arena and
+//! results re-enqueued exactly as the sequential loop would have done.
+//! Sequential and parallel execution therefore produce bit-identical
+//! arenas, heaps, emitted paths and work counters — the property
+//! `kpj-oracle` enforces (see `par_matches_sequential` in
+//! `crates/oracle/src/invariants.rs` and DESIGN.md §12).
+//!
+//! # Zero allocations at steady state
+//!
+//! The pool spawns its OS threads once (on the engine's first parallel
+//! query) and parks them on a condvar between rounds; per-round dispatch
+//! is an epoch bump under a futex-backed mutex — no channels, no boxing,
+//! no per-round allocation. Tasks are assigned by a *static stride*
+//! (worker `i` runs tasks `i, i + limit, i + 2·limit, …`) rather than
+//! work-stealing: the assignment is then a pure function of the batch, so
+//! a warmed engine's per-worker scratch capacities are deterministic and
+//! repeat queries stay allocation-free. Worker scratch
+//! ([`WorkerScratch`]) is pre-allocated per thread; the result slots and
+//! the chain-copy buffer are pooled on the pool itself and grow only
+//! while the engine warms up. The `count-alloc` gate proves a warmed
+//! engine with `par_threads > 0` still answers queries with zero heap
+//! allocations.
+
+use std::cell::{Cell, UnsafeCell};
+use std::sync::{Arc, Condvar, Mutex};
+
+use kpj_graph::{Length, NodeId, PathId, PathStore};
+
+use crate::deviation::CandidateScratch;
+use crate::search_core::{FoundPath, SubspaceScratch, SubspaceSearch};
+use crate::stats::QueryStats;
+
+/// Maximum round-batch size drained from the paradigm queues.
+///
+/// This constant is part of the *canonical* algorithm: sequential and
+/// parallel runs drain identically sized batches, so thread count never
+/// changes the work schedule — only who executes it. Bounding the batch
+/// bounds the speculative overshoot at the termination boundary: at most
+/// `PAR_BATCH_MAX - 1` searches of the final batch can be wasted, once
+/// per query.
+pub(crate) const PAR_BATCH_MAX: usize = 16;
+
+/// Per-thread private state: everything one task needs to run a subspace
+/// or candidate search without touching another thread's memory.
+pub(crate) struct WorkerScratch {
+    /// Searcher + buffers, same shape as the engine's own scratch. Its
+    /// trace is never `begin`-ed, so span recording is inert on workers.
+    pub scratch: SubspaceScratch,
+    /// `DA-SPT` candidate-search scratch.
+    pub cand: CandidateScratch,
+    /// Worker-local path arena; found chains are copied into the main
+    /// arena during the merge, then this is reset before the next round.
+    pub store: PathStore,
+    /// Work counters, absorbed into the query's stats after each round
+    /// (absorption is order-insensitive: sums and maxes).
+    pub stats: QueryStats,
+}
+
+impl WorkerScratch {
+    fn new(n: usize) -> Self {
+        WorkerScratch {
+            scratch: SubspaceScratch::new(n),
+            cand: CandidateScratch::new(n),
+            store: PathStore::new(),
+            stats: QueryStats::default(),
+        }
+    }
+}
+
+/// One task's outcome plus the worker whose arena holds its chain.
+#[derive(Clone, Copy)]
+pub(crate) struct TaskSlot {
+    /// Index of the worker that executed the task.
+    pub worker: u32,
+    /// The search outcome; a `Found` handle points into that worker's
+    /// [`WorkerScratch::store`].
+    pub outcome: SubspaceSearch,
+}
+
+/// Type-erased round job: a monomorphized trampoline plus a pointer to
+/// the caller's stack-allocated [`FanCtx`], valid while the dispatching
+/// thread blocks in [`ParPool::fan_out`].
+#[derive(Clone, Copy)]
+struct Job {
+    run: unsafe fn(*const (), usize, u32, &mut WorkerScratch),
+    data: *const (),
+    tasks: usize,
+    /// Workers with index ≥ `limit` sit this round out (the engine's
+    /// current `par_threads` grant may be below the pool size).
+    limit: usize,
+}
+
+// SAFETY: `data` points into the dispatcher's stack frame, which outlives
+// the round because `fan_out` blocks until every worker is done; the
+// pointee (`FanCtx`) only exposes `Sync` data plus disjoint result slots.
+unsafe impl Send for Job {}
+
+struct Ctrl {
+    epoch: u64,
+    job: Option<Job>,
+    /// Workers still running the current round.
+    active: usize,
+    shutdown: bool,
+}
+
+/// A worker's scratch slot. Exclusive access is protocol-enforced: worker
+/// `i` touches slot `i` only between its job pickup and its `active`
+/// decrement; the dispatcher touches slots only while `active == 0`.
+struct SlotCell(UnsafeCell<WorkerScratch>);
+
+// SAFETY: see the access protocol on the type.
+unsafe impl Sync for SlotCell {}
+
+struct Shared {
+    ctrl: Mutex<Ctrl>,
+    /// Workers wait here for an epoch bump.
+    start: Condvar,
+    /// The dispatcher waits here for `active == 0`.
+    done: Condvar,
+    slots: Box<[SlotCell]>,
+}
+
+/// Typed context of one fan-out round, erased behind [`Job::data`].
+struct FanCtx<'a, T, F> {
+    items: &'a [T],
+    f: &'a F,
+    results: *mut TaskSlot,
+}
+
+unsafe fn run_task<T, F>(data: *const (), task: usize, worker: u32, ws: &mut WorkerScratch)
+where
+    F: Fn(usize, &T, &mut WorkerScratch) -> SubspaceSearch,
+{
+    let ctx = unsafe { &*(data as *const FanCtx<'_, T, F>) };
+    let outcome = (ctx.f)(task, &ctx.items[task], ws);
+    // SAFETY: the static stride assigns each task index to exactly one
+    // worker, so result slots are written without overlap.
+    unsafe { *ctx.results.add(task) = TaskSlot { worker, outcome } };
+}
+
+/// The engine-owned intra-query thread pool. Created lazily on the first
+/// parallel query; `!Sync` (single dispatcher) but `Send` with its engine.
+pub(crate) struct ParPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Current round-participation limit (`par_threads` of the query).
+    limit: Cell<usize>,
+    /// Pooled result slots, indexed by task. Workers write disjoint
+    /// entries during a round; only the dispatcher touches it otherwise.
+    results: UnsafeCell<Vec<TaskSlot>>,
+    /// Pooled `(node, cumulative length)` staging for chain copies.
+    copy_buf: UnsafeCell<Vec<(NodeId, Length)>>,
+}
+
+impl ParPool {
+    /// Spawn `workers` threads, each owning scratch sized for a graph of
+    /// `n` nodes. The only allocations the pool ever performs happen here
+    /// and in the warm-up growth of the pooled buffers.
+    pub(crate) fn new(workers: usize, n: usize) -> Self {
+        let workers = workers.max(1);
+        let slots: Box<[SlotCell]> = (0..workers)
+            .map(|_| SlotCell(UnsafeCell::new(WorkerScratch::new(n))))
+            .collect();
+        let shared = Arc::new(Shared {
+            ctrl: Mutex::new(Ctrl {
+                epoch: 0,
+                job: None,
+                active: 0,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+            slots,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("kpj-par-{i}"))
+                    .spawn(move || worker_main(shared, i))
+                    .expect("spawn intra-query worker")
+            })
+            .collect();
+        ParPool {
+            shared,
+            handles,
+            limit: Cell::new(workers),
+            results: UnsafeCell::new(Vec::new()),
+            copy_buf: UnsafeCell::new(Vec::new()),
+        }
+    }
+
+    /// Number of spawned worker threads.
+    pub(crate) fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Cap the number of workers that claim tasks in subsequent rounds
+    /// (the per-query `par_threads` grant; excess workers wake, claim
+    /// nothing, and go back to sleep). Output is independent of the cap.
+    pub(crate) fn set_limit(&self, n: usize) {
+        self.limit.set(n.clamp(1, self.workers()));
+    }
+
+    /// Execute `f` over every item of the round and return the outcomes
+    /// in item order. Blocks until the round is complete; worker arenas
+    /// are reset at round start and hold the found chains on return
+    /// (copy them out with [`copy_chain`](ParPool::copy_chain) before the
+    /// next round).
+    pub(crate) fn fan_out<'a, T, F>(&'a self, items: &[T], f: F) -> &'a [TaskSlot]
+    where
+        T: Sync,
+        F: Fn(usize, &T, &mut WorkerScratch) -> SubspaceSearch + Sync,
+    {
+        debug_assert!(!self.handles.is_empty());
+        // Workers are parked between rounds, so the dispatcher has
+        // exclusive slot access here.
+        for slot in self.shared.slots.iter() {
+            let ws = unsafe { &mut *slot.0.get() };
+            ws.store.reset();
+        }
+        let results = unsafe { &mut *self.results.get() };
+        results.clear();
+        results.resize(
+            items.len(),
+            TaskSlot {
+                worker: 0,
+                outcome: SubspaceSearch::Empty,
+            },
+        );
+        let fan = FanCtx {
+            items,
+            f: &f,
+            results: results.as_mut_ptr(),
+        };
+        {
+            let mut c = self.shared.ctrl.lock().unwrap();
+            c.job = Some(Job {
+                run: run_task::<T, F>,
+                data: (&raw const fan).cast(),
+                tasks: items.len(),
+                limit: self.limit.get(),
+            });
+            c.active = self.handles.len();
+            c.epoch = c.epoch.wrapping_add(1);
+            self.shared.start.notify_all();
+        }
+        let mut c = self.shared.ctrl.lock().unwrap();
+        while c.active > 0 {
+            c = self.shared.done.wait(c).unwrap();
+        }
+        c.job = None;
+        drop(c);
+        // SAFETY: every slot was written exactly once (all task indices
+        // claimed and completed before `active` hit 0); the borrow is
+        // invalidated only by the next `fan_out`, which requires `&self`
+        // again after the caller drops this slice.
+        unsafe { std::slice::from_raw_parts(results.as_ptr(), items.len()) }
+    }
+
+    /// Re-push the chain behind `f` (living in `worker`'s arena) into the
+    /// main arena, preserving nodes and cumulative lengths, and return
+    /// the re-based handle. Chains are linear (each entry parents the
+    /// previous), so the copy reproduces exactly the pushes the
+    /// sequential loop would have performed.
+    pub(crate) fn copy_chain(&self, worker: u32, f: FoundPath, store: &mut PathStore) -> FoundPath {
+        let ws = unsafe { &*self.shared.slots[worker as usize].0.get() };
+        let buf = unsafe { &mut *self.copy_buf.get() };
+        buf.clear();
+        let mut cur = Some(f.tail);
+        while let Some(id) = cur {
+            buf.push((ws.store.node(id), ws.store.length(id)));
+            cur = ws.store.parent(id);
+        }
+        let mut id: Option<PathId> = None;
+        for &(node, len) in buf.iter().rev() {
+            id = Some(store.push(id, node, len));
+        }
+        FoundPath {
+            tail: id.expect("chain has at least one node"),
+            ..f
+        }
+    }
+
+    /// Fold every worker's round counters into `stats` and zero them.
+    /// [`QueryStats::absorb`] is order-insensitive, so the totals equal
+    /// the sequential counts regardless of which worker ran which task.
+    pub(crate) fn absorb_worker_stats(&self, stats: &mut QueryStats) {
+        for slot in self.shared.slots.iter() {
+            let ws = unsafe { &mut *slot.0.get() };
+            stats.absorb(&ws.stats);
+            ws.stats = QueryStats::default();
+        }
+    }
+}
+
+impl Drop for ParPool {
+    fn drop(&mut self) {
+        {
+            let mut c = self.shared.ctrl.lock().unwrap();
+            c.shutdown = true;
+            self.shared.start.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_main(shared: Arc<Shared>, idx: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut c = shared.ctrl.lock().unwrap();
+            loop {
+                if c.shutdown {
+                    return;
+                }
+                if c.epoch != seen {
+                    seen = c.epoch;
+                    break c.job.expect("epoch bumped with a job installed");
+                }
+                c = shared.start.wait(c).unwrap();
+            }
+        };
+        if idx < job.limit {
+            // SAFETY: slot `idx` belongs to this worker until it
+            // decrements `active` below.
+            let ws = unsafe { &mut *shared.slots[idx].0.get() };
+            // Static stride: the task→worker map is a pure function of
+            // (batch size, limit), keeping warmed scratch capacities
+            // deterministic (the zero-allocation steady state).
+            let mut t = idx;
+            while t < job.tasks {
+                // SAFETY: `job.data` outlives the round (see `Job`).
+                unsafe { (job.run)(job.data, t, idx as u32, ws) };
+                t += job.limit;
+            }
+        }
+        let mut c = shared.ctrl.lock().unwrap();
+        c.active -= 1;
+        if c.active == 0 {
+            shared.done.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pseudo_tree::ROOT;
+
+    /// A task that pushes a 2-node chain into its worker arena.
+    fn push_chain(ws: &mut WorkerScratch, a: NodeId, b: NodeId, len: Length) -> SubspaceSearch {
+        let first = ws.store.push(None, a, 0);
+        let tail = ws.store.push(Some(first), b, len);
+        ws.stats.shortest_path_computations += 1;
+        SubspaceSearch::Found(FoundPath {
+            tail,
+            length: len,
+            vertex: ROOT,
+            suffix_len: 1,
+        })
+    }
+
+    #[test]
+    fn fan_out_covers_every_task_and_merge_preserves_order() {
+        let pool = ParPool::new(3, 8);
+        let items: Vec<u32> = (0..40).collect();
+        for _round in 0..5 {
+            let results = pool.fan_out(&items, |i, &x, ws| {
+                assert_eq!(i as u32, x);
+                push_chain(ws, x, x + 100, x as Length * 7)
+            });
+            assert_eq!(results.len(), items.len());
+            // Merge in batch order into a main arena.
+            let mut main = PathStore::new();
+            let mut lengths = Vec::new();
+            for (i, r) in results.iter().enumerate() {
+                let SubspaceSearch::Found(f) = r.outcome else {
+                    panic!("task {i} not Found")
+                };
+                let f = pool.copy_chain(r.worker, f, &mut main);
+                assert_eq!(main.node(f.tail), i as u32 + 100);
+                assert_eq!(main.length(f.tail), i as Length * 7);
+                lengths.push(f.length);
+            }
+            assert_eq!(lengths, (0..40).map(|x| x * 7).collect::<Vec<_>>());
+            // Main-arena layout is deterministic: 2 entries per task, in
+            // task order.
+            assert_eq!(main.len(), 80);
+            let mut stats = QueryStats::default();
+            pool.absorb_worker_stats(&mut stats);
+            assert_eq!(stats.shortest_path_computations, 40);
+        }
+    }
+
+    #[test]
+    fn limit_caps_participation_without_changing_output() {
+        let pool = ParPool::new(4, 4);
+        let items: Vec<u32> = (0..9).collect();
+        for limit in [1, 2, 4] {
+            pool.set_limit(limit);
+            let results = pool.fan_out(&items, |_, &x, ws| push_chain(ws, x, x, 1));
+            assert!(results.iter().all(|r| (r.worker as usize) < limit));
+            assert!(results
+                .iter()
+                .all(|r| matches!(r.outcome, SubspaceSearch::Found(_))));
+            let mut stats = QueryStats::default();
+            pool.absorb_worker_stats(&mut stats);
+            assert_eq!(stats.shortest_path_computations, 9);
+        }
+    }
+
+    #[test]
+    fn empty_round_and_drop_join() {
+        let pool = ParPool::new(2, 2);
+        let results = pool.fan_out(&[] as &[u32], |_, _, _| SubspaceSearch::Empty);
+        assert!(results.is_empty());
+        drop(pool); // must not hang
+    }
+}

@@ -45,6 +45,13 @@ pub struct QueryStats {
     pub tau_updates: usize,
     /// Final value of the iterative threshold τ (0 when not applicable).
     pub final_tau: u64,
+    /// Deviation/search rounds that fanned out to the intra-query worker
+    /// pool (0 when `par_threads < 2` or every round had one candidate).
+    pub rounds_parallel: usize,
+    /// Candidate searches executed by pool workers instead of the query
+    /// thread (the tasks dispatched across all parallel rounds; this is a
+    /// deterministic count, independent of which worker ran each task).
+    pub candidates_stolen: usize,
 }
 
 impl QueryStats {
@@ -52,7 +59,7 @@ impl QueryStats {
     /// [`field_values`](QueryStats::field_values). Shared by the NDJSON
     /// `stats` block, the `metrics` verb, and the Prometheus counter
     /// series so the three surfaces cannot drift.
-    pub const FIELD_NAMES: [&'static str; 13] = [
+    pub const FIELD_NAMES: [&'static str; 15] = [
         "sp",
         "lb",
         "testlb",
@@ -66,10 +73,12 @@ impl QueryStats {
         "subspaces_skipped",
         "tau_updates",
         "tau",
+        "rounds_parallel",
+        "candidates_stolen",
     ];
 
     /// Every counter, in [`FIELD_NAMES`](QueryStats::FIELD_NAMES) order.
-    pub fn field_values(&self) -> [u64; 13] {
+    pub fn field_values(&self) -> [u64; 15] {
         [
             self.shortest_path_computations as u64,
             self.lower_bound_computations as u64,
@@ -84,6 +93,8 @@ impl QueryStats {
             self.subspaces_skipped as u64,
             self.tau_updates as u64,
             self.final_tau,
+            self.rounds_parallel as u64,
+            self.candidates_stolen as u64,
         ]
     }
 
@@ -120,6 +131,8 @@ impl QueryStats {
         self.subspaces_skipped += other.subspaces_skipped;
         self.tau_updates += other.tau_updates;
         self.final_tau = self.final_tau.max(other.final_tau);
+        self.rounds_parallel += other.rounds_parallel;
+        self.candidates_stolen += other.candidates_stolen;
     }
 }
 
@@ -173,6 +186,8 @@ mod tests {
             subspaces_skipped: 11,
             tau_updates: 12,
             final_tau: 13,
+            rounds_parallel: 14,
+            candidates_stolen: 15,
         };
         let mut out = String::new();
         s.write_json(&mut out);
@@ -180,7 +195,8 @@ mod tests {
             out,
             "{\"sp\":1,\"lb\":2,\"testlb\":3,\"testlb_bounded\":4,\"settled\":5,\
              \"relaxed\":6,\"spt_nodes\":7,\"subspaces\":8,\"heap_pops\":9,\
-             \"lb_prunes\":10,\"subspaces_skipped\":11,\"tau_updates\":12,\"tau\":13}"
+             \"lb_prunes\":10,\"subspaces_skipped\":11,\"tau_updates\":12,\"tau\":13,\
+             \"rounds_parallel\":14,\"candidates_stolen\":15}"
         );
         // Names and values stay parallel.
         assert_eq!(QueryStats::FIELD_NAMES.len(), s.field_values().len());

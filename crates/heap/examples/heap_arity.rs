@@ -1,0 +1,87 @@
+//! Microbench: heap arity under a Dijkstra-shaped workload.
+//!
+//! Replays the same deterministic stream of `push_or_decrease`/`pop`
+//! operations — the mix a best-first search produces (many decrease-keys,
+//! one pop per settle) — against arities 2, 4 and 8, and prints the
+//! median wall time of 5 runs per arity.
+//!
+//! ```text
+//! cargo run --release -p kpj-heap --example heap_arity
+//! ```
+//!
+//! No external bench harness: `std::time::Instant` and a fixed xorshift
+//! stream keep the crate dependency-free. Numbers are indicative, not a
+//! statement about your machine — rerun locally before tuning
+//! `SEARCH_HEAP_ARITY` in `crates/sp/src/searcher.rs`.
+
+use std::time::Instant;
+
+use kpj_heap::IndexedKaryHeap;
+
+const UNIVERSE: usize = 1 << 16;
+const OPS: usize = 2_000_000;
+const RUNS: usize = 5;
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// One replay: an op stream weighted like a search frontier (2/3 pushes
+/// or decreases clustered around a moving "wavefront" key, 1/3 pops).
+/// Returns a checksum so the work cannot be optimized away.
+fn replay<const A: usize>() -> (u64, f64) {
+    let mut heap: IndexedKaryHeap<u64, A> = IndexedKaryHeap::new(UNIVERSE);
+    let mut rng = XorShift(0x2545F4914F6CDD1D);
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    let mut wave = 0u64;
+    for _ in 0..OPS {
+        let r = rng.next();
+        if !r.is_multiple_of(3) {
+            let item = (r >> 8) as usize % UNIVERSE;
+            // Keys trail the wavefront, as relaxations do: mostly
+            // decreasing refinements of recently pushed labels.
+            let key = wave + (r >> 40) % 1024;
+            heap.push_or_decrease(item, key);
+        } else if let Some((item, key)) = heap.pop() {
+            checksum = checksum.wrapping_add(key).wrapping_add(item as u64);
+            wave = key;
+        }
+    }
+    while let Some((item, key)) = heap.pop() {
+        checksum = checksum.wrapping_add(key).wrapping_add(item as u64);
+    }
+    (checksum, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn median_ms<const A: usize>() -> (u64, f64) {
+    let mut times = Vec::with_capacity(RUNS);
+    let mut checksum = 0;
+    for _ in 0..RUNS {
+        let (c, ms) = replay::<A>();
+        checksum = c;
+        times.push(ms);
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    (checksum, times[RUNS / 2])
+}
+
+fn main() {
+    println!("heap arity microbench: {OPS} ops over {UNIVERSE} items, median of {RUNS} runs");
+    let (c2, t2) = median_ms::<2>();
+    let (c4, t4) = median_ms::<4>();
+    let (c8, t8) = median_ms::<8>();
+    // Checksums keep the work live; they may differ across arities (equal
+    // keys tie-break differently, which feeds back into the op stream).
+    std::hint::black_box((c2, c4, c8));
+    println!("  arity 2: {t2:8.2} ms  (1.00x)");
+    println!("  arity 4: {t4:8.2} ms  ({:.2}x)", t2 / t4);
+    println!("  arity 8: {t8:8.2} ms  ({:.2}x)", t2 / t8);
+}

@@ -1,16 +1,28 @@
-//! Binary min-heap over a dense key universe with decrease-key.
+//! K-ary min-heap over a dense key universe with decrease-key.
 
 /// Position sentinel: the item is not currently on the heap.
 const ABSENT: u32 = u32::MAX;
 
-/// A binary min-heap over items `0..capacity` with `O(log n)` push, pop and
-/// decrease-key, and `O(1)` membership/key lookup.
+/// A k-ary min-heap over items `0..capacity` with `O(log n)` push, pop
+/// and decrease-key, and `O(1)` membership/key lookup.
+///
+/// The arity `A` is a compile-time constant. Binary (`A = 2`) is the
+/// classic layout; wider heaps trade a slightly costlier `sift_down`
+/// (compare up to `A` children per level) for a shallower tree, which
+/// pays off in decrease-key-heavy workloads like Dijkstra where
+/// `sift_up` (one comparison per level) dominates: a 4-ary heap halves
+/// the sift-up depth. `crates/heap/examples/heap_arity.rs` measures the
+/// trade-off.
+///
+/// Tie-breaking is arity-independent in the cases this workspace relies
+/// on: among equal keys the earlier heap slot wins, and for `A = 2` the
+/// layout is bit-identical to the previous binary implementation.
 ///
 /// Each item can be on the heap at most once;
-/// [`push_or_decrease`](IndexedMinHeap::push_or_decrease)
+/// [`push_or_decrease`](IndexedKaryHeap::push_or_decrease)
 /// (the Dijkstra label-correction step) either inserts the item or lowers
 /// its key, refusing increases. Popped items remember their final key until
-/// [`clear`](IndexedMinHeap::clear) — callers use this as the "settled
+/// [`clear`](IndexedKaryHeap::clear) — callers use this as the "settled
 /// distance" table when convenient.
 ///
 /// ```
@@ -25,7 +37,7 @@ const ABSENT: u32 = u32::MAX;
 /// assert_eq!(h.pop(), None);
 /// ```
 #[derive(Debug, Clone)]
-pub struct IndexedMinHeap<K: Ord + Copy> {
+pub struct IndexedKaryHeap<K: Ord + Copy, const A: usize> {
     /// Heap array of item ids, ordered by `keys`.
     heap: Vec<u32>,
     /// `pos[item]` = index in `heap`, or `ABSENT`.
@@ -37,14 +49,18 @@ pub struct IndexedMinHeap<K: Ord + Copy> {
     touched: Vec<u32>,
 }
 
-impl<K: Ord + Copy + Default> IndexedMinHeap<K> {
+/// The binary special case — the workspace-wide default heap.
+pub type IndexedMinHeap<K> = IndexedKaryHeap<K, 2>;
+
+impl<K: Ord + Copy + Default, const A: usize> IndexedKaryHeap<K, A> {
     /// An empty heap over items `0..capacity`.
     pub fn new(capacity: usize) -> Self {
+        const { assert!(A >= 2, "heap arity must be at least 2") };
         assert!(
             capacity < ABSENT as usize,
             "capacity exceeds u32 position space"
         );
-        IndexedMinHeap {
+        IndexedKaryHeap {
             heap: Vec::new(),
             pos: vec![ABSENT; capacity],
             keys: vec![K::default(); capacity],
@@ -143,7 +159,7 @@ impl<K: Ord + Copy + Default> IndexedMinHeap<K> {
 
     fn sift_up(&mut self, mut i: usize) {
         while i > 0 {
-            let parent = (i - 1) / 2;
+            let parent = (i - 1) / A;
             if self.less(self.heap[i], self.heap[parent]) {
                 self.swap(i, parent);
                 i = parent;
@@ -155,14 +171,16 @@ impl<K: Ord + Copy + Default> IndexedMinHeap<K> {
 
     fn sift_down(&mut self, mut i: usize) {
         loop {
-            let l = 2 * i + 1;
-            let r = 2 * i + 2;
-            let mut smallest = i;
-            if l < self.heap.len() && self.less(self.heap[l], self.heap[smallest]) {
-                smallest = l;
+            let first = A * i + 1;
+            if first >= self.heap.len() {
+                break;
             }
-            if r < self.heap.len() && self.less(self.heap[r], self.heap[smallest]) {
-                smallest = r;
+            let end = (first + A).min(self.heap.len());
+            let mut smallest = i;
+            for c in first..end {
+                if self.less(self.heap[c], self.heap[smallest]) {
+                    smallest = c;
+                }
             }
             if smallest == i {
                 break;
@@ -251,10 +269,9 @@ mod tests {
         assert_eq!(n, 10);
     }
 
-    #[test]
-    fn model_check_against_btreemap() {
+    /// Deterministic pseudo-random op stream (xorshift), no rand dep.
+    fn model_check<const A: usize>() {
         use std::collections::BTreeMap;
-        // Deterministic pseudo-random op sequence (xorshift), no rand dep.
         let mut state = 0x2545F4914F6CDD1Du64;
         let mut next = move || {
             state ^= state << 13;
@@ -263,7 +280,7 @@ mod tests {
             state
         };
         let cap = 64usize;
-        let mut h: IndexedMinHeap<u64> = IndexedMinHeap::new(cap);
+        let mut h: IndexedKaryHeap<u64, A> = IndexedKaryHeap::new(cap);
         // Model mirrors only *queued* items.
         let mut model: BTreeMap<usize, u64> = BTreeMap::new();
         for _ in 0..10_000 {
@@ -294,5 +311,49 @@ mod tests {
             }
             assert_eq!(h.len(), model.len());
         }
+    }
+
+    #[test]
+    fn model_check_against_btreemap_binary() {
+        model_check::<2>();
+    }
+
+    #[test]
+    fn model_check_against_btreemap_quaternary() {
+        model_check::<4>();
+    }
+
+    #[test]
+    fn model_check_against_btreemap_octonary() {
+        model_check::<8>();
+    }
+
+    #[test]
+    fn arities_agree_on_popped_key_sequences() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let cap = 128usize;
+        let mut h2: IndexedKaryHeap<u64, 2> = IndexedKaryHeap::new(cap);
+        let mut h4: IndexedKaryHeap<u64, 4> = IndexedKaryHeap::new(cap);
+        for _ in 0..2_000 {
+            let item = (next() as usize) % cap;
+            let key = next() % 500;
+            assert_eq!(
+                h2.push_or_decrease(item, key),
+                h4.push_or_decrease(item, key)
+            );
+        }
+        // Keys (not necessarily items — equal keys may tie-break
+        // differently across arities) drain in the same order.
+        while let Some((_, k2)) = h2.pop() {
+            let (_, k4) = h4.pop().expect("same length");
+            assert_eq!(k2, k4);
+        }
+        assert!(h4.is_empty());
     }
 }

@@ -2,17 +2,20 @@
 //!
 //! Two queues cover every algorithm in the paper:
 //!
-//! * [`IndexedMinHeap`] — a binary min-heap over a *dense* key universe
+//! * [`IndexedKaryHeap`] — a k-ary min-heap over a *dense* key universe
 //!   `0..capacity` with `O(log n)` `decrease-key`. This is the queue inside
 //!   every Dijkstra/A\* search (`QV` in Alg. 5, `QT` in Alg. 6/7): each graph
 //!   node appears at most once, and label corrections decrease its key in
-//!   place, so no stale entries are ever popped.
+//!   place, so no stale entries are ever popped. [`IndexedMinHeap`] is its
+//!   binary (`A = 2`) alias; the engine's hot search loop uses arity 4
+//!   (shallower sift-up for decrease-key-heavy workloads — see
+//!   `examples/heap_arity.rs` for the microbench).
 //! * [`MinHeap`] — a thin min-ordered convenience wrapper around
 //!   `std::collections::BinaryHeap` for queues whose entries are not dense
 //!   (the subspace queue `Q` of Alg. 2/Alg. 4, candidate sets, generators).
 //!
-//! Both are allocation-frugal: `IndexedMinHeap` reuses its backing arrays
-//! across searches via [`IndexedMinHeap::clear`], and `MinHeap` exposes
+//! Both are allocation-frugal: `IndexedKaryHeap` reuses its backing arrays
+//! across searches via [`IndexedKaryHeap::clear`], and `MinHeap` exposes
 //! `with_capacity`.
 
 #![warn(missing_docs)]
@@ -20,5 +23,5 @@
 mod indexed;
 mod min_heap;
 
-pub use indexed::IndexedMinHeap;
+pub use indexed::{IndexedKaryHeap, IndexedMinHeap};
 pub use min_heap::MinHeap;

@@ -40,6 +40,7 @@ fn violation(invariant: &'static str, detail: String) -> Violation {
 pub fn check_case(case: &OracleCase) -> Result<(), Violation> {
     let g = case.graph();
     let baseline = check_engines(case, &g)?;
+    check_parallel(case, &g)?;
     check_reference(case, &g, &baseline)?;
     check_wire(case, &baseline)?;
     Ok(())
@@ -120,6 +121,66 @@ fn check_engines(case: &OracleCase, g: &Graph) -> Result<Vec<Length>, Violation>
     Ok(baseline.expect("at least one algorithm ran"))
 }
 
+/// Parallel determinism stage: with `par_threads ∈ {2, 4}` every
+/// algorithm must return a *bit-identical* [`kpj_graph::PathSet`] (same
+/// node sequences, same flat-arena order — not just the same lengths) and
+/// identical [`kpj_core::QueryStats`], modulo the two counters that
+/// describe the parallelism itself (`rounds_parallel`,
+/// `candidates_stolen`, zeroed before comparing). This is the engine's
+/// canonical-round-batch contract: thread count changes who executes a
+/// round, never the schedule or the merge order.
+fn check_parallel(case: &OracleCase, g: &Graph) -> Result<(), Violation> {
+    let idx = LandmarkIndex::build(
+        g,
+        3.min(g.node_count()),
+        SelectionStrategy::Farthest,
+        case.seed,
+    );
+    for with_lm in [false, true] {
+        // with_par_threads(0) pins the baseline sequential even when the
+        // suite itself runs under KPJ_PAR_THREADS (CI does exactly that).
+        let mut seq = QueryEngine::new(g).with_par_threads(0);
+        if with_lm {
+            seq = seq.with_landmarks(&idx);
+        }
+        for threads in [2usize, 4] {
+            let mut par = QueryEngine::new(g).with_par_threads(threads);
+            if with_lm {
+                par = par.with_landmarks(&idx);
+            }
+            for alg in Algorithm::ALL {
+                let tag = format!("{} landmarks={with_lm} par_threads={threads}", alg.name());
+                let s = seq
+                    .query_multi(alg, &case.sources, &case.targets, case.k)
+                    .map_err(|e| violation("engine-error", format!("{tag} (seq): {e:?}")))?;
+                let p = par
+                    .query_multi(alg, &case.sources, &case.targets, case.k)
+                    .map_err(|e| violation("engine-error", format!("{tag}: {e:?}")))?;
+                if p.paths != s.paths {
+                    return Err(violation(
+                        "par-bit-identical",
+                        format!(
+                            "{tag}: parallel paths diverge from sequential ({:?} != {:?})",
+                            p.paths.lengths(),
+                            s.paths.lengths()
+                        ),
+                    ));
+                }
+                let mut ps = p.stats;
+                ps.rounds_parallel = 0;
+                ps.candidates_stolen = 0;
+                if ps != s.stats {
+                    return Err(violation(
+                        "par-stats",
+                        format!("{tag}: stats diverge ({ps:?} != {:?})", s.stats),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// On small instances, the agreed answer must equal the brute-force
 /// enumeration.
 fn check_reference(case: &OracleCase, g: &Graph, baseline: &[Length]) -> Result<(), Violation> {
@@ -198,6 +259,7 @@ fn check_wire(case: &OracleCase, baseline: &[Length]) -> Result<(), Violation> {
             pool: PoolConfig {
                 workers: 1,
                 queue_capacity: 8,
+                ..Default::default()
             },
             cache_capacity: 16,
             ..ServiceConfig::default()

@@ -58,7 +58,9 @@ pub mod wire;
 pub use cache::{CacheKey, InFlight, Lookup, ResultCache, SharedFlight};
 pub use flight::FlightRecorder;
 pub use metrics::{algorithm_index, Histogram, Metrics, MetricsSnapshot};
-pub use pool::{resolve_workers, EnginePool, JobHandle, PoolConfig, PoolHooks, QueryRequest};
+pub use pool::{
+    par_grant, resolve_workers, EnginePool, JobHandle, PoolConfig, PoolHooks, QueryRequest,
+};
 pub use server::serve;
 pub use service::{Answer, KpjService, ServiceConfig};
 

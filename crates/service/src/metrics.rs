@@ -31,7 +31,7 @@ mod field {
 }
 
 const _: () = {
-    assert!(QueryStats::FIELD_NAMES.len() == 13);
+    assert!(QueryStats::FIELD_NAMES.len() == 15);
 };
 
 /// Dense index of an algorithm in [`Algorithm::ALL`] — the row index of

@@ -10,7 +10,7 @@
 //! whether to retry.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -57,6 +57,12 @@ pub struct PoolConfig {
     /// Maximum queued (not yet running) requests before admission
     /// control rejects with [`ServiceError::Overloaded`].
     pub queue_capacity: usize,
+    /// Upper bound on *intra-query* threads a worker may grant itself
+    /// (`QueryEngine::set_par_threads`). `0` disables intra-query
+    /// parallelism entirely; values `>= 2` let an idle pool spend its
+    /// spare workers widening one query's deviation rounds. The grant
+    /// is adaptive — see [`par_grant`].
+    pub par_threads_max: usize,
 }
 
 impl Default for PoolConfig {
@@ -64,6 +70,7 @@ impl Default for PoolConfig {
         PoolConfig {
             workers: 0,
             queue_capacity: 128,
+            par_threads_max: 0,
         }
     }
 }
@@ -81,6 +88,33 @@ pub fn resolve_workers(requested: usize) -> usize {
         requested
     } else {
         std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// How many intra-query threads a worker should grant the job it just
+/// popped. The pool's spare capacity is split evenly among the workers
+/// currently busy: an idle pool hands one query the full
+/// `par_threads_max`, a saturated pool degrades to sequential (inter-
+/// query replication already uses every core). Deadline-carrying jobs
+/// always get the maximum — latency is what the budget protects, and a
+/// deadline miss costs more than a little oversubscription.
+///
+/// Parallel execution is bit-identical to sequential (the engine's
+/// canonical-round-batch contract), so the grant can vary per job
+/// without making answers depend on load.
+pub fn par_grant(worker_count: usize, busy: usize, par_max: usize, has_deadline: bool) -> usize {
+    if par_max < 2 {
+        return 0;
+    }
+    let grant = if has_deadline {
+        par_max
+    } else {
+        (worker_count / busy.max(1)).clamp(1, par_max)
+    };
+    if grant >= 2 {
+        grant
+    } else {
+        0
     }
 }
 
@@ -169,6 +203,9 @@ struct Shared {
     not_empty: Condvar,
     capacity: usize,
     executed: AtomicU64,
+    /// Workers currently executing a job — the load signal behind the
+    /// adaptive intra-query grant ([`par_grant`]).
+    busy: AtomicUsize,
 }
 
 /// The worker pool. Dropping it drains the queue (already-admitted
@@ -207,7 +244,9 @@ impl EnginePool {
             not_empty: Condvar::new(),
             capacity: config.queue_capacity.max(1),
             executed: AtomicU64::new(0),
+            busy: AtomicUsize::new(0),
         });
+        let par_threads_max = config.par_threads_max;
         let workers = (0..worker_count)
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -216,7 +255,16 @@ impl EnginePool {
                 let hooks = hooks.clone();
                 std::thread::Builder::new()
                     .name(format!("kpj-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &graph, landmarks.as_deref(), &hooks))
+                    .spawn(move || {
+                        worker_loop(
+                            &shared,
+                            &graph,
+                            landmarks.as_deref(),
+                            &hooks,
+                            worker_count,
+                            par_threads_max,
+                        )
+                    })
                     .expect("spawn pool worker")
             })
             .collect();
@@ -328,6 +376,8 @@ fn worker_loop(
     graph: &Graph,
     landmarks: Option<&LandmarkIndex>,
     hooks: &PoolHooks,
+    worker_count: usize,
+    par_threads_max: usize,
 ) {
     let mut engine = build_engine(graph, landmarks, hooks);
     loop {
@@ -346,11 +396,23 @@ fn worker_loop(
         shared.executed.fetch_add(1, Ordering::Relaxed);
         let queue_wait = job.submitted.elapsed();
         let r = &job.request;
+        if par_threads_max >= 2 {
+            let busy = shared.busy.fetch_add(1, Ordering::Relaxed) + 1;
+            engine.set_par_threads(par_grant(
+                worker_count,
+                busy,
+                par_threads_max,
+                r.timeout_ms.is_some(),
+            ));
+        }
         let started = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             engine.query_multi_deadline(r.algorithm, &r.sources, &r.targets, r.k, r.deadline())
         }));
         let exec = started.elapsed();
+        if par_threads_max >= 2 {
+            shared.busy.fetch_sub(1, Ordering::Relaxed);
+        }
         match outcome {
             Ok(result) => {
                 if let Ok(result) = &result {
@@ -401,6 +463,7 @@ mod tests {
             PoolConfig {
                 workers: 2,
                 queue_capacity: 8,
+                ..Default::default()
             },
         );
         assert_eq!(pool.worker_count(), 2);
@@ -420,6 +483,7 @@ mod tests {
             PoolConfig {
                 workers: 0,
                 queue_capacity: 8,
+                ..Default::default()
             },
         );
         assert!(pool.worker_count() >= 1);
@@ -434,6 +498,7 @@ mod tests {
             PoolConfig {
                 workers: 1,
                 queue_capacity: 8,
+                ..Default::default()
             },
         );
         let mut bad = request(1);
@@ -453,6 +518,7 @@ mod tests {
             PoolConfig {
                 workers: 1,
                 queue_capacity: 8,
+                ..Default::default()
             },
             PoolHooks {
                 metrics: Some(Arc::clone(&metrics)),
@@ -486,6 +552,58 @@ mod tests {
     }
 
     #[test]
+    fn par_grant_splits_spare_capacity() {
+        // Disabled knob always grants sequential.
+        assert_eq!(par_grant(8, 1, 0, false), 0);
+        assert_eq!(par_grant(8, 1, 1, true), 0);
+        // Idle pool: one busy worker gets the full budget.
+        assert_eq!(par_grant(8, 1, 4, false), 4);
+        // Half-busy: spare capacity splits.
+        assert_eq!(par_grant(8, 4, 4, false), 2);
+        // Saturated (or oversubscribed): degrade to sequential.
+        assert_eq!(par_grant(8, 8, 4, false), 0);
+        assert_eq!(par_grant(4, 9, 4, false), 0);
+        // Deadline-carrying jobs always get the maximum.
+        assert_eq!(par_grant(8, 8, 4, true), 4);
+        // Single-worker pools never self-parallelize without a deadline.
+        assert_eq!(par_grant(1, 1, 4, false), 0);
+        assert_eq!(par_grant(1, 1, 4, true), 4);
+    }
+
+    #[test]
+    fn par_enabled_pool_answers_like_sequential() {
+        let graph = diamond();
+        let seq = EnginePool::new(
+            Arc::clone(&graph),
+            None,
+            PoolConfig {
+                workers: 1,
+                queue_capacity: 8,
+                ..Default::default()
+            },
+        );
+        let par = EnginePool::new(
+            graph,
+            None,
+            PoolConfig {
+                workers: 2,
+                queue_capacity: 8,
+                par_threads_max: 4,
+            },
+        );
+        // A deadline-free query on an idle 2-worker pool grants 2
+        // intra-query threads; a deadline forces the full 4. Either way
+        // the answer must match the sequential pool's bit for bit.
+        for timeout_ms in [None, Some(10_000)] {
+            let mut req = request(3);
+            req.timeout_ms = timeout_ms;
+            let a = seq.run(req.clone()).unwrap();
+            let b = par.run(req).unwrap();
+            assert_eq!(a.paths, b.paths);
+        }
+    }
+
+    #[test]
     fn queued_work_completes_on_drop() {
         let pool = EnginePool::new(
             diamond(),
@@ -493,6 +611,7 @@ mod tests {
             PoolConfig {
                 workers: 1,
                 queue_capacity: 64,
+                ..Default::default()
             },
         );
         // The diamond holds exactly two simple 0→2 paths.

@@ -232,6 +232,7 @@ mod tests {
             pool: PoolConfig {
                 workers: 1,
                 queue_capacity: 8,
+                ..Default::default()
             },
             cache_capacity: 16,
             ..ServiceConfig::default()

@@ -2,9 +2,16 @@
 
 use kpj_graph::scratch::{TimestampedMap, TimestampedSet};
 use kpj_graph::{EdgeRef, Graph, Length, NodeId, INFINITE_LENGTH};
-use kpj_heap::IndexedMinHeap;
+use kpj_heap::IndexedKaryHeap;
 
 use crate::{Direction, NO_PARENT};
+
+/// Frontier-heap arity of the hot search loop. Dijkstra/A\* is
+/// decrease-key-heavy (`sift_up`: one comparison per level), so a wider,
+/// shallower heap wins over binary; 4 measured best in
+/// `crates/heap/examples/heap_arity.rs`. Binary [`kpj_heap::IndexedMinHeap`]
+/// remains the workspace default for the colder queues.
+const SEARCH_HEAP_ARITY: usize = 4;
 
 /// How many settles elapse between polls of the `cancel` hook of
 /// [`Searcher::search_ctl`]. A power of two so the check compiles to a
@@ -93,7 +100,7 @@ pub enum SearchOrder {
 /// * `bound` — the threshold τ of `TestLB`; `None` means unbounded.
 #[derive(Debug)]
 pub struct Searcher {
-    heap: IndexedMinHeap<Length>,
+    heap: IndexedKaryHeap<Length, SEARCH_HEAP_ARITY>,
     dist: TimestampedMap<Length>,
     parent: TimestampedMap<NodeId>,
     settled: TimestampedSet,
@@ -106,7 +113,7 @@ impl Searcher {
     /// A searcher over node ids `0..n`.
     pub fn new(n: usize) -> Self {
         Searcher {
-            heap: IndexedMinHeap::new(n),
+            heap: IndexedKaryHeap::new(n),
             dist: TimestampedMap::new(n, INFINITE_LENGTH),
             parent: TimestampedMap::new(n, NO_PARENT),
             settled: TimestampedSet::new(n),
