@@ -17,8 +17,10 @@ cargo test --workspace -q
 echo "==> cargo test (workspace, KPJ_PAR_THREADS=4)"
 KPJ_PAR_THREADS=4 cargo test --workspace -q
 
+# --test-threads=1: the counting allocator is process-global, so libtest's
+# own worker threads would bleed allocations into a measured window.
 echo "==> zero-allocation steady state, tracing enabled (count-alloc feature)"
-cargo test -q -p kpj-core --features count-alloc --test alloc_count
+cargo test -q -p kpj-core --features count-alloc --test alloc_count -- --test-threads=1
 
 echo "==> trace feature compiles out cleanly (no-default-features)"
 cargo check -q -p kpj-core --no-default-features
@@ -30,8 +32,35 @@ cargo test -q -p kpj-service --test metrics_smoke
 echo "==> slow-query flight recorder round trip (record -> kpj-fuzz replay)"
 cargo test -q -p kpj-oracle --test flight_recorder
 
-echo "==> release build (binaries: kpj-cli, kpj-serve, kpj-loadgen, kpj-fuzz, bench-kpj)"
-cargo build --release -q
+echo "==> release build (binaries: kpj-cli, kpj-serve, kpj-loadgen, gen-huge, kpj-fuzz, bench-kpj)"
+cargo build --release -q --workspace
+
+# Continental-scale storage smoke: stream a ~1M-node road-like graph to
+# a page-aligned v2 file in O(1) writer memory, open it zero-copy via
+# mmap, and answer k=20 queries cold — first through kpj-cli, then
+# through a kpj-serve --graph-bin / kpj-loadgen round over TCP.
+# SCALE_NODES shrinks or grows the box (keep it >= 1000).
+SCALE_NODES="${SCALE_NODES:-1000000}"
+echo "==> storage scale smoke (gen-huge ${SCALE_NODES} nodes -> v2 mmap -> k=20)"
+SCALE_DIR="$(mktemp -d)"
+SCALE_SERVE_PID=""
+trap 'if [ -n "$SCALE_SERVE_PID" ]; then kill "$SCALE_SERVE_PID" 2>/dev/null || true; fi; rm -rf "$SCALE_DIR"' EXIT
+./target/release/gen-huge --nodes "$SCALE_NODES" --seed 42 --out "$SCALE_DIR/huge.kpj2"
+./target/release/kpj-cli info --graph "$SCALE_DIR/huge.kpj2"
+./target/release/kpj-cli query --graph "$SCALE_DIR/huge.kpj2" \
+  --source 17 --targets "$((SCALE_NODES / 2 - 21)),$((SCALE_NODES - 17))" \
+  -k 20 --algorithm iterboundi > /dev/null
+./target/release/kpj-serve --graph-bin "$SCALE_DIR/huge.kpj2" --landmarks 0 \
+  --addr 127.0.0.1:7841 &
+SCALE_SERVE_PID=$!
+sleep 2
+./target/release/kpj-loadgen --addr 127.0.0.1:7841 --node-count "$SCALE_NODES" \
+  --requests 24 --connections 4 --k 20 --unique
+kill "$SCALE_SERVE_PID" 2>/dev/null || true
+wait "$SCALE_SERVE_PID" 2>/dev/null || true
+SCALE_SERVE_PID=""
+rm -rf "$SCALE_DIR"
+trap - EXIT
 
 # Bounded oracle sweep: fixed seed so the gate is deterministic; set
 # FUZZ_SECONDS to lengthen the box (e.g. FUZZ_SECONDS=300 for a soak).

@@ -50,6 +50,7 @@ mod deadline;
 mod deviation;
 mod engine;
 pub mod general;
+pub mod offline;
 mod par;
 mod paradigms;
 mod pseudo_tree;

@@ -1,0 +1,130 @@
+//! Offline index construction on the intra-query worker pool.
+//!
+//! Landmark builds for multi-million-node graphs are dominated by `|L|`
+//! independent whole-graph Dijkstra runs. This module reuses
+//! [`ParPool`](crate::par) — the same persistent worker pool that powers
+//! parallel deviation rounds — to fan those runs across threads, while
+//! [`LandmarkIndex::build_with_solver`] keeps the *selection* sequence
+//! (and hence the resulting index) bit-identical to the sequential
+//! [`LandmarkIndex::build`] for every `(strategy, seed)`.
+
+use kpj_graph::{Graph, Length, NodeId};
+use kpj_landmark::{LandmarkIndex, SelectionStrategy};
+use kpj_sp::DenseDijkstra;
+
+use crate::par::ParPool;
+
+/// One landmark table row: a source node and the disjoint output chunk
+/// its distances go to. Raw pointer + length because `scatter` shares the
+/// items immutably across workers while each task writes only its own
+/// chunk.
+struct Row {
+    source: NodeId,
+    out: *mut Length,
+    len: usize,
+}
+
+// SAFETY: each `Row` addresses a disjoint chunk of one `&mut [Length]`
+// borrow held by the (blocked) dispatching thread; exactly one worker
+// task writes through each pointer.
+unsafe impl Send for Row {}
+unsafe impl Sync for Row {}
+
+/// Build a landmark index using up to `threads` worker threads for the
+/// shortest-path table rows (`0` = all available cores).
+///
+/// The result is **bit-identical** to
+/// `LandmarkIndex::build(g, count, strategy, seed)` — thread count changes
+/// wall-clock, never the index (the same guarantee the query engine gives
+/// for parallel deviation rounds; `check_parallel` in the oracle enforces
+/// it there, `parallel_build_matches_sequential` below enforces it here).
+pub fn build_landmarks_parallel(
+    g: &Graph,
+    count: usize,
+    strategy: SelectionStrategy,
+    seed: u64,
+    threads: usize,
+) -> LandmarkIndex {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    if threads <= 1 || count <= 1 {
+        return LandmarkIndex::build(g, count, strategy, seed);
+    }
+    // Worker scratch is sized for intra-query searches; the offline build
+    // only uses the threads, so size it for an empty graph.
+    let pool = ParPool::new(threads, 0);
+    let solver = move |g2: &Graph, sources: &[NodeId], out: &mut [Length]| {
+        let n = g2.node_count();
+        debug_assert_eq!(out.len(), sources.len() * n);
+        if sources.len() == 1 {
+            out.copy_from_slice(DenseDijkstra::from_source(g2, sources[0]).dist_slice());
+            return;
+        }
+        let rows: Vec<Row> = sources
+            .iter()
+            .zip(out.chunks_mut(n))
+            .map(|(&source, chunk)| Row {
+                source,
+                out: chunk.as_mut_ptr(),
+                len: chunk.len(),
+            })
+            .collect();
+        pool.scatter(&rows, |_, row| {
+            let d = DenseDijkstra::from_source(g2, row.source);
+            // SAFETY: see `Row` — chunks are disjoint, one writer each.
+            let chunk = unsafe { std::slice::from_raw_parts_mut(row.out, row.len) };
+            chunk.copy_from_slice(d.dist_slice());
+        });
+    };
+    LandmarkIndex::build_with_solver(g, count, strategy, seed, threads, &solver)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpj_workload::road::RoadConfig;
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let g = RoadConfig::new(400, 1_000, 17).generate();
+        for strategy in [SelectionStrategy::Farthest, SelectionStrategy::Random] {
+            for seed in [0u64, 5, 99] {
+                let reference = LandmarkIndex::build(&g, 6, strategy, seed);
+                for threads in [2usize, 4] {
+                    let parallel = build_landmarks_parallel(&g, 6, strategy, seed, threads);
+                    assert_eq!(
+                        parallel, reference,
+                        "{strategy:?} seed={seed} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let g = RoadConfig::new(10, 24, 1).generate();
+        // threads=1 and count<=1 take the sequential path.
+        assert_eq!(
+            build_landmarks_parallel(&g, 1, SelectionStrategy::Farthest, 3, 8),
+            LandmarkIndex::build(&g, 1, SelectionStrategy::Farthest, 3)
+        );
+        assert_eq!(
+            build_landmarks_parallel(&g, 4, SelectionStrategy::Random, 3, 1),
+            LandmarkIndex::build(&g, 4, SelectionStrategy::Random, 3)
+        );
+        // More landmarks than nodes, parallel.
+        assert_eq!(
+            build_landmarks_parallel(&g, 64, SelectionStrategy::Farthest, 2, 4),
+            LandmarkIndex::build(&g, 64, SelectionStrategy::Farthest, 2)
+        );
+        // Empty graph.
+        let empty = kpj_graph::GraphBuilder::new(0).build();
+        assert!(build_landmarks_parallel(&empty, 4, SelectionStrategy::Farthest, 1, 4).is_empty());
+    }
+}

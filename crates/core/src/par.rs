@@ -157,6 +157,21 @@ where
     unsafe { *ctx.results.add(task) = TaskSlot { worker, outcome } };
 }
 
+/// Typed context of one scatter round (side-effecting tasks, no result
+/// slots), erased behind [`Job::data`].
+struct ScatterCtx<'a, T, F> {
+    items: &'a [T],
+    f: &'a F,
+}
+
+unsafe fn run_scatter<T, F>(data: *const (), task: usize, _worker: u32, _ws: &mut WorkerScratch)
+where
+    F: Fn(usize, &T),
+{
+    let ctx = unsafe { &*(data as *const ScatterCtx<'_, T, F>) };
+    (ctx.f)(task, &ctx.items[task]);
+}
+
 /// The engine-owned intra-query thread pool. Created lazily on the first
 /// parallel query; `!Sync` (single dispatcher) but `Send` with its engine.
 pub(crate) struct ParPool {
@@ -252,12 +267,45 @@ impl ParPool {
             f: &f,
             results: results.as_mut_ptr(),
         };
+        self.run_round(run_task::<T, F>, (&raw const fan).cast(), items.len());
+        // SAFETY: every slot was written exactly once (all task indices
+        // claimed and completed before `active` hit 0); the borrow is
+        // invalidated only by the next `fan_out`, which requires `&self`
+        // again after the caller drops this slice.
+        unsafe { std::slice::from_raw_parts(results.as_ptr(), items.len()) }
+    }
+
+    /// Run `f(i, &items[i])` for every item across the pool and block
+    /// until all complete. Unlike [`fan_out`](ParPool::fan_out) this
+    /// collects nothing and leaves worker arenas untouched — the offline
+    /// entry point for embarrassingly parallel side-effecting work
+    /// (e.g. landmark table rows, where each task owns a disjoint output
+    /// chunk).
+    pub(crate) fn scatter<T, F>(&self, items: &[T], f: F)
+    where
+        T: Sync,
+        F: Fn(usize, &T) + Sync,
+    {
+        debug_assert!(!self.handles.is_empty());
+        let ctx = ScatterCtx { items, f: &f };
+        self.run_round(run_scatter::<T, F>, (&raw const ctx).cast(), items.len());
+    }
+
+    /// Dispatch one type-erased round and block until every worker has
+    /// finished it. `data` must outlive this call (it points into the
+    /// caller's stack frame).
+    fn run_round(
+        &self,
+        run: unsafe fn(*const (), usize, u32, &mut WorkerScratch),
+        data: *const (),
+        tasks: usize,
+    ) {
         {
             let mut c = self.shared.ctrl.lock().unwrap();
             c.job = Some(Job {
-                run: run_task::<T, F>,
-                data: (&raw const fan).cast(),
-                tasks: items.len(),
+                run,
+                data,
+                tasks,
                 limit: self.limit.get(),
             });
             c.active = self.handles.len();
@@ -269,12 +317,6 @@ impl ParPool {
             c = self.shared.done.wait(c).unwrap();
         }
         c.job = None;
-        drop(c);
-        // SAFETY: every slot was written exactly once (all task indices
-        // claimed and completed before `active` hit 0); the borrow is
-        // invalidated only by the next `fan_out`, which requires `&self`
-        // again after the caller drops this slice.
-        unsafe { std::slice::from_raw_parts(results.as_ptr(), items.len()) }
     }
 
     /// Re-push the chain behind `f` (living in `worker`'s arena) into the
@@ -437,5 +479,26 @@ mod tests {
         let results = pool.fan_out(&[] as &[u32], |_, _, _| SubspaceSearch::Empty);
         assert!(results.is_empty());
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn scatter_runs_every_task_exactly_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let pool = ParPool::new(3, 0);
+        let counters: Vec<AtomicU32> = (0..50).map(|_| AtomicU32::new(0)).collect();
+        let items: Vec<usize> = (0..50).collect();
+        for _round in 0..3 {
+            pool.scatter(&items, |i, &x| {
+                assert_eq!(i, x);
+                counters[x].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 3));
+        // Interleaves fine with fan_out rounds on the same pool.
+        let results = pool.fan_out(&items[..4], |_, &x, ws| push_chain(ws, x as u32, 0, 1));
+        assert_eq!(results.len(), 4);
+        let mut stats = QueryStats::default();
+        pool.absorb_worker_stats(&mut stats);
+        assert_eq!(stats.shortest_path_computations, 4);
     }
 }

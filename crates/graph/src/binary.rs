@@ -59,6 +59,12 @@ pub fn read_binary<R: Read>(r: R) -> Result<Graph, GraphError> {
         return Err(bad("bad magic (not a kpj graph file)"));
     }
     let version = read_u32(&mut r)?;
+    if version == 2 {
+        return Err(bad(
+            "this is a v2 (mmap) graph file; open it with kpj-store \
+             (kpj-serve --graph-bin / kpj-cli handle both versions)",
+        ));
+    }
     if version != VERSION {
         return Err(bad(&format!("unsupported version {version}")));
     }

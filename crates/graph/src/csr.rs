@@ -1,8 +1,15 @@
 //! Compressed-sparse-row graph representation with a reverse view.
 
+use crate::error::GraphError;
+use crate::section::SectionBuf;
 use crate::types::{NodeId, Weight};
 
 /// One outgoing (or incoming) edge as seen from a node.
+///
+/// `#[repr(C)]` pins the layout to `{to: u32, weight: u32}` little-endian
+/// pairs so the v2 binary format (`kpj-store`) can reinterpret file bytes as
+/// `[EdgeRef]` without a parse pass.
+#[repr(C)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EdgeRef {
     /// The other endpoint: the head for out-edges, the tail for in-edges.
@@ -24,11 +31,11 @@ pub struct EdgeRef {
 #[derive(Debug, Clone)]
 pub struct Graph {
     // Forward CSR.
-    out_offsets: Box<[u32]>,
-    out_edges: Box<[EdgeRef]>,
+    out_offsets: SectionBuf<u32>,
+    out_edges: SectionBuf<EdgeRef>,
     // Reverse CSR.
-    in_offsets: Box<[u32]>,
-    in_edges: Box<[EdgeRef]>,
+    in_offsets: SectionBuf<u32>,
+    in_edges: SectionBuf<EdgeRef>,
 }
 
 impl Graph {
@@ -41,11 +48,102 @@ impl Graph {
         debug_assert_eq!(out_offsets.len(), in_offsets.len());
         debug_assert_eq!(out_edges.len(), in_edges.len());
         Graph {
+            out_offsets: out_offsets.into(),
+            out_edges: out_edges.into(),
+            in_offsets: in_offsets.into(),
+            in_edges: in_edges.into(),
+        }
+    }
+
+    /// Assemble a graph from externally produced CSR sections (owned or
+    /// memory-mapped), validating every structural invariant the accessors
+    /// rely on. This is the entry point the zero-copy v2 loader uses: the
+    /// checks run in `O(n + m)` with **no allocation**, so a cold open stays
+    /// a bounds-check sweep over the mapped bytes rather than a parse.
+    ///
+    /// Invariants enforced:
+    /// * both offset arrays are non-empty, equal-length, start at 0, end at
+    ///   the matching edge count, and are monotone non-decreasing;
+    /// * the forward and reverse views agree on `m`;
+    /// * every edge endpoint is `< n`.
+    pub fn from_sections(
+        out_offsets: SectionBuf<u32>,
+        out_edges: SectionBuf<EdgeRef>,
+        in_offsets: SectionBuf<u32>,
+        in_edges: SectionBuf<EdgeRef>,
+    ) -> Result<Self, GraphError> {
+        let bad = |message: String| GraphError::Parse { line: 0, message };
+        if out_offsets.is_empty() || in_offsets.is_empty() {
+            return Err(bad("offset arrays must have n+1 entries".into()));
+        }
+        if out_offsets.len() != in_offsets.len() {
+            return Err(bad(format!(
+                "forward/reverse node counts disagree: {} vs {}",
+                out_offsets.len() - 1,
+                in_offsets.len() - 1
+            )));
+        }
+        if out_edges.len() != in_edges.len() {
+            return Err(bad(format!(
+                "forward/reverse edge counts disagree: {} vs {}",
+                out_edges.len(),
+                in_edges.len()
+            )));
+        }
+        let n = out_offsets.len() - 1;
+        if n >= u32::MAX as usize || out_edges.len() > u32::MAX as usize {
+            return Err(bad("graph too large for u32 id space".into()));
+        }
+        for (name, offsets, edges) in [
+            ("out", &out_offsets, &out_edges),
+            ("in", &in_offsets, &in_edges),
+        ] {
+            if offsets[0] != 0 {
+                return Err(bad(format!("{name}_offsets[0] must be 0")));
+            }
+            if offsets[n] as usize != edges.len() {
+                return Err(bad(format!(
+                    "{name}_offsets end ({}) does not match edge count ({})",
+                    offsets[n],
+                    edges.len()
+                )));
+            }
+            if offsets.windows(2).any(|w| w[0] > w[1]) {
+                return Err(bad(format!("{name}_offsets not monotone")));
+            }
+            if let Some(e) = edges.iter().find(|e| e.to as usize >= n) {
+                return Err(GraphError::NodeOutOfRange {
+                    node: e.to as u64,
+                    node_count: n as u64,
+                });
+            }
+        }
+        Ok(Graph {
             out_offsets,
             out_edges,
             in_offsets,
             in_edges,
-        }
+        })
+    }
+
+    /// True if every CSR array is backed by a memory mapping rather than
+    /// heap memory (the zero-copy load property; asserted by tests).
+    pub fn is_fully_mapped(&self) -> bool {
+        self.out_offsets.is_mapped()
+            && self.out_edges.is_mapped()
+            && self.in_offsets.is_mapped()
+            && self.in_edges.is_mapped()
+    }
+
+    /// The raw CSR sections `(out_offsets, out_edges, in_offsets, in_edges)`
+    /// — what the v2 writer serializes.
+    pub fn sections(&self) -> (&[u32], &[EdgeRef], &[u32], &[EdgeRef]) {
+        (
+            &self.out_offsets,
+            &self.out_edges,
+            &self.in_offsets,
+            &self.in_edges,
+        )
     }
 
     /// Number of nodes `n = |V|`.
@@ -195,5 +293,64 @@ mod tests {
             assert!(g.out_edges(u).is_empty());
             assert!(g.in_edges(u).is_empty());
         }
+    }
+
+    #[test]
+    fn from_sections_accepts_builder_output() {
+        let g = diamond();
+        let (oo, oe, io_, ie) = g.sections();
+        let g2 = crate::Graph::from_sections(
+            oo.to_vec().into(),
+            oe.to_vec().into(),
+            io_.to_vec().into(),
+            ie.to_vec().into(),
+        )
+        .unwrap();
+        for u in g.nodes() {
+            assert_eq!(g.out_edges(u), g2.out_edges(u));
+            assert_eq!(g.in_edges(u), g2.in_edges(u));
+        }
+        assert!(!g2.is_fully_mapped());
+    }
+
+    #[test]
+    fn from_sections_rejects_broken_invariants() {
+        use crate::{EdgeRef, Graph};
+        let edge = |to, weight| EdgeRef { to, weight };
+        // Non-monotone offsets.
+        let r = Graph::from_sections(
+            vec![0u32, 2, 1].into(),
+            vec![edge(1, 1), edge(0, 1)].into(),
+            vec![0u32, 1, 2].into(),
+            vec![edge(1, 1), edge(0, 1)].into(),
+        );
+        assert!(r.is_err(), "non-monotone offsets accepted");
+        // End offset disagrees with edge count.
+        let r = Graph::from_sections(
+            vec![0u32, 1, 3].into(),
+            vec![edge(1, 1), edge(0, 1)].into(),
+            vec![0u32, 1, 2].into(),
+            vec![edge(1, 1), edge(0, 1)].into(),
+        );
+        assert!(r.is_err(), "bad end offset accepted");
+        // Edge target out of range.
+        let r = Graph::from_sections(
+            vec![0u32, 1, 2].into(),
+            vec![edge(1, 1), edge(7, 1)].into(),
+            vec![0u32, 1, 2].into(),
+            vec![edge(1, 1), edge(0, 1)].into(),
+        );
+        assert!(matches!(r, Err(crate::GraphError::NodeOutOfRange { .. })));
+        // Forward/reverse disagree on m.
+        let r = Graph::from_sections(
+            vec![0u32, 1, 2].into(),
+            vec![edge(1, 1), edge(0, 1)].into(),
+            vec![0u32, 0, 1].into(),
+            vec![edge(1, 1)].into(),
+        );
+        assert!(r.is_err(), "m mismatch accepted");
+        // Empty offsets.
+        let r = Graph::from_sections(vec![].into(), vec![].into(), vec![].into(), vec![].into());
+        assert!(r.is_err(), "empty offsets accepted");
     }
 }

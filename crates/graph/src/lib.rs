@@ -19,8 +19,10 @@
 //! * Node identifiers are plain `u32` ([`NodeId`]); edge weights are `u32`
 //!   ([`Weight`]); path lengths are `u64` ([`Length`]) so that summing up to
 //!   `2^32` maximal weights cannot overflow.
-//! * The CSR arrays are boxed slices — after construction a graph never
-//!   reallocates and is cheap to share by reference across algorithms.
+//! * The CSR arrays are [`SectionBuf`]s — owned boxed slices when built in
+//!   memory, zero-copy views into an mmap'd v2 file when opened via
+//!   `kpj-store`. Either way a graph never reallocates after construction
+//!   and is cheap to share by reference across algorithms.
 
 #![warn(missing_docs)]
 
@@ -32,7 +34,9 @@ mod error;
 pub mod io;
 mod path;
 mod pathset;
+mod remap;
 pub mod scratch;
+mod section;
 mod store;
 mod types;
 
@@ -42,5 +46,7 @@ pub use csr::{EdgeRef, Graph};
 pub use error::GraphError;
 pub use path::Path;
 pub use pathset::{PathRef, PathSet, PathSetIter};
+pub use remap::NodeRemap;
+pub use section::SectionBuf;
 pub use store::{PathId, PathStore};
 pub use types::{Length, NodeId, Weight, INFINITE_LENGTH};

@@ -1,0 +1,173 @@
+//! Node id permutations recorded by the locality reordering pass.
+//!
+//! The offline BFS reorder (see `kpj-store`) renumbers nodes so that
+//! adjacent nodes sit close together in the CSR arrays. The permutation is
+//! stored alongside the graph so that wire-level ("external") ids — the ids
+//! the original dataset used — can keep working: requests are translated
+//! external → internal at the service boundary, and answer paths are
+//! translated back internal → external before rendering.
+
+use crate::error::GraphError;
+use crate::section::SectionBuf;
+use crate::types::NodeId;
+
+/// A validated bijection between external (original) and internal
+/// (reordered) node ids.
+///
+/// `old_to_new[external] = internal` and `new_to_old[internal] = external`.
+/// Construction proves the two arrays are mutual inverses, so lookups are
+/// infallible apart from range checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeRemap {
+    old_to_new: SectionBuf<u32>,
+    new_to_old: SectionBuf<u32>,
+}
+
+impl NodeRemap {
+    /// Build from the forward map, deriving the inverse.
+    ///
+    /// Fails if `old_to_new` is not a permutation of `0..n`.
+    pub fn from_old_to_new(old_to_new: Vec<u32>) -> Result<Self, GraphError> {
+        let n = old_to_new.len();
+        let mut new_to_old = vec![u32::MAX; n];
+        for (old, &new) in old_to_new.iter().enumerate() {
+            let slot = new_to_old
+                .get_mut(new as usize)
+                .ok_or_else(|| invalid(format!("remap target {new} out of range for n={n}")))?;
+            if *slot != u32::MAX {
+                return Err(invalid(format!("remap target {new} assigned twice")));
+            }
+            *slot = old as u32;
+        }
+        Ok(NodeRemap {
+            old_to_new: old_to_new.into(),
+            new_to_old: new_to_old.into(),
+        })
+    }
+
+    /// Build from both directions (e.g. two mapped file sections), verifying
+    /// they are mutual inverses without allocating.
+    pub fn from_sections(
+        old_to_new: SectionBuf<u32>,
+        new_to_old: SectionBuf<u32>,
+    ) -> Result<Self, GraphError> {
+        let n = old_to_new.len();
+        if new_to_old.len() != n {
+            return Err(invalid(format!(
+                "remap arrays disagree on length: {} vs {}",
+                n,
+                new_to_old.len()
+            )));
+        }
+        // `old_to_new[new_to_old[i]] == i` for all i proves new_to_old is
+        // injective with image covered by old_to_new's domain; over equal
+        // finite lengths that makes both bijections and mutual inverses.
+        for (i, &old) in new_to_old.iter().enumerate() {
+            let round_trip = old_to_new
+                .get(old as usize)
+                .copied()
+                .ok_or_else(|| invalid(format!("remap entry {old} out of range for n={n}")))?;
+            if round_trip as usize != i {
+                return Err(invalid(format!(
+                    "remap arrays are not mutual inverses at internal id {i}"
+                )));
+            }
+        }
+        Ok(NodeRemap {
+            old_to_new,
+            new_to_old,
+        })
+    }
+
+    /// Number of nodes covered by the permutation.
+    pub fn len(&self) -> usize {
+        self.old_to_new.len()
+    }
+
+    /// True for the empty permutation.
+    pub fn is_empty(&self) -> bool {
+        self.old_to_new.is_empty()
+    }
+
+    /// True if the permutation maps every id to itself.
+    pub fn is_identity(&self) -> bool {
+        self.old_to_new
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| i as u32 == v)
+    }
+
+    /// External (original) id → internal (reordered) id.
+    #[inline]
+    pub fn to_internal(&self, external: NodeId) -> Option<NodeId> {
+        self.old_to_new.get(external as usize).copied()
+    }
+
+    /// Internal (reordered) id → external (original) id.
+    ///
+    /// # Panics
+    /// Panics if `internal` is out of range — internal ids come from the
+    /// engine, which never produces an id `≥ n`.
+    #[inline]
+    pub fn to_external(&self, internal: NodeId) -> NodeId {
+        self.new_to_old[internal as usize]
+    }
+
+    /// The forward map as a slice (`[external] = internal`).
+    pub fn old_to_new(&self) -> &[u32] {
+        &self.old_to_new
+    }
+
+    /// The inverse map as a slice (`[internal] = external`).
+    pub fn new_to_old(&self) -> &[u32] {
+        &self.new_to_old
+    }
+}
+
+fn invalid(message: String) -> GraphError {
+    GraphError::Parse { line: 0, message }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_map_derives_inverse() {
+        let r = NodeRemap::from_old_to_new(vec![2, 0, 1]).unwrap();
+        assert_eq!(r.to_internal(0), Some(2));
+        assert_eq!(r.to_internal(2), Some(1));
+        assert_eq!(r.to_external(2), 0);
+        assert_eq!(r.to_external(0), 1);
+        assert_eq!(r.to_internal(3), None);
+        assert!(!r.is_identity());
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn rejects_non_permutations() {
+        assert!(NodeRemap::from_old_to_new(vec![0, 0]).is_err(), "duplicate");
+        assert!(
+            NodeRemap::from_old_to_new(vec![0, 5]).is_err(),
+            "out of range"
+        );
+    }
+
+    #[test]
+    fn section_pair_must_be_mutual_inverses() {
+        let ok = NodeRemap::from_sections(vec![1u32, 0].into(), vec![1u32, 0].into());
+        assert!(ok.is_ok());
+        let bad = NodeRemap::from_sections(vec![1u32, 0].into(), vec![0u32, 1].into());
+        assert!(bad.is_err());
+        let short = NodeRemap::from_sections(vec![0u32].into(), vec![0u32, 1].into());
+        assert!(short.is_err());
+        let oob = NodeRemap::from_sections(vec![0u32, 1].into(), vec![0u32, 9].into());
+        assert!(oob.is_err());
+    }
+
+    #[test]
+    fn identity_detection() {
+        let r = NodeRemap::from_old_to_new((0..10).collect()).unwrap();
+        assert!(r.is_identity());
+    }
+}

@@ -42,6 +42,7 @@ pub fn check_case(case: &OracleCase) -> Result<(), Violation> {
     let baseline = check_engines(case, &g)?;
     check_parallel(case, &g)?;
     check_reference(case, &g, &baseline)?;
+    check_reorder(case, &g)?;
     check_wire(case, &baseline)?;
     Ok(())
 }
@@ -173,6 +174,113 @@ fn check_parallel(case: &OracleCase, g: &Graph) -> Result<(), Violation> {
                     return Err(violation(
                         "par-stats",
                         format!("{tag}: stats diverge ({ps:?} != {:?})", s.stats),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Storage-reorder stage: run every algorithm on the BFS
+/// locality-reordered graph (`kpj_store::reorder`, the layout `kpj-cli
+/// convert --reorder` persists into v2 files) with translated endpoints
+/// and landmark tables, and map every answer back through the inverse
+/// permutation. The length vector must be bit-identical — the top-k
+/// length multiset is unique, so renumbering must never change it. The
+/// node sequences themselves are compared structurally: each mapped-back
+/// path must be a valid, simple path of the *original* graph with the
+/// same length, endpoints inside `V_S`/`V_T`, and no duplicates. (Exact
+/// sequence equality would over-constrain: the engine breaks exact
+/// length ties by node id, and renumbering legitimately picks a
+/// different — equally shortest — representative.)
+fn check_reorder(case: &OracleCase, g: &Graph) -> Result<(), Violation> {
+    let reordered = kpj_store::reorder(g);
+    let (rg, remap) = (&reordered.graph, &reordered.remap);
+    let translate = |ids: &[u32], what: &str| -> Result<Vec<u32>, Violation> {
+        ids.iter()
+            .map(|&v| {
+                remap.to_internal(v).ok_or_else(|| {
+                    violation(
+                        "reorder-permutation",
+                        format!("{what} id {v} untranslatable"),
+                    )
+                })
+            })
+            .collect()
+    };
+    let sources = translate(&case.sources, "source")?;
+    let targets = translate(&case.targets, "target")?;
+    let idx = LandmarkIndex::build(
+        g,
+        3.min(g.node_count()),
+        SelectionStrategy::Farthest,
+        case.seed,
+    );
+    let ridx = kpj_store::remap_landmarks(&idx, remap);
+    for with_lm in [false, true] {
+        let mut orig = QueryEngine::new(g);
+        let mut reord = QueryEngine::new(rg);
+        if with_lm {
+            orig = orig.with_landmarks(&idx);
+            reord = reord.with_landmarks(&ridx);
+        }
+        for alg in Algorithm::ALL {
+            let tag = format!("{} landmarks={with_lm} (reordered)", alg.name());
+            let a = orig
+                .query_multi(alg, &case.sources, &case.targets, case.k)
+                .map_err(|e| violation("engine-error", format!("{tag} original: {e:?}")))?;
+            let b = reord
+                .query_multi(alg, &sources, &targets, case.k)
+                .map_err(|e| violation("engine-error", format!("{tag}: {e:?}")))?;
+            if a.paths.len() != b.paths.len() || a.paths.lengths() != b.paths.lengths() {
+                return Err(violation(
+                    "reorder-lengths",
+                    format!(
+                        "{tag}: {:?} != original {:?}",
+                        b.paths.lengths(),
+                        a.paths.lengths()
+                    ),
+                ));
+            }
+            let mut seen = std::collections::HashSet::new();
+            for (i, (pa, pb)) in a.paths.iter().zip(b.paths.iter()).enumerate() {
+                let mapped: Vec<u32> = pb.nodes.iter().map(|&v| remap.to_external(v)).collect();
+                if mapped == pa.nodes {
+                    // Identical representative — nothing more to prove.
+                } else if pa.length != pb.length {
+                    return Err(violation(
+                        "reorder-lengths",
+                        format!("{tag}: path {i} length {} != {}", pb.length, pa.length),
+                    ));
+                } else {
+                    // A different (tie) representative: it must still be a
+                    // real path of the ORIGINAL graph with this length.
+                    let back = kpj_graph::Path {
+                        nodes: mapped.clone(),
+                        length: pb.length,
+                    };
+                    back.validate(g)
+                        .map_err(|e| violation("reorder-path-valid", format!("{tag}: {e}")))?;
+                    if !back.is_simple() {
+                        return Err(violation(
+                            "reorder-path-valid",
+                            format!("{tag}: loop in mapped-back {mapped:?}"),
+                        ));
+                    }
+                    if !case.sources.contains(&back.source())
+                        || !case.targets.contains(&back.destination())
+                    {
+                        return Err(violation(
+                            "reorder-path-valid",
+                            format!("{tag}: mapped-back endpoints of {mapped:?} escape V_S/V_T"),
+                        ));
+                    }
+                }
+                if !seen.insert(mapped) {
+                    return Err(violation(
+                        "reorder-path-valid",
+                        format!("{tag}: duplicate mapped-back path {i}"),
                     ));
                 }
             }

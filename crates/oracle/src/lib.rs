@@ -27,7 +27,13 @@
 //!    identical answer (cache-hit ≡ cache-miss);
 //! 5. a zero timeout either fails with `deadline_exceeded` or returns the
 //!    full answer — and the service must serve the unbounded retry
-//!    correctly afterwards (no scratch poisoning).
+//!    correctly afterwards (no scratch poisoning);
+//! 6. on the BFS locality-reordered graph (the layout v2 storage files
+//!    persist), every algorithm with translated endpoints and remapped
+//!    landmark tables returns the identical length vector, and every
+//!    path mapped back through the inverse permutation is a valid simple
+//!    path of the original graph (renumbering changes memory layout,
+//!    never answers).
 //!
 //! The `kpj-fuzz` binary drives seeded sweeps, shrinks any violation to a
 //! minimal case, and emits a replay file; see the README quickstart.

@@ -35,6 +35,9 @@ OPTIONS:
     --nodes <N>          road-network nodes (must match the server)  [default: 5000]
     --arcs <M>           road-network arcs  (must match the server)  [default: 12000]
     --seed <S>           road-network seed  (must match the server)  [default: 7]
+    --node-count <N>     don't regenerate the graph; the server holds an
+                         arbitrary N-node graph (e.g. kpj-serve --graph-bin)
+                         and endpoints are drawn deterministically from 0..N
     --connections <C>    parallel TCP connections   [default: 8]
     --requests <R>       total requests             [default: 2000]
     --k <K>              paths per query            [default: 20]
@@ -54,6 +57,7 @@ struct Opts {
     nodes: usize,
     arcs: usize,
     seed: u64,
+    node_count: Option<usize>,
     connections: usize,
     requests: usize,
     k: usize,
@@ -69,6 +73,7 @@ fn parse_opts() -> Result<Opts, String> {
         nodes: 5_000,
         arcs: 12_000,
         seed: 7,
+        node_count: None,
         connections: 8,
         requests: 2_000,
         k: 20,
@@ -88,6 +93,7 @@ fn parse_opts() -> Result<Opts, String> {
             "--nodes" => opts.nodes = num(&value("--nodes")?, "--nodes")?,
             "--arcs" => opts.arcs = num(&value("--arcs")?, "--arcs")?,
             "--seed" => opts.seed = num(&value("--seed")?, "--seed")? as u64,
+            "--node-count" => opts.node_count = Some(num(&value("--node-count")?, "--node-count")?),
             "--connections" => {
                 opts.connections = num(&value("--connections")?, "--connections")?.max(1)
             }
@@ -211,28 +217,54 @@ fn main() -> ExitCode {
         }
     };
 
-    // Recreate the server's world and the paper's workload on it.
-    eprintln!(
-        "regenerating workload: nodes={} arcs={} seed={}",
-        opts.nodes, opts.arcs, opts.seed
-    );
-    let graph = RoadConfig::new(opts.nodes, opts.arcs, opts.seed).generate();
-    let targets: Vec<NodeId> = (1..=opts.targets)
-        .map(|i| (i * opts.nodes / (opts.targets + 1)) as NodeId)
-        .collect();
-    let sets = QuerySets::generate(&graph, &targets, 5, 100, opts.seed);
-    let group = sets.default_group();
-    if group.is_empty() {
-        eprintln!("error: empty query group (graph too small?)");
-        return ExitCode::FAILURE;
-    }
-    // Source pool size controls the cache hit rate of the run.
-    let pool_size = if opts.unique {
-        group.len()
+    // Endpoints: either recreate the server's world and the paper's
+    // distance-stratified workload on it, or — when the server holds an
+    // arbitrary graph (`--node-count`, e.g. served from a v2 file) — draw
+    // a deterministic well-spread sample of 0..N without materialising
+    // anything.
+    let (sources, targets) = if let Some(n) = opts.node_count {
+        if n == 0 {
+            eprintln!("error: --node-count 0");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("sampling endpoints from {n} nodes (no graph regeneration)");
+        let targets: Vec<NodeId> = (1..=opts.targets)
+            .map(|i| (i * n / (opts.targets + 1)) as NodeId)
+            .collect();
+        let pool_size = if opts.unique { n.min(1_024) } else { n.min(16) };
+        // Fibonacci-hash stride: deterministic, well spread over the id
+        // space for any n.
+        let sources: Vec<NodeId> = (0..pool_size as u64)
+            .map(|i| {
+                ((i.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(opts.seed))
+                    % n as u64) as NodeId
+            })
+            .collect();
+        (sources, targets)
     } else {
-        group.len().min(16)
+        eprintln!(
+            "regenerating workload: nodes={} arcs={} seed={}",
+            opts.nodes, opts.arcs, opts.seed
+        );
+        let graph = RoadConfig::new(opts.nodes, opts.arcs, opts.seed).generate();
+        let targets: Vec<NodeId> = (1..=opts.targets)
+            .map(|i| (i * opts.nodes / (opts.targets + 1)) as NodeId)
+            .collect();
+        let sets = QuerySets::generate(&graph, &targets, 5, 100, opts.seed);
+        let group = sets.default_group();
+        if group.is_empty() {
+            eprintln!("error: empty query group (graph too small?)");
+            return ExitCode::FAILURE;
+        }
+        // Source pool size controls the cache hit rate of the run.
+        let pool_size = if opts.unique {
+            group.len()
+        } else {
+            group.len().min(16)
+        };
+        (group[..pool_size].to_vec(), targets)
     };
-    let sources: Vec<NodeId> = group[..pool_size].to_vec();
     let target_list = targets
         .iter()
         .map(|t| t.to_string())

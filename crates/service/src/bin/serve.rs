@@ -1,18 +1,30 @@
 //! `kpj-serve` — serve KPJ queries over newline-delimited JSON on TCP.
 //!
-//! The graph is a deterministic synthetic road network (`kpj-workload`),
-//! so a client that knows `(nodes, arcs, seed)` can regenerate it and
-//! pick meaningful endpoints — `kpj-loadgen` does exactly that.
+//! Two graph sources:
+//!
+//! * `--graph-bin FILE` — a binary graph file. A v2 file is mmapped and
+//!   served **zero-copy**: the CSR sections (forward *and* reverse), the
+//!   landmark tables and the reorder permutation stay in the page cache,
+//!   so cold start is `O(1)` parse work regardless of graph size. A v1
+//!   file is loaded onto the heap. If the file records a locality
+//!   reorder, clients keep speaking original node ids — the service
+//!   translates at the wire boundary.
+//! * otherwise a deterministic synthetic road network (`kpj-workload`),
+//!   so a client that knows `(nodes, arcs, seed)` can regenerate it and
+//!   pick meaningful endpoints — `kpj-loadgen` does exactly that.
 //!
 //! ```text
 //! kpj-serve --nodes 5000 --arcs 12000 --seed 7 --addr 127.0.0.1:7878 \
 //!           --workers 4 --queue-cap 256 --cache-cap 4096 --landmarks 8
+//! kpj-serve --graph-bin usa.kpj2 --landmarks 0 --addr 127.0.0.1:7878
 //! ```
 
 use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Instant;
 
+use kpj_graph::{Graph, NodeRemap};
 use kpj_landmark::{LandmarkIndex, SelectionStrategy};
 use kpj_service::{serve, KpjService, PoolConfig, ServiceConfig};
 use kpj_workload::road::RoadConfig;
@@ -24,6 +36,8 @@ USAGE:
 
 OPTIONS:
     --addr <ADDR>        listen address          [default: 127.0.0.1:7878]
+    --graph-bin <FILE>   serve this graph file (v2 = zero-copy mmap,
+                         embedded landmarks/reorder are used; v1 = heap)
     --nodes <N>          road-network nodes      [default: 5000]
     --arcs <M>           road-network arcs       [default: 12000]
     --seed <S>           road-network seed       [default: 7]
@@ -47,6 +61,7 @@ PROTOCOL (one JSON object per line, `id` echoed back, `cmd` = `op`):
 
 struct Opts {
     addr: String,
+    graph_bin: Option<String>,
     nodes: usize,
     arcs: usize,
     seed: u64,
@@ -63,6 +78,7 @@ struct Opts {
 fn parse_opts() -> Result<Opts, String> {
     let mut opts = Opts {
         addr: "127.0.0.1:7878".to_string(),
+        graph_bin: None,
         nodes: 5_000,
         arcs: 12_000,
         seed: 7,
@@ -83,6 +99,7 @@ fn parse_opts() -> Result<Opts, String> {
         };
         match flag.as_str() {
             "--addr" => opts.addr = value("--addr")?,
+            "--graph-bin" => opts.graph_bin = Some(value("--graph-bin")?),
             "--nodes" => opts.nodes = num(&value("--nodes")?, "--nodes")?,
             "--arcs" => opts.arcs = num(&value("--arcs")?, "--arcs")?,
             "--seed" => opts.seed = num(&value("--seed")?, "--seed")? as u64,
@@ -112,6 +129,50 @@ fn num(s: &str, what: &str) -> Result<usize, String> {
         .map_err(|_| format!("{what}: `{s}` is not a number"))
 }
 
+type GraphParts = (Arc<Graph>, Option<Arc<LandmarkIndex>>, Option<NodeRemap>);
+
+/// Open `--graph-bin` (v2 = zero-copy mmap with embedded sidecars, v1 =
+/// heap) or fall back to generating the synthetic road network.
+fn load_graph(opts: &Opts) -> Result<GraphParts, String> {
+    let Some(path) = &opts.graph_bin else {
+        eprintln!(
+            "generating road network: nodes={} arcs={} seed={}",
+            opts.nodes, opts.arcs, opts.seed
+        );
+        let graph = Arc::new(RoadConfig::new(opts.nodes, opts.arcs, opts.seed).generate());
+        return Ok((graph, None, None));
+    };
+    let started = Instant::now();
+    let bundle = kpj_store::open_any(std::path::Path::new(path))
+        .map_err(|e| format!("cannot open {path}: {e}"))?;
+    eprintln!(
+        "loaded {path}: {} nodes, {} arcs in {:.2} ms ({}{}{})",
+        bundle.graph.node_count(),
+        bundle.graph.edge_count(),
+        started.elapsed().as_secs_f64() * 1e3,
+        if bundle.is_mapped() {
+            "zero-copy mmap"
+        } else {
+            "heap"
+        },
+        if bundle.landmarks.is_some() {
+            ", embedded landmarks"
+        } else {
+            ""
+        },
+        if bundle.remap.is_some() {
+            ", reordered"
+        } else {
+            ""
+        },
+    );
+    Ok((
+        Arc::new(bundle.graph),
+        bundle.landmarks.map(Arc::new),
+        bundle.remap,
+    ))
+}
+
 fn main() -> ExitCode {
     let opts = match parse_opts() {
         Ok(o) => o,
@@ -121,20 +182,23 @@ fn main() -> ExitCode {
         }
     };
 
-    eprintln!(
-        "generating road network: nodes={} arcs={} seed={}",
-        opts.nodes, opts.arcs, opts.seed
-    );
-    let graph = Arc::new(RoadConfig::new(opts.nodes, opts.arcs, opts.seed).generate());
-    let landmarks = (opts.landmarks > 0).then(|| {
+    let (graph, mut landmarks, remap) = match load_graph(&opts) {
+        Ok(parts) => parts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if landmarks.is_none() && opts.landmarks > 0 {
         eprintln!("building {} landmarks (farthest selection)", opts.landmarks);
-        Arc::new(LandmarkIndex::build(
+        landmarks = Some(Arc::new(kpj_core::offline::build_landmarks_parallel(
             &graph,
             opts.landmarks,
             SelectionStrategy::Farthest,
             opts.seed,
-        ))
-    });
+            0,
+        )));
+    }
 
     let config = ServiceConfig {
         pool: PoolConfig {
@@ -147,7 +211,12 @@ fn main() -> ExitCode {
         slow_query_ms: opts.slow_ms,
         flight_dir: opts.flight_dir.clone(),
     };
-    let service = Arc::new(KpjService::new(graph, landmarks, config));
+    let mut service = KpjService::new(graph, landmarks, config);
+    if let Some(remap) = remap {
+        eprintln!("graph is locality-reordered; translating node ids at the wire");
+        service.set_remap(Arc::new(remap));
+    }
+    let service = Arc::new(service);
     if let Some(ms) = opts.slow_ms {
         eprintln!(
             "flight recorder: queries over {ms} ms dump to {}",

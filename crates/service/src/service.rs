@@ -8,7 +8,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use kpj_core::{KpjResult, QueryError};
-use kpj_graph::Graph;
+use kpj_graph::{Graph, NodeRemap};
 use kpj_landmark::LandmarkIndex;
 use kpj_obs::Stage;
 
@@ -30,6 +30,10 @@ use crate::ServiceError;
 /// string is shared too).
 pub struct Answer {
     result: KpjResult,
+    /// When the graph was locality-reordered at rest (v2 storage), path
+    /// nodes are internal ids; the wire body translates them back to the
+    /// external (original) ids the client speaks. `None` = identity.
+    remap: Option<Arc<NodeRemap>>,
     /// Lazily rendered body fields, `[without paths, with paths]`.
     body: [OnceLock<String>; 2],
 }
@@ -37,8 +41,15 @@ pub struct Answer {
 impl Answer {
     /// Wrap a freshly computed result.
     pub fn new(result: KpjResult) -> Answer {
+        Answer::with_remap(result, None)
+    }
+
+    /// Wrap a result computed on a reordered graph; `remap` translates
+    /// its internal path nodes back to external ids on the wire.
+    pub fn with_remap(result: KpjResult, remap: Option<Arc<NodeRemap>>) -> Answer {
         Answer {
             result,
+            remap,
             body: [OnceLock::new(), OnceLock::new()],
         }
     }
@@ -81,6 +92,7 @@ impl Answer {
                     if j > 0 {
                         out.push(',');
                     }
+                    let n = self.remap.as_ref().map_or(n, |r| r.to_external(n));
                     write!(out, "{n}").unwrap();
                 }
                 out.push(']');
@@ -153,6 +165,7 @@ pub struct KpjService {
     cache: Option<ResultCache>,
     metrics: Arc<Metrics>,
     flight: Option<Arc<FlightRecorder>>,
+    remap: Option<Arc<NodeRemap>>,
 }
 
 impl KpjService {
@@ -185,7 +198,17 @@ impl KpjService {
             cache: (config.cache_capacity > 0).then(|| ResultCache::new(config.cache_capacity)),
             metrics,
             flight,
+            remap: None,
         }
+    }
+
+    /// Install the node-id permutation of a locality-reordered graph
+    /// (v2 storage). Clients keep speaking *original* ids: requests are
+    /// translated to internal ids before cache/engine, and path nodes are
+    /// translated back in the wire body. Call before sharing the service;
+    /// an identity permutation is dropped (no per-query work).
+    pub fn set_remap(&mut self, remap: Arc<NodeRemap>) {
+        self.remap = (!remap.is_identity()).then_some(remap);
     }
 
     /// The shared metrics registry.
@@ -212,11 +235,35 @@ impl KpjService {
     /// dedup), pool admission, deadline enforcement, metrics.
     pub fn execute(&self, request: &QueryRequest) -> Result<Arc<Answer>, ServiceError> {
         let started = Instant::now();
-        let out = self.execute_inner(request, started);
+        let out = match self.translate(request) {
+            Ok(Some(internal)) => self.execute_inner(&internal, started),
+            Ok(None) => self.execute_inner(request, started),
+            Err(e) => Err(e),
+        };
         // End-to-end service latency, successful or not, per algorithm.
         self.metrics
             .record_stage(request.algorithm, Stage::Total, started.elapsed());
         out
+    }
+
+    /// Rewrite a request's external node ids to internal (reordered) ids.
+    /// `Ok(None)` means no remap is installed — serve the request as-is.
+    fn translate(&self, request: &QueryRequest) -> Result<Option<QueryRequest>, ServiceError> {
+        let Some(remap) = &self.remap else {
+            return Ok(None);
+        };
+        let mut internal = request.clone();
+        for s in &mut internal.sources {
+            *s = remap
+                .to_internal(*s)
+                .ok_or(ServiceError::Query(QueryError::SourceOutOfRange(*s)))?;
+        }
+        for t in &mut internal.targets {
+            *t = remap
+                .to_internal(*t)
+                .ok_or(ServiceError::Query(QueryError::TargetOutOfRange(*t)))?;
+        }
+        Ok(Some(internal))
     }
 
     fn execute_inner(
@@ -302,7 +349,7 @@ impl KpjService {
                 // ran the query (it knows the span trace too).
                 self.metrics
                     .record_query(started.elapsed(), true, result.paths.len() as u64);
-                Ok(Arc::new(Answer::new(result)))
+                Ok(Arc::new(Answer::with_remap(result, self.remap.clone())))
             }
             Err(e) => {
                 if matches!(e, ServiceError::Query(QueryError::DeadlineExceeded)) {

@@ -1,0 +1,33 @@
+//! Continental-scale graph storage for the `kpj` workspace.
+//!
+//! The v1 binary format (`kpj_graph::io::read_binary`) parses every CSR
+//! array onto the heap and rebuilds the reverse CSR on each load — fine at
+//! thousands of nodes, prohibitive at DIMACS-USA scale (~24M nodes). This
+//! crate provides the v2 path (DESIGN.md §13):
+//!
+//! * **[`write_store`] / [`StreamWriter`]** — a page-aligned, section-table
+//!   v2 file ("KPJGRAPH" v2) holding the forward CSR, the *materialized*
+//!   reverse CSR (or an alias when the graph is symmetric), and optional
+//!   category / landmark / remap sections, written streamingly so
+//!   serialization never needs a second in-memory copy.
+//! * **[`open_v2`] / [`open_any`]** — a zero-copy loader that mmaps the
+//!   file, validates bounds/alignment/checksums, and hands the engine the
+//!   exact same [`kpj_graph::Graph`] view it consumes when heap-built —
+//!   cold start is `O(1)` I/O and allocation-free for the CSR sections.
+//! * **[`reorder`]** — the offline BFS cache-locality pass, recording its
+//!   permutation as a [`kpj_graph::NodeRemap`] for wire-boundary id
+//!   translation.
+
+#![warn(missing_docs)]
+
+mod format;
+mod mmap;
+mod read;
+mod reorder;
+mod write;
+
+pub use format::{section_id, Fnv64, SectionEntry, StoreError, FLAG_SYMMETRIC, VERSION};
+pub use mmap::Mmap;
+pub use read::{open_any, open_v2, StoreBundle};
+pub use reorder::{bfs_order, remap_categories, remap_landmarks, reorder, Reordered};
+pub use write::{write_store, write_store_to_path, StreamWriter, V2Writer};

@@ -1,0 +1,85 @@
+//! `gen-huge` — stream a continental-scale stencil road network straight
+//! to the v2 (mmap) binary format in `O(1)` memory.
+//!
+//! ```sh
+//! gen-huge --nodes 24000000 --seed 42 --out usa-like.kpj2
+//! ```
+//!
+//! The output is byte-for-byte a function of `(--nodes, --seed)`: two runs
+//! with the same arguments produce identical files on any machine. See
+//! `kpj_workload::huge` for the stencil definition and DESIGN.md §13 for
+//! the file format.
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::process::ExitCode;
+
+use kpj_workload::huge::HugeConfig;
+
+const USAGE: &str = "\
+gen-huge — stream an N-node stencil road network to a v2 graph file
+
+usage: gen-huge --nodes N --out FILE [--seed S]
+
+The generator uses O(1) memory: adjacency is a pure function of the node
+id, so any size that fits in u32 node ids works. Output is deterministic
+per (nodes, seed).";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let mut nodes = None;
+    let mut seed = 42u64;
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(|v| v.as_str())
+                .ok_or_else(|| format!("missing value for {a}"))
+        };
+        match a.as_str() {
+            "--nodes" => {
+                nodes = Some(
+                    value()?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--nodes: {e}"))?,
+                )
+            }
+            "--seed" => {
+                seed = value()?
+                    .parse::<u64>()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--out" => out = Some(value()?.to_string()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let nodes = nodes.ok_or("--nodes is required")?;
+    let out = out.ok_or("--out is required")?;
+
+    let cfg = HugeConfig::new(nodes, seed);
+    let arcs = cfg.arc_count();
+    let start = std::time::Instant::now();
+    let file = File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
+    cfg.write_v2(BufWriter::new(file))
+        .map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!(
+        "gen-huge: {nodes} nodes, {arcs} arcs, seed {seed} -> {out} in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+    Ok(())
+}

@@ -1,0 +1,274 @@
+//! Continental-scale road-like stencil generator with O(1) memory.
+//!
+//! [`road`](crate::road) materialises every lattice edge, shuffles them and
+//! runs Kruskal — three `O(m)` allocations that rule it out at the 24M-node
+//! scale of the paper's USA graph. This module instead defines the network
+//! as a *pure function of the node id*: the adjacency of any node is
+//! computable in `O(1)` from `(nodes, seed)` alone, so a graph of any size
+//! can be streamed straight into the v2 binary format without ever holding
+//! an edge list in memory.
+//!
+//! The stencil keeps the macroscopic road-network statistics the paper's
+//! datasets share (near-planar, average degree ≈ 2.5 arcs/node, high
+//! diameter, jittered physical-length weights):
+//!
+//! * nodes form a `⌈√n⌉`-wide row-major grid; every node links to its
+//!   left/right/up/down neighbours (the last row may be partial),
+//! * every [`SHORTCUT_PERIOD`]-th node gets one long "highway" edge
+//!   `v ↔ v + stride` with `stride = 5·width + 3`, mimicking the sparse
+//!   long-range arterials of real road networks,
+//! * each undirected edge `{u, v}` carries one weight
+//!   `jitter(min(u,v), max(u,v), seed) ∈ [750, 1350]` (×5 for highways,
+//!   which span about five grid rows), derived from a splitmix64 hash —
+//!   deterministic, symmetric, and byte-for-byte reproducible across
+//!   machines.
+//!
+//! Because each node's neighbours are emitted in ascending id order and
+//! weights are symmetric, the out-CSR *is* the in-CSR: the streamed v2
+//! file sets `FLAG_SYMMETRIC` and stores the adjacency once.
+
+use kpj_graph::{Graph, GraphBuilder, NodeId, Weight};
+use kpj_store::{StoreError, StreamWriter};
+use std::io::{Seek, Write};
+
+/// Every `SHORTCUT_PERIOD`-th node anchors one long-range "highway" edge.
+pub const SHORTCUT_PERIOD: u64 = 97;
+
+/// Parameters of a stencil network. See the module docs for the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HugeConfig {
+    /// Number of nodes `n` (must stay below `u32::MAX`).
+    pub nodes: usize,
+    /// Seed feeding the per-edge weight hash.
+    pub seed: u64,
+}
+
+impl HugeConfig {
+    /// A stencil network with `nodes` nodes and weight seed `seed`.
+    pub fn new(nodes: usize, seed: u64) -> Self {
+        assert!(
+            (nodes as u64) < u32::MAX as u64,
+            "node ids are u32; {nodes} nodes do not fit"
+        );
+        HugeConfig { nodes, seed }
+    }
+
+    /// Grid width `⌈√n⌉`.
+    pub fn width(&self) -> usize {
+        (self.nodes as f64).sqrt().ceil() as usize
+    }
+
+    /// Id distance spanned by a highway edge.
+    pub fn stride(&self) -> usize {
+        5 * self.width() + 3
+    }
+
+    /// Out-degree of `v` — also its in-degree (the stencil is symmetric).
+    pub fn degree(&self, v: NodeId) -> u32 {
+        let mut scratch = Vec::new();
+        self.neighbors(v, &mut scratch);
+        scratch.len() as u32
+    }
+
+    /// Fill `out` with `v`'s neighbours `(to, weight)` in ascending id
+    /// order. `out` is cleared first; reuse one buffer across calls to
+    /// stay allocation-free after the first node.
+    pub fn neighbors(&self, v: NodeId, out: &mut Vec<(NodeId, Weight)>) {
+        out.clear();
+        let n = self.nodes;
+        let (v_us, w, s) = (v as usize, self.width(), self.stride());
+        debug_assert!(v_us < n, "node {v} out of range");
+        let col = if w == 0 { 0 } else { v_us % w };
+        if v_us >= s && ((v_us - s) as u64).is_multiple_of(SHORTCUT_PERIOD) {
+            out.push((
+                (v_us - s) as NodeId,
+                self.edge_weight(v, (v_us - s) as NodeId),
+            ));
+        }
+        if v_us >= w {
+            out.push((
+                (v_us - w) as NodeId,
+                self.edge_weight(v, (v_us - w) as NodeId),
+            ));
+        }
+        if col > 0 {
+            out.push((v - 1, self.edge_weight(v, v - 1)));
+        }
+        if col + 1 < w && v_us + 1 < n {
+            out.push((v + 1, self.edge_weight(v, v + 1)));
+        }
+        if v_us + w < n && w > 0 {
+            out.push((
+                (v_us + w) as NodeId,
+                self.edge_weight(v, (v_us + w) as NodeId),
+            ));
+        }
+        if (v_us as u64).is_multiple_of(SHORTCUT_PERIOD) && v_us + s < n {
+            out.push((
+                (v_us + s) as NodeId,
+                self.edge_weight(v, (v_us + s) as NodeId),
+            ));
+        }
+    }
+
+    /// Total arc count (two per undirected edge). `O(n)` time, `O(1)`
+    /// memory.
+    pub fn arc_count(&self) -> u64 {
+        let mut scratch = Vec::new();
+        let mut m = 0u64;
+        for v in 0..self.nodes as NodeId {
+            self.neighbors(v, &mut scratch);
+            m += scratch.len() as u64;
+        }
+        m
+    }
+
+    /// The symmetric per-edge weight: a splitmix64 hash of the unordered
+    /// pair and the seed, jittered into `[750, 1350]` — highways (id
+    /// distance = stride) get 5× since they span about five grid rows.
+    pub fn edge_weight(&self, a: NodeId, b: NodeId) -> Weight {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let h = splitmix64(((lo as u64) << 32 | hi as u64).wrapping_add(splitmix64(self.seed)));
+        let jitter = 750 + (h % 601) as Weight;
+        if (hi - lo) as usize == self.stride() {
+            jitter * 5
+        } else {
+            jitter
+        }
+    }
+
+    /// Materialise the stencil as an in-memory [`Graph`]. Intended for
+    /// tests and small runs — allocates `O(n + m)`; use [`write_v2`] for
+    /// the real thing.
+    pub fn generate(&self) -> Graph {
+        let mut b = GraphBuilder::with_capacity(self.nodes, 3 * self.nodes);
+        let mut scratch = Vec::new();
+        for v in 0..self.nodes as NodeId {
+            self.neighbors(v, &mut scratch);
+            for &(to, weight) in &scratch {
+                b.add_edge(v, to, weight).expect("stencil ids in range");
+            }
+        }
+        b.build()
+    }
+
+    /// Stream the stencil to the v2 binary format in three passes (count,
+    /// degrees, edges) using `O(1)` memory regardless of `n`. The output
+    /// is byte-for-byte a function of `(nodes, seed)`.
+    pub fn write_v2<W: Write + Seek>(&self, w: W) -> Result<(), StoreError> {
+        let n = self.nodes as u64;
+        let mut sw = StreamWriter::new(w, n, self.arc_count())?;
+        let mut scratch = Vec::new();
+        for v in 0..self.nodes as NodeId {
+            self.neighbors(v, &mut scratch);
+            sw.push_degree(scratch.len() as u32)?;
+        }
+        sw.finish_degrees()?;
+        for v in 0..self.nodes as NodeId {
+            self.neighbors(v, &mut scratch);
+            for &(to, weight) in &scratch {
+                sw.push_edge(to, weight)?;
+            }
+        }
+        sw.finish()
+    }
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpj_sp::DenseDijkstra;
+    use std::io::Cursor;
+
+    #[test]
+    fn stencil_is_symmetric_and_sorted() {
+        let cfg = HugeConfig::new(5_000, 11);
+        let mut fwd = Vec::new();
+        let mut chk = Vec::new();
+        for v in 0..5_000u32 {
+            cfg.neighbors(v, &mut fwd);
+            assert!(fwd.windows(2).all(|w| w[0].0 < w[1].0), "unsorted at {v}");
+            for &(to, weight) in &fwd {
+                cfg.neighbors(to, &mut chk);
+                assert!(
+                    chk.contains(&(v, weight)),
+                    "edge {v}->{to} has no mirror with equal weight"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn road_like_statistics_and_connectivity() {
+        let cfg = HugeConfig::new(4_000, 3);
+        let g = cfg.generate();
+        assert_eq!(g.node_count(), 4_000);
+        assert_eq!(g.edge_count() as u64, cfg.arc_count());
+        let avg = g.edge_count() as f64 / g.node_count() as f64;
+        assert!((3.5..4.2).contains(&avg), "arc ratio {avg}");
+        let d = DenseDijkstra::from_source(&g, 0);
+        assert!(g.nodes().all(|v| d.reached(v)), "stencil disconnected");
+        let max_deg = g.nodes().map(|v| g.out_degree(v)).max().unwrap();
+        assert!(max_deg <= 6, "degree bound violated: {max_deg}");
+    }
+
+    #[test]
+    fn streamed_v2_is_byte_reproducible() {
+        let render = |seed| {
+            let mut buf = Cursor::new(Vec::new());
+            HugeConfig::new(2_345, seed).write_v2(&mut buf).unwrap();
+            buf.into_inner()
+        };
+        assert_eq!(render(7), render(7));
+        assert_ne!(render(7), render(8));
+    }
+
+    #[test]
+    fn streamed_v2_matches_in_memory_generate() {
+        let cfg = HugeConfig::new(1_777, 42);
+        let mut buf = Cursor::new(Vec::new());
+        cfg.write_v2(&mut buf).unwrap();
+        let dir = std::env::temp_dir().join(format!("kpj-huge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stencil.kpj");
+        std::fs::write(&path, buf.into_inner()).unwrap();
+
+        let bundle = kpj_store::open_v2(&path).unwrap();
+        bundle.verify_data().unwrap();
+        let (g, h) = (&bundle.graph, cfg.generate());
+        assert_eq!(g.node_count(), h.node_count());
+        assert_eq!(g.edge_count(), h.edge_count());
+        for v in h.nodes() {
+            assert_eq!(g.out_edges(v), h.out_edges(v), "out adjacency of {v}");
+            // The stencil is symmetric, so the aliased in-CSR must carry
+            // the same multiset of in-edges the builder derived.
+            let mut a: Vec<_> = g.in_edges(v).iter().map(|e| (e.to, e.weight)).collect();
+            let mut b: Vec<_> = h.in_edges(v).iter().map(|e| (e.to, e.weight)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "in adjacency of {v}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tiny_sizes() {
+        for n in [0usize, 1, 2, 3, 7] {
+            let cfg = HugeConfig::new(n, 1);
+            let g = cfg.generate();
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.edge_count() as u64, cfg.arc_count());
+            if n > 1 {
+                let d = DenseDijkstra::from_source(&g, 0);
+                assert!(g.nodes().all(|v| d.reached(v)), "n={n} disconnected");
+            }
+        }
+    }
+}

@@ -8,6 +8,9 @@
 //! * [`road`] — near-planar road networks: a random spanning tree over a
 //!   lattice (connectivity) plus random extra lattice edges up to the
 //!   paper's exact arc/node ratio, with jittered Euclidean-style weights.
+//! * [`huge`] — continental-scale stencil networks whose adjacency is a
+//!   pure function of the node id, streamed straight to the v2 binary
+//!   format in `O(1)` memory (the `gen-huge` binary).
 //! * [`datasets`] — the Table 1 registry (CAL, SJ, SF, COL, FLA, USA) with
 //!   a `scale` knob.
 //! * [`poi`] — category (POI) assignment: the CAL categories used in the
@@ -27,6 +30,7 @@
 pub mod analysis;
 pub mod datasets;
 pub mod gene;
+pub mod huge;
 pub mod poi;
 pub mod queries;
 pub mod road;

@@ -47,6 +47,7 @@ fn main() -> ExitCode {
         "generate" => generate(&opts),
         "pois" => pois(&opts),
         "landmarks" => landmarks(&opts),
+        "convert" => convert(&opts),
         "query" => query(&opts),
         "info" => info(&opts),
         "help" | "--help" | "-h" => {
@@ -70,12 +71,21 @@ kpj-cli — top-k shortest path join queries
 commands:
   generate  --out FILE (--dataset NAME --scale S | --nodes N --arcs M) [--seed S]
   pois      --graph FILE --out FILE [--kind nested|cal] [--seed S]
-  landmarks --graph FILE --out FILE [--count N] [--seed S]
+  landmarks --graph FILE --out FILE [--count N] [--seed S] [--threads T]
+  convert   --graph FILE --out FILE --to-v2 [--reorder] [--landmarks N]
+            [--threads T] [--categories FILE] [--seed S]
+            (write the page-aligned v2 format: zero-copy mmap on load,
+             optional BFS locality reorder + embedded landmark tables)
   query     --graph FILE (--targets a,b,c | --categories FILE --category NAME)
             (--source N | --sources a,b) [-k N] [--algorithm NAME]
             [--landmarks FILE] [--alpha F] [--timeout-ms MS] [--stats]
             [--metrics]   (print the per-stage registry, Prometheus text)
   info      --graph FILE
+
+Graph files: v1 and v2 binary formats and DIMACS `.gr` are auto-detected.
+A v2 file opens zero-copy (mmap); its embedded landmarks are used unless
+--landmarks overrides, and node ids on the command line are always
+*original* ids even when the file is locality-reordered.
 
 algorithms: da, da-spt, bestfirst, iterbound, iterboundp, iterboundi (default)";
 
@@ -91,7 +101,7 @@ impl Opts {
                 .strip_prefix("--")
                 .or_else(|| a.strip_prefix('-'))
                 .ok_or_else(|| format!("expected an option, got `{a}`"))?;
-            let flag_only = key == "stats" || key == "metrics";
+            let flag_only = matches!(key, "stats" | "metrics" | "to-v2" | "reorder");
             let value = if flag_only {
                 "true".to_string()
             } else {
@@ -138,14 +148,22 @@ impl Opts {
     }
 }
 
-fn load_graph(path: &str) -> Result<Graph, String> {
-    let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
-    let r = BufReader::new(f);
+/// Open any supported graph file as a [`kpj::store::StoreBundle`]:
+/// DIMACS `.gr` and v1 binaries land on the heap, v2 binaries are
+/// mmapped zero-copy together with their embedded sidecars (categories,
+/// landmark tables, reorder permutation).
+fn load_bundle(path: &str) -> Result<kpj::store::StoreBundle, String> {
     if path.ends_with(".gr") {
-        kpj::graph::io::read_dimacs_gr(r).map_err(|e| format!("{path}: {e}"))
-    } else {
-        kpj::graph::io::read_binary(r).map_err(|e| format!("{path}: {e}"))
+        let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        let g = kpj::graph::io::read_dimacs_gr(BufReader::new(f))
+            .map_err(|e| format!("{path}: {e}"))?;
+        return Ok(kpj::store::StoreBundle::from_heap_graph(g));
     }
+    kpj::store::open_any(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    Ok(load_bundle(path)?.graph)
 }
 
 fn generate(o: &Opts) -> Result<(), String> {
@@ -206,7 +224,16 @@ fn landmarks(o: &Opts) -> Result<(), String> {
     let out = o.require("out")?;
     let count: usize = o.num("count", 16)?;
     let seed: u64 = o.num("seed", 42)?;
-    let idx = LandmarkIndex::build(&g, count, SelectionStrategy::Farthest, seed);
+    // Parallel build is bit-identical to the sequential one; `--threads 0`
+    // (the default) uses every core.
+    let threads: usize = o.num("threads", 0)?;
+    let idx = kpj::core::offline::build_landmarks_parallel(
+        &g,
+        count,
+        SelectionStrategy::Farthest,
+        seed,
+        threads,
+    );
     let f = File::create(out).map_err(|e| format!("{out}: {e}"))?;
     idx.write_binary(BufWriter::new(f))
         .map_err(|e| e.to_string())?;
@@ -219,8 +246,87 @@ fn landmarks(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// `convert --to-v2`: rewrite any supported graph file into the
+/// page-aligned v2 format, optionally BFS-reordering for cache locality
+/// and embedding landmark tables, so `kpj-serve --graph-bin` cold-starts
+/// zero-copy from mmap.
+fn convert(o: &Opts) -> Result<(), String> {
+    if o.get("to-v2").is_none() {
+        return Err("convert: only --to-v2 is supported".into());
+    }
+    let input = o.require("graph")?;
+    let out = o.require("out")?;
+    let seed: u64 = o.num("seed", 42)?;
+    let threads: usize = o.num("threads", 0)?;
+    let bundle = load_bundle(input)?;
+    let (mut graph, mut landmarks, mut remap) = (bundle.graph, bundle.landmarks, bundle.remap);
+
+    let mut categories = match o.get("categories") {
+        None => bundle.categories,
+        Some(path) => {
+            let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(
+                kpj::graph::io::read_categories(BufReader::new(f), graph.node_count())
+                    .map_err(|e| e.to_string())?,
+            )
+        }
+    };
+
+    if o.get("reorder").is_some() {
+        if remap.is_some() {
+            return Err(format!("{input} is already locality-reordered"));
+        }
+        let r = kpj::store::reorder(&graph);
+        categories = categories.map(|c| kpj::store::remap_categories(&c, &r.remap));
+        landmarks = landmarks.map(|l| kpj::store::remap_landmarks(&l, &r.remap));
+        graph = r.graph;
+        remap = Some(r.remap);
+    }
+
+    if let Some(count) = o.get("landmark-count").or(o.get("landmarks")) {
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("--landmarks: bad number `{count}`"))?;
+        landmarks = (count > 0).then(|| {
+            kpj::core::offline::build_landmarks_parallel(
+                &graph,
+                count,
+                SelectionStrategy::Farthest,
+                seed,
+                threads,
+            )
+        });
+    }
+
+    kpj::store::write_store_to_path(
+        std::path::Path::new(out),
+        &graph,
+        categories.as_ref(),
+        landmarks.as_ref(),
+        remap.as_ref(),
+    )
+    .map_err(|e| format!("{out}: {e}"))?;
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "wrote {out} (v2, {} nodes, {} arcs, {bytes} bytes{}{}{})",
+        graph.node_count(),
+        graph.edge_count(),
+        if remap.is_some() { ", reordered" } else { "" },
+        match &landmarks {
+            Some(l) => format!(", {} landmarks", l.len()),
+            None => String::new(),
+        },
+        match &categories {
+            Some(c) => format!(", {} categories", c.category_count()),
+            None => String::new(),
+        },
+    );
+    Ok(())
+}
+
 fn query(o: &Opts) -> Result<(), String> {
-    let g = load_graph(o.require("graph")?)?;
+    let bundle = load_bundle(o.require("graph")?)?;
+    let g = bundle.graph;
 
     // Targets: explicit list or a named category from a category file.
     let targets: Vec<NodeId> = if let Some(t) = o.node_list("targets")? {
@@ -239,7 +345,7 @@ fn query(o: &Opts) -> Result<(), String> {
         idx.members(cat).to_vec()
     };
 
-    let sources: Vec<NodeId> = if let Some(s) = o.node_list("sources")? {
+    let mut sources: Vec<NodeId> = if let Some(s) = o.node_list("sources")? {
         s
     } else {
         vec![o.num::<NodeId>("source", NodeId::MAX)?]
@@ -248,14 +354,34 @@ fn query(o: &Opts) -> Result<(), String> {
         return Err("need --source N or --sources a,b".into());
     }
 
+    // Reordered v2 files: the command line (and any sidecar files) speak
+    // *original* ids; translate to the file's internal ids here and back
+    // again when printing paths.
+    let remap = bundle.remap;
+    let mut targets = targets;
+    if let Some(r) = &remap {
+        for v in sources.iter_mut().chain(targets.iter_mut()) {
+            *v = r
+                .to_internal(*v)
+                .ok_or_else(|| format!("node id {v} out of range"))?;
+        }
+    }
+
     let k: usize = o.num("k", 20)?;
     let alg: Algorithm = o.get("algorithm").unwrap_or("iterboundi").parse()?;
 
     let lm = match o.get("landmarks") {
-        None => None,
+        // A v2 file's embedded landmark tables (already in internal ids)
+        // are used automatically.
+        None => bundle.landmarks,
         Some(path) => {
             let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
-            Some(LandmarkIndex::read_binary(BufReader::new(f)).map_err(|e| e.to_string())?)
+            let idx = LandmarkIndex::read_binary(BufReader::new(f)).map_err(|e| e.to_string())?;
+            // A sidecar index is in original ids; align it with the graph.
+            Some(match &remap {
+                Some(r) => kpj::store::remap_landmarks(&idx, r),
+                None => idx,
+            })
         }
     };
 
@@ -294,8 +420,9 @@ fn query(o: &Opts) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let elapsed = t0.elapsed();
 
+    let ext = |v: NodeId| remap.as_ref().map_or(v, |r| r.to_external(v));
     for (i, p) in r.paths.iter().enumerate() {
-        let nodes: Vec<String> = p.nodes.iter().map(|v| v.to_string()).collect();
+        let nodes: Vec<String> = p.nodes.iter().map(|&v| ext(v).to_string()).collect();
         println!("P{} len={} : {}", i + 1, p.length, nodes.join(" "));
     }
     eprintln!(
@@ -327,7 +454,28 @@ fn query(o: &Opts) -> Result<(), String> {
 }
 
 fn info(o: &Opts) -> Result<(), String> {
-    let g = load_graph(o.require("graph")?)?;
+    let bundle = load_bundle(o.require("graph")?)?;
+    if bundle.is_mapped() {
+        // Checksum the mmapped payload once, while we are inspecting the
+        // file anyway — `open` only verifies the header/table.
+        bundle.verify_data().map_err(|e| e.to_string())?;
+        println!(
+            "format: v2 (zero-copy mmap, data checksum ok{}{})",
+            if bundle.landmarks.is_some() {
+                ", embedded landmarks"
+            } else {
+                ""
+            },
+            if bundle.remap.is_some() {
+                ", locality-reordered"
+            } else {
+                ""
+            },
+        );
+    } else {
+        println!("format: v1/heap");
+    }
+    let g = bundle.graph;
     println!("nodes: {}", g.node_count());
     println!("arcs:  {}", g.edge_count());
     let mut max_deg = 0;

@@ -57,6 +57,13 @@ pub mod workload {
     pub use kpj_workload::*;
 }
 
+/// Storage subsystem: the page-aligned v2 binary format, zero-copy mmap
+/// loading, BFS locality reordering (re-export of [`kpj_store`]; see
+/// `DESIGN.md` §13).
+pub mod store {
+    pub use kpj_store::*;
+}
+
 /// Concurrent query serving: engine pool, result cache, deadlines,
 /// metrics, and the `kpj-serve`/`kpj-loadgen` wire protocol
 /// (re-export of [`kpj_service`]).
