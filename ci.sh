@@ -77,6 +77,33 @@ echo "==> parallel-vs-sequential differential (seed 0xDECAF, <= ${PAR_DIFF_SECON
 cargo run --release -q -p kpj-oracle --bin kpj-fuzz -- \
   --seed 912559 --max-seconds "${PAR_DIFF_SECONDS:-${FUZZ_SECONDS:-45}}"
 
+# Live-update oracle: interleave weight-update batches with queries on a
+# running KpjService; after every batch, all algorithms × {landmarks,
+# none} must be bit-identical to a fresh engine built from the updated
+# graph, and the incrementally repaired landmark tables must equal a
+# full rebuild. INTERLEAVE_SECONDS lengthens the box.
+echo "==> live-update interleaving oracle (seed 0xBEEF, <= ${INTERLEAVE_SECONDS:-30}s)"
+cargo run --release -q -p kpj-oracle --bin kpj-fuzz -- \
+  --interleave --seed 48879 --max-seconds "${INTERLEAVE_SECONDS:-30}"
+
+# Live-update serving smoke: 10% of the loadgen stream re-weights edges
+# (epoch swap + landmark repair) while queries keep completing on their
+# pinned epochs — any error spike or malformed line fails the run.
+echo "==> update-load smoke (kpj-serve <- kpj-loadgen --update-rate 10)"
+UPD_SERVE_PID=""
+trap 'if [ -n "$UPD_SERVE_PID" ]; then kill "$UPD_SERVE_PID" 2>/dev/null || true; fi' EXIT
+./target/release/kpj-serve --nodes 3000 --arcs 8000 --seed 7 --landmarks 4 \
+  --addr 127.0.0.1:7842 &
+UPD_SERVE_PID=$!
+sleep 2
+./target/release/kpj-loadgen --addr 127.0.0.1:7842 --nodes 3000 --arcs 8000 \
+  --seed 7 --requests 400 --connections 4 --k 8 --update-rate 10
+./target/release/kpj-cli update --addr 127.0.0.1:7842 --edge 0,1,50
+kill "$UPD_SERVE_PID" 2>/dev/null || true
+wait "$UPD_SERVE_PID" 2>/dev/null || true
+UPD_SERVE_PID=""
+trap - EXIT
+
 # Per-algorithm latency + allocation profile (fixed seeds, small query
 # count so the gate stays quick). BENCH_QUERIES=24 for a fuller run.
 echo "==> bench-kpj (writes BENCH_kpj.json)"

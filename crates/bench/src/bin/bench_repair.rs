@@ -1,0 +1,129 @@
+//! `bench-repair` — measure incremental landmark repair against the full
+//! rebuild it must be bit-identical to (DESIGN.md §14).
+//!
+//! For each road-network scale and update-batch size: draw a seeded batch
+//! of weight re-weightings from the graph's own edges, apply them
+//! copy-on-write, then time `LandmarkIndex::repaired` (bounded Dijkstra
+//! from the changed edges) and `LandmarkIndex::rebuilt` (full
+//! re-Dijkstra, same landmark set) over several rounds. Equality is
+//! asserted every round — a repair that drifted from the rebuild would
+//! abort the bench. Markdown table on stdout; feeds EXPERIMENTS.md.
+//!
+//! ```text
+//! bench-repair [--rounds N] [--landmarks L] [--seed S]
+//! ```
+
+use std::time::Instant;
+
+use kpj_graph::{Graph, NodeId, Weight, WeightUpdate};
+use kpj_landmark::{LandmarkIndex, SelectionStrategy};
+use kpj_workload::road::RoadConfig;
+
+struct Scale {
+    nodes: usize,
+    arcs: usize,
+}
+
+const SCALES: &[Scale] = &[
+    Scale {
+        nodes: 10_000,
+        arcs: 25_000,
+    },
+    Scale {
+        nodes: 100_000,
+        arcs: 250_000,
+    },
+];
+const BATCHES: &[usize] = &[1, 10, 100];
+
+fn main() {
+    let mut rounds = 5usize;
+    let mut landmarks = 8usize;
+    let mut seed = 42u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().expect("flag needs a value");
+        match flag.as_str() {
+            "--rounds" => rounds = value().parse().expect("--rounds"),
+            "--landmarks" => landmarks = value().parse().expect("--landmarks"),
+            "--seed" => seed = value().parse().expect("--seed"),
+            other => {
+                eprintln!("usage: bench-repair [--rounds N] [--landmarks L] [--seed S]");
+                panic!("unknown flag `{other}`");
+            }
+        }
+    }
+
+    println!("| nodes | arcs | landmarks | batch | repair ms (mean) | rebuild ms (mean) | speedup | affected nodes (mean) |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for scale in SCALES {
+        let g0 = RoadConfig::new(scale.nodes, scale.arcs, seed).generate();
+        let idx0 = LandmarkIndex::build(&g0, landmarks, SelectionStrategy::Farthest, seed);
+        for &batch in BATCHES {
+            let mut repair_ns = 0u128;
+            let mut rebuild_ns = 0u128;
+            let mut affected = 0u64;
+            // Each round updates the *original* graph (independent
+            // batches, not an accumulating walk) so rounds are i.i.d.
+            for round in 0..rounds {
+                let updates = draw_batch(&g0, batch, seed ^ (round as u64) << 32);
+                let (g1, deltas) = g0.with_updated_weights(&updates).expect("ids in range");
+
+                let t0 = Instant::now();
+                let (repaired, stats) = idx0.repaired(&g1, &deltas);
+                repair_ns += t0.elapsed().as_nanos();
+                affected += stats.affected_nodes;
+
+                let t0 = Instant::now();
+                let rebuilt = idx0.rebuilt(&g1);
+                rebuild_ns += t0.elapsed().as_nanos();
+
+                assert!(repaired == rebuilt, "repair drifted from rebuild");
+            }
+            let repair_ms = repair_ns as f64 / rounds as f64 / 1e6;
+            let rebuild_ms = rebuild_ns as f64 / rounds as f64 / 1e6;
+            println!(
+                "| {} | {} | {} | {} | {:.2} | {:.2} | {:.1}x | {:.0} |",
+                scale.nodes,
+                scale.arcs,
+                landmarks,
+                batch,
+                repair_ms,
+                rebuild_ms,
+                rebuild_ms / repair_ms,
+                affected as f64 / rounds as f64,
+            );
+        }
+    }
+}
+
+/// A seeded batch of re-weightings of real edges (splitmix64 draws).
+fn draw_batch(g: &Graph, batch: usize, seed: u64) -> Vec<WeightUpdate> {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let n = g.node_count() as u64;
+    (0..batch)
+        .map(|_| {
+            // Rejection-free: walk from a random node to its first
+            // out-edge; road graphs have no isolated nodes, but skip
+            // defensively if one appears.
+            let mut u = (next() % n) as NodeId;
+            while g.out_degree(u) == 0 {
+                u = (next() % n) as NodeId;
+            }
+            let es = g.out_edges(u);
+            let e = es[(next() % es.len() as u64) as usize];
+            WeightUpdate {
+                from: u,
+                to: e.to,
+                weight: 1 + (next() % 2_000) as Weight,
+            }
+        })
+        .collect()
+}

@@ -39,6 +39,7 @@ pub mod scratch;
 mod section;
 mod store;
 mod types;
+mod update;
 
 pub use builder::GraphBuilder;
 pub use categories::{CategoryId, CategoryIndex};
@@ -50,3 +51,4 @@ pub use remap::NodeRemap;
 pub use section::SectionBuf;
 pub use store::{PathId, PathStore};
 pub use types::{Length, NodeId, Weight, INFINITE_LENGTH};
+pub use update::{EdgeDelta, UpdateError, WeightUpdate};

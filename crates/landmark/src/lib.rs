@@ -22,6 +22,9 @@
 #![warn(missing_docs)]
 
 mod persist;
+mod repair;
+
+pub use repair::RepairStats;
 
 pub use persist::PersistError;
 

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! kpj-fuzz [--seed N] [--rounds N] [--max-seconds S] [--out FILE]
+//! kpj-fuzz --interleave [--seed N] [--rounds N] [--max-seconds S]
 //! kpj-fuzz --replay FILE
 //! ```
 //!
@@ -11,11 +12,20 @@
 //! reproducer, written as a `.kpjcase` replay file, and the process exits
 //! non-zero. `FUZZ_SECONDS` overrides the default time box (30 s) for
 //! longer local runs. Replay mode re-runs one `.kpjcase` file and reports.
+//!
+//! `--interleave` runs the live-update oracle instead: per seed, weight-
+//! update batches are applied through a running `KpjService` and after
+//! every batch the live epoch (repaired landmarks, epoch-scoped cache)
+//! must agree bit-for-bit with a freshly built engine. Interleaving
+//! failures are inherently stateful, so they report the seed instead of
+//! shrinking to a replay file.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use kpj_oracle::{check_case, format_case, parse_case, shrink_case, OracleCase};
+use kpj_oracle::{
+    check_case, check_interleaving, format_case, parse_case, shrink_case, OracleCase,
+};
 
 struct Args {
     seed: u64,
@@ -23,11 +33,12 @@ struct Args {
     max_seconds: u64,
     out: Option<String>,
     replay: Option<String>,
+    interleave: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: kpj-fuzz [--seed N] [--rounds N] [--max-seconds S] [--out FILE]\n       kpj-fuzz --replay FILE\n\nFUZZ_SECONDS overrides --max-seconds (default 30)."
+        "usage: kpj-fuzz [--seed N] [--rounds N] [--max-seconds S] [--out FILE]\n       kpj-fuzz --interleave [--seed N] [--rounds N] [--max-seconds S]\n       kpj-fuzz --replay FILE\n\nFUZZ_SECONDS overrides --max-seconds (default 30)."
     );
     std::process::exit(2);
 }
@@ -43,6 +54,7 @@ fn parse_args() -> Args {
         max_seconds: default_seconds,
         out: None,
         replay: None,
+        interleave: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -67,6 +79,7 @@ fn parse_args() -> Args {
             },
             "--out" => args.out = Some(value("--out")),
             "--replay" => args.replay = Some(value("--replay")),
+            "--interleave" => args.interleave = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -109,10 +122,40 @@ fn run_replay(path: &str) -> ExitCode {
     }
 }
 
+fn run_interleave(args: &Args) -> ExitCode {
+    let deadline = Instant::now() + Duration::from_secs(args.max_seconds);
+    let mut round = 0u64;
+    loop {
+        if let Some(rounds) = args.rounds {
+            if round >= rounds {
+                break;
+            }
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+        let seed = args.seed.wrapping_add(round);
+        if let Err(v) = check_interleaving(seed) {
+            eprintln!("seed {seed}: VIOLATION {v}");
+            eprintln!("re-run with: kpj-fuzz --interleave --seed {seed} --rounds 1");
+            return ExitCode::FAILURE;
+        }
+        round += 1;
+    }
+    println!(
+        "kpj-fuzz: {round} interleaving cases from seed {:#x}, 0 violations",
+        args.seed
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     if let Some(path) = &args.replay {
         return run_replay(path);
+    }
+    if args.interleave {
+        return run_interleave(&args);
     }
 
     let deadline = Instant::now() + Duration::from_secs(args.max_seconds);

@@ -8,6 +8,7 @@
 //! | Module | Provides |
 //! |---|---|
 //! | [`generate`] | seeded random cases: road-like, social-like, and degenerate graphs (self-loops, parallel edges, disconnected components, near-`u32::MAX` weights) plus a query |
+//! | [`interleave`] | the live-update oracle: weight-update batches interleaved with queries; after every batch the live service (epoch swap + incremental landmark repair + epoch-scoped cache) must agree bit-for-bit with a freshly built engine |
 //! | [`invariants`] | the checker: all engine algorithms × {landmarks, none} must agree, small instances must match the brute-force reference, and the full `kpj-service` wire path (JSON → pool → cache → JSON) must agree with the engine |
 //! | [`shrink`] | greedy domain-specific minimization of a failing case (driven by `proptest::shrink::minimize`) |
 //! | [`replay`] | the deterministic `.kpjcase` text format the `kpj-fuzz` binary writes on failure and re-runs via `--replay` |
@@ -41,11 +42,13 @@
 #![warn(missing_docs)]
 
 pub mod generate;
+pub mod interleave;
 pub mod invariants;
 pub mod replay;
 pub mod shrink;
 
 pub use generate::{GraphCategory, OracleCase};
+pub use interleave::check_interleaving;
 pub use invariants::{check_case, Violation};
 pub use replay::{format_case, parse_case};
 pub use shrink::shrink_case;

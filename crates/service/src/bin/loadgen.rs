@@ -47,9 +47,16 @@ OPTIONS:
     --timeout-ms <MS>    per-query deadline         [default: none]
     --unique             draw sources from the whole query group
                          (defeats the result cache)
+    --update-rate <P>    make P percent of the request stream weight-update
+                         batches (edges drawn from the regenerated graph),
+                         interleaved with the queries   [default: 0]
+                         (needs the regenerated graph: not valid with
+                         --node-count)
 
 Reports client-side (round-trip) and server-side (`server_us`) latency
-side by side. Exits non-zero if any response line is malformed.
+side by side (update responses carry no `server_us`; they are counted
+under the `update` status instead). Exits non-zero if any response line
+is malformed.
 ";
 
 struct Opts {
@@ -65,6 +72,7 @@ struct Opts {
     targets: usize,
     timeout_ms: Option<u64>,
     unique: bool,
+    update_rate: usize,
 }
 
 fn parse_opts() -> Result<Opts, String> {
@@ -81,6 +89,7 @@ fn parse_opts() -> Result<Opts, String> {
         targets: 3,
         timeout_ms: None,
         unique: false,
+        update_rate: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -105,6 +114,12 @@ fn parse_opts() -> Result<Opts, String> {
                 opts.timeout_ms = Some(num(&value("--timeout-ms")?, "--timeout-ms")? as u64)
             }
             "--unique" => opts.unique = true,
+            "--update-rate" => {
+                opts.update_rate = num(&value("--update-rate")?, "--update-rate")?;
+                if opts.update_rate > 100 {
+                    return Err("--update-rate: percentage must be 0..=100".into());
+                }
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -164,11 +179,19 @@ fn run_connection(addr: &str, requests: &[String]) -> Result<Vec<Sample>, std::i
         let latency_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
         let (status, server_us) = match Json::parse(line.trim()) {
             Ok(v) if v.get("ok").and_then(Json::as_bool) == Some(true) => {
-                // Every successful query response must carry the server's
-                // own latency; its absence is a protocol violation.
-                match v.get("server_us").and_then(Json::as_u64) {
-                    Some(us) => ("ok".to_string(), Some(us)),
-                    None => ("missing_server_us".to_string(), None),
+                if v.get("epoch").is_some() {
+                    // A weight-update acknowledgement: it reports repair
+                    // time, not `server_us`, and is tallied separately so
+                    // the latency table stays a pure query measurement.
+                    ("update".to_string(), None)
+                } else {
+                    // Every successful query response must carry the
+                    // server's own latency; its absence is a protocol
+                    // violation.
+                    match v.get("server_us").and_then(Json::as_u64) {
+                        Some(us) => ("ok".to_string(), Some(us)),
+                        None => ("missing_server_us".to_string(), None),
+                    }
                 }
             }
             Ok(v) => (
@@ -222,9 +245,16 @@ fn main() -> ExitCode {
     // arbitrary graph (`--node-count`, e.g. served from a v2 file) — draw
     // a deterministic well-spread sample of 0..N without materialising
     // anything.
+    let mut edge_pool: Vec<(NodeId, NodeId)> = Vec::new();
     let (sources, targets) = if let Some(n) = opts.node_count {
         if n == 0 {
             eprintln!("error: --node-count 0");
+            return ExitCode::FAILURE;
+        }
+        if opts.update_rate > 0 {
+            // Updates must name real edges; with --node-count the client
+            // never materialises the server's graph, so it cannot.
+            eprintln!("error: --update-rate requires the regenerated graph (drop --node-count)");
             return ExitCode::FAILURE;
         }
         eprintln!("sampling endpoints from {n} nodes (no graph regeneration)");
@@ -248,6 +278,26 @@ fn main() -> ExitCode {
             opts.nodes, opts.arcs, opts.seed
         );
         let graph = RoadConfig::new(opts.nodes, opts.arcs, opts.seed).generate();
+        if opts.update_rate > 0 {
+            // A well-spread sample of real edges for the update stream.
+            let every = (graph.edge_count() / 1_024).max(1);
+            let mut i = 0usize;
+            'sample: for u in graph.nodes() {
+                for e in graph.out_edges(u) {
+                    if i.is_multiple_of(every) {
+                        edge_pool.push((u, e.to));
+                        if edge_pool.len() >= 1_024 {
+                            break 'sample;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            if edge_pool.is_empty() {
+                eprintln!("error: graph has no edges to update");
+                return ExitCode::FAILURE;
+            }
+        }
         let targets: Vec<NodeId> = (1..=opts.targets)
             .map(|i| (i * opts.nodes / (opts.targets + 1)) as NodeId)
             .collect();
@@ -272,8 +322,19 @@ fn main() -> ExitCode {
         .join(",");
 
     // Pre-render every request line, round-robin over the source pool.
+    // With --update-rate P, a Bresenham spread turns P percent of the
+    // stream into single-edge weight updates drawn from the edge pool,
+    // with deterministic weights — the live-update smoke: queries keep
+    // completing (on their pinned epoch) while the graph churns.
+    let is_update = |i: usize| (i + 1) * opts.update_rate / 100 > i * opts.update_rate / 100;
     let requests: Vec<String> = (0..opts.requests)
         .map(|i| {
+            if opts.update_rate > 0 && is_update(i) {
+                let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let (u, v) = edge_pool[(h % edge_pool.len() as u64) as usize];
+                let w = 1 + (h >> 32) % 2_000;
+                return format!("{{\"id\":{i},\"op\":\"update\",\"edges\":[[{u},{v},{w}]]}}");
+            }
             let timeout = match opts.timeout_ms {
                 Some(ms) => format!(",\"timeout_ms\":{ms}"),
                 None => String::new(),
@@ -328,7 +389,13 @@ fn main() -> ExitCode {
     }
     let ok = by_status.get("ok").copied().unwrap_or(0);
     let malformed = samples.iter().filter(|s| s.is_malformed()).count();
-    let mut latencies: Vec<u64> = samples.iter().map(|s| s.latency_us).collect();
+    // Updates (epoch swap + landmark repair) are a different operation;
+    // keep the latency table a pure query measurement.
+    let mut latencies: Vec<u64> = samples
+        .iter()
+        .filter(|s| s.status != "update")
+        .map(|s| s.latency_us)
+        .collect();
     latencies.sort_unstable();
     let mut server_latencies: Vec<u64> = samples.iter().filter_map(|s| s.server_us).collect();
     server_latencies.sort_unstable();

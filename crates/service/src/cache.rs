@@ -1,8 +1,14 @@
 //! Sharded LRU result cache with single-flight deduplication.
 //!
-//! Keyed by the *normalized* query `(algorithm, sources, targets, k)` —
-//! timeouts are intentionally not part of the key: a cached answer is the
-//! full answer, valid whatever deadline the asker had in mind.
+//! Keyed by the *normalized* query `(epoch, algorithm, sources, targets,
+//! k)` — timeouts are intentionally not part of the key: a cached answer
+//! is the full answer, valid whatever deadline the asker had in mind. The
+//! graph epoch **is** part of the key: an answer computed on epoch `e`
+//! can only be returned to a request admitted on epoch `e`, so a weight
+//! update can never serve a stale answer — there is no invalidation to
+//! race against the swap. Entries from superseded epochs become
+//! unreachable at publish and are reaped by [`ResultCache::purge_stale`]
+//! (and by ordinary LRU pressure).
 //!
 //! Single-flight: the first miss for a key installs a [`Flight`] slot and
 //! gets back an [`InFlight`] token obligating it to compute and publish.
@@ -33,6 +39,7 @@ const SHARDS: usize = 16;
 /// source/target sets are deduplicated and order-insensitive.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
+    epoch: u64,
     algorithm: Algorithm,
     sources: Vec<NodeId>,
     targets: Vec<NodeId>,
@@ -41,8 +48,15 @@ pub struct CacheKey {
 
 impl CacheKey {
     /// Build a key; sorts and dedups the node sets so `{1,2}` and
-    /// `{2,1,2}` address the same entry.
-    pub fn new(algorithm: Algorithm, sources: &[NodeId], targets: &[NodeId], k: usize) -> CacheKey {
+    /// `{2,1,2}` address the same entry. `epoch` is the graph epoch the
+    /// request pinned at admission.
+    pub fn new(
+        epoch: u64,
+        algorithm: Algorithm,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        k: usize,
+    ) -> CacheKey {
         let mut sources = sources.to_vec();
         sources.sort_unstable();
         sources.dedup();
@@ -50,11 +64,17 @@ impl CacheKey {
         targets.sort_unstable();
         targets.dedup();
         CacheKey {
+            epoch,
             algorithm,
             sources,
             targets,
             k,
         }
+    }
+
+    /// The graph epoch this key is scoped to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The normalized source set.
@@ -299,6 +319,25 @@ impl ResultCache {
         }
     }
 
+    /// Drop completed entries computed on epochs older than `epoch`,
+    /// returning how many were reaped. Epoch-scoped keys already make
+    /// stale entries unreachable the moment a new epoch publishes; this
+    /// frees their memory eagerly instead of waiting for LRU pressure.
+    /// Pending flights are left alone — their owners resolve them, and an
+    /// old-epoch flight's key can no longer be looked up anyway.
+    pub fn purge_stale(&self, epoch: u64) -> usize {
+        let mut reaped = 0;
+        for shard in &self.inner.shards {
+            let mut shard = shard.lock().unwrap();
+            let before = shard.map.len();
+            shard
+                .map
+                .retain(|k, s| k.epoch >= epoch || !matches!(s, Slot::Ready { .. }));
+            reaped += before - shard.map.len();
+        }
+        reaped
+    }
+
     /// Number of completed (ready) entries across all shards.
     pub fn len(&self) -> usize {
         self.inner
@@ -337,17 +376,27 @@ mod tests {
     }
 
     fn key(k: usize) -> CacheKey {
-        CacheKey::new(Algorithm::Da, &[0], &[1], k)
+        CacheKey::new(0, Algorithm::Da, &[0], &[1], k)
+    }
+
+    fn key_at(epoch: u64, k: usize) -> CacheKey {
+        CacheKey::new(epoch, Algorithm::Da, &[0], &[1], k)
     }
 
     #[test]
     fn key_normalizes_node_sets() {
-        let a = CacheKey::new(Algorithm::Da, &[2, 1, 2], &[5, 4], 3);
-        let b = CacheKey::new(Algorithm::Da, &[1, 2], &[4, 5, 5], 3);
+        let a = CacheKey::new(0, Algorithm::Da, &[2, 1, 2], &[5, 4], 3);
+        let b = CacheKey::new(0, Algorithm::Da, &[1, 2], &[4, 5, 5], 3);
         assert_eq!(a, b);
         assert_eq!(a.sources(), &[1, 2]);
-        assert_ne!(a, CacheKey::new(Algorithm::Da, &[1, 2], &[4, 5], 4));
-        assert_ne!(a, CacheKey::new(Algorithm::BestFirst, &[1, 2], &[4, 5], 3));
+        assert_ne!(a, CacheKey::new(0, Algorithm::Da, &[1, 2], &[4, 5], 4));
+        assert_ne!(
+            a,
+            CacheKey::new(0, Algorithm::BestFirst, &[1, 2], &[4, 5], 3)
+        );
+        // Same query on a different epoch is a different entry.
+        assert_ne!(a, CacheKey::new(1, Algorithm::Da, &[2, 1], &[4, 5], 3));
+        assert_eq!(a.epoch(), 0);
     }
 
     #[test]
@@ -407,6 +456,60 @@ mod tests {
         drop(token);
         assert!(matches!(shared.wait(), Err(ServiceError::Internal(_))));
         assert!(matches!(cache.lookup(&key(1)), Lookup::Miss(_)));
+    }
+
+    #[test]
+    fn panicking_filler_leaves_a_retryable_miss() {
+        // A filler that panics between claiming the flight and publishing
+        // must not wedge the key: its waiter gets a retryable error, and
+        // the *next* caller claims a fresh flight and actually executes.
+        let cache = ResultCache::new(8);
+        let Lookup::Miss(token) = cache.lookup(&key(1)) else {
+            panic!("expected miss")
+        };
+        let Lookup::Shared(shared) = cache.lookup(&key(1)) else {
+            panic!("expected shared")
+        };
+        let filler = std::thread::Builder::new()
+            .name("dying-filler".into())
+            .spawn(move || {
+                let _owned = token;
+                panic!("injected filler fault");
+            })
+            .unwrap();
+        assert!(filler.join().is_err(), "filler must have panicked");
+        assert!(matches!(shared.wait(), Err(ServiceError::Internal(_))));
+        let Lookup::Miss(retry) = cache.lookup(&key(1)) else {
+            panic!("key wedged: next caller did not get the flight")
+        };
+        retry.complete(result_with_tau(11));
+        match cache.lookup(&key(1)) {
+            Lookup::Hit(v) => assert_eq!(v.stats.final_tau, 11),
+            _ => panic!("retry result not cached"),
+        }
+    }
+
+    #[test]
+    fn purge_reaps_only_stale_ready_entries() {
+        let cache = ResultCache::new(64);
+        for k in 1..=4usize {
+            let Lookup::Miss(t) = cache.lookup(&key_at(0, k)) else {
+                panic!("expected miss")
+            };
+            t.complete(result_with_tau(k as u64));
+        }
+        let Lookup::Miss(fresh) = cache.lookup(&key_at(1, 1)) else {
+            panic!("expected miss")
+        };
+        fresh.complete(result_with_tau(9));
+        // An old-epoch flight still pending must survive the purge.
+        let Lookup::Miss(_pending) = cache.lookup(&key_at(0, 99)) else {
+            panic!("expected miss")
+        };
+        assert_eq!(cache.purge_stale(1), 4);
+        assert_eq!(cache.len(), 1);
+        assert!(matches!(cache.lookup(&key_at(1, 1)), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup(&key_at(0, 99)), Lookup::Shared(_)));
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Epoch/RCU-style graph versioning: live weight updates with zero query
+//! downtime.
+//!
+//! A [`GraphEpoch`] is one immutable published version of the serving
+//! state — graph plus (repaired) landmark index. Queries **pin** the
+//! current epoch at admission ([`EpochCell::pin`], a lock-guarded
+//! `Arc::clone`, no allocation) and run to completion on it; the updater
+//! builds the next version off to the side and **publishes** it with an
+//! atomic pointer swap. Nothing is ever mutated in place, so readers need
+//! no fences beyond the `RwLock` read, and an old epoch **retires**
+//! (frees its graph and tables) the moment its last pinned query drops
+//! its `Arc` — classic RCU with reference counts standing in for the
+//! grace period.
+//!
+//! The epoch id is also the cache-coherence token: `CacheKey` includes
+//! it, so an answer computed on epoch `e` can only ever be returned to a
+//! request that pinned epoch `e` — stale answers are unreachable by
+//! construction, not by invalidation racing the swap (see DESIGN.md §14).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+use kpj_graph::Graph;
+use kpj_landmark::LandmarkIndex;
+
+/// One immutable published version of the serving state.
+pub struct GraphEpoch {
+    id: u64,
+    graph: Arc<Graph>,
+    landmarks: Option<Arc<LandmarkIndex>>,
+    /// Distinct edges whose weight changed between the previous epoch and
+    /// this one (0 for the initial epoch) — the update's blast radius,
+    /// surfaced in update responses and metrics.
+    touched_edges: usize,
+    /// Live-epoch gauge shared with the [`EpochCell`]; decremented on
+    /// drop so tests and metrics can watch retirement happen.
+    live: Arc<AtomicUsize>,
+}
+
+impl GraphEpoch {
+    fn new(
+        id: u64,
+        graph: Arc<Graph>,
+        landmarks: Option<Arc<LandmarkIndex>>,
+        touched_edges: usize,
+        live: Arc<AtomicUsize>,
+    ) -> Arc<GraphEpoch> {
+        live.fetch_add(1, Ordering::Relaxed);
+        Arc::new(GraphEpoch {
+            id,
+            graph,
+            landmarks,
+            touched_edges,
+            live,
+        })
+    }
+
+    /// Monotonically increasing version number (the initial epoch is 0).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The graph this epoch serves.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// The landmark index this epoch serves (already repaired for its
+    /// graph), if the service has one.
+    pub fn landmarks(&self) -> Option<&Arc<LandmarkIndex>> {
+        self.landmarks.as_ref()
+    }
+
+    /// Distinct edges changed relative to the previous epoch.
+    pub fn touched_edges(&self) -> usize {
+        self.touched_edges
+    }
+}
+
+impl Drop for GraphEpoch {
+    fn drop(&mut self) {
+        self.live.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for GraphEpoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphEpoch")
+            .field("id", &self.id)
+            .field("touched_edges", &self.touched_edges)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The swap point: holds the current epoch and hands out pins.
+pub struct EpochCell {
+    current: RwLock<Arc<GraphEpoch>>,
+    live: Arc<AtomicUsize>,
+}
+
+impl EpochCell {
+    /// Wrap the initial serving state as epoch 0.
+    pub fn new(graph: Arc<Graph>, landmarks: Option<Arc<LandmarkIndex>>) -> EpochCell {
+        let live = Arc::new(AtomicUsize::new(0));
+        let first = GraphEpoch::new(0, graph, landmarks, 0, Arc::clone(&live));
+        EpochCell {
+            current: RwLock::new(first),
+            live,
+        }
+    }
+
+    /// Pin the current epoch: the returned `Arc` keeps its graph and
+    /// landmark tables alive for as long as the caller holds it. This is
+    /// a read-lock plus a refcount increment — **no allocation** — so
+    /// the per-query zero-alloc gate holds across it.
+    pub fn pin(&self) -> Arc<GraphEpoch> {
+        Arc::clone(&self.current.read().unwrap())
+    }
+
+    /// The current epoch id without pinning.
+    pub fn current_id(&self) -> u64 {
+        self.current.read().unwrap().id
+    }
+
+    /// Publish `graph`/`landmarks` as the next epoch and return it. The
+    /// swap is atomic with respect to [`pin`](EpochCell::pin): a
+    /// concurrent query gets either the old epoch or the new one, intact
+    /// — never a mix. Callers serialize their *builds* (the service holds
+    /// an updater lock); this method only serializes the swap itself.
+    pub fn publish(
+        &self,
+        graph: Arc<Graph>,
+        landmarks: Option<Arc<LandmarkIndex>>,
+        touched_edges: usize,
+    ) -> Arc<GraphEpoch> {
+        let mut current = self.current.write().unwrap();
+        let next = GraphEpoch::new(
+            current.id + 1,
+            graph,
+            landmarks,
+            touched_edges,
+            Arc::clone(&self.live),
+        );
+        *current = Arc::clone(&next);
+        next
+    }
+
+    /// Number of epochs not yet retired (published minus dropped). An
+    /// idle service sits at 1; it grows only while old epochs still have
+    /// pinned queries in flight.
+    pub fn live_epochs(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpj_graph::GraphBuilder;
+
+    fn tiny() -> Arc<Graph> {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1).unwrap();
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn pins_survive_publish_and_epochs_retire_on_drop() {
+        let cell = EpochCell::new(tiny(), None);
+        assert_eq!(cell.current_id(), 0);
+        assert_eq!(cell.live_epochs(), 1);
+
+        let pinned = cell.pin();
+        let next_graph = tiny();
+        let published = cell.publish(Arc::clone(&next_graph), None, 3);
+        assert_eq!(published.id(), 1);
+        assert_eq!(published.touched_edges(), 3);
+        assert_eq!(cell.current_id(), 1);
+        // The old epoch is still alive: `pinned` holds it.
+        assert_eq!(cell.live_epochs(), 2);
+        assert_eq!(pinned.id(), 0);
+        drop(pinned);
+        assert_eq!(cell.live_epochs(), 1, "old epoch retires with its last pin");
+
+        // New pins see the new epoch (and its graph identity).
+        let fresh = cell.pin();
+        assert_eq!(fresh.id(), 1);
+        assert!(Arc::ptr_eq(fresh.graph(), &next_graph));
+    }
+
+    #[test]
+    fn publish_ids_are_sequential() {
+        let cell = EpochCell::new(tiny(), None);
+        for expect in 1..=5 {
+            let e = cell.publish(tiny(), None, 0);
+            assert_eq!(e.id(), expect);
+        }
+        assert_eq!(cell.current_id(), 5);
+        assert_eq!(cell.live_epochs(), 1, "unpinned epochs retire immediately");
+    }
+}

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod epoch;
 pub mod flight;
 pub mod json;
 pub mod metrics;
@@ -56,13 +57,14 @@ pub mod service;
 pub mod wire;
 
 pub use cache::{CacheKey, InFlight, Lookup, ResultCache, SharedFlight};
+pub use epoch::{EpochCell, GraphEpoch};
 pub use flight::FlightRecorder;
 pub use metrics::{algorithm_index, Histogram, Metrics, MetricsSnapshot};
 pub use pool::{
     par_grant, resolve_workers, EnginePool, JobHandle, PoolConfig, PoolHooks, QueryRequest,
 };
 pub use server::serve;
-pub use service::{Answer, KpjService, ServiceConfig};
+pub use service::{Answer, KpjService, ServiceConfig, UpdateOutcome};
 
 /// Errors surfaced by the serving layer. `Clone` so single-flight can
 /// broadcast one failure to every waiter.
@@ -75,6 +77,9 @@ pub enum ServiceError {
     /// The engine rejected or failed the query (including
     /// [`kpj_core::QueryError::DeadlineExceeded`]).
     Query(kpj_core::QueryError),
+    /// A weight-update batch was rejected (unknown node or edge); the
+    /// serving state is unchanged.
+    Update(String),
     /// A worker panicked or an in-flight computation was abandoned.
     Internal(String),
 }
@@ -85,6 +90,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Overloaded => write!(f, "service overloaded: queue is full"),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
             ServiceError::Query(e) => write!(f, "{e}"),
+            ServiceError::Update(msg) => write!(f, "bad update: {msg}"),
             ServiceError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }

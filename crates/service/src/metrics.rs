@@ -53,9 +53,15 @@ pub struct Metrics {
     cache_shared: AtomicU64,
     cache_misses: AtomicU64,
     paths_returned: AtomicU64,
+    /// Weight-update batches published as new graph epochs.
+    epoch_swaps: AtomicU64,
+    /// Distinct edges whose weight changed across all published batches.
+    edges_updated: AtomicU64,
     /// End-to-end latency over every query regardless of algorithm (the
     /// per-algorithm split lives in `registry` under [`Stage::Total`]).
     latency: Histogram,
+    /// Time spent repairing landmark tables per published batch.
+    repair: Histogram,
     /// Per-(algorithm, stage) histograms + per-algorithm work counters.
     registry: StageRegistry,
 }
@@ -79,7 +85,10 @@ impl Metrics {
             cache_shared: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             paths_returned: AtomicU64::new(0),
+            epoch_swaps: AtomicU64::new(0),
+            edges_updated: AtomicU64::new(0),
             latency: Histogram::default(),
+            repair: Histogram::default(),
             registry: StageRegistry::new(
                 Algorithm::ALL.iter().map(|a| a.name()).collect(),
                 QueryStats::FIELD_NAMES.to_vec(),
@@ -140,6 +149,20 @@ impl Metrics {
             .add_counters(algorithm_index(alg), &s.field_values());
     }
 
+    /// Record a published weight-update batch: how many distinct edges it
+    /// touched and how long the landmark repair took (zero duration when
+    /// the service runs without landmarks).
+    pub fn record_update(&self, edges: u64, repair: Duration) {
+        self.epoch_swaps.fetch_add(1, Ordering::Relaxed);
+        self.edges_updated.fetch_add(edges, Ordering::Relaxed);
+        self.repair.record(repair);
+    }
+
+    /// The landmark-repair latency histogram.
+    pub fn repair(&self) -> &Histogram {
+        &self.repair
+    }
+
     /// The end-to-end latency histogram (e.g. for extra quantiles).
     pub fn latency(&self) -> &Histogram {
         &self.latency
@@ -169,8 +192,21 @@ impl Metrics {
                 "paths_returned",
                 self.paths_returned.load(Ordering::Relaxed),
             ),
+            ("epoch_swaps", self.epoch_swaps.load(Ordering::Relaxed)),
+            ("edges_updated", self.edges_updated.load(Ordering::Relaxed)),
         ] {
             let _ = writeln!(out, "kpj_service_events_total{{event=\"{event}\"}} {value}");
+        }
+        out.push_str(
+            "# HELP kpj_landmark_repair_us Landmark repair time per published update batch.\n\
+             # TYPE kpj_landmark_repair_us gauge\n",
+        );
+        for (stat, value) in [
+            ("count", self.repair.count()),
+            ("mean", self.repair.mean_us()),
+            ("max", self.repair.max_us()),
+        ] {
+            let _ = writeln!(out, "kpj_landmark_repair_us{{stat=\"{stat}\"}} {value}");
         }
     }
 
@@ -187,6 +223,10 @@ impl Metrics {
             cache_shared: self.cache_shared.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             paths_returned: self.paths_returned.load(Ordering::Relaxed),
+            epoch_swaps: self.epoch_swaps.load(Ordering::Relaxed),
+            edges_updated: self.edges_updated.load(Ordering::Relaxed),
+            repair_mean_us: self.repair.mean_us(),
+            repair_max_us: self.repair.max_us(),
             latency_count: self.latency.count(),
             latency_mean_us: self.latency.mean_us(),
             latency_p50_us: self.latency.quantile_us(0.50).unwrap_or(0),
@@ -225,6 +265,14 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Total paths returned to clients.
     pub paths_returned: u64,
+    /// Weight-update batches published as new graph epochs.
+    pub epoch_swaps: u64,
+    /// Distinct edges changed across all published batches.
+    pub edges_updated: u64,
+    /// Mean landmark-repair time per published batch, µs.
+    pub repair_mean_us: u64,
+    /// Worst landmark-repair time, µs.
+    pub repair_max_us: u64,
     /// Latency observations recorded.
     pub latency_count: u64,
     /// Mean end-to-end latency, µs.
@@ -268,6 +316,11 @@ impl std::fmt::Display for MetricsSnapshot {
             f,
             "cache: hits={} shared={} misses={}",
             self.cache_hits, self.cache_shared, self.cache_misses
+        )?;
+        writeln!(
+            f,
+            "updates: epoch_swaps={} edges_updated={} repair_us: mean={} max={}",
+            self.epoch_swaps, self.edges_updated, self.repair_mean_us, self.repair_max_us
         )?;
         writeln!(
             f,

@@ -8,6 +8,25 @@
 //! fails immediately with [`ServiceError::Overloaded`] rather than
 //! building an unbounded backlog — the caller (or its client) decides
 //! whether to retry.
+//!
+//! ## Graph epochs
+//!
+//! Every job carries the [`GraphEpoch`] pinned at admission, and each
+//! worker keeps its engine built against the epoch of the job it is
+//! running: when a popped job's epoch differs, the worker drops the old
+//! engine (releasing its pin) and rebuilds against the new one. Pins are
+//! taken in admission order and publishes are monotonic, so the queue is
+//! monotone in epoch id and a worker rebuilds at most once per swap —
+//! warmed scratch (and the zero-alloc steady state) survives for as long
+//! as the epoch does.
+//!
+//! ## Reply-slot integrity
+//!
+//! A worker that dies between popping a job and filling its reply slot
+//! would strand the submitter (and, through the single-flight cache,
+//! every later request for the same key). Queries run under
+//! `catch_unwind`, and a scope guard backstops the slot besides: whatever
+//! unwinds, the slot fills and waiters observe a retryable error.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -20,6 +39,7 @@ use kpj_graph::{Graph, NodeId};
 use kpj_landmark::LandmarkIndex;
 use kpj_obs::Stage;
 
+use crate::epoch::{EpochCell, GraphEpoch};
 use crate::flight::FlightRecorder;
 use crate::metrics::{algorithm_index, Metrics};
 use crate::ServiceError;
@@ -133,7 +153,15 @@ pub struct PoolHooks {
     pub flight: Option<Arc<FlightRecorder>>,
     /// Trace 1-in-N queries (`0` disables tracing entirely).
     pub trace_sample: u32,
+    /// Chaos hook: called on the worker thread right before each query
+    /// executes, inside the panic isolation boundary. Tests (and fault
+    /// drills) inject panics here to prove a dying worker can neither
+    /// strand its submitter nor wedge a single-flight cache key.
+    pub fault: Option<FaultHook>,
 }
+
+/// Shared chaos-injection callback (see [`PoolHooks::fault`]).
+pub type FaultHook = Arc<dyn Fn(&QueryRequest) + Send + Sync>;
 
 impl Default for PoolHooks {
     fn default() -> Self {
@@ -141,6 +169,7 @@ impl Default for PoolHooks {
             metrics: None,
             flight: None,
             trace_sample: 1,
+            fault: None,
         }
     }
 }
@@ -187,10 +216,26 @@ impl JobHandle {
     }
 }
 
+/// Fills the reply slot with a retryable error if the job span unwinds
+/// before a real result lands. `fill` is write-once, so on the normal
+/// path this drop is a no-op.
+struct SlotGuard(Arc<ReplySlot>);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.0.fill(Err(ServiceError::Internal(
+            "worker died before replying".to_string(),
+        )));
+    }
+}
+
 struct Job {
     request: QueryRequest,
     slot: Arc<ReplySlot>,
     submitted: Instant,
+    /// The graph version pinned at admission; the query runs to
+    /// completion on it even if newer epochs publish meanwhile.
+    epoch: Arc<GraphEpoch>,
 }
 
 struct QueueState {
@@ -214,6 +259,7 @@ pub struct EnginePool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     worker_count: usize,
+    epochs: Arc<EpochCell>,
 }
 
 impl EnginePool {
@@ -236,6 +282,7 @@ impl EnginePool {
         hooks: PoolHooks,
     ) -> EnginePool {
         let worker_count = config.effective_workers();
+        let epochs = Arc::new(EpochCell::new(graph, landmarks));
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -250,20 +297,12 @@ impl EnginePool {
         let workers = (0..worker_count)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                let graph = Arc::clone(&graph);
-                let landmarks = landmarks.clone();
+                let epochs = Arc::clone(&epochs);
                 let hooks = hooks.clone();
                 std::thread::Builder::new()
                     .name(format!("kpj-worker-{i}"))
                     .spawn(move || {
-                        worker_loop(
-                            &shared,
-                            &graph,
-                            landmarks.as_deref(),
-                            &hooks,
-                            worker_count,
-                            par_threads_max,
-                        )
+                        worker_loop(&shared, &epochs, &hooks, worker_count, par_threads_max)
                     })
                     .expect("spawn pool worker")
             })
@@ -272,6 +311,7 @@ impl EnginePool {
             shared,
             workers,
             worker_count,
+            epochs,
         }
     }
 
@@ -286,10 +326,39 @@ impl EnginePool {
         self.shared.executed.load(Ordering::Relaxed)
     }
 
-    /// Submit a query. Returns [`ServiceError::Overloaded`] when the
-    /// queue is at capacity and [`ServiceError::ShuttingDown`] after the
-    /// pool starts tearing down.
+    /// The epoch cell: pin for admission, inspect for liveness.
+    pub fn epochs(&self) -> &Arc<EpochCell> {
+        &self.epochs
+    }
+
+    /// Publish the next epoch and wake every parked worker, so none of
+    /// them keeps a superseded epoch pinned through an idle warm engine.
+    pub fn publish(
+        &self,
+        graph: Arc<Graph>,
+        landmarks: Option<Arc<LandmarkIndex>>,
+        touched_edges: usize,
+    ) -> Arc<GraphEpoch> {
+        let next = self.epochs.publish(graph, landmarks, touched_edges);
+        self.shared.not_empty.notify_all();
+        next
+    }
+
+    /// Submit a query pinned to the current epoch. Returns
+    /// [`ServiceError::Overloaded`] when the queue is at capacity and
+    /// [`ServiceError::ShuttingDown`] after the pool starts tearing down.
     pub fn submit(&self, request: QueryRequest) -> Result<JobHandle, ServiceError> {
+        self.submit_pinned(request, self.epochs.pin())
+    }
+
+    /// Submit a query pinned to a specific epoch (normally the one the
+    /// caller pinned at admission, so the cache key and the executing
+    /// graph can never disagree).
+    pub fn submit_pinned(
+        &self,
+        request: QueryRequest,
+        epoch: Arc<GraphEpoch>,
+    ) -> Result<JobHandle, ServiceError> {
         let slot = ReplySlot::new();
         {
             let mut state = self.shared.state.lock().unwrap();
@@ -303,6 +372,7 @@ impl EnginePool {
                 request,
                 slot: Arc::clone(&slot),
                 submitted: Instant::now(),
+                epoch,
             });
         }
         self.shared.not_empty.notify_one();
@@ -371,62 +441,149 @@ fn observe_query(
     }
 }
 
+/// Pop the next job, or `None` once the queue is drained and closed.
+fn pop_job(shared: &Shared) -> Option<Job> {
+    let mut state = shared.state.lock().unwrap();
+    loop {
+        if let Some(job) = state.jobs.pop_front() {
+            return Some(job);
+        }
+        if state.closed {
+            return None;
+        }
+        state = shared.not_empty.wait(state).unwrap();
+    }
+}
+
+/// What an engine-holding worker should do next.
+enum Next {
+    /// Run this job (same or different epoch — caller checks).
+    Job(Job),
+    /// Queue is idle and the held epoch is superseded: drop the warm
+    /// engine so the old graph can retire, then wait epoch-free.
+    Shed,
+    /// Pool is shutting down.
+    Closed,
+}
+
+/// Like [`pop_job`], but refuses to park while pinning a superseded
+/// epoch: an idle worker's warm engine must not keep a retired graph
+/// alive indefinitely. Publishers nudge the queue condvar so sleeping
+/// workers re-run this check.
+fn next_job(shared: &Shared, epochs: &EpochCell, held: &GraphEpoch) -> Next {
+    let mut state = shared.state.lock().unwrap();
+    loop {
+        if let Some(job) = state.jobs.pop_front() {
+            return Next::Job(job);
+        }
+        if state.closed {
+            return Next::Closed;
+        }
+        if epochs.current_id() != held.id() {
+            return Next::Shed;
+        }
+        state = shared.not_empty.wait(state).unwrap();
+    }
+}
+
 fn worker_loop(
     shared: &Shared,
-    graph: &Graph,
-    landmarks: Option<&LandmarkIndex>,
+    epochs: &EpochCell,
     hooks: &PoolHooks,
     worker_count: usize,
     par_threads_max: usize,
 ) {
-    let mut engine = build_engine(graph, landmarks, hooks);
-    loop {
-        let job = {
-            let mut state = shared.state.lock().unwrap();
-            loop {
-                if let Some(job) = state.jobs.pop_front() {
-                    break job;
-                }
-                if state.closed {
-                    return;
-                }
-                state = shared.not_empty.wait(state).unwrap();
-            }
+    // A job popped under one epoch's engine that belongs to the next
+    // epoch; carried across the rebuild below.
+    let mut carry: Option<Job> = None;
+    'epoch: loop {
+        let mut job = match carry.take().or_else(|| pop_job(shared)) {
+            Some(job) => job,
+            None => return,
         };
-        shared.executed.fetch_add(1, Ordering::Relaxed);
-        let queue_wait = job.submitted.elapsed();
-        let r = &job.request;
-        if par_threads_max >= 2 {
-            let busy = shared.busy.fetch_add(1, Ordering::Relaxed) + 1;
-            engine.set_par_threads(par_grant(
-                worker_count,
-                busy,
-                par_threads_max,
-                r.timeout_ms.is_some(),
-            ));
-        }
-        let started = Instant::now();
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            engine.query_multi_deadline(r.algorithm, &r.sources, &r.targets, r.k, r.deadline())
-        }));
-        let exec = started.elapsed();
-        if par_threads_max >= 2 {
-            shared.busy.fetch_sub(1, Ordering::Relaxed);
-        }
-        match outcome {
-            Ok(result) => {
-                if let Ok(result) = &result {
-                    observe_query(&engine, graph, hooks, r, queue_wait, exec, result);
+        // The engine borrows this stack-local pin, so it can never
+        // outlive the epoch's graph; dropping the engine at the end of
+        // the scope releases the worker's share of the pin.
+        let epoch = Arc::clone(&job.epoch);
+        let graph: &Graph = epoch.graph();
+        let landmarks: Option<&LandmarkIndex> = epoch.landmarks().map(Arc::as_ref);
+        let mut engine = build_engine(graph, landmarks, hooks);
+        loop {
+            shared.executed.fetch_add(1, Ordering::Relaxed);
+            let queue_wait = job.submitted.elapsed();
+            // Whatever happens below — including panics outside the
+            // catch_unwind, e.g. in an engine rebuild — the submitter
+            // gets an answer.
+            let guard = SlotGuard(Arc::clone(&job.slot));
+            let r = &job.request;
+            if par_threads_max >= 2 {
+                let busy = shared.busy.fetch_add(1, Ordering::Relaxed) + 1;
+                engine.set_par_threads(par_grant(
+                    worker_count,
+                    busy,
+                    par_threads_max,
+                    r.timeout_ms.is_some(),
+                ));
+            }
+            let started = Instant::now();
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if let Some(fault) = &hooks.fault {
+                    fault(r);
                 }
-                job.slot.fill(result.map_err(ServiceError::Query));
+                let result = engine.query_multi_deadline(
+                    r.algorithm,
+                    &r.sources,
+                    &r.targets,
+                    r.k,
+                    r.deadline(),
+                );
+                // Inside the isolation boundary on purpose: a panicking
+                // metrics sink or flight recorder must not strand the
+                // submitter either.
+                if let Ok(result) = &result {
+                    observe_query(
+                        &engine,
+                        graph,
+                        hooks,
+                        r,
+                        queue_wait,
+                        started.elapsed(),
+                        result,
+                    );
+                }
+                result
+            }));
+            if par_threads_max >= 2 {
+                shared.busy.fetch_sub(1, Ordering::Relaxed);
             }
-            Err(_) => {
-                // The engine's epoch-stamped scratch may be mid-update;
-                // rebuild it rather than trust a half-written state.
-                job.slot
-                    .fill(Err(ServiceError::Internal("query panicked".to_string())));
-                engine = build_engine(graph, landmarks, hooks);
+            match outcome {
+                Ok(result) => job.slot.fill(result.map_err(ServiceError::Query)),
+                Err(_) => {
+                    // The engine's epoch-stamped scratch may be
+                    // mid-update; rebuild it rather than trust a
+                    // half-written state.
+                    job.slot
+                        .fill(Err(ServiceError::Internal("query panicked".to_string())));
+                    engine = build_engine(graph, landmarks, hooks);
+                }
             }
+            drop(guard); // no-op: the slot is filled on every path above
+            job = match next_job(shared, epochs, &epoch) {
+                Next::Job(next) => {
+                    if Arc::ptr_eq(&next.epoch, &epoch) {
+                        next
+                    } else {
+                        // Epoch switch: rebuild the engine against the
+                        // new graph. The queue is monotone in epoch id,
+                        // so this happens at most once per published
+                        // update.
+                        carry = Some(next);
+                        continue 'epoch;
+                    }
+                }
+                Next::Shed => continue 'epoch,
+                Next::Closed => return,
+            };
         }
     }
 }
@@ -522,8 +679,7 @@ mod tests {
             },
             PoolHooks {
                 metrics: Some(Arc::clone(&metrics)),
-                flight: None,
-                trace_sample: 1,
+                ..Default::default()
             },
         );
         pool.run(request(2)).unwrap();
@@ -601,6 +757,84 @@ mod tests {
             let b = par.run(req).unwrap();
             assert_eq!(a.paths, b.paths);
         }
+    }
+
+    #[test]
+    fn panicking_query_reports_and_worker_recovers() {
+        // A fault injected at the same point a panicking metrics sink
+        // would fire (after pop, before fill) must produce a retryable
+        // error — not a stranded submitter — and the single worker must
+        // keep serving afterwards.
+        let poison = 3usize;
+        let pool = EnginePool::with_hooks(
+            diamond(),
+            None,
+            PoolConfig {
+                workers: 1,
+                queue_capacity: 8,
+                ..Default::default()
+            },
+            PoolHooks {
+                fault: Some(Arc::new(move |r: &QueryRequest| {
+                    if r.k == poison {
+                        panic!("injected worker fault");
+                    }
+                })),
+                ..Default::default()
+            },
+        );
+        match pool.run(request(poison)) {
+            Err(ServiceError::Internal(msg)) => assert!(msg.contains("panicked"), "{msg}"),
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        // Same worker, fresh engine: still answers.
+        assert_eq!(pool.run(request(2)).unwrap().paths.len(), 2);
+        assert_eq!(pool.executed(), 2);
+    }
+
+    #[test]
+    fn epoch_swap_retargets_workers_and_pins_run_to_completion() {
+        let graph = diamond();
+        let pool = EnginePool::new(
+            Arc::clone(&graph),
+            None,
+            PoolConfig {
+                workers: 2,
+                queue_capacity: 16,
+                ..Default::default()
+            },
+        );
+        assert_eq!(pool.run(request(1)).unwrap().paths.path(0).length, 2);
+
+        // Pin the old epoch the way an admitted query would, then publish
+        // a version where the short route costs 50.
+        let old_pin = pool.epochs().pin();
+        let (updated, _) = graph
+            .with_updated_weights(&[kpj_graph::WeightUpdate {
+                from: 0,
+                to: 1,
+                weight: 50,
+            }])
+            .unwrap();
+        pool.publish(Arc::new(updated), None, 1);
+
+        // New submissions see the new weights...
+        assert_eq!(pool.run(request(1)).unwrap().paths.path(0).length, 4);
+        // ...while a job explicitly pinned to the old epoch still runs on
+        // the old graph.
+        let handle = pool
+            .submit_pinned(request(1), Arc::clone(&old_pin))
+            .unwrap();
+        assert_eq!(handle.wait().unwrap().paths.path(0).length, 2);
+        drop(old_pin);
+        // Idle workers shed superseded engines (the publish nudged them;
+        // the pinned job's worker sheds as soon as its queue goes idle) —
+        // poll briefly for the old epoch to retire.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pool.epochs().live_epochs() > 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(pool.epochs().live_epochs(), 1);
     }
 
     #[test]

@@ -4,15 +4,16 @@
 //! wrappers over [`KpjService::execute`].
 
 use std::fmt::Write as _;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use kpj_core::{KpjResult, QueryError};
-use kpj_graph::{Graph, NodeRemap};
+use kpj_graph::{Graph, NodeRemap, WeightUpdate};
 use kpj_landmark::LandmarkIndex;
 use kpj_obs::Stage;
 
 use crate::cache::{CacheKey, Lookup, ResultCache};
+use crate::epoch::GraphEpoch;
 use crate::flight::FlightRecorder;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::pool::{EnginePool, PoolConfig, PoolHooks, QueryRequest};
@@ -166,6 +167,25 @@ pub struct KpjService {
     metrics: Arc<Metrics>,
     flight: Option<Arc<FlightRecorder>>,
     remap: Option<Arc<NodeRemap>>,
+    /// Serializes weight-update batches: builds are expensive (graph
+    /// copy + landmark repair) and must see each other's epochs in order.
+    /// Queries never take this lock.
+    updater: Mutex<()>,
+}
+
+/// What a published weight-update batch did, as reported to the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// The epoch now serving (unchanged if the batch was a no-op).
+    pub epoch: u64,
+    /// Distinct edges whose weight actually changed.
+    pub changed: usize,
+    /// Landmark repair wall time, µs (0 without landmarks or no-op).
+    pub repair_us: u64,
+    /// Nodes whose landmark distance was recomputed, summed over rows.
+    pub affected_nodes: u64,
+    /// Completed cache entries from older epochs reaped at publish.
+    pub cache_purged: usize,
 }
 
 impl KpjService {
@@ -192,6 +212,7 @@ impl KpjService {
             metrics: Some(Arc::clone(&metrics)),
             flight: flight.clone(),
             trace_sample: config.trace_sample,
+            ..Default::default()
         };
         KpjService {
             pool: EnginePool::with_hooks(graph, landmarks, config.pool, hooks),
@@ -199,6 +220,7 @@ impl KpjService {
             metrics,
             flight,
             remap: None,
+            updater: Mutex::new(()),
         }
     }
 
@@ -229,6 +251,84 @@ impl KpjService {
     /// The engine pool (exposed for tests and capacity introspection).
     pub fn pool(&self) -> &EnginePool {
         &self.pool
+    }
+
+    /// Pin and return the currently serving epoch.
+    pub fn current_epoch(&self) -> Arc<GraphEpoch> {
+        self.pool.epochs().pin()
+    }
+
+    /// Apply a batch of edge-weight updates and publish the result as a
+    /// new graph epoch. In-flight and already-admitted queries finish on
+    /// the epoch they pinned; queries admitted after this returns see the
+    /// new weights. The whole batch is validated before anything is
+    /// built, so a rejected batch changes nothing. Node ids are external
+    /// (client-visible) ids when a remap is installed.
+    ///
+    /// A batch whose updates all match the current weights is a no-op:
+    /// no epoch is published and the cache keeps its entries.
+    pub fn apply_update(&self, updates: &[WeightUpdate]) -> Result<UpdateOutcome, ServiceError> {
+        let _serial = self.updater.lock().unwrap();
+        let base = self.pool.epochs().pin();
+        let translated: Vec<WeightUpdate>;
+        let updates: &[WeightUpdate] = match &self.remap {
+            Some(remap) => {
+                translated = updates
+                    .iter()
+                    .map(|u| {
+                        let internal = |node| {
+                            remap.to_internal(node).ok_or_else(|| {
+                                ServiceError::Update(format!("node {node} out of range"))
+                            })
+                        };
+                        Ok(WeightUpdate {
+                            from: internal(u.from)?,
+                            to: internal(u.to)?,
+                            weight: u.weight,
+                        })
+                    })
+                    .collect::<Result<_, ServiceError>>()?;
+                &translated
+            }
+            None => updates,
+        };
+        let (graph, deltas) = base
+            .graph()
+            .with_updated_weights(updates)
+            .map_err(|e| ServiceError::Update(e.to_string()))?;
+        if deltas.is_empty() {
+            return Ok(UpdateOutcome {
+                epoch: base.id(),
+                changed: 0,
+                repair_us: 0,
+                affected_nodes: 0,
+                cache_purged: 0,
+            });
+        }
+        let repair_started = Instant::now();
+        let (landmarks, affected_nodes) = match base.landmarks() {
+            Some(index) => {
+                let (repaired, stats) = index.repaired(&graph, &deltas);
+                (Some(Arc::new(repaired)), stats.affected_nodes)
+            }
+            None => (None, 0),
+        };
+        let repair = repair_started.elapsed();
+        let epoch = self.pool.publish(Arc::new(graph), landmarks, deltas.len());
+        // Entries keyed to older epochs are already unreachable (the
+        // epoch id is part of the cache key); reap them eagerly.
+        let cache_purged = self
+            .cache
+            .as_ref()
+            .map_or(0, |cache| cache.purge_stale(epoch.id()));
+        self.metrics.record_update(deltas.len() as u64, repair);
+        Ok(UpdateOutcome {
+            epoch: epoch.id(),
+            changed: deltas.len(),
+            repair_us: repair.as_micros() as u64,
+            affected_nodes,
+            cache_purged,
+        })
     }
 
     /// Execute one query end-to-end: cache lookup (with single-flight
@@ -272,15 +372,21 @@ impl KpjService {
         started: Instant,
     ) -> Result<Arc<Answer>, ServiceError> {
         let Some(cache) = &self.cache else {
-            return self.compute_recorded(request, started);
+            return self.compute_recorded(request, started, self.pool.epochs().pin());
         };
-        let key = CacheKey::new(
-            request.algorithm,
-            &request.sources,
-            &request.targets,
-            request.k,
-        );
         for _ in 0..=SHARED_RETRIES {
+            // Pin the epoch per attempt (a retry after a failed shared
+            // flight should run on the *current* graph) and scope the
+            // cache key to it: the answer served can only ever come from
+            // the graph version this request was admitted on.
+            let epoch = self.pool.epochs().pin();
+            let key = CacheKey::new(
+                epoch.id(),
+                request.algorithm,
+                &request.sources,
+                &request.targets,
+                request.k,
+            );
             let probe = Instant::now();
             let looked = cache.lookup(&key);
             self.metrics
@@ -309,7 +415,7 @@ impl KpjService {
                 }
                 Lookup::Miss(token) => {
                     self.metrics.record_cache_miss();
-                    return match self.compute_recorded(request, started) {
+                    return match self.compute_recorded(request, started, epoch) {
                         Ok(value) => {
                             token.complete(Arc::clone(&value));
                             Ok(value)
@@ -328,13 +434,15 @@ impl KpjService {
         ))
     }
 
-    /// Run on the pool and fold the outcome into the metrics.
+    /// Run on the pool (pinned to `epoch`, the same one the cache key was
+    /// scoped to) and fold the outcome into the metrics.
     fn compute_recorded(
         &self,
         request: &QueryRequest,
         started: Instant,
+        epoch: Arc<GraphEpoch>,
     ) -> Result<Arc<Answer>, ServiceError> {
-        let handle = match self.pool.submit(request.clone()) {
+        let handle = match self.pool.submit_pinned(request.clone(), epoch) {
             Ok(handle) => handle,
             Err(e) => {
                 if matches!(e, ServiceError::Overloaded) {

@@ -1,14 +1,20 @@
 //! The newline-delimited JSON wire protocol.
 //!
 //! One request per line, one response line per request, `id` echoed
-//! verbatim so clients may pipeline. Three operations:
+//! verbatim so clients may pipeline. Four operations:
 //!
 //! ```text
 //! {"id":1,"op":"ping"}
 //! {"id":2,"op":"query","algorithm":"iterboundi","sources":[0],
 //!  "targets":[5,9],"k":20,"timeout_ms":250,"paths":true}
 //! {"id":3,"op":"metrics"}
+//! {"id":4,"op":"update","edges":[[0,1,50],[3,2,7]]}
 //! ```
+//!
+//! `update` sets each `[from,to,weight]` edge to the given weight and
+//! publishes the batch as a new graph epoch — queries already admitted
+//! finish on the old weights; later ones see the new. The response
+//! reports `epoch`, `changed`, `repair_us`, and `affected_nodes`.
 //!
 //! Responses carry `"ok":true` plus the payload, or `"ok":false` with a
 //! machine-readable `error` code (`bad_request`, `overloaded`,
@@ -20,7 +26,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use kpj_core::{Algorithm, QueryError};
-use kpj_graph::NodeId;
+use kpj_graph::{NodeId, Weight, WeightUpdate};
 use kpj_obs::Stage;
 
 use crate::json::Json;
@@ -59,6 +65,10 @@ pub fn handle_line(service: &KpjService, line: &str) -> String {
         Some("metrics") => metrics_response(service, id),
         Some("query") => match parse_query(&parsed) {
             Ok((request, want_paths)) => run_query(service, id, &request, want_paths),
+            Err(message) => error_response(id, "bad_request", &message),
+        },
+        Some("update") => match parse_update(&parsed) {
+            Ok(updates) => run_update(service, id, &updates),
             Err(message) => error_response(id, "bad_request", &message),
         },
         Some(other) => error_response(id, "bad_request", &format!("unknown op `{other}`")),
@@ -115,6 +125,67 @@ fn parse_query(req: &Json) -> Result<(QueryRequest, bool), String> {
         },
         want_paths,
     ))
+}
+
+/// Largest accepted update batch — a backstop mirroring [`MAX_NODE_SET`].
+pub const MAX_UPDATE_EDGES: usize = 100_000;
+
+fn parse_update(req: &Json) -> Result<Vec<WeightUpdate>, String> {
+    let edges = req
+        .get("edges")
+        .ok_or("missing `edges`")?
+        .as_arr()
+        .ok_or("`edges` must be an array of [from,to,weight] triples")?;
+    if edges.is_empty() {
+        return Err("`edges` must not be empty".to_string());
+    }
+    if edges.len() > MAX_UPDATE_EDGES {
+        return Err(format!("`edges` has more than {MAX_UPDATE_EDGES} entries"));
+    }
+    edges
+        .iter()
+        .map(|e| {
+            let triple = e
+                .as_arr()
+                .filter(|t| t.len() == 3)
+                .ok_or("each edge must be a [from,to,weight] triple")?;
+            let node = |v: &Json, what: &str| {
+                v.as_u64()
+                    .and_then(|n| NodeId::try_from(n).ok())
+                    .ok_or_else(|| format!("`{what}` must be a node id"))
+            };
+            Ok(WeightUpdate {
+                from: node(&triple[0], "from")?,
+                to: node(&triple[1], "to")?,
+                weight: triple[2]
+                    .as_u64()
+                    .and_then(|w| Weight::try_from(w).ok())
+                    .ok_or("`weight` must be a non-negative integer")?,
+            })
+        })
+        .collect()
+}
+
+fn run_update(service: &KpjService, id: Json, updates: &[WeightUpdate]) -> String {
+    match service.apply_update(updates) {
+        Ok(outcome) => Json::Obj(vec![
+            ("id".to_string(), id),
+            ("ok".to_string(), Json::Bool(true)),
+            ("epoch".to_string(), Json::from(outcome.epoch)),
+            ("changed".to_string(), Json::from(outcome.changed as u64)),
+            ("repair_us".to_string(), Json::from(outcome.repair_us)),
+            (
+                "affected_nodes".to_string(),
+                Json::from(outcome.affected_nodes),
+            ),
+            (
+                "cache_purged".to_string(),
+                Json::from(outcome.cache_purged as u64),
+            ),
+        ])
+        .to_string(),
+        Err(e) => error_response(id, error_code(&e), &e.to_string()),
+    }
 }
 
 fn run_query(service: &KpjService, id: Json, request: &QueryRequest, want_paths: bool) -> String {
@@ -200,6 +271,7 @@ pub fn error_code(e: &ServiceError) -> &'static str {
         ServiceError::ShuttingDown => "shutting_down",
         ServiceError::Query(QueryError::DeadlineExceeded) => "deadline_exceeded",
         ServiceError::Query(_) => "bad_request",
+        ServiceError::Update(_) => "bad_request",
         ServiceError::Internal(_) => "internal",
     }
 }
@@ -441,6 +513,67 @@ mod tests {
         );
         let v = Json::parse(&ok).unwrap();
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{ok}");
+    }
+
+    #[test]
+    fn update_publishes_a_new_epoch_and_later_queries_see_it() {
+        let svc = service();
+        let lengths = |resp: &str| -> Vec<u64> {
+            let v = Json::parse(resp).unwrap();
+            assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{resp}");
+            v.get("lengths")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .iter()
+                .filter_map(Json::as_u64)
+                .collect()
+        };
+        let query = r#"{"id":1,"op":"query","sources":[0],"targets":[2],"k":1}"#;
+        assert_eq!(lengths(&handle_line(&svc, query)), vec![2]);
+
+        // Raise the short route; the batch publishes epoch 1.
+        let resp = handle_line(&svc, r#"{"id":2,"op":"update","edges":[[0,1,50]]}"#);
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{resp}");
+        assert_eq!(v.get("epoch").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("changed").unwrap().as_u64(), Some(1));
+
+        // The identical query must NOT be served from the epoch-0 cache
+        // entry: the key is epoch-scoped, so it recomputes on the new
+        // graph and the long route wins.
+        assert_eq!(lengths(&handle_line(&svc, query)), vec![4]);
+        // ...and caches under epoch 1: a repeat is a hit.
+        assert_eq!(lengths(&handle_line(&svc, query)), vec![4]);
+        assert_eq!(svc.snapshot().cache_hits, 1);
+        assert_eq!(svc.snapshot().epoch_swaps, 1);
+
+        // Re-sending the same weight is a no-op: no new epoch.
+        let resp = handle_line(&svc, r#"{"id":3,"op":"update","edges":[[0,1,50]]}"#);
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("epoch").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("changed").unwrap().as_u64(), Some(0));
+
+        // A non-existent edge rejects the whole batch and changes nothing.
+        for (line, why) in [
+            (
+                r#"{"id":4,"op":"update","edges":[[0,2,5]]}"#,
+                "no such edge",
+            ),
+            (r#"{"id":5,"op":"update","edges":[[99,0,5]]}"#, "bad node"),
+            (r#"{"id":6,"op":"update","edges":[]}"#, "empty batch"),
+            (r#"{"id":7,"op":"update","edges":[[0,1]]}"#, "not a triple"),
+            (r#"{"id":8,"op":"update"}"#, "missing edges"),
+        ] {
+            let v = Json::parse(&handle_line(&svc, line)).unwrap();
+            assert_eq!(v.get("ok").unwrap().as_bool(), Some(false), "{why}");
+            assert_eq!(
+                v.get("error").unwrap().as_str(),
+                Some("bad_request"),
+                "{why}"
+            );
+        }
+        assert_eq!(lengths(&handle_line(&svc, query)), vec![4]);
     }
 
     #[test]

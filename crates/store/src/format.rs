@@ -150,6 +150,15 @@ pub enum StoreError {
         /// Element size the length must divide into.
         elem: u64,
     },
+    /// A count being serialized does not fit its fixed-width field. A bare
+    /// `as u32` here would silently truncate and produce a corrupt file
+    /// whose checksums still verify — the writer refuses instead.
+    CountOverflow {
+        /// What was being counted (e.g. "section", "category members").
+        what: &'static str,
+        /// The count that does not fit in `u32`.
+        count: u64,
+    },
     /// A required section is absent.
     MissingSection(u32),
     /// The same section id appears twice in the table.
@@ -184,6 +193,10 @@ impl fmt::Display for StoreError {
             StoreError::BadSectionLength { section, len, elem } => write!(
                 f,
                 "section {section} length {len} is not a multiple of element size {elem}"
+            ),
+            StoreError::CountOverflow { what, count } => write!(
+                f,
+                "{what} count {count} does not fit the format's u32 field"
             ),
             StoreError::MissingSection(id) => write!(f, "required section {id} is missing"),
             StoreError::DuplicateSection(id) => write!(f, "section {id} appears twice"),

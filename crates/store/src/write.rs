@@ -21,6 +21,13 @@ use crate::format::{
 /// Offset of the `data_checksum` field patched by `finish`.
 const DATA_CHECKSUM_OFFSET: u64 = 48;
 
+/// Convert a count to the format's fixed `u32` width, refusing (rather
+/// than silently truncating) anything that does not fit. `what` names the
+/// count in the error, e.g. "section" or "category members".
+fn count_u32(what: &'static str, count: u64) -> Result<u32, StoreError> {
+    u32::try_from(count).map_err(|_| StoreError::CountOverflow { what, count })
+}
+
 /// Low-level section-at-a-time writer. Declared sections must be written
 /// in table order with exactly the declared byte counts; `finish` patches
 /// the data checksum and verifies the bookkeeping.
@@ -54,7 +61,7 @@ impl<W: Write + Seek> V2Writer<W> {
         header.extend_from_slice(&flags.to_le_bytes());
         header.extend_from_slice(&n.to_le_bytes());
         header.extend_from_slice(&m.to_le_bytes());
-        header.extend_from_slice(&(decls.len() as u32).to_le_bytes());
+        header.extend_from_slice(&count_u32("section", decls.len() as u64)?.to_le_bytes());
         header.extend_from_slice(&0u32.to_le_bytes());
         debug_assert_eq!(header.len() as u64, 40);
 
@@ -207,27 +214,27 @@ impl<W: Write + Seek> V2Writer<W> {
 }
 
 /// Serialize the category index into its section payload.
-fn categories_payload(cats: &CategoryIndex) -> Vec<u8> {
+fn categories_payload(cats: &CategoryIndex) -> Result<Vec<u8>, StoreError> {
     let mut out = Vec::new();
-    out.extend_from_slice(&(cats.category_count() as u32).to_le_bytes());
+    out.extend_from_slice(&count_u32("category", cats.category_count() as u64)?.to_le_bytes());
     for (_, name, members) in cats.iter() {
-        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(&count_u32("category name bytes", name.len() as u64)?.to_le_bytes());
         out.extend_from_slice(name.as_bytes());
-        out.extend_from_slice(&(members.len() as u32).to_le_bytes());
+        out.extend_from_slice(&count_u32("category members", members.len() as u64)?.to_le_bytes());
         for &v in members {
             out.extend_from_slice(&v.to_le_bytes());
         }
     }
-    out
+    Ok(out)
 }
 
-fn landmark_meta_payload(lm: &LandmarkIndex) -> Vec<u8> {
+fn landmark_meta_payload(lm: &LandmarkIndex) -> Result<Vec<u8>, StoreError> {
     let mut out = Vec::new();
-    out.extend_from_slice(&(lm.len() as u32).to_le_bytes());
+    out.extend_from_slice(&count_u32("landmark", lm.len() as u64)?.to_le_bytes());
     for &l in lm.landmarks() {
         out.extend_from_slice(&l.to_le_bytes());
     }
-    out
+    Ok(out)
 }
 
 /// Write a complete v2 store for an in-memory graph plus optional sidecar
@@ -246,8 +253,8 @@ pub fn write_store<W: Write + Seek>(
     let m = graph.edge_count() as u64;
     let symmetric = out_offsets == in_offsets && out_edges == in_edges;
 
-    let cats_payload = categories.map(categories_payload);
-    let lm_meta = landmarks.map(landmark_meta_payload);
+    let cats_payload = categories.map(categories_payload).transpose()?;
+    let lm_meta = landmarks.map(landmark_meta_payload).transpose()?;
 
     let mut decls: Vec<(u32, u64)> = vec![
         (section_id::OUT_OFFSETS, (n + 1) * 4),
@@ -368,7 +375,8 @@ impl<W: Write + Seek> StreamWriter<W> {
         assert!(self.degrees_seen <= self.n, "more degrees than nodes");
         self.cumulative += degree as u64;
         assert!(self.cumulative <= self.m, "degrees sum past declared m");
-        self.inner.payload_u32s([self.cumulative as u32])
+        let offset = count_u32("cumulative degree", self.cumulative)?;
+        self.inner.payload_u32s([offset])
     }
 
     /// Switch from the offsets section to the edges section.
@@ -390,5 +398,49 @@ impl<W: Write + Seek> StreamWriter<W> {
     pub fn finish(self) -> Result<(), StoreError> {
         assert_eq!(self.edges_seen, self.m, "edge count != m");
         self.inner.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn oversized_counts_error_instead_of_truncating() {
+        // Mocked lengths: a real >4B-element section would need tens of
+        // gigabytes, so the checked conversion is exercised directly with
+        // the counts such a section would produce.
+        assert!(count_u32("section", u32::MAX as u64).is_ok());
+        let err = count_u32("category members", u32::MAX as u64 + 1).unwrap_err();
+        match err {
+            StoreError::CountOverflow { what, count } => {
+                assert_eq!(what, "category members");
+                assert_eq!(count, u32::MAX as u64 + 1);
+            }
+            other => panic!("expected CountOverflow, got {other:?}"),
+        }
+        assert!(err.to_string().contains("category members"));
+    }
+
+    #[test]
+    fn stream_writer_rejects_offsets_past_u32() {
+        // Declared m pushes the cumulative-degree offsets past u32::MAX;
+        // the old `as u32` silently wrapped here and produced a corrupt
+        // but checksummed file.
+        let m = 6_000_000_000u64;
+        let mut w = StreamWriter::new(Cursor::new(Vec::new()), 2, m).unwrap();
+        w.push_degree(3_000_000_000).unwrap();
+        let err = w.push_degree(3_000_000_000).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::CountOverflow {
+                    what: "cumulative degree",
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
     }
 }

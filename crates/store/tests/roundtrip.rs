@@ -305,6 +305,40 @@ fn corrupt_files_are_rejected_precisely() {
     ));
 }
 
+#[test]
+fn truncation_mid_section_table_is_a_precise_error() {
+    // An asymmetric graph writes 4 sections, so the section table spans
+    // [64, 160). Cutting inside it (not merely inside a payload) must
+    // produce `Truncated` with the exact need/have byte counts — not a
+    // panic, not a checksum error, and no partially-built bundle.
+    let g = random_graph(30, 120, 11);
+    let bytes = v2_bytes(&g);
+    let count = u32::from_le_bytes(bytes[32..36].try_into().unwrap()) as u64;
+    assert_eq!(count, 4, "asymmetric store should declare 4 sections");
+    let table_end = 64 + count * 24;
+
+    // Mid-entry (half-way through entry 1) and on an entry boundary but
+    // before the declared end.
+    for cut in [64 + 24 + 12, 64 + 3 * 24] {
+        match open_bytes(&bytes[..cut as usize], &format!("midtable{cut}")) {
+            Err(StoreError::Truncated { need, have }) => {
+                assert_eq!(need, table_end, "cut {cut}: need must be the table end");
+                assert_eq!(have, cut, "cut {cut}: have must be the file length");
+            }
+            other => panic!("cut {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+
+    // One byte short of the complete table: still the same precise error.
+    match open_bytes(&bytes[..table_end as usize - 1], "midtable-last") {
+        Err(StoreError::Truncated { need, have }) => {
+            assert_eq!(need, table_end);
+            assert_eq!(have, table_end - 1);
+        }
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+}
+
 /// Recompute and patch the meta checksum after editing header/table bytes
 /// (mirrors the writer, so tests can forge structurally-bad-but-signed files).
 fn rewrite_meta_checksum(bytes: &mut [u8]) {

@@ -49,6 +49,7 @@ fn main() -> ExitCode {
         "landmarks" => landmarks(&opts),
         "convert" => convert(&opts),
         "query" => query(&opts),
+        "update" => update(&opts),
         "info" => info(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -80,6 +81,10 @@ commands:
             (--source N | --sources a,b) [-k N] [--algorithm NAME]
             [--landmarks FILE] [--alpha F] [--timeout-ms MS] [--stats]
             [--metrics]   (print the per-stage registry, Prometheus text)
+  update    --edge U,V,W [--edge U,V,W]… | --file FILE   [--addr HOST:PORT]
+            (re-weight edges on a running kpj-serve; every parallel copy
+             of (U,V) gets weight W and a new graph epoch is published.
+             FILE holds one `U V W` triple per line, `#` comments ok)
   info      --graph FILE
 
 Graph files: v1 and v2 binary formats and DIMACS `.gr` are auto-detected.
@@ -118,6 +123,14 @@ impl Opts {
         self.0
             .iter()
             .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Every occurrence of a repeatable option, in command-line order.
+    fn get_all<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.0
+            .iter()
+            .filter(move |(k, _)| k == key)
             .map(|(_, v)| v.as_str())
     }
 
@@ -449,6 +462,108 @@ fn query(o: &Opts) -> Result<(), String> {
         let mut text = String::new();
         metrics.render_prometheus(&mut text);
         print!("{text}");
+    }
+    Ok(())
+}
+
+/// `update`: push a weight-update batch to a running `kpj-serve` over the
+/// NDJSON wire (`{"op":"update","edges":[[u,v,w],…]}`). The server
+/// publishes a new graph epoch, repairs its landmark tables
+/// incrementally, and reports what changed; in-flight queries finish on
+/// the epoch they pinned at admission, so there is no downtime.
+fn update(o: &Opts) -> Result<(), String> {
+    use std::io::{BufRead, Write};
+
+    let addr = o.get("addr").unwrap_or("127.0.0.1:7878");
+    let mut edges: Vec<(NodeId, NodeId, u32)> = Vec::new();
+    for spec in o.get_all("edge") {
+        let parts: Vec<&str> = spec.split(',').map(str::trim).collect();
+        let [u, v, w] = parts.as_slice() else {
+            return Err(format!("--edge: expected U,V,W, got `{spec}`"));
+        };
+        let parse = |t: &str, what: &str| -> Result<u64, String> {
+            t.parse::<u64>()
+                .map_err(|_| format!("--edge {spec}: bad {what} `{t}`"))
+        };
+        edges.push((
+            NodeId::try_from(parse(u, "node id")?)
+                .map_err(|_| format!("--edge {spec}: node id `{u}` out of range"))?,
+            NodeId::try_from(parse(v, "node id")?)
+                .map_err(|_| format!("--edge {spec}: node id `{v}` out of range"))?,
+            u32::try_from(parse(w, "weight")?)
+                .map_err(|_| format!("--edge {spec}: weight `{w}` out of range"))?,
+        ));
+    }
+    if let Some(path) = o.get("file") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let [u, v, w] = fields.as_slice() else {
+                return Err(format!("{path}:{}: expected `U V W`", lineno + 1));
+            };
+            let bad = |t: &str| format!("{path}:{}: bad number `{t}`", lineno + 1);
+            edges.push((
+                u.parse().map_err(|_| bad(u))?,
+                v.parse().map_err(|_| bad(v))?,
+                w.parse().map_err(|_| bad(w))?,
+            ));
+        }
+    }
+    if edges.is_empty() {
+        return Err("update: need at least one --edge U,V,W or --file FILE".into());
+    }
+
+    let body = edges
+        .iter()
+        .map(|&(u, v, w)| format!("[{u},{v},{w}]"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let request = format!("{{\"id\":1,\"op\":\"update\",\"edges\":[{body}]}}");
+
+    let stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = BufWriter::new(stream);
+    writer
+        .write_all(request.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("{addr}: {e}"))?;
+    if line.trim().is_empty() {
+        return Err(format!("{addr}: server closed the connection"));
+    }
+    let reply = kpj::service::json::Json::parse(line.trim())
+        .map_err(|e| format!("{addr}: malformed response: {e}"))?;
+    use kpj::service::json::Json;
+    if reply.get("ok").and_then(Json::as_bool) != Some(true) {
+        let code = reply
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown");
+        let msg = reply.get("message").and_then(Json::as_str).unwrap_or("");
+        return Err(format!("server rejected the update: {code} {msg}"));
+    }
+    let field = |k: &str| reply.get(k).and_then(Json::as_u64).unwrap_or(0);
+    println!(
+        "epoch {} published: {} edge weight(s) changed, landmark repair {} us \
+         ({} nodes touched), {} stale cache entries purged",
+        field("epoch"),
+        field("changed"),
+        field("repair_us"),
+        field("affected_nodes"),
+        field("cache_purged"),
+    );
+    if field("changed") == 0 {
+        println!("(all weights were already current: no new epoch was needed)");
     }
     Ok(())
 }
