@@ -49,7 +49,21 @@ trap 'if [ -n "$SCALE_SERVE_PID" ]; then kill "$SCALE_SERVE_PID" 2>/dev/null || 
 ./target/release/kpj-cli info --graph "$SCALE_DIR/huge.kpj2"
 ./target/release/kpj-cli query --graph "$SCALE_DIR/huge.kpj2" \
   --source 17 --targets "$((SCALE_NODES / 2 - 21)),$((SCALE_NODES - 17))" \
-  -k 20 --algorithm iterboundi > /dev/null
+  -k 20 --algorithm iterboundi > "$SCALE_DIR/plain.out"
+
+# Reduction at scale: contract the same file around the query endpoints,
+# fold in the BFS reorder, cold-load the reduced mmap file, and demand
+# the re-expanded k=20 answer is byte-identical to the unreduced one.
+echo "==> reduction scale smoke (convert --reduce --reorder -> cold mmap -> k=20 diff)"
+./target/release/kpj-cli convert --graph "$SCALE_DIR/huge.kpj2" \
+  --out "$SCALE_DIR/huge-red.kpj2" --to-v2 --reorder --reduce \
+  --keep "17,$((SCALE_NODES / 2 - 21)),$((SCALE_NODES - 17))"
+./target/release/kpj-cli info --graph "$SCALE_DIR/huge-red.kpj2"
+./target/release/kpj-cli query --graph "$SCALE_DIR/huge-red.kpj2" \
+  --source 17 --targets "$((SCALE_NODES / 2 - 21)),$((SCALE_NODES - 17))" \
+  -k 20 --algorithm iterboundi > "$SCALE_DIR/reduced.out"
+diff "$SCALE_DIR/plain.out" "$SCALE_DIR/reduced.out"
+
 ./target/release/kpj-serve --graph-bin "$SCALE_DIR/huge.kpj2" --landmarks 0 \
   --addr 127.0.0.1:7841 &
 SCALE_SERVE_PID=$!
@@ -76,6 +90,15 @@ cargo run --release -q -p kpj-oracle --bin kpj-fuzz -- \
 echo "==> parallel-vs-sequential differential (seed 0xDECAF, <= ${PAR_DIFF_SECONDS:-${FUZZ_SECONDS:-45}}s)"
 cargo run --release -q -p kpj-oracle --bin kpj-fuzz -- \
   --seed 912559 --max-seconds "${PAR_DIFF_SECONDS:-${FUZZ_SECONDS:-45}}"
+
+# Reduction differential: a third bounded sweep on its own fixed seed.
+# Every case's check_reduce stage runs all algorithms on the reduced and
+# reduced+reordered graphs (fresh landmarks and none) and demands the
+# re-expanded answers match the original graph's bit-for-bit; the
+# chain-heavy generator family keeps contraction coverage dense.
+echo "==> reduction differential (seed 0x5EDD, <= ${REDUCE_DIFF_SECONDS:-30}s)"
+cargo run --release -q -p kpj-oracle --bin kpj-fuzz -- \
+  --seed 24285 --max-seconds "${REDUCE_DIFF_SECONDS:-30}"
 
 # Live-update oracle: interleave weight-update batches with queries on a
 # running KpjService; after every batch, all algorithms × {landmarks,

@@ -209,7 +209,7 @@ fn storage_axis(g: &Graph, lm: &LandmarkIndex, w: &Workload) -> StorageMeasureme
         let f = std::fs::File::create(&v1_path).expect("create v1");
         kpj_graph::io::write_binary(g, std::io::BufWriter::new(f)).expect("write v1");
     }
-    kpj_store::write_store_to_path(&v2_path, g, None, Some(lm), None).expect("write v2");
+    kpj_store::write_store_to_path(&v2_path, g, None, Some(lm), None, None).expect("write v2");
     let v1_bytes = std::fs::metadata(&v1_path).map_or(0, |m| m.len());
     let v2_bytes = std::fs::metadata(&v2_path).map_or(0, |m| m.len());
 
@@ -263,6 +263,95 @@ fn storage_axis(g: &Graph, lm: &LandmarkIndex, w: &Workload) -> StorageMeasureme
         v2_bytes,
         original_ms_per_query: original_ms,
         reordered_ms_per_query: reordered_ms,
+    }
+}
+
+/// Graph-reduction axis: contract/prune a road network for the
+/// workload's `V_S`/`V_T` (`kpj-cli convert --reduce`), build fresh
+/// landmarks on the reduced graph, and time every algorithm unreduced vs
+/// reduced-with-transparent-re-expansion. Runs on a synthetic road
+/// network rather than CAL: the CAL subsample densifies away most
+/// degree-2 chains, while road-family graphs keep the long corridors the
+/// reduction targets.
+struct ReductionMeasurement {
+    dataset: String,
+    build_ms: f64,
+    original_nodes: usize,
+    reduced_nodes: usize,
+    original_edges: usize,
+    reduced_edges: usize,
+    /// Median ms/query per algorithm, [`Algorithm::ALL`] order.
+    unreduced_ms: Vec<f64>,
+    reduced_ms: Vec<f64>,
+}
+
+impl ReductionMeasurement {
+    /// Fraction of nodes the reduction removed.
+    fn node_ratio(&self) -> f64 {
+        1.0 - self.reduced_nodes as f64 / self.original_nodes.max(1) as f64
+    }
+
+    /// Fraction of arcs the reduction removed.
+    fn edge_ratio(&self) -> f64 {
+        1.0 - self.reduced_edges as f64 / self.original_edges.max(1) as f64
+    }
+}
+
+fn reduction_axis(queries: usize, landmark_count: usize, seed: u64) -> ReductionMeasurement {
+    let (nodes, arcs) = (20_000usize, 44_000usize);
+    let g = kpj_workload::road::RoadConfig::new(nodes, arcs, seed).generate();
+    let n = g.node_count();
+    let sources = stride_sample(n, queries, 17);
+    let targets = stride_sample(n, 40, 3);
+    let lm = LandmarkIndex::build(&g, landmark_count, SelectionStrategy::Farthest, seed);
+
+    let t0 = Instant::now();
+    let red = kpj_graph::reduce(&g, &sources, &targets);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let rlm = LandmarkIndex::build(
+        &red.graph,
+        landmark_count,
+        SelectionStrategy::Farthest,
+        seed,
+    );
+    let map = |ids: &[NodeId]| -> Vec<NodeId> {
+        ids.iter()
+            .map(|&v| red.reduction.to_reduced(v).expect("endpoints are kept"))
+            .collect()
+    };
+    let (rs, rt) = (map(&sources), map(&targets));
+
+    let mut unreduced = QueryEngine::new(&g).with_landmarks(&lm);
+    unreduced.set_trace_sampling(0);
+    let unreduced_ms = Algorithm::ALL
+        .iter()
+        .map(|&alg| {
+            run_batch(&mut unreduced, alg, &sources, &targets, K);
+            let (ms, _) = median_ms(&mut unreduced, alg, &sources, &targets, K);
+            ms
+        })
+        .collect();
+    let mut engine = QueryEngine::new(&red.graph)
+        .with_landmarks(&rlm)
+        .with_reduction(&red.reduction);
+    engine.set_trace_sampling(0);
+    let reduced_ms = Algorithm::ALL
+        .iter()
+        .map(|&alg| {
+            run_batch(&mut engine, alg, &rs, &rt, K);
+            let (ms, _) = median_ms(&mut engine, alg, &rs, &rt, K);
+            ms
+        })
+        .collect();
+    ReductionMeasurement {
+        dataset: format!("road n={nodes} m={arcs}"),
+        build_ms,
+        original_nodes: g.node_count(),
+        reduced_nodes: red.graph.node_count(),
+        original_edges: g.edge_count(),
+        reduced_edges: red.graph.edge_count(),
+        unreduced_ms,
+        reduced_ms,
     }
 }
 
@@ -362,6 +451,35 @@ fn main() {
         storage.original_ms_per_query, storage.reordered_ms_per_query,
     );
 
+    // Reduction axis: contract/prune a synthetic road network for its
+    // workload's V_S/V_T and re-time every algorithm with transparent
+    // re-expansion.
+    eprintln!("==> reduction (convert --reduce), synthetic road");
+    let reduction = reduction_axis(queries, 16, 0xCA1);
+    eprintln!(
+        "  reduce: {} -> {} nodes (-{:.1}%), {} -> {} arcs (-{:.1}%), built in {:.1} ms",
+        reduction.original_nodes,
+        reduction.reduced_nodes,
+        reduction.node_ratio() * 100.0,
+        reduction.original_edges,
+        reduction.reduced_edges,
+        reduction.edge_ratio() * 100.0,
+        reduction.build_ms,
+    );
+    for ((&alg, &ums), &rms) in Algorithm::ALL
+        .iter()
+        .zip(&reduction.unreduced_ms)
+        .zip(&reduction.reduced_ms)
+    {
+        eprintln!(
+            "  {:>12}: {:>9.3} ms/query unreduced  {:>9.3} ms/query reduced  ({:+.1}%)",
+            alg.name(),
+            ums,
+            rms,
+            (rms / ums - 1.0) * 100.0,
+        );
+    }
+
     // Intra-query scaling axis: threads × k on the deviation paradigm.
     // On a single-core host this reads ~1.0x across the board (the
     // fan-out still runs, serialized) — scaling shows up on multi-core.
@@ -440,6 +558,36 @@ fn main() {
         storage.original_ms_per_query,
         storage.reordered_ms_per_query,
     );
+    let _ = write!(
+        json,
+        "  \"reduction\": {{\n    \"dataset\": \"{}\",\n    \"reduce_build_ms\": {:.4},\n    \"original_nodes\": {},\n    \"reduced_nodes\": {},\n    \"reduce_node_ratio\": {:.4},\n    \"original_edges\": {},\n    \"reduced_edges\": {},\n    \"reduce_edge_ratio\": {:.4},\n    \"algorithms\": {{\n",
+        json_escape_free(&reduction.dataset.replace(' ', "_")),
+        reduction.build_ms,
+        reduction.original_nodes,
+        reduction.reduced_nodes,
+        reduction.node_ratio(),
+        reduction.original_edges,
+        reduction.reduced_edges,
+        reduction.edge_ratio(),
+    );
+    for (i, ((&alg, &ums), &rms)) in Algorithm::ALL
+        .iter()
+        .zip(&reduction.unreduced_ms)
+        .zip(&reduction.reduced_ms)
+        .enumerate()
+    {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(
+            json,
+            "      \"{}\": {{\"unreduced_ms_per_query\": {:.4}, \"reduced_ms_per_query\": {:.4}}}",
+            alg.name(),
+            ums,
+            rms,
+        );
+    }
+    json.push_str("\n    }\n  },\n");
     let _ = write!(
         json,
         "  \"wall_seconds\": {:.1}\n}}\n",

@@ -9,6 +9,13 @@
 //! asserted every round — a repair that drifted from the rebuild would
 //! abort the bench. Markdown table on stdout; feeds EXPERIMENTS.md.
 //!
+//! A second table covers the reduced deployment: the same road graphs
+//! contracted by `kpj_graph::reduce`, with update batches aimed at chain
+//! *interiors* — each hop update is translated onto its contracted
+//! shortcut (`Reduction::translate_updates`, new prefix sums + one
+//! shortcut re-weighting) and then repaired on the reduced graph, timing
+//! the translation separately from the repair.
+//!
 //! ```text
 //! bench-repair [--rounds N] [--landmarks L] [--seed S]
 //! ```
@@ -95,6 +102,104 @@ fn main() {
             );
         }
     }
+
+    println!();
+    println!("Chain-interior updates on the reduced graph (hop -> shortcut translation + repair):");
+    println!("| nodes | reduced nodes | landmarks | batch | translate ms (mean) | repair ms (mean) | rebuild ms (mean) | speedup |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for scale in SCALES {
+        let g0 = RoadConfig::new(scale.nodes, scale.arcs, seed).generate();
+        // Keep a sparse endpoint sample so long degree-2 chains contract.
+        let keep: Vec<NodeId> = (0..64u32)
+            .map(|i| i * (scale.nodes as u32 / 64).max(1))
+            .collect();
+        let red = kpj_graph::reduce(&g0, &keep, &keep);
+        let interiors: Vec<NodeId> = (0..g0.node_count() as NodeId)
+            .filter(|&v| red.reduction.is_interior(v))
+            .collect();
+        assert!(
+            !interiors.is_empty(),
+            "road graph produced no contracted chains"
+        );
+        let idx0 = LandmarkIndex::build(&red.graph, landmarks, SelectionStrategy::Farthest, seed);
+        for &batch in BATCHES {
+            let mut translate_ns = 0u128;
+            let mut repair_ns = 0u128;
+            let mut rebuild_ns = 0u128;
+            for round in 0..rounds {
+                let updates =
+                    draw_interior_batch(&g0, &interiors, batch, seed ^ (round as u64) << 32);
+
+                let t0 = Instant::now();
+                let t = red
+                    .reduction
+                    .translate_updates(&red.graph, &updates)
+                    .expect("interior hop weights stay in range");
+                translate_ns += t0.elapsed().as_nanos();
+
+                let (g1, deltas) = red
+                    .graph
+                    .with_updated_weights(&t.updates)
+                    .expect("ids in range");
+                let t0 = Instant::now();
+                let (repaired, _) = idx0.repaired(&g1, &deltas);
+                repair_ns += t0.elapsed().as_nanos();
+
+                let t0 = Instant::now();
+                let rebuilt = idx0.rebuilt(&g1);
+                rebuild_ns += t0.elapsed().as_nanos();
+
+                assert!(repaired == rebuilt, "repair drifted from rebuild");
+            }
+            let translate_ms = translate_ns as f64 / rounds as f64 / 1e6;
+            let repair_ms = repair_ns as f64 / rounds as f64 / 1e6;
+            let rebuild_ms = rebuild_ns as f64 / rounds as f64 / 1e6;
+            println!(
+                "| {} | {} | {} | {} | {:.3} | {:.2} | {:.2} | {:.1}x |",
+                scale.nodes,
+                red.graph.node_count(),
+                landmarks,
+                batch,
+                translate_ms,
+                repair_ms,
+                rebuild_ms,
+                rebuild_ms / (translate_ms + repair_ms),
+            );
+        }
+    }
+}
+
+/// A seeded batch of re-weightings of chain-interior hops: each update
+/// names an original-id edge whose tail was contracted away, forcing the
+/// translation path (prefix-sum rewrite + shortcut re-weight).
+fn draw_interior_batch(
+    g: &Graph,
+    interiors: &[NodeId],
+    batch: usize,
+    seed: u64,
+) -> Vec<WeightUpdate> {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..batch)
+        .map(|_| {
+            // An interior node's out-edges are, by construction, hops of
+            // its chain.
+            let u = interiors[(next() % interiors.len() as u64) as usize];
+            let es = g.out_edges(u);
+            let e = es[(next() % es.len() as u64) as usize];
+            WeightUpdate {
+                from: u,
+                to: e.to,
+                weight: 1 + (next() % 2_000) as Weight,
+            }
+        })
+        .collect()
 }
 
 /// A seeded batch of re-weightings of real edges (splitmix64 draws).

@@ -2,7 +2,7 @@
 //! KPJ / KSP / GKPJ queries with any of the paper's seven algorithms.
 
 use kpj_graph::scratch::TimestampedSet;
-use kpj_graph::{Graph, Length, NodeId, PathRef, PathSet, PathStore, INFINITE_LENGTH};
+use kpj_graph::{Graph, Length, NodeId, PathRef, PathSet, PathStore, Reduction, INFINITE_LENGTH};
 use kpj_landmark::LandmarkIndex;
 use kpj_obs::{SpanRecord, Stage};
 use kpj_sp::{DenseDijkstra, Direction, Estimate, SearchOrder};
@@ -169,6 +169,10 @@ impl std::error::Error for QueryError {}
 pub struct QueryEngine<'g> {
     g: &'g Graph,
     landmarks: Option<&'g LandmarkIndex>,
+    /// When `g` is a reduced graph: the mapping whose expansion chains
+    /// every emitted path is spliced through, so callers only ever see
+    /// original-id node sequences (see `kpj_graph::reduce`).
+    reduction: Option<&'g Reduction>,
     alpha: f64,
     scratch: SubspaceScratch,
     cand: CandidateScratch,
@@ -183,6 +187,9 @@ pub struct QueryEngine<'g> {
     /// Pooled sorted/deduped endpoint buffers.
     src_buf: Vec<NodeId>,
     tgt_buf: Vec<NodeId>,
+    /// Pooled re-expansion buffer (original-id node sequence of the
+    /// path being emitted); kept across queries like every scratch.
+    expand_buf: Vec<NodeId>,
     /// Pooled full-SPT scratch for the `DA-SPT` baselines.
     spt_scratch: Option<DenseDijkstra>,
     /// Intra-query parallelism knob: number of pool workers candidate
@@ -193,6 +200,25 @@ pub struct QueryEngine<'g> {
     par: Option<ParPool>,
 }
 
+/// [`PathSink`] adapter interposed by [`QueryEngine::query_core`] when a
+/// [`Reduction`] is attached: rewrites each emitted reduced-id node
+/// sequence into the original-id sequence (splicing expansion chains)
+/// before forwarding. Lengths pass through unchanged — a shortcut's
+/// weight is exactly the sum of its chain's original hops.
+struct ExpandSink<'a, 'g> {
+    inner: &'a mut dyn PathSink,
+    g: &'g Graph,
+    red: &'g Reduction,
+    buf: Vec<NodeId>,
+}
+
+impl PathSink for ExpandSink<'_, '_> {
+    fn emit(&mut self, nodes: &[NodeId], length: Length) -> bool {
+        self.red.expand_path(self.g, nodes, &mut self.buf);
+        self.inner.emit(&self.buf, length)
+    }
+}
+
 impl<'g> QueryEngine<'g> {
     /// An engine without landmarks (all algorithms run in `-NL` mode).
     pub fn new(g: &'g Graph) -> Self {
@@ -200,6 +226,7 @@ impl<'g> QueryEngine<'g> {
         QueryEngine {
             g,
             landmarks: None,
+            reduction: None,
             alpha: 1.1,
             scratch: SubspaceScratch::new(n),
             cand: CandidateScratch::new(n),
@@ -211,6 +238,7 @@ impl<'g> QueryEngine<'g> {
             tree: PseudoTree::new(VIRTUAL_NODE),
             src_buf: Vec::new(),
             tgt_buf: Vec::new(),
+            expand_buf: Vec::new(),
             spt_scratch: None,
             par_threads: std::env::var("KPJ_PAR_THREADS")
                 .ok()
@@ -231,6 +259,25 @@ impl<'g> QueryEngine<'g> {
             "landmark index does not match the graph"
         );
         self.landmarks = Some(idx);
+        self
+    }
+
+    /// Attach the [`Reduction`] that produced this engine's (reduced)
+    /// graph. Queries then take reduced-id endpoints but every emitted
+    /// path is transparently re-expanded to the original node sequence
+    /// (with the original length — shortcut weights are exact sums), so
+    /// results are bit-identical to running on the unreduced graph.
+    ///
+    /// # Panics
+    /// Panics if the reduction's reduced node count does not match the
+    /// graph.
+    pub fn with_reduction(mut self, red: &'g Reduction) -> Self {
+        assert_eq!(
+            red.reduced_node_count(),
+            self.g.node_count(),
+            "reduction does not match the graph"
+        );
+        self.reduction = Some(red);
         self
     }
 
@@ -541,18 +588,45 @@ impl<'g> QueryEngine<'g> {
         let mut store = std::mem::take(&mut self.store);
         store.reset();
         let mut tree = std::mem::take(&mut self.tree);
-        self.dispatch(
-            alg,
-            &src,
-            &tgt,
-            &to_targets,
-            &from_sources,
-            &mut store,
-            &mut tree,
-            sink,
-            deadline,
-            stats,
-        );
+        match self.reduction {
+            // Reduced graph: splice contracted chains back into every
+            // emitted path before the caller's sink sees it. The buffer
+            // is pooled on the engine, so warmed queries stay
+            // allocation-free.
+            Some(red) => {
+                let mut expander = ExpandSink {
+                    inner: sink,
+                    g: self.g,
+                    red,
+                    buf: std::mem::take(&mut self.expand_buf),
+                };
+                self.dispatch(
+                    alg,
+                    &src,
+                    &tgt,
+                    &to_targets,
+                    &from_sources,
+                    &mut store,
+                    &mut tree,
+                    &mut expander,
+                    deadline,
+                    stats,
+                );
+                self.expand_buf = expander.buf;
+            }
+            None => self.dispatch(
+                alg,
+                &src,
+                &tgt,
+                &to_targets,
+                &from_sources,
+                &mut store,
+                &mut tree,
+                sink,
+                deadline,
+                stats,
+            ),
+        }
         self.store = store;
         self.tree = tree;
         self.src_buf = src;
@@ -1194,5 +1268,72 @@ mod tests {
         assert!(ib.stats.testlb_calls > 0);
         assert!(ib.stats.final_tau >= 7);
         assert!(ib.stats.spt_nodes > 0);
+    }
+
+    #[test]
+    fn reduced_graph_answers_are_bit_identical_after_expansion() {
+        // Stretch every edge of the paper graph into a 3-hop corridor so
+        // the reduction has real chains to contract, then check every
+        // algorithm × {landmarks, none} agrees with the unreduced run.
+        let (base, h) = paper_graph();
+        let n0 = base.node_count() as u32;
+        // Two interior nodes per undirected base edge.
+        let undirected = base.edge_count() / 2;
+        let mut b = GraphBuilder::new(n0 as usize + 2 * undirected);
+        let mut next = n0;
+        let mut seen: Vec<(u32, u32)> = Vec::new();
+        for u in base.nodes() {
+            for e in base.out_edges(u) {
+                if seen.contains(&(e.to, u)) {
+                    continue; // bidirectional pair already stretched
+                }
+                seen.push((u, e.to));
+                let (m1, m2) = (next, next + 1);
+                next += 2;
+                b.add_bidirectional(u, m1, 1).unwrap();
+                b.add_bidirectional(m1, m2, e.weight).unwrap();
+                b.add_bidirectional(m2, e.to, 1).unwrap();
+            }
+        }
+        let g = b.build();
+        let sources = [0u32];
+        let keep: Vec<NodeId> = sources.iter().chain(&h).copied().collect();
+        let red = kpj_graph::reduce(&g, &sources, &h);
+        assert!(
+            red.graph.node_count() < g.node_count(),
+            "corridors must contract"
+        );
+        for &kn in &keep {
+            red.reduction.to_reduced(kn).expect("keep nodes survive");
+        }
+        let idx = LandmarkIndex::build(&g, 4, SelectionStrategy::Farthest, 7);
+        let idx_red = LandmarkIndex::build(&red.graph, 4, SelectionStrategy::Farthest, 7);
+        let red_sources: Vec<NodeId> = sources
+            .iter()
+            .map(|&s| red.reduction.to_reduced(s).unwrap())
+            .collect();
+        let red_targets: Vec<NodeId> = h
+            .iter()
+            .map(|&t| red.reduction.to_reduced(t).unwrap())
+            .collect();
+        for with_lm in [false, true] {
+            let mut plain = QueryEngine::new(&g);
+            let mut reduced = QueryEngine::new(&red.graph).with_reduction(&red.reduction);
+            if with_lm {
+                plain = plain.with_landmarks(&idx);
+                reduced = reduced.with_landmarks(&idx_red);
+            }
+            for alg in Algorithm::ALL {
+                let want = plain.query_multi(alg, &sources, &h, 5).unwrap();
+                let got = reduced
+                    .query_multi(alg, &red_sources, &red_targets, 5)
+                    .unwrap();
+                assert_eq!(got.paths, want.paths, "{} landmarks={with_lm}", alg.name());
+                for p in &got.paths {
+                    p.validate(&g).expect("expanded paths are valid originals");
+                    assert!(p.is_simple());
+                }
+            }
+        }
     }
 }

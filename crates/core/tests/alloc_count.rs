@@ -283,6 +283,95 @@ fn warmed_engine_single_source_ksp_is_allocation_free() {
     }
 }
 
+/// A hub ring where consecutive hubs are joined by bidirectional
+/// degree-2 corridors of `interior` nodes each, plus chords for path
+/// diversity: `kpj_graph::reduce` contracts every corridor into twin
+/// shortcuts, so answers must re-expand through the reduction.
+fn corridor_ring(hubs: u32, interior: u32) -> kpj_graph::Graph {
+    let n = hubs + hubs * interior;
+    let mut b = GraphBuilder::new(n as usize);
+    let mut w = 1u32;
+    let mut fresh = hubs;
+    for h in 0..hubs {
+        let mut prev = h;
+        for _ in 0..interior {
+            w = w.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+            b.add_bidirectional(prev, fresh, 1 + w % 53).unwrap();
+            prev = fresh;
+            fresh += 1;
+        }
+        w = w.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+        b.add_bidirectional(prev, (h + 1) % hubs, 1 + w % 53)
+            .unwrap();
+        if h % 2 == 0 {
+            b.add_bidirectional(h, (h + 3) % hubs, 60 + w % 97).unwrap();
+        }
+    }
+    b.build()
+}
+
+/// The reduction layer's steady-state contract: a warmed engine serving a
+/// reduced graph — every emitted path re-expanded through the pooled
+/// expansion buffer back to original node ids — answers repeat queries
+/// with **zero** heap allocations for every algorithm, exactly like the
+/// unreduced engine. The final assertions prove the gate is not vacuous:
+/// the reduction really contracted chains, and the measured answers
+/// really contain re-expanded interior nodes.
+#[test]
+fn warmed_reduced_engine_expands_paths_without_allocating() {
+    let _serial = serial();
+    let hubs = 12u32;
+    let g = corridor_ring(hubs, 6);
+    let sources: Vec<NodeId> = vec![0, 1];
+    let targets: Vec<NodeId> = vec![6, 7];
+    let k = 10;
+
+    let red = kpj_graph::reduce(&g, &sources, &targets);
+    assert!(
+        red.reduction.shortcut_count() > 0,
+        "corridors did not contract — the reduced gate would be vacuous"
+    );
+    let rs: Vec<NodeId> = sources
+        .iter()
+        .map(|&v| red.reduction.to_reduced(v).unwrap())
+        .collect();
+    let rt: Vec<NodeId> = targets
+        .iter()
+        .map(|&v| red.reduction.to_reduced(v).unwrap())
+        .collect();
+
+    let mut engine = QueryEngine::new(&red.graph).with_reduction(&red.reduction);
+    let mut out = PathSet::new();
+
+    for alg in Algorithm::ALL {
+        // Warm-up grows the pooled expansion buffer along with the usual
+        // engine scratch.
+        engine
+            .query_multi_into(alg, &rs, &rt, k, Deadline::none(), &mut out)
+            .unwrap();
+        assert_eq!(out.len(), k, "{}: warm-up under-filled", alg.name());
+        let warm = out.lengths();
+
+        let delta = min_alloc_delta(|| {
+            engine
+                .query_multi_into(alg, &rs, &rt, k, Deadline::none(), &mut out)
+                .unwrap();
+        });
+        assert_eq!(
+            delta,
+            0,
+            "{}: {delta} heap allocations in a warmed-up reduced query",
+            alg.name()
+        );
+        assert_eq!(out.lengths(), warm, "{}: answer drifted", alg.name());
+        assert!(
+            out.iter().any(|p| p.nodes.iter().any(|&v| v >= hubs)),
+            "{}: no answer traversed a re-expanded chain interior",
+            alg.name()
+        );
+    }
+}
+
 /// Cold-start contract of the v2 storage subsystem: a graph opened
 /// zero-copy from a mmapped file (CSR sections — forward *and* reverse —
 /// straight out of the page cache, proven by `is_fully_mapped`) drives
@@ -295,7 +384,7 @@ fn warmed_engine_on_mmapped_graph_is_allocation_free() {
     let dir = std::env::temp_dir().join(format!("kpj-alloc-count-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("lattice.kpj2");
-    kpj_store::write_store_to_path(&path, &g, None, None, None).unwrap();
+    kpj_store::write_store_to_path(&path, &g, None, None, None, None).unwrap();
     let bundle = kpj_store::open_v2(&path).unwrap();
     assert!(
         bundle.graph.is_fully_mapped(),

@@ -34,10 +34,12 @@ mod error;
 pub mod io;
 mod path;
 mod pathset;
+mod reduce;
 mod remap;
 pub mod scratch;
 mod section;
 mod store;
+mod translate;
 mod types;
 mod update;
 
@@ -47,8 +49,12 @@ pub use csr::{EdgeRef, Graph};
 pub use error::GraphError;
 pub use path::Path;
 pub use pathset::{PathRef, PathSet, PathSetIter};
+pub use reduce::{
+    reduce, ReduceError, Reduced, Reduction, ReductionSections, TranslatedUpdates, REDUCED_REMOVED,
+};
 pub use remap::NodeRemap;
 pub use section::SectionBuf;
 pub use store::{PathId, PathStore};
+pub use translate::{IdTranslation, TranslateError};
 pub use types::{Length, NodeId, Weight, INFINITE_LENGTH};
 pub use update::{EdgeDelta, UpdateError, WeightUpdate};

@@ -1,0 +1,200 @@
+//! The id-space boundary, consolidated: external node ids (what the
+//! wire, `.kpjcase` files and CLI flags carry) versus engine node ids
+//! (what the loaded graph's CSR arrays index).
+//!
+//! Three cases exist in the workspace and used to be smeared across
+//! call sites as ad-hoc `Option<NodeRemap>` plumbing:
+//!
+//! * **Identity** — the graph was loaded as written; external == engine.
+//! * **Remap** — a locality reorder renamed every node; translate both
+//!   ways through the [`NodeRemap`] permutation.
+//! * **Reduce** — the graph is a [`Reduction`]'s output. External ids
+//!   are *original* ids: query endpoints map through
+//!   [`Reduction::to_reduced`] (which can fail — a contracted or pruned
+//!   node cannot anchor a query), and result paths come back in
+//!   original ids already because expansion chains store original ids,
+//!   so the output direction is the identity.
+//!
+//! A reorder of a reduced graph is *not* a fourth case: it is folded
+//! into the reduction offline ([`Reduction::remapped`]), keeping the
+//! composition depth at one. See `DESIGN.md` §15.
+
+use std::sync::Arc;
+
+use crate::reduce::Reduction;
+use crate::remap::NodeRemap;
+use crate::types::NodeId;
+
+/// How external node ids relate to the engine's node ids.
+#[derive(Clone)]
+pub enum IdTranslation {
+    /// External ids are engine ids.
+    Identity,
+    /// A locality reorder: translate through the permutation.
+    Remap(Arc<NodeRemap>),
+    /// A graph reduction: external = original ids, engine = reduced ids.
+    Reduce(Arc<Reduction>),
+}
+
+/// Why an external id cannot be translated to an engine id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranslateError {
+    /// The id is outside the external id space.
+    OutOfRange {
+        /// The offending external id.
+        node: NodeId,
+        /// Size of the external id space.
+        node_count: usize,
+    },
+    /// The node exists but was contracted or pruned away by reduction,
+    /// so no engine node corresponds to it.
+    Contracted {
+        /// The offending external id.
+        node: NodeId,
+    },
+}
+
+impl std::fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranslateError::OutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range (graph has {node_count} nodes)")
+            }
+            TranslateError::Contracted { node } => write!(
+                f,
+                "node {node} was contracted or pruned by graph reduction and cannot \
+                 anchor a query (rebuild with --keep {node} to retain it)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+impl IdTranslation {
+    /// The external id space size, `None` for [`IdTranslation::Identity`]
+    /// (whose space is the engine graph's, unknown here).
+    pub fn external_node_count(&self) -> Option<usize> {
+        match self {
+            IdTranslation::Identity => None,
+            IdTranslation::Remap(r) => Some(r.len()),
+            IdTranslation::Reduce(r) => Some(r.original_node_count()),
+        }
+    }
+
+    /// True if no translation happens in either direction.
+    pub fn is_identity(&self) -> bool {
+        matches!(self, IdTranslation::Identity)
+    }
+
+    /// Translate an external id to the engine id space.
+    pub fn to_engine(&self, external: NodeId) -> Result<NodeId, TranslateError> {
+        match self {
+            IdTranslation::Identity => Ok(external),
+            IdTranslation::Remap(r) => r.to_internal(external).ok_or(TranslateError::OutOfRange {
+                node: external,
+                node_count: r.len(),
+            }),
+            IdTranslation::Reduce(r) => {
+                if external as usize >= r.original_node_count() {
+                    return Err(TranslateError::OutOfRange {
+                        node: external,
+                        node_count: r.original_node_count(),
+                    });
+                }
+                r.to_reduced(external)
+                    .ok_or(TranslateError::Contracted { node: external })
+            }
+        }
+    }
+
+    /// True if engine-produced *paths* need per-node translation before
+    /// leaving the process. Reduction says no: expansion already emits
+    /// original ids at materialize time.
+    pub fn output_needs_remap(&self) -> bool {
+        matches!(self, IdTranslation::Remap(_))
+    }
+
+    /// The remap to apply to output paths, if any.
+    pub fn output_remap(&self) -> Option<&Arc<NodeRemap>> {
+        match self {
+            IdTranslation::Remap(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The reduction, if this translation is one.
+    pub fn reduction(&self) -> Option<&Arc<Reduction>> {
+        match self {
+            IdTranslation::Reduce(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for IdTranslation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IdTranslation::Identity => write!(f, "IdTranslation::Identity"),
+            IdTranslation::Remap(r) => write!(f, "IdTranslation::Remap({} nodes)", r.len()),
+            IdTranslation::Reduce(r) => write!(
+                f,
+                "IdTranslation::Reduce({} -> {} nodes)",
+                r.original_node_count(),
+                r.reduced_node_count()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::reduce::reduce;
+
+    #[test]
+    fn identity_passes_everything_through() {
+        let t = IdTranslation::Identity;
+        assert_eq!(t.to_engine(42), Ok(42));
+        assert!(!t.output_needs_remap());
+    }
+
+    #[test]
+    fn remap_translates_and_flags_output() {
+        let remap = NodeRemap::from_old_to_new(vec![2, 0, 1]).unwrap();
+        let t = IdTranslation::Remap(Arc::new(remap));
+        assert_eq!(t.to_engine(0), Ok(2));
+        assert_eq!(
+            t.to_engine(9),
+            Err(TranslateError::OutOfRange {
+                node: 9,
+                node_count: 3
+            })
+        );
+        assert!(t.output_needs_remap());
+    }
+
+    #[test]
+    fn reduce_rejects_contracted_nodes_but_output_is_identity() {
+        let mut b = GraphBuilder::new(3);
+        b.add_bidirectional(0, 1, 1).unwrap();
+        b.add_bidirectional(1, 2, 1).unwrap();
+        let red = reduce(&b.build(), &[0], &[2]);
+        let t = IdTranslation::Reduce(Arc::new(red.reduction));
+        assert_eq!(t.to_engine(0), Ok(0));
+        assert_eq!(t.to_engine(2), Ok(1));
+        assert_eq!(t.to_engine(1), Err(TranslateError::Contracted { node: 1 }));
+        assert_eq!(
+            t.to_engine(7),
+            Err(TranslateError::OutOfRange {
+                node: 7,
+                node_count: 3
+            })
+        );
+        assert!(
+            !t.output_needs_remap(),
+            "expansion already emits original ids"
+        );
+    }
+}

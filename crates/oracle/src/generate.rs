@@ -16,6 +16,11 @@ pub enum GraphCategory {
     /// Adversarial soup: self-loops, parallel edges, disconnected
     /// components, zero and near-`u32::MAX` weights.
     Degenerate,
+    /// Hub-and-corridor topology: a few hubs joined by long degree-2
+    /// chains, garnished with self-loops, parallel shortcut edges and
+    /// dead-end stubs — the family the graph-reduction layer
+    /// (`kpj_graph::reduce`) has to get exactly right.
+    ChainHeavy,
 }
 
 impl GraphCategory {
@@ -25,6 +30,7 @@ impl GraphCategory {
             GraphCategory::RoadLike => "road",
             GraphCategory::SocialLike => "social",
             GraphCategory::Degenerate => "degenerate",
+            GraphCategory::ChainHeavy => "chain",
         }
     }
 
@@ -34,6 +40,7 @@ impl GraphCategory {
             "road" => Some(GraphCategory::RoadLike),
             "social" => Some(GraphCategory::SocialLike),
             "degenerate" => Some(GraphCategory::Degenerate),
+            "chain" => Some(GraphCategory::ChainHeavy),
             _ => None,
         }
     }
@@ -67,9 +74,10 @@ impl OracleCase {
     /// Deterministically generate the case for `seed`.
     pub fn generate(seed: u64) -> OracleCase {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let category = match rng.gen_range(0..4u32) {
+        let category = match rng.gen_range(0..5u32) {
             0 => GraphCategory::RoadLike,
             1 => GraphCategory::SocialLike,
+            2 => GraphCategory::ChainHeavy,
             // Double weight on the adversarial family: it is where the
             // bugs live.
             _ => GraphCategory::Degenerate,
@@ -87,6 +95,7 @@ impl OracleCase {
                 arcs_of(&cfg.generate())
             }
             GraphCategory::Degenerate => degenerate_graph(&mut rng),
+            GraphCategory::ChainHeavy => chain_heavy_graph(&mut rng),
         };
 
         let pick = |rng: &mut SmallRng, count: usize| -> Vec<NodeId> {
@@ -184,6 +193,69 @@ fn degenerate_graph(rng: &mut SmallRng) -> (u32, Vec<(NodeId, NodeId, Weight)>) 
     (n, edges)
 }
 
+/// The reduction-stress family: a handful of hubs joined by long
+/// degree-2 corridors. Interiors carry self-loops (contraction must drop
+/// them), parallel hop edges (min-normalization), occasional near-MAX
+/// weights (chain totals that overflow `u32` must refuse contraction),
+/// and a dead-end stub chain that `V_T` pruning should strip whenever no
+/// endpoint lands on it. Endpoints are drawn from *all* nodes afterwards,
+/// so keep nodes regularly interrupt chain interiors.
+fn chain_heavy_graph(rng: &mut SmallRng) -> (u32, Vec<(NodeId, NodeId, Weight)>) {
+    let hubs = rng.gen_range(2..=4u32);
+    let mut n = hubs;
+    let mut edges: Vec<(NodeId, NodeId, Weight)> = Vec::new();
+    let weight = |rng: &mut SmallRng| -> Weight {
+        match rng.gen_range(0..12u32) {
+            0 => 0,
+            1 => rng.gen_range(Weight::MAX / 2..=Weight::MAX),
+            _ => rng.gen_range(1..=1_000),
+        }
+    };
+    let corridors = rng.gen_range(2..=5usize);
+    for _ in 0..corridors {
+        let a = rng.gen_range(0..hubs);
+        let b = rng.gen_range(0..hubs);
+        let bidir = rng.gen_bool(0.6);
+        let interior = rng.gen_range(1..=6u32);
+        let mut prev = a;
+        for _ in 0..interior {
+            let mid = n;
+            n += 1;
+            let w = weight(rng);
+            edges.push((prev, mid, w));
+            if bidir {
+                edges.push((mid, prev, w));
+            }
+            prev = mid;
+        }
+        let w = weight(rng);
+        edges.push((prev, b, w));
+        if bidir {
+            edges.push((b, prev, w));
+        }
+        if rng.gen_bool(0.35) {
+            // Self-loop on the last interior node of this corridor.
+            edges.push((prev, prev, rng.gen_range(0..=10)));
+        }
+        if rng.gen_bool(0.35) {
+            // Parallel edge over the corridor's final hop.
+            edges.push((prev, b, weight(rng)));
+        }
+    }
+    if rng.gen_bool(0.5) {
+        // Dead-end stub hanging off a hub: unreachable *from* V_T unless
+        // an endpoint happens to land on it, so pruning usually eats it.
+        let mut prev = rng.gen_range(0..hubs);
+        for _ in 0..rng.gen_range(1..=3u32) {
+            let mid = n;
+            n += 1;
+            edges.push((prev, mid, weight(rng)));
+            prev = mid;
+        }
+    }
+    (n, edges)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,15 +285,43 @@ mod tests {
 
     #[test]
     fn all_categories_appear() {
-        let mut seen = [false; 3];
-        for seed in 0..60u64 {
+        let mut seen = [false; 4];
+        for seed in 0..80u64 {
             match OracleCase::generate(seed).category {
                 GraphCategory::RoadLike => seen[0] = true,
                 GraphCategory::SocialLike => seen[1] = true,
                 GraphCategory::Degenerate => seen[2] = true,
+                GraphCategory::ChainHeavy => seen[3] = true,
             }
         }
-        assert_eq!(seen, [true; 3]);
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn chain_family_actually_contracts() {
+        let (mut any, mut shrank, mut garnished) = (0u32, 0u32, 0u32);
+        for seed in 0..300u64 {
+            let c = OracleCase::generate(seed);
+            if c.category != GraphCategory::ChainHeavy {
+                continue;
+            }
+            any += 1;
+            let g = c.graph();
+            let red = kpj_graph::reduce(&g, &c.sources, &c.targets);
+            assert!(red.reduction.reduced_node_count() <= g.node_count());
+            if red.reduction.reduced_node_count() < g.node_count() {
+                shrank += 1;
+            }
+            if c.edges.iter().any(|&(u, v, _)| u == v) {
+                garnished += 1;
+            }
+        }
+        assert!(any >= 10, "chain family barely generated ({any})");
+        assert!(
+            shrank * 2 > any,
+            "reduction rarely bites on the chain family ({shrank}/{any})"
+        );
+        assert!(garnished > 0, "no self-loops on chain interiors");
     }
 
     #[test]

@@ -16,7 +16,13 @@
 //!    return a [`kpj_graph::PathSet`] bit-identical to a fresh engine
 //!    built from scratch on the updated graph;
 //! 4. the epoch-scoped cache must serve the *new* answer after the swap
-//!    (and hit on the repeat), never a stale pre-update entry.
+//!    (and hit on the repeat), never a stale pre-update entry;
+//! 5. a **reduced mirror** of the same service (degree-2 chains
+//!    contracted, unreachable nodes pruned, `kpj_graph::reduce`) receives
+//!    every batch in original ids — the service translates updates onto
+//!    shortcut edges, re-publishing expansion prefix sums for
+//!    chain-interior hits — and after every round its re-expanded answers
+//!    must agree with the same fresh reference engine.
 
 use std::sync::Arc;
 
@@ -51,19 +57,19 @@ pub fn check_interleaving(seed: u64) -> Result<(), Violation> {
         SelectionStrategy::Farthest,
         case.seed,
     ));
-    let service = KpjService::new(
-        Arc::new(g0),
-        Some(Arc::clone(&landmarks0)),
-        ServiceConfig {
-            pool: PoolConfig {
-                workers: 2,
-                queue_capacity: 16,
-                ..Default::default()
-            },
-            cache_capacity: 32,
-            ..ServiceConfig::default()
+    let config = ServiceConfig {
+        pool: PoolConfig {
+            workers: 2,
+            queue_capacity: 16,
+            ..Default::default()
         },
-    );
+        cache_capacity: 32,
+        ..ServiceConfig::default()
+    };
+    // The reduced mirror: same case, same batches (in original ids),
+    // served through a contracted graph with fresh landmarks built on it.
+    let mut red_service = reduced_mirror(&g0, &case, &config);
+    let service = KpjService::new(Arc::new(g0), Some(Arc::clone(&landmarks0)), config.clone());
 
     // The model: the edge list the service's graph must now equal. A
     // weight update rewrites EVERY parallel copy of its (from, to) pair —
@@ -73,8 +79,9 @@ pub fn check_interleaving(seed: u64) -> Result<(), Violation> {
     // Decorrelate batch randomness from the generator's stream.
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
 
-    // Warm the cache so round 1 proves stale entries are unreachable.
+    // Warm the caches so round 1 proves stale entries are unreachable.
     run_live(&service, &case, Algorithm::ALL[0])?;
+    run_live(&red_service, &case, Algorithm::ALL[0])?;
 
     for round in 0..ROUNDS {
         let batch: Vec<WeightUpdate> = (0..rng.gen_range(1..=4usize))
@@ -137,6 +144,108 @@ pub fn check_interleaving(seed: u64) -> Result<(), Violation> {
         }
 
         check_round(&service, &case, &fresh, &rebuilt, &tag)?;
+
+        // The reduced mirror takes the SAME batch in original ids: the
+        // service translates kept pairs to reduced edges and folds
+        // chain-interior hits into new expansion prefix sums.
+        match red_service.apply_update(&batch) {
+            Ok(_) => {}
+            Err(e) if e.to_string().contains("overflows its chain") => {
+                // Documented limitation: a shortcut edge cannot represent
+                // a chain total past u32::MAX, so the service rejects the
+                // batch wholesale. Re-reduce from the updated model (the
+                // overflowing chain now stays uncontracted) and keep
+                // checking the remaining rounds.
+                red_service = reduced_mirror(&fresh, &case, &config);
+            }
+            Err(e) => {
+                return Err(violation(
+                    "reduce-update-rejected",
+                    tag(&format!("{batch:?}: {e}")),
+                ))
+            }
+        }
+        check_reduced_round(&red_service, &case, &fresh, &tag)?;
+    }
+    Ok(())
+}
+
+/// Build the reduced mirror service for the current model graph:
+/// contract/prune for the case's endpoint sets and build fresh landmarks
+/// on the reduced graph.
+fn reduced_mirror(g: &Graph, case: &OracleCase, config: &ServiceConfig) -> KpjService {
+    let red = kpj_graph::reduce(g, &case.sources, &case.targets);
+    let landmarks = Arc::new(LandmarkIndex::build(
+        &red.graph,
+        3.min(red.graph.node_count()),
+        SelectionStrategy::Farthest,
+        case.seed,
+    ));
+    KpjService::new_reduced(
+        Arc::new(red.graph),
+        Some(landmarks),
+        Some(Arc::new(red.reduction)),
+        config.clone(),
+    )
+}
+
+/// Post-batch agreement for the reduced mirror: every algorithm through
+/// the live reduced service must return the reference length vector, and
+/// every re-expanded path must be the reference representative or an
+/// equal-length valid simple path of the updated model graph.
+fn check_reduced_round(
+    service: &KpjService,
+    case: &OracleCase,
+    fresh: &Graph,
+    tag: &dyn Fn(&str) -> String,
+) -> Result<(), Violation> {
+    let mut reference = QueryEngine::new(fresh);
+    for alg in Algorithm::ALL {
+        let label = format!("{} (reduced mirror)", alg.name());
+        let want = reference
+            .query_multi(alg, &case.sources, &case.targets, case.k)
+            .map_err(|e| violation("fresh-error", tag(&format!("{label}: {e:?}"))))?;
+        let got = run_live(service, case, alg).map_err(|v| Violation {
+            invariant: v.invariant,
+            detail: tag(&v.detail),
+        })?;
+        if got.lengths() != want.paths.lengths() {
+            return Err(violation(
+                "reduce-update-agreement",
+                tag(&format!(
+                    "{label}: live {:?} != fresh {:?}",
+                    got.lengths(),
+                    want.paths.lengths()
+                )),
+            ));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (i, (pw, pg)) in want.paths.iter().zip(got.iter()).enumerate() {
+            if pg.nodes != pw.nodes {
+                let expanded = kpj_graph::Path {
+                    nodes: pg.nodes.to_vec(),
+                    length: pg.length,
+                };
+                expanded.validate(fresh).map_err(|e| {
+                    violation("reduce-update-agreement", tag(&format!("{label}: {e}")))
+                })?;
+                if !expanded.is_simple()
+                    || !case.sources.contains(&expanded.source())
+                    || !case.targets.contains(&expanded.destination())
+                {
+                    return Err(violation(
+                        "reduce-update-agreement",
+                        tag(&format!("{label}: bad expanded path {:?}", expanded.nodes)),
+                    ));
+                }
+            }
+            if !seen.insert(pg.nodes.to_vec()) {
+                return Err(violation(
+                    "reduce-update-agreement",
+                    tag(&format!("{label}: duplicate expanded path {i}")),
+                ));
+            }
+        }
     }
     Ok(())
 }

@@ -43,6 +43,7 @@ pub fn check_case(case: &OracleCase) -> Result<(), Violation> {
     check_parallel(case, &g)?;
     check_reference(case, &g, &baseline)?;
     check_reorder(case, &g)?;
+    check_reduce(case, &g)?;
     check_wire(case, &baseline)?;
     Ok(())
 }
@@ -282,6 +283,171 @@ fn check_reorder(case: &OracleCase, g: &Graph) -> Result<(), Violation> {
                         "reorder-path-valid",
                         format!("{tag}: duplicate mapped-back path {i}"),
                     ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Graph-reduction stage: contract degree-2 chains and prune nodes that
+/// can never lie on a `V_S → V_T` path (`kpj_graph::reduce`, the
+/// transform `kpj-cli convert --reduce` persists into v2 files), then run
+/// every algorithm on the reduced graph — with landmarks built fresh on
+/// it — through [`QueryEngine::with_reduction`], which re-expands every
+/// emitted path back to original node ids. The length vector must be
+/// bit-identical to the original engine's, and each expanded path must be
+/// exactly the original representative or an equal-length valid simple
+/// path of the *original* graph with endpoints in `V_S`/`V_T` (same tie
+/// caveat as [`check_reorder`]). The whole block runs twice: once on the
+/// reduced graph as-is and once on its BFS locality reorder with the
+/// permutation folded into the reduction ([`kpj_graph::Reduction::remapped`])
+/// — the exact composition `--reduce --reorder` stores.
+fn check_reduce(case: &OracleCase, g: &Graph) -> Result<(), Violation> {
+    let red = kpj_graph::reduce(g, &case.sources, &case.targets);
+    let translate = |ids: &[u32], what: &str| -> Result<Vec<u32>, Violation> {
+        ids.iter()
+            .map(|&v| {
+                red.reduction.to_reduced(v).ok_or_else(|| {
+                    violation(
+                        "reduce-keep",
+                        format!("{what} id {v} was contracted or pruned away"),
+                    )
+                })
+            })
+            .collect()
+    };
+    let sources = translate(&case.sources, "source")?;
+    let targets = translate(&case.targets, "target")?;
+    let idx = LandmarkIndex::build(
+        g,
+        3.min(g.node_count()),
+        SelectionStrategy::Farthest,
+        case.seed,
+    );
+    // Landmarks are built on the reduced graph (what `convert --reduce`
+    // does after dropping the stale originals), not translated.
+    let ridx = LandmarkIndex::build(
+        &red.graph,
+        3.min(red.graph.node_count()),
+        SelectionStrategy::Farthest,
+        case.seed,
+    );
+    let reordered = kpj_store::reorder(&red.graph);
+    let folded = red
+        .reduction
+        .remapped(&red.graph, &reordered.remap, &reordered.graph);
+    let fold_ids = |ids: &[u32], what: &str| -> Result<Vec<u32>, Violation> {
+        ids.iter()
+            .map(|&v| {
+                reordered.remap.to_internal(v).ok_or_else(|| {
+                    violation(
+                        "reduce-keep",
+                        format!("{what} reduced id {v} untranslatable through reorder"),
+                    )
+                })
+            })
+            .collect()
+    };
+    let fsources = fold_ids(&sources, "source")?;
+    let ftargets = fold_ids(&targets, "target")?;
+    let fidx = kpj_store::remap_landmarks(&ridx, &reordered.remap);
+
+    type Variant<'a> = (
+        &'a str,
+        &'a Graph,
+        &'a kpj_graph::Reduction,
+        &'a LandmarkIndex,
+        &'a [u32],
+        &'a [u32],
+    );
+    let variants: [Variant<'_>; 2] = [
+        (
+            "reduced",
+            &red.graph,
+            &red.reduction,
+            &ridx,
+            &sources,
+            &targets,
+        ),
+        (
+            "reduced+reordered",
+            &reordered.graph,
+            &folded,
+            &fidx,
+            &fsources,
+            &ftargets,
+        ),
+    ];
+    for (variant, vg, reduction, vidx, vs, vt) in variants {
+        for with_lm in [false, true] {
+            let mut orig = QueryEngine::new(g);
+            let mut redeng = QueryEngine::new(vg).with_reduction(reduction);
+            if with_lm {
+                orig = orig.with_landmarks(&idx);
+                redeng = redeng.with_landmarks(vidx);
+            }
+            for alg in Algorithm::ALL {
+                let tag = format!("{} landmarks={with_lm} ({variant})", alg.name());
+                let a = orig
+                    .query_multi(alg, &case.sources, &case.targets, case.k)
+                    .map_err(|e| violation("engine-error", format!("{tag} original: {e:?}")))?;
+                let b = redeng
+                    .query_multi(alg, vs, vt, case.k)
+                    .map_err(|e| violation("engine-error", format!("{tag}: {e:?}")))?;
+                if a.paths.len() != b.paths.len() || a.paths.lengths() != b.paths.lengths() {
+                    return Err(violation(
+                        "reduce-lengths",
+                        format!(
+                            "{tag}: {:?} != original {:?}",
+                            b.paths.lengths(),
+                            a.paths.lengths()
+                        ),
+                    ));
+                }
+                let mut seen = std::collections::HashSet::new();
+                for (i, (pa, pb)) in a.paths.iter().zip(b.paths.iter()).enumerate() {
+                    // `pb` is already in original ids: the engine expanded
+                    // it through the reduction at emit time.
+                    if pb.nodes == pa.nodes {
+                        // Identical representative — nothing more to prove.
+                    } else if pa.length != pb.length {
+                        return Err(violation(
+                            "reduce-lengths",
+                            format!("{tag}: path {i} length {} != {}", pb.length, pa.length),
+                        ));
+                    } else {
+                        let expanded = kpj_graph::Path {
+                            nodes: pb.nodes.to_vec(),
+                            length: pb.length,
+                        };
+                        expanded
+                            .validate(g)
+                            .map_err(|e| violation("reduce-path-valid", format!("{tag}: {e}")))?;
+                        if !expanded.is_simple() {
+                            return Err(violation(
+                                "reduce-path-valid",
+                                format!("{tag}: loop in expanded {:?}", expanded.nodes),
+                            ));
+                        }
+                        if !case.sources.contains(&expanded.source())
+                            || !case.targets.contains(&expanded.destination())
+                        {
+                            return Err(violation(
+                                "reduce-path-valid",
+                                format!(
+                                    "{tag}: expanded endpoints of {:?} escape V_S/V_T",
+                                    expanded.nodes
+                                ),
+                            ));
+                        }
+                    }
+                    if !seen.insert(pb.nodes.to_vec()) {
+                        return Err(violation(
+                            "reduce-path-valid",
+                            format!("{tag}: duplicate expanded path {i}"),
+                        ));
+                    }
                 }
             }
         }

@@ -7,8 +7,8 @@
 //!
 //! | Module | Provides |
 //! |---|---|
-//! | [`generate`] | seeded random cases: road-like, social-like, and degenerate graphs (self-loops, parallel edges, disconnected components, near-`u32::MAX` weights) plus a query |
-//! | [`interleave`] | the live-update oracle: weight-update batches interleaved with queries; after every batch the live service (epoch swap + incremental landmark repair + epoch-scoped cache) must agree bit-for-bit with a freshly built engine |
+//! | [`generate`] | seeded random cases: road-like, social-like, chain-heavy (hub-and-corridor graphs that stress degree-2 contraction), and degenerate graphs (self-loops, parallel edges, disconnected components, near-`u32::MAX` weights) plus a query |
+//! | [`interleave`] | the live-update oracle: weight-update batches interleaved with queries; after every batch the live service (epoch swap + incremental landmark repair + epoch-scoped cache) must agree bit-for-bit with a freshly built engine — and a reduced mirror of the same service, fed the same batches, must agree after re-expansion |
 //! | [`invariants`] | the checker: all engine algorithms × {landmarks, none} must agree, small instances must match the brute-force reference, and the full `kpj-service` wire path (JSON → pool → cache → JSON) must agree with the engine |
 //! | [`shrink`] | greedy domain-specific minimization of a failing case (driven by `proptest::shrink::minimize`) |
 //! | [`replay`] | the deterministic `.kpjcase` text format the `kpj-fuzz` binary writes on failure and re-runs via `--replay` |
@@ -34,7 +34,14 @@
 //!    landmark tables returns the identical length vector, and every
 //!    path mapped back through the inverse permutation is a valid simple
 //!    path of the original graph (renumbering changes memory layout,
-//!    never answers).
+//!    never answers);
+//! 7. on the reduced graph (`kpj_graph::reduce`: degree-2 chains
+//!    contracted, `V_S`/`V_T`-unreachable nodes pruned — what `kpj-cli
+//!    convert --reduce` persists), every algorithm with fresh landmarks
+//!    returns the identical length vector and every re-expanded path is
+//!    a valid simple path of the original graph — both on the reduced
+//!    graph as-is and composed with the BFS reorder folded into the
+//!    reduction (`--reduce --reorder`).
 //!
 //! The `kpj-fuzz` binary drives seeded sweeps, shrinks any violation to a
 //! minimal case, and emits a replay file; see the README quickstart.

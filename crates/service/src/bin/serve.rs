@@ -24,7 +24,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-use kpj_graph::{Graph, NodeRemap};
+use kpj_graph::{Graph, NodeRemap, Reduction};
 use kpj_landmark::{LandmarkIndex, SelectionStrategy};
 use kpj_service::{serve, KpjService, PoolConfig, ServiceConfig};
 use kpj_workload::road::RoadConfig;
@@ -129,7 +129,12 @@ fn num(s: &str, what: &str) -> Result<usize, String> {
         .map_err(|_| format!("{what}: `{s}` is not a number"))
 }
 
-type GraphParts = (Arc<Graph>, Option<Arc<LandmarkIndex>>, Option<NodeRemap>);
+type GraphParts = (
+    Arc<Graph>,
+    Option<Arc<LandmarkIndex>>,
+    Option<NodeRemap>,
+    Option<Reduction>,
+);
 
 /// Open `--graph-bin` (v2 = zero-copy mmap with embedded sidecars, v1 =
 /// heap) or fall back to generating the synthetic road network.
@@ -140,13 +145,13 @@ fn load_graph(opts: &Opts) -> Result<GraphParts, String> {
             opts.nodes, opts.arcs, opts.seed
         );
         let graph = Arc::new(RoadConfig::new(opts.nodes, opts.arcs, opts.seed).generate());
-        return Ok((graph, None, None));
+        return Ok((graph, None, None, None));
     };
     let started = Instant::now();
     let bundle = kpj_store::open_any(std::path::Path::new(path))
         .map_err(|e| format!("cannot open {path}: {e}"))?;
     eprintln!(
-        "loaded {path}: {} nodes, {} arcs in {:.2} ms ({}{}{})",
+        "loaded {path}: {} nodes, {} arcs in {:.2} ms ({}{}{}{})",
         bundle.graph.node_count(),
         bundle.graph.edge_count(),
         started.elapsed().as_secs_f64() * 1e3,
@@ -165,11 +170,17 @@ fn load_graph(opts: &Opts) -> Result<GraphParts, String> {
         } else {
             ""
         },
+        if bundle.reduction.is_some() {
+            ", reduced"
+        } else {
+            ""
+        },
     );
     Ok((
         Arc::new(bundle.graph),
         bundle.landmarks.map(Arc::new),
         bundle.remap,
+        bundle.reduction,
     ))
 }
 
@@ -182,7 +193,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let (graph, mut landmarks, remap) = match load_graph(&opts) {
+    let (graph, mut landmarks, remap, reduction) = match load_graph(&opts) {
         Ok(parts) => parts,
         Err(e) => {
             eprintln!("error: {e}");
@@ -211,7 +222,15 @@ fn main() -> ExitCode {
         slow_query_ms: opts.slow_ms,
         flight_dir: opts.flight_dir.clone(),
     };
-    let mut service = KpjService::new(graph, landmarks, config);
+    let reduction = reduction.map(Arc::new);
+    if let Some(red) = &reduction {
+        eprintln!(
+            "graph is reduced ({} original -> {} nodes); answers re-expand to original ids",
+            red.original_node_count(),
+            red.reduced_node_count(),
+        );
+    }
+    let mut service = KpjService::new_reduced(graph, landmarks, reduction, config);
     if let Some(remap) = remap {
         eprintln!("graph is locality-reordered; translating node ids at the wire");
         service.set_remap(Arc::new(remap));

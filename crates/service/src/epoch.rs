@@ -20,7 +20,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
-use kpj_graph::Graph;
+use kpj_graph::{Graph, Reduction};
 use kpj_landmark::LandmarkIndex;
 
 /// One immutable published version of the serving state.
@@ -28,6 +28,11 @@ pub struct GraphEpoch {
     id: u64,
     graph: Arc<Graph>,
     landmarks: Option<Arc<LandmarkIndex>>,
+    /// When the graph is a reduced one (v2 `--reduce` storage), the
+    /// [`Reduction`] every worker engine expands answer paths through.
+    /// Versioned with the epoch because an interior-chain weight update
+    /// replaces the expansion prefix sums along with the graph.
+    reduction: Option<Arc<Reduction>>,
     /// Distinct edges whose weight changed between the previous epoch and
     /// this one (0 for the initial epoch) — the update's blast radius,
     /// surfaced in update responses and metrics.
@@ -42,6 +47,7 @@ impl GraphEpoch {
         id: u64,
         graph: Arc<Graph>,
         landmarks: Option<Arc<LandmarkIndex>>,
+        reduction: Option<Arc<Reduction>>,
         touched_edges: usize,
         live: Arc<AtomicUsize>,
     ) -> Arc<GraphEpoch> {
@@ -50,6 +56,7 @@ impl GraphEpoch {
             id,
             graph,
             landmarks,
+            reduction,
             touched_edges,
             live,
         })
@@ -69,6 +76,11 @@ impl GraphEpoch {
     /// graph), if the service has one.
     pub fn landmarks(&self) -> Option<&Arc<LandmarkIndex>> {
         self.landmarks.as_ref()
+    }
+
+    /// The reduction this epoch's graph was produced by, if any.
+    pub fn reduction(&self) -> Option<&Arc<Reduction>> {
+        self.reduction.as_ref()
     }
 
     /// Distinct edges changed relative to the previous epoch.
@@ -101,8 +113,18 @@ pub struct EpochCell {
 impl EpochCell {
     /// Wrap the initial serving state as epoch 0.
     pub fn new(graph: Arc<Graph>, landmarks: Option<Arc<LandmarkIndex>>) -> EpochCell {
+        EpochCell::new_reduced(graph, landmarks, None)
+    }
+
+    /// [`new`](EpochCell::new) for a reduced graph: every epoch carries
+    /// the reduction so worker engines expand answers transparently.
+    pub fn new_reduced(
+        graph: Arc<Graph>,
+        landmarks: Option<Arc<LandmarkIndex>>,
+        reduction: Option<Arc<Reduction>>,
+    ) -> EpochCell {
         let live = Arc::new(AtomicUsize::new(0));
-        let first = GraphEpoch::new(0, graph, landmarks, 0, Arc::clone(&live));
+        let first = GraphEpoch::new(0, graph, landmarks, reduction, 0, Arc::clone(&live));
         EpochCell {
             current: RwLock::new(first),
             live,
@@ -127,6 +149,10 @@ impl EpochCell {
     /// concurrent query gets either the old epoch or the new one, intact
     /// — never a mix. Callers serialize their *builds* (the service holds
     /// an updater lock); this method only serializes the swap itself.
+    /// Weight updates preserve the graph's structure, so the current
+    /// epoch's reduction (if any) is carried forward unchanged; use
+    /// [`publish_reduced`](EpochCell::publish_reduced) when an
+    /// interior-chain update replaced the expansion prefix sums.
     pub fn publish(
         &self,
         graph: Arc<Graph>,
@@ -134,10 +160,34 @@ impl EpochCell {
         touched_edges: usize,
     ) -> Arc<GraphEpoch> {
         let mut current = self.current.write().unwrap();
+        let reduction = current.reduction.clone();
         let next = GraphEpoch::new(
             current.id + 1,
             graph,
             landmarks,
+            reduction,
+            touched_edges,
+            Arc::clone(&self.live),
+        );
+        *current = Arc::clone(&next);
+        next
+    }
+
+    /// [`publish`](EpochCell::publish) with an explicit reduction for the
+    /// next epoch (a chain-interior weight update rewrote prefix sums).
+    pub fn publish_reduced(
+        &self,
+        graph: Arc<Graph>,
+        landmarks: Option<Arc<LandmarkIndex>>,
+        reduction: Option<Arc<Reduction>>,
+        touched_edges: usize,
+    ) -> Arc<GraphEpoch> {
+        let mut current = self.current.write().unwrap();
+        let next = GraphEpoch::new(
+            current.id + 1,
+            graph,
+            landmarks,
+            reduction,
             touched_edges,
             Arc::clone(&self.live),
         );

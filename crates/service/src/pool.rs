@@ -35,7 +35,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use kpj_core::{Algorithm, Deadline, KpjResult, QueryEngine};
-use kpj_graph::{Graph, NodeId};
+use kpj_graph::{Graph, NodeId, Reduction};
 use kpj_landmark::LandmarkIndex;
 use kpj_obs::Stage;
 
@@ -281,8 +281,21 @@ impl EnginePool {
         config: PoolConfig,
         hooks: PoolHooks,
     ) -> EnginePool {
+        EnginePool::with_hooks_reduced(graph, landmarks, None, config, hooks)
+    }
+
+    /// [`with_hooks`](EnginePool::with_hooks) for a reduced graph: every
+    /// worker engine expands answer paths through `reduction`, so results
+    /// leave the pool in original node ids.
+    pub fn with_hooks_reduced(
+        graph: Arc<Graph>,
+        landmarks: Option<Arc<LandmarkIndex>>,
+        reduction: Option<Arc<Reduction>>,
+        config: PoolConfig,
+        hooks: PoolHooks,
+    ) -> EnginePool {
         let worker_count = config.effective_workers();
-        let epochs = Arc::new(EpochCell::new(graph, landmarks));
+        let epochs = Arc::new(EpochCell::new_reduced(graph, landmarks, reduction));
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -333,6 +346,9 @@ impl EnginePool {
 
     /// Publish the next epoch and wake every parked worker, so none of
     /// them keeps a superseded epoch pinned through an idle warm engine.
+    /// The current epoch's reduction (if any) carries forward; use
+    /// [`publish_reduced`](EnginePool::publish_reduced) when the update
+    /// rewrote expansion prefix sums.
     pub fn publish(
         &self,
         graph: Arc<Graph>,
@@ -340,6 +356,21 @@ impl EnginePool {
         touched_edges: usize,
     ) -> Arc<GraphEpoch> {
         let next = self.epochs.publish(graph, landmarks, touched_edges);
+        self.shared.not_empty.notify_all();
+        next
+    }
+
+    /// [`publish`](EnginePool::publish) with an explicit next reduction.
+    pub fn publish_reduced(
+        &self,
+        graph: Arc<Graph>,
+        landmarks: Option<Arc<LandmarkIndex>>,
+        reduction: Option<Arc<Reduction>>,
+        touched_edges: usize,
+    ) -> Arc<GraphEpoch> {
+        let next = self
+            .epochs
+            .publish_reduced(graph, landmarks, reduction, touched_edges);
         self.shared.not_empty.notify_all();
         next
     }
@@ -401,11 +432,15 @@ impl Drop for EnginePool {
 fn build_engine<'g>(
     graph: &'g Graph,
     landmarks: Option<&'g LandmarkIndex>,
+    reduction: Option<&'g Reduction>,
     hooks: &PoolHooks,
 ) -> QueryEngine<'g> {
     let mut engine = QueryEngine::new(graph);
     if let Some(idx) = landmarks {
         engine = engine.with_landmarks(idx);
+    }
+    if let Some(red) = reduction {
+        engine = engine.with_reduction(red);
     }
     engine.set_trace_sampling(hooks.trace_sample);
     engine
@@ -507,7 +542,8 @@ fn worker_loop(
         let epoch = Arc::clone(&job.epoch);
         let graph: &Graph = epoch.graph();
         let landmarks: Option<&LandmarkIndex> = epoch.landmarks().map(Arc::as_ref);
-        let mut engine = build_engine(graph, landmarks, hooks);
+        let reduction: Option<&Reduction> = epoch.reduction().map(Arc::as_ref);
+        let mut engine = build_engine(graph, landmarks, reduction, hooks);
         loop {
             shared.executed.fetch_add(1, Ordering::Relaxed);
             let queue_wait = job.submitted.elapsed();
@@ -564,7 +600,7 @@ fn worker_loop(
                     // half-written state.
                     job.slot
                         .fill(Err(ServiceError::Internal("query panicked".to_string())));
-                    engine = build_engine(graph, landmarks, hooks);
+                    engine = build_engine(graph, landmarks, reduction, hooks);
                 }
             }
             drop(guard); // no-op: the slot is filled on every path above

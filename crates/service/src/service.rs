@@ -8,7 +8,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use kpj_core::{KpjResult, QueryError};
-use kpj_graph::{Graph, NodeRemap, WeightUpdate};
+use kpj_graph::{Graph, IdTranslation, NodeRemap, Reduction, TranslateError, WeightUpdate};
 use kpj_landmark::LandmarkIndex;
 use kpj_obs::Stage;
 
@@ -166,7 +166,10 @@ pub struct KpjService {
     cache: Option<ResultCache>,
     metrics: Arc<Metrics>,
     flight: Option<Arc<FlightRecorder>>,
-    remap: Option<Arc<NodeRemap>>,
+    /// The id-space boundary: how external (client-visible) node ids map
+    /// to the engine's ids — identity, a locality-reorder permutation, or
+    /// a graph reduction (DESIGN.md §15).
+    translation: IdTranslation,
     /// Serializes weight-update batches: builds are expensive (graph
     /// copy + landmark repair) and must see each other's epochs in order.
     /// Queries never take this lock.
@@ -196,6 +199,21 @@ impl KpjService {
         landmarks: Option<Arc<LandmarkIndex>>,
         config: ServiceConfig,
     ) -> KpjService {
+        KpjService::new_reduced(graph, landmarks, None, config)
+    }
+
+    /// [`new`](KpjService::new) over a *reduced* graph (v2 `--reduce`
+    /// storage): clients keep speaking original node ids — endpoints map
+    /// through the reduction at admission, answers come back re-expanded
+    /// to original ids by the worker engines, and weight updates on
+    /// contracted chain interiors are translated to shortcut updates
+    /// (with the prefix sums repaired) before the epoch publish.
+    pub fn new_reduced(
+        graph: Arc<Graph>,
+        landmarks: Option<Arc<LandmarkIndex>>,
+        reduction: Option<Arc<Reduction>>,
+        config: ServiceConfig,
+    ) -> KpjService {
         let metrics = Arc::new(Metrics::new());
         let flight = config.slow_query_ms.and_then(|ms| {
             let dir = config.flight_dir.as_deref().unwrap_or("kpj-flight-records");
@@ -214,12 +232,16 @@ impl KpjService {
             trace_sample: config.trace_sample,
             ..Default::default()
         };
+        let translation = match &reduction {
+            Some(red) => IdTranslation::Reduce(Arc::clone(red)),
+            None => IdTranslation::Identity,
+        };
         KpjService {
-            pool: EnginePool::with_hooks(graph, landmarks, config.pool, hooks),
+            pool: EnginePool::with_hooks_reduced(graph, landmarks, reduction, config.pool, hooks),
             cache: (config.cache_capacity > 0).then(|| ResultCache::new(config.cache_capacity)),
             metrics,
             flight,
-            remap: None,
+            translation,
             updater: Mutex::new(()),
         }
     }
@@ -228,9 +250,24 @@ impl KpjService {
     /// (v2 storage). Clients keep speaking *original* ids: requests are
     /// translated to internal ids before cache/engine, and path nodes are
     /// translated back in the wire body. Call before sharing the service;
-    /// an identity permutation is dropped (no per-query work).
+    /// an identity permutation is dropped (no per-query work). Mutually
+    /// exclusive with a reduction (the storage format enforces this: a
+    /// reorder of a reduced graph is folded into the reduction offline).
     pub fn set_remap(&mut self, remap: Arc<NodeRemap>) {
-        self.remap = (!remap.is_identity()).then_some(remap);
+        assert!(
+            self.translation.reduction().is_none(),
+            "a reduced service folds reorders into its reduction"
+        );
+        self.translation = if remap.is_identity() {
+            IdTranslation::Identity
+        } else {
+            IdTranslation::Remap(remap)
+        };
+    }
+
+    /// The id-space boundary this service translates across.
+    pub fn translation(&self) -> &IdTranslation {
+        &self.translation
     }
 
     /// The shared metrics registry.
@@ -271,8 +308,12 @@ impl KpjService {
         let _serial = self.updater.lock().unwrap();
         let base = self.pool.epochs().pin();
         let translated: Vec<WeightUpdate>;
-        let updates: &[WeightUpdate] = match &self.remap {
-            Some(remap) => {
+        // A reduced graph may need its expansion prefix sums replaced
+        // (an update hit a contracted chain's interior).
+        let mut next_reduction: Option<Arc<Reduction>> = None;
+        let updates: &[WeightUpdate] = match &self.translation {
+            IdTranslation::Identity => updates,
+            IdTranslation::Remap(remap) => {
                 translated = updates
                     .iter()
                     .map(|u| {
@@ -290,13 +331,35 @@ impl KpjService {
                     .collect::<Result<_, ServiceError>>()?;
                 &translated
             }
-            None => updates,
+            IdTranslation::Reduce(_) => {
+                // Updates arrive in *original* ids. Edges surviving in the
+                // reduced graph pass through; edges interior to a
+                // contracted chain become an update of the covering
+                // shortcut's total weight plus repaired prefix sums —
+                // no full re-reduction. Updates on pruned edges are
+                // dropped (they cannot influence any V_S/V_T answer).
+                //
+                // Translate against the *epoch's* reduction, not the
+                // construction-time one: an earlier interior update may
+                // have replaced the prefix sums, and hop weights are
+                // derived from them. (The node mapping itself never
+                // changes, so query translation can stay epoch-free.)
+                let red = base
+                    .reduction()
+                    .expect("epochs of a reduced service carry its reduction");
+                let t = red
+                    .translate_updates(base.graph(), updates)
+                    .map_err(|e| ServiceError::Update(e.to_string()))?;
+                next_reduction = t.reduction.map(Arc::new);
+                translated = t.updates;
+                &translated
+            }
         };
         let (graph, deltas) = base
             .graph()
             .with_updated_weights(updates)
             .map_err(|e| ServiceError::Update(e.to_string()))?;
-        if deltas.is_empty() {
+        if deltas.is_empty() && next_reduction.is_none() {
             return Ok(UpdateOutcome {
                 epoch: base.id(),
                 changed: 0,
@@ -314,7 +377,13 @@ impl KpjService {
             None => (None, 0),
         };
         let repair = repair_started.elapsed();
-        let epoch = self.pool.publish(Arc::new(graph), landmarks, deltas.len());
+        let epoch = match next_reduction {
+            Some(red) => {
+                self.pool
+                    .publish_reduced(Arc::new(graph), landmarks, Some(red), deltas.len())
+            }
+            None => self.pool.publish(Arc::new(graph), landmarks, deltas.len()),
+        };
         // Entries keyed to older epochs are already unreachable (the
         // epoch id is part of the cache key); reap them eagerly.
         let cache_purged = self
@@ -346,22 +415,28 @@ impl KpjService {
         out
     }
 
-    /// Rewrite a request's external node ids to internal (reordered) ids.
-    /// `Ok(None)` means no remap is installed — serve the request as-is.
+    /// Rewrite a request's external node ids to engine (reordered or
+    /// reduced) ids. `Ok(None)` means the translation is the identity —
+    /// serve the request as-is. A node that was contracted or pruned away
+    /// by reduction surfaces as the same out-of-range error an unknown id
+    /// would: either way no engine node answers to it.
     fn translate(&self, request: &QueryRequest) -> Result<Option<QueryRequest>, ServiceError> {
-        let Some(remap) = &self.remap else {
+        if self.translation.is_identity() {
             return Ok(None);
+        }
+        let to_engine = |node, err: fn(u32) -> QueryError| {
+            self.translation.to_engine(node).map_err(|e| match e {
+                TranslateError::OutOfRange { .. } | TranslateError::Contracted { .. } => {
+                    ServiceError::Query(err(node))
+                }
+            })
         };
         let mut internal = request.clone();
         for s in &mut internal.sources {
-            *s = remap
-                .to_internal(*s)
-                .ok_or(ServiceError::Query(QueryError::SourceOutOfRange(*s)))?;
+            *s = to_engine(*s, QueryError::SourceOutOfRange)?;
         }
         for t in &mut internal.targets {
-            *t = remap
-                .to_internal(*t)
-                .ok_or(ServiceError::Query(QueryError::TargetOutOfRange(*t)))?;
+            *t = to_engine(*t, QueryError::TargetOutOfRange)?;
         }
         Ok(Some(internal))
     }
@@ -457,7 +532,10 @@ impl KpjService {
                 // ran the query (it knows the span trace too).
                 self.metrics
                     .record_query(started.elapsed(), true, result.paths.len() as u64);
-                Ok(Arc::new(Answer::with_remap(result, self.remap.clone())))
+                Ok(Arc::new(Answer::with_remap(
+                    result,
+                    self.translation.output_remap().cloned(),
+                )))
             }
             Err(e) => {
                 if matches!(e, ServiceError::Query(QueryError::DeadlineExceeded)) {

@@ -323,3 +323,117 @@ fn reordered_service_is_wire_equivalent_to_original() {
         "got {bad:?}"
     );
 }
+
+/// A service over a *reduced* graph (reduction installed, as `kpj-serve`
+/// does for `--reduce` v2 files) must be wire-equivalent to one over the
+/// original graph — including across live weight updates that land in
+/// the interior of a contracted chain, which are translated to shortcut
+/// updates with repaired prefix sums rather than a full re-reduction.
+#[test]
+fn reduced_service_is_wire_equivalent_across_interior_updates() {
+    // Stretch a seeded road network: every undirected edge becomes a
+    // 3-hop corridor whose two middle nodes are degree-2 contractible.
+    let base = road(220, 520, 11);
+    let n0 = base.node_count() as NodeId;
+    let mut seen: Vec<(NodeId, NodeId)> = Vec::new();
+    let undirected = base.edge_count() / 2;
+    let mut b = kpj_graph::GraphBuilder::new(base.node_count() + 2 * undirected);
+    let mut next = n0;
+    for u in base.nodes() {
+        for e in base.out_edges(u) {
+            let key = (u.min(e.to), u.max(e.to));
+            if u > e.to || seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            let (m1, m2) = (next, next + 1);
+            next += 2;
+            b.add_bidirectional(u, m1, 1).unwrap();
+            b.add_bidirectional(m1, m2, e.weight).unwrap();
+            b.add_bidirectional(m2, e.to, 1).unwrap();
+        }
+    }
+    let original = Arc::new(b.build());
+
+    let keep: Vec<NodeId> = vec![0, 7, 33, 150];
+    let red = kpj_graph::reduce(&original, &keep, &keep);
+    assert!(
+        red.graph.node_count() < original.node_count(),
+        "corridors should contract"
+    );
+    let reduction = Arc::new(red.reduction);
+
+    let plain = KpjService::new(Arc::clone(&original), None, ServiceConfig::default());
+    let reduced = KpjService::new_reduced(
+        Arc::new(red.graph),
+        None,
+        Some(Arc::clone(&reduction)),
+        ServiceConfig::default(),
+    );
+
+    let wire = |ans: &kpj_service::Answer| {
+        ans.wire_body(true)
+            .split(",\"stats\":")
+            .next()
+            .unwrap()
+            .to_string()
+    };
+    let compare = |tag: &str| {
+        for (s, ts) in [(0u32, vec![7u32, 33]), (150, vec![0, 7])] {
+            let req = request(vec![s], ts, 8);
+            let a = plain.execute(&req).unwrap();
+            let b = reduced.execute(&req).unwrap();
+            assert_eq!(wire(&a), wire(&b), "{tag}: s={s}");
+        }
+    };
+    compare("before update");
+
+    // Hit a chain interior: the corridor stretched from node 0's first
+    // base edge starts at (0, n0), so (n0, n0+1) is its middle hop and
+    // (0, n0) its first hop — one kept endpoint, one interior.
+    assert!(base.out_degree(0) > 0, "node 0 must have a corridor");
+    assert!(reduction.is_interior(n0), "corridor middles contract");
+    let updates = [
+        kpj_graph::WeightUpdate {
+            from: n0,
+            to: n0 + 1,
+            weight: 77,
+        },
+        kpj_graph::WeightUpdate {
+            from: n0 + 1,
+            to: n0,
+            weight: 91,
+        },
+        kpj_graph::WeightUpdate {
+            from: 0,
+            to: n0,
+            weight: 5,
+        },
+    ];
+    let a = plain.apply_update(&updates).unwrap();
+    let b = reduced.apply_update(&updates).unwrap();
+    assert_eq!(a.changed > 0, b.changed > 0, "both services saw a change");
+    assert!(b.epoch > 0, "reduced service published a new epoch");
+    compare("after interior update");
+
+    // A second round on the same chain proves the replaced reduction's
+    // prefix sums are the ones future translations repair against.
+    let updates = [kpj_graph::WeightUpdate {
+        from: n0,
+        to: n0 + 1,
+        weight: 3,
+    }];
+    plain.apply_update(&updates).unwrap();
+    reduced.apply_update(&updates).unwrap();
+    compare("after second interior update");
+
+    // Contracted endpoints are rejected like unknown ids.
+    let bad = reduced.execute(&request(vec![n0], vec![7], 2));
+    assert!(
+        matches!(
+            bad,
+            Err(ServiceError::Query(QueryError::SourceOutOfRange(v))) if v == n0
+        ),
+        "got {bad:?}"
+    );
+}

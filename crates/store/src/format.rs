@@ -66,6 +66,19 @@ pub mod section_id {
     pub const REMAP_OLD_TO_NEW: u32 = 8;
     /// Locality remap, internal → external: `n × u32`.
     pub const REMAP_NEW_TO_OLD: u32 = 9;
+    /// Reduction: original id → reduced id (`u32::MAX` = removed):
+    /// `n_orig × u32`. The header `n` of a reduced file is the *reduced*
+    /// node count; `n_orig` is this section's length ÷ 4.
+    pub const REDUCE_ORIG_TO_RED: u32 = 10;
+    /// Reduction: reduced id → original id: `n × u32`.
+    pub const REDUCE_RED_TO_ORIG: u32 = 11;
+    /// Reduction: per-forward-edge expansion ranges: `(m+1) × u32`.
+    pub const REDUCE_EXP_OFFSETS: u32 = 12;
+    /// Reduction: contracted interior original ids, tail→head per chain.
+    pub const REDUCE_EXP_NODES: u32 = 13;
+    /// Reduction: cumulative weight from chain tail to each interior:
+    /// same length as [`REDUCE_EXP_NODES`].
+    pub const REDUCE_EXP_PREFIX: u32 = 14;
 }
 
 /// Round `pos` up to the next [`SECTION_ALIGN`] boundary.

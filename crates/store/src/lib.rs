@@ -29,5 +29,7 @@ mod write;
 pub use format::{section_id, Fnv64, SectionEntry, StoreError, FLAG_SYMMETRIC, VERSION};
 pub use mmap::Mmap;
 pub use read::{open_any, open_v2, StoreBundle};
-pub use reorder::{bfs_order, remap_categories, remap_landmarks, reorder, Reordered};
+pub use reorder::{
+    bfs_order, remap_categories, remap_landmarks, remap_reduction, reorder, Reordered,
+};
 pub use write::{write_store, write_store_to_path, StreamWriter, V2Writer};

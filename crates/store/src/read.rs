@@ -12,7 +12,7 @@ use std::fs::File;
 use std::path::Path;
 use std::sync::Arc;
 
-use kpj_graph::{CategoryIndex, EdgeRef, Graph, GraphError, NodeRemap, SectionBuf};
+use kpj_graph::{CategoryIndex, EdgeRef, Graph, GraphError, NodeRemap, Reduction, SectionBuf};
 use kpj_landmark::LandmarkIndex;
 
 use crate::format::{
@@ -32,6 +32,10 @@ pub struct StoreBundle {
     pub landmarks: Option<LandmarkIndex>,
     /// Locality remap recorded by the reorder pass, if present.
     pub remap: Option<NodeRemap>,
+    /// Reduction mapping recorded by `convert --reduce`, if present: the
+    /// graph above is the *reduced* graph and queries must translate
+    /// through this (see [`kpj_graph::IdTranslation`]).
+    pub reduction: Option<Reduction>,
     backing: Option<Arc<Mmap>>,
     data_checksum: u64,
     payload_ranges: Vec<(u64, u64)>,
@@ -76,6 +80,7 @@ impl StoreBundle {
             categories: None,
             landmarks: None,
             remap: None,
+            reduction: None,
             backing: None,
             data_checksum: 0,
             payload_ranges: Vec::new(),
@@ -324,12 +329,45 @@ pub fn open_v2(path: &Path) -> Result<StoreBundle, StoreError> {
         None => None,
     };
 
+    let reduction = match find(section_id::REDUCE_ORIG_TO_RED) {
+        Some(o2r) => {
+            if remap.is_some() {
+                return Err(bad_content(
+                    "file carries both remap and reduction sections".into(),
+                ));
+            }
+            let o2r: SectionBuf<u32> = typed(&map, o2r)?;
+            let r2o: SectionBuf<u32> = typed(
+                &map,
+                expect_len(require(section_id::REDUCE_RED_TO_ORIG)?, n * 4)?,
+            )?;
+            let offs: SectionBuf<u32> = typed(
+                &map,
+                expect_len(require(section_id::REDUCE_EXP_OFFSETS)?, (m + 1) * 4)?,
+            )?;
+            let nodes: SectionBuf<u32> = typed(&map, require(section_id::REDUCE_EXP_NODES)?)?;
+            let prefix: SectionBuf<u32> = typed(
+                &map,
+                expect_len(
+                    require(section_id::REDUCE_EXP_PREFIX)?,
+                    require(section_id::REDUCE_EXP_NODES)?.len,
+                )?,
+            )?;
+            Some(
+                Reduction::from_sections(o2r, r2o, offs, nodes, prefix, &graph)
+                    .map_err(|e| bad_content(e.to_string()))?,
+            )
+        }
+        None => None,
+    };
+
     let payload_ranges = entries.iter().map(|e| (e.offset, e.len)).collect();
     Ok(StoreBundle {
         graph,
         categories,
         landmarks,
         remap,
+        reduction,
         backing: Some(map),
         data_checksum,
         payload_ranges,

@@ -15,7 +15,7 @@
 
 use std::collections::VecDeque;
 
-use kpj_graph::{CategoryIndex, Graph, GraphBuilder, NodeId, NodeRemap};
+use kpj_graph::{CategoryIndex, Graph, GraphBuilder, NodeId, NodeRemap, Reduction};
 use kpj_landmark::LandmarkIndex;
 
 /// A reordered graph plus the permutation that produced it.
@@ -99,6 +99,14 @@ pub fn remap_categories(cats: &CategoryIndex, remap: &NodeRemap) -> CategoryInde
         out.add_category(name, translated);
     }
     out
+}
+
+/// Fold a reorder of a **reduced** graph into its [`Reduction`], so the
+/// result maps original ids straight to the reordered reduced ids and
+/// the store file needs no separate remap sections. `old` is the reduced
+/// graph `red` describes; `r` is `reorder(old)`.
+pub fn remap_reduction(red: &Reduction, old: &Graph, r: &Reordered) -> Reduction {
+    red.remapped(old, &r.remap, &r.graph)
 }
 
 /// Translate a landmark index into internal ids: landmark ids are mapped

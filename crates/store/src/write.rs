@@ -10,7 +10,7 @@ use std::fs::File;
 use std::io::{BufWriter, Seek, SeekFrom, Write};
 use std::path::Path;
 
-use kpj_graph::{CategoryIndex, EdgeRef, Graph, NodeRemap};
+use kpj_graph::{CategoryIndex, EdgeRef, Graph, NodeRemap, Reduction};
 use kpj_landmark::LandmarkIndex;
 
 use crate::format::{
@@ -241,13 +241,22 @@ fn landmark_meta_payload(lm: &LandmarkIndex) -> Result<Vec<u8>, StoreError> {
 /// indexes. When the reverse CSR is byte-identical to the forward CSR (a
 /// symmetric multigraph), the reverse sections are elided and the
 /// SYMMETRIC flag set — readers alias them, halving the file.
+///
+/// `remap` and `reduction` are mutually exclusive: a reduced graph's
+/// locality reorder is folded into the reduction offline
+/// ([`Reduction::remapped`]), so a file never needs both.
 pub fn write_store<W: Write + Seek>(
     w: W,
     graph: &Graph,
     categories: Option<&CategoryIndex>,
     landmarks: Option<&LandmarkIndex>,
     remap: Option<&NodeRemap>,
+    reduction: Option<&Reduction>,
 ) -> Result<(), StoreError> {
+    assert!(
+        remap.is_none() || reduction.is_none(),
+        "a reduced store folds its reorder into the reduction; pass one, not both"
+    );
     let (out_offsets, out_edges, in_offsets, in_edges) = graph.sections();
     let n = graph.node_count() as u64;
     let m = graph.edge_count() as u64;
@@ -277,6 +286,20 @@ pub fn write_store<W: Write + Seek>(
     if let Some(r) = remap {
         decls.push((section_id::REMAP_OLD_TO_NEW, r.len() as u64 * 4));
         decls.push((section_id::REMAP_NEW_TO_OLD, r.len() as u64 * 4));
+    }
+    if let Some(r) = reduction {
+        let (o2r, r2o, offs, nodes, prefix) = r.sections();
+        assert_eq!(r2o.len() as u64, n, "reduction does not match the graph");
+        assert_eq!(
+            offs.len() as u64,
+            m + 1,
+            "reduction does not match the graph"
+        );
+        decls.push((section_id::REDUCE_ORIG_TO_RED, o2r.len() as u64 * 4));
+        decls.push((section_id::REDUCE_RED_TO_ORIG, r2o.len() as u64 * 4));
+        decls.push((section_id::REDUCE_EXP_OFFSETS, offs.len() as u64 * 4));
+        decls.push((section_id::REDUCE_EXP_NODES, nodes.len() as u64 * 4));
+        decls.push((section_id::REDUCE_EXP_PREFIX, prefix.len() as u64 * 4));
     }
 
     let flags = if symmetric { FLAG_SYMMETRIC } else { 0 };
@@ -321,6 +344,19 @@ pub fn write_store<W: Write + Seek>(
         w.begin_section(section_id::REMAP_NEW_TO_OLD)?;
         w.payload_u32s(r.new_to_old().iter().copied())?;
     }
+    if let Some(r) = reduction {
+        let (o2r, r2o, offs, nodes, prefix) = r.sections();
+        for (id, payload) in [
+            (section_id::REDUCE_ORIG_TO_RED, o2r),
+            (section_id::REDUCE_RED_TO_ORIG, r2o),
+            (section_id::REDUCE_EXP_OFFSETS, offs),
+            (section_id::REDUCE_EXP_NODES, nodes),
+            (section_id::REDUCE_EXP_PREFIX, prefix),
+        ] {
+            w.begin_section(id)?;
+            w.payload_u32s(payload.iter().copied())?;
+        }
+    }
     w.finish()
 }
 
@@ -331,9 +367,10 @@ pub fn write_store_to_path(
     categories: Option<&CategoryIndex>,
     landmarks: Option<&LandmarkIndex>,
     remap: Option<&NodeRemap>,
+    reduction: Option<&Reduction>,
 ) -> Result<(), StoreError> {
     let file = File::create(path)?;
-    write_store(file, graph, categories, landmarks, remap)
+    write_store(file, graph, categories, landmarks, remap, reduction)
 }
 
 /// Streaming writer for **symmetric** graphs whose adjacency is produced

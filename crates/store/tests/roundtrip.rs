@@ -55,7 +55,7 @@ fn write_to_file(
     remap: Option<&NodeRemap>,
 ) {
     let f = std::fs::File::create(path).unwrap();
-    write_store(f, g, cats, lm, remap).unwrap();
+    write_store(f, g, cats, lm, remap, None).unwrap();
 }
 
 #[test]
@@ -192,7 +192,7 @@ fn v1_reader_rejects_v2_with_guidance() {
 
 fn v2_bytes(g: &Graph) -> Vec<u8> {
     let mut buf = Cursor::new(Vec::new());
-    write_store(&mut buf, g, None, None, None).unwrap();
+    write_store(&mut buf, g, None, None, None, None).unwrap();
     buf.into_inner()
 }
 
@@ -446,6 +446,83 @@ fn remapped_landmarks_give_identical_bounds() {
             );
         }
     }
+}
+
+#[test]
+fn reduction_sections_roundtrip_zero_copy() {
+    // A corridor-heavy graph: reduce, write with the reduction sections,
+    // reopen, and the loaded (mapped) reduction must behave identically.
+    let mut b = GraphBuilder::new(12);
+    for i in 0..11u32 {
+        b.add_bidirectional(i, i + 1, i + 1).unwrap();
+    }
+    let g = b.build();
+    let red = kpj_graph::reduce(&g, &[0], &[11]);
+    let lm = LandmarkIndex::build(&red.graph, 2, SelectionStrategy::Farthest, 1);
+
+    let path = tmp_path("reduce");
+    kpj_store::write_store_to_path(
+        &path,
+        &red.graph,
+        None,
+        Some(&lm),
+        None,
+        Some(&red.reduction),
+    )
+    .unwrap();
+    let bundle = open_v2(&path).unwrap();
+    bundle.verify_data().unwrap();
+    let loaded = bundle.reduction.expect("reduction sections present");
+    assert!(loaded.is_fully_mapped(), "reduction must load zero-copy");
+    assert_eq!(loaded, red.reduction);
+    assert_same_adjacency(&red.graph, &bundle.graph);
+    let mut want = Vec::new();
+    let mut got = Vec::new();
+    red.reduction.expand_path(&red.graph, &[0, 1], &mut want);
+    loaded.expand_path(&bundle.graph, &[0, 1], &mut got);
+    assert_eq!(want, got);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn reduction_folded_through_reorder_keeps_expansions() {
+    // reduce → reorder the reduced graph → fold via remap_reduction →
+    // write → reopen: queries on the file see reordered reduced ids but
+    // expansion still yields original ids.
+    let g = symmetric_graph(60, 13);
+    let sources = [0u32, 7];
+    let targets = [3u32, 55];
+    let keep: Vec<u32> = sources.iter().chain(&targets).copied().collect();
+    let red = kpj_graph::reduce(&g, &sources, &targets);
+    let r = reorder(&red.graph);
+    let folded = kpj_store::remap_reduction(&red.reduction, &red.graph, &r);
+
+    let path = tmp_path("reduce-reorder");
+    kpj_store::write_store_to_path(&path, &r.graph, None, None, None, Some(&folded)).unwrap();
+    let bundle = open_v2(&path).unwrap();
+    assert!(bundle.remap.is_none(), "reduced files carry no remap");
+    let loaded = bundle.reduction.unwrap();
+    for &kn in &keep {
+        let before = red.reduction.to_reduced(kn).unwrap();
+        let after = loaded.to_reduced(kn).unwrap();
+        assert_eq!(after, r.remap.to_internal(before).unwrap());
+        assert_eq!(loaded.to_original(after), kn);
+    }
+    // Every reordered hop must expand to the same original interiors.
+    let mut want = Vec::new();
+    let mut got = Vec::new();
+    for u in red.graph.nodes() {
+        for e in red.graph.out_edges(u) {
+            red.reduction.expand_path(&red.graph, &[u, e.to], &mut want);
+            let (nu, nv) = (
+                r.remap.to_internal(u).unwrap(),
+                r.remap.to_internal(e.to).unwrap(),
+            );
+            loaded.expand_path(&bundle.graph, &[nu, nv], &mut got);
+            assert_eq!(want, got, "hop {u} -> {}", e.to);
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]

@@ -73,10 +73,13 @@ commands:
   generate  --out FILE (--dataset NAME --scale S | --nodes N --arcs M) [--seed S]
   pois      --graph FILE --out FILE [--kind nested|cal] [--seed S]
   landmarks --graph FILE --out FILE [--count N] [--seed S] [--threads T]
-  convert   --graph FILE --out FILE --to-v2 [--reorder] [--landmarks N]
-            [--threads T] [--categories FILE] [--seed S]
+  convert   --graph FILE --out FILE --to-v2 [--reduce [--keep a,b,c]]
+            [--reorder] [--landmarks N] [--threads T] [--categories FILE]
+            [--seed S]
             (write the page-aligned v2 format: zero-copy mmap on load,
-             optional BFS locality reorder + embedded landmark tables)
+             optional graph reduction — degree-2 chain contraction plus
+             V_S/V_T pruning around the --keep ids and category members —
+             optional BFS locality reorder, embedded landmark tables)
   query     --graph FILE (--targets a,b,c | --categories FILE --category NAME)
             (--source N | --sources a,b) [-k N] [--algorithm NAME]
             [--landmarks FILE] [--alpha F] [--timeout-ms MS] [--stats]
@@ -90,7 +93,9 @@ commands:
 Graph files: v1 and v2 binary formats and DIMACS `.gr` are auto-detected.
 A v2 file opens zero-copy (mmap); its embedded landmarks are used unless
 --landmarks overrides, and node ids on the command line are always
-*original* ids even when the file is locality-reordered.
+*original* ids even when the file is locality-reordered or reduced
+(reduced files re-expand every answer path to original ids; querying a
+contracted node is an error — rebuild with --keep to retain it).
 
 algorithms: da, da-spt, bestfirst, iterbound, iterboundp, iterboundi (default)";
 
@@ -106,7 +111,7 @@ impl Opts {
                 .strip_prefix("--")
                 .or_else(|| a.strip_prefix('-'))
                 .ok_or_else(|| format!("expected an option, got `{a}`"))?;
-            let flag_only = matches!(key, "stats" | "metrics" | "to-v2" | "reorder");
+            let flag_only = matches!(key, "stats" | "metrics" | "to-v2" | "reorder" | "reduce");
             let value = if flag_only {
                 "true".to_string()
             } else {
@@ -273,6 +278,7 @@ fn convert(o: &Opts) -> Result<(), String> {
     let threads: usize = o.num("threads", 0)?;
     let bundle = load_bundle(input)?;
     let (mut graph, mut landmarks, mut remap) = (bundle.graph, bundle.landmarks, bundle.remap);
+    let mut reduction = bundle.reduction;
 
     let mut categories = match o.get("categories") {
         None => bundle.categories,
@@ -285,6 +291,63 @@ fn convert(o: &Opts) -> Result<(), String> {
         }
     };
 
+    if o.get("reduce").is_some() {
+        if reduction.is_some() {
+            return Err(format!("{input} is already reduced"));
+        }
+        if remap.is_some() {
+            return Err(format!(
+                "{input} is locality-reordered; re-convert the original file \
+                 with --reduce --reorder (reduction runs on original ids)"
+            ));
+        }
+        // V_S/V_T keep set: explicit --keep ids plus every category member
+        // (so category queries keep working on the reduced file).
+        let mut keep: Vec<NodeId> = o.node_list("keep")?.unwrap_or_default();
+        if let Some(c) = &categories {
+            for (_, _, members) in c.iter() {
+                keep.extend_from_slice(members);
+            }
+        }
+        keep.sort_unstable();
+        keep.dedup();
+        if let Some(&v) = keep.iter().find(|&&v| (v as usize) >= graph.node_count()) {
+            return Err(format!("--keep: node id {v} out of range"));
+        }
+        if keep.is_empty() {
+            eprintln!("note: no --keep ids or categories; contracting without V_S/V_T pruning");
+        }
+        let (n0, m0) = (graph.node_count(), graph.edge_count());
+        let red = kpj::graph::reduce(&graph, &keep, &keep);
+        // Embedded landmark tables describe the unreduced graph; drop
+        // them (pass --landmarks N to rebuild on the reduced one).
+        landmarks = None;
+        categories = categories.map(|c| {
+            let mut out = CategoryIndex::new();
+            for (_, name, members) in c.iter() {
+                let translated = members
+                    .iter()
+                    .map(|&v| {
+                        red.reduction
+                            .to_reduced(v)
+                            .expect("category members are keep nodes")
+                    })
+                    .collect();
+                out.add_category(name, translated);
+            }
+            out
+        });
+        graph = red.graph;
+        println!(
+            "reduced {n0} -> {} nodes, {m0} -> {} arcs ({} shortcuts, {} interior nodes)",
+            graph.node_count(),
+            graph.edge_count(),
+            red.reduction.shortcut_count(),
+            red.reduction.interior_count(),
+        );
+        reduction = Some(red.reduction);
+    }
+
     if o.get("reorder").is_some() {
         if remap.is_some() {
             return Err(format!("{input} is already locality-reordered"));
@@ -292,8 +355,14 @@ fn convert(o: &Opts) -> Result<(), String> {
         let r = kpj::store::reorder(&graph);
         categories = categories.map(|c| kpj::store::remap_categories(&c, &r.remap));
         landmarks = landmarks.map(|l| kpj::store::remap_landmarks(&l, &r.remap));
+        match reduction.as_mut() {
+            // Fold the reorder into the reduction: the file then maps
+            // original ids straight to the reordered reduced ids and
+            // carries no separate remap sections.
+            Some(red) => *red = kpj::store::remap_reduction(red, &graph, &r),
+            None => remap = Some(r.remap),
+        }
         graph = r.graph;
-        remap = Some(r.remap);
     }
 
     if let Some(count) = o.get("landmark-count").or(o.get("landmarks")) {
@@ -317,13 +386,15 @@ fn convert(o: &Opts) -> Result<(), String> {
         categories.as_ref(),
         landmarks.as_ref(),
         remap.as_ref(),
+        reduction.as_ref(),
     )
     .map_err(|e| format!("{out}: {e}"))?;
     let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
     println!(
-        "wrote {out} (v2, {} nodes, {} arcs, {bytes} bytes{}{}{})",
+        "wrote {out} (v2, {} nodes, {} arcs, {bytes} bytes{}{}{}{})",
         graph.node_count(),
         graph.edge_count(),
+        if reduction.is_some() { ", reduced" } else { "" },
         if remap.is_some() { ", reordered" } else { "" },
         match &landmarks {
             Some(l) => format!(", {} landmarks", l.len()),
@@ -341,6 +412,19 @@ fn query(o: &Opts) -> Result<(), String> {
     let bundle = load_bundle(o.require("graph")?)?;
     let g = bundle.graph;
 
+    // Reordered or reduced v2 files: the command line (and any sidecar
+    // files) speak *original* ids; translate to the file's internal ids
+    // below. Reordered answers are translated back when printing; reduced
+    // answers are re-expanded to original ids by the engine itself.
+    let translation = if let Some(red) = bundle.reduction {
+        kpj::graph::IdTranslation::Reduce(std::sync::Arc::new(red))
+    } else if let Some(r) = bundle.remap {
+        kpj::graph::IdTranslation::Remap(std::sync::Arc::new(r))
+    } else {
+        kpj::graph::IdTranslation::Identity
+    };
+    let external_nodes = translation.external_node_count().unwrap_or(g.node_count());
+
     // Targets: explicit list or a named category from a category file.
     let targets: Vec<NodeId> = if let Some(t) = o.node_list("targets")? {
         t
@@ -350,7 +434,7 @@ fn query(o: &Opts) -> Result<(), String> {
             .map_err(|_| "need --targets a,b,c or --categories FILE --category NAME".to_string())?;
         let name = o.require("category")?;
         let f = File::open(cat_file).map_err(|e| format!("{cat_file}: {e}"))?;
-        let idx = kpj::graph::io::read_categories(BufReader::new(f), g.node_count())
+        let idx = kpj::graph::io::read_categories(BufReader::new(f), external_nodes)
             .map_err(|e| e.to_string())?;
         let cat = idx
             .find_by_name(name)
@@ -367,17 +451,9 @@ fn query(o: &Opts) -> Result<(), String> {
         return Err("need --source N or --sources a,b".into());
     }
 
-    // Reordered v2 files: the command line (and any sidecar files) speak
-    // *original* ids; translate to the file's internal ids here and back
-    // again when printing paths.
-    let remap = bundle.remap;
     let mut targets = targets;
-    if let Some(r) = &remap {
-        for v in sources.iter_mut().chain(targets.iter_mut()) {
-            *v = r
-                .to_internal(*v)
-                .ok_or_else(|| format!("node id {v} out of range"))?;
-        }
+    for v in sources.iter_mut().chain(targets.iter_mut()) {
+        *v = translation.to_engine(*v).map_err(|e| e.to_string())?;
     }
 
     let k: usize = o.num("k", 20)?;
@@ -388,10 +464,18 @@ fn query(o: &Opts) -> Result<(), String> {
         // are used automatically.
         None => bundle.landmarks,
         Some(path) => {
+            if translation.reduction().is_some() {
+                return Err(
+                    "a sidecar --landmarks file speaks original ids and cannot align \
+                     with a reduced graph; embed tables at convert time instead \
+                     (convert --reduce --landmarks N)"
+                        .into(),
+                );
+            }
             let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
             let idx = LandmarkIndex::read_binary(BufReader::new(f)).map_err(|e| e.to_string())?;
             // A sidecar index is in original ids; align it with the graph.
-            Some(match &remap {
+            Some(match translation.output_remap() {
                 Some(r) => kpj::store::remap_landmarks(&idx, r),
                 None => idx,
             })
@@ -399,6 +483,9 @@ fn query(o: &Opts) -> Result<(), String> {
     };
 
     let mut engine = QueryEngine::new(&g);
+    if let Some(red) = translation.reduction() {
+        engine = engine.with_reduction(red);
+    }
     if let Some(idx) = &lm {
         if idx.node_count() != g.node_count() {
             return Err("landmark index does not match the graph".into());
@@ -433,7 +520,7 @@ fn query(o: &Opts) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let elapsed = t0.elapsed();
 
-    let ext = |v: NodeId| remap.as_ref().map_or(v, |r| r.to_external(v));
+    let ext = |v: NodeId| translation.output_remap().map_or(v, |r| r.to_external(v));
     for (i, p) in r.paths.iter().enumerate() {
         let nodes: Vec<String> = p.nodes.iter().map(|&v| ext(v).to_string()).collect();
         println!("P{} len={} : {}", i + 1, p.length, nodes.join(" "));
@@ -575,7 +662,7 @@ fn info(o: &Opts) -> Result<(), String> {
         // file anyway — `open` only verifies the header/table.
         bundle.verify_data().map_err(|e| e.to_string())?;
         println!(
-            "format: v2 (zero-copy mmap, data checksum ok{}{})",
+            "format: v2 (zero-copy mmap, data checksum ok{}{}{})",
             if bundle.landmarks.is_some() {
                 ", embedded landmarks"
             } else {
@@ -586,9 +673,23 @@ fn info(o: &Opts) -> Result<(), String> {
             } else {
                 ""
             },
+            if bundle.reduction.is_some() {
+                ", reduced"
+            } else {
+                ""
+            },
         );
     } else {
         println!("format: v1/heap");
+    }
+    if let Some(red) = &bundle.reduction {
+        println!(
+            "reduction: {} original -> {} reduced nodes, {} shortcuts, {} interior nodes",
+            red.original_node_count(),
+            red.reduced_node_count(),
+            red.shortcut_count(),
+            red.interior_count(),
+        );
     }
     let g = bundle.graph;
     println!("nodes: {}", g.node_count());
