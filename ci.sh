@@ -127,6 +127,33 @@ wait "$UPD_SERVE_PID" 2>/dev/null || true
 UPD_SERVE_PID=""
 trap - EXIT
 
+# Introspection smoke: boot a server, put mixed query/update load on it
+# with a machine-readable loadgen report, then assert the live system
+# state over the status verb — at least one live epoch, a drained
+# admission queue — via a single kpj-cli top frame.
+echo "==> introspection smoke (status verb + kpj-cli top --once + loadgen --out)"
+OBS_DIR="$(mktemp -d)"
+OBS_SERVE_PID=""
+trap 'if [ -n "$OBS_SERVE_PID" ]; then kill "$OBS_SERVE_PID" 2>/dev/null || true; fi; rm -rf "$OBS_DIR"' EXIT
+./target/release/kpj-serve --nodes 3000 --arcs 8000 --seed 7 --landmarks 4 \
+  --addr 127.0.0.1:7843 &
+OBS_SERVE_PID=$!
+sleep 2
+./target/release/kpj-loadgen --addr 127.0.0.1:7843 --nodes 3000 --arcs 8000 \
+  --seed 7 --requests 400 --connections 4 --k 8 --update-rate 10 \
+  --out "$OBS_DIR/report.json"
+grep -q '"throughput_rps"' "$OBS_DIR/report.json"
+grep -q '"malformed":0' "$OBS_DIR/report.json"
+./target/release/kpj-cli top --addr 127.0.0.1:7843 --once | tee "$OBS_DIR/top.out"
+grep -Eq 'live=[1-9]' "$OBS_DIR/top.out"     # at least the current epoch is live
+grep -q 'queue=0' "$OBS_DIR/top.out"         # load fully drained at snapshot time
+grep -q 'epoch_published' "$OBS_DIR/top.out" # the update stream reached the journal
+kill "$OBS_SERVE_PID" 2>/dev/null || true
+wait "$OBS_SERVE_PID" 2>/dev/null || true
+OBS_SERVE_PID=""
+rm -rf "$OBS_DIR"
+trap - EXIT
+
 # Per-algorithm latency + allocation profile (fixed seeds, small query
 # count so the gate stays quick). BENCH_QUERIES=24 for a fuller run.
 echo "==> bench-kpj (writes BENCH_kpj.json)"

@@ -1,0 +1,191 @@
+//! Lock-free named gauges with set/add/high-water semantics.
+//!
+//! A [`GaugeSet`] is a fixed list of named gauges decided at construction
+//! — no registration locks, no hashing on the hot path. Callers address
+//! gauges by index (the service keeps `const` indices next to its name
+//! table, mirroring how `QueryStats::FIELD_NAMES` is consumed), so a
+//! gauge update is one or two relaxed atomic operations and never
+//! allocates. Every gauge tracks its current value *and* a high-water
+//! mark, because for operational signals like queue depth or shed
+//! latency the worst moment matters more than the sampled one.
+//!
+//! Names are caller-supplied `&'static str`s, keeping this crate
+//! dependency-free like the rest of `kpj-obs`.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// One gauge cell: the live value plus the highest value ever observed.
+struct GaugeSlot {
+    value: AtomicI64,
+    peak: AtomicI64,
+}
+
+/// A fixed set of named gauges, shared lock-free between writers and
+/// readers. All operations use relaxed atomics: gauges are monitoring
+/// signals, not synchronization.
+pub struct GaugeSet {
+    names: Vec<&'static str>,
+    slots: Vec<GaugeSlot>,
+}
+
+impl GaugeSet {
+    /// Build an all-zero gauge set with one gauge per name.
+    pub fn new(names: Vec<&'static str>) -> GaugeSet {
+        let slots = (0..names.len())
+            .map(|_| GaugeSlot {
+                value: AtomicI64::new(0),
+                peak: AtomicI64::new(0),
+            })
+            .collect();
+        GaugeSet { names, slots }
+    }
+
+    /// Number of gauges.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the set holds no gauges.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The gauge names, in index order.
+    pub fn names(&self) -> &[&'static str] {
+        &self.names
+    }
+
+    /// The name of gauge `idx`.
+    pub fn name(&self, idx: usize) -> &'static str {
+        self.names[idx]
+    }
+
+    /// Set gauge `idx` to an absolute value, raising its high-water mark
+    /// if exceeded. Never allocates.
+    pub fn set(&self, idx: usize, value: i64) {
+        let slot = &self.slots[idx];
+        slot.value.store(value, Ordering::Relaxed);
+        slot.peak.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative) to gauge `idx` and return the new
+    /// value, raising the high-water mark if exceeded. Never allocates.
+    pub fn add(&self, idx: usize, delta: i64) -> i64 {
+        let slot = &self.slots[idx];
+        let new = slot.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        slot.peak.fetch_max(new, Ordering::Relaxed);
+        new
+    }
+
+    /// The current value of gauge `idx`.
+    pub fn get(&self, idx: usize) -> i64 {
+        self.slots[idx].value.load(Ordering::Relaxed)
+    }
+
+    /// The highest value gauge `idx` has ever held (at least 0).
+    pub fn peak(&self, idx: usize) -> i64 {
+        self.slots[idx].peak.load(Ordering::Relaxed)
+    }
+
+    /// Render every gauge as one Prometheus `gauge` family named
+    /// `metric`, with `name` and `stat` (`current`/`peak`) labels:
+    ///
+    /// ```text
+    /// # HELP kpj_system_gauge Live serving-system state.
+    /// # TYPE kpj_system_gauge gauge
+    /// kpj_system_gauge{name="queue_depth",stat="current"} 3
+    /// kpj_system_gauge{name="queue_depth",stat="peak"} 17
+    /// ```
+    pub fn render_prometheus(&self, metric: &str, help: &str, out: &mut String) {
+        let _ = writeln!(out, "# HELP {metric} {help}");
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        for (idx, name) in self.names.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{metric}{{name=\"{name}\",stat=\"current\"}} {}",
+                self.get(idx)
+            );
+            let _ = writeln!(
+                out,
+                "{metric}{{name=\"{name}\",stat=\"peak\"}} {}",
+                self.peak(idx)
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gauges() -> GaugeSet {
+        GaugeSet::new(vec!["queue_depth", "busy_workers"])
+    }
+
+    #[test]
+    fn set_and_add_track_current_and_peak() {
+        let g = gauges();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.name(0), "queue_depth");
+        g.set(0, 5);
+        assert_eq!(g.get(0), 5);
+        assert_eq!(g.peak(0), 5);
+        g.set(0, 2);
+        assert_eq!(g.get(0), 2);
+        assert_eq!(g.peak(0), 5, "peak is a high-water mark");
+        assert_eq!(g.add(1, 3), 3);
+        assert_eq!(g.add(1, -2), 1);
+        assert_eq!(g.get(1), 1);
+        assert_eq!(g.peak(1), 3);
+        // Gauges are independent.
+        assert_eq!(g.get(0), 2);
+    }
+
+    #[test]
+    fn negative_values_never_raise_the_peak() {
+        let g = gauges();
+        g.add(0, -7);
+        assert_eq!(g.get(0), -7);
+        assert_eq!(g.peak(0), 0);
+        g.set(0, -1);
+        assert_eq!(g.peak(0), 0);
+    }
+
+    #[test]
+    fn prometheus_rendering_emits_one_gauge_family() {
+        let g = gauges();
+        g.set(0, 4);
+        g.set(0, 1);
+        let mut text = String::new();
+        g.render_prometheus("kpj_system_gauge", "Live system state.", &mut text);
+        assert!(text.starts_with("# HELP kpj_system_gauge Live system state.\n"));
+        assert!(text.contains("# TYPE kpj_system_gauge gauge\n"));
+        assert!(text.contains("kpj_system_gauge{name=\"queue_depth\",stat=\"current\"} 1\n"));
+        assert!(text.contains("kpj_system_gauge{name=\"queue_depth\",stat=\"peak\"} 4\n"));
+        assert!(text.contains("kpj_system_gauge{name=\"busy_workers\",stat=\"current\"} 0\n"));
+    }
+
+    #[test]
+    fn concurrent_adds_balance_out() {
+        use std::sync::Arc;
+        let g = Arc::new(gauges());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        g.add(0, 1);
+                        g.add(0, -1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.get(0), 0);
+        assert!(g.peak(0) >= 1);
+        assert!(g.peak(0) <= 4);
+    }
+}

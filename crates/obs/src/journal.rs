@@ -1,0 +1,309 @@
+//! A fixed-capacity, preallocated ring of structured events.
+//!
+//! An [`EventJournal`] answers "what just happened?" on a live server:
+//! epoch publishes and sheds, update batches, admission rejects, deadline
+//! expiries — whatever taxonomy the caller defines via [`EventKind`]s at
+//! construction. The write path is built for the serving hot path:
+//!
+//! * **No heap allocation, ever.** A slot is a handful of atomics;
+//!   recording claims a sequence number with one `fetch_add` and stores
+//!   the payload — the warmed-engine zero-allocation gate stays green
+//!   with the journal enabled.
+//! * **No locks.** Concurrent writers claim distinct slots; a reader
+//!   validates each slot's sequence stamp before and after copying it
+//!   (a per-slot seqlock) and simply skips slots that are mid-overwrite.
+//! * **Bounded.** The ring overwrites the oldest events; the number
+//!   dropped so far is always available ([`EventJournal::dropped`]).
+//!
+//! Events carry a kind id, a timestamp (µs since journal creation) and
+//! [`MAX_EVENT_ARGS`] `u64` arguments whose meanings come from the
+//! kind's field-name schema. The read path materializes the surviving
+//! tail ([`EventJournal::tail`]) or renders it as JSONL
+//! ([`EventJournal::render_jsonl`]) — one self-describing object per
+//! line, ready for `jq` or a log shipper.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Arguments carried by every event (unused ones are zero and unnamed).
+pub const MAX_EVENT_ARGS: usize = 4;
+
+/// Schema of one event kind: its wire name plus a name per argument.
+/// Empty field names mark unused argument positions — they are omitted
+/// from the JSONL rendering.
+#[derive(Debug, Clone, Copy)]
+pub struct EventKind {
+    /// Event name as it appears in `{"event":"…"}`.
+    pub name: &'static str,
+    /// Field name per argument position; `""` = unused.
+    pub fields: [&'static str; MAX_EVENT_ARGS],
+}
+
+/// One event read back out of the journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalEvent {
+    /// Global sequence number (0-based, never reused).
+    pub seq: u64,
+    /// Microseconds since the journal was created.
+    pub at_us: u64,
+    /// Index into the journal's [`EventKind`] table.
+    pub kind: u16,
+    /// Raw arguments; interpret via the kind's field schema.
+    pub args: [u64; MAX_EVENT_ARGS],
+}
+
+/// One preallocated ring slot. `stamp` is a per-slot seqlock: 0 while a
+/// write is in progress, `seq + 1` once the payload for sequence `seq`
+/// is fully stored.
+struct Slot {
+    stamp: AtomicU64,
+    at_us: AtomicU64,
+    kind: AtomicU64,
+    args: [AtomicU64; MAX_EVENT_ARGS],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            stamp: AtomicU64::new(0),
+            at_us: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            args: [const { AtomicU64::new(0) }; MAX_EVENT_ARGS],
+        }
+    }
+}
+
+/// The preallocated structured-event ring. See the module docs.
+pub struct EventJournal {
+    kinds: Vec<EventKind>,
+    slots: Vec<Slot>,
+    /// Next sequence number; also the total recorded so far.
+    head: AtomicU64,
+    /// Wall-clock anchor: event timestamps are µs since this instant.
+    base: Instant,
+}
+
+impl EventJournal {
+    /// A journal holding the most recent `capacity` events, with the
+    /// caller's event taxonomy. Everything is allocated here, once.
+    pub fn new(capacity: usize, kinds: Vec<EventKind>) -> EventJournal {
+        let capacity = capacity.max(1);
+        EventJournal {
+            kinds,
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            head: AtomicU64::new(0),
+            base: Instant::now(),
+        }
+    }
+
+    /// Ring capacity (events retained before overwrite).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The event taxonomy this journal was built with.
+    pub fn kinds(&self) -> &[EventKind] {
+        &self.kinds
+    }
+
+    /// The wire name of event kind `kind` (`"?"` if out of range — a
+    /// torn read must not panic the reader).
+    pub fn kind_name(&self, kind: u16) -> &'static str {
+        self.kinds.get(kind as usize).map_or("?", |k| k.name)
+    }
+
+    /// Total events recorded over the journal's lifetime.
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Events overwritten before anyone read them (the drop counter).
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Record one event. Lock-free and allocation-free: one `fetch_add`
+    /// to claim a slot, plain stores for the payload, one release store
+    /// to publish. Safe from any thread.
+    pub fn record(&self, kind: u16, args: [u64; MAX_EVENT_ARGS]) {
+        debug_assert!((kind as usize) < self.kinds.len(), "unknown event kind");
+        let seq = self.head.fetch_add(1, Ordering::AcqRel);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        // Invalidate the slot first so a concurrent reader can't mistake
+        // a half-written payload for the previous lap's intact event.
+        slot.stamp.store(0, Ordering::Release);
+        slot.at_us
+            .store(self.base.elapsed().as_micros() as u64, Ordering::Relaxed);
+        slot.kind.store(u64::from(kind), Ordering::Relaxed);
+        for (cell, &arg) in slot.args.iter().zip(&args) {
+            cell.store(arg, Ordering::Relaxed);
+        }
+        slot.stamp.store(seq + 1, Ordering::Release);
+    }
+
+    /// The newest `max` surviving events, oldest first. Events being
+    /// overwritten while we read are skipped, never torn.
+    pub fn tail(&self, max: usize) -> Vec<JournalEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let window = (self.slots.len() as u64).min(max as u64).min(head);
+        let mut out = Vec::with_capacity(window as usize);
+        for seq in (head - window)..head {
+            let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+            if slot.stamp.load(Ordering::Acquire) != seq + 1 {
+                continue; // mid-write or already overwritten
+            }
+            let event = JournalEvent {
+                seq,
+                at_us: slot.at_us.load(Ordering::Relaxed),
+                kind: slot.kind.load(Ordering::Relaxed) as u16,
+                args: [
+                    slot.args[0].load(Ordering::Relaxed),
+                    slot.args[1].load(Ordering::Relaxed),
+                    slot.args[2].load(Ordering::Relaxed),
+                    slot.args[3].load(Ordering::Relaxed),
+                ],
+            };
+            // Re-validate: if a writer lapped us mid-copy, discard.
+            if slot.stamp.load(Ordering::Acquire) == seq + 1 {
+                out.push(event);
+            }
+        }
+        out
+    }
+
+    /// Render the newest `max` events as JSONL (one object per line,
+    /// trailing newline per line), oldest first. Unused argument
+    /// positions (empty field names) are omitted.
+    ///
+    /// ```text
+    /// {"seq":41,"at_us":901223,"event":"epoch_published","epoch":3,"changed":2}
+    /// ```
+    pub fn render_jsonl(&self, max: usize, out: &mut String) {
+        for event in self.tail(max) {
+            let _ = write!(
+                out,
+                "{{\"seq\":{},\"at_us\":{},\"event\":\"{}\"",
+                event.seq,
+                event.at_us,
+                self.kind_name(event.kind)
+            );
+            if let Some(kind) = self.kinds.get(event.kind as usize) {
+                for (field, value) in kind.fields.iter().zip(&event.args) {
+                    if !field.is_empty() {
+                        let _ = write!(out, ",\"{field}\":{value}");
+                    }
+                }
+            }
+            out.push_str("}\n");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn journal(capacity: usize) -> EventJournal {
+        EventJournal::new(
+            capacity,
+            vec![
+                EventKind {
+                    name: "published",
+                    fields: ["epoch", "changed", "", ""],
+                },
+                EventKind {
+                    name: "reject",
+                    fields: ["depth", "", "", ""],
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn records_come_back_in_order_with_schema_names() {
+        let j = journal(8);
+        j.record(0, [3, 2, 0, 0]);
+        j.record(1, [17, 0, 0, 0]);
+        assert_eq!(j.recorded(), 2);
+        assert_eq!(j.dropped(), 0);
+        let tail = j.tail(10);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].seq, 0);
+        assert_eq!(tail[0].kind, 0);
+        assert_eq!(tail[0].args, [3, 2, 0, 0]);
+        assert_eq!(tail[1].seq, 1);
+        assert!(tail[1].at_us >= tail[0].at_us);
+        assert_eq!(j.kind_name(1), "reject");
+        let mut text = String::new();
+        j.render_jsonl(10, &mut text);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            format!(
+                "{{\"seq\":0,\"at_us\":{},\"event\":\"published\",\"epoch\":3,\"changed\":2}}",
+                tail[0].at_us
+            )
+        );
+        assert!(lines[1].contains("\"event\":\"reject\",\"depth\":17}"));
+        // Unused positions never appear.
+        assert!(!text.contains("\"\":"));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let j = journal(4);
+        for i in 0..10u64 {
+            j.record(0, [i, 0, 0, 0]);
+        }
+        assert_eq!(j.recorded(), 10);
+        assert_eq!(j.dropped(), 6);
+        let tail = j.tail(100);
+        assert_eq!(tail.len(), 4);
+        let epochs: Vec<u64> = tail.iter().map(|e| e.args[0]).collect();
+        assert_eq!(epochs, vec![6, 7, 8, 9]);
+        // A smaller window trims from the old end.
+        let last_two = j.tail(2);
+        assert_eq!(last_two.len(), 2);
+        assert_eq!(last_two[0].args[0], 8);
+    }
+
+    #[test]
+    fn empty_journal_reads_clean() {
+        let j = journal(4);
+        assert!(j.tail(8).is_empty());
+        assert_eq!(j.dropped(), 0);
+        let mut text = String::new();
+        j.render_jsonl(8, &mut text);
+        assert!(text.is_empty());
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear_a_read() {
+        use std::sync::Arc;
+        let j = Arc::new(journal(16));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let j = Arc::clone(&j);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        // Payload invariant: args[1] is always args[0] + 1.
+                        j.record((t % 2) as u16, [i, i + 1, 0, 0]);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            for e in j.tail(16) {
+                assert_eq!(e.args[1], e.args[0] + 1, "torn read: {e:?}");
+                assert!(e.kind < 2);
+            }
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(j.recorded(), 8_000);
+        assert_eq!(j.tail(16).len(), 16, "quiesced ring reads fully");
+    }
+}

@@ -1,0 +1,288 @@
+//! A small in-tree validator for the Prometheus text exposition format.
+//!
+//! Scrapers fail silently: a malformed label escape or a duplicate series
+//! drops the whole scrape, and the first anyone hears of it is a gap in a
+//! dashboard. [`lint`] parses an exposition the way a strict scraper
+//! would and reports the first violation, so the test suite can prove
+//! `render_prometheus` output stays ingestible as gauge families are
+//! added. Checked invariants:
+//!
+//! * every sample belongs to a family announced by a preceding
+//!   `# TYPE` line (histogram/summary samples may use the
+//!   `_bucket`/`_sum`/`_count` suffixes of their family);
+//! * `# TYPE` appears at most once per family;
+//! * metric and label names are well-formed, label values use only the
+//!   legal escapes (`\\`, `\"`, `\n`);
+//! * no series (name + label set, order-insensitive) appears twice;
+//! * every sample value parses as a float.
+
+use std::collections::{HashMap, HashSet};
+
+/// Validate a full Prometheus text exposition. Returns the first
+/// violation as `Err("line N: …")`.
+pub fn lint(text: &str) -> Result<(), String> {
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut series: HashSet<String> = HashSet::new();
+    for (idx, line) in text.lines().enumerate() {
+        let n = idx + 1;
+        let fail = |msg: String| Err(format!("line {n}: {msg}"));
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut words = comment.split_whitespace();
+            if words.next() == Some("TYPE") {
+                let Some(name) = words.next() else {
+                    return fail("# TYPE without a metric name".to_string());
+                };
+                let Some(kind) = words.next() else {
+                    return fail(format!("# TYPE {name} without a type"));
+                };
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return fail(format!("unknown type `{kind}` for {name}"));
+                }
+                if types.insert(name.to_string(), kind.to_string()).is_some() {
+                    return fail(format!("duplicate # TYPE for {name}"));
+                }
+            }
+            // HELP and free comments are unconstrained.
+            continue;
+        }
+        let (name, labels, value) = match parse_sample(line) {
+            Ok(parts) => parts,
+            Err(msg) => return fail(msg),
+        };
+        if resolve_family(&name, &types).is_none() {
+            return fail(format!("sample `{name}` has no preceding # TYPE"));
+        }
+        if value.parse::<f64>().is_err() && !matches!(value.as_str(), "+Inf" | "-Inf" | "NaN") {
+            return fail(format!("sample `{name}` has non-numeric value `{value}`"));
+        }
+        let mut key_labels = labels;
+        key_labels.sort();
+        let key = format!("{name}{{{}}}", key_labels.join(","));
+        if !series.insert(key.clone()) {
+            return fail(format!("duplicate series {key}"));
+        }
+    }
+    Ok(())
+}
+
+/// The `# TYPE` family a sample name belongs to: itself, or — for
+/// histogram/summary families — its `_bucket`/`_sum`/`_count` base.
+fn resolve_family(name: &str, types: &HashMap<String, String>) -> Option<String> {
+    if types.contains_key(name) {
+        return Some(name.to_string());
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if matches!(
+                types.get(base).map(String::as_str),
+                Some("histogram" | "summary")
+            ) {
+                return Some(base.to_string());
+            }
+        }
+    }
+    None
+}
+
+fn is_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Split a sample line into (metric name, normalized `name="value"`
+/// label strings, value text). One optional trailing timestamp is
+/// tolerated after the value.
+fn parse_sample(line: &str) -> Result<(String, Vec<String>, String), String> {
+    let (name, labels, tail) = match line.find('{') {
+        Some(brace) => {
+            let close = line
+                .rfind('}')
+                .filter(|&c| c > brace)
+                .ok_or_else(|| "unterminated label block".to_string())?;
+            (
+                line[..brace].trim(),
+                parse_labels(&line[brace + 1..close])?,
+                &line[close + 1..],
+            )
+        }
+        None => {
+            let name = line.split_whitespace().next().unwrap_or("");
+            (
+                name,
+                Vec::new(),
+                line.trim_start().strip_prefix(name).unwrap_or(""),
+            )
+        }
+    };
+    if !is_metric_name(name) {
+        return Err(format!("bad metric name `{name}`"));
+    }
+    let mut fields = tail.split_whitespace();
+    let value = fields
+        .next()
+        .ok_or_else(|| format!("sample `{name}` has no value"))?;
+    if fields.next().is_some() && fields.next().is_some() {
+        return Err(format!("trailing garbage after sample `{name}`"));
+    }
+    Ok((name.to_string(), labels, value.to_string()))
+}
+
+/// Parse `a="x",b="y"`, validating names and escape sequences. Byte
+/// scanning is safe here: the loop only dereferences ASCII delimiters,
+/// and every slice boundary lands on one.
+fn parse_labels(text: &str) -> Result<Vec<String>, String> {
+    let bytes = text.as_bytes();
+    let mut labels = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        while bytes.get(i) == Some(&b' ') {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        let start = i;
+        while i < bytes.len() && bytes[i] != b'=' {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return Err(format!("label without `=` in `{text}`"));
+        }
+        let name = text[start..i].trim();
+        if !is_label_name(name) {
+            return Err(format!("bad label name `{name}`"));
+        }
+        i += 1; // past '='
+        if bytes.get(i) != Some(&b'"') {
+            return Err(format!("label `{name}` value is not quoted"));
+        }
+        i += 1;
+        let value_start = i;
+        loop {
+            match bytes.get(i) {
+                None => return Err(format!("label `{name}` value is unterminated")),
+                Some(b'"') => break,
+                Some(b'\\') => match bytes.get(i + 1) {
+                    Some(b'\\' | b'"' | b'n') => i += 2,
+                    other => {
+                        return Err(format!(
+                            "label `{name}` has illegal escape `\\{}`",
+                            other.map(|&b| b as char).unwrap_or(' ')
+                        ))
+                    }
+                },
+                Some(_) => i += 1,
+            }
+        }
+        labels.push(format!("{name}=\"{}\"", &text[value_start..i]));
+        i += 1; // past the closing quote
+        while bytes.get(i) == Some(&b' ') {
+            i += 1;
+        }
+        match bytes.get(i) {
+            None => break,
+            Some(b',') => i += 1,
+            Some(&c) => {
+                return Err(format!(
+                    "expected `,` between labels, found `{}`",
+                    c as char
+                ))
+            }
+        }
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_well_formed_exposition() {
+        let text = "\
+# HELP kpj_up Whether the server is up.
+# TYPE kpj_up gauge
+kpj_up 1
+# TYPE kpj_events_total counter
+kpj_events_total{event=\"queries\"} 41
+kpj_events_total{event=\"rejects\"} 0
+# TYPE kpj_latency_seconds histogram
+kpj_latency_seconds_bucket{le=\"0.001\"} 3
+kpj_latency_seconds_bucket{le=\"+Inf\"} 5
+kpj_latency_seconds_sum 0.0123
+kpj_latency_seconds_count 5
+";
+        assert_eq!(lint(text), Ok(()));
+    }
+
+    #[test]
+    fn rejects_sample_without_type() {
+        let err = lint("kpj_orphan 1\n").unwrap_err();
+        assert!(err.contains("no preceding # TYPE"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_series_and_duplicate_type() {
+        let dup_series = "\
+# TYPE m gauge
+m{a=\"1\"} 1
+m{a=\"1\"} 2
+";
+        assert!(lint(dup_series).unwrap_err().contains("duplicate series"));
+        // Label order must not hide the duplicate.
+        let reordered = "\
+# TYPE m gauge
+m{a=\"1\",b=\"2\"} 1
+m{b=\"2\",a=\"1\"} 2
+";
+        assert!(lint(reordered).unwrap_err().contains("duplicate series"));
+        let dup_type = "# TYPE m gauge\n# TYPE m counter\nm 1\n";
+        assert!(lint(dup_type).unwrap_err().contains("duplicate # TYPE"));
+    }
+
+    #[test]
+    fn rejects_bad_escapes_and_bad_values() {
+        let bad_escape = "# TYPE m gauge\nm{a=\"x\\q\"} 1\n";
+        assert!(lint(bad_escape).unwrap_err().contains("illegal escape"));
+        let good_escape = "# TYPE m gauge\nm{a=\"x\\\\y\\\"z\\n\"} 1\n";
+        assert_eq!(lint(good_escape), Ok(()));
+        let bad_value = "# TYPE m gauge\nm nope\n";
+        assert!(lint(bad_value).unwrap_err().contains("non-numeric"));
+        let unquoted = "# TYPE m gauge\nm{a=1} 1\n";
+        assert!(lint(unquoted).unwrap_err().contains("not quoted"));
+        let bad_name = "# TYPE m gauge\n9m 1\n";
+        assert!(lint(bad_name).unwrap_err().contains("bad metric name"));
+    }
+
+    #[test]
+    fn histogram_suffixes_require_a_histogram_family() {
+        // _bucket on a *gauge* family is not a histogram sample.
+        let fake_hist = "# TYPE m gauge\nm_bucket{le=\"1\"} 1\n";
+        assert!(lint(fake_hist).unwrap_err().contains("no preceding # TYPE"));
+    }
+
+    #[test]
+    fn tolerates_timestamps_and_comments() {
+        let text = "# just a comment\n# TYPE m gauge\nm{a=\"1\"} 3.5 1712345678\n";
+        assert_eq!(lint(text), Ok(()));
+        let garbage = "# TYPE m gauge\nm 1 2 3\n";
+        assert!(lint(garbage).unwrap_err().contains("trailing garbage"));
+    }
+}

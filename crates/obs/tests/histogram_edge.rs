@@ -1,0 +1,83 @@
+//! Histogram edge cases: empty quantiles, single-observation quantiles,
+//! and saturation at the top bucket. The monitoring plane leans on these
+//! behaviors — `quantile_us` feeding dashboards must clamp outliers into
+//! the last bucket rather than panic, wrap, or walk off the table.
+
+use kpj_obs::Histogram;
+
+/// Exclusive upper edge of the last log-linear bucket (major 31, minor
+/// 15): `(16 << 31) + 16 * ((16 << 31) / 16)` = 2^36 µs ≈ 19 hours.
+const TOP_EDGE_US: u64 = 1 << 36;
+
+#[test]
+fn empty_histogram_has_no_quantiles() {
+    let h = Histogram::default();
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(h.quantile_us(q), None, "q={q}");
+    }
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.mean_us(), 0, "mean of nothing is 0, not a div-by-zero");
+    assert_eq!(h.max_us(), 0);
+    assert_eq!(h.count_le_us(u64::MAX), 0);
+}
+
+#[test]
+fn single_observation_defines_every_quantile() {
+    let h = Histogram::default();
+    h.record_us(7);
+    // With one observation every quantile lands in its bucket; linear
+    // buckets below 16 µs are exact-width-1, so the upper edge is 8.
+    for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+        assert_eq!(h.quantile_us(q), Some(8), "q={q}");
+    }
+    assert_eq!(h.count(), 1);
+    assert_eq!(h.mean_us(), 7);
+    assert_eq!(h.max_us(), 7);
+    // Out-of-range q is clamped, not rejected.
+    assert_eq!(h.quantile_us(-3.0), Some(8));
+    assert_eq!(h.quantile_us(42.0), Some(8));
+}
+
+#[test]
+fn zero_microseconds_is_a_real_observation() {
+    let h = Histogram::default();
+    h.record_us(0);
+    assert_eq!(h.count(), 1);
+    assert_eq!(h.quantile_us(0.5), Some(1), "bucket 0 has upper edge 1");
+    assert_eq!(h.count_le_us(0), 1);
+}
+
+#[test]
+fn extreme_values_saturate_into_the_top_bucket() {
+    let h = Histogram::default();
+    // Values far beyond the top edge must clamp into the last bucket —
+    // no panic, no index wrap, and the observation is still counted.
+    for v in [TOP_EDGE_US, TOP_EDGE_US + 1, u64::MAX / 2, u64::MAX] {
+        h.record_us(v);
+    }
+    assert_eq!(h.count(), 4);
+    assert_eq!(h.max_us(), u64::MAX);
+    // Every quantile is reported at the top bucket's finite upper edge —
+    // clamped, not echoing the raw u64::MAX outlier.
+    for q in [0.01, 0.5, 1.0] {
+        assert_eq!(h.quantile_us(q), Some(TOP_EDGE_US), "q={q}");
+    }
+    // The cumulative view remains complete and monotone.
+    assert_eq!(h.count_le_us(u64::MAX), 4);
+    assert!(h.count_le_us(TOP_EDGE_US) <= h.count_le_us(u64::MAX));
+}
+
+#[test]
+fn saturated_tail_does_not_skew_lower_quantiles() {
+    let h = Histogram::default();
+    for _ in 0..99 {
+        h.record_us(10);
+    }
+    h.record_us(u64::MAX);
+    assert_eq!(h.count(), 100);
+    // p50 stays in the 10 µs bucket; only the extreme tail sees the
+    // clamped top bucket.
+    assert_eq!(h.quantile_us(0.50), Some(11));
+    assert_eq!(h.quantile_us(0.99), Some(11));
+    assert_eq!(h.quantile_us(1.0), Some(TOP_EDGE_US));
+}

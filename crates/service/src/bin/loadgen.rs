@@ -52,6 +52,9 @@ OPTIONS:
                          interleaved with the queries   [default: 0]
                          (needs the regenerated graph: not valid with
                          --node-count)
+    --out <FILE>         also write the run summary as JSON to FILE
+                         (machine-readable: counts, status table,
+                         throughput, client/server latency quantiles)
 
 Reports client-side (round-trip) and server-side (`server_us`) latency
 side by side (update responses carry no `server_us`; they are counted
@@ -73,6 +76,7 @@ struct Opts {
     timeout_ms: Option<u64>,
     unique: bool,
     update_rate: usize,
+    out: Option<String>,
 }
 
 fn parse_opts() -> Result<Opts, String> {
@@ -90,6 +94,7 @@ fn parse_opts() -> Result<Opts, String> {
         timeout_ms: None,
         unique: false,
         update_rate: 0,
+        out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -120,6 +125,7 @@ fn parse_opts() -> Result<Opts, String> {
                     return Err("--update-rate: percentage must be 0..=100".into());
                 }
             }
+            "--out" => opts.out = Some(value("--out")?),
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -439,6 +445,55 @@ fn main() -> ExitCode {
     }
     if let Some(metrics) = fetch_server_metrics(&opts.addr) {
         println!("server: {metrics}");
+    }
+
+    // --out: the same summary, machine-readable. CI greps this instead of
+    // scraping the human table; the exit code is unaffected by the write
+    // target existing or not — only by the run itself (below).
+    if let Some(path) = &opts.out {
+        let quantiles = |l: &[u64]| {
+            Json::Obj(vec![
+                ("p50".to_string(), Json::from(quantile(l, 0.50))),
+                ("p90".to_string(), Json::from(quantile(l, 0.90))),
+                ("p99".to_string(), Json::from(quantile(l, 0.99))),
+                (
+                    "max".to_string(),
+                    Json::from(l.last().copied().unwrap_or(0)),
+                ),
+            ])
+        };
+        let status = Json::Obj(
+            by_status
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::from(*v)))
+                .collect(),
+        );
+        let report = Json::Obj(vec![
+            ("sent".to_string(), Json::from(opts.requests)),
+            ("completed".to_string(), Json::from(samples.len())),
+            ("ok".to_string(), Json::from(ok)),
+            ("failed_connections".to_string(), Json::from(io_errors)),
+            ("malformed".to_string(), Json::from(malformed)),
+            ("wall_s".to_string(), Json::from(secs)),
+            (
+                "throughput_rps".to_string(),
+                Json::from(if secs > 0.0 {
+                    samples.len() as f64 / secs
+                } else {
+                    0.0
+                }),
+            ),
+            ("status".to_string(), status),
+            ("client_us".to_string(), quantiles(&latencies)),
+            ("server_us".to_string(), quantiles(&server_latencies)),
+        ]);
+        match std::fs::write(path, format!("{report}\n")) {
+            Ok(()) => eprintln!("report written to {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     if malformed > 0 {

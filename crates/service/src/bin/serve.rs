@@ -57,6 +57,7 @@ PROTOCOL (one JSON object per line, `id` echoed back, `cmd` = `op`):
     {\"id\":2,\"op\":\"query\",\"algorithm\":\"iterboundi\",\"sources\":[17],
      \"targets\":[100,2500],\"k\":20,\"timeout_ms\":250,\"paths\":false}
     {\"cmd\":\"metrics\"}    (JSON counters + a `prometheus` text block)
+    {\"id\":5,\"op\":\"status\"}   (live gauges + event-journal tail; `kpj-cli top` renders it)
 ";
 
 struct Opts {
@@ -134,6 +135,9 @@ type GraphParts = (
     Option<Arc<LandmarkIndex>>,
     Option<NodeRemap>,
     Option<Reduction>,
+    // Bytes of the graph file held by mmap (0 when heap-loaded) — feeds
+    // the `mmap_bytes` gauge.
+    u64,
 );
 
 /// Open `--graph-bin` (v2 = zero-copy mmap with embedded sidecars, v1 =
@@ -145,7 +149,7 @@ fn load_graph(opts: &Opts) -> Result<GraphParts, String> {
             opts.nodes, opts.arcs, opts.seed
         );
         let graph = Arc::new(RoadConfig::new(opts.nodes, opts.arcs, opts.seed).generate());
-        return Ok((graph, None, None, None));
+        return Ok((graph, None, None, None, 0));
     };
     let started = Instant::now();
     let bundle = kpj_store::open_any(std::path::Path::new(path))
@@ -176,11 +180,17 @@ fn load_graph(opts: &Opts) -> Result<GraphParts, String> {
             ""
         },
     );
+    let mmap_bytes = if bundle.is_mapped() {
+        std::fs::metadata(path).map_or(0, |m| m.len())
+    } else {
+        0
+    };
     Ok((
         Arc::new(bundle.graph),
         bundle.landmarks.map(Arc::new),
         bundle.remap,
         bundle.reduction,
+        mmap_bytes,
     ))
 }
 
@@ -193,7 +203,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let (graph, mut landmarks, remap, reduction) = match load_graph(&opts) {
+    let (graph, mut landmarks, remap, reduction, mmap_bytes) = match load_graph(&opts) {
         Ok(parts) => parts,
         Err(e) => {
             eprintln!("error: {e}");
@@ -235,6 +245,10 @@ fn main() -> ExitCode {
         eprintln!("graph is locality-reordered; translating node ids at the wire");
         service.set_remap(Arc::new(remap));
     }
+    service
+        .metrics()
+        .gauges()
+        .set(kpj_service::gauge::MMAP_BYTES, mmap_bytes as i64);
     let service = Arc::new(service);
     if let Some(ms) = opts.slow_ms {
         eprintln!(

@@ -29,6 +29,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use kpj_core::Algorithm;
 use kpj_graph::NodeId;
 
+use crate::metrics::{gauge, Metrics};
 use crate::service::Answer;
 use crate::ServiceError;
 
@@ -193,6 +194,9 @@ impl Drop for InFlight {
 struct CacheInner {
     shards: Vec<Mutex<Shard>>,
     capacity_per_shard: usize,
+    /// Gauge sink for eviction accounting (`cache_evictions` only ever
+    /// climbs, making the gauge a cumulative counter with a peak mirror).
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl CacheInner {
@@ -255,7 +259,12 @@ impl CacheInner {
                 .min_by_key(|(stamp, _)| *stamp)
                 .map(|(_, k)| k);
             match victim {
-                Some(k) => shard.map.remove(&k),
+                Some(k) => {
+                    shard.map.remove(&k);
+                    if let Some(metrics) = &self.metrics {
+                        metrics.gauges().add(gauge::CACHE_EVICTIONS, 1);
+                    }
+                }
                 None => break,
             };
         }
@@ -271,6 +280,12 @@ impl ResultCache {
     /// A cache holding up to ~`capacity` completed results (rounded up
     /// to a multiple of the shard count).
     pub fn new(capacity: usize) -> ResultCache {
+        ResultCache::with_metrics(capacity, None)
+    }
+
+    /// [`new`](ResultCache::new) with a gauge sink for eviction
+    /// accounting.
+    pub fn with_metrics(capacity: usize, metrics: Option<Arc<Metrics>>) -> ResultCache {
         let capacity_per_shard = capacity.div_ceil(SHARDS).max(1);
         ResultCache {
             inner: Arc::new(CacheInner {
@@ -283,6 +298,7 @@ impl ResultCache {
                     })
                     .collect(),
                 capacity_per_shard,
+                metrics,
             }),
         }
     }
@@ -357,6 +373,25 @@ impl ResultCache {
     /// True when no completed entries are cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Per-shard `(ready, pending)` slot counts, in shard order. One
+    /// consistent read per shard (not across shards), which is exactly
+    /// the fidelity a live dashboard needs.
+    pub fn occupancy(&self) -> Vec<(usize, usize)> {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().unwrap();
+                let ready = shard
+                    .map
+                    .values()
+                    .filter(|slot| matches!(slot, Slot::Ready { .. }))
+                    .count();
+                (ready, shard.map.len() - ready)
+            })
+            .collect()
     }
 }
 

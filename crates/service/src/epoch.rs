@@ -18,7 +18,8 @@
 //! construction, not by invalidation racing the swap (see DESIGN.md §14).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::{Duration, Instant};
 
 use kpj_graph::{Graph, Reduction};
 use kpj_landmark::LandmarkIndex;
@@ -40,6 +41,10 @@ pub struct GraphEpoch {
     /// Live-epoch gauge shared with the [`EpochCell`]; decremented on
     /// drop so tests and metrics can watch retirement happen.
     live: Arc<AtomicUsize>,
+    /// Stamped (once, by the publisher, inside the swap's write lock)
+    /// the moment a newer epoch replaced this one. Lets idle workers
+    /// report how long a superseded graph lingered before they shed it.
+    superseded: OnceLock<Instant>,
 }
 
 impl GraphEpoch {
@@ -59,6 +64,7 @@ impl GraphEpoch {
             reduction,
             touched_edges,
             live,
+            superseded: OnceLock::new(),
         })
     }
 
@@ -86,6 +92,14 @@ impl GraphEpoch {
     /// Distinct edges changed relative to the previous epoch.
     pub fn touched_edges(&self) -> usize {
         self.touched_edges
+    }
+
+    /// Time since a newer epoch replaced this one, or `None` while it is
+    /// still current. The publisher stamps the outgoing epoch inside the
+    /// swap, so "how stale is the graph I'm about to shed?" is answerable
+    /// without any clock reads on the query path.
+    pub fn superseded_elapsed(&self) -> Option<Duration> {
+        self.superseded.get().map(Instant::elapsed)
     }
 }
 
@@ -169,6 +183,7 @@ impl EpochCell {
             touched_edges,
             Arc::clone(&self.live),
         );
+        let _ = current.superseded.set(Instant::now());
         *current = Arc::clone(&next);
         next
     }
@@ -191,6 +206,7 @@ impl EpochCell {
             touched_edges,
             Arc::clone(&self.live),
         );
+        let _ = current.superseded.set(Instant::now());
         *current = Arc::clone(&next);
         next
     }

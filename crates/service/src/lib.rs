@@ -8,7 +8,7 @@
 //! | [`pool`] | [`EnginePool`]: N worker threads, each owning a private [`kpj_core::QueryEngine`], fed from a bounded queue with reject-on-full admission control |
 //! | [`cache`] | [`ResultCache`]: sharded LRU over completed results with single-flight deduplication of concurrent identical queries |
 //! | [`service`] | [`KpjService`]: cache → pool → deadline → metrics composition, the one call-site the front-ends share |
-//! | [`metrics`] | [`Metrics`]: atomic counters, per-(algorithm, stage) latency histograms in a [`kpj_obs::StageRegistry`], per-algorithm engine [`kpj_core::QueryStats`] counters, Prometheus text exposition |
+//! | [`metrics`] | [`Metrics`]: atomic counters, per-(algorithm, stage) latency histograms in a [`kpj_obs::StageRegistry`], per-algorithm engine [`kpj_core::QueryStats`] counters, the system-state [`kpj_obs::GaugeSet`] + structured [`kpj_obs::EventJournal`], Prometheus text exposition |
 //! | [`flight`] | [`FlightRecorder`]: dumps queries slower than a threshold as replayable `.kpjcase` files with their span traces |
 //! | [`wire`] | the newline-delimited JSON protocol (pure string → string) |
 //! | [`server`] | the blocking TCP front-end (`kpj-serve` binary) |
@@ -59,7 +59,10 @@ pub mod wire;
 pub use cache::{CacheKey, InFlight, Lookup, ResultCache, SharedFlight};
 pub use epoch::{EpochCell, GraphEpoch};
 pub use flight::FlightRecorder;
-pub use metrics::{algorithm_index, Histogram, Metrics, MetricsSnapshot};
+pub use metrics::{
+    algorithm_index, event, gauge, Histogram, Metrics, MetricsSnapshot, EVENT_KINDS, GAUGE_NAMES,
+    JOURNAL_CAPACITY, SLOW_SHED_US,
+};
 pub use pool::{
     par_grant, resolve_workers, EnginePool, JobHandle, PoolConfig, PoolHooks, QueryRequest,
 };

@@ -8,11 +8,11 @@
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use kpj_core::{Algorithm, QueryStats};
 pub use kpj_obs::Histogram;
-use kpj_obs::{Stage, StageRegistry};
+use kpj_obs::{EventJournal, EventKind, GaugeSet, Stage, StageRegistry, MAX_EVENT_ARGS};
 
 /// Indices into [`QueryStats::FIELD_NAMES`] for the counters surfaced in
 /// [`MetricsSnapshot`]. Kept next to a compile-time length check so a
@@ -33,6 +33,122 @@ mod field {
 const _: () = {
     assert!(QueryStats::FIELD_NAMES.len() == 15);
 };
+
+/// Indices into the service's [`GaugeSet`] — the system-state gauges
+/// threaded through the epoch lifecycle, pool admission, cache shards
+/// and storage layer. Kept in one table (next to [`GAUGE_NAMES`]) so a
+/// hot-path gauge update is a single indexed atomic store.
+pub mod gauge {
+    /// Epochs not yet retired (1 when idle).
+    pub const LIVE_EPOCHS: usize = 0;
+    /// Id of the currently serving epoch.
+    pub const EPOCH_ID: usize = 1;
+    /// Queries currently pinning the serving epoch (sampled).
+    pub const EPOCH_PINS: usize = 2;
+    /// How long the most recent epoch shed lagged its supersession, µs
+    /// (the peak is the worst shed latency seen).
+    pub const SHED_WAIT_US: usize = 3;
+    /// Update batches waiting for or holding the updater lock.
+    pub const REPAIR_QUEUE: usize = 4;
+    /// Jobs sitting in the admission queue right now.
+    pub const QUEUE_DEPTH: usize = 5;
+    /// Workers currently executing a query.
+    pub const BUSY_WORKERS: usize = 6;
+    /// Intra-query parallel threads granted and outstanding.
+    pub const PAR_GRANTS: usize = 7;
+    /// Completed entries resident across all cache shards (sampled).
+    pub const CACHE_ENTRIES: usize = 8;
+    /// Single-flight slots other requests may be waiting on (sampled).
+    pub const CACHE_WAITERS: usize = 9;
+    /// Ready entries evicted by LRU pressure (monotone).
+    pub const CACHE_EVICTIONS: usize = 10;
+    /// Bytes served zero-copy from an mmap'd store file (0 = heap).
+    pub const MMAP_BYTES: usize = 11;
+    /// Interior nodes re-expanded into the last query's answer paths
+    /// (the peak is the heaviest expansion seen). 0 without a reduction.
+    pub const EXPAND_HOPS: usize = 12;
+    /// Number of gauges.
+    pub const COUNT: usize = 13;
+}
+
+/// Gauge names, indexed by the [`gauge`] constants.
+pub const GAUGE_NAMES: [&str; gauge::COUNT] = [
+    "live_epochs",
+    "epoch_id",
+    "epoch_pins",
+    "shed_wait_us",
+    "repair_queue",
+    "queue_depth",
+    "busy_workers",
+    "par_grants",
+    "cache_entries",
+    "cache_waiters",
+    "cache_evictions",
+    "mmap_bytes",
+    "expand_hops",
+];
+
+/// Kind ids for the service's [`EventJournal`] taxonomy. Argument
+/// meanings live in [`EVENT_KINDS`]; both tables are index-aligned.
+pub mod event {
+    /// A weight-update batch published a new epoch:
+    /// `{epoch, changed, affected_nodes, cache_purged}`.
+    pub const EPOCH_PUBLISHED: u16 = 0;
+    /// Timing breakdown of the same batch:
+    /// `{epoch, translate_us, repair_us, purge_us}`.
+    pub const UPDATE_APPLIED: u16 = 1;
+    /// An idle worker dropped a superseded epoch: `{epoch, wait_us}`.
+    pub const EPOCH_SHED: u16 = 2;
+    /// A shed lagged its supersession past the slow threshold:
+    /// `{epoch, wait_us}`.
+    pub const SLOW_SHED: u16 = 3;
+    /// Admission control rejected a request: `{queue_depth, capacity}`.
+    pub const ADMISSION_REJECT: u16 = 4;
+    /// A query failed its deadline: `{algorithm, k, timeout_ms}`.
+    pub const DEADLINE_EXPIRED: u16 = 5;
+    /// The flight recorder dumped a slow query:
+    /// `{algorithm, exec_us, written_total}`.
+    pub const FLIGHT_DUMP: u16 = 6;
+}
+
+/// The service's event schema, indexed by the [`event`] constants.
+pub const EVENT_KINDS: [EventKind; 7] = [
+    EventKind {
+        name: "epoch_published",
+        fields: ["epoch", "changed", "affected_nodes", "cache_purged"],
+    },
+    EventKind {
+        name: "update_applied",
+        fields: ["epoch", "translate_us", "repair_us", "purge_us"],
+    },
+    EventKind {
+        name: "epoch_shed",
+        fields: ["epoch", "wait_us", "", ""],
+    },
+    EventKind {
+        name: "slow_shed",
+        fields: ["epoch", "wait_us", "", ""],
+    },
+    EventKind {
+        name: "admission_reject",
+        fields: ["queue_depth", "capacity", "", ""],
+    },
+    EventKind {
+        name: "deadline_expired",
+        fields: ["algorithm", "k", "timeout_ms", ""],
+    },
+    EventKind {
+        name: "flight_dump",
+        fields: ["algorithm", "exec_us", "written_total", ""],
+    },
+];
+
+/// Events retained by the in-memory journal before overwrite.
+pub const JOURNAL_CAPACITY: usize = 256;
+
+/// Sheds lagging their supersession by more than this are journalled as
+/// [`event::SLOW_SHED`] — an idle worker kept a retired graph alive.
+pub const SLOW_SHED_US: u64 = 100_000;
 
 /// Dense index of an algorithm in [`Algorithm::ALL`] — the row index of
 /// its registry cells.
@@ -64,6 +180,16 @@ pub struct Metrics {
     repair: Histogram,
     /// Per-(algorithm, stage) histograms + per-algorithm work counters.
     registry: StageRegistry,
+    /// System-state gauges ([`gauge`] indices).
+    gauges: GaugeSet,
+    /// Structured event ring ([`event`] kinds).
+    journal: EventJournal,
+    /// Construction instant — the monotonic base for `uptime_s`, so
+    /// scrapers can detect a restart between scrapes.
+    started: Instant,
+    /// Bumped per [`snapshot`](Metrics::snapshot), so two snapshots with
+    /// identical counters are still distinguishable.
+    snapshot_seq: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -93,7 +219,33 @@ impl Metrics {
                 Algorithm::ALL.iter().map(|a| a.name()).collect(),
                 QueryStats::FIELD_NAMES.to_vec(),
             ),
+            gauges: GaugeSet::new(GAUGE_NAMES.to_vec()),
+            journal: EventJournal::new(JOURNAL_CAPACITY, EVENT_KINDS.to_vec()),
+            started: Instant::now(),
+            snapshot_seq: AtomicU64::new(0),
         }
+    }
+
+    /// The system-state gauges (see the [`gauge`] index constants).
+    pub fn gauges(&self) -> &GaugeSet {
+        &self.gauges
+    }
+
+    /// The structured event journal (see the [`event`] kind constants).
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
+    }
+
+    /// Record one structured event. Allocation-free — safe anywhere on
+    /// the hot path.
+    pub fn record_event(&self, kind: u16, args: [u64; MAX_EVENT_ARGS]) {
+        self.journal.record(kind, args);
+    }
+
+    /// Whole seconds since this registry (in practice: the server) was
+    /// constructed.
+    pub fn uptime_s(&self) -> u64 {
+        self.started.elapsed().as_secs()
     }
 
     /// The per-(algorithm, stage) registry.
@@ -208,6 +360,38 @@ impl Metrics {
         ] {
             let _ = writeln!(out, "kpj_landmark_repair_us{{stat=\"{stat}\"}} {value}");
         }
+        out.push_str(
+            "# HELP kpj_uptime_seconds Seconds since the server started; a reset means a restart.\n\
+             # TYPE kpj_uptime_seconds gauge\n",
+        );
+        let _ = writeln!(out, "kpj_uptime_seconds {}", self.uptime_s());
+        out.push_str(
+            "# HELP kpj_snapshot_seq Snapshots taken since start; resets with the process.\n\
+             # TYPE kpj_snapshot_seq counter\n",
+        );
+        let _ = writeln!(
+            out,
+            "kpj_snapshot_seq {}",
+            self.snapshot_seq.load(Ordering::Relaxed)
+        );
+        self.gauges.render_prometheus(
+            "kpj_system_gauge",
+            "Live system state (current value and high-water mark per gauge).",
+            out,
+        );
+        out.push_str(
+            "# HELP kpj_journal_events_total Structured events recorded to / dropped from the in-memory journal.\n\
+             # TYPE kpj_journal_events_total counter\n",
+        );
+        for (outcome, value) in [
+            ("recorded", self.journal.recorded()),
+            ("dropped", self.journal.dropped()),
+        ] {
+            let _ = writeln!(
+                out,
+                "kpj_journal_events_total{{outcome=\"{outcome}\"}} {value}"
+            );
+        }
     }
 
     /// Take a point-in-time snapshot. Counters are read individually with
@@ -215,6 +399,8 @@ impl Metrics {
     /// fine for monitoring. Work counters are summed across algorithms.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
+            uptime_s: self.uptime_s(),
+            snapshot_seq: self.snapshot_seq.fetch_add(1, Ordering::Relaxed) + 1,
             queries: self.queries.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -249,6 +435,14 @@ impl Metrics {
 /// Point-in-time copy of every served metric.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
+    /// Whole seconds the server has been up. Monotonic per process: a
+    /// scraper seeing this shrink knows the server restarted (and every
+    /// counter below reset) between scrapes.
+    pub uptime_s: u64,
+    /// 1-based sequence number of this snapshot. Also resets with the
+    /// process, so `(uptime_s, snapshot_seq)` orders snapshots across
+    /// restarts where raw counters would silently rewind.
+    pub snapshot_seq: u64,
     /// Queries that ran to completion (including engine failures).
     pub queries: u64,
     /// Completed queries that returned an error.
@@ -307,6 +501,11 @@ pub struct MetricsSnapshot {
 
 impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "uptime_s={} snapshot_seq={}",
+            self.uptime_s, self.snapshot_seq
+        )?;
         writeln!(
             f,
             "queries={} failures={} rejected={} deadline_exceeded={}",

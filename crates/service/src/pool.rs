@@ -41,7 +41,7 @@ use kpj_obs::Stage;
 
 use crate::epoch::{EpochCell, GraphEpoch};
 use crate::flight::FlightRecorder;
-use crate::metrics::{algorithm_index, Metrics};
+use crate::metrics::{algorithm_index, event, gauge, Metrics, SLOW_SHED_US};
 use crate::ServiceError;
 
 /// One KPJ query as submitted to the pool.
@@ -249,8 +249,22 @@ struct Shared {
     capacity: usize,
     executed: AtomicU64,
     /// Workers currently executing a job — the load signal behind the
-    /// adaptive intra-query grant ([`par_grant`]).
+    /// adaptive intra-query grant ([`par_grant`]) and the
+    /// `busy_workers` gauge.
     busy: AtomicUsize,
+    /// Mirror of [`PoolHooks::metrics`], reachable from the pop sites so
+    /// the `queue_depth` gauge tracks both ends of the queue.
+    metrics: Option<Arc<Metrics>>,
+}
+
+impl Shared {
+    /// Mirror the queue depth into the gauge layer. Callers hold the
+    /// queue lock, so the gauge moves monotonically with the queue.
+    fn note_queue_depth(&self, depth: usize) {
+        if let Some(metrics) = &self.metrics {
+            metrics.gauges().set(gauge::QUEUE_DEPTH, depth as i64);
+        }
+    }
 }
 
 /// The worker pool. Dropping it drains the queue (already-admitted
@@ -305,6 +319,7 @@ impl EnginePool {
             capacity: config.queue_capacity.max(1),
             executed: AtomicU64::new(0),
             busy: AtomicUsize::new(0),
+            metrics: hooks.metrics.clone(),
         });
         let par_threads_max = config.par_threads_max;
         let workers = (0..worker_count)
@@ -337,6 +352,21 @@ impl EnginePool {
     /// single-flight deduplication reached the pool exactly once.
     pub fn executed(&self) -> u64 {
         self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs admitted but not yet popped by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().unwrap().jobs.len()
+    }
+
+    /// Queued-request limit behind admission control.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Workers currently executing a job.
+    pub fn busy(&self) -> usize {
+        self.shared.busy.load(Ordering::Relaxed)
     }
 
     /// The epoch cell: pin for admission, inspect for liveness.
@@ -397,6 +427,12 @@ impl EnginePool {
                 return Err(ServiceError::ShuttingDown);
             }
             if state.jobs.len() >= self.shared.capacity {
+                if let Some(metrics) = &self.shared.metrics {
+                    metrics.record_event(
+                        event::ADMISSION_REJECT,
+                        [state.jobs.len() as u64, self.shared.capacity as u64, 0, 0],
+                    );
+                }
                 return Err(ServiceError::Overloaded);
             }
             state.jobs.push_back(Job {
@@ -405,6 +441,7 @@ impl EnginePool {
                 submitted: Instant::now(),
                 epoch,
             });
+            self.shared.note_queue_depth(state.jobs.len());
         }
         self.shared.not_empty.notify_one();
         Ok(JobHandle { slot })
@@ -450,9 +487,11 @@ fn build_engine<'g>(
 /// registry, then hand a genuinely slow query to the flight recorder.
 /// Runs *before* the reply slot fills so that by the time a caller
 /// observes the answer, its metrics and any flight record exist.
+#[allow(clippy::too_many_arguments)]
 fn observe_query(
     engine: &QueryEngine<'_>,
     graph: &Graph,
+    reduction: Option<&Reduction>,
     hooks: &PoolHooks,
     request: &QueryRequest,
     queue_wait: Duration,
@@ -468,11 +507,54 @@ fn observe_query(
             registry.record_ns(alg, span.stage, span.dur_ns);
         }
         metrics.absorb_stats(request.algorithm, &result.stats);
+        if let Some(red) = reduction {
+            // Interior nodes can only appear in an answer via chain
+            // re-expansion, so counting them measures how much of the
+            // reduced-away graph this query's paths passed through.
+            let hops: usize = result
+                .paths
+                .iter()
+                .map(|p| p.nodes.iter().filter(|&&n| red.is_interior(n)).count())
+                .sum();
+            metrics.gauges().set(gauge::EXPAND_HOPS, hops as i64);
+        }
     }
     if let Some(flight) = &hooks.flight {
         if exec >= flight.threshold() {
+            let before = flight.written();
             flight.maybe_record(graph, request, exec, engine.trace_spans(), result);
+            if flight.written() > before {
+                if let Some(metrics) = &hooks.metrics {
+                    metrics.record_event(
+                        event::FLIGHT_DUMP,
+                        [
+                            algorithm_index(request.algorithm) as u64,
+                            exec.as_micros() as u64,
+                            flight.written(),
+                            0,
+                        ],
+                    );
+                }
+            }
         }
+    }
+}
+
+/// Record a worker shedding a superseded epoch: the `shed_wait_us` gauge
+/// tracks how long the retired graph lingered after being replaced, and
+/// sheds that out-stay [`SLOW_SHED_US`] earn an extra `slow_shed` event —
+/// the signal that idle workers are holding memory hostage.
+fn note_shed(hooks: &PoolHooks, epoch: &GraphEpoch) {
+    let Some(metrics) = &hooks.metrics else {
+        return;
+    };
+    let wait_us = epoch
+        .superseded_elapsed()
+        .map_or(0, |d| d.as_micros() as u64);
+    metrics.gauges().set(gauge::SHED_WAIT_US, wait_us as i64);
+    metrics.record_event(event::EPOCH_SHED, [epoch.id(), wait_us, 0, 0]);
+    if wait_us > SLOW_SHED_US {
+        metrics.record_event(event::SLOW_SHED, [epoch.id(), wait_us, 0, 0]);
     }
 }
 
@@ -481,6 +563,7 @@ fn pop_job(shared: &Shared) -> Option<Job> {
     let mut state = shared.state.lock().unwrap();
     loop {
         if let Some(job) = state.jobs.pop_front() {
+            shared.note_queue_depth(state.jobs.len());
             return Some(job);
         }
         if state.closed {
@@ -509,6 +592,7 @@ fn next_job(shared: &Shared, epochs: &EpochCell, held: &GraphEpoch) -> Next {
     let mut state = shared.state.lock().unwrap();
     loop {
         if let Some(job) = state.jobs.pop_front() {
+            shared.note_queue_depth(state.jobs.len());
             return Next::Job(job);
         }
         if state.closed {
@@ -552,14 +636,16 @@ fn worker_loop(
             // gets an answer.
             let guard = SlotGuard(Arc::clone(&job.slot));
             let r = &job.request;
+            let busy = shared.busy.fetch_add(1, Ordering::Relaxed) + 1;
+            let grant = par_grant(worker_count, busy, par_threads_max, r.timeout_ms.is_some());
             if par_threads_max >= 2 {
-                let busy = shared.busy.fetch_add(1, Ordering::Relaxed) + 1;
-                engine.set_par_threads(par_grant(
-                    worker_count,
-                    busy,
-                    par_threads_max,
-                    r.timeout_ms.is_some(),
-                ));
+                engine.set_par_threads(grant);
+            }
+            if let Some(metrics) = &hooks.metrics {
+                metrics.gauges().add(gauge::BUSY_WORKERS, 1);
+                if grant >= 2 {
+                    metrics.gauges().add(gauge::PAR_GRANTS, grant as i64);
+                }
             }
             let started = Instant::now();
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -580,6 +666,7 @@ fn worker_loop(
                     observe_query(
                         &engine,
                         graph,
+                        reduction,
                         hooks,
                         r,
                         queue_wait,
@@ -589,8 +676,12 @@ fn worker_loop(
                 }
                 result
             }));
-            if par_threads_max >= 2 {
-                shared.busy.fetch_sub(1, Ordering::Relaxed);
+            shared.busy.fetch_sub(1, Ordering::Relaxed);
+            if let Some(metrics) = &hooks.metrics {
+                metrics.gauges().add(gauge::BUSY_WORKERS, -1);
+                if grant >= 2 {
+                    metrics.gauges().add(gauge::PAR_GRANTS, -(grant as i64));
+                }
             }
             match outcome {
                 Ok(result) => job.slot.fill(result.map_err(ServiceError::Query)),
@@ -617,7 +708,10 @@ fn worker_loop(
                         continue 'epoch;
                     }
                 }
-                Next::Shed => continue 'epoch,
+                Next::Shed => {
+                    note_shed(hooks, &epoch);
+                    continue 'epoch;
+                }
                 Next::Closed => return,
             };
         }

@@ -15,7 +15,7 @@ use kpj_obs::Stage;
 use crate::cache::{CacheKey, Lookup, ResultCache};
 use crate::epoch::GraphEpoch;
 use crate::flight::FlightRecorder;
-use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::metrics::{algorithm_index, event, gauge, Metrics, MetricsSnapshot};
 use crate::pool::{EnginePool, PoolConfig, PoolHooks, QueryRequest};
 use crate::ServiceError;
 
@@ -238,7 +238,9 @@ impl KpjService {
         };
         KpjService {
             pool: EnginePool::with_hooks_reduced(graph, landmarks, reduction, config.pool, hooks),
-            cache: (config.cache_capacity > 0).then(|| ResultCache::new(config.cache_capacity)),
+            cache: (config.cache_capacity > 0).then(|| {
+                ResultCache::with_metrics(config.cache_capacity, Some(Arc::clone(&metrics)))
+            }),
             metrics,
             flight,
             translation,
@@ -305,8 +307,13 @@ impl KpjService {
     /// A batch whose updates all match the current weights is a no-op:
     /// no epoch is published and the cache keeps its entries.
     pub fn apply_update(&self, updates: &[WeightUpdate]) -> Result<UpdateOutcome, ServiceError> {
+        // The repair-queue gauge counts batches waiting on or holding the
+        // updater lock; the guard keeps it balanced across every exit.
+        self.metrics.gauges().add(gauge::REPAIR_QUEUE, 1);
+        let _depth = RepairQueueGuard(&self.metrics);
         let _serial = self.updater.lock().unwrap();
         let base = self.pool.epochs().pin();
+        let translate_started = Instant::now();
         let translated: Vec<WeightUpdate>;
         // A reduced graph may need its expansion prefix sums replaced
         // (an update hit a contracted chain's interior).
@@ -355,6 +362,7 @@ impl KpjService {
                 &translated
             }
         };
+        let translate_us = translate_started.elapsed().as_micros() as u64;
         let (graph, deltas) = base
             .graph()
             .with_updated_weights(updates)
@@ -386,11 +394,31 @@ impl KpjService {
         };
         // Entries keyed to older epochs are already unreachable (the
         // epoch id is part of the cache key); reap them eagerly.
+        let purge_started = Instant::now();
         let cache_purged = self
             .cache
             .as_ref()
             .map_or(0, |cache| cache.purge_stale(epoch.id()));
+        let purge_us = purge_started.elapsed().as_micros() as u64;
         self.metrics.record_update(deltas.len() as u64, repair);
+        self.metrics.record_event(
+            event::EPOCH_PUBLISHED,
+            [
+                epoch.id(),
+                deltas.len() as u64,
+                affected_nodes,
+                cache_purged as u64,
+            ],
+        );
+        self.metrics.record_event(
+            event::UPDATE_APPLIED,
+            [
+                epoch.id(),
+                translate_us,
+                repair.as_micros() as u64,
+                purge_us,
+            ],
+        );
         Ok(UpdateOutcome {
             epoch: epoch.id(),
             changed: deltas.len(),
@@ -540,10 +568,60 @@ impl KpjService {
             Err(e) => {
                 if matches!(e, ServiceError::Query(QueryError::DeadlineExceeded)) {
                     self.metrics.record_deadline_exceeded();
+                    self.metrics.record_event(
+                        event::DEADLINE_EXPIRED,
+                        [
+                            algorithm_index(request.algorithm) as u64,
+                            request.k as u64,
+                            request.timeout_ms.unwrap_or(0),
+                            0,
+                        ],
+                    );
                 }
                 self.metrics.record_query(started.elapsed(), false, 0);
                 Err(e)
             }
         }
+    }
+
+    /// Sample the gauges that are cheaper to read than to maintain —
+    /// epoch lifecycle and cache occupancy. The wire layer calls this
+    /// before rendering a status snapshot or Prometheus exposition, so
+    /// pull-style scrapes always see fresh values without the query path
+    /// paying to keep them fresh.
+    pub fn refresh_gauges(&self) {
+        let gauges = self.metrics.gauges();
+        let epochs = self.pool.epochs();
+        gauges.set(gauge::LIVE_EPOCHS, epochs.live_epochs() as i64);
+        let pin = epochs.pin();
+        gauges.set(gauge::EPOCH_ID, pin.id() as i64);
+        // Everything holding the current epoch beyond the cell's own Arc
+        // and our probe pin is an admitted query or a worker engine.
+        let pins = Arc::strong_count(&pin).saturating_sub(2);
+        gauges.set(gauge::EPOCH_PINS, pins as i64);
+        drop(pin);
+        if let Some(cache) = &self.cache {
+            let occupancy = cache.occupancy();
+            let ready: usize = occupancy.iter().map(|&(r, _)| r).sum();
+            let pending: usize = occupancy.iter().map(|&(_, p)| p).sum();
+            gauges.set(gauge::CACHE_ENTRIES, ready as i64);
+            gauges.set(gauge::CACHE_WAITERS, pending as i64);
+        }
+        gauges.set(gauge::QUEUE_DEPTH, self.pool.queue_depth() as i64);
+    }
+
+    /// The result cache, when caching is enabled (exposed for the status
+    /// verb's per-shard occupancy detail).
+    pub fn cache(&self) -> Option<&ResultCache> {
+        self.cache.as_ref()
+    }
+}
+
+/// Balances the `repair_queue` gauge on every exit from `apply_update`.
+struct RepairQueueGuard<'a>(&'a Metrics);
+
+impl Drop for RepairQueueGuard<'_> {
+    fn drop(&mut self) {
+        self.0.gauges().add(gauge::REPAIR_QUEUE, -1);
     }
 }

@@ -1,7 +1,7 @@
 //! The newline-delimited JSON wire protocol.
 //!
 //! One request per line, one response line per request, `id` echoed
-//! verbatim so clients may pipeline. Four operations:
+//! verbatim so clients may pipeline. Five operations:
 //!
 //! ```text
 //! {"id":1,"op":"ping"}
@@ -9,12 +9,18 @@
 //!  "targets":[5,9],"k":20,"timeout_ms":250,"paths":true}
 //! {"id":3,"op":"metrics"}
 //! {"id":4,"op":"update","edges":[[0,1,50],[3,2,7]]}
+//! {"id":5,"op":"status"}
 //! ```
 //!
 //! `update` sets each `[from,to,weight]` edge to the given weight and
 //! publishes the batch as a new graph epoch — queries already admitted
 //! finish on the old weights; later ones see the new. The response
 //! reports `epoch`, `changed`, `repair_us`, and `affected_nodes`.
+//!
+//! `status` returns one JSON snapshot of live system state: every gauge
+//! (current value and high-water peak), epoch/pool/cache/storage detail,
+//! throughput and latency aggregates, and the structured event journal's
+//! tail — everything `kpj-cli top` renders, in one round trip.
 //!
 //! Responses carry `"ok":true` plus the payload, or `"ok":false` with a
 //! machine-readable `error` code (`bad_request`, `overloaded`,
@@ -30,6 +36,7 @@ use kpj_graph::{NodeId, Weight, WeightUpdate};
 use kpj_obs::Stage;
 
 use crate::json::Json;
+use crate::metrics::gauge;
 use crate::pool::QueryRequest;
 use crate::service::KpjService;
 use crate::ServiceError;
@@ -71,6 +78,7 @@ pub fn handle_line(service: &KpjService, line: &str) -> String {
             Ok(updates) => run_update(service, id, &updates),
             Err(message) => error_response(id, "bad_request", &message),
         },
+        Some("status") => status_response(service, id),
         Some(other) => error_response(id, "bad_request", &format!("unknown op `{other}`")),
         None => error_response(id, "bad_request", "missing `op` (or `cmd`)"),
     }
@@ -217,6 +225,9 @@ fn run_query(service: &KpjService, id: Json, request: &QueryRequest, want_paths:
 }
 
 fn metrics_response(service: &KpjService, id: Json) -> String {
+    // Sampled gauges (epoch/cache occupancy) are refreshed per scrape,
+    // not per query — the exposition below carries them.
+    service.refresh_gauges();
     let s = service.snapshot();
     let mut prometheus = String::new();
     service.metrics().render_prometheus(&mut prometheus);
@@ -260,6 +271,148 @@ fn metrics_response(service: &KpjService, id: Json) -> String {
         // The full (algorithm, stage) histogram matrix, ready to be
         // dropped into a Prometheus scrape or `kpj-cli --metrics`.
         ("prometheus".to_string(), Json::from(prometheus.as_str())),
+    ])
+    .to_string()
+}
+
+/// How many journal events ride in a status response.
+const STATUS_EVENT_TAIL: usize = 32;
+
+/// `i64` gauge readings carry through the exact-integer JSON path.
+fn jint(v: i64) -> Json {
+    Json::Int(v as i128)
+}
+
+fn status_response(service: &KpjService, id: Json) -> String {
+    service.refresh_gauges();
+    let metrics = service.metrics();
+    let s = service.snapshot();
+    let gauges = metrics.gauges();
+    let journal = metrics.journal();
+    let pool = service.pool();
+
+    let read = |idx: usize| jint(gauges.get(idx));
+    let epoch = Json::Obj(vec![
+        ("current".to_string(), read(gauge::EPOCH_ID)),
+        ("live".to_string(), read(gauge::LIVE_EPOCHS)),
+        ("pins".to_string(), read(gauge::EPOCH_PINS)),
+        ("repair_queue".to_string(), read(gauge::REPAIR_QUEUE)),
+        ("swaps".to_string(), Json::from(s.epoch_swaps)),
+    ]);
+    let pool_obj = Json::Obj(vec![
+        ("workers".to_string(), Json::from(pool.worker_count())),
+        ("busy".to_string(), read(gauge::BUSY_WORKERS)),
+        ("queue_depth".to_string(), read(gauge::QUEUE_DEPTH)),
+        (
+            "queue_peak".to_string(),
+            jint(gauges.peak(gauge::QUEUE_DEPTH)),
+        ),
+        (
+            "queue_capacity".to_string(),
+            Json::from(pool.queue_capacity()),
+        ),
+        ("executed".to_string(), Json::from(pool.executed())),
+        ("par_grants".to_string(), read(gauge::PAR_GRANTS)),
+        ("rejected".to_string(), Json::from(s.rejected)),
+    ]);
+    let shards: Vec<Json> = service
+        .cache()
+        .map(|cache| cache.occupancy())
+        .unwrap_or_default()
+        .into_iter()
+        .map(|(ready, pending)| Json::Arr(vec![Json::from(ready), Json::from(pending)]))
+        .collect();
+    let cache = Json::Obj(vec![
+        ("entries".to_string(), read(gauge::CACHE_ENTRIES)),
+        ("pending".to_string(), read(gauge::CACHE_WAITERS)),
+        ("evictions".to_string(), read(gauge::CACHE_EVICTIONS)),
+        ("hits".to_string(), Json::from(s.cache_hits)),
+        ("shared".to_string(), Json::from(s.cache_shared)),
+        ("misses".to_string(), Json::from(s.cache_misses)),
+        ("shards".to_string(), Json::Arr(shards)),
+    ]);
+    let storage = Json::Obj(vec![
+        ("mmap_bytes".to_string(), read(gauge::MMAP_BYTES)),
+        ("expand_hops".to_string(), read(gauge::EXPAND_HOPS)),
+    ]);
+    let throughput = Json::Obj(vec![
+        ("queries".to_string(), Json::from(s.queries)),
+        ("failures".to_string(), Json::from(s.failures)),
+        (
+            "deadline_exceeded".to_string(),
+            Json::from(s.deadline_exceeded),
+        ),
+        ("paths_returned".to_string(), Json::from(s.paths_returned)),
+    ]);
+    let latency = Json::Obj(vec![
+        ("mean".to_string(), Json::from(s.latency_mean_us)),
+        ("p50".to_string(), Json::from(s.latency_p50_us)),
+        ("p99".to_string(), Json::from(s.latency_p99_us)),
+        ("max".to_string(), Json::from(s.latency_max_us)),
+        ("count".to_string(), Json::from(s.latency_count)),
+    ]);
+    let updates = Json::Obj(vec![
+        ("epoch_swaps".to_string(), Json::from(s.epoch_swaps)),
+        ("edges_updated".to_string(), Json::from(s.edges_updated)),
+        ("repair_mean_us".to_string(), Json::from(s.repair_mean_us)),
+        ("repair_max_us".to_string(), Json::from(s.repair_max_us)),
+    ]);
+    let gauge_obj = Json::Obj(
+        (0..gauges.len())
+            .map(|i| {
+                (
+                    gauges.name(i).to_string(),
+                    Json::Obj(vec![
+                        ("value".to_string(), jint(gauges.get(i))),
+                        ("peak".to_string(), jint(gauges.peak(i))),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let tail: Vec<Json> = journal
+        .tail(STATUS_EVENT_TAIL)
+        .into_iter()
+        .map(|e| {
+            let mut fields = vec![
+                ("seq".to_string(), Json::from(e.seq)),
+                ("at_us".to_string(), Json::from(e.at_us)),
+                ("event".to_string(), Json::from(journal.kind_name(e.kind))),
+            ];
+            if let Some(kind) = journal.kinds().get(e.kind as usize) {
+                for (field, value) in kind.fields.iter().zip(&e.args) {
+                    if !field.is_empty() {
+                        fields.push((field.to_string(), Json::from(*value)));
+                    }
+                }
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    let events = Json::Obj(vec![
+        ("recorded".to_string(), Json::from(journal.recorded())),
+        ("dropped".to_string(), Json::from(journal.dropped())),
+        ("tail".to_string(), Json::Arr(tail)),
+    ]);
+    Json::Obj(vec![
+        ("id".to_string(), id),
+        ("ok".to_string(), Json::Bool(true)),
+        (
+            "status".to_string(),
+            Json::Obj(vec![
+                ("uptime_s".to_string(), Json::from(s.uptime_s)),
+                ("snapshot_seq".to_string(), Json::from(s.snapshot_seq)),
+                ("epoch".to_string(), epoch),
+                ("pool".to_string(), pool_obj),
+                ("cache".to_string(), cache),
+                ("storage".to_string(), storage),
+                ("throughput".to_string(), throughput),
+                ("latency_us".to_string(), latency),
+                ("updates".to_string(), updates),
+                ("gauges".to_string(), gauge_obj),
+                ("events".to_string(), events),
+            ]),
+        ),
     ])
     .to_string()
 }
@@ -574,6 +727,89 @@ mod tests {
             );
         }
         assert_eq!(lengths(&handle_line(&svc, query)), vec![4]);
+    }
+
+    #[test]
+    fn status_reports_gauges_and_event_tail() {
+        let svc = service();
+        let query = r#"{"id":1,"op":"query","sources":[0],"targets":[2],"k":2}"#;
+        handle_line(&svc, query);
+        handle_line(&svc, r#"{"id":2,"op":"update","edges":[[0,1,50]]}"#);
+        handle_line(&svc, query);
+        let v = Json::parse(&handle_line(&svc, r#"{"id":3,"op":"status"}"#)).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        let status = v.get("status").unwrap();
+        let epoch = status.get("epoch").unwrap();
+        assert_eq!(epoch.get("current").unwrap().as_u64(), Some(1));
+        assert_eq!(epoch.get("swaps").unwrap().as_u64(), Some(1));
+        let pool = status.get("pool").unwrap();
+        assert_eq!(pool.get("workers").unwrap().as_u64(), Some(1));
+        assert_eq!(pool.get("queue_depth").unwrap().as_u64(), Some(0));
+        assert_eq!(pool.get("executed").unwrap().as_u64(), Some(2));
+        // One entry survives on the current epoch (the post-update query).
+        let cache = status.get("cache").unwrap();
+        assert_eq!(cache.get("entries").unwrap().as_u64(), Some(1));
+        assert_eq!(cache.get("shards").unwrap().as_arr().unwrap().len(), 16);
+        assert_eq!(
+            status
+                .get("throughput")
+                .unwrap()
+                .get("queries")
+                .unwrap()
+                .as_u64(),
+            Some(2)
+        );
+        // The update left a publish + applied pair in the journal tail.
+        let events = status.get("events").unwrap();
+        assert!(events.get("recorded").unwrap().as_u64().unwrap() >= 2);
+        let tail = events.get("tail").unwrap().as_arr().unwrap();
+        let names: Vec<&str> = tail
+            .iter()
+            .filter_map(|e| e.get("event").and_then(Json::as_str))
+            .collect();
+        assert!(names.contains(&"epoch_published"), "{names:?}");
+        assert!(names.contains(&"update_applied"), "{names:?}");
+        // Every gauge appears with value+peak.
+        let gauges = status.get("gauges").unwrap();
+        let live = gauges.get("live_epochs").unwrap();
+        assert!(live.get("value").unwrap().as_u64().unwrap() >= 1);
+        assert!(live.get("peak").unwrap().as_u64().unwrap() >= 1);
+        // Repeating status bumps the snapshot sequence.
+        let seq1 = status.get("snapshot_seq").unwrap().as_u64().unwrap();
+        let v2 = Json::parse(&handle_line(&svc, r#"{"id":4,"op":"status"}"#)).unwrap();
+        let seq2 = v2
+            .get("status")
+            .unwrap()
+            .get("snapshot_seq")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        assert_eq!(seq2, seq1 + 1);
+    }
+
+    #[test]
+    fn deadline_expiry_lands_in_the_journal() {
+        let svc = service();
+        handle_line(
+            &svc,
+            r#"{"id":1,"op":"query","sources":[0],"targets":[2],"k":2,"timeout_ms":0}"#,
+        );
+        let v = Json::parse(&handle_line(&svc, r#"{"id":2,"op":"status"}"#)).unwrap();
+        let tail = v
+            .get("status")
+            .unwrap()
+            .get("events")
+            .unwrap()
+            .get("tail")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        let expiry = tail
+            .iter()
+            .find(|e| e.get("event").and_then(Json::as_str) == Some("deadline_expired"))
+            .expect("deadline_expired event in tail");
+        assert_eq!(expiry.get("k").unwrap().as_u64(), Some(2));
+        assert_eq!(expiry.get("timeout_ms").unwrap().as_u64(), Some(0));
     }
 
     #[test]

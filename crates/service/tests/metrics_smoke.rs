@@ -110,9 +110,14 @@ fn metrics_exposition_covers_every_algorithm_and_stage() {
             continue;
         }
         let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+        // Labelled series end in `}`; scalar families (uptime, snapshot
+        // sequence) are bare metric names.
         assert!(
-            series.contains('{') && series.ends_with('}'),
-            "unlabelled series: {line}"
+            series.ends_with('}')
+                || series
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "malformed series: {line}"
         );
         assert!(
             value == "+Inf" || value.parse::<f64>().is_ok(),

@@ -50,6 +50,7 @@ fn main() -> ExitCode {
         "convert" => convert(&opts),
         "query" => query(&opts),
         "update" => update(&opts),
+        "top" => top(&opts),
         "info" => info(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -88,6 +89,11 @@ commands:
             (re-weight edges on a running kpj-serve; every parallel copy
              of (U,V) gets weight W and a new graph epoch is published.
              FILE holds one `U V W` triple per line, `#` comments ok)
+  top       [--addr HOST:PORT] [--interval-ms MS] [--once]
+            (live ops dashboard over a running kpj-serve's status verb:
+             epochs, pool, cache, throughput, latency and the structured
+             event journal, redrawn every MS [default: 1000]; --once
+             prints a single snapshot and exits — CI-friendly)
   info      --graph FILE
 
 Graph files: v1 and v2 binary formats and DIMACS `.gr` are auto-detected.
@@ -111,7 +117,10 @@ impl Opts {
                 .strip_prefix("--")
                 .or_else(|| a.strip_prefix('-'))
                 .ok_or_else(|| format!("expected an option, got `{a}`"))?;
-            let flag_only = matches!(key, "stats" | "metrics" | "to-v2" | "reorder" | "reduce");
+            let flag_only = matches!(
+                key,
+                "stats" | "metrics" | "to-v2" | "reorder" | "reduce" | "once"
+            );
             let value = if flag_only {
                 "true".to_string()
             } else {
@@ -653,6 +662,202 @@ fn update(o: &Opts) -> Result<(), String> {
         println!("(all weights were already current: no new epoch was needed)");
     }
     Ok(())
+}
+
+/// `top`: a refreshing terminal dashboard over a running `kpj-serve`.
+/// Polls `{"op":"status"}` on one persistent connection and renders the
+/// gauges, throughput (with a rate derived from consecutive snapshots),
+/// latency quantiles and the event-journal tail. `--once` prints a
+/// single snapshot without clearing the screen, so CI can grep the
+/// output (`live=`, `queue=` tokens).
+fn top(o: &Opts) -> Result<(), String> {
+    use std::io::{BufRead, Write};
+
+    let addr = o.get("addr").unwrap_or("127.0.0.1:7878");
+    let once = o.get("once").is_some();
+    let interval: u64 = o.num("interval-ms", 1_000)?;
+
+    let stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = BufWriter::new(stream);
+
+    let mut id = 0u64;
+    // Previous (instant, cumulative query count) for the rate readout.
+    let mut prev: Option<(std::time::Instant, u64)> = None;
+    loop {
+        id += 1;
+        writer
+            .write_all(format!("{{\"id\":{id},\"op\":\"status\"}}\n").as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("{addr}: {e}"))?;
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("{addr}: {e}"))?;
+        if line.trim().is_empty() {
+            return Err(format!("{addr}: server closed the connection"));
+        }
+        use kpj::service::json::Json;
+        let reply = Json::parse(line.trim()).map_err(|e| format!("{addr}: malformed: {e}"))?;
+        if reply.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("{addr}: status failed: {}", line.trim()));
+        }
+        let status = reply
+            .get("status")
+            .ok_or_else(|| format!("{addr}: response carries no status object"))?;
+
+        let now = std::time::Instant::now();
+        let queries = status
+            .get("throughput")
+            .and_then(|t| t.get("queries"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        let rate = prev.map(|(t, q)| {
+            let dt = now.duration_since(t).as_secs_f64();
+            if dt > 0.0 {
+                queries.saturating_sub(q) as f64 / dt
+            } else {
+                0.0
+            }
+        });
+        prev = Some((now, queries));
+
+        let mut screen = String::new();
+        render_status(&mut screen, addr, status, rate);
+        if once {
+            print!("{screen}");
+            std::io::stdout().flush().ok();
+            return Ok(());
+        }
+        // Clear + home, then the frame in one write: no flicker.
+        print!("\x1b[2J\x1b[H{screen}");
+        std::io::stdout().flush().ok();
+        std::thread::sleep(std::time::Duration::from_millis(interval.max(100)));
+    }
+}
+
+/// Render one `status` snapshot as the `top` dashboard frame.
+fn render_status(out: &mut String, addr: &str, s: &kpj::service::json::Json, rate: Option<f64>) {
+    use kpj::service::json::Json;
+    use std::fmt::Write as _;
+
+    // Missing fields render as 0 rather than failing: an older server is
+    // still monitorable with a newer CLI.
+    let u = |path: &[&str]| -> u64 {
+        let mut cur = s;
+        for key in path {
+            match cur.get(key) {
+                Some(v) => cur = v,
+                None => return 0,
+            }
+        }
+        cur.as_u64().unwrap_or(0)
+    };
+
+    let _ = writeln!(
+        out,
+        "kpj-serve {addr} — up {}s, status snapshot #{}",
+        u(&["uptime_s"]),
+        u(&["snapshot_seq"]),
+    );
+    let _ = writeln!(
+        out,
+        "epoch    current={} live={} pins={} repair_queue={} swaps={}",
+        u(&["epoch", "current"]),
+        u(&["epoch", "live"]),
+        u(&["epoch", "pins"]),
+        u(&["epoch", "repair_queue"]),
+        u(&["epoch", "swaps"]),
+    );
+    let _ = writeln!(
+        out,
+        "pool     workers={} busy={} queue={} (peak {}, cap {}) executed={} rejected={} par_grants={}",
+        u(&["pool", "workers"]),
+        u(&["pool", "busy"]),
+        u(&["pool", "queue_depth"]),
+        u(&["pool", "queue_peak"]),
+        u(&["pool", "queue_capacity"]),
+        u(&["pool", "executed"]),
+        u(&["pool", "rejected"]),
+        u(&["pool", "par_grants"]),
+    );
+    let _ = writeln!(
+        out,
+        "cache    entries={} pending={} evictions={} hits={} shared={} misses={}",
+        u(&["cache", "entries"]),
+        u(&["cache", "pending"]),
+        u(&["cache", "evictions"]),
+        u(&["cache", "hits"]),
+        u(&["cache", "shared"]),
+        u(&["cache", "misses"]),
+    );
+    let _ = writeln!(
+        out,
+        "storage  mmap_bytes={} expand_hops={}",
+        u(&["storage", "mmap_bytes"]),
+        u(&["storage", "expand_hops"]),
+    );
+    let rate_str = rate.map_or(String::new(), |r| format!(" rate={r:.1}/s"));
+    let _ = writeln!(
+        out,
+        "load     queries={queries}{rate_str} failures={} deadline_exceeded={} paths={}",
+        u(&["throughput", "failures"]),
+        u(&["throughput", "deadline_exceeded"]),
+        u(&["throughput", "paths_returned"]),
+        queries = u(&["throughput", "queries"]),
+    );
+    let _ = writeln!(
+        out,
+        "latency  p50={}us p99={}us mean={}us max={}us (n={})",
+        u(&["latency_us", "p50"]),
+        u(&["latency_us", "p99"]),
+        u(&["latency_us", "mean"]),
+        u(&["latency_us", "max"]),
+        u(&["latency_us", "count"]),
+    );
+    let _ = writeln!(
+        out,
+        "updates  swaps={} edges={} repair_mean={}us repair_max={}us",
+        u(&["updates", "epoch_swaps"]),
+        u(&["updates", "edges_updated"]),
+        u(&["updates", "repair_mean_us"]),
+        u(&["updates", "repair_max_us"]),
+    );
+    let _ = writeln!(
+        out,
+        "events   recorded={} dropped={}",
+        u(&["events", "recorded"]),
+        u(&["events", "dropped"]),
+    );
+    // Last few journal entries, oldest first — generic over the event's
+    // own fields so new event kinds need no CLI change.
+    if let Some(tail) = s
+        .get("events")
+        .and_then(|e| e.get("tail"))
+        .and_then(Json::as_arr)
+    {
+        let skip = tail.len().saturating_sub(10);
+        for ev in &tail[skip..] {
+            let mut fields = String::new();
+            if let Json::Obj(pairs) = ev {
+                for (k, v) in pairs {
+                    if matches!(k.as_str(), "seq" | "at_us" | "event") {
+                        continue;
+                    }
+                    let _ = write!(fields, " {k}={v}");
+                }
+            }
+            let _ = writeln!(
+                out,
+                "  [{:>5} +{:>9.3}s] {}{fields}",
+                ev.get("seq").and_then(Json::as_u64).unwrap_or(0),
+                ev.get("at_us").and_then(Json::as_u64).unwrap_or(0) as f64 / 1e6,
+                ev.get("event").and_then(Json::as_str).unwrap_or("?"),
+            );
+        }
+    }
 }
 
 fn info(o: &Opts) -> Result<(), String> {
