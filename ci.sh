@@ -100,6 +100,16 @@ echo "==> reduction differential (seed 0x5EDD, <= ${REDUCE_DIFF_SECONDS:-30}s)"
 cargo run --release -q -p kpj-oracle --bin kpj-fuzz -- \
   --seed 24285 --max-seconds "${REDUCE_DIFF_SECONDS:-30}"
 
+# Sidetrack differential: a dedicated bounded sweep on its own fixed
+# seed. The sidetrack engine answers from the reverse SPT + sidetrack
+# splices rather than per-subspace searches, so this box concentrates
+# coverage on the agreement between that representation and the
+# deviation family (invariant 1), the brute-force oracle, and the
+# reduced-graph re-expansion. SIDETRACK_DIFF_SECONDS lengthens it.
+echo "==> sidetrack differential (seed 0x51DE, <= ${SIDETRACK_DIFF_SECONDS:-30}s)"
+cargo run --release -q -p kpj-oracle --bin kpj-fuzz -- \
+  --seed 20958 --max-seconds "${SIDETRACK_DIFF_SECONDS:-30}"
+
 # Live-update oracle: interleave weight-update batches with queries on a
 # running KpjService; after every batch, all algorithms × {landmarks,
 # none} must be bit-identical to a fresh engine built from the updated
@@ -156,8 +166,15 @@ trap - EXIT
 
 # Per-algorithm latency + allocation profile (fixed seeds, small query
 # count so the gate stays quick). BENCH_QUERIES=24 for a fuller run.
-echo "==> bench-kpj (writes BENCH_kpj.json)"
+# The committed BENCH_baseline.json turns the run into a perf-regression
+# diff — a delta table per workload × algorithm cell plus the k-sweep,
+# non-zero exit beyond BENCH_REGRESS_PCT percent (default 25). Warn-only
+# here: shared CI boxes jitter well past any honest threshold; run
+# `bench-kpj --compare BENCH_baseline.json` directly for the hard gate.
+echo "==> bench-kpj (writes BENCH_kpj.json, diffs vs BENCH_baseline.json)"
 cargo run --release -q -p kpj-bench --bin bench-kpj -- \
-  --queries "${BENCH_QUERIES:-6}" --out BENCH_kpj.json
+  --queries "${BENCH_QUERIES:-6}" --out BENCH_kpj.json \
+  --compare BENCH_baseline.json \
+  || echo "WARN: perf cells regressed vs BENCH_baseline.json (non-fatal; see table above)"
 
 echo "CI OK"

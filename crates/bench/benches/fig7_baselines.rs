@@ -1,5 +1,6 @@
-//! Fig. 7 — KPJ on CAL: all seven algorithms against the deviation
-//! baselines, across destination categories and query-k settings.
+//! Fig. 7 — KPJ on CAL: every algorithm in `Algorithm::ALL` against the
+//! deviation baselines, across destination categories and query-k
+//! settings.
 //!
 //! Paper shape: every best-first variant beats DA/DA-SPT, `IterBoundI`
 //! wins overall, and `DA-SPT` loses exactly where the full-SPT build

@@ -1,4 +1,4 @@
-//! Fig. 8 — KSP on CAL: the same seven algorithms on a singleton
+//! Fig. 8 — KSP on CAL: every algorithm in `Algorithm::ALL` on a singleton
 //! category ("Glacier" has one physical node), demonstrating that the KPJ
 //! machinery subsumes the classic k-shortest-simple-paths problem and
 //! still beats the state-of-the-art `DA-SPT` by orders of magnitude.

@@ -7,7 +7,14 @@
 //! global allocator. Results are written to `BENCH_kpj.json` so CI leaves
 //! a machine-readable perf trail for future PRs to diff against.
 //!
-//! Usage: `bench-kpj [--out PATH] [--queries N]`
+//! `--compare BASELINE.json` turns the trail into a gate: after the sweep
+//! the fresh report is diffed cell-by-cell (ms/query and allocs/query per
+//! workload × algorithm, plus every k-sweep cell) against the committed
+//! baseline, a delta table goes to stderr, and the process exits non-zero
+//! when any cell regressed by more than `BENCH_REGRESS_PCT` percent
+//! (default 25).
+//!
+//! Usage: `bench-kpj [--out PATH] [--queries N] [--compare BASELINE]`
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -18,6 +25,7 @@ use kpj_bench::{run_batch, BatchResult, CalEnv};
 use kpj_core::{Algorithm, QueryEngine};
 use kpj_graph::{Graph, NodeId};
 use kpj_landmark::{LandmarkIndex, SelectionStrategy};
+use kpj_service::json::Json;
 use kpj_workload::social::SocialConfig;
 
 /// Counts every allocation (and allocated byte) that reaches the system
@@ -177,6 +185,48 @@ struct Workload {
     dataset: String,
     sources: Vec<NodeId>,
     targets: Vec<NodeId>,
+}
+
+/// The k regimes the k-sweep axis covers (EXPERIMENTS.md's sidetrack
+/// table reads straight off these cells).
+const K_SWEEP: [usize; 3] = [5, 20, 100];
+
+/// The k-sweep contenders: the classic deviation algorithm, the
+/// deviation-family champion, and the sidetrack engine — the comparison
+/// the sweep exists to make.
+const K_SWEEP_ALGS: [Algorithm; 3] = [
+    Algorithm::DaSptPascoal,
+    Algorithm::IterBoundI,
+    Algorithm::Sidetrack,
+];
+
+struct KSweepCell {
+    k: usize,
+    name: &'static str,
+    ms_per_query: f64,
+}
+
+/// Sweep [`K_SWEEP`] × [`K_SWEEP_ALGS`] on one workload: how does the
+/// sidetrack engine's cost curve bend against the deviation family as k
+/// grows? One warmed engine serves the whole sweep, like
+/// [`run_workload`].
+fn k_sweep_axis(g: &Graph, lm: &LandmarkIndex, w: &Workload) -> Vec<KSweepCell> {
+    let mut engine = QueryEngine::new(g).with_landmarks(lm);
+    engine.set_trace_sampling(0);
+    let mut cells = Vec::new();
+    for &k in &K_SWEEP {
+        for &alg in &K_SWEEP_ALGS {
+            run_batch(&mut engine, alg, &w.sources, &w.targets, k);
+            let (ms, _) = median_ms(&mut engine, alg, &w.sources, &w.targets, k);
+            eprintln!("  k={k:>3} {:>12}: {ms:>9.3} ms/query", alg.name());
+            cells.push(KSweepCell {
+                k,
+                name: alg.name(),
+                ms_per_query: ms,
+            });
+        }
+    }
+    cells
 }
 
 /// Storage-subsystem axis: cold-load time of the two on-disk formats and
@@ -391,9 +441,92 @@ fn json_escape_free(s: &str) -> &str {
     s
 }
 
+/// Flatten a report into `(cell key, value)` pairs for the regression
+/// diff: every `workloads.*.algorithms.*` cell contributes its ms/query
+/// and allocs/query, every k-sweep cell its ms/query. Higher is worse
+/// for all of them. Sections a (possibly older-schema) report lacks are
+/// simply absent — the diff treats those cells as new.
+fn flatten_cells(doc: &Json) -> Vec<(String, f64)> {
+    let mut cells = Vec::new();
+    if let Some(Json::Obj(workloads)) = doc.get("workloads") {
+        for (wname, w) in workloads {
+            if let Some(Json::Obj(algs)) = w.get("algorithms") {
+                for (aname, cell) in algs {
+                    for metric in ["ms_per_query", "allocs_per_query"] {
+                        if let Some(v) = cell.get(metric).and_then(Json::as_f64) {
+                            cells.push((format!("{wname}/{aname}/{metric}"), v));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if let Some(Json::Obj(sweeps)) = doc.get("k_sweep") {
+        for (wname, arr) in sweeps {
+            for cell in arr.as_arr().unwrap_or(&[]) {
+                if let (Some(k), Some(alg), Some(ms)) = (
+                    cell.get("k").and_then(Json::as_u64),
+                    cell.get("algorithm").and_then(Json::as_str),
+                    cell.get("ms_per_query").and_then(Json::as_f64),
+                ) {
+                    cells.push((format!("k_sweep/{wname}/k={k}/{alg}/ms_per_query"), ms));
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Diff the fresh report against a committed baseline and print the
+/// delta table. Returns the number of regressed cells: a cell regresses
+/// when it is worse than the baseline by more than `pct` percent *and*
+/// by more than a small absolute slack (timings jitter below a few
+/// microseconds; allocation counts are deterministic but reported as
+/// per-query averages, so sub-alloc drift is rounding). Cells present
+/// on only one side are reported but never count as regressions —
+/// that's how a new algorithm or axis enters the baseline.
+fn compare_reports(baseline_path: &str, baseline: &Json, current: &Json, pct: f64) -> usize {
+    let base_cells = flatten_cells(baseline);
+    let cur_cells = flatten_cells(current);
+    let mut regressions = 0;
+    eprintln!("==> compare vs {baseline_path} (threshold +{pct:.0}%)");
+    for (key, cur) in &cur_cells {
+        match base_cells.iter().find(|(k, _)| k == key) {
+            None => eprintln!("  {key:<56} {:>9} -> {cur:>9.3}  (new cell)", "-"),
+            Some((_, base)) => {
+                let delta = if *base > 0.0 {
+                    (cur / base - 1.0) * 100.0
+                } else if *cur > 0.0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                };
+                let slack = if key.ends_with("allocs_per_query") {
+                    0.5
+                } else {
+                    0.002
+                };
+                let regressed = delta > pct && cur - base > slack;
+                regressions += usize::from(regressed);
+                eprintln!(
+                    "  {key:<56} {base:>9.3} -> {cur:>9.3}  ({delta:>+7.1}%){}",
+                    if regressed { "  REGRESSION" } else { "" },
+                );
+            }
+        }
+    }
+    for (key, _) in &base_cells {
+        if !cur_cells.iter().any(|(k, _)| k == key) {
+            eprintln!("  {key:<56} dropped from report");
+        }
+    }
+    regressions
+}
+
 fn main() {
     let mut out_path = "BENCH_kpj.json".to_string();
     let mut queries = 6usize;
+    let mut compare_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -404,12 +537,25 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--queries needs a number")
             }
+            "--compare" => compare_path = Some(args.next().expect("--compare needs a path")),
             other => {
-                eprintln!("unknown argument `{other}` (expected --out / --queries)");
+                eprintln!("unknown argument `{other}` (expected --out / --queries / --compare)");
                 std::process::exit(2);
             }
         }
     }
+    // Read the baseline *before* the sweep so a bad path fails in
+    // seconds, not after minutes of timed passes.
+    let baseline = compare_path.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("baseline {path} is not valid JSON: {e}");
+            std::process::exit(2);
+        })
+    });
 
     let started = Instant::now();
 
@@ -438,6 +584,12 @@ fn main() {
         targets: stride_sample(n, 40, 3),
     };
     let social_rows = run_workload(&social_graph, &social_lm, &social);
+
+    // k-sweep axis: sidetrack vs the deviation family across k regimes.
+    eprintln!("==> k sweep, road (k in {K_SWEEP:?})");
+    let road_ksweep = k_sweep_axis(&cal.graph, &cal.landmarks, &road);
+    eprintln!("==> k sweep, social (k in {K_SWEEP:?})");
+    let social_ksweep = k_sweep_axis(&social_graph, &social_lm, &social);
 
     // Storage axis: cold-load of both formats + the locality reorder.
     eprintln!("==> storage (cold load v1 vs v2-mmap, BFS reorder), road");
@@ -489,7 +641,7 @@ fn main() {
     let social_par = par_axis(&social_graph, &social_lm, &social);
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": 1,\n  \"k\": ");
+    json.push_str("{\n  \"schema\": 2,\n  \"k\": ");
     let _ = write!(json, "{K}");
     json.push_str(",\n  \"workloads\": {\n");
     for (wi, (w, rows)) in [(&road, &road_rows), (&social, &social_rows)]
@@ -519,6 +671,27 @@ fn main() {
             );
         }
         json.push_str("\n      }\n    }");
+    }
+    json.push_str("\n  },\n  \"k_sweep\": {\n");
+    for (wi, (name, cells)) in [("road", &road_ksweep), ("social", &social_ksweep)]
+        .into_iter()
+        .enumerate()
+    {
+        if wi > 0 {
+            json.push_str(",\n");
+        }
+        let _ = writeln!(json, "    \"{name}\": [");
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                json.push_str(",\n");
+            }
+            let _ = write!(
+                json,
+                "      {{\"k\": {}, \"algorithm\": \"{}\", \"ms_per_query\": {:.4}}}",
+                c.k, c.name, c.ms_per_query,
+            );
+        }
+        json.push_str("\n    ]");
     }
     json.push_str("\n  },\n");
     let _ = write!(
@@ -599,4 +772,18 @@ fn main() {
         "wrote {out_path} in {:.1}s",
         started.elapsed().as_secs_f64()
     );
+
+    if let (Some(path), Some(baseline)) = (&compare_path, &baseline) {
+        let pct = std::env::var("BENCH_REGRESS_PCT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(25.0);
+        let current = Json::parse(&json).expect("own report parses");
+        let regressions = compare_reports(path, baseline, &current, pct);
+        if regressions > 0 {
+            eprintln!("bench-kpj: {regressions} cell(s) regressed beyond {pct:.0}% vs {path}");
+            std::process::exit(1);
+        }
+        eprintln!("bench-kpj: no regression beyond {pct:.0}% vs {path}");
+    }
 }

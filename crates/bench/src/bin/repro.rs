@@ -115,7 +115,10 @@ fn main() {
     }
 }
 
-/// The seven lines of Figs. 7–8 in the paper's order.
+/// The seven lines of Figs. 7–8 in the paper's order. Deliberately NOT
+/// `Algorithm::ALL`: these panels reproduce the paper's figures, and the
+/// sidetrack engine is outside the paper (its numbers live in
+/// `bench-kpj`'s k-sweep axis and EXPERIMENTS.md).
 const SEVEN: [(&str, Option<Algorithm>); 7] = [
     ("DA", Some(Algorithm::Da)),
     ("DA-SPT", Some(Algorithm::DaSpt)),

@@ -4,8 +4,9 @@
 //! A **KPJ** query `{s, T, k}` asks for the `k` shortest *simple* paths
 //! from a source node `s` to any node of a category `T` in a weighted
 //! directed graph. **KSP** (single destination) and **GKPJ** (a set of
-//! sources) are the special/general cases. This crate implements all seven
-//! algorithms the paper evaluates:
+//! sources) are the special/general cases. This crate implements every
+//! algorithm the paper evaluates, plus a beyond-the-paper sidetrack
+//! engine ([`Algorithm::ALL`] is the authoritative list):
 //!
 //! | [`Algorithm`] | Paper | Paradigm |
 //! |---|---|---|
@@ -15,6 +16,7 @@
 //! | `IterBound` | §5.1, Alg. 4–5 | iteratively bounding (`TestLB`, factor α) |
 //! | `IterBoundP` | §5.2, Alg. 6 | + partial SPT (`SPT_P`) |
 //! | `IterBoundI` | §5.3, Alg. 7–8 | + incremental SPT (`SPT_I`), reverse-graph search |
+//! | `Sidetrack` | — (arXiv:1601.02867) | sidetrack-edge splicing over the full reverse SPT |
 //!
 //! Running any of them on a [`QueryEngine`] without landmarks gives the
 //! paper's `-NL` (no landmark, §6) variants.
@@ -56,6 +58,7 @@ mod paradigms;
 mod pseudo_tree;
 pub mod reference;
 mod search_core;
+mod sidetrack;
 mod spti;
 mod sptp;
 mod stats;

@@ -369,7 +369,7 @@ pub(crate) fn run_iter_bound<O: SubspaceOracle + Sync>(
 /// τ' = max(⌈α·base⌉, base+1): the paper's geometric growth, made strictly
 /// increasing under integer lengths. (`f64` rounding is harmless: any
 /// τ' > base preserves correctness, and real lengths stay far below 2^53.)
-fn next_tau(base: Length, alpha: f64) -> Length {
+pub(crate) fn next_tau(base: Length, alpha: f64) -> Length {
     let scaled = (base as f64 * alpha).ceil() as Length;
     scaled.max(base.saturating_add(1))
 }

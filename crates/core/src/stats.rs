@@ -52,6 +52,17 @@ pub struct QueryStats {
     /// thread (the tasks dispatched across all parallel rounds; this is a
     /// deterministic count, independent of which worker ran each task).
     pub candidates_stolen: usize,
+    /// Sidetrack edges examined while resolving subspaces (the
+    /// `Sidetrack` engine's analogue of candidate-path computations: each
+    /// scanned first-hop is one implicit deviation considered).
+    pub sidetracks_scanned: usize,
+    /// Subspaces the `Sidetrack` engine resolved by splicing the best
+    /// sidetrack onto the reverse-SPT suffix with **zero** search — the
+    /// fast path that replaces a per-deviation Dijkstra.
+    pub sidetrack_splices: usize,
+    /// Subspaces whose best sidetrack suffix collided with the prefix,
+    /// forcing a τ-bounded constrained repair search.
+    pub sidetrack_repairs: usize,
 }
 
 impl QueryStats {
@@ -59,7 +70,7 @@ impl QueryStats {
     /// [`field_values`](QueryStats::field_values). Shared by the NDJSON
     /// `stats` block, the `metrics` verb, and the Prometheus counter
     /// series so the three surfaces cannot drift.
-    pub const FIELD_NAMES: [&'static str; 15] = [
+    pub const FIELD_NAMES: [&'static str; 18] = [
         "sp",
         "lb",
         "testlb",
@@ -75,10 +86,13 @@ impl QueryStats {
         "tau",
         "rounds_parallel",
         "candidates_stolen",
+        "sidetracks_scanned",
+        "sidetrack_splices",
+        "sidetrack_repairs",
     ];
 
     /// Every counter, in [`FIELD_NAMES`](QueryStats::FIELD_NAMES) order.
-    pub fn field_values(&self) -> [u64; 15] {
+    pub fn field_values(&self) -> [u64; 18] {
         [
             self.shortest_path_computations as u64,
             self.lower_bound_computations as u64,
@@ -95,6 +109,9 @@ impl QueryStats {
             self.final_tau,
             self.rounds_parallel as u64,
             self.candidates_stolen as u64,
+            self.sidetracks_scanned as u64,
+            self.sidetrack_splices as u64,
+            self.sidetrack_repairs as u64,
         ]
     }
 
@@ -133,6 +150,9 @@ impl QueryStats {
         self.final_tau = self.final_tau.max(other.final_tau);
         self.rounds_parallel += other.rounds_parallel;
         self.candidates_stolen += other.candidates_stolen;
+        self.sidetracks_scanned += other.sidetracks_scanned;
+        self.sidetrack_splices += other.sidetrack_splices;
+        self.sidetrack_repairs += other.sidetrack_repairs;
     }
 }
 
@@ -188,6 +208,9 @@ mod tests {
             final_tau: 13,
             rounds_parallel: 14,
             candidates_stolen: 15,
+            sidetracks_scanned: 16,
+            sidetrack_splices: 17,
+            sidetrack_repairs: 18,
         };
         let mut out = String::new();
         s.write_json(&mut out);
@@ -196,7 +219,8 @@ mod tests {
             "{\"sp\":1,\"lb\":2,\"testlb\":3,\"testlb_bounded\":4,\"settled\":5,\
              \"relaxed\":6,\"spt_nodes\":7,\"subspaces\":8,\"heap_pops\":9,\
              \"lb_prunes\":10,\"subspaces_skipped\":11,\"tau_updates\":12,\"tau\":13,\
-             \"rounds_parallel\":14,\"candidates_stolen\":15}"
+             \"rounds_parallel\":14,\"candidates_stolen\":15,\"sidetracks_scanned\":16,\
+             \"sidetrack_splices\":17,\"sidetrack_repairs\":18}"
         );
         // Names and values stay parallel.
         assert_eq!(QueryStats::FIELD_NAMES.len(), s.field_values().len());

@@ -31,7 +31,7 @@ mod field {
 }
 
 const _: () = {
-    assert!(QueryStats::FIELD_NAMES.len() == 15);
+    assert!(QueryStats::FIELD_NAMES.len() == 18);
 };
 
 /// Indices into the service's [`GaugeSet`] — the system-state gauges

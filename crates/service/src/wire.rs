@@ -511,6 +511,63 @@ mod tests {
     }
 
     #[test]
+    fn sidetrack_algorithm_is_served_and_labelled() {
+        let svc = service();
+        let resp = handle_line(
+            &svc,
+            r#"{"id":1,"op":"query","algorithm":"sidetrack","sources":[0],"targets":[2],"k":2,"paths":true}"#,
+        );
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{resp}");
+        let lengths: Vec<u64> = v
+            .get("lengths")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_u64)
+            .collect();
+        assert_eq!(lengths, vec![2, 4]);
+        // The sidetrack-specific work counters travel the wire too.
+        let stats = v.get("stats").unwrap();
+        assert!(stats.get("sidetracks_scanned").unwrap().as_u64().unwrap() > 0);
+        // Metrics label the new algorithm like any other.
+        let m = Json::parse(&handle_line(&svc, r#"{"id":2,"op":"metrics"}"#)).unwrap();
+        let prom = m.get("prometheus").unwrap().as_str().unwrap();
+        assert!(prom.contains("kpj_stage_duration_seconds_bucket{algorithm=\"Sidetrack\""));
+        let work = prom
+            .lines()
+            .find(|l| {
+                l.starts_with(
+                    "kpj_engine_work_total{algorithm=\"Sidetrack\",counter=\"sidetrack_splices\"}",
+                )
+            })
+            .expect("splice counter series");
+        let splices: u64 = work.rsplit_once(' ').unwrap().1.parse().unwrap();
+        assert!(splices > 0, "{work}");
+    }
+
+    #[test]
+    fn unknown_algorithm_error_lists_every_valid_name() {
+        let svc = service();
+        let resp = handle_line(
+            &svc,
+            r#"{"id":1,"op":"query","algorithm":"quantum","sources":[0],"targets":[2],"k":1}"#,
+        );
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false), "{resp}");
+        assert_eq!(v.get("error").unwrap().as_str(), Some("bad_request"));
+        let message = v.get("message").unwrap().as_str().unwrap().to_string();
+        for alg in Algorithm::ALL {
+            assert!(
+                message.contains(&alg.name().to_ascii_lowercase()),
+                "error message misses `{}`: {message}",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
     fn cache_hit_reuses_result_and_encoded_body() {
         let svc = service();
         let req = QueryRequest {

@@ -125,9 +125,14 @@ fn metrics_exposition_covers_every_algorithm_and_stage() {
         );
         samples += 1;
     }
-    // 7 algorithms × 8 stages × (buckets + sum + count) plus counters and
-    // events — the exact number is large; just require real coverage.
-    assert!(samples > 7 * 8 * 3, "suspiciously few samples: {samples}");
+    // |Algorithm::ALL| × |Stage::ALL| × (buckets + sum + count) plus
+    // counters and events — the exact number is large; just require real
+    // coverage, with the floor derived from the authoritative lists so a
+    // new algorithm or stage raises it automatically.
+    assert!(
+        samples > Algorithm::ALL.len() * Stage::ALL.len() * 3,
+        "suspiciously few samples: {samples}"
+    );
 
     // The queried algorithms actually recorded work.
     for alg in ["DA", "BestFirst", "IterBoundI"] {

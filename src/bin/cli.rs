@@ -103,7 +103,8 @@ A v2 file opens zero-copy (mmap); its embedded landmarks are used unless
 (reduced files re-expand every answer path to original ids; querying a
 contracted node is an error — rebuild with --keep to retain it).
 
-algorithms: da, da-spt, bestfirst, iterbound, iterboundp, iterboundi (default)";
+algorithms: da, da-spt, da-pascoal, bestfirst, iterbound, iterboundp,
+            iterboundi (default), sidetrack";
 
 /// Parsed `--key value` options (order-insensitive).
 struct Opts(Vec<(String, String)>);

@@ -145,6 +145,44 @@ fn query_with_explicit_targets_and_gkpj_sources() {
         String::from_utf8_lossy(&out.stderr)
     );
     assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 3);
+    let default_stdout = String::from_utf8_lossy(&out.stdout).to_string();
+
+    // The sidetrack engine is selectable by name and agrees on lengths.
+    let out = cli()
+        .args([
+            "query",
+            "--sources",
+            "0,5",
+            "--targets",
+            "100,150,199",
+            "--k",
+            "3",
+            "--algorithm",
+            "sidetrack",
+            "--stats",
+        ])
+        .arg("--graph")
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let lens = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter_map(|l| l.split_whitespace().nth(1).map(String::from))
+            .collect()
+    };
+    let sidetrack_stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert_eq!(lens(&sidetrack_stdout), lens(&default_stdout));
+    // --stats prints the QueryStats debug dump, sidetrack counters included.
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("sidetracks_scanned"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -193,5 +231,19 @@ fn helpful_errors() {
         .output()
         .unwrap();
     assert!(!out.status.success());
+    // The structured error lists every valid algorithm name.
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    for name in [
+        "da",
+        "da-spt",
+        "da-pascoal",
+        "bestfirst",
+        "iterbound",
+        "iterboundp",
+        "iterboundi",
+        "sidetrack",
+    ] {
+        assert!(stderr.contains(name), "missing `{name}` in: {stderr}");
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
